@@ -1,0 +1,85 @@
+// Ablation (design-choice bench): what each stage of the multilevel
+// bisection pipeline buys. Compares, for one bisection of the benchmark
+// graph:
+//   - random split (no algorithm at all),
+//   - GGGP only (initial partitioning, no FM refinement),
+//   - GGGP + FM on the original graph (no coarsening),
+//   - the full multilevel pipeline (coarsen + GGGP + FM), as used by Surfer.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "partition/bisection.h"
+#include "partition/weighted_graph.h"
+
+int main() {
+  using namespace surfer;
+  using namespace surfer::bench;
+  using Clock = std::chrono::steady_clock;
+
+  const Graph graph = MakeBenchGraph();
+  const WeightedGraph wg = WeightedGraph::FromDataGraph(graph);
+  std::printf("graph: %s\n", ComputeGraphStats(graph).ToString().c_str());
+
+  PrintHeader("Ablation: multilevel bisection pipeline stages");
+  std::printf("%-34s %14s %12s %12s\n", "variant", "cut weight", "imbalance",
+              "time (ms)");
+
+  auto report = [&](const char* name, auto&& fn) {
+    const auto start = Clock::now();
+    const BisectionResult result = fn();
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    std::printf("%-34s %14lld %11.2f%% %12.1f\n", name,
+                static_cast<long long>(result.cut_weight),
+                100.0 * result.Imbalance(), ms);
+    return result.cut_weight;
+  };
+
+  // Random split.
+  const int64_t random_cut = report("random split", [&] {
+    Rng rng(7);
+    BisectionResult result;
+    result.side.resize(wg.num_vertices());
+    for (auto& s : result.side) {
+      s = static_cast<uint8_t>(rng.Uniform(2));
+    }
+    result.cut_weight = ComputeCutWeight(wg, result.side);
+    for (VertexId v = 0; v < wg.num_vertices(); ++v) {
+      result.side_weight[result.side[v]] += wg.vertex_weights[v];
+    }
+    return result;
+  });
+
+  // GGGP only.
+  BisectionOptions no_refine;
+  no_refine.refine_passes = 0;
+  no_refine.coarsen_target = wg.num_vertices();  // disable coarsening
+  const int64_t gggp_cut = report("GGGP only (flat, no refinement)", [&] {
+    return internal::InitialBisection(wg, no_refine);
+  });
+
+  // GGGP + FM, flat.
+  BisectionOptions flat;
+  flat.coarsen_target = wg.num_vertices();
+  const int64_t flat_cut = report("GGGP + FM (flat, no coarsening)", [&] {
+    return internal::InitialBisection(wg, flat);
+  });
+
+  // Full multilevel.
+  BisectionOptions full;
+  const int64_t multilevel_cut =
+      report("multilevel (coarsen + GGGP + FM)", [&] {
+        return Bisect(wg, full);
+      });
+
+  std::printf(
+      "\ncut reduction vs random: GGGP %.1fx, +FM %.1fx, multilevel %.1fx\n",
+      static_cast<double>(random_cut) / gggp_cut,
+      static_cast<double>(random_cut) / flat_cut,
+      static_cast<double>(random_cut) / multilevel_cut);
+  return 0;
+}

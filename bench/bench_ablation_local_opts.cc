@@ -1,0 +1,84 @@
+// Ablation (design-choice bench, not a paper table): local propagation and
+// local combination in isolation. The paper evaluates them only jointly
+// (O3/O4); this bench separates the two effects:
+//   - local propagation alone removes the inner-message disk materialization
+//     but leaves cross-partition traffic unmerged;
+//   - local combination alone merges cross-partition messages but still
+//     spills inner messages to disk.
+
+#include <cstdio>
+
+#include "apps/network_ranking.h"
+#include "apps/two_hop_friends.h"
+#include "bench/bench_common.h"
+#include "propagation/runner.h"
+
+namespace {
+
+using namespace surfer;
+using namespace surfer::bench;
+
+template <typename App>
+RunMetrics RunWithFlags(const SurferEngine& engine, App app,
+                        bool local_propagation, bool local_combination,
+                        int iterations) {
+  BenchmarkSetup setup = engine.MakeSetup(OptimizationLevel::kO4);
+  setup.sim_options = MakeScaledSimOptions();
+  PropagationConfig config;
+  config.local_propagation = local_propagation;
+  config.local_combination = local_combination;
+  config.iterations = iterations;
+  PropagationRunner<App> runner(setup.graph, setup.placement, setup.topology,
+                                app, config);
+  auto metrics = runner.Run(setup.sim_options);
+  SURFER_CHECK(metrics.ok());
+  return *metrics;
+}
+
+template <typename App>
+void Report(const char* name, const SurferEngine& engine, App app,
+            int iterations) {
+  struct Config {
+    const char* label;
+    bool local_propagation;
+    bool local_combination;
+  };
+  const Config configs[] = {
+      {"neither (O1-style)", false, false},
+      {"local propagation only", true, false},
+      {"local combination only", false, true},
+      {"both (O4-style)", true, true},
+  };
+  std::printf("\n%s:\n%-26s %14s %14s %14s\n", name, "configuration",
+              "response (s)", "network MiB", "disk MiB");
+  for (const Config& config : configs) {
+    const RunMetrics m =
+        RunWithFlags(engine, app, config.local_propagation,
+                     config.local_combination, iterations);
+    std::printf("%-26s %14.1f %14.2f %14.2f\n", config.label,
+                m.response_time_s, m.network_bytes / kMiB,
+                m.disk_bytes / kMiB);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const Graph graph = MakeBenchGraph();
+  const Topology topology = MakeScaledT1(32);
+  auto engine = BuildEngine(graph, topology, 64);
+  std::printf("graph: %s\n", ComputeGraphStats(graph).ToString().c_str());
+
+  PrintHeader("Ablation: local propagation vs local combination");
+  Report("NR (message-light, associative)", *engine,
+         NetworkRankingApp(graph.num_vertices()), 3);
+  Report("TFL (message-heavy lists)", *engine,
+         TwoHopFriendsApp(&engine->partitioned_graph().encoding()), 1);
+  std::printf(
+      "\nReading: local combination (per-target merging of local and remote "
+      "messages) carries most of the\nsavings on these graphs; local "
+      "propagation's share tracks the inner-vertex ratio, which is modest\n"
+      "at this scale. Both effects compose in the 'both' row (the paper's "
+      "O4).\n");
+  return 0;
+}

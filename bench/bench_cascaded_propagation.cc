@@ -1,0 +1,71 @@
+// Reproduces the Section 6.3 multi-iteration experiment: cascaded
+// propagation for network ranking across iteration counts. The paper reports
+// that ~7% of MSN vertices are in V_k (k >= 2), and that at three iterations
+// cascading improves response time by ~8% and cuts disk I/O by ~12%, with a
+// stable improvement as iterations grow.
+
+#include <cstdio>
+
+#include "apps/network_ranking.h"
+#include "bench/bench_common.h"
+#include "propagation/cascade.h"
+#include "propagation/runner.h"
+
+int main() {
+  using namespace surfer;
+  using namespace surfer::bench;
+
+  // Coarse partitions raise the inner share, giving cascading vertices to
+  // work with (V_k >= 2 needs interior depth).
+  BenchGraphOptions graph_options;
+  graph_options.num_communities = 4;
+  const Graph graph = MakeBenchGraph(graph_options);
+  const Topology topology = MakeScaledT1(32);
+  auto engine = BuildEngine(graph, topology, 32);
+  std::printf("graph: %s\n", ComputeGraphStats(graph).ToString().c_str());
+
+  const CascadeInfo info = ComputeCascadeInfo(engine->partitioned_graph());
+  PrintHeader("Cascaded propagation (Section 6.3)");
+  std::printf("V_k ratios:  k>=1: %.1f%%   k>=2: %.1f%%   k>=3: %.1f%%   "
+              "(paper: k>=2 is ~7%%)\n",
+              100.0 * info.RatioAtLeast(1), 100.0 * info.RatioAtLeast(2),
+              100.0 * info.RatioAtLeast(3));
+  std::printf("d_min (cascade phase length): %u\n\n", info.d_min);
+
+  std::printf("%-11s %14s %16s %12s %14s %14s %10s\n", "Iterations",
+              "Naive resp (s)", "Cascaded resp (s)", "Resp saved",
+              "Naive disk MiB", "Casc disk MiB", "Disk saved");
+  for (int iterations : {2, 3, 5, 8}) {
+    BenchmarkSetup setup = engine->MakeSetup(OptimizationLevel::kO4);
+    setup.sim_options = MakeScaledSimOptions();
+    NetworkRankingApp app(graph.num_vertices());
+
+    PropagationConfig naive;
+    naive.iterations = iterations;
+    PropagationRunner<NetworkRankingApp> naive_runner(
+        setup.graph, setup.placement, setup.topology, app, naive);
+    auto naive_metrics = naive_runner.Run(setup.sim_options);
+    SURFER_CHECK(naive_metrics.ok());
+
+    PropagationConfig cascaded = naive;
+    cascaded.cascaded = true;
+    PropagationRunner<NetworkRankingApp> cascaded_runner(
+        setup.graph, setup.placement, setup.topology, app, cascaded);
+    auto cascaded_metrics = cascaded_runner.Run(setup.sim_options);
+    SURFER_CHECK(cascaded_metrics.ok());
+
+    std::printf("%-11d %14.1f %16.1f %11.1f%% %14.1f %14.1f %9.1f%%\n",
+                iterations, naive_metrics->response_time_s,
+                cascaded_metrics->response_time_s,
+                100.0 * (1.0 - cascaded_metrics->response_time_s /
+                                   naive_metrics->response_time_s),
+                naive_metrics->disk_bytes / kMiB,
+                cascaded_metrics->disk_bytes / kMiB,
+                100.0 * (1.0 - cascaded_metrics->disk_bytes /
+                                   naive_metrics->disk_bytes));
+  }
+  std::printf(
+      "\nPaper: ~8%% response and ~12%% disk I/O saved at 3 iterations, "
+      "stable as iterations grow,\nmatching the V_k (k>=2) ratio.\n");
+  return 0;
+}

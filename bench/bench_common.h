@@ -1,0 +1,88 @@
+#ifndef SURFER_BENCH_BENCH_COMMON_H_
+#define SURFER_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "apps/benchmark_suite.h"
+#include "common/logging.h"
+#include "common/units.h"
+#include "core/sim_scale.h"
+#include "core/surfer.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+
+namespace surfer {
+namespace bench {
+
+/// Standard experiment scale. Every bench uses the same social graph recipe
+/// (the scaled-down MSN stand-in) unless it sweeps size itself. The graph is
+/// sized so each binary finishes in tens of seconds; the simulated hardware
+/// is scaled down by the same factor as the data (see core/sim_scale.h), so
+/// stage times land in the paper's regime.
+struct BenchGraphOptions {
+  VertexId num_vertices = 1 << 16;
+  double avg_out_degree = 12.0;
+  /// Community granularity tuned so that the default 64 partitions subdivide
+  /// communities (two partitions per community): partitions keep strong
+  /// internal locality while sibling partitions share heavy intra-community
+  /// traffic — the proximity regime of Section 4.1 and the inner-edge-ratio
+  /// band of Table 5.
+  uint32_t num_communities = 32;
+  uint64_t seed = 2010;
+};
+
+inline Graph MakeBenchGraph(const BenchGraphOptions& options = {}) {
+  SocialGraphOptions graph_options;
+  graph_options.num_vertices = options.num_vertices;
+  graph_options.avg_out_degree = options.avg_out_degree;
+  graph_options.num_communities = options.num_communities;
+  graph_options.seed = options.seed;
+  auto graph = GenerateSocialGraph(graph_options);
+  SURFER_CHECK(graph.ok()) << graph.status().ToString();
+  return std::move(graph).value();
+}
+
+/// Builds a Surfer engine over `graph` on `topology`.
+inline std::unique_ptr<SurferEngine> BuildEngine(const Graph& graph,
+                                                 const Topology& topology,
+                                                 uint32_t partitions = 64) {
+  SurferOptions options;
+  options.num_partitions = partitions;
+  auto engine = SurferEngine::Build(graph, topology, options);
+  SURFER_CHECK(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+/// Runs one benchmark app through propagation at an optimization level.
+inline AppRunResult RunPropagation(const SurferEngine& engine,
+                                   const BenchmarkApp& app,
+                                   OptimizationLevel level) {
+  BenchmarkSetup setup = engine.MakeSetup(level);
+  setup.sim_options = MakeScaledSimOptions();
+  auto result = app.run_propagation(setup, PropagationConfig::ForLevel(level));
+  SURFER_CHECK(result.ok()) << app.name << ": " << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Runs one benchmark app through MapReduce (always on the bandwidth-aware
+/// layout, matching the paper's comparison).
+inline AppRunResult RunMapReduce(const SurferEngine& engine,
+                                 const BenchmarkApp& app) {
+  BenchmarkSetup setup = engine.MakeSetup(OptimizationLevel::kO4);
+  setup.sim_options = MakeScaledSimOptions();
+  auto result = app.run_mapreduce(setup);
+  SURFER_CHECK(result.ok()) << app.name << ": " << result.status().ToString();
+  return std::move(result).value();
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace surfer
+
+#endif  // SURFER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,36 @@
+// Reproduces Figure 12: MapReduce vs propagation for network ranking as the
+// cluster grows from 8 to 32 machines (fixed graph).
+//
+// Shape target: propagation stays several times faster at every cluster
+// size (the paper reports 4.6-7.8x).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace surfer;
+  using namespace surfer::bench;
+
+  const Graph graph = MakeBenchGraph();
+  std::printf("graph: %s\n", ComputeGraphStats(graph).ToString().c_str());
+
+  const BenchmarkApp* nr = FindBenchmarkApp("NR");
+  SURFER_CHECK(nr != nullptr);
+
+  PrintHeader("Figure 12: NR, MapReduce vs propagation across cluster sizes");
+  std::printf("%-10s %14s %16s %9s\n", "Machines", "MR resp (s)",
+              "Prop resp (s)", "Speedup");
+  for (uint32_t machines : {8u, 16u, 24u, 32u}) {
+    const Topology topology = MakeScaledT1(machines);
+    auto engine = BuildEngine(graph, topology, 64);
+    const AppRunResult mr = RunMapReduce(*engine, *nr);
+    const AppRunResult prop =
+        RunPropagation(*engine, *nr, OptimizationLevel::kO4);
+    std::printf("%-10u %14.1f %16.1f %8.2fx\n", machines,
+                mr.metrics.response_time_s, prop.metrics.response_time_s,
+                mr.metrics.response_time_s / prop.metrics.response_time_s);
+  }
+  std::printf("\nPaper: propagation is 4.6-7.8x faster across 8-32 machines.\n");
+  return 0;
+}

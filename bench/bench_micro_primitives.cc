@@ -1,0 +1,119 @@
+// Google-benchmark microbenchmarks for the hot primitives underneath the
+// experiment harness: graph construction, BFS, one multilevel bisection,
+// one propagation iteration, and one MapReduce job. These measure *real*
+// wall-clock throughput of this library (unlike the table/figure benches,
+// whose times are simulated cluster seconds).
+
+#include <benchmark/benchmark.h>
+
+#include "apps/network_ranking.h"
+#include "bench/bench_common.h"
+#include "graph/algorithms.h"
+#include "mapreduce/runner.h"
+#include "partition/bisection.h"
+#include "partition/weighted_graph.h"
+#include "propagation/runner.h"
+
+namespace {
+
+using namespace surfer;
+using namespace surfer::bench;
+
+const Graph& SharedGraph() {
+  static const Graph* graph = new Graph(MakeBenchGraph(
+      {.num_vertices = 1 << 14, .avg_out_degree = 10.0, .num_communities = 8,
+       .seed = 99}));
+  return *graph;
+}
+
+const SurferEngine& SharedEngine() {
+  static const SurferEngine* engine = [] {
+    static const Topology* topology = new Topology(MakeScaledT1(16));
+    return BuildEngine(SharedGraph(), *topology, 16).release();
+  }();
+  return *engine;
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  RmatOptions options;
+  options.num_vertices = static_cast<VertexId>(state.range(0));
+  options.num_edges = 8u * options.num_vertices;
+  for (auto _ : state) {
+    auto graph = GenerateRmat(options);
+    benchmark::DoNotOptimize(graph);
+  }
+  state.SetItemsProcessed(state.iterations() * options.num_edges);
+}
+BENCHMARK(BM_GraphBuild)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_Bfs(benchmark::State& state) {
+  const Graph& graph = SharedGraph();
+  VertexId source = 0;
+  for (auto _ : state) {
+    auto dist = BfsDistances(graph, source);
+    benchmark::DoNotOptimize(dist);
+    source = (source + 1) % graph.num_vertices();
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_edges());
+}
+BENCHMARK(BM_Bfs);
+
+void BM_ReferencePageRankIteration(benchmark::State& state) {
+  const Graph& graph = SharedGraph();
+  for (auto _ : state) {
+    auto ranks = ReferencePageRank(graph, 1);
+    benchmark::DoNotOptimize(ranks);
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_edges());
+}
+BENCHMARK(BM_ReferencePageRankIteration);
+
+void BM_MultilevelBisection(benchmark::State& state) {
+  const WeightedGraph wg = WeightedGraph::FromDataGraph(SharedGraph());
+  BisectionOptions options;
+  for (auto _ : state) {
+    options.seed += 1;  // vary the seed so runs are independent
+    auto result = Bisect(wg, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * wg.num_half_edges());
+}
+BENCHMARK(BM_MultilevelBisection);
+
+void BM_PropagationIteration(benchmark::State& state) {
+  const SurferEngine& engine = SharedEngine();
+  BenchmarkSetup setup = engine.MakeSetup(OptimizationLevel::kO4);
+  setup.sim_options = MakeScaledSimOptions();
+  NetworkRankingApp app(SharedGraph().num_vertices());
+  PropagationConfig config;
+  config.iterations = 1;
+  for (auto _ : state) {
+    PropagationRunner<NetworkRankingApp> runner(
+        setup.graph, setup.placement, setup.topology, app, config);
+    auto metrics = runner.Run(setup.sim_options);
+    benchmark::DoNotOptimize(metrics);
+  }
+  state.SetItemsProcessed(state.iterations() * SharedGraph().num_edges());
+}
+BENCHMARK(BM_PropagationIteration);
+
+void BM_MapReduceJob(benchmark::State& state) {
+  const SurferEngine& engine = SharedEngine();
+  BenchmarkSetup setup = engine.MakeSetup(OptimizationLevel::kO4);
+  setup.sim_options = MakeScaledSimOptions();
+  const VertexId n = SharedGraph().num_vertices();
+  std::vector<double> ranks(n, 1.0 / n);
+  for (auto _ : state) {
+    NetworkRankingMrApp app(&ranks, n);
+    MapReduceRunner<NetworkRankingMrApp> runner(
+        setup.graph, setup.placement, setup.topology, app);
+    auto metrics = runner.Run(setup.sim_options);
+    benchmark::DoNotOptimize(metrics);
+  }
+  state.SetItemsProcessed(state.iterations() * SharedGraph().num_edges());
+}
+BENCHMARK(BM_MapReduceJob);
+
+}  // namespace
+
+BENCHMARK_MAIN();

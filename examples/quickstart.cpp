@@ -1,0 +1,103 @@
+// Quickstart: build a social graph, partition it with Surfer, and run
+// PageRank through both primitives on a simulated 32-machine cloud.
+//
+//   $ ./build/examples/quickstart
+//
+// This walks the whole public API surface: generators -> SurferEngine
+// (partitioning + placement) -> propagation and MapReduce runners ->
+// metrics.
+
+#include <cstdio>
+
+#include "apps/benchmark_suite.h"
+#include "apps/network_ranking.h"
+#include "cluster/topology.h"
+#include "common/units.h"
+#include "core/sim_scale.h"
+#include "core/surfer.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "propagation/runner.h"
+
+int main() {
+  using namespace surfer;
+
+  // 1. A scaled-down stand-in for the MSN social snapshot (Appendix F.1's
+  //    synthetic recipe: small-world communities stitched by rewired edges).
+  SocialGraphOptions graph_options;
+  graph_options.num_vertices = 1 << 15;
+  graph_options.avg_out_degree = 12.0;
+  graph_options.num_communities = 16;
+  auto graph_result = GenerateSocialGraph(graph_options);
+  if (!graph_result.ok()) {
+    std::fprintf(stderr, "graph generation failed: %s\n",
+                 graph_result.status().ToString().c_str());
+    return 1;
+  }
+  const Graph& graph = *graph_result;
+  std::printf("graph: %s\n", ComputeGraphStats(graph).ToString().c_str());
+
+  // 2. A 32-machine cluster with the paper's default tree topology T2(4,2).
+  // Hardware is scaled down by the same factor as the data so byte-volume
+  // costs dominate fixed overheads, as on the paper's real cluster.
+  Topology topology = MakeScaledT2(/*machines=*/32, /*pods=*/4, /*levels=*/2);
+  std::printf("cluster: %u machines, topology %s\n", topology.num_machines(),
+              topology.Name().c_str());
+
+  // 3. Partition + place the graph (bandwidth-aware and baseline layouts).
+  SurferOptions options;
+  options.num_partitions = 64;
+  auto engine_result = SurferEngine::Build(graph, topology, options);
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine_result.status().ToString().c_str());
+    return 1;
+  }
+  SurferEngine& engine = **engine_result;
+  std::printf("partitioning: %s\n", engine.quality().ToString().c_str());
+  std::printf("inner vertex ratio: %.3f\n",
+              engine.partitioned_graph().InnerVertexRatio());
+
+  // 4. PageRank via propagation (three iterations, all optimizations on).
+  BenchmarkSetup setup = engine.MakeSetup(OptimizationLevel::kO4);
+  setup.sim_options = MakeScaledSimOptions();
+  NetworkRankingApp app(graph.num_vertices());
+  PropagationConfig config;
+  config.iterations = 3;
+  PropagationRunner<NetworkRankingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  auto metrics = runner.Run(setup.sim_options);
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "propagation failed: %s\n",
+                 metrics.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("propagation NR:  %s\n", metrics->Summary().c_str());
+
+  // Sanity: compare with the single-machine reference PageRank.
+  const auto reference = ReferencePageRank(graph, 3);
+  double max_err = 0.0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const double err =
+        reference[v] - runner.StateOfOriginal(v);
+    max_err = std::max(max_err, err < 0 ? -err : err);
+  }
+  std::printf("max |surfer - reference| rank error: %.3e\n", max_err);
+
+  // 5. The same job through the MapReduce primitive, for comparison.
+  JobSimulation sim(setup.topology, setup.sim_options);
+  auto mr_ranks = RunNetworkRankingMapReduce(
+      *setup.graph, *setup.placement, *setup.topology, &sim, 3);
+  if (!mr_ranks.ok()) {
+    std::fprintf(stderr, "mapreduce failed: %s\n",
+                 mr_ranks.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("mapreduce  NR:  %s\n", sim.metrics().Summary().c_str());
+  std::printf(
+      "propagation speedup: %.2fx response, %.1f%% less network I/O\n",
+      sim.metrics().response_time_s / metrics->response_time_s,
+      100.0 * (1.0 - metrics->network_bytes / sim.metrics().network_bytes));
+  return 0;
+}

@@ -1,0 +1,268 @@
+#include "apps/benchmark_suite.h"
+
+#include <cmath>
+
+#include "apps/degree_distribution.h"
+#include "apps/network_ranking.h"
+#include "apps/recommender.h"
+#include "apps/reverse_link_graph.h"
+#include "apps/triangle_counting.h"
+#include "apps/two_hop_friends.h"
+#include "mapreduce/runner.h"
+#include "propagation/runner.h"
+
+namespace surfer {
+
+namespace {
+
+/// Mixes a per-vertex quantity into a position-independent checksum. The
+/// weight depends on the *original* vertex ID so two runs with different
+/// partitionings still agree.
+double WeightOf(const VertexEncoding& encoding, VertexId encoded) {
+  return 1.0 + static_cast<double>(encoding.ToOriginal(encoded) % 97);
+}
+
+// ---------------------------------------------------------------- NR ----
+
+Result<AppRunResult> RunNrPropagation(const BenchmarkSetup& setup,
+                                      const PropagationConfig& config,
+                                      int iterations) {
+  NetworkRankingApp app(setup.graph->encoded_graph().num_vertices());
+  PropagationConfig cfg = config;
+  cfg.iterations = iterations;
+  PropagationRunner<NetworkRankingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, cfg);
+  SURFER_ASSIGN_OR_RETURN(RunMetrics metrics, runner.Run(setup.sim_options));
+  AppRunResult result{metrics, 0.0};
+  const auto& states = runner.states();
+  for (VertexId v = 0; v < states.size(); ++v) {
+    result.checksum += states[v] * WeightOf(setup.graph->encoding(), v);
+  }
+  return result;
+}
+
+Result<AppRunResult> RunNrMapReduce(const BenchmarkSetup& setup,
+                                    int iterations) {
+  JobSimulation sim(setup.topology, setup.sim_options);
+  SURFER_ASSIGN_OR_RETURN(
+      std::vector<double> ranks,
+      RunNetworkRankingMapReduce(*setup.graph, *setup.placement,
+                                 *setup.topology, &sim, iterations));
+  AppRunResult result{sim.metrics(), 0.0};
+  for (VertexId v = 0; v < ranks.size(); ++v) {
+    result.checksum += ranks[v] * WeightOf(setup.graph->encoding(), v);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------- RS ----
+
+Result<AppRunResult> RunRsPropagation(const BenchmarkSetup& setup,
+                                      const PropagationConfig& config,
+                                      int iterations) {
+  RecommenderApp app(&setup.graph->encoding(), RecommenderParams{});
+  PropagationConfig cfg = config;
+  cfg.iterations = iterations;
+  cfg.cascaded = false;  // round-dependent combine cannot cascade
+  PropagationRunner<RecommenderApp> runner(setup.graph, setup.placement,
+                                           setup.topology, app, cfg);
+  SURFER_ASSIGN_OR_RETURN(RunMetrics metrics, runner.Run(setup.sim_options));
+  AppRunResult result{metrics, 0.0};
+  const auto& states = runner.states();
+  for (VertexId v = 0; v < states.size(); ++v) {
+    if (states[v] != 0) {
+      result.checksum += WeightOf(setup.graph->encoding(), v) *
+                         static_cast<double>(states[v]);
+    }
+  }
+  return result;
+}
+
+Result<AppRunResult> RunRsMapReduce(const BenchmarkSetup& setup,
+                                    int iterations) {
+  JobSimulation sim(setup.topology, setup.sim_options);
+  SURFER_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> states,
+      RunRecommenderMapReduce(*setup.graph, *setup.placement, *setup.topology,
+                              &sim, iterations));
+  AppRunResult result{sim.metrics(), 0.0};
+  for (VertexId v = 0; v < states.size(); ++v) {
+    if (states[v] != 0) {
+      result.checksum += WeightOf(setup.graph->encoding(), v) *
+                         static_cast<double>(states[v]);
+    }
+  }
+  return result;
+}
+
+// --------------------------------------------------------------- VDD ----
+
+Result<AppRunResult> RunVddPropagation(const BenchmarkSetup& setup,
+                                       const PropagationConfig& config) {
+  DegreeDistributionApp app;
+  PropagationConfig cfg = config;
+  cfg.iterations = 1;
+  PropagationRunner<DegreeDistributionApp> runner(
+      setup.graph, setup.placement, setup.topology, app, cfg);
+  SURFER_ASSIGN_OR_RETURN(RunMetrics metrics, runner.Run(setup.sim_options));
+  AppRunResult result{metrics, 0.0};
+  for (const auto& [degree, count] : runner.virtual_outputs()) {
+    result.checksum += static_cast<double>((degree + 1) * count);
+  }
+  return result;
+}
+
+Result<AppRunResult> RunVddMapReduce(const BenchmarkSetup& setup) {
+  DegreeDistributionMrApp app;
+  MapReduceRunner<DegreeDistributionMrApp> runner(
+      setup.graph, setup.placement, setup.topology, app);
+  SURFER_ASSIGN_OR_RETURN(RunMetrics metrics, runner.Run(setup.sim_options));
+  AppRunResult result{metrics, 0.0};
+  for (const auto& [degree, count] : runner.outputs()) {
+    result.checksum += static_cast<double>((degree + 1) * count);
+  }
+  return result;
+}
+
+// --------------------------------------------------------------- RLG ----
+
+Result<AppRunResult> RunRlgPropagation(const BenchmarkSetup& setup,
+                                       const PropagationConfig& config) {
+  ReverseLinkGraphApp app;
+  PropagationConfig cfg = config;
+  cfg.iterations = 1;
+  PropagationRunner<ReverseLinkGraphApp> runner(
+      setup.graph, setup.placement, setup.topology, app, cfg);
+  SURFER_ASSIGN_OR_RETURN(RunMetrics metrics, runner.Run(setup.sim_options));
+  AppRunResult result{metrics, 0.0};
+  const auto& states = runner.states();
+  for (VertexId v = 0; v < states.size(); ++v) {
+    result.checksum += static_cast<double>(states[v].size()) *
+                       WeightOf(setup.graph->encoding(), v);
+  }
+  return result;
+}
+
+Result<AppRunResult> RunRlgMapReduce(const BenchmarkSetup& setup) {
+  ReverseLinkGraphMrApp app;
+  MapReduceRunner<ReverseLinkGraphMrApp> runner(
+      setup.graph, setup.placement, setup.topology, app);
+  SURFER_ASSIGN_OR_RETURN(RunMetrics metrics, runner.Run(setup.sim_options));
+  AppRunResult result{metrics, 0.0};
+  for (const auto& [v, list] : runner.outputs()) {
+    result.checksum += static_cast<double>(list.size()) *
+                       WeightOf(setup.graph->encoding(), v);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------- TC ----
+
+Result<AppRunResult> RunTcPropagation(const BenchmarkSetup& setup,
+                                      const PropagationConfig& config) {
+  TriangleCountingApp app(&setup.graph->encoding());
+  PropagationConfig cfg = config;
+  cfg.iterations = 1;
+  PropagationRunner<TriangleCountingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, cfg);
+  SURFER_ASSIGN_OR_RETURN(RunMetrics metrics, runner.Run(setup.sim_options));
+  AppRunResult result{metrics, 0.0};
+  for (uint64_t count : runner.states()) {
+    result.checksum += static_cast<double>(count);
+  }
+  return result;
+}
+
+Result<AppRunResult> RunTcMapReduce(const BenchmarkSetup& setup) {
+  TriangleCountingMrApp app(&setup.graph->encoding());
+  MapReduceRunner<TriangleCountingMrApp> runner(
+      setup.graph, setup.placement, setup.topology, app);
+  SURFER_ASSIGN_OR_RETURN(RunMetrics metrics, runner.Run(setup.sim_options));
+  AppRunResult result{metrics, 0.0};
+  for (const auto& [v, count] : runner.outputs()) {
+    (void)v;
+    result.checksum += static_cast<double>(count);
+  }
+  return result;
+}
+
+// --------------------------------------------------------------- TFL ----
+
+Result<AppRunResult> RunTflPropagation(const BenchmarkSetup& setup,
+                                       const PropagationConfig& config) {
+  TwoHopFriendsApp app(&setup.graph->encoding());
+  PropagationConfig cfg = config;
+  cfg.iterations = 1;
+  PropagationRunner<TwoHopFriendsApp> runner(
+      setup.graph, setup.placement, setup.topology, app, cfg);
+  SURFER_ASSIGN_OR_RETURN(RunMetrics metrics, runner.Run(setup.sim_options));
+  AppRunResult result{metrics, 0.0};
+  const auto& states = runner.states();
+  for (VertexId v = 0; v < states.size(); ++v) {
+    result.checksum += static_cast<double>(states[v].size()) *
+                       WeightOf(setup.graph->encoding(), v);
+  }
+  return result;
+}
+
+Result<AppRunResult> RunTflMapReduce(const BenchmarkSetup& setup) {
+  TwoHopFriendsMrApp app(&setup.graph->encoding());
+  MapReduceRunner<TwoHopFriendsMrApp> runner(setup.graph, setup.placement,
+                                             setup.topology, app);
+  SURFER_ASSIGN_OR_RETURN(RunMetrics metrics, runner.Run(setup.sim_options));
+  AppRunResult result{metrics, 0.0};
+  for (const auto& [v, list] : runner.outputs()) {
+    result.checksum += static_cast<double>(list.size()) *
+                       WeightOf(setup.graph->encoding(), v);
+  }
+  return result;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkApp>& BenchmarkApps() {
+  static const std::vector<BenchmarkApp>* apps = new std::vector<BenchmarkApp>{
+      {"VDD", "vertex degree distribution", 1,
+       [](const BenchmarkSetup& s, const PropagationConfig& c) {
+         return RunVddPropagation(s, c);
+       },
+       [](const BenchmarkSetup& s) { return RunVddMapReduce(s); }},
+      {"RS", "recommender system", 3,
+       [](const BenchmarkSetup& s, const PropagationConfig& c) {
+         return RunRsPropagation(s, c, 3);
+       },
+       [](const BenchmarkSetup& s) { return RunRsMapReduce(s, 3); }},
+      {"NR", "network ranking (PageRank)", 3,
+       [](const BenchmarkSetup& s, const PropagationConfig& c) {
+         return RunNrPropagation(s, c, 3);
+       },
+       [](const BenchmarkSetup& s) { return RunNrMapReduce(s, 3); }},
+      {"RLG", "reverse link graph", 1,
+       [](const BenchmarkSetup& s, const PropagationConfig& c) {
+         return RunRlgPropagation(s, c);
+       },
+       [](const BenchmarkSetup& s) { return RunRlgMapReduce(s); }},
+      {"TC", "triangle counting", 1,
+       [](const BenchmarkSetup& s, const PropagationConfig& c) {
+         return RunTcPropagation(s, c);
+       },
+       [](const BenchmarkSetup& s) { return RunTcMapReduce(s); }},
+      {"TFL", "two-hop friends list", 1,
+       [](const BenchmarkSetup& s, const PropagationConfig& c) {
+         return RunTflPropagation(s, c);
+       },
+       [](const BenchmarkSetup& s) { return RunTflMapReduce(s); }},
+  };
+  return *apps;
+}
+
+const BenchmarkApp* FindBenchmarkApp(const std::string& name) {
+  for (const BenchmarkApp& app : BenchmarkApps()) {
+    if (app.name == name) {
+      return &app;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace surfer

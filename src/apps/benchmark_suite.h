@@ -1,0 +1,59 @@
+#ifndef SURFER_APPS_BENCHMARK_SUITE_H_
+#define SURFER_APPS_BENCHMARK_SUITE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/metrics.h"
+#include "cluster/topology.h"
+#include "common/result.h"
+#include "engine/job_simulation.h"
+#include "propagation/config.h"
+#include "storage/partitioned_graph.h"
+#include "storage/replication.h"
+
+namespace surfer {
+
+/// Everything an application run needs: the partitioned data, where the
+/// partitions live, and the network it runs on.
+struct BenchmarkSetup {
+  const PartitionedGraph* graph = nullptr;
+  const ReplicatedPlacement* placement = nullptr;
+  const Topology* topology = nullptr;
+  JobSimulationOptions sim_options;
+};
+
+/// The outcome of one application run: simulated metrics plus a
+/// deterministic checksum of the computed result, used to verify that every
+/// primitive and optimization level computes the same answer.
+struct AppRunResult {
+  RunMetrics metrics;
+  double checksum = 0.0;
+};
+
+using PropagationRunnerFn = std::function<Result<AppRunResult>(
+    const BenchmarkSetup&, const PropagationConfig&)>;
+using MapReduceRunnerFn =
+    std::function<Result<AppRunResult>(const BenchmarkSetup&)>;
+
+/// One of the paper's six workloads (Section 6.1), runnable through either
+/// primitive.
+struct BenchmarkApp {
+  std::string name;       ///< the paper's abbreviation: NR, RS, TC, ...
+  std::string full_name;  ///< e.g. "network ranking"
+  int default_iterations = 1;
+  PropagationRunnerFn run_propagation;
+  MapReduceRunnerFn run_mapreduce;
+};
+
+/// The full workload suite in the paper's Table 2 order:
+/// VDD, RS, NR, RLG, TC, TFL.
+const std::vector<BenchmarkApp>& BenchmarkApps();
+
+/// Finds an app by abbreviation; nullptr if unknown.
+const BenchmarkApp* FindBenchmarkApp(const std::string& name);
+
+}  // namespace surfer
+
+#endif  // SURFER_APPS_BENCHMARK_SUITE_H_

@@ -1,0 +1,53 @@
+#ifndef SURFER_APPS_COMMON_H_
+#define SURFER_APPS_COMMON_H_
+
+#include <cstdint>
+
+#include "graph/types.h"
+#include "partition/vertex_encoding.h"
+
+namespace surfer {
+
+/// Deterministic 64-bit mix (SplitMix64 finalizer); all probabilistic app
+/// behaviour (vertex sampling, recommendation acceptance) is derived from
+/// it so every primitive and optimization level computes identical results.
+constexpr uint64_t MixHash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Samples vertices by *original* ID so the selected set is identical across
+/// partitionings, layouts and primitives. `permille` of 1000 selects ~all.
+class VertexSampler {
+ public:
+  VertexSampler(const VertexEncoding* encoding, uint32_t permille,
+                uint64_t seed)
+      : encoding_(encoding), permille_(permille), seed_(seed) {}
+
+  /// True when the *encoded* vertex is selected.
+  bool SelectedEncoded(VertexId encoded) const {
+    return SelectedOriginal(encoding_->ToOriginal(encoded));
+  }
+  /// True when the *original* vertex is selected.
+  bool SelectedOriginal(VertexId original) const {
+    return MixHash(original * 0x100000001b3ULL + seed_) % 1000 < permille_;
+  }
+
+ private:
+  const VertexEncoding* encoding_;
+  uint32_t permille_;
+  uint64_t seed_;
+};
+
+/// The paper's default sampling ratio for TC and TFL ("the ratio of selected
+/// vertices is 10% in our experiments", Appendix D).
+inline constexpr uint32_t kDefaultSamplePermille = 100;
+
+/// PageRank defaults (the paper's update rule, Section 3.1).
+inline constexpr double kDefaultDamping = 0.85;
+
+}  // namespace surfer
+
+#endif  // SURFER_APPS_COMMON_H_

@@ -1,0 +1,90 @@
+#ifndef SURFER_APPS_DEGREE_DISTRIBUTION_H_
+#define SURFER_APPS_DEGREE_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/common.h"
+#include "mapreduce/mapreduce.h"
+#include "propagation/app_traits.h"
+
+namespace surfer {
+
+/// Vertex degree distribution (VDD, Appendix D): a vertex-oriented task.
+/// Propagation emulates MapReduce with *virtual vertices* (Section 3.2):
+/// each vertex emits its out-degree count to the virtual vertex whose ID is
+/// the degree value; the virtual vertex combines the counts. This is the one
+/// benchmark app where propagation has no structural advantage — matching
+/// the paper, which reports VDD parity between the two primitives.
+class DegreeDistributionApp {
+ public:
+  using VertexState = uint8_t;   // no per-vertex output
+  using Message = uint64_t;      // partial count of vertices with the degree
+  using VirtualOutput = uint64_t;
+
+  VertexState InitState(VertexId /*v*/,
+                        std::span<const VertexId> /*neighbors*/) const {
+    return 0;
+  }
+
+  void Transfer(VertexId /*v*/, const VertexState& /*state*/,
+                std::span<const VertexId> neighbors,
+                PropagationEmitter<Message>& emitter) const {
+    emitter.EmitVirtual(static_cast<uint64_t>(neighbors.size()), 1);
+  }
+
+  void Combine(VertexId /*v*/, VertexState& /*state*/,
+               std::span<const VertexId> /*neighbors*/,
+               std::vector<Message>& /*messages*/) const {}
+
+  Message Merge(const Message& a, const Message& b) const { return a + b; }
+
+  VirtualOutput CombineVirtual(uint64_t /*degree*/,
+                               std::vector<Message>& messages) const {
+    uint64_t count = 0;
+    for (Message m : messages) {
+      count += m;
+    }
+    return count;
+  }
+
+  /// On the wire: virtual-vertex ID (the degree) + partial count.
+  size_t MessageBytes(const Message&) const { return 2 * sizeof(uint64_t); }
+  size_t StateBytes(const VertexState&) const { return 1; }
+};
+
+/// MapReduce form of VDD: the natural fit — map emits (degree, 1), reduce
+/// counts.
+class DegreeDistributionMrApp {
+ public:
+  using Key = uint64_t;     // degree value
+  using Value = uint64_t;   // partial count
+  using Output = uint64_t;  // vertices with this degree
+
+  void Map(const PartitionView& partition,
+           MapEmitter<Key, Value>& emitter) const {
+    for (VertexId v = partition.begin(); v < partition.end(); ++v) {
+      emitter.Emit(static_cast<uint64_t>(partition.OutDegree(v)), 1);
+    }
+  }
+
+  Output Reduce(const Key& /*degree*/, std::vector<Value>& values) const {
+    uint64_t count = 0;
+    for (Value v : values) {
+      count += v;
+    }
+    return count;
+  }
+
+  Value CombineValues(const Value& a, const Value& b) const { return a + b; }
+
+  size_t PairBytes(const Key&, const Value&) const {
+    return 2 * sizeof(uint64_t);
+  }
+  size_t OutputBytes(const Output&) const { return 2 * sizeof(uint64_t); }
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_APPS_DEGREE_DISTRIBUTION_H_

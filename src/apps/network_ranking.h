@@ -1,0 +1,153 @@
+#ifndef SURFER_APPS_NETWORK_RANKING_H_
+#define SURFER_APPS_NETWORK_RANKING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/common.h"
+#include "common/result.h"
+#include "engine/job_simulation.h"
+#include "mapreduce/mapreduce.h"
+#include "mapreduce/runner.h"
+#include "propagation/app_traits.h"
+#include "propagation/runner.h"
+
+namespace surfer {
+
+/// Network ranking (NR): PageRank over the social graph (Section 3.1,
+/// Appendix D Algorithm 1). Propagation form: transfer sends
+/// rank * d / |neighbors| along each out-edge; combine folds the awarded
+/// partial ranks plus the random-jump term.
+class NetworkRankingApp {
+ public:
+  using VertexState = double;  // current rank
+  using Message = double;      // partial rank
+
+  NetworkRankingApp(VertexId num_vertices, double damping = kDefaultDamping)
+      : num_vertices_(num_vertices), damping_(damping) {}
+
+  VertexState InitState(VertexId /*v*/,
+                        std::span<const VertexId> /*neighbors*/) const {
+    return 1.0 / static_cast<double>(num_vertices_);
+  }
+
+  void Transfer(VertexId /*v*/, const VertexState& state,
+                std::span<const VertexId> neighbors,
+                PropagationEmitter<Message>& emitter) const {
+    if (neighbors.empty()) {
+      return;  // rank leaks, matching the paper's update rule
+    }
+    const Message share =
+        state * damping_ / static_cast<double>(neighbors.size());
+    for (VertexId neighbor : neighbors) {
+      emitter.Emit(neighbor, share);
+    }
+  }
+
+  void Combine(VertexId /*v*/, VertexState& state,
+               std::span<const VertexId> /*neighbors*/,
+               std::vector<Message>& messages) const {
+    double rank = (1.0 - damping_) / static_cast<double>(num_vertices_);
+    for (Message m : messages) {
+      rank += m;
+    }
+    state = rank;
+  }
+
+  /// Partial ranks add: combine is associative, enabling local combination.
+  Message Merge(const Message& a, const Message& b) const { return a + b; }
+
+  /// A partial-rank message on the wire: target vertex ID + value.
+  size_t MessageBytes(const Message&) const {
+    return kStoredVertexIdBytes + sizeof(double);
+  }
+  size_t StateBytes(const VertexState&) const { return sizeof(double); }
+
+ private:
+  VertexId num_vertices_;
+  double damping_;
+};
+
+/// MapReduce form of NR (Appendix D Algorithm 2): map scans a partition and
+/// accumulates partial ranks in a hash table (the map-side combiner);
+/// reduce folds the partials plus the random-jump term.
+class NetworkRankingMrApp {
+ public:
+  using Key = VertexId;
+  using Value = double;   // partial rank
+  using Output = double;  // new rank
+
+  NetworkRankingMrApp(const std::vector<double>* ranks, VertexId num_vertices,
+                      double damping = kDefaultDamping)
+      : ranks_(ranks), num_vertices_(num_vertices), damping_(damping) {}
+
+  void Map(const PartitionView& partition,
+           MapEmitter<Key, Value>& emitter) const {
+    for (VertexId v = partition.begin(); v < partition.end(); ++v) {
+      const auto neighbors = partition.OutNeighbors(v);
+      if (neighbors.empty()) {
+        continue;
+      }
+      const double share = (*ranks_)[v] * damping_ /
+                           static_cast<double>(neighbors.size());
+      for (VertexId neighbor : neighbors) {
+        emitter.Emit(neighbor, share);
+      }
+    }
+  }
+
+  Output Reduce(const Key& /*key*/, std::vector<Value>& values) const {
+    double rank = (1.0 - damping_) / static_cast<double>(num_vertices_);
+    for (Value v : values) {
+      rank += v;
+    }
+    return rank;
+  }
+
+  /// The hash table of Algorithm 2, expressed as a combiner.
+  Value CombineValues(const Value& a, const Value& b) const { return a + b; }
+
+  size_t PairBytes(const Key&, const Value&) const {
+    return sizeof(uint64_t) + sizeof(double);
+  }
+  size_t OutputBytes(const Output&) const {
+    return sizeof(uint64_t) + sizeof(double);
+  }
+  /// Iterative PageRank reads the rank file alongside the partition.
+  size_t MapExtraReadBytes(const PartitionView& partition) const {
+    return partition.num_vertices() * sizeof(double);
+  }
+
+ private:
+  const std::vector<double>* ranks_;
+  VertexId num_vertices_;
+  double damping_;
+};
+
+/// Runs `iterations` of MapReduce PageRank, chaining jobs on one simulation.
+/// Returns the final ranks in encoded-vertex order.
+inline Result<std::vector<double>> RunNetworkRankingMapReduce(
+    const PartitionedGraph& graph, const ReplicatedPlacement& placement,
+    const Topology& topology, JobSimulation* sim, int iterations,
+    double damping = kDefaultDamping) {
+  const VertexId n = graph.encoded_graph().num_vertices();
+  std::vector<double> ranks(n, 1.0 / static_cast<double>(n));
+  for (int it = 0; it < iterations; ++it) {
+    NetworkRankingMrApp app(&ranks, n, damping);
+    MapReduceRunner<NetworkRankingMrApp> runner(&graph, &placement, &topology,
+                                                app);
+    SURFER_RETURN_IF_ERROR(runner.RunWith(sim));
+    // Vertices that received no partial rank still take the jump term.
+    std::vector<double> next(n, (1.0 - damping) / static_cast<double>(n));
+    for (const auto& [v, rank] : runner.outputs()) {
+      next[v] = rank;
+    }
+    ranks.swap(next);
+  }
+  return ranks;
+}
+
+}  // namespace surfer
+
+#endif  // SURFER_APPS_NETWORK_RANKING_H_

@@ -1,0 +1,183 @@
+#ifndef SURFER_APPS_RECOMMENDER_H_
+#define SURFER_APPS_RECOMMENDER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/common.h"
+#include "common/result.h"
+#include "engine/job_simulation.h"
+#include "mapreduce/mapreduce.h"
+#include "mapreduce/runner.h"
+#include "propagation/app_traits.h"
+#include "propagation/runner.h"
+
+namespace surfer {
+
+/// Default RS parameters: 1% of users seed the product; each recommendation
+/// round converts receivers with probability 0.3.
+struct RecommenderParams {
+  uint32_t seed_permille = 10;
+  uint32_t accept_permille = 300;
+  uint64_t seed = 5;
+};
+
+/// Recommender system (RS, Appendix D): product adoption spreading through
+/// the social network. A seed set starts with the product; each iteration,
+/// users recommend it to their friends, who accept with probability
+/// accept_permille/1000. Acceptance is a deterministic hash of
+/// (original vertex, iteration) so every primitive computes the same spread.
+class RecommenderApp {
+ public:
+  /// 0 = not using the product; k >= 1 = adopted at iteration k-1 (seeds: 1).
+  using VertexState = uint32_t;
+  /// "A friend recommends the product." Stored as one byte in memory but
+  /// accounted as a full recommendation record (product ID + flag, 8 bytes)
+  /// in the I/O model.
+  using Message = uint8_t;
+
+  RecommenderApp(const VertexEncoding* encoding, RecommenderParams params)
+      : encoding_(encoding), params_(params) {}
+
+  VertexState InitState(VertexId v,
+                        std::span<const VertexId> /*neighbors*/) const {
+    return IsSeedOriginal(encoding_->ToOriginal(v)) ? 1 : 0;
+  }
+
+  void OnIterationStart(int iteration) {
+    iteration_ = static_cast<uint32_t>(iteration);
+  }
+
+  void Transfer(VertexId /*v*/, const VertexState& state,
+                std::span<const VertexId> neighbors,
+                PropagationEmitter<Message>& emitter) const {
+    if (state == 0) {
+      return;  // not a user yet: nothing to recommend
+    }
+    for (VertexId neighbor : neighbors) {
+      emitter.Emit(neighbor, Message{1});
+    }
+  }
+
+  void Combine(VertexId v, VertexState& state,
+               std::span<const VertexId> /*neighbors*/,
+               std::vector<Message>& messages) const {
+    if (state != 0 || messages.empty()) {
+      return;
+    }
+    if (Accepts(encoding_->ToOriginal(v), iteration_)) {
+      state = iteration_ + 2;
+    }
+  }
+
+  /// Duplicate recommendations collapse into one: combine is associative.
+  Message Merge(const Message& a, const Message& b) const {
+    return a > b ? a : b;
+  }
+
+  /// On the wire: target vertex ID + recommendation record.
+  size_t MessageBytes(const Message&) const { return 16; }
+  size_t StateBytes(const VertexState&) const { return sizeof(uint32_t); }
+
+  bool IsSeedOriginal(VertexId original) const {
+    return MixHash(original + params_.seed * 977ULL) % 1000 <
+           params_.seed_permille;
+  }
+  bool Accepts(VertexId original, uint32_t iteration) const {
+    return MixHash(original * 31ULL + iteration * 131071ULL + params_.seed) %
+               1000 <
+           params_.accept_permille;
+  }
+
+ private:
+  const VertexEncoding* encoding_;
+  RecommenderParams params_;
+  uint32_t iteration_ = 0;
+};
+
+/// MapReduce form of RS: map emits a recommendation to every friend of every
+/// current user; reduce applies the same deterministic acceptance rule.
+class RecommenderMrApp {
+ public:
+  using Key = VertexId;    // encoded receiver
+  using Value = uint8_t;   // recommendation flag
+  using Output = uint8_t;  // 1 = accepted this round
+
+  RecommenderMrApp(const VertexEncoding* encoding,
+                   const std::vector<uint32_t>* states,
+                   RecommenderParams params, uint32_t iteration)
+      : encoding_(encoding),
+        states_(states),
+        params_(params),
+        iteration_(iteration) {}
+
+  void Map(const PartitionView& partition,
+           MapEmitter<Key, Value>& emitter) const {
+    for (VertexId v = partition.begin(); v < partition.end(); ++v) {
+      if ((*states_)[v] == 0) {
+        continue;
+      }
+      for (VertexId neighbor : partition.OutNeighbors(v)) {
+        emitter.Emit(neighbor, Value{1});
+      }
+    }
+  }
+
+  Output Reduce(const Key& key, std::vector<Value>& values) const {
+    if (values.empty() || (*states_)[key] != 0) {
+      return 0;
+    }
+    RecommenderApp oracle(encoding_, params_);
+    return oracle.Accepts(encoding_->ToOriginal(key), iteration_) ? 1 : 0;
+  }
+
+  Value CombineValues(const Value& a, const Value& b) const {
+    return a > b ? a : b;
+  }
+
+  size_t PairBytes(const Key&, const Value&) const { return 16; }
+  size_t OutputBytes(const Output&) const { return 16; }
+  /// Each round's map reads the adoption-state file with the partition.
+  size_t MapExtraReadBytes(const PartitionView& partition) const {
+    return partition.num_vertices() * sizeof(uint32_t);
+  }
+
+ private:
+  const VertexEncoding* encoding_;
+  const std::vector<uint32_t>* states_;
+  RecommenderParams params_;
+  uint32_t iteration_;
+};
+
+/// Runs `iterations` of MapReduce RS, chaining jobs on one simulation.
+/// Returns the final adoption states in encoded-vertex order (the same
+/// semantics as RecommenderApp's states).
+inline Result<std::vector<uint32_t>> RunRecommenderMapReduce(
+    const PartitionedGraph& graph, const ReplicatedPlacement& placement,
+    const Topology& topology, JobSimulation* sim, int iterations,
+    RecommenderParams params = {}) {
+  const VertexId n = graph.encoded_graph().num_vertices();
+  RecommenderApp oracle(&graph.encoding(), params);
+  std::vector<uint32_t> states(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    states[v] = oracle.IsSeedOriginal(graph.encoding().ToOriginal(v)) ? 1 : 0;
+  }
+  for (int it = 0; it < iterations; ++it) {
+    RecommenderMrApp app(&graph.encoding(), &states, params,
+                         static_cast<uint32_t>(it));
+    MapReduceRunner<RecommenderMrApp> runner(&graph, &placement, &topology,
+                                             app);
+    SURFER_RETURN_IF_ERROR(runner.RunWith(sim));
+    for (const auto& [v, accepted] : runner.outputs()) {
+      if (accepted != 0 && states[v] == 0) {
+        states[v] = static_cast<uint32_t>(it) + 2;
+      }
+    }
+  }
+  return states;
+}
+
+}  // namespace surfer
+
+#endif  // SURFER_APPS_RECOMMENDER_H_

@@ -1,0 +1,100 @@
+#ifndef SURFER_APPS_REVERSE_LINK_GRAPH_H_
+#define SURFER_APPS_REVERSE_LINK_GRAPH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/common.h"
+#include "mapreduce/mapreduce.h"
+#include "propagation/app_traits.h"
+
+namespace surfer {
+
+/// Reverse link graph (RLG, Appendix D): reverse every edge and store the
+/// reversed graph as adjacency lists. Transfer sends the reversed edge to
+/// its new source; combine collects the in-neighbor list. Edge lists travel
+/// as sorted vectors and merge by set-union, so combine is associative.
+class ReverseLinkGraphApp {
+ public:
+  /// The in-neighbor (reversed adjacency) list, sorted.
+  using VertexState = std::vector<VertexId>;
+  using Message = std::vector<VertexId>;
+
+  VertexState InitState(VertexId /*v*/,
+                        std::span<const VertexId> /*neighbors*/) const {
+    return {};
+  }
+
+  void Transfer(VertexId v, const VertexState& /*state*/,
+                std::span<const VertexId> neighbors,
+                PropagationEmitter<Message>& emitter) const {
+    for (VertexId neighbor : neighbors) {
+      emitter.Emit(neighbor, Message{v});
+    }
+  }
+
+  void Combine(VertexId /*v*/, VertexState& state,
+               std::span<const VertexId> /*neighbors*/,
+               std::vector<Message>& messages) const {
+    state.clear();
+    for (const Message& m : messages) {
+      state.insert(state.end(), m.begin(), m.end());
+    }
+    std::sort(state.begin(), state.end());
+    state.erase(std::unique(state.begin(), state.end()), state.end());
+  }
+
+  /// Sorted set-union keeps the merged message canonical.
+  Message Merge(const Message& a, const Message& b) const {
+    Message merged;
+    merged.reserve(a.size() + b.size());
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(merged));
+    return merged;
+  }
+
+  size_t MessageBytes(const Message& m) const {
+    return sizeof(uint64_t) + m.size() * kStoredVertexIdBytes;
+  }
+  size_t StateBytes(const VertexState& s) const {
+    return StoredVertexRecordBytes(s.size());
+  }
+};
+
+/// MapReduce form of RLG: map reverses each edge; reduce sorts the
+/// in-neighbors into an adjacency record.
+class ReverseLinkGraphMrApp {
+ public:
+  using Key = VertexId;                  // new source (old destination)
+  using Value = VertexId;                // new destination (old source)
+  using Output = std::vector<VertexId>;  // reversed adjacency list
+
+  void Map(const PartitionView& partition,
+           MapEmitter<Key, Value>& emitter) const {
+    for (VertexId v = partition.begin(); v < partition.end(); ++v) {
+      for (VertexId neighbor : partition.OutNeighbors(v)) {
+        emitter.Emit(neighbor, v);
+      }
+    }
+  }
+
+  Output Reduce(const Key& /*key*/, std::vector<Value>& values) const {
+    Output list(values.begin(), values.end());
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    return list;
+  }
+
+  size_t PairBytes(const Key&, const Value&) const {
+    return 2 * kStoredVertexIdBytes;
+  }
+  size_t OutputBytes(const Output& out) const {
+    return StoredVertexRecordBytes(out.size());
+  }
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_APPS_REVERSE_LINK_GRAPH_H_

@@ -1,0 +1,161 @@
+#ifndef SURFER_APPS_TRIANGLE_COUNTING_H_
+#define SURFER_APPS_TRIANGLE_COUNTING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/common.h"
+#include "common/result.h"
+#include "engine/job_simulation.h"
+#include "mapreduce/mapreduce.h"
+#include "mapreduce/runner.h"
+#include "propagation/app_traits.h"
+#include "propagation/runner.h"
+
+namespace surfer {
+
+/// Triangle counting (TC, Appendix D Algorithm 3) on a sampled subgraph:
+/// a 10% vertex sample is selected (by original ID, so the sample is stable
+/// across layouts and primitives); each selected vertex's out-neighbor list
+/// travels along every sampled edge to the target, which intersects it with
+/// its own adjacency list. We count *directed* triangles a -> b, b -> c,
+/// a -> c with a, b, c all selected; triple (a, b, c) is counted exactly
+/// once, at b, so no duplicate elimination is needed.
+class TriangleCountingApp {
+ public:
+  using VertexState = uint64_t;          // triangles counted at this vertex
+  using Message = std::vector<VertexId>;  // the sender's out-neighbor list
+
+  TriangleCountingApp(const VertexEncoding* encoding,
+                      uint32_t sample_permille = kDefaultSamplePermille,
+                      uint64_t seed = 3)
+      : sampler_(encoding, sample_permille, seed) {}
+
+  VertexState InitState(VertexId /*v*/,
+                        std::span<const VertexId> /*neighbors*/) const {
+    return 0;
+  }
+
+  void Transfer(VertexId v, const VertexState& /*state*/,
+                std::span<const VertexId> neighbors,
+                PropagationEmitter<Message>& emitter) const {
+    if (!sampler_.SelectedEncoded(v)) {
+      return;
+    }
+    Message list(neighbors.begin(), neighbors.end());
+    for (VertexId neighbor : neighbors) {
+      if (sampler_.SelectedEncoded(neighbor)) {
+        emitter.Emit(neighbor, list);
+      }
+    }
+  }
+
+  void Combine(VertexId /*v*/, VertexState& state,
+               std::span<const VertexId> neighbors,
+               std::vector<Message>& messages) const {
+    uint64_t count = 0;
+    for (const Message& list : messages) {
+      for (VertexId c : list) {
+        if (sampler_.SelectedEncoded(c) &&
+            std::binary_search(neighbors.begin(), neighbors.end(), c)) {
+          ++count;
+        }
+      }
+    }
+    state = count;
+  }
+
+  /// Intersection counts distribute over concatenation, so merging message
+  /// lists by concatenation keeps combine associative.
+  Message Merge(const Message& a, const Message& b) const {
+    Message merged = a;
+    merged.insert(merged.end(), b.begin(), b.end());
+    return merged;
+  }
+
+  size_t MessageBytes(const Message& m) const {
+    return sizeof(uint64_t) + m.size() * kStoredVertexIdBytes;
+  }
+  size_t StateBytes(const VertexState&) const { return sizeof(uint64_t); }
+
+  const VertexSampler& sampler() const { return sampler_; }
+
+ private:
+  VertexSampler sampler_;
+};
+
+/// MapReduce form of TC: the classic two-role pattern — each sampled vertex
+/// sends (a) its own adjacency list to itself (the "adjacency" role) and
+/// (b) its list to each sampled neighbor (the "wedge" role); reduce
+/// intersects the wedge lists against the adjacency record.
+class TriangleCountingMrApp {
+ public:
+  using Key = VertexId;
+  struct Value {
+    bool is_adjacency = false;
+    std::vector<VertexId> list;
+  };
+  using Output = uint64_t;
+
+  TriangleCountingMrApp(const VertexEncoding* encoding,
+                        uint32_t sample_permille = kDefaultSamplePermille,
+                        uint64_t seed = 3)
+      : sampler_(encoding, sample_permille, seed) {}
+
+  void Map(const PartitionView& partition,
+           MapEmitter<Key, Value>& emitter) const {
+    for (VertexId v = partition.begin(); v < partition.end(); ++v) {
+      if (!sampler_.SelectedEncoded(v)) {
+        continue;
+      }
+      const auto neighbors = partition.OutNeighbors(v);
+      std::vector<VertexId> list(neighbors.begin(), neighbors.end());
+      emitter.Emit(v, Value{true, list});
+      for (VertexId neighbor : neighbors) {
+        if (sampler_.SelectedEncoded(neighbor)) {
+          emitter.Emit(neighbor, Value{false, list});
+        }
+      }
+    }
+  }
+
+  Output Reduce(const Key& /*key*/, std::vector<Value>& values) const {
+    const std::vector<VertexId>* adjacency = nullptr;
+    for (const Value& value : values) {
+      if (value.is_adjacency) {
+        adjacency = &value.list;
+        break;
+      }
+    }
+    if (adjacency == nullptr) {
+      return 0;  // the target was not sampled (or had no adjacency record)
+    }
+    uint64_t count = 0;
+    for (const Value& value : values) {
+      if (value.is_adjacency) {
+        continue;
+      }
+      for (VertexId c : value.list) {
+        if (sampler_.SelectedEncoded(c) &&
+            std::binary_search(adjacency->begin(), adjacency->end(), c)) {
+          ++count;
+        }
+      }
+    }
+    return count;
+  }
+
+  size_t PairBytes(const Key&, const Value& value) const {
+    return sizeof(uint64_t) + 1 + value.list.size() * kStoredVertexIdBytes;
+  }
+  size_t OutputBytes(const Output&) const { return 2 * sizeof(uint64_t); }
+
+ private:
+  VertexSampler sampler_;
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_APPS_TRIANGLE_COUNTING_H_

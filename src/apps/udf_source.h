@@ -1,0 +1,33 @@
+#ifndef SURFER_APPS_UDF_SOURCE_H_
+#define SURFER_APPS_UDF_SOURCE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace surfer {
+
+/// The programmability comparison of Table 4: lines of user-defined-function
+/// code per application per engine. The propagation and MapReduce snippets
+/// are the UDF bodies of this repository's implementations (src/apps); the
+/// Hadoop counts are quoted from the paper (Hadoop is not implemented here —
+/// the paper itself only uses it for the LoC comparison).
+struct UdfSourceEntry {
+  std::string app;  ///< NR, RS, TC, VDD, RLG, TFL
+  std::string propagation_source;
+  std::string mapreduce_source;
+  int paper_hadoop_loc = 0;
+  int paper_homegrown_mr_loc = 0;
+  int paper_propagation_loc = 0;
+};
+
+/// Counts source lines the way the paper does: non-empty lines that are not
+/// pure comments or lone braces are counted.
+int CountUdfLines(std::string_view source);
+
+/// The six applications with their UDF sources and the paper's counts.
+const std::vector<UdfSourceEntry>& UdfSources();
+
+}  // namespace surfer
+
+#endif  // SURFER_APPS_UDF_SOURCE_H_

@@ -1,0 +1,69 @@
+#include "cluster/cost_model.h"
+
+#include <cmath>
+
+namespace surfer {
+
+double TaskCost::TotalNetworkBytes() const {
+  double total = 0.0;
+  for (const auto& [dst, bytes] : network_out) {
+    (void)dst;
+    total += bytes;
+  }
+  return total;
+}
+
+void TaskCost::AddNetwork(MachineId dst, double bytes) {
+  if (bytes <= 0.0) {
+    return;
+  }
+  for (auto& [existing_dst, existing_bytes] : network_out) {
+    if (existing_dst == dst) {
+      existing_bytes += bytes;
+      return;
+    }
+  }
+  network_out.emplace_back(dst, bytes);
+}
+
+void TaskCost::MergeFrom(const TaskCost& other) {
+  disk_read_bytes += other.disk_read_bytes;
+  disk_write_bytes += other.disk_write_bytes;
+  cpu_bytes += other.cpu_bytes;
+  network_in_bytes += other.network_in_bytes;
+  random_io = random_io || other.random_io;
+  for (const auto& [dst, bytes] : other.network_out) {
+    AddNetwork(dst, bytes);
+  }
+}
+
+double CostModel::DiskSeconds(MachineId machine, const TaskCost& cost) const {
+  const Machine& m = topology_->machine(machine);
+  double bw = m.disk_bytes_per_sec;
+  if (cost.random_io) {
+    bw /= params_.random_io_penalty;
+  }
+  return (cost.disk_read_bytes + cost.disk_write_bytes) / bw;
+}
+
+double CostModel::TaskSeconds(MachineId machine, const TaskCost& cost) const {
+  double seconds = params_.task_overhead_s;
+  seconds += DiskSeconds(machine, cost);
+  seconds += cost.cpu_bytes / params_.cpu_bytes_per_sec;
+  if (cost.network_in_bytes > 0.0) {
+    seconds +=
+        cost.network_in_bytes / topology_->machine(machine).nic_bytes_per_sec;
+  }
+  for (const auto& [dst, bytes] : cost.network_out) {
+    if (dst == machine) {
+      continue;  // local delivery is free
+    }
+    const double bw = topology_->Bandwidth(machine, dst);
+    if (std::isfinite(bw) && bw > 0.0) {
+      seconds += bytes / bw;
+    }
+  }
+  return seconds;
+}
+
+}  // namespace surfer

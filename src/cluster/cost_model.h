@@ -1,0 +1,70 @@
+#ifndef SURFER_CLUSTER_COST_MODEL_H_
+#define SURFER_CLUSTER_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "graph/types.h"
+
+namespace surfer {
+
+/// Tunable constants converting byte counts into simulated seconds.
+/// The *ratios* between topologies and optimization levels — the quantities
+/// the paper reports — are insensitive to the absolute values here.
+struct CostParameters {
+  /// CPU throughput of a task scanning/processing bytes (per machine).
+  double cpu_bytes_per_sec = 400e6;
+  /// Fixed per-task overhead (scheduling, process startup).
+  double task_overhead_s = 0.05;
+  /// Multiplier on disk bandwidth for random (non-sequential) access, the
+  /// penalty P2 warns about when partitions outgrow main memory.
+  double random_io_penalty = 8.0;
+};
+
+/// The resource demands of one task, produced by the propagation/MapReduce
+/// runners and priced by the cost model.
+struct TaskCost {
+  double disk_read_bytes = 0.0;
+  double disk_write_bytes = 0.0;
+  double cpu_bytes = 0.0;
+  /// Bytes this task receives over the network; serialized through the
+  /// executing machine's NIC (reduce tasks and Combine tasks gather from
+  /// many senders — the receive side is a real bottleneck).
+  double network_in_bytes = 0.0;
+  /// True when the task's working set exceeds machine memory and disk access
+  /// degrades to random I/O (P2).
+  bool random_io = false;
+  /// Bytes this task sends to each remote machine (destination, bytes).
+  std::vector<std::pair<MachineId, double>> network_out;
+
+  double TotalNetworkBytes() const;
+  void AddNetwork(MachineId dst, double bytes);
+  void MergeFrom(const TaskCost& other);
+};
+
+/// Prices task costs on a given topology.
+class CostModel {
+ public:
+  CostModel(const Topology* topology, CostParameters params)
+      : topology_(topology), params_(params) {}
+
+  /// Seconds for `machine` to execute a task with cost `cost`: disk time +
+  /// CPU time + serialized network send time (each destination priced at the
+  /// pairwise bandwidth; local destinations are free).
+  double TaskSeconds(MachineId machine, const TaskCost& cost) const;
+
+  /// Disk-only seconds (used to place the disk-rate timeline within a task).
+  double DiskSeconds(MachineId machine, const TaskCost& cost) const;
+
+  const CostParameters& params() const { return params_; }
+  const Topology& topology() const { return *topology_; }
+
+ private:
+  const Topology* topology_;
+  CostParameters params_;
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_CLUSTER_COST_MODEL_H_

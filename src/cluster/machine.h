@@ -1,0 +1,31 @@
+#ifndef SURFER_CLUSTER_MACHINE_H_
+#define SURFER_CLUSTER_MACHINE_H_
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace surfer {
+
+/// One simulated commodity machine in the cloud. Defaults mirror the paper's
+/// testbed: Quad Xeon, 8 GB RAM, 1 Gb Ethernet, SATA disks.
+struct Machine {
+  MachineId id = 0;
+  /// Pod (rack) index in the tree topology; machines in the same pod share a
+  /// pod switch and get full NIC bandwidth to each other.
+  uint32_t pod = 0;
+  /// Pod group index for two-level trees (crossing groups crosses the
+  /// top-level switch). Equal to `pod` in one-level trees.
+  uint32_t pod_group = 0;
+  /// NIC bandwidth in bytes/second (1 Gb/s default).
+  double nic_bytes_per_sec = 1e9 / 8.0;
+  /// Sequential disk bandwidth in bytes/second (~100 MB/s SATA).
+  double disk_bytes_per_sec = 100e6;
+  /// Usable main memory in bytes (8 GB default). Determines the number of
+  /// partitions P = 2^ceil(log2(||G|| / r)) per Section 4.2.
+  uint64_t memory_bytes = 8ULL << 30;
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_CLUSTER_MACHINE_H_

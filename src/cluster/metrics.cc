@@ -1,0 +1,81 @@
+#include "cluster/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/units.h"
+
+namespace surfer {
+
+void TimeSeries::AddSpan(double begin_s, double end_s, double amount) {
+  if (end_s <= begin_s || amount <= 0.0 || bucket_seconds_ <= 0.0) {
+    return;
+  }
+  const size_t first = static_cast<size_t>(begin_s / bucket_seconds_);
+  const size_t last = static_cast<size_t>(
+      std::ceil(end_s / bucket_seconds_));
+  if (last > buckets_.size()) {
+    buckets_.resize(last, 0.0);
+  }
+  const double rate = amount / (end_s - begin_s);
+  for (size_t b = first; b < last; ++b) {
+    const double bucket_begin = static_cast<double>(b) * bucket_seconds_;
+    const double bucket_end = bucket_begin + bucket_seconds_;
+    const double overlap = std::min(end_s, bucket_end) -
+                           std::max(begin_s, bucket_begin);
+    if (overlap > 0.0) {
+      buckets_[b] += rate * overlap;
+    }
+  }
+}
+
+double TimeSeries::ValueAt(double t) const {
+  if (t < 0.0 || bucket_seconds_ <= 0.0) {
+    return 0.0;
+  }
+  const size_t b = static_cast<size_t>(t / bucket_seconds_);
+  return b < buckets_.size() ? buckets_[b] : 0.0;
+}
+
+std::vector<double> TimeSeries::Rates() const {
+  std::vector<double> rates(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    rates[i] = buckets_[i] / bucket_seconds_;
+  }
+  return rates;
+}
+
+std::string StageMetrics::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-16s dur=%s busy=%s net=%s disk=%s tasks=%zu%s",
+                name.c_str(), FormatSeconds(duration_s).c_str(),
+                FormatSeconds(busy_machine_seconds).c_str(),
+                FormatBytes(network_bytes).c_str(),
+                FormatBytes(disk_read_bytes + disk_write_bytes).c_str(),
+                num_tasks,
+                num_reexecuted_tasks > 0 ? " (with re-execution)" : "");
+  return buf;
+}
+
+void RunMetrics::Accumulate(const StageMetrics& stage) {
+  response_time_s += stage.duration_s;
+  total_machine_time_s += stage.busy_machine_seconds;
+  network_bytes += stage.network_bytes;
+  disk_bytes += stage.disk_read_bytes + stage.disk_write_bytes;
+  stages.push_back(stage);
+}
+
+std::string RunMetrics::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "response=%s total_machine=%s network=%s disk=%s stages=%zu",
+                FormatSeconds(response_time_s).c_str(),
+                FormatSeconds(total_machine_time_s).c_str(),
+                FormatBytes(network_bytes).c_str(),
+                FormatBytes(disk_bytes).c_str(), stages.size());
+  return buf;
+}
+
+}  // namespace surfer

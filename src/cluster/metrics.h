@@ -1,0 +1,73 @@
+#ifndef SURFER_CLUSTER_METRICS_H_
+#define SURFER_CLUSTER_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "graph/types.h"
+
+namespace surfer {
+
+/// A (time, value) series with fixed-width buckets; used for the disk-I/O
+/// rate plots of Figure 10. Adding a span smears bytes uniformly across the
+/// buckets it overlaps.
+class TimeSeries {
+ public:
+  explicit TimeSeries(double bucket_seconds = 1.0)
+      : bucket_seconds_(bucket_seconds) {}
+
+  /// Adds `amount` spread uniformly over [begin_s, end_s).
+  void AddSpan(double begin_s, double end_s, double amount);
+
+  /// Value accumulated in the bucket covering time t.
+  double ValueAt(double t) const;
+
+  double bucket_seconds() const { return bucket_seconds_; }
+  size_t num_buckets() const { return buckets_.size(); }
+  const std::vector<double>& buckets() const { return buckets_; }
+
+  /// Per-second rate series: bucket value / bucket width.
+  std::vector<double> Rates() const;
+
+  void Clear() { buckets_.clear(); }
+
+ private:
+  double bucket_seconds_;
+  std::vector<double> buckets_;
+};
+
+/// Aggregate costs of one bulk-synchronous stage.
+struct StageMetrics {
+  std::string name;
+  double duration_s = 0.0;            ///< makespan (max over machines)
+  double busy_machine_seconds = 0.0;  ///< sum over machines
+  double network_bytes = 0.0;
+  double disk_read_bytes = 0.0;
+  double disk_write_bytes = 0.0;
+  size_t num_tasks = 0;
+  size_t num_reexecuted_tasks = 0;  ///< tasks re-run due to failures
+
+  std::string ToString() const;
+};
+
+/// Full-run metrics: the paper's four reported quantities (response time,
+/// total machine time, network I/O, disk I/O) plus per-stage breakdown and
+/// the disk-rate timeline.
+struct RunMetrics {
+  double response_time_s = 0.0;       ///< sum of stage makespans
+  double total_machine_time_s = 0.0;  ///< sum of per-machine busy time
+  double network_bytes = 0.0;
+  double disk_bytes = 0.0;  ///< read + write
+  std::vector<StageMetrics> stages;
+  TimeSeries disk_rate{1.0};
+  Histogram task_seconds;
+
+  void Accumulate(const StageMetrics& stage);
+  std::string Summary() const;
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_CLUSTER_METRICS_H_

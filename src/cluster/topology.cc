@@ -1,0 +1,193 @@
+#include "cluster/topology.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace surfer {
+
+namespace {
+// Self-bandwidth stand-in: local traffic costs nothing in the network model.
+constexpr double kLocalBandwidth = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Result<Topology> Topology::Make(const TopologyOptions& options) {
+  if (options.num_machines == 0) {
+    return Status::InvalidArgument("topology needs at least one machine");
+  }
+  Topology topo;
+  topo.options_ = options;
+  topo.machines_.resize(options.num_machines, options.machine_template);
+  const uint32_t n = options.num_machines;
+
+  switch (options.kind) {
+    case TopologyKind::kT1: {
+      for (uint32_t i = 0; i < n; ++i) {
+        topo.machines_[i].id = i;
+        topo.machines_[i].pod = 0;
+        topo.machines_[i].pod_group = 0;
+      }
+      break;
+    }
+    case TopologyKind::kT2: {
+      if (options.num_pods == 0 || n % options.num_pods != 0) {
+        return Status::InvalidArgument(
+            "num_pods must divide num_machines for T2");
+      }
+      if (options.num_levels < 1 || options.num_levels > 2) {
+        return Status::InvalidArgument("T2 supports 1 or 2 switch levels");
+      }
+      if (options.num_levels == 2 && options.num_pods % 2 != 0) {
+        return Status::InvalidArgument(
+            "two-level T2 needs an even number of pods");
+      }
+      const uint32_t per_pod = n / options.num_pods;
+      for (uint32_t i = 0; i < n; ++i) {
+        topo.machines_[i].id = i;
+        topo.machines_[i].pod = i / per_pod;
+        // With two levels, pods are split into two groups under the
+        // top-level switch (Figure 5's T2(4,2)); a one-level tree has no
+        // top-level switch, so every pod shares group 0 and cross-pod pairs
+        // are throttled only by the second-level factor. This matches the
+        // ordering of Table 1: T2(2,1) < T2(4,1) < T2(4,2).
+        topo.machines_[i].pod_group =
+            options.num_levels == 2
+                ? topo.machines_[i].pod / (options.num_pods / 2)
+                : 0;
+      }
+      break;
+    }
+    case TopologyKind::kT3: {
+      if (options.low_bandwidth_ratio <= 0.0 ||
+          options.low_bandwidth_ratio > 1.0) {
+        return Status::InvalidArgument(
+            "low_bandwidth_ratio must be in (0, 1]");
+      }
+      // Randomly choose half the machines to be the LOW set (Appendix F.1).
+      std::vector<uint32_t> order(n);
+      std::iota(order.begin(), order.end(), 0);
+      Rng rng(options.seed);
+      std::shuffle(order.begin(), order.end(), rng);
+      for (uint32_t i = 0; i < n; ++i) {
+        topo.machines_[order[i]].id = order[i];
+        topo.machines_[order[i]].pod = 0;
+        topo.machines_[order[i]].pod_group = 0;
+        if (i < n / 2) {
+          topo.machines_[order[i]].nic_bytes_per_sec *=
+              options.low_bandwidth_ratio;
+        }
+      }
+      break;
+    }
+  }
+
+  // Fill the pairwise bandwidth matrix.
+  topo.bandwidth_.assign(static_cast<size_t>(n) * n, 0.0);
+  for (uint32_t a = 0; a < n; ++a) {
+    for (uint32_t b = 0; b < n; ++b) {
+      double bw;
+      if (a == b) {
+        bw = kLocalBandwidth;
+      } else {
+        const Machine& ma = topo.machines_[a];
+        const Machine& mb = topo.machines_[b];
+        bw = std::min(ma.nic_bytes_per_sec, mb.nic_bytes_per_sec);
+        if (options.kind == TopologyKind::kT2) {
+          if (ma.pod_group != mb.pod_group) {
+            bw /= options.top_level_factor;
+          } else if (ma.pod != mb.pod) {
+            bw /= options.second_level_factor;
+          }
+        }
+      }
+      topo.bandwidth_[static_cast<size_t>(a) * n + b] = bw;
+    }
+  }
+  return topo;
+}
+
+Topology Topology::T1(uint32_t num_machines) {
+  TopologyOptions opt;
+  opt.kind = TopologyKind::kT1;
+  opt.num_machines = num_machines;
+  auto result = Make(opt);
+  SURFER_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+Topology Topology::T2(uint32_t num_machines, uint32_t num_pods,
+                      uint32_t num_levels, double second_level_factor,
+                      double top_level_factor) {
+  TopologyOptions opt;
+  opt.kind = TopologyKind::kT2;
+  opt.num_machines = num_machines;
+  opt.num_pods = num_pods;
+  opt.num_levels = num_levels;
+  opt.second_level_factor = second_level_factor;
+  opt.top_level_factor = top_level_factor;
+  auto result = Make(opt);
+  SURFER_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+Topology Topology::T3(uint32_t num_machines, double low_ratio, uint64_t seed) {
+  TopologyOptions opt;
+  opt.kind = TopologyKind::kT3;
+  opt.num_machines = num_machines;
+  opt.low_bandwidth_ratio = low_ratio;
+  opt.seed = seed;
+  auto result = Make(opt);
+  SURFER_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+double Topology::AggregatedBandwidth(const std::vector<MachineId>& set_a,
+                                     const std::vector<MachineId>& set_b) const {
+  double total = 0.0;
+  for (MachineId a : set_a) {
+    for (MachineId b : set_b) {
+      if (a != b) {
+        total += Bandwidth(a, b);
+      }
+    }
+  }
+  return total;
+}
+
+bool Topology::IsUniform() const {
+  const uint32_t n = num_machines();
+  if (n < 2) {
+    return true;
+  }
+  const double first = Bandwidth(0, 1);
+  for (uint32_t a = 0; a < n; ++a) {
+    for (uint32_t b = 0; b < n; ++b) {
+      if (a != b && Bandwidth(a, b) != first) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string Topology::Name() const {
+  switch (options_.kind) {
+    case TopologyKind::kT1:
+      return "T1";
+    case TopologyKind::kT2: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "T2(%u,%u)", options_.num_pods,
+                    options_.num_levels);
+      return buf;
+    }
+    case TopologyKind::kT3:
+      return "T3";
+  }
+  return "?";
+}
+
+}  // namespace surfer

@@ -1,0 +1,99 @@
+#ifndef SURFER_CLUSTER_TOPOLOGY_H_
+#define SURFER_CLUSTER_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cluster/machine.h"
+#include "graph/types.h"
+
+namespace surfer {
+
+/// The network environments evaluated in the paper (Section 6.1):
+///  - T1: a flat pod — every machine pair has full bandwidth.
+///  - T2(#pod, #level): tree topology. Cross-pod pairs are throttled by the
+///    switch they cross: the paper's defaults are a 16x slowdown on a
+///    second-level switch and 32x on the top-level switch.
+///  - T3: heterogeneous hardware — a random half of the machines has NICs at
+///    half bandwidth; a pair's bandwidth is the min of its endpoints'.
+enum class TopologyKind {
+  kT1,
+  kT2,
+  kT3,
+};
+
+/// Parameters for building a simulated cluster topology.
+struct TopologyOptions {
+  TopologyKind kind = TopologyKind::kT1;
+  uint32_t num_machines = 32;
+  /// T2 only: number of pods (must divide num_machines).
+  uint32_t num_pods = 2;
+  /// T2 only: number of switch levels above the pod switches (1 or 2).
+  uint32_t num_levels = 1;
+  /// T2 only: slowdown factor for pairs crossing a second-level switch
+  /// (pods in the same group). Figure 9 sweeps this from 2x to 128x.
+  double second_level_factor = 16.0;
+  /// T2 only: slowdown factor for pairs crossing the top-level switch
+  /// (pods in different groups; only exists when num_levels == 2).
+  double top_level_factor = 32.0;
+  /// T3 only: bandwidth ratio of the LOW half (paper: one half).
+  double low_bandwidth_ratio = 0.5;
+  /// T3 only: seed for choosing the LOW half "randomly from the pod".
+  uint64_t seed = 7;
+  /// Per-machine hardware defaults.
+  Machine machine_template;
+};
+
+/// An immutable machine set plus a pairwise bandwidth matrix.
+class Topology {
+ public:
+  /// Builds a topology; validates pod divisibility and level counts.
+  static Result<Topology> Make(const TopologyOptions& options);
+
+  /// Convenience constructors matching the paper's notation.
+  static Topology T1(uint32_t num_machines);
+  static Topology T2(uint32_t num_machines, uint32_t num_pods,
+                     uint32_t num_levels, double second_level_factor = 16.0,
+                     double top_level_factor = 32.0);
+  static Topology T3(uint32_t num_machines, double low_ratio = 0.5,
+                     uint64_t seed = 7);
+
+  uint32_t num_machines() const {
+    return static_cast<uint32_t>(machines_.size());
+  }
+  const Machine& machine(MachineId m) const { return machines_[m]; }
+  const std::vector<Machine>& machines() const { return machines_; }
+
+  /// Bandwidth between two machines in bytes/second; a machine's bandwidth
+  /// to itself is treated as (effectively) infinite — local traffic is free.
+  double Bandwidth(MachineId a, MachineId b) const {
+    return bandwidth_[a * num_machines() + b];
+  }
+
+  /// Sum of pairwise bandwidths between the two (disjoint) machine sets —
+  /// the "aggregated bandwidth" of Section 4.2.
+  double AggregatedBandwidth(const std::vector<MachineId>& set_a,
+                             const std::vector<MachineId>& set_b) const;
+
+  /// True when all machine pairs have identical bandwidth (T1).
+  bool IsUniform() const;
+
+  TopologyKind kind() const { return options_.kind; }
+  const TopologyOptions& options() const { return options_; }
+
+  /// "T1", "T2(4,2)", "T3" — the paper's notation.
+  std::string Name() const;
+
+ private:
+  Topology() = default;
+
+  TopologyOptions options_;
+  std::vector<Machine> machines_;
+  std::vector<double> bandwidth_;  // row-major num_machines^2
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_CLUSTER_TOPOLOGY_H_

@@ -1,0 +1,130 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace surfer {
+
+void Histogram::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  sum_squares_ += value * value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  for (const auto& [bucket, n] : other.buckets_) {
+    buckets_[bucket] += n;
+  }
+}
+
+void Histogram::Clear() {
+  count_ = 0;
+  sum_ = 0.0;
+  sum_squares_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  buckets_.clear();
+}
+
+double Histogram::StdDev() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  const double variance =
+      std::max(0.0, sum_squares_ / count_ - mean * mean);
+  return std::sqrt(variance);
+}
+
+size_t Histogram::BucketFor(double value) {
+  if (value <= 0.0) {
+    return 0;
+  }
+  int exp = 0;
+  std::frexp(value, &exp);
+  // frexp exponent of 2^-64 is -63; clamp into [0, 127].
+  const long bucket = static_cast<long>(exp) + 64;
+  return static_cast<size_t>(std::clamp<long>(bucket, 0, 127));
+}
+
+double Histogram::BucketLowerBound(size_t bucket) {
+  if (bucket == 0) {
+    return 0.0;
+  }
+  return std::ldexp(1.0, static_cast<int>(bucket) - 64);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  double seen = 0.0;
+  for (const auto& [bucket, n] : buckets_) {
+    seen += static_cast<double>(n);
+    if (seen >= target) {
+      // Interpolate within the bucket against its midpoint; clamp to range.
+      const double lo = BucketLowerBound(bucket);
+      const double hi = BucketLowerBound(bucket + 1);
+      const double mid = (lo + hi) / 2.0;
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%zu mean=%.4g p50=%.4g p99=%.4g min=%.4g max=%.4g",
+                count_, Mean(), Percentile(50), Percentile(99), min(), max());
+  return buf;
+}
+
+void FrequencyCounter::Merge(const FrequencyCounter& other) {
+  for (const auto& [key, n] : other.counts_) {
+    counts_[key] += n;
+  }
+}
+
+uint64_t FrequencyCounter::Get(uint64_t key) const {
+  auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+uint64_t FrequencyCounter::total() const {
+  uint64_t sum = 0;
+  for (const auto& [key, n] : counts_) {
+    (void)key;
+    sum += n;
+  }
+  return sum;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> FrequencyCounter::Sorted() const {
+  return {counts_.begin(), counts_.end()};
+}
+
+}  // namespace surfer

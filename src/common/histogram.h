@@ -1,0 +1,71 @@
+#ifndef SURFER_COMMON_HISTOGRAM_H_
+#define SURFER_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace surfer {
+
+/// Streaming summary statistics over doubles: count/min/max/mean/stddev and
+/// approximate percentiles via a coarse log-scale histogram. Used by the
+/// metrics layer for task times and I/O sizes.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  size_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double StdDev() const;
+
+  /// Approximate p-th percentile, p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// One-line summary ("count=12 mean=3.4 p50=3.1 p99=9.0 max=9.4").
+  std::string ToString() const;
+
+ private:
+  static size_t BucketFor(double value);
+  static double BucketLowerBound(size_t bucket);
+
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_squares_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  // Log2-scale buckets: bucket i covers [2^(i-64), 2^(i-63)).
+  std::map<size_t, size_t> buckets_;
+};
+
+/// A plain integer-keyed frequency counter; used for degree distributions.
+class FrequencyCounter {
+ public:
+  void Add(uint64_t key, uint64_t delta = 1) { counts_[key] += delta; }
+  void Merge(const FrequencyCounter& other);
+
+  uint64_t Get(uint64_t key) const;
+  size_t distinct() const { return counts_.size(); }
+  uint64_t total() const;
+
+  /// (key, count) pairs in ascending key order.
+  std::vector<std::pair<uint64_t, uint64_t>> Sorted() const;
+
+  const std::map<uint64_t, uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::map<uint64_t, uint64_t> counts_;
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_COMMON_HISTOGRAM_H_

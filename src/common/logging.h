@@ -1,0 +1,82 @@
+#ifndef SURFER_COMMON_LOGGING_H_
+#define SURFER_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace surfer {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum level below which log statements are dropped.
+/// Defaults to kWarning so library consumers are not spammed; benches and
+/// examples raise verbosity explicitly.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink; flushes one line on destruction. FATAL aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace surfer
+
+#define SURFER_LOG_ENABLED(level) \
+  (::surfer::LogLevel::level >= ::surfer::GetLogLevel())
+
+#define SURFER_LOG(level)                                                 \
+  if (!SURFER_LOG_ENABLED(level)) {                                       \
+  } else                                                                  \
+    ::surfer::internal::LogMessage(::surfer::LogLevel::level, __FILE__,   \
+                                   __LINE__)                              \
+        .stream()
+
+#define SURFER_CHECK(condition)                                              \
+  if (condition) {                                                           \
+  } else                                                                     \
+    ::surfer::internal::LogMessage(::surfer::LogLevel::kFatal, __FILE__,     \
+                                   __LINE__)                                 \
+        .stream()                                                            \
+        << "Check failed: " #condition " "
+
+#define SURFER_CHECK_OK(expr)                                             \
+  do {                                                                    \
+    ::surfer::Status _surfer_check_status__ = (expr);                     \
+    SURFER_CHECK(_surfer_check_status__.ok())                             \
+        << _surfer_check_status__.ToString();                             \
+  } while (false)
+
+#define SURFER_DCHECK(condition) SURFER_CHECK(condition)
+
+#endif  // SURFER_COMMON_LOGGING_H_

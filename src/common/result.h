@@ -1,0 +1,74 @@
+#ifndef SURFER_COMMON_RESULT_H_
+#define SURFER_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace surfer {
+
+/// Holds either a value of type T or an error Status. The OK state always has
+/// a value; the error state never does.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return my_graph;`
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit from error status: `return Status::IOError(...)`. Must not be
+  /// OK — an OK status carries no value.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in the error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace surfer
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define SURFER_ASSIGN_OR_RETURN(lhs, expr)          \
+  SURFER_ASSIGN_OR_RETURN_IMPL_(                    \
+      SURFER_RESULT_CONCAT_(_surfer_result_, __LINE__), lhs, expr)
+
+#define SURFER_RESULT_CONCAT_INNER_(a, b) a##b
+#define SURFER_RESULT_CONCAT_(a, b) SURFER_RESULT_CONCAT_INNER_(a, b)
+
+#define SURFER_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+#endif  // SURFER_COMMON_RESULT_H_

@@ -1,0 +1,55 @@
+#ifndef SURFER_COMMON_THREAD_POOL_H_
+#define SURFER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace surfer {
+
+/// A fixed-size worker pool used to execute per-partition tasks in parallel.
+/// Simulated *time* never depends on the pool — wall-clock parallelism only
+/// speeds up the experiments; all timing is computed by the cost model.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Work is chunked to limit queueing overhead for large n.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Returns a process-wide pool sized to the hardware concurrency.
+ThreadPool& GlobalThreadPool();
+
+}  // namespace surfer
+
+#endif  // SURFER_COMMON_THREAD_POOL_H_

@@ -1,0 +1,39 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace surfer {
+
+std::string FormatBytes(double bytes) {
+  char buf[64];
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", bytes / kGiB);
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", bytes / kMiB);
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", bytes / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f h", seconds / 3600.0);
+  } else if (seconds >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  }
+  return buf;
+}
+
+std::string FormatRate(double bytes_per_sec) {
+  return FormatBytes(bytes_per_sec) + "/s";
+}
+
+}  // namespace surfer

@@ -1,0 +1,33 @@
+#ifndef SURFER_COMMON_UNITS_H_
+#define SURFER_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace surfer {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+inline constexpr double kKilobit = 1000.0;
+inline constexpr double kMegabit = 1000.0 * 1000.0;
+inline constexpr double kGigabit = 1000.0 * 1000.0 * 1000.0;
+
+/// Converts a link speed in bits/second to bytes/second.
+constexpr double BitsPerSecToBytesPerSec(double bits_per_sec) {
+  return bits_per_sec / 8.0;
+}
+
+/// Formats a byte count as a short human-readable string ("1.5 GiB").
+std::string FormatBytes(double bytes);
+
+/// Formats a duration in seconds as "1234.5 s" or "2.3 h" for large values.
+std::string FormatSeconds(double seconds);
+
+/// Formats a rate in bytes/second ("120.0 MiB/s").
+std::string FormatRate(double bytes_per_sec);
+
+}  // namespace surfer
+
+#endif  // SURFER_COMMON_UNITS_H_

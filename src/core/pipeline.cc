@@ -1,0 +1,56 @@
+#include "core/pipeline.h"
+
+#include <cstdio>
+
+#include "common/units.h"
+
+namespace surfer {
+
+Result<JobPipeline::Report> JobPipeline::Run() {
+  if (steps_.empty()) {
+    return Status::FailedPrecondition("pipeline has no steps");
+  }
+  Report report;
+  JobSimulation sim(setup_.topology, setup_.sim_options);
+  for (const FaultPlan& fault : faults_) {
+    sim.InjectFault(fault);
+  }
+  JobContext context{engine_, setup_, &sim};
+
+  for (auto& [name, step] : steps_) {
+    const RunMetrics before = sim.metrics();
+    SURFER_RETURN_IF_ERROR(step(context));
+    const RunMetrics& after = sim.metrics();
+    StepReport step_report;
+    step_report.name = name;
+    step_report.response_time_s =
+        after.response_time_s - before.response_time_s;
+    step_report.total_machine_time_s =
+        after.total_machine_time_s - before.total_machine_time_s;
+    step_report.network_bytes = after.network_bytes - before.network_bytes;
+    step_report.disk_bytes = after.disk_bytes - before.disk_bytes;
+    report.steps.push_back(std::move(step_report));
+  }
+  report.totals = sim.metrics();
+  return report;
+}
+
+std::string JobPipeline::Report::ToString() const {
+  std::string out;
+  char buf[192];
+  for (const StepReport& step : steps) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-20s response=%-10s network=%-10s disk=%s\n",
+                  step.name.c_str(),
+                  FormatSeconds(step.response_time_s).c_str(),
+                  FormatBytes(step.network_bytes).c_str(),
+                  FormatBytes(step.disk_bytes).c_str());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  %-20s %s\n", "TOTAL",
+                totals.Summary().c_str());
+  out += buf;
+  return out;
+}
+
+}  // namespace surfer

@@ -1,0 +1,124 @@
+#ifndef SURFER_CORE_PIPELINE_H_
+#define SURFER_CORE_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/benchmark_suite.h"
+#include "common/result.h"
+#include "core/surfer.h"
+#include "engine/job_simulation.h"
+#include "mapreduce/runner.h"
+#include "propagation/runner.h"
+
+namespace surfer {
+
+/// A small composition layer over the two primitives — the beginnings of the
+/// "high-level language on top of MapReduce and propagation" the paper lists
+/// as ongoing work (Appendix B). A JobPipeline chains named steps that share
+/// one simulated cluster execution: later steps see the same machine state
+/// (including failures), and the report attributes time and I/O per step.
+///
+///   JobPipeline pipeline(&engine, OptimizationLevel::kO4);
+///   pipeline.AddPropagation<NetworkRankingApp>("rank", app, config);
+///   pipeline.Add("reverse", [](JobContext& ctx) { ... });
+///   auto report = pipeline.Run();
+class JobPipeline {
+ public:
+  /// Execution context handed to each step.
+  struct JobContext {
+    const SurferEngine* engine = nullptr;
+    BenchmarkSetup setup;
+    JobSimulation* sim = nullptr;
+  };
+  using StepFn = std::function<Status(JobContext&)>;
+
+  /// Per-step slice of the run report.
+  struct StepReport {
+    std::string name;
+    double response_time_s = 0.0;
+    double total_machine_time_s = 0.0;
+    double network_bytes = 0.0;
+    double disk_bytes = 0.0;
+  };
+  struct Report {
+    std::vector<StepReport> steps;
+    RunMetrics totals;
+
+    std::string ToString() const;
+  };
+
+  JobPipeline(const SurferEngine* engine, OptimizationLevel level)
+      : engine_(engine), level_(level) {
+    setup_ = engine->MakeSetup(level);
+  }
+
+  /// Overrides the simulation options (hardware scale, heartbeats, ...).
+  void set_sim_options(JobSimulationOptions options) {
+    setup_.sim_options = options;
+  }
+  /// Schedules a machine failure for the shared execution.
+  void InjectFault(const FaultPlan& fault) { faults_.push_back(fault); }
+
+  /// Appends a custom step.
+  void Add(std::string name, StepFn step) {
+    steps_.emplace_back(std::move(name), std::move(step));
+  }
+
+  /// Appends a propagation job. `on_done` (optional) receives the finished
+  /// runner to extract results.
+  template <typename App>
+  void AddPropagation(
+      std::string name, App app, PropagationConfig config,
+      std::function<void(const PropagationRunner<App>&)> on_done = nullptr) {
+    PropagationConfig level_config = PropagationConfig::ForLevel(level_);
+    config.local_propagation = level_config.local_propagation;
+    config.local_combination = level_config.local_combination;
+    Add(std::move(name),
+        [app = std::move(app), config, on_done](JobContext& ctx) -> Status {
+          PropagationRunner<App> runner(ctx.setup.graph, ctx.setup.placement,
+                                        ctx.setup.topology, app, config);
+          SURFER_RETURN_IF_ERROR(runner.RunWith(ctx.sim));
+          if (on_done) {
+            on_done(runner);
+          }
+          return Status::OK();
+        });
+  }
+
+  /// Appends a MapReduce job; `on_done` receives the finished runner.
+  template <typename App>
+  void AddMapReduce(
+      std::string name, App app,
+      std::function<void(const MapReduceRunner<App>&)> on_done = nullptr) {
+    Add(std::move(name),
+        [app = std::move(app), on_done](JobContext& ctx) -> Status {
+          MapReduceRunner<App> runner(ctx.setup.graph, ctx.setup.placement,
+                                      ctx.setup.topology, app);
+          SURFER_RETURN_IF_ERROR(runner.RunWith(ctx.sim));
+          if (on_done) {
+            on_done(runner);
+          }
+          return Status::OK();
+        });
+  }
+
+  /// Runs every step in order on one shared simulation.
+  Result<Report> Run();
+
+  size_t num_steps() const { return steps_.size(); }
+
+ private:
+  const SurferEngine* engine_;
+  OptimizationLevel level_;
+  BenchmarkSetup setup_;
+  std::vector<std::pair<std::string, StepFn>> steps_;
+  std::vector<FaultPlan> faults_;
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_CORE_PIPELINE_H_

@@ -1,0 +1,72 @@
+#include "core/surfer.h"
+
+#include <algorithm>
+
+namespace surfer {
+
+Result<std::unique_ptr<SurferEngine>> SurferEngine::Build(
+    const Graph& graph, Topology topology, const SurferOptions& options) {
+  if (graph.num_vertices() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  std::unique_ptr<SurferEngine> engine(new SurferEngine(std::move(topology)));
+
+  uint32_t num_partitions = options.num_partitions;
+  if (num_partitions == 0) {
+    num_partitions = std::max(
+        options.min_partitions,
+        ChooseNumPartitions(graph.StoredBytes(),
+                            options.partition_memory_budget));
+  }
+  if ((num_partitions & (num_partitions - 1)) != 0) {
+    return Status::InvalidArgument("num_partitions must be a power of two");
+  }
+  num_partitions =
+      std::min<uint32_t>(num_partitions,
+                         std::bit_floor(graph.num_vertices()));
+
+  RecursivePartitionerOptions part_options;
+  part_options.num_partitions = num_partitions;
+  part_options.bisection = options.bisection;
+  part_options.bisection.seed = options.seed;
+  SURFER_ASSIGN_OR_RETURN(engine->partition_result_,
+                          RecursivePartition(graph, part_options));
+
+  SURFER_ASSIGN_OR_RETURN(
+      PartitionedGraph partitioned,
+      PartitionedGraph::Create(graph, engine->partition_result_.partitioning));
+  engine->partitioned_ =
+      std::make_unique<PartitionedGraph>(std::move(partitioned));
+  engine->quality_ =
+      ComputeQuality(graph, engine->partition_result_.partitioning);
+
+  SURFER_ASSIGN_OR_RETURN(
+      engine->ba_mapping_,
+      ComputeBandwidthAwarePlacement(engine->topology_,
+                                     engine->partition_result_.sketch));
+  SURFER_ASSIGN_OR_RETURN(
+      engine->ba_placement_,
+      MakeReplicatedPlacement(engine->ba_mapping_.partition_to_machine,
+                              engine->topology_, options.seed));
+  SURFER_ASSIGN_OR_RETURN(
+      engine->random_placement_,
+      MakeReplicatedPlacement(
+          RandomPlacement(num_partitions, engine->topology_, options.seed),
+          engine->topology_, options.seed + 1));
+  return engine;
+}
+
+BenchmarkSetup SurferEngine::MakeSetup(OptimizationLevel level) const {
+  return MakeSetup(UsesBandwidthAwareLayout(level));
+}
+
+BenchmarkSetup SurferEngine::MakeSetup(bool bandwidth_aware_layout) const {
+  BenchmarkSetup setup;
+  setup.graph = partitioned_.get();
+  setup.placement =
+      bandwidth_aware_layout ? &ba_placement_ : &random_placement_;
+  setup.topology = &topology_;
+  return setup;
+}
+
+}  // namespace surfer

@@ -1,0 +1,239 @@
+#include "engine/job_simulation.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace surfer {
+
+JobSimulation::JobSimulation(const Topology* topology,
+                             JobSimulationOptions options)
+    : topology_(topology),
+      options_(options),
+      cost_model_(topology, options.cost),
+      alive_(topology->num_machines(), 1),
+      metrics_() {
+  metrics_.disk_rate = TimeSeries(options_.timeline_bucket_s);
+}
+
+void JobSimulation::InjectFault(const FaultPlan& fault) {
+  SURFER_CHECK(fault.machine < topology_->num_machines());
+  pending_faults_.push_back(fault);
+  std::sort(pending_faults_.begin(), pending_faults_.end(),
+            [](const FaultPlan& a, const FaultPlan& b) {
+              return a.fail_at_s < b.fail_at_s;
+            });
+}
+
+namespace {
+
+/// One scheduled execution of a task on a machine.
+struct ExecRecord {
+  const SimTask* task = nullptr;
+  MachineId machine = kInvalidMachine;
+  double start = 0.0;
+  double end = 0.0;
+  bool is_retry = false;
+  bool partial = false;  ///< cut short by the machine's failure
+};
+
+struct QueueEntry {
+  const SimTask* task;
+  double earliest_start;
+  bool is_retry;
+};
+
+}  // namespace
+
+Result<StageMetrics> JobSimulation::RunStage(const std::string& name,
+                                             std::vector<SimTask> tasks) {
+  const double stage_start = now_s_;
+  const uint32_t num_machines = topology_->num_machines();
+
+  // Apply faults that already happened (before this stage).
+  while (!pending_faults_.empty() &&
+         pending_faults_.front().fail_at_s <= stage_start) {
+    alive_[pending_faults_.front().machine] = 0;
+    pending_faults_.erase(pending_faults_.begin());
+  }
+
+  auto route = [&](const SimTask& task) -> MachineId {
+    for (MachineId m : task.candidate_machines) {
+      if (m < num_machines && alive_[m]) {
+        return m;
+      }
+    }
+    return kInvalidMachine;
+  };
+
+  // Greedy list scheduling across replica holders: every candidate machine
+  // stores a copy of the task's input, so the job manager is free to place
+  // the task on whichever replica holder finishes earliest ("dispatches one
+  // more task to a slave node when the slave node finishes a task",
+  // Appendix B). Ties go to the primary (first candidate).
+  std::vector<std::deque<QueueEntry>> queues(num_machines);
+  std::vector<double> projected_load(num_machines, 0.0);
+  for (const SimTask& task : tasks) {
+    MachineId best = kInvalidMachine;
+    double best_finish = 0.0;
+    for (MachineId m : task.candidate_machines) {
+      if (m >= num_machines || !alive_[m]) {
+        continue;
+      }
+      const double finish =
+          projected_load[m] + cost_model_.TaskSeconds(m, task.cost);
+      if (best == kInvalidMachine || finish < best_finish) {
+        best = m;
+        best_finish = finish;
+      }
+    }
+    if (best == kInvalidMachine) {
+      return Status::Unavailable("no alive replica for a task in stage " +
+                                 name);
+    }
+    projected_load[best] = best_finish;
+    queues[best].push_back(QueueEntry{&task, stage_start, false});
+  }
+
+  std::vector<ExecRecord> frozen;  // executions on machines that died
+  size_t reexecuted = 0;
+
+  for (;;) {
+    // Compute the serial schedule of every alive machine.
+    std::vector<std::vector<ExecRecord>> schedule(num_machines);
+    for (MachineId m = 0; m < num_machines; ++m) {
+      if (!alive_[m]) {
+        continue;
+      }
+      double available = stage_start;
+      for (const QueueEntry& entry : queues[m]) {
+        ExecRecord exec;
+        exec.task = entry.task;
+        exec.machine = m;
+        exec.start = std::max(available, entry.earliest_start);
+        double duration = cost_model_.TaskSeconds(m, entry.task->cost);
+        if (entry.is_retry && entry.task->recovery_refetch_bytes > 0.0) {
+          // A recovering Combine task first re-transfers its inputs from the
+          // remote partitions (Appendix B); price the re-fetch at this
+          // machine's average bandwidth to the cluster.
+          double bw_sum = 0.0;
+          uint32_t peers = 0;
+          for (MachineId other = 0; other < num_machines; ++other) {
+            if (other != m && alive_[other]) {
+              bw_sum += topology_->Bandwidth(m, other);
+              ++peers;
+            }
+          }
+          if (peers > 0 && bw_sum > 0.0) {
+            duration += entry.task->recovery_refetch_bytes * peers / bw_sum;
+          }
+        }
+        exec.end = exec.start + duration;
+        exec.is_retry = entry.is_retry;
+        available = exec.end;
+        schedule[m].push_back(exec);
+      }
+    }
+
+    // Find the next fault that lands inside this stage's execution.
+    double makespan = stage_start;
+    for (MachineId m = 0; m < num_machines; ++m) {
+      for (const ExecRecord& exec : schedule[m]) {
+        makespan = std::max(makespan, exec.end);
+      }
+    }
+    auto fault_it = std::find_if(
+        pending_faults_.begin(), pending_faults_.end(),
+        [&](const FaultPlan& f) {
+          return alive_[f.machine] && f.fail_at_s < makespan;
+        });
+    if (fault_it == pending_faults_.end()) {
+      // Stable schedule: account everything and finish the stage.
+      StageMetrics stage;
+      stage.name = name;
+      for (const auto& machine_schedule : schedule) {
+        for (const ExecRecord& exec : machine_schedule) {
+          frozen.push_back(exec);
+        }
+      }
+      double end_time = stage_start;
+      for (const ExecRecord& exec : frozen) {
+        const TaskCost& cost = exec.task->cost;
+        const double duration = exec.end - exec.start;
+        stage.busy_machine_seconds += duration;
+        end_time = std::max(end_time, exec.end);
+        ++stage.num_tasks;
+        if (exec.is_retry) {
+          ++stage.num_reexecuted_tasks;
+        }
+        // Partial executions did partial I/O; completed ones did it all.
+        const double full_duration =
+            cost_model_.TaskSeconds(exec.machine, cost);
+        const double fraction =
+            full_duration > 0.0
+                ? std::clamp(duration / full_duration, 0.0, 1.0)
+                : 1.0;
+        const double disk_bytes =
+            (cost.disk_read_bytes + cost.disk_write_bytes) * fraction;
+        stage.disk_read_bytes += cost.disk_read_bytes * fraction;
+        stage.disk_write_bytes += cost.disk_write_bytes * fraction;
+        metrics_.disk_rate.AddSpan(exec.start, exec.end, disk_bytes);
+        metrics_.task_seconds.Add(duration);
+        for (const auto& [dst, bytes] : cost.network_out) {
+          if (dst != exec.machine) {
+            stage.network_bytes += bytes * fraction;
+          }
+        }
+        if (exec.is_retry) {
+          stage.network_bytes += exec.task->recovery_refetch_bytes;
+        }
+      }
+      stage.duration_s = end_time - stage_start;
+      stage.num_tasks = frozen.size();
+      now_s_ = end_time;
+      metrics_.Accumulate(stage);
+      return stage;
+    }
+
+    // Process the fault: kill the machine, keep its finished work, requeue
+    // the rest after a heartbeat-detection delay.
+    const FaultPlan fault = *fault_it;
+    pending_faults_.erase(fault_it);
+    alive_[fault.machine] = 0;
+    const double detect_at = fault.fail_at_s + options_.heartbeat_interval_s;
+
+    std::vector<QueueEntry> to_requeue;
+    for (ExecRecord& exec : schedule[fault.machine]) {
+      if (exec.end <= fault.fail_at_s) {
+        frozen.push_back(exec);  // completed before the crash
+      } else {
+        if (exec.start < fault.fail_at_s) {
+          // In-flight: the partial work happened (and is lost).
+          ExecRecord partial = exec;
+          partial.end = fault.fail_at_s;
+          partial.partial = true;
+          frozen.push_back(partial);
+        }
+        to_requeue.push_back(QueueEntry{exec.task, detect_at, true});
+      }
+    }
+    queues[fault.machine].clear();
+    for (QueueEntry& entry : to_requeue) {
+      const MachineId m = route(*entry.task);
+      if (m == kInvalidMachine) {
+        return Status::Unavailable(
+            "no alive replica to recover a task in stage " + name);
+      }
+      queues[m].push_back(entry);
+      ++reexecuted;
+    }
+    SURFER_LOG(kInfo) << "stage " << name << ": machine " << fault.machine
+                      << " failed at " << fault.fail_at_s << "s, requeued "
+                      << to_requeue.size() << " tasks (detected at "
+                      << detect_at << "s)";
+    (void)reexecuted;
+  }
+}
+
+}  // namespace surfer

@@ -1,0 +1,99 @@
+#ifndef SURFER_ENGINE_JOB_SIMULATION_H_
+#define SURFER_ENGINE_JOB_SIMULATION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "cluster/metrics.h"
+#include "cluster/topology.h"
+#include "common/result.h"
+#include "graph/types.h"
+#include "storage/replication.h"
+
+namespace surfer {
+
+/// Task kinds, used by the fault-recovery policy of Appendix B: a failed
+/// Transfer task is simply re-executed; a failed Combine task must first
+/// re-transfer its inputs from the remote partitions along incoming edges.
+enum class SimTaskKind {
+  kTransfer,
+  kCombine,
+  kMap,
+  kReduce,
+  kGeneric,
+};
+
+/// One schedulable unit: a partition's work within a bulk-synchronous stage.
+struct SimTask {
+  SimTaskKind kind = SimTaskKind::kGeneric;
+  PartitionId partition = kInvalidPartition;
+  /// Machines that hold the task's input (replica order; [0] preferred).
+  std::vector<MachineId> candidate_machines;
+  TaskCost cost;
+  /// Extra network bytes to re-fetch inputs when this task is re-executed on
+  /// another machine after a failure (Combine tasks re-transfer; Transfer
+  /// tasks re-read their replica, accounted as disk).
+  double recovery_refetch_bytes = 0.0;
+};
+
+/// A machine failure injected at an absolute simulated time (Figure 10's
+/// experiment kills a slave at t = 235 s).
+struct FaultPlan {
+  MachineId machine = kInvalidMachine;
+  double fail_at_s = 0.0;
+};
+
+/// Options of the simulated job manager.
+struct JobSimulationOptions {
+  CostParameters cost;
+  /// Heartbeat interval; failure detection takes one missed heartbeat.
+  double heartbeat_interval_s = 5.0;
+  /// Disk-rate timeline bucket width (Figure 10 plots per-second rates).
+  double timeline_bucket_s = 1.0;
+};
+
+/// A deterministic bulk-synchronous job simulation over a cluster topology.
+///
+/// Each stage list-schedules its tasks: every task starts on its preferred
+/// (primary) machine; machines execute their queue serially; the stage ends
+/// when all tasks finish. An injected fault kills a machine mid-stage: its
+/// unfinished tasks (including the one in flight) are detected after a
+/// heartbeat timeout and re-dispatched to the next alive replica holder,
+/// paying the recovery re-fetch cost. Later stages avoid dead machines
+/// entirely. All timing comes from the cost model; nothing here depends on
+/// wall-clock execution.
+class JobSimulation {
+ public:
+  JobSimulation(const Topology* topology, JobSimulationOptions options);
+
+  /// Schedules a machine failure (must be before any affected RunStage).
+  void InjectFault(const FaultPlan& fault);
+
+  /// Runs one stage; returns its metrics and advances simulated time.
+  /// Fails when a task has no alive candidate machine.
+  Result<StageMetrics> RunStage(const std::string& name,
+                                std::vector<SimTask> tasks);
+
+  double now() const { return now_s_; }
+  bool IsAlive(MachineId m) const { return alive_[m]; }
+  const std::vector<uint8_t>& alive() const { return alive_; }
+  const RunMetrics& metrics() const { return metrics_; }
+  RunMetrics& mutable_metrics() { return metrics_; }
+  const Topology& topology() const { return *topology_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  const Topology* topology_;
+  JobSimulationOptions options_;
+  CostModel cost_model_;
+  std::vector<uint8_t> alive_;
+  std::vector<FaultPlan> pending_faults_;
+  double now_s_ = 0.0;
+  RunMetrics metrics_;
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_ENGINE_JOB_SIMULATION_H_

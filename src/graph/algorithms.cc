@@ -1,0 +1,182 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace surfer {
+
+std::vector<uint32_t> BfsDistances(const Graph& graph, VertexId source) {
+  return MultiSourceBfsDistances(graph, {source});
+}
+
+std::vector<uint32_t> MultiSourceBfsDistances(
+    const Graph& graph, const std::vector<VertexId>& sources) {
+  std::vector<uint32_t> dist(graph.num_vertices(), kUnreachableDistance);
+  std::deque<VertexId> queue;
+  for (VertexId s : sources) {
+    if (s < graph.num_vertices() && dist[s] == kUnreachableDistance) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : graph.OutNeighbors(u)) {
+      if (dist[v] == kUnreachableDistance) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<VertexId> WeaklyConnectedComponents(const Graph& graph) {
+  const Graph undirected = graph.Undirected();
+  const VertexId n = undirected.num_vertices();
+  std::vector<VertexId> label(n, kInvalidVertex);
+  std::deque<VertexId> queue;
+  for (VertexId root = 0; root < n; ++root) {
+    if (label[root] != kInvalidVertex) {
+      continue;
+    }
+    label[root] = root;
+    queue.push_back(root);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      for (VertexId v : undirected.OutNeighbors(u)) {
+        if (label[v] == kInvalidVertex) {
+          label[v] = root;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+size_t CountWeaklyConnectedComponents(const Graph& graph) {
+  const auto labels = WeaklyConnectedComponents(graph);
+  size_t count = 0;
+  for (VertexId v = 0; v < labels.size(); ++v) {
+    if (labels[v] == v) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint32_t EstimateDiameter(const Graph& graph, uint32_t samples,
+                          uint64_t seed) {
+  const VertexId n = graph.num_vertices();
+  if (n == 0) {
+    return 0;
+  }
+  Rng rng(seed);
+  uint32_t diameter = 0;
+  const uint32_t actual_samples = std::min<uint32_t>(samples, n);
+  for (uint32_t i = 0; i < actual_samples; ++i) {
+    const VertexId source =
+        samples >= n ? static_cast<VertexId>(i)
+                     : static_cast<VertexId>(rng.Uniform(n));
+    const auto dist = BfsDistances(graph, source);
+    for (uint32_t d : dist) {
+      if (d != kUnreachableDistance) {
+        diameter = std::max(diameter, d);
+      }
+    }
+  }
+  return diameter;
+}
+
+std::vector<double> ReferencePageRank(const Graph& graph, int iterations,
+                                      double damping) {
+  const VertexId n = graph.num_vertices();
+  if (n == 0) {
+    return {};
+  }
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), (1.0 - damping) / n);
+    for (VertexId u = 0; u < n; ++u) {
+      const size_t degree = graph.OutDegree(u);
+      if (degree == 0) {
+        continue;  // rank leaks, matching the paper's update rule
+      }
+      const double share = damping * rank[u] / static_cast<double>(degree);
+      for (VertexId v : graph.OutNeighbors(u)) {
+        next[v] += share;
+      }
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+uint64_t ReferenceTriangleCount(const Graph& graph) {
+  // Count on the symmetrized graph with the standard ordered-wedge method:
+  // for each edge (u, v) with u < v, intersect higher-ordered neighbors.
+  const Graph und = graph.Undirected();
+  const VertexId n = und.num_vertices();
+  uint64_t triangles = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    const auto u_nbrs = und.OutNeighbors(u);
+    for (VertexId v : u_nbrs) {
+      if (v <= u) {
+        continue;
+      }
+      const auto v_nbrs = und.OutNeighbors(v);
+      // Intersect neighbors w > v of both u and v.
+      auto it_u = std::lower_bound(u_nbrs.begin(), u_nbrs.end(), v + 1);
+      auto it_v = std::lower_bound(v_nbrs.begin(), v_nbrs.end(), v + 1);
+      while (it_u != u_nbrs.end() && it_v != v_nbrs.end()) {
+        if (*it_u < *it_v) {
+          ++it_u;
+        } else if (*it_v < *it_u) {
+          ++it_v;
+        } else {
+          ++triangles;
+          ++it_u;
+          ++it_v;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+std::vector<VertexId> ReferenceTwoHopNeighbors(const Graph& graph,
+                                               VertexId v) {
+  std::unordered_set<VertexId> result;
+  for (VertexId u : graph.OutNeighbors(v)) {
+    for (VertexId w : graph.OutNeighbors(u)) {
+      if (w != v) {
+        result.insert(w);
+      }
+    }
+  }
+  std::vector<VertexId> sorted(result.begin(), result.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+std::vector<uint64_t> ReferenceDegreeHistogram(const Graph& graph) {
+  size_t max_degree = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, graph.OutDegree(v));
+  }
+  std::vector<uint64_t> histogram(max_degree + 1, 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    ++histogram[graph.OutDegree(v)];
+  }
+  return histogram;
+}
+
+}  // namespace surfer

@@ -1,0 +1,61 @@
+#ifndef SURFER_GRAPH_ALGORITHMS_H_
+#define SURFER_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace surfer {
+
+/// Single-machine reference implementations used as verification oracles for
+/// the distributed engines, and as building blocks for the partitioner
+/// (BFS/diameter) and cascaded propagation (V_k levels).
+
+/// BFS distances from `source` along out-edges; kUnreachable for vertices
+/// not reached.
+inline constexpr uint32_t kUnreachableDistance = UINT32_MAX;
+std::vector<uint32_t> BfsDistances(const Graph& graph, VertexId source);
+
+/// Multi-source BFS: distance to the nearest of `sources`.
+std::vector<uint32_t> MultiSourceBfsDistances(
+    const Graph& graph, const std::vector<VertexId>& sources);
+
+/// Weakly connected component label per vertex (labels are the smallest
+/// vertex ID in the component).
+std::vector<VertexId> WeaklyConnectedComponents(const Graph& graph);
+
+/// Number of distinct weakly connected components.
+size_t CountWeaklyConnectedComponents(const Graph& graph);
+
+/// Eccentricity-sampled pseudo-diameter: max BFS depth over `samples`
+/// randomly chosen sources (exact on small graphs when samples >= n).
+/// Only reachable vertices count. Returns 0 for an empty graph.
+uint32_t EstimateDiameter(const Graph& graph, uint32_t samples,
+                          uint64_t seed = 1);
+
+/// Reference PageRank with the paper's update rule
+///   PR(v) = (1-d)/N + d * sum(PR(t)/C(t)) over in-neighbors t,
+/// where C(t) is the out-degree of t. Vertices with zero out-degree simply
+/// leak rank (matching the paper's formula, which has no dangling-node
+/// correction). Starts from PR = 1/N.
+std::vector<double> ReferencePageRank(const Graph& graph, int iterations,
+                                      double damping = 0.85);
+
+/// Exact count of undirected triangles: unordered vertex triples {a, b, c}
+/// with an edge in either direction between every pair.
+uint64_t ReferenceTriangleCount(const Graph& graph);
+
+/// Two-hop out-neighborhood of `v`: distinct vertices w != v reachable by a
+/// path v -> u -> w, excluding direct neighbors? No — the paper's TFL keeps
+/// all distinct vertices appearing in neighbors' neighbor lists; we return
+/// exactly that set (sorted), excluding v itself.
+std::vector<VertexId> ReferenceTwoHopNeighbors(const Graph& graph, VertexId v);
+
+/// Out-degree histogram: result[d] = number of vertices with out-degree d.
+std::vector<uint64_t> ReferenceDegreeHistogram(const Graph& graph);
+
+}  // namespace surfer
+
+#endif  // SURFER_GRAPH_ALGORITHMS_H_

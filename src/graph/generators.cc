@@ -1,0 +1,184 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph_builder.h"
+
+namespace surfer {
+
+namespace {
+
+/// Rounds n up to the next power of two (min 2).
+VertexId NextPowerOfTwo(VertexId n) {
+  if (n <= 2) {
+    return 2;
+  }
+  return static_cast<VertexId>(std::bit_ceil(static_cast<uint32_t>(n)));
+}
+
+/// Draws one R-MAT edge in an n x n adjacency matrix, n a power of two.
+Edge DrawRmatEdge(VertexId n, const RmatOptions& opt, Rng& rng) {
+  VertexId row = 0;
+  VertexId col = 0;
+  for (VertexId size = n; size > 1; size /= 2) {
+    const double r = rng.NextDouble();
+    const VertexId half = size / 2;
+    if (r < opt.a) {
+      // top-left quadrant: no offset
+    } else if (r < opt.a + opt.b) {
+      col += half;
+    } else if (r < opt.a + opt.b + opt.c) {
+      row += half;
+    } else {
+      row += half;
+      col += half;
+    }
+  }
+  return Edge{row, col};
+}
+
+Status ValidateRmat(const RmatOptions& opt) {
+  const double sum = opt.a + opt.b + opt.c + opt.d;
+  if (opt.a <= 0 || opt.b <= 0 || opt.c <= 0 || opt.d <= 0 ||
+      std::abs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument(
+        "R-MAT probabilities must be positive and sum to 1");
+  }
+  if (opt.num_vertices < 2) {
+    return Status::InvalidArgument("R-MAT graph needs at least 2 vertices");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Graph> GenerateRmat(const RmatOptions& options) {
+  SURFER_RETURN_IF_ERROR(ValidateRmat(options));
+  const VertexId n = NextPowerOfTwo(options.num_vertices);
+  Rng rng(options.seed);
+
+  std::vector<VertexId> permutation(n);
+  std::iota(permutation.begin(), permutation.end(), 0);
+  if (options.permute) {
+    std::shuffle(permutation.begin(), permutation.end(), rng);
+  }
+
+  GraphBuilder builder(n);
+  uint64_t added = 0;
+  // Cap rejection retries so adversarial parameters still terminate.
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = options.num_edges * 20 + 1000;
+  while (added < options.num_edges && attempts < max_attempts) {
+    ++attempts;
+    Edge e = DrawRmatEdge(n, options, rng);
+    if (e.src == e.dst) {
+      continue;  // skip self-loops
+    }
+    SURFER_RETURN_IF_ERROR(
+        builder.AddEdge(permutation[e.src], permutation[e.dst]));
+    ++added;
+  }
+  return std::move(builder).Build(/*dedupe=*/true);
+}
+
+Result<Graph> GenerateErdosRenyi(const ErdosRenyiOptions& options) {
+  if (options.num_vertices < 2) {
+    return Status::InvalidArgument("ER graph needs at least 2 vertices");
+  }
+  Rng rng(options.seed);
+  GraphBuilder builder(options.num_vertices);
+  for (uint64_t i = 0; i < options.num_edges; ++i) {
+    const VertexId u =
+        static_cast<VertexId>(rng.Uniform(options.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.Uniform(options.num_vertices));
+    if (u == v) {
+      v = (v + 1) % options.num_vertices;
+    }
+    SURFER_RETURN_IF_ERROR(builder.AddEdge(u, v));
+  }
+  return std::move(builder).Build(/*dedupe=*/true);
+}
+
+Result<Graph> GenerateCompositeSmallWorld(
+    const CompositeSmallWorldOptions& options) {
+  if (options.num_components == 0) {
+    return Status::InvalidArgument("need at least one component");
+  }
+  if (options.rewire_ratio < 0.0 || options.rewire_ratio > 1.0) {
+    return Status::InvalidArgument("rewire_ratio must be within [0, 1]");
+  }
+  Rng rng(options.seed);
+
+  // Each component is an R-MAT graph over its own ID range.
+  RmatOptions comp = options.component_rmat;
+  comp.num_vertices = options.vertices_per_component;
+  comp.num_edges = options.edges_per_component;
+
+  std::vector<Edge> edges;
+  VertexId total_vertices = 0;
+  std::vector<VertexId> component_base(options.num_components, 0);
+  for (uint32_t c = 0; c < options.num_components; ++c) {
+    comp.seed = options.seed * 1315423911ULL + c + 1;
+    SURFER_ASSIGN_OR_RETURN(Graph g, GenerateRmat(comp));
+    component_base[c] = total_vertices;
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (VertexId v : g.OutNeighbors(u)) {
+        edges.push_back(Edge{total_vertices + u, total_vertices + v});
+      }
+    }
+    total_vertices += g.num_vertices();
+  }
+
+  // Rewire a p_r fraction of all edges: keep the source, retarget the
+  // destination to a uniformly random vertex in a *different* component.
+  // This is the paper's method of stitching components into one graph.
+  const uint64_t num_rewired = static_cast<uint64_t>(
+      std::llround(options.rewire_ratio * static_cast<double>(edges.size())));
+  const VertexId comp_size = total_vertices / options.num_components;
+  for (uint64_t i = 0; i < num_rewired && !edges.empty(); ++i) {
+    Edge& e = edges[rng.Uniform(edges.size())];
+    const uint32_t src_comp = e.src / comp_size;
+    uint32_t dst_comp = static_cast<uint32_t>(
+        rng.Uniform(options.num_components));
+    if (dst_comp == src_comp) {
+      dst_comp = (dst_comp + 1) % options.num_components;
+    }
+    const VertexId base = component_base[std::min(
+        dst_comp, options.num_components - 1)];
+    e.dst = base + static_cast<VertexId>(rng.Uniform(comp_size));
+    if (e.dst == e.src) {
+      e.dst = base;
+    }
+  }
+
+  return GraphBuilder::FromEdges(total_vertices, edges, /*dedupe=*/true);
+}
+
+Result<Graph> GenerateSocialGraph(const SocialGraphOptions& options) {
+  if (options.num_communities == 0) {
+    return Status::InvalidArgument("need at least one community");
+  }
+  CompositeSmallWorldOptions composite;
+  composite.num_components = options.num_communities;
+  composite.vertices_per_component = std::max<VertexId>(
+      2, options.num_vertices / options.num_communities);
+  composite.edges_per_component = static_cast<uint64_t>(
+      std::llround(options.avg_out_degree *
+                   static_cast<double>(composite.vertices_per_component)));
+  composite.rewire_ratio = options.rewire_ratio;
+  composite.seed = options.seed;
+  // Social networks are heavy-tailed; skew the R-MAT quadrants harder than
+  // the defaults to deepen the power-law.
+  composite.component_rmat.a = 0.6;
+  composite.component_rmat.b = 0.18;
+  composite.component_rmat.c = 0.18;
+  composite.component_rmat.d = 0.04;
+  return GenerateCompositeSmallWorld(composite);
+}
+
+}  // namespace surfer

@@ -1,0 +1,95 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace surfer {
+
+size_t Graph::StoredBytes() const {
+  return StoredBytesOfRange(0, num_vertices());
+}
+
+size_t Graph::StoredBytesOfRange(VertexId begin, VertexId end) const {
+  if (begin >= end) {
+    return 0;
+  }
+  const size_t vertices = end - begin;
+  const size_t edges =
+      static_cast<size_t>(offsets_[end] - offsets_[begin]);
+  return vertices * (kStoredVertexIdBytes + kStoredDegreeBytes) +
+         edges * kStoredVertexIdBytes;
+}
+
+Graph Graph::Reversed() const {
+  const VertexId n = num_vertices();
+  std::vector<EdgeIndex> in_offsets(n + 1, 0);
+  for (VertexId v : neighbors_) {
+    ++in_offsets[v + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    in_offsets[v + 1] += in_offsets[v];
+  }
+  std::vector<VertexId> in_neighbors(neighbors_.size());
+  std::vector<EdgeIndex> cursor(in_offsets.begin(), in_offsets.end() - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : OutNeighbors(u)) {
+      in_neighbors[cursor[v]++] = u;
+    }
+  }
+  // Reversed adjacency comes out sorted by source, so each list is sorted.
+  return Graph(std::move(in_offsets), std::move(in_neighbors));
+}
+
+Graph Graph::Undirected() const {
+  const VertexId n = num_vertices();
+  // Count both directions, then sort + dedupe per vertex.
+  std::vector<EdgeIndex> degree(n + 1, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : OutNeighbors(u)) {
+      if (u == v) {
+        continue;  // self-loops carry no cross-partition traffic
+      }
+      ++degree[u + 1];
+      ++degree[v + 1];
+    }
+  }
+  std::vector<EdgeIndex> offsets(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + degree[v + 1];
+  }
+  std::vector<VertexId> adj(offsets[n]);
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : OutNeighbors(u)) {
+      if (u == v) {
+        continue;
+      }
+      adj[cursor[u]++] = v;
+      adj[cursor[v]++] = u;
+    }
+  }
+  // Dedupe in place.
+  std::vector<EdgeIndex> new_offsets(n + 1, 0);
+  EdgeIndex write = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const EdgeIndex begin = offsets[v];
+    const EdgeIndex end = offsets[v + 1];
+    std::sort(adj.begin() + begin, adj.begin() + end);
+    EdgeIndex unique_end = write;
+    for (EdgeIndex i = begin; i < end; ++i) {
+      if (unique_end == write || adj[unique_end - 1] != adj[i]) {
+        adj[unique_end++] = adj[i];
+      }
+    }
+    write = unique_end;
+    new_offsets[v + 1] = write;
+  }
+  adj.resize(write);
+  return Graph(std::move(new_offsets), std::move(adj));
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace surfer

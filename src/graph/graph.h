@@ -1,0 +1,72 @@
+#ifndef SURFER_GRAPH_GRAPH_H_
+#define SURFER_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace surfer {
+
+/// An immutable directed graph in CSR (compressed sparse row) form.
+///
+/// Vertices are dense IDs [0, num_vertices). Out-neighbors of v live in
+/// `neighbors[offsets[v] .. offsets[v+1])`. The structure is append-built by
+/// GraphBuilder and never mutated afterwards; engines treat it as shared
+/// read-only data.
+class Graph {
+ public:
+  Graph() = default;
+  Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> neighbors)
+      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {}
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  EdgeIndex num_edges() const { return neighbors_.size(); }
+
+  /// Out-degree of v.
+  size_t OutDegree(VertexId v) const {
+    return static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Out-neighbors of v as a contiguous span.
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  const std::vector<EdgeIndex>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& neighbors() const { return neighbors_; }
+
+  /// Simulated on-disk size of the whole graph in the paper's adjacency-list
+  /// record format (Section 3).
+  size_t StoredBytes() const;
+
+  /// Simulated stored size of the vertex range [begin, end).
+  size_t StoredBytesOfRange(VertexId begin, VertexId end) const;
+
+  /// Builds the transposed (reverse) graph: edge (u,v) becomes (v,u).
+  Graph Reversed() const;
+
+  /// Builds the undirected (symmetrized, deduplicated) version. Used by the
+  /// partitioner, which treats cross-partition traffic as direction-free.
+  Graph Undirected() const;
+
+  /// True if edge (u, v) exists (binary search when neighbor lists are
+  /// sorted, which GraphBuilder guarantees; linear scan otherwise is still
+  /// correct because the list is small).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  bool operator==(const Graph&) const = default;
+
+ private:
+  // offsets_.size() == num_vertices + 1; offsets_[0] == 0.
+  std::vector<EdgeIndex> offsets_;
+  std::vector<VertexId> neighbors_;
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_GRAPH_GRAPH_H_

@@ -1,0 +1,83 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <string>
+
+namespace surfer {
+
+Status GraphBuilder::AddEdge(VertexId src, VertexId dst) {
+  if (src >= num_vertices_ || dst >= num_vertices_) {
+    return Status::InvalidArgument(
+        "edge (" + std::to_string(src) + ", " + std::to_string(dst) +
+        ") out of range for " + std::to_string(num_vertices_) + " vertices");
+  }
+  edges_.push_back(Edge{src, dst});
+  return Status::OK();
+}
+
+Status GraphBuilder::AddUndirectedEdge(VertexId u, VertexId v) {
+  SURFER_RETURN_IF_ERROR(AddEdge(u, v));
+  if (u != v) {
+    SURFER_RETURN_IF_ERROR(AddEdge(v, u));
+  }
+  return Status::OK();
+}
+
+Status GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
+  edges_.reserve(edges_.size() + edges.size());
+  for (const Edge& e : edges) {
+    SURFER_RETURN_IF_ERROR(AddEdge(e.src, e.dst));
+  }
+  return Status::OK();
+}
+
+Graph GraphBuilder::Build(bool dedupe) && {
+  const VertexId n = num_vertices_;
+  std::vector<EdgeIndex> offsets(n + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets[e.src + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[v + 1] += offsets[v];
+  }
+  std::vector<VertexId> neighbors(edges_.size());
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges_) {
+    neighbors[cursor[e.src]++] = e.dst;
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(neighbors.begin() + offsets[v], neighbors.begin() + offsets[v + 1]);
+  }
+  if (!dedupe) {
+    return Graph(std::move(offsets), std::move(neighbors));
+  }
+  std::vector<EdgeIndex> new_offsets(n + 1, 0);
+  EdgeIndex write = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const EdgeIndex begin = offsets[v];
+    const EdgeIndex end = offsets[v + 1];
+    EdgeIndex unique_end = write;
+    for (EdgeIndex i = begin; i < end; ++i) {
+      if (unique_end == write || neighbors[unique_end - 1] != neighbors[i]) {
+        neighbors[unique_end++] = neighbors[i];
+      }
+    }
+    write = unique_end;
+    new_offsets[v + 1] = write;
+  }
+  neighbors.resize(write);
+  return Graph(std::move(new_offsets), std::move(neighbors));
+}
+
+Result<Graph> GraphBuilder::FromEdges(VertexId num_vertices,
+                                      const std::vector<Edge>& edges,
+                                      bool dedupe) {
+  GraphBuilder builder(num_vertices);
+  SURFER_RETURN_IF_ERROR(builder.AddEdges(edges));
+  return std::move(builder).Build(dedupe);
+}
+
+}  // namespace surfer

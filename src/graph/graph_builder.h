@@ -1,0 +1,49 @@
+#ifndef SURFER_GRAPH_GRAPH_BUILDER_H_
+#define SURFER_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace surfer {
+
+/// Accumulates edges and produces an immutable CSR Graph with sorted,
+/// optionally de-duplicated neighbor lists.
+class GraphBuilder {
+ public:
+  /// `num_vertices` fixes the vertex universe [0, num_vertices).
+  explicit GraphBuilder(VertexId num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  VertexId num_vertices() const { return num_vertices_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Appends a directed edge. Returns InvalidArgument for out-of-range
+  /// endpoints.
+  Status AddEdge(VertexId src, VertexId dst);
+
+  /// Appends both (u,v) and (v,u).
+  Status AddUndirectedEdge(VertexId u, VertexId v);
+
+  /// Bulk append; stops at the first invalid edge.
+  Status AddEdges(const std::vector<Edge>& edges);
+
+  /// Builds the CSR graph. Neighbor lists come out sorted; duplicate edges
+  /// are removed when `dedupe` is true. The builder is consumed.
+  Graph Build(bool dedupe = true) &&;
+
+  /// Convenience: build a graph directly from an edge list.
+  static Result<Graph> FromEdges(VertexId num_vertices,
+                                 const std::vector<Edge>& edges,
+                                 bool dedupe = true);
+
+ private:
+  VertexId num_vertices_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_GRAPH_GRAPH_BUILDER_H_

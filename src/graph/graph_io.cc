@@ -1,0 +1,142 @@
+#include "graph/graph_io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace surfer {
+
+namespace {
+constexpr uint64_t kMagic = 0x5355524645521001ULL;  // "SURFER" + version
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+}  // namespace
+
+Status WriteGraphFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  WritePod(out, kMagic);
+  WritePod(out, static_cast<uint64_t>(graph.num_vertices()));
+  WritePod(out, static_cast<uint64_t>(graph.num_edges()));
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    // The paper's record: <ID (8 B), degree (4 B), neighbors (8 B each)>.
+    WritePod(out, static_cast<uint64_t>(v));
+    WritePod(out, static_cast<uint32_t>(graph.OutDegree(v)));
+    for (VertexId nbr : graph.OutNeighbors(v)) {
+      WritePod(out, static_cast<uint64_t>(nbr));
+    }
+  }
+  if (!out) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Graph> ReadGraphFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  uint64_t magic = 0;
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  if (!ReadPod(in, &magic) || magic != kMagic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (!ReadPod(in, &num_vertices) || !ReadPod(in, &num_edges)) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  std::vector<EdgeIndex> offsets;
+  offsets.reserve(num_vertices + 1);
+  offsets.push_back(0);
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(num_edges);
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    uint64_t id = 0;
+    uint32_t degree = 0;
+    if (!ReadPod(in, &id) || !ReadPod(in, &degree)) {
+      return Status::Corruption("truncated record in " + path);
+    }
+    if (id != v) {
+      return Status::Corruption("record out of order in " + path);
+    }
+    for (uint32_t i = 0; i < degree; ++i) {
+      uint64_t nbr = 0;
+      if (!ReadPod(in, &nbr)) {
+        return Status::Corruption("truncated neighbor list in " + path);
+      }
+      if (nbr >= num_vertices) {
+        return Status::Corruption("neighbor out of range in " + path);
+      }
+      neighbors.push_back(static_cast<VertexId>(nbr));
+    }
+    offsets.push_back(neighbors.size());
+  }
+  if (neighbors.size() != num_edges) {
+    return Status::Corruption("edge count mismatch in " + path);
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Status WriteEdgeListText(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  out << "# surfer edge list: " << graph.num_vertices() << " vertices, "
+      << graph.num_edges() << " edges\n";
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId nbr : graph.OutNeighbors(v)) {
+      out << v << ' ' << nbr << '\n';
+    }
+  }
+  if (!out) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Graph> ReadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  std::vector<Edge> edges;
+  VertexId max_vertex = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ss(line);
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    if (!(ss >> src >> dst)) {
+      return Status::Corruption("unparsable line in " + path + ": " + line);
+    }
+    edges.push_back(
+        Edge{static_cast<VertexId>(src), static_cast<VertexId>(dst)});
+    max_vertex = std::max({max_vertex, static_cast<VertexId>(src),
+                           static_cast<VertexId>(dst)});
+  }
+  const VertexId n = edges.empty() ? 0 : max_vertex + 1;
+  return GraphBuilder::FromEdges(n, edges, /*dedupe=*/false);
+}
+
+}  // namespace surfer

@@ -1,0 +1,31 @@
+#ifndef SURFER_GRAPH_GRAPH_IO_H_
+#define SURFER_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace surfer {
+
+/// Serialization of graphs in the paper's adjacency-list record layout
+/// <ID (8 B), degree (4 B), neighbor IDs (8 B each)> preceded by a small
+/// header. Real files, used by examples and storage tests; the simulated
+/// storage layer accounts the same byte counts without touching the disk.
+
+/// Writes `graph` to `path` in binary adjacency-list format.
+Status WriteGraphFile(const Graph& graph, const std::string& path);
+
+/// Reads a graph written by WriteGraphFile.
+Result<Graph> ReadGraphFile(const std::string& path);
+
+/// Writes a plain-text edge list ("src dst\n" per edge) for interop.
+Status WriteEdgeListText(const Graph& graph, const std::string& path);
+
+/// Reads a plain-text edge list; lines starting with '#' are comments.
+/// Vertices are the max ID seen + 1.
+Result<Graph> ReadEdgeListText(const std::string& path);
+
+}  // namespace surfer
+
+#endif  // SURFER_GRAPH_GRAPH_IO_H_

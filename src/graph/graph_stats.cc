@@ -1,0 +1,57 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/units.h"
+
+namespace surfer {
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.num_edges = graph.num_edges();
+  stats.stored_bytes = graph.StoredBytes();
+  if (stats.num_vertices == 0) {
+    return stats;
+  }
+  stats.avg_out_degree =
+      static_cast<double>(stats.num_edges) / stats.num_vertices;
+
+  std::vector<size_t> degrees(stats.num_vertices);
+  for (VertexId v = 0; v < stats.num_vertices; ++v) {
+    degrees[v] = graph.OutDegree(v);
+    stats.max_out_degree = std::max(stats.max_out_degree, degrees[v]);
+    if (degrees[v] == 0) {
+      ++stats.num_isolated;
+    }
+  }
+
+  // Gini index over the sorted degree sequence.
+  std::sort(degrees.begin(), degrees.end());
+  double weighted_sum = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    weighted_sum += static_cast<double>(i + 1) * degrees[i];
+    total += static_cast<double>(degrees[i]);
+  }
+  if (total > 0) {
+    const double n = static_cast<double>(degrees.size());
+    stats.degree_gini = (2.0 * weighted_sum) / (n * total) - (n + 1.0) / n;
+  }
+  return stats;
+}
+
+std::string GraphStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "vertices=%u edges=%llu avg_deg=%.2f max_deg=%zu "
+                "isolated=%zu gini=%.3f stored=%s",
+                num_vertices, static_cast<unsigned long long>(num_edges),
+                avg_out_degree, max_out_degree, num_isolated, degree_gini,
+                FormatBytes(static_cast<double>(stored_bytes)).c_str());
+  return buf;
+}
+
+}  // namespace surfer

@@ -1,0 +1,29 @@
+#ifndef SURFER_GRAPH_GRAPH_STATS_H_
+#define SURFER_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace surfer {
+
+/// Summary statistics for a graph, printed by examples and benches.
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeIndex num_edges = 0;
+  double avg_out_degree = 0.0;
+  size_t max_out_degree = 0;
+  size_t num_isolated = 0;      ///< vertices with out-degree 0
+  size_t stored_bytes = 0;      ///< paper-format adjacency bytes
+  double degree_gini = 0.0;     ///< inequality of the degree distribution
+
+  std::string ToString() const;
+};
+
+/// Computes summary statistics in one pass (plus a sort for the Gini index).
+GraphStats ComputeGraphStats(const Graph& graph);
+
+}  // namespace surfer
+
+#endif  // SURFER_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,54 @@
+#ifndef SURFER_GRAPH_TYPES_H_
+#define SURFER_GRAPH_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace surfer {
+
+/// Vertex identifier. 32 bits covers the graph scales this repository runs
+/// (the paper's MSN graph would need 64; the storage *format* below still
+/// accounts 8 bytes per ID to match the paper's byte model).
+using VertexId = uint32_t;
+
+/// Edge index into a CSR neighbor array.
+using EdgeIndex = uint64_t;
+
+/// Partition identifier (the paper uses P <= 128 partitions).
+using PartitionId = uint32_t;
+
+/// Machine identifier within a simulated cluster.
+using MachineId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr PartitionId kInvalidPartition =
+    std::numeric_limits<PartitionId>::max();
+inline constexpr MachineId kInvalidMachine =
+    std::numeric_limits<MachineId>::max();
+
+/// A directed edge (source -> destination).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  bool operator==(const Edge&) const = default;
+};
+
+/// On-"disk" record sizes for the paper's adjacency-list format
+/// <ID, d, neighbors> (Section 3): 8-byte vertex IDs, 4-byte degree. All
+/// simulated disk/network byte accounting uses these constants so that I/O
+/// *ratios* match the paper irrespective of in-memory representation.
+inline constexpr size_t kStoredVertexIdBytes = 8;
+inline constexpr size_t kStoredDegreeBytes = 4;
+
+/// Bytes of the stored adjacency record for a vertex of degree d.
+constexpr size_t StoredVertexRecordBytes(size_t degree) {
+  return kStoredVertexIdBytes + kStoredDegreeBytes +
+         degree * kStoredVertexIdBytes;
+}
+
+}  // namespace surfer
+
+#endif  // SURFER_GRAPH_TYPES_H_

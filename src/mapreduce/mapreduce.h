@@ -1,0 +1,92 @@
+#ifndef SURFER_MAPREDUCE_MAPREDUCE_H_
+#define SURFER_MAPREDUCE_MAPREDUCE_H_
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "storage/partitioned_graph.h"
+
+namespace surfer {
+
+/// Read-only view of one graph partition handed to a map task: the paper's
+/// home-grown MapReduce "provides the map function with a graph partition as
+/// input, in order to exploit the data locality within the graph partition"
+/// (Section 3.1).
+class PartitionView {
+ public:
+  PartitionView(const Graph* encoded, const PartitionMeta* meta)
+      : encoded_(encoded), meta_(meta) {}
+
+  PartitionId id() const { return meta_->id; }
+  VertexId begin() const { return meta_->begin; }
+  VertexId end() const { return meta_->end; }
+  VertexId num_vertices() const { return meta_->num_vertices(); }
+  size_t OutDegree(VertexId v) const { return encoded_->OutDegree(v); }
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return encoded_->OutNeighbors(v);
+  }
+  const PartitionMeta& meta() const { return *meta_; }
+
+ private:
+  const Graph* encoded_;
+  const PartitionMeta* meta_;
+};
+
+/// Collects (key, value) pairs from a map task.
+template <typename Key, typename Value>
+class MapEmitter {
+ public:
+  void Emit(Key key, Value value) {
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+  std::vector<std::pair<Key, Value>>& pairs() { return pairs_; }
+
+ private:
+  std::vector<std::pair<Key, Value>> pairs_;
+};
+
+/// The MapReduce application interface (Appendix A.1). An app provides:
+///   using Key, Value, Output;
+///   void Map(const PartitionView&, MapEmitter<Key, Value>&) const;
+///   Output Reduce(const Key&, std::vector<Value>&) const;
+///   size_t PairBytes(const Key&, const Value&) const;
+///   size_t OutputBytes(const Output&) const;
+/// Optionally:
+///   Value CombineValues(const Value&, const Value&) const — a map-side
+///   combiner merging values per key before the shuffle.
+template <typename App>
+concept MapReduceApp = requires(
+    const App app, PartitionView view,
+    MapEmitter<typename App::Key, typename App::Value> emitter,
+    typename App::Key key, std::vector<typename App::Value> values) {
+  typename App::Key;
+  typename App::Value;
+  typename App::Output;
+  app.Map(view, emitter);
+  { app.Reduce(key, values) } -> std::same_as<typename App::Output>;
+  { app.PairBytes(key, values[0]) } -> std::convertible_to<size_t>;
+};
+
+/// Detected when the app supplies a map-side combiner.
+template <typename App>
+concept CombinerApp = requires(const App app, const typename App::Value v) {
+  { app.CombineValues(v, v) } -> std::same_as<typename App::Value>;
+};
+
+/// Detected when the app's map reads per-vertex state alongside the graph
+/// partition (iterative jobs like PageRank read the rank file); the returned
+/// byte count is charged to the map task's disk reads.
+template <typename App>
+concept StatefulMapApp = requires(const App app, PartitionView view) {
+  { app.MapExtraReadBytes(view) } -> std::convertible_to<size_t>;
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_MAPREDUCE_MAPREDUCE_H_

@@ -1,0 +1,387 @@
+#include "partition/bisection.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <tuple>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace surfer {
+
+int64_t ComputeCutWeight(const WeightedGraph& graph,
+                         const std::vector<uint8_t>& side) {
+  int64_t cut = 0;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    const auto nbrs = graph.Neighbors(u);
+    const auto weights = graph.EdgeWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (side[u] != side[nbrs[i]]) {
+        cut += weights[i];
+      }
+    }
+  }
+  return cut / 2;  // every undirected edge counted from both endpoints
+}
+
+namespace internal {
+
+WeightedGraph CoarsenOnce(const WeightedGraph& graph, uint64_t seed,
+                          std::vector<VertexId>* fine_to_coarse) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> match(n, kInvalidVertex);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  // Heavy-edge matching: each unmatched vertex grabs its heaviest unmatched
+  // neighbor.
+  for (VertexId u : order) {
+    if (match[u] != kInvalidVertex) {
+      continue;
+    }
+    const auto nbrs = graph.Neighbors(u);
+    const auto weights = graph.EdgeWeights(u);
+    VertexId best = kInvalidVertex;
+    int64_t best_weight = -1;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (v != u && match[v] == kInvalidVertex && weights[i] > best_weight) {
+        best = v;
+        best_weight = weights[i];
+      }
+    }
+    if (best != kInvalidVertex) {
+      match[u] = best;
+      match[best] = u;
+    } else {
+      match[u] = u;  // stays single
+    }
+  }
+
+  // Assign coarse IDs (pair representative = smaller fine ID).
+  fine_to_coarse->assign(n, kInvalidVertex);
+  VertexId next_coarse = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if ((*fine_to_coarse)[v] != kInvalidVertex) {
+      continue;
+    }
+    (*fine_to_coarse)[v] = next_coarse;
+    const VertexId mate = match[v];
+    if (mate != v && mate != kInvalidVertex) {
+      (*fine_to_coarse)[mate] = next_coarse;
+    }
+    ++next_coarse;
+  }
+
+  // Build the coarse graph by accumulating edges per coarse vertex.
+  WeightedGraph coarse;
+  coarse.vertex_weights.assign(next_coarse, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    coarse.vertex_weights[(*fine_to_coarse)[v]] += graph.vertex_weights[v];
+  }
+  // Bucket fine vertices by coarse vertex to merge adjacency lists.
+  std::vector<std::vector<VertexId>> members(next_coarse);
+  for (VertexId v = 0; v < n; ++v) {
+    members[(*fine_to_coarse)[v]].push_back(v);
+  }
+  coarse.offsets.assign(next_coarse + 1, 0);
+  std::vector<int64_t> accumulator(next_coarse, 0);
+  std::vector<VertexId> touched;
+  for (VertexId c = 0; c < next_coarse; ++c) {
+    touched.clear();
+    for (VertexId v : members[c]) {
+      const auto nbrs = graph.Neighbors(v);
+      const auto weights = graph.EdgeWeights(v);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId cn = (*fine_to_coarse)[nbrs[i]];
+        if (cn == c) {
+          continue;  // intra-pair edge collapses
+        }
+        if (accumulator[cn] == 0) {
+          touched.push_back(cn);
+        }
+        accumulator[cn] += weights[i];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (VertexId cn : touched) {
+      coarse.neighbors.push_back(cn);
+      coarse.edge_weights.push_back(accumulator[cn]);
+      accumulator[cn] = 0;
+    }
+    coarse.offsets[c + 1] = coarse.neighbors.size();
+  }
+  return coarse;
+}
+
+namespace {
+
+/// Weight of edges from v into each side, given the current assignment.
+struct SideWeights {
+  int64_t same = 0;
+  int64_t other = 0;
+};
+
+SideWeights ComputeSideWeights(const WeightedGraph& graph, VertexId v,
+                               const std::vector<uint8_t>& side) {
+  SideWeights sw;
+  const auto nbrs = graph.Neighbors(v);
+  const auto weights = graph.EdgeWeights(v);
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    if (side[nbrs[i]] == side[v]) {
+      sw.same += weights[i];
+    } else {
+      sw.other += weights[i];
+    }
+  }
+  return sw;
+}
+
+void FillResult(const WeightedGraph& graph, BisectionResult* result) {
+  result->cut_weight = ComputeCutWeight(graph, result->side);
+  result->side_weight[0] = 0;
+  result->side_weight[1] = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    result->side_weight[result->side[v]] += graph.vertex_weights[v];
+  }
+}
+
+}  // namespace
+
+BisectionResult InitialBisection(const WeightedGraph& graph,
+                                 const BisectionOptions& options) {
+  const VertexId n = graph.num_vertices();
+  BisectionResult best;
+  best.cut_weight = std::numeric_limits<int64_t>::max();
+  if (n == 0) {
+    best.cut_weight = 0;
+    return best;
+  }
+  const int64_t total = graph.TotalVertexWeight();
+  const int64_t target = total / 2;
+  Rng rng(options.seed);
+
+  const uint32_t trials = std::max<uint32_t>(1, options.gggp_trials);
+  for (uint32_t trial = 0; trial < trials; ++trial) {
+    std::vector<uint8_t> side(n, 1);  // grow region "0" out of side 1
+    const VertexId seed_vertex = static_cast<VertexId>(rng.Uniform(n));
+    // gain[v] = (edges into region) - (edges out of region); lazily updated
+    // via a max-heap of (gain, v) with stale-entry skipping.
+    std::vector<int64_t> gain(n, std::numeric_limits<int64_t>::min());
+    std::priority_queue<std::pair<int64_t, VertexId>> frontier;
+    int64_t region_weight = 0;
+
+    auto add_to_region = [&](VertexId v) {
+      side[v] = 0;
+      region_weight += graph.vertex_weights[v];
+      const auto nbrs = graph.Neighbors(v);
+      const auto weights = graph.EdgeWeights(v);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId u = nbrs[i];
+        if (side[u] != 0) {
+          // u's pull toward the region grows by 2w (w moves from "out" to
+          // "in" as v joined the region).
+          if (gain[u] == std::numeric_limits<int64_t>::min()) {
+            const SideWeights sw = ComputeSideWeights(graph, u, side);
+            // u on side 1: edges to region = sw.other, out = sw.same.
+            gain[u] = sw.other - sw.same;
+          } else {
+            gain[u] += 2 * weights[i];
+          }
+          frontier.emplace(gain[u], u);
+        }
+      }
+    };
+
+    add_to_region(seed_vertex);
+    while (region_weight < target) {
+      VertexId pick = kInvalidVertex;
+      while (!frontier.empty()) {
+        auto [g, v] = frontier.top();
+        frontier.pop();
+        if (side[v] == 0 || g != gain[v]) {
+          continue;  // stale
+        }
+        pick = v;
+        break;
+      }
+      if (pick == kInvalidVertex) {
+        // Disconnected remainder: jump to any vertex still on side 1.
+        for (VertexId v = 0; v < n; ++v) {
+          if (side[v] != 0) {
+            pick = v;
+            break;
+          }
+        }
+        if (pick == kInvalidVertex) {
+          break;
+        }
+      }
+      add_to_region(pick);
+    }
+
+    BisectionResult candidate;
+    candidate.side = std::move(side);
+    FillResult(graph, &candidate);
+    FmRefine(graph, options, &candidate);
+    if (candidate.cut_weight < best.cut_weight ||
+        (candidate.cut_weight == best.cut_weight &&
+         candidate.Imbalance() < best.Imbalance())) {
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+uint32_t FmRefine(const WeightedGraph& graph, const BisectionOptions& options,
+                  BisectionResult* result) {
+  const VertexId n = graph.num_vertices();
+  if (n == 0) {
+    return 0;
+  }
+  const int64_t total = graph.TotalVertexWeight();
+  const int64_t max_side = static_cast<int64_t>(
+      (1.0 + options.balance_epsilon) * static_cast<double>(total) / 2.0);
+
+  std::vector<uint8_t>& side = result->side;
+  uint32_t improving_passes = 0;
+
+  for (uint32_t pass = 0; pass < options.refine_passes; ++pass) {
+    // gain[v] = cut reduction from moving v to the other side.
+    std::vector<int64_t> gain(n);
+    std::priority_queue<std::pair<int64_t, VertexId>> heap;
+    std::vector<uint8_t> moved(n, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      const SideWeights sw = ComputeSideWeights(graph, v, side);
+      gain[v] = sw.other - sw.same;
+      heap.emplace(gain[v], v);
+    }
+
+    int64_t side_weight[2] = {result->side_weight[0], result->side_weight[1]};
+    int64_t current_cut = result->cut_weight;
+    // Prefer feasible (balanced) states; among feasible states, the lowest
+    // cut; among infeasible ones, the least imbalanced. This lets a pass
+    // repair an infeasible starting point even at the cost of a worse cut.
+    auto score = [&](int64_t cut, int64_t w0, int64_t w1) {
+      const int64_t heavier = std::max(w0, w1);
+      const int64_t overweight = std::max<int64_t>(0, heavier - max_side);
+      // Lexicographic: feasibility first, then imbalance, then cut.
+      return std::make_tuple(overweight > 0 ? 1 : 0, overweight, cut);
+    };
+    auto best_score = score(current_cut, side_weight[0], side_weight[1]);
+    int64_t moves_to_best = 0;
+    std::vector<VertexId> move_sequence;
+    move_sequence.reserve(n);
+
+    while (!heap.empty()) {
+      auto [g, v] = heap.top();
+      heap.pop();
+      if (moved[v] || g != gain[v]) {
+        continue;
+      }
+      const uint8_t from = side[v];
+      const uint8_t to = 1 - from;
+      // Classic FM balance rule: a move may overshoot the budget by at most
+      // the moved vertex itself (side already over budget rejects), unless
+      // it drains the heavier side.
+      if (side_weight[to] > max_side && side_weight[to] >= side_weight[from]) {
+        continue;
+      }
+      moved[v] = 1;
+      side[v] = to;
+      side_weight[from] -= graph.vertex_weights[v];
+      side_weight[to] += graph.vertex_weights[v];
+      current_cut -= g;
+      move_sequence.push_back(v);
+      const auto s = score(current_cut, side_weight[0], side_weight[1]);
+      if (s < best_score) {
+        best_score = s;
+        moves_to_best = static_cast<int64_t>(move_sequence.size());
+      }
+      // Update neighbor gains.
+      const auto nbrs = graph.Neighbors(v);
+      const auto weights = graph.EdgeWeights(v);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId u = nbrs[i];
+        if (moved[u]) {
+          continue;
+        }
+        // v joined u's side: that edge's contribution flips by 2w either way.
+        if (side[u] == to) {
+          gain[u] -= 2 * weights[i];
+        } else {
+          gain[u] += 2 * weights[i];
+        }
+        heap.emplace(gain[u], u);
+      }
+      // Bound pass length: after n moves everything flipped once.
+      if (move_sequence.size() >= n) {
+        break;
+      }
+    }
+
+    // Roll back to the best prefix.
+    for (int64_t i = static_cast<int64_t>(move_sequence.size()) - 1;
+         i >= moves_to_best; --i) {
+      const VertexId v = move_sequence[i];
+      side[v] = 1 - side[v];
+    }
+    FillResult(graph, result);
+    if (moves_to_best == 0) {
+      break;  // pass found no improvement
+    }
+    ++improving_passes;
+  }
+  return improving_passes;
+}
+
+}  // namespace internal
+
+namespace {
+
+BisectionResult BisectRecursive(const WeightedGraph& graph,
+                                const BisectionOptions& options,
+                                uint32_t depth) {
+  const VertexId n = graph.num_vertices();
+  if (n <= options.coarsen_target || depth > 64) {
+    return internal::InitialBisection(graph, options);
+  }
+  std::vector<VertexId> fine_to_coarse;
+  const WeightedGraph coarse =
+      internal::CoarsenOnce(graph, options.seed + depth * 7919, &fine_to_coarse);
+  if (coarse.num_vertices() >=
+      static_cast<VertexId>(0.95 * static_cast<double>(n))) {
+    // Matching stalled (e.g. star graphs); stop coarsening here.
+    return internal::InitialBisection(graph, options);
+  }
+  const BisectionResult coarse_result =
+      BisectRecursive(coarse, options, depth + 1);
+
+  // Project to the finer graph and refine.
+  BisectionResult result;
+  result.side.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    result.side[v] = coarse_result.side[fine_to_coarse[v]];
+  }
+  result.cut_weight = ComputeCutWeight(graph, result.side);
+  result.side_weight[0] = 0;
+  result.side_weight[1] = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    result.side_weight[result.side[v]] += graph.vertex_weights[v];
+  }
+  internal::FmRefine(graph, options, &result);
+  return result;
+}
+
+}  // namespace
+
+BisectionResult Bisect(const WeightedGraph& graph,
+                       const BisectionOptions& options) {
+  return BisectRecursive(graph, options, 0);
+}
+
+}  // namespace surfer

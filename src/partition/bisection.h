@@ -1,0 +1,76 @@
+#ifndef SURFER_PARTITION_BISECTION_H_
+#define SURFER_PARTITION_BISECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/weighted_graph.h"
+
+namespace surfer {
+
+/// Options for one multilevel graph bisection (Appendix A.2): coarsening via
+/// heavy-edge matching, initial partitioning via GGGP (greedy graph growing),
+/// and FM boundary refinement during uncoarsening.
+struct BisectionOptions {
+  /// Allowed imbalance: each side's weight stays within
+  /// (1 + balance_epsilon) * total / 2 whenever achievable.
+  double balance_epsilon = 0.02;
+  /// Coarsening stops when the graph has at most this many vertices
+  /// ("the scale of thousands of vertices" per the paper; smaller is fine
+  /// for our graph sizes).
+  uint32_t coarsen_target = 256;
+  /// Number of random GGGP seed growths; the best cut wins.
+  uint32_t gggp_trials = 8;
+  /// Maximum FM passes at each uncoarsening level.
+  uint32_t refine_passes = 8;
+  uint64_t seed = 1;
+};
+
+/// The outcome of a bisection: a side (0/1) per vertex, the cut weight, and
+/// the two side weights.
+struct BisectionResult {
+  std::vector<uint8_t> side;
+  int64_t cut_weight = 0;
+  int64_t side_weight[2] = {0, 0};
+
+  /// Fraction by which the heavier side exceeds the perfect half.
+  double Imbalance() const {
+    const int64_t total = side_weight[0] + side_weight[1];
+    if (total == 0) {
+      return 0.0;
+    }
+    const int64_t heavier = std::max(side_weight[0], side_weight[1]);
+    return 2.0 * static_cast<double>(heavier) / static_cast<double>(total) -
+           1.0;
+  }
+};
+
+/// Computes the cut weight of an assignment (for verification).
+int64_t ComputeCutWeight(const WeightedGraph& graph,
+                         const std::vector<uint8_t>& side);
+
+/// Runs a full multilevel bisection of `graph`.
+BisectionResult Bisect(const WeightedGraph& graph,
+                       const BisectionOptions& options);
+
+namespace internal {
+
+/// One level of heavy-edge-matching coarsening. `fine_to_coarse` maps each
+/// fine vertex to its coarse vertex; the coarse graph merges matched pairs,
+/// sums parallel edge weights, and drops intra-pair edges.
+WeightedGraph CoarsenOnce(const WeightedGraph& graph, uint64_t seed,
+                          std::vector<VertexId>* fine_to_coarse);
+
+/// GGGP initial bisection on a (small) graph.
+BisectionResult InitialBisection(const WeightedGraph& graph,
+                                 const BisectionOptions& options);
+
+/// FM refinement; improves `result` in place. Returns the number of passes
+/// that improved the cut.
+uint32_t FmRefine(const WeightedGraph& graph, const BisectionOptions& options,
+                  BisectionResult* result);
+
+}  // namespace internal
+}  // namespace surfer
+
+#endif  // SURFER_PARTITION_BISECTION_H_

@@ -1,0 +1,219 @@
+#include "partition/machine_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace surfer {
+
+WeightedGraph BuildMachineGraph(const Topology& topology,
+                                bool capability_weights) {
+  const uint32_t n = topology.num_machines();
+  std::vector<std::vector<double>> bandwidth(n, std::vector<double>(n, 0.0));
+  for (uint32_t a = 0; a < n; ++a) {
+    for (uint32_t b = 0; b < n; ++b) {
+      if (a != b) {
+        bandwidth[a][b] = topology.Bandwidth(a, b);
+      }
+    }
+  }
+  WeightedGraph graph = WeightedGraph::CompleteFromWeights(bandwidth);
+  // The paper's balance constraint — "two partitions having around the same
+  // number of machines" — exists "for load-balancing purpose". On
+  // heterogeneous clusters (T3) we generalize it to balancing aggregate NIC
+  // capability, so slower machines end up with proportionally fewer data
+  // partitions; on homogeneous clusters every weight is equal and this
+  // reduces exactly to the paper's machine-count constraint.
+  double max_nic = 0.0;
+  for (uint32_t m = 0; m < n; ++m) {
+    max_nic = std::max(max_nic, topology.machine(m).nic_bytes_per_sec);
+  }
+  if (capability_weights && max_nic > 0.0) {
+    for (uint32_t m = 0; m < n; ++m) {
+      graph.vertex_weights[m] = std::max<int64_t>(
+          1, static_cast<int64_t>(std::llround(
+                 8.0 * topology.machine(m).nic_bytes_per_sec / max_nic)));
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+/// Bisects `machines` (IDs into the topology) minimizing cut bandwidth with
+/// equal halves. Small n: extract the induced machine subgraph each time.
+void BisectMachines(const WeightedGraph& machine_graph,
+                    const std::vector<MachineId>& machines,
+                    const BisectionOptions& options, uint64_t salt,
+                    std::vector<MachineId>* left,
+                    std::vector<MachineId>* right) {
+  // Build the induced subgraph (complete, so dense extraction is simplest).
+  std::vector<VertexId> global_to_local(machine_graph.num_vertices(),
+                                        kInvalidVertex);
+  for (size_t i = 0; i < machines.size(); ++i) {
+    global_to_local[machines[i]] = static_cast<VertexId>(i);
+  }
+  WeightedGraph sub;
+  sub.offsets.assign(machines.size() + 1, 0);
+  sub.vertex_weights.resize(machines.size());
+  for (size_t i = 0; i < machines.size(); ++i) {
+    sub.vertex_weights[i] = machine_graph.vertex_weights[machines[i]];
+  }
+  for (size_t i = 0; i < machines.size(); ++i) {
+    const auto nbrs = machine_graph.Neighbors(machines[i]);
+    const auto weights = machine_graph.EdgeWeights(machines[i]);
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      const VertexId local = global_to_local[nbrs[j]];
+      if (local != kInvalidVertex) {
+        sub.neighbors.push_back(local);
+        sub.edge_weights.push_back(weights[j]);
+      }
+    }
+    sub.offsets[i + 1] = sub.neighbors.size();
+  }
+
+  BisectionOptions opt = options;
+  opt.seed = options.seed * 40503ULL + salt;
+  const BisectionResult result = Bisect(sub, opt);
+  left->clear();
+  right->clear();
+  for (size_t i = 0; i < machines.size(); ++i) {
+    if (result.side[i] == 0) {
+      left->push_back(machines[i]);
+    } else {
+      right->push_back(machines[i]);
+    }
+  }
+  // Safety net for pathological FM outcomes: never leave a side empty, and
+  // cap gross *capability* imbalance (the balance target is the weighted
+  // one; see BuildMachineGraph). Complete graphs keep this near-optimal.
+  auto side_weight = [&](const std::vector<MachineId>& side) {
+    int64_t total = 0;
+    for (MachineId m : side) {
+      total += machine_graph.vertex_weights[m];
+    }
+    return total;
+  };
+  while (!left->empty() &&
+         (right->empty() ||
+          side_weight(*left) >
+              2 * side_weight(*right) + machine_graph.vertex_weights[0])) {
+    right->push_back(left->back());
+    left->pop_back();
+  }
+  while (!right->empty() &&
+         (left->empty() ||
+          side_weight(*right) >
+              2 * side_weight(*left) + machine_graph.vertex_weights[0])) {
+    left->push_back(right->back());
+    right->pop_back();
+  }
+}
+
+/// Picks the machine with maximum aggregated bandwidth to the rest of `set`
+/// (Algorithm 4, line 8).
+MachineId MaxAggregatedBandwidthMachine(const Topology& topology,
+                                        const std::vector<MachineId>& set) {
+  MachineId best = set.front();
+  double best_bw = -1.0;
+  for (MachineId m : set) {
+    double bw = 0.0;
+    for (MachineId other : set) {
+      if (other != m) {
+        bw += topology.Bandwidth(m, other);
+      }
+    }
+    if (bw > best_bw) {
+      best_bw = bw;
+      best = m;
+    }
+  }
+  return best;
+}
+
+struct PlacementRecursion {
+  const Topology* topology;
+  const WeightedGraph* machine_graph;
+  const PartitionSketch* sketch;
+  const BandwidthAwarePlacementOptions* options;
+  BandwidthAwarePlacement* out;
+};
+
+void PlaceNode(PlacementRecursion& rec, std::vector<MachineId> machines,
+               uint32_t node) {
+  rec.out->node_machines[node] = machines;
+  const PartitionSketch& sketch = *rec.sketch;
+  if (machines.size() == 1) {
+    // Single machine: every partition under this node lives here
+    // (Algorithm 4, lines 2-5).
+    const auto [begin, end] = sketch.LeafRange(node);
+    for (PartitionId p = begin; p < end; ++p) {
+      rec.out->partition_to_machine[p] = machines.front();
+    }
+    // Fill descendant node_machines for completeness.
+    if (!sketch.IsLeaf(node)) {
+      PlaceNode(rec, machines, PartitionSketch::Left(node));
+      PlaceNode(rec, {machines}, PartitionSketch::Right(node));
+    }
+    return;
+  }
+  if (sketch.IsLeaf(node)) {
+    // More machines than partitions below: store on the machine with the
+    // maximum aggregated bandwidth (Algorithm 4, lines 7-9).
+    const MachineId m = MaxAggregatedBandwidthMachine(*rec.topology, machines);
+    rec.out->partition_to_machine[node - sketch.num_partitions()] = m;
+    return;
+  }
+  std::vector<MachineId> left;
+  std::vector<MachineId> right;
+  BisectMachines(*rec.machine_graph, machines,
+                 rec.options->machine_bisection, node, &left, &right);
+  PlaceNode(rec, std::move(left), PartitionSketch::Left(node));
+  PlaceNode(rec, std::move(right), PartitionSketch::Right(node));
+}
+
+}  // namespace
+
+Result<BandwidthAwarePlacement> ComputeBandwidthAwarePlacement(
+    const Topology& topology, const PartitionSketch& sketch,
+    const BandwidthAwarePlacementOptions& options) {
+  if (topology.num_machines() == 0) {
+    return Status::InvalidArgument("empty topology");
+  }
+  BandwidthAwarePlacement placement;
+  placement.partition_to_machine.assign(sketch.num_partitions(),
+                                        kInvalidMachine);
+  placement.node_machines.assign(sketch.num_nodes(), {});
+
+  const WeightedGraph machine_graph =
+      BuildMachineGraph(topology, options.capability_weights);
+  std::vector<MachineId> all(topology.num_machines());
+  std::iota(all.begin(), all.end(), 0);
+  PlacementRecursion rec{&topology, &machine_graph, &sketch, &options,
+                         &placement};
+  PlaceNode(rec, std::move(all), /*node=*/1);
+
+  for (MachineId m : placement.partition_to_machine) {
+    SURFER_CHECK(m != kInvalidMachine) << "unplaced partition";
+  }
+  return placement;
+}
+
+std::vector<MachineId> RandomPlacement(uint32_t num_partitions,
+                                       const Topology& topology,
+                                       uint64_t seed) {
+  std::vector<MachineId> machines(topology.num_machines());
+  std::iota(machines.begin(), machines.end(), 0);
+  Rng rng(seed);
+  std::shuffle(machines.begin(), machines.end(), rng);
+  std::vector<MachineId> placement(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    placement[p] = machines[p % machines.size()];
+  }
+  return placement;
+}
+
+}  // namespace surfer

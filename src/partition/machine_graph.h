@@ -1,0 +1,69 @@
+#ifndef SURFER_PARTITION_MACHINE_GRAPH_H_
+#define SURFER_PARTITION_MACHINE_GRAPH_H_
+
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/result.h"
+#include "partition/bisection.h"
+#include "partition/partition_sketch.h"
+#include "partition/weighted_graph.h"
+
+namespace surfer {
+
+/// Builds the machine graph of Section 4.2: a complete undirected weighted
+/// graph with one vertex per machine and the pairwise network bandwidth as
+/// edge weight, "constructed by calibrating the network bandwidth between
+/// any two machines". With `capability_weights`, vertex weights carry NIC
+/// capability so bisections balance aggregate bandwidth instead of machine
+/// count — the load-balancing generalization used for the *storage* mapping
+/// on heterogeneous clusters (identical to count-balancing on homogeneous
+/// ones). Without it, every machine weighs 1 (the paper's literal
+/// constraint), which is what the distributed-partitioning process itself
+/// uses to divide bisection work.
+WeightedGraph BuildMachineGraph(const Topology& topology,
+                                bool capability_weights = true);
+
+/// The machine side of Algorithm 4: the recursive bisection of the machine
+/// graph aligned with the data-graph partition sketch. node_machines is
+/// heap-indexed like PartitionSketch (node 1 = all machines); the mapping
+/// assigns each data partition its storage/processing machine.
+struct BandwidthAwarePlacement {
+  std::vector<MachineId> partition_to_machine;
+  /// Machine set per sketch node; nodes below the single-machine level hold
+  /// that single machine.
+  std::vector<std::vector<MachineId>> node_machines;
+};
+
+/// Options for the machine-graph bisection: the paper's constraint is two
+/// halves with "around the same number of machines", so the balance epsilon
+/// is zero by default.
+struct BandwidthAwarePlacementOptions {
+  BisectionOptions machine_bisection;
+  /// Balance machine-graph bisections by NIC capability (storage mapping)
+  /// rather than machine count (partitioning-process work division).
+  bool capability_weights = true;
+  BandwidthAwarePlacementOptions() { machine_bisection.balance_epsilon = 0.0; }
+};
+
+/// Runs the machine-graph side of Algorithm 4 for a P-partition sketch on
+/// `topology`. Bisections *minimize* cut bandwidth, so sibling partitions
+/// deep in the sketch (many mutual cross edges, by proximity) land on
+/// machine sets with high mutual bandwidth (P1/P3). When machines run out
+/// (|M| = 1 before the leaf level), all partitions below stay on that
+/// machine; when partitions run out first, the leaf's graph is stored on the
+/// machine with the maximum aggregated bandwidth within its set.
+Result<BandwidthAwarePlacement> ComputeBandwidthAwarePlacement(
+    const Topology& topology, const PartitionSketch& sketch,
+    const BandwidthAwarePlacementOptions& options = {});
+
+/// The ParMetis-like baseline layout: partitions dealt onto randomly
+/// shuffled machines, oblivious to bandwidth ("ParMetis randomly chooses the
+/// available machine", Section 6.2).
+std::vector<MachineId> RandomPlacement(uint32_t num_partitions,
+                                       const Topology& topology,
+                                       uint64_t seed);
+
+}  // namespace surfer
+
+#endif  // SURFER_PARTITION_MACHINE_GRAPH_H_

@@ -1,0 +1,100 @@
+#include "partition/partition_sketch.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace surfer {
+
+PartitionSketch::PartitionSketch(uint32_t num_partitions)
+    : num_partitions_(num_partitions) {
+  SURFER_CHECK(num_partitions > 0 &&
+               (num_partitions & (num_partitions - 1)) == 0)
+      << "P must be a power of two, got " << num_partitions;
+  num_levels_ = static_cast<uint32_t>(std::bit_width(num_partitions));
+  bisection_cut_.assign(2 * static_cast<size_t>(num_partitions), 0);
+}
+
+uint32_t PartitionSketch::LevelOf(uint32_t node) const {
+  SURFER_CHECK(node >= 1 && node < num_nodes());
+  return static_cast<uint32_t>(std::bit_width(node)) - 1;
+}
+
+std::pair<PartitionId, PartitionId> PartitionSketch::LeafRange(
+    uint32_t node) const {
+  // Descend to the leftmost and rightmost leaves.
+  uint32_t left = node;
+  uint32_t right = node;
+  while (left < num_partitions_) {
+    left = Left(left);
+    right = Right(right);
+  }
+  return {left - num_partitions_, right - num_partitions_ + 1};
+}
+
+uint64_t PartitionSketch::CrossEdges(const Graph& graph,
+                                     const Partitioning& partitioning,
+                                     uint32_t node_a, uint32_t node_b) const {
+  const auto [a_begin, a_end] = LeafRange(node_a);
+  const auto [b_begin, b_end] = LeafRange(node_b);
+  auto in_a = [&](PartitionId p) { return p >= a_begin && p < a_end; };
+  auto in_b = [&](PartitionId p) { return p >= b_begin && p < b_end; };
+  uint64_t count = 0;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    const PartitionId pu = partitioning.assignment[u];
+    const bool ua = in_a(pu);
+    const bool ub = in_b(pu);
+    if (!ua && !ub) {
+      continue;
+    }
+    for (VertexId v : graph.OutNeighbors(u)) {
+      const PartitionId pv = partitioning.assignment[v];
+      if ((ua && in_b(pv)) || (ub && in_a(pv))) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+uint64_t PartitionSketch::TotalCrossEdgesAtLevel(
+    const Graph& graph, const Partitioning& partitioning,
+    uint32_t level) const {
+  // A partition's level-l ancestor is leaf_node >> (num_levels - 1 - level).
+  const uint32_t shift = (num_levels_ - 1) - level;
+  uint64_t count = 0;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    const uint32_t group_u =
+        LeafNode(partitioning.assignment[u]) >> shift;
+    for (VertexId v : graph.OutNeighbors(u)) {
+      const uint32_t group_v =
+          LeafNode(partitioning.assignment[v]) >> shift;
+      if (group_u != group_v) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+uint32_t PartitionSketch::LowestCommonAncestor(uint32_t node_a,
+                                               uint32_t node_b) const {
+  while (node_a != node_b) {
+    if (node_a > node_b) {
+      node_a = Parent(node_a);
+    } else {
+      node_b = Parent(node_b);
+    }
+  }
+  return node_a;
+}
+
+std::string PartitionSketch::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "PartitionSketch(P=%u, levels=%u)",
+                num_partitions_, num_levels_);
+  return buf;
+}
+
+}  // namespace surfer

@@ -1,0 +1,75 @@
+#ifndef SURFER_PARTITION_PARTITION_SKETCH_H_
+#define SURFER_PARTITION_PARTITION_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/partitioning.h"
+
+namespace surfer {
+
+/// The partition sketch of Section 4.1: a balanced binary tree over the
+/// recursive bisections. Nodes use heap indexing — node 1 is the root, node
+/// i has children 2i and 2i+1, and leaf (P + i) corresponds to partition i.
+/// The sketch has log2(P) + 1 levels; the root is level 0 here (the paper
+/// counts from 1, which only shifts labels).
+class PartitionSketch {
+ public:
+  PartitionSketch() = default;
+
+  /// Builds an empty sketch for P partitions (P must be a power of two).
+  explicit PartitionSketch(uint32_t num_partitions);
+
+  uint32_t num_partitions() const { return num_partitions_; }
+  uint32_t num_levels() const { return num_levels_; }
+  size_t num_nodes() const { return 2 * static_cast<size_t>(num_partitions_); }
+
+  /// Heap index of the leaf for `partition`.
+  uint32_t LeafNode(PartitionId partition) const {
+    return num_partitions_ + partition;
+  }
+  static uint32_t Parent(uint32_t node) { return node / 2; }
+  static uint32_t Left(uint32_t node) { return 2 * node; }
+  static uint32_t Right(uint32_t node) { return 2 * node + 1; }
+  uint32_t LevelOf(uint32_t node) const;
+  bool IsLeaf(uint32_t node) const { return node >= num_partitions_; }
+
+  /// Partitions (leaves) under `node`, a contiguous ID range.
+  std::pair<PartitionId, PartitionId> LeafRange(uint32_t node) const;
+
+  /// Records the cut weight observed when bisecting `node` into its two
+  /// children during partitioning.
+  void SetBisectionCut(uint32_t node, int64_t cut) {
+    bisection_cut_[node] = cut;
+  }
+  int64_t BisectionCut(uint32_t node) const { return bisection_cut_[node]; }
+
+  /// C(n1, n2) of Section 4.1: directed edges between the leaf sets of two
+  /// sketch nodes, counted in either direction.
+  uint64_t CrossEdges(const Graph& graph, const Partitioning& partitioning,
+                      uint32_t node_a, uint32_t node_b) const;
+
+  /// T_l of the monotonicity property: total cross-partition edges among the
+  /// level-l nodes (i.e. edges whose endpoints fall under different level-l
+  /// nodes).
+  uint64_t TotalCrossEdgesAtLevel(const Graph& graph,
+                                  const Partitioning& partitioning,
+                                  uint32_t level) const;
+
+  /// Lowest common ancestor of two leaves; proximity (P3) says partitions
+  /// with a *lower* (deeper) common ancestor share more cross edges.
+  uint32_t LowestCommonAncestor(uint32_t node_a, uint32_t node_b) const;
+
+  std::string ToString() const;
+
+ private:
+  uint32_t num_partitions_ = 0;
+  uint32_t num_levels_ = 0;
+  std::vector<int64_t> bisection_cut_;  // per heap node; leaves unused
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_PARTITION_PARTITION_SKETCH_H_

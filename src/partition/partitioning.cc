@@ -1,0 +1,116 @@
+#include "partition/partitioning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace surfer {
+
+PartitionQuality ComputeQuality(const Graph& graph,
+                                const Partitioning& partitioning) {
+  PartitionQuality q;
+  const uint32_t p = partitioning.num_partitions;
+  q.partition_vertices.assign(p, 0);
+  q.partition_edges.assign(p, 0);
+  q.partition_bytes.assign(p, 0);
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    const PartitionId pu = partitioning.assignment[u];
+    ++q.partition_vertices[pu];
+    q.partition_edges[pu] += graph.OutDegree(u);
+    q.partition_bytes[pu] += StoredVertexRecordBytes(graph.OutDegree(u));
+    for (VertexId v : graph.OutNeighbors(u)) {
+      if (partitioning.assignment[v] == pu) {
+        ++q.inner_edges;
+      } else {
+        ++q.cross_edges;
+      }
+    }
+  }
+  const uint64_t total_edges = q.inner_edges + q.cross_edges;
+  q.inner_edge_ratio =
+      total_edges == 0 ? 1.0
+                       : static_cast<double>(q.inner_edges) /
+                             static_cast<double>(total_edges);
+  if (p > 0) {
+    const uint64_t max_bytes =
+        *std::max_element(q.partition_bytes.begin(), q.partition_bytes.end());
+    const double avg_bytes =
+        static_cast<double>(std::accumulate(q.partition_bytes.begin(),
+                                            q.partition_bytes.end(),
+                                            static_cast<uint64_t>(0))) /
+        static_cast<double>(p);
+    q.balance = avg_bytes > 0.0 ? static_cast<double>(max_bytes) / avg_bytes
+                                : 1.0;
+  }
+  return q;
+}
+
+std::string PartitionQuality::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "ier=%.3f cross=%llu inner=%llu balance=%.3f parts=%zu",
+                inner_edge_ratio,
+                static_cast<unsigned long long>(cross_edges),
+                static_cast<unsigned long long>(inner_edges), balance,
+                partition_bytes.size());
+  return buf;
+}
+
+uint64_t CrossEdgesBetween(const Graph& graph,
+                           const Partitioning& partitioning, PartitionId a,
+                           PartitionId b) {
+  uint64_t count = 0;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    const PartitionId pu = partitioning.assignment[u];
+    if (pu != a && pu != b) {
+      continue;
+    }
+    for (VertexId v : graph.OutNeighbors(u)) {
+      const PartitionId pv = partitioning.assignment[v];
+      if ((pu == a && pv == b) || (pu == b && pv == a)) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+Result<Partitioning> RandomPartition(const Graph& graph,
+                                     uint32_t num_partitions, uint64_t seed) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  Partitioning result;
+  result.num_partitions = num_partitions;
+  result.assignment.assign(graph.num_vertices(), 0);
+
+  std::vector<VertexId> order(graph.num_vertices());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  // Greedy: next vertex goes to the lightest partition by stored bytes.
+  std::vector<uint64_t> bytes(num_partitions, 0);
+  for (VertexId v : order) {
+    const auto lightest =
+        std::min_element(bytes.begin(), bytes.end()) - bytes.begin();
+    result.assignment[v] = static_cast<PartitionId>(lightest);
+    bytes[lightest] += StoredVertexRecordBytes(graph.OutDegree(v));
+  }
+  return result;
+}
+
+uint32_t ChooseNumPartitions(size_t graph_bytes, uint64_t memory_bytes) {
+  if (memory_bytes == 0 || graph_bytes <= memory_bytes) {
+    return 1;
+  }
+  const double ratio =
+      static_cast<double>(graph_bytes) / static_cast<double>(memory_bytes);
+  const uint32_t levels = static_cast<uint32_t>(std::ceil(std::log2(ratio)));
+  return 1u << levels;
+}
+
+}  // namespace surfer

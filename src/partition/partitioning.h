@@ -1,0 +1,61 @@
+#ifndef SURFER_PARTITION_PARTITIONING_H_
+#define SURFER_PARTITION_PARTITIONING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace surfer {
+
+/// A P-way assignment of the vertices of a data graph.
+struct Partitioning {
+  uint32_t num_partitions = 0;
+  std::vector<PartitionId> assignment;  ///< partition per vertex
+
+  bool Valid(const Graph& graph) const {
+    return assignment.size() == graph.num_vertices();
+  }
+};
+
+/// Quality metrics of a partitioning over the *directed* data graph
+/// (Section 2's objective and Appendix F.2's inner-edge ratio).
+struct PartitionQuality {
+  uint64_t inner_edges = 0;
+  uint64_t cross_edges = 0;
+  /// ier = inner_edges / |E| (Table 5).
+  double inner_edge_ratio = 0.0;
+  /// Heaviest partition's stored bytes over the average.
+  double balance = 0.0;
+  std::vector<uint64_t> partition_vertices;
+  std::vector<uint64_t> partition_edges;
+  std::vector<uint64_t> partition_bytes;  ///< stored record bytes
+
+  std::string ToString() const;
+};
+
+/// Computes quality metrics for `partitioning` over `graph`.
+PartitionQuality ComputeQuality(const Graph& graph,
+                                const Partitioning& partitioning);
+
+/// Counts directed edges between two partitions (either direction), the
+/// C(n1, n2) of Section 4.1 evaluated on leaves.
+uint64_t CrossEdgesBetween(const Graph& graph, const Partitioning& partitioning,
+                           PartitionId a, PartitionId b);
+
+/// Random baseline of Appendix F.2's sanity check: vertices shuffled and
+/// dealt greedily to the lightest partition by stored bytes, so sizes stay
+/// balanced but structure is ignored.
+Result<Partitioning> RandomPartition(const Graph& graph,
+                                     uint32_t num_partitions, uint64_t seed);
+
+/// The paper's partition-count rule (Section 4.2):
+/// P = 2^ceil(log2(||G|| / memory_bytes)), at least 1.
+uint32_t ChooseNumPartitions(size_t graph_bytes, uint64_t memory_bytes);
+
+}  // namespace surfer
+
+#endif  // SURFER_PARTITION_PARTITIONING_H_

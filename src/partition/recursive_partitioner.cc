@@ -1,0 +1,122 @@
+#include "partition/recursive_partitioner.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace surfer {
+
+namespace {
+
+/// Extracts the induced subgraph of `graph` on `vertices` (which must be
+/// sorted or at least unique); `vertices[i]` becomes local vertex i.
+WeightedGraph ExtractSubgraph(const WeightedGraph& graph,
+                              const std::vector<VertexId>& vertices,
+                              std::vector<VertexId>* global_to_local_scratch) {
+  std::vector<VertexId>& global_to_local = *global_to_local_scratch;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    global_to_local[vertices[i]] = static_cast<VertexId>(i);
+  }
+  WeightedGraph sub;
+  sub.offsets.assign(vertices.size() + 1, 0);
+  sub.vertex_weights.resize(vertices.size());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    sub.vertex_weights[i] = graph.vertex_weights[v];
+    const auto nbrs = graph.Neighbors(v);
+    const auto weights = graph.EdgeWeights(v);
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      const VertexId local = global_to_local[nbrs[j]];
+      if (local != kInvalidVertex) {
+        sub.neighbors.push_back(local);
+        sub.edge_weights.push_back(weights[j]);
+      }
+    }
+    sub.offsets[i + 1] = sub.neighbors.size();
+  }
+  // Reset the scratch map for the next extraction.
+  for (VertexId v : vertices) {
+    global_to_local[v] = kInvalidVertex;
+  }
+  return sub;
+}
+
+struct RecursionState {
+  const WeightedGraph* working;
+  const RecursivePartitionerOptions* options;
+  Partitioning* partitioning;
+  PartitionSketch* sketch;
+  std::vector<VertexId> global_to_local;
+};
+
+/// Bisects the subgraph on `vertices` for sketch `node`; assigns partition
+/// IDs once single-partition nodes are reached.
+void PartitionNode(RecursionState& state, std::vector<VertexId> vertices,
+                   uint32_t node) {
+  if (state.sketch->IsLeaf(node)) {
+    const PartitionId partition =
+        static_cast<PartitionId>(node - state.sketch->num_partitions());
+    for (VertexId v : vertices) {
+      state.partitioning->assignment[v] = partition;
+    }
+    return;
+  }
+  const WeightedGraph sub =
+      ExtractSubgraph(*state.working, vertices, &state.global_to_local);
+  BisectionOptions bisect_options = state.options->bisection;
+  bisect_options.seed = state.options->bisection.seed * 2654435761ULL + node;
+  const BisectionResult result = Bisect(sub, bisect_options);
+  state.sketch->SetBisectionCut(node, result.cut_weight);
+
+  std::vector<VertexId> left;
+  std::vector<VertexId> right;
+  left.reserve(vertices.size() / 2 + 1);
+  right.reserve(vertices.size() / 2 + 1);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    if (result.side[i] == 0) {
+      left.push_back(vertices[i]);
+    } else {
+      right.push_back(vertices[i]);
+    }
+  }
+  vertices.clear();
+  vertices.shrink_to_fit();
+  PartitionNode(state, std::move(left), PartitionSketch::Left(node));
+  PartitionNode(state, std::move(right), PartitionSketch::Right(node));
+}
+
+}  // namespace
+
+Result<RecursivePartitionResult> RecursivePartition(
+    const Graph& graph, const RecursivePartitionerOptions& options) {
+  const uint32_t p = options.num_partitions;
+  if (p == 0 || (p & (p - 1)) != 0) {
+    return Status::InvalidArgument(
+        "num_partitions must be a power of two, got " + std::to_string(p));
+  }
+  if (graph.num_vertices() < p) {
+    return Status::InvalidArgument("fewer vertices than partitions");
+  }
+
+  RecursivePartitionResult result;
+  result.partitioning.num_partitions = p;
+  result.partitioning.assignment.assign(graph.num_vertices(), 0);
+  result.sketch = PartitionSketch(p);
+  if (p == 1) {
+    return result;
+  }
+
+  const WeightedGraph working = WeightedGraph::FromDataGraph(graph);
+  RecursionState state{&working, &options, &result.partitioning,
+                       &result.sketch,
+                       std::vector<VertexId>(graph.num_vertices(),
+                                             kInvalidVertex)};
+  std::vector<VertexId> all(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    all[v] = v;
+  }
+  PartitionNode(state, std::move(all), /*node=*/1);
+  return result;
+}
+
+}  // namespace surfer

@@ -1,0 +1,39 @@
+#ifndef SURFER_PARTITION_RECURSIVE_PARTITIONER_H_
+#define SURFER_PARTITION_RECURSIVE_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "partition/bisection.h"
+#include "partition/partition_sketch.h"
+#include "partition/partitioning.h"
+
+namespace surfer {
+
+/// Options for the P-way multilevel recursive-bisection partitioner (the
+/// algorithm family of Metis/ParMetis, Appendix A.2).
+struct RecursivePartitionerOptions {
+  /// Number of partitions; must be a power of two (the partition sketch is a
+  /// balanced binary tree).
+  uint32_t num_partitions = 16;
+  BisectionOptions bisection;
+};
+
+/// The result: the assignment plus the partition sketch annotated with the
+/// cut weight of every bisection.
+struct RecursivePartitionResult {
+  Partitioning partitioning;
+  PartitionSketch sketch;
+};
+
+/// Partitions `graph` into P parts by recursive multilevel bisection,
+/// balancing stored record bytes. Partition IDs follow sketch order: the
+/// leaves of the bisection tree left to right, so sibling partitions have
+/// adjacent IDs — the property the bandwidth-aware placement exploits.
+Result<RecursivePartitionResult> RecursivePartition(
+    const Graph& graph, const RecursivePartitionerOptions& options);
+
+}  // namespace surfer
+
+#endif  // SURFER_PARTITION_RECURSIVE_PARTITIONER_H_

@@ -1,0 +1,63 @@
+#include "propagation/cascade.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace surfer {
+
+double CascadeInfo::RatioAtLeast(uint32_t k) const {
+  if (level.empty()) {
+    return 0.0;
+  }
+  size_t count = 0;
+  for (uint32_t l : level) {
+    if (l == kCascadeInf || l >= k) {
+      ++count;
+    }
+  }
+  return static_cast<double>(count) / static_cast<double>(level.size());
+}
+
+CascadeInfo ComputeCascadeInfo(const PartitionedGraph& pg) {
+  CascadeInfo info;
+  const Graph& graph = pg.encoded_graph();
+  info.level.assign(graph.num_vertices(), kCascadeInf);
+  info.partition_diameter.assign(pg.num_partitions(), 1);
+
+  std::deque<VertexId> queue;
+  for (PartitionId p = 0; p < pg.num_partitions(); ++p) {
+    const PartitionMeta& meta = pg.partition(p);
+    queue.clear();
+    // Multi-source BFS from the partition's boundary vertices, restricted to
+    // within-partition edges.
+    for (VertexId v = meta.begin; v < meta.end; ++v) {
+      if (meta.boundary[v - meta.begin]) {
+        info.level[v] = 0;
+        queue.push_back(v);
+      }
+    }
+    uint32_t max_level = 0;
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      for (VertexId v : graph.OutNeighbors(u)) {
+        if (v < meta.begin || v >= meta.end) {
+          continue;  // cross-partition edge: the neighbor is elsewhere
+        }
+        if (info.level[v] == kCascadeInf) {
+          info.level[v] = info.level[u] + 1;
+          max_level = std::max(max_level, info.level[v]);
+          queue.push_back(v);
+        }
+      }
+    }
+    info.partition_diameter[p] = std::max<uint32_t>(1, max_level + 1);
+  }
+  info.d_min = info.partition_diameter.empty()
+                   ? 1
+                   : *std::min_element(info.partition_diameter.begin(),
+                                       info.partition_diameter.end());
+  return info;
+}
+
+}  // namespace surfer

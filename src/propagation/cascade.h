@@ -1,0 +1,40 @@
+#ifndef SURFER_PROPAGATION_CASCADE_H_
+#define SURFER_PROPAGATION_CASCADE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/partitioned_graph.h"
+
+namespace surfer {
+
+/// Per-vertex cascade level for multi-iteration propagation (Section 5.2).
+/// level(v) is the shortest within-partition distance from any boundary
+/// vertex to v along out-edges; v belongs to V_k for every k <= level(v),
+/// i.e. k iterations of propagation on v are computable from one partition
+/// scan. Boundary vertices have level 0 (the paper's V_0). Vertices not
+/// reachable from any boundary vertex are V_inf (kCascadeInf): external
+/// information never reaches them, so any number of iterations runs locally.
+inline constexpr uint32_t kCascadeInf = UINT32_MAX;
+
+struct CascadeInfo {
+  /// level per encoded vertex (kCascadeInf for V_inf).
+  std::vector<uint32_t> level;
+  /// Pseudo-diameter per partition (max finite level observed + 1, a cheap
+  /// stand-in for the partition diameter bound of Section 5.2).
+  std::vector<uint32_t> partition_diameter;
+  /// d_min: the paper's cascade phase length — the smallest partition
+  /// diameter (at least 1).
+  uint32_t d_min = 1;
+
+  /// Fraction of vertices with level >= k (the paper reports ~7% for k=2 on
+  /// the MSN graph).
+  double RatioAtLeast(uint32_t k) const;
+};
+
+/// Computes cascade levels with one multi-source BFS per partition.
+CascadeInfo ComputeCascadeInfo(const PartitionedGraph& pg);
+
+}  // namespace surfer
+
+#endif  // SURFER_PROPAGATION_CASCADE_H_

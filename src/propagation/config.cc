@@ -1,0 +1,27 @@
+#include "propagation/config.h"
+
+namespace surfer {
+
+std::string OptimizationLevelName(OptimizationLevel level) {
+  switch (level) {
+    case OptimizationLevel::kO1:
+      return "O1";
+    case OptimizationLevel::kO2:
+      return "O2";
+    case OptimizationLevel::kO3:
+      return "O3";
+    case OptimizationLevel::kO4:
+      return "O4";
+  }
+  return "?";
+}
+
+bool UsesBandwidthAwareLayout(OptimizationLevel level) {
+  return level == OptimizationLevel::kO2 || level == OptimizationLevel::kO4;
+}
+
+bool UsesLocalOptimizations(OptimizationLevel level) {
+  return level == OptimizationLevel::kO3 || level == OptimizationLevel::kO4;
+}
+
+}  // namespace surfer

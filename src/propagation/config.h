@@ -1,0 +1,63 @@
+#ifndef SURFER_PROPAGATION_CONFIG_H_
+#define SURFER_PROPAGATION_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace surfer {
+
+/// The optimization levels evaluated in Section 6.3. The storage-layout half
+/// (O2/O4 vs O1/O3) is chosen by the *placement* passed to the runner; the
+/// local-optimization half (O3/O4 vs O1/O2) by these flags.
+enum class OptimizationLevel {
+  kO1,  ///< ParMetis layout, no local optimizations
+  kO2,  ///< bandwidth-aware layout, no local optimizations
+  kO3,  ///< ParMetis layout, local propagation + local combination
+  kO4,  ///< bandwidth-aware layout, local propagation + local combination
+};
+
+std::string OptimizationLevelName(OptimizationLevel level);
+
+/// True when the level uses the bandwidth-aware storage layout.
+bool UsesBandwidthAwareLayout(OptimizationLevel level);
+/// True when the level enables local propagation / local combination.
+bool UsesLocalOptimizations(OptimizationLevel level);
+
+/// Runtime configuration of a propagation job.
+struct PropagationConfig {
+  /// Local propagation (Section 5.1): messages to inner vertices are applied
+  /// in memory during the partition scan, never materialized to disk.
+  bool local_propagation = true;
+  /// Local combination (Section 5.1): messages bound for the same remote
+  /// vertex are merged before transmission when `combine` is associative
+  /// (the app exposes Merge).
+  bool local_combination = true;
+  /// Cascaded multi-iteration propagation (Section 5.2): vertices whose
+  /// k-hop neighborhood stays in the partition run k iterations per scan.
+  bool cascaded = false;
+  /// Extension beyond the paper: instead of one global phase length d_min
+  /// ("for simplicity, we set the suitable number of iterations ... to be
+  /// the smallest diameter of all the partitions"), let each partition
+  /// cascade up to its *own* diameter. Results are unchanged (elision is an
+  /// I/O-accounting property); which variant elides more depends on the
+  /// level distribution — long phases favor deep interiors, short phases
+  /// re-skip shallow vertices more often.
+  bool cascade_per_partition_depth = false;
+  /// Number of propagation iterations (NR runs several; most apps run one).
+  int iterations = 1;
+  /// Simulated per-machine memory available to a partition's working set;
+  /// exceeding it degrades the task to random disk I/O (P2). Zero disables
+  /// the check.
+  uint64_t memory_limit_bytes = 0;
+
+  static PropagationConfig ForLevel(OptimizationLevel level) {
+    PropagationConfig config;
+    config.local_propagation = UsesLocalOptimizations(level);
+    config.local_combination = UsesLocalOptimizations(level);
+    return config;
+  }
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_PROPAGATION_CONFIG_H_

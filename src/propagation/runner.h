@@ -1,0 +1,582 @@
+#ifndef SURFER_PROPAGATION_RUNNER_H_
+#define SURFER_PROPAGATION_RUNNER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "cluster/metrics.h"
+#include "cluster/topology.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "engine/job_simulation.h"
+#include "propagation/app_traits.h"
+#include "propagation/cascade.h"
+#include "propagation/config.h"
+#include "storage/partitioned_graph.h"
+#include "storage/replication.h"
+
+namespace surfer {
+
+namespace internal {
+
+/// Extracts App::VirtualOutput when present; std::monostate otherwise.
+template <typename App, typename = void>
+struct VirtualOutputOf {
+  using type = std::monostate;
+};
+template <typename App>
+struct VirtualOutputOf<App, std::void_t<typename App::VirtualOutput>> {
+  using type = typename App::VirtualOutput;
+};
+
+/// Simulated size of one virtual-vertex output record.
+inline constexpr size_t kVirtualOutputBytes = 16;
+
+}  // namespace internal
+
+/// Executes a propagation application on a partitioned graph over a
+/// simulated cluster (Algorithm 5 plus the Section 5 optimizations).
+///
+/// The computation itself always runs exactly — every message is delivered
+/// and every combine executes, so results are identical across optimization
+/// levels (tests assert this). What the flags change is the *accounted
+/// cost*:
+///   - local propagation: messages to inner vertices are applied in memory
+///     during the partition scan and never materialized to disk;
+///   - local combination: messages to the same remote vertex are merged
+///     before being priced as network bytes (requires Merge on the app;
+///     semantics-preserving because Merge is associative);
+///   - storage layout: cross-partition messages between partitions placed on
+///     the same machine bypass the network entirely;
+///   - cascaded propagation: across iterations, vertices in V_k skip
+///     intermediate state round-trips (Section 5.2).
+template <typename App>
+  requires PropagationApp<App>
+class PropagationRunner {
+ public:
+  using VertexState = typename App::VertexState;
+  using Message = typename App::Message;
+  using VirtualOutput = typename internal::VirtualOutputOf<App>::type;
+
+  PropagationRunner(const PartitionedGraph* graph,
+                    const ReplicatedPlacement* placement,
+                    const Topology* topology, App app,
+                    PropagationConfig config)
+      : graph_(graph),
+        placement_(placement),
+        topology_(topology),
+        app_(std::move(app)),
+        config_(config) {}
+
+  /// Runs `config.iterations` iterations on a fresh simulation and returns
+  /// its metrics.
+  Result<RunMetrics> Run(JobSimulationOptions sim_options = {}) {
+    JobSimulation sim(topology_, sim_options);
+    SURFER_RETURN_IF_ERROR(RunWith(&sim));
+    return sim.metrics();
+  }
+
+  /// Runs on an externally owned simulation (fault-injection experiments,
+  /// job composition); metrics accumulate into `sim`.
+  Status RunWith(JobSimulation* sim) {
+    SURFER_RETURN_IF_ERROR(Validate());
+    InitializeStates();
+    virtual_outputs_.clear();
+    if (config_.cascaded && config_.iterations > 1) {
+      cascade_ = ComputeCascadeInfo(*graph_);
+    } else {
+      cascade_ = CascadeInfo{};
+    }
+    for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+      if constexpr (IterationAwareApp<App>) {
+        app_.OnIterationStart(iteration);
+      }
+      SURFER_RETURN_IF_ERROR(RunIteration(sim, iteration));
+    }
+    return Status::OK();
+  }
+
+  const std::vector<VertexState>& states() const { return states_; }
+
+  /// State of a vertex addressed by its *original* (pre-encoding) ID.
+  const VertexState& StateOfOriginal(VertexId original) const {
+    return states_[graph_->encoding().ToEncoded(original)];
+  }
+
+  /// Virtual-vertex results (empty unless the app aggregates on virtual
+  /// vertices).
+  const std::map<uint64_t, VirtualOutput>& virtual_outputs() const {
+    return virtual_outputs_;
+  }
+
+  const CascadeInfo& cascade_info() const { return cascade_; }
+
+ private:
+  Status Validate() const {
+    if (graph_ == nullptr || placement_ == nullptr || topology_ == nullptr) {
+      return Status::InvalidArgument("runner inputs must be non-null");
+    }
+    if (placement_->num_partitions() != graph_->num_partitions()) {
+      return Status::InvalidArgument(
+          "placement partition count does not match graph");
+    }
+    if (config_.iterations < 1) {
+      return Status::InvalidArgument("iterations must be >= 1");
+    }
+    for (PartitionId p = 0; p < placement_->num_partitions(); ++p) {
+      if (placement_->primary(p) >= topology_->num_machines()) {
+        return Status::InvalidArgument("placement machine out of range");
+      }
+    }
+    return Status::OK();
+  }
+
+  void InitializeStates() {
+    const Graph& g = graph_->encoded_graph();
+    states_.clear();
+    states_.reserve(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      states_.push_back(app_.InitState(v, g.OutNeighbors(v)));
+    }
+  }
+
+  /// True when this vertex's work in `iteration` is elided from disk
+  /// accounting by cascaded propagation (its value for this iteration was
+  /// already computed during an earlier scan of the phase). The phase length
+  /// is the paper's d_min, or the vertex's own partition diameter with the
+  /// per-partition-depth extension.
+  bool CascadeSkips(VertexId v, int iteration) const {
+    if (cascade_.level.empty() || iteration == 0) {
+      return false;
+    }
+    const uint32_t level = cascade_.level[v];
+    if (level == kCascadeInf) {
+      return true;  // V_inf: all iterations ran in the first scan
+    }
+    const uint32_t c = std::max<uint32_t>(
+        1, config_.cascade_per_partition_depth
+               ? cascade_.partition_diameter[graph_->PartitionOf(v)]
+               : cascade_.d_min);
+    if (c < 2) {
+      return false;
+    }
+    const uint32_t phase_pos = static_cast<uint32_t>(iteration) % c;
+    return phase_pos >= 1 && std::min(level, c) > phase_pos;
+  }
+
+  /// Per-source-partition buffers produced by the Transfer stage.
+  struct PartitionOut {
+    std::vector<std::pair<VertexId, Message>> local;
+    double inner_local_bytes = 0.0;
+    double boundary_local_bytes = 0.0;
+    std::unordered_map<PartitionId, std::vector<std::pair<VertexId, Message>>>
+        remote_list;
+    std::unordered_map<PartitionId, std::unordered_map<VertexId, Message>>
+        remote_merged;
+    std::unordered_map<PartitionId,
+                       std::vector<std::pair<uint64_t, Message>>>
+        virtual_list;
+    std::unordered_map<PartitionId, std::unordered_map<uint64_t, Message>>
+        virtual_merged;
+    double emitted_bytes = 0.0;
+    double state_read_bytes = 0.0;
+    double skipped_state_bytes = 0.0;   // cascaded elision: states
+    double skipped_record_bytes = 0.0;  // cascaded elision: adjacency records
+    uint64_t skipped_vertices = 0;
+  };
+
+  Status RunIteration(JobSimulation* sim, int iteration) {
+    const uint32_t num_partitions = graph_->num_partitions();
+    const Graph& g = graph_->encoded_graph();
+    const bool merge_remote = config_.local_combination && MergeableApp<App>;
+
+    // ---------------- Transfer stage ----------------
+    std::vector<PartitionOut> outs(num_partitions);
+    std::vector<SimTask> transfer_tasks(num_partitions);
+
+    GlobalThreadPool().ParallelFor(num_partitions, [&](size_t pi) {
+      const PartitionId p = static_cast<PartitionId>(pi);
+      const PartitionMeta& meta = graph_->partition(p);
+      PartitionOut& out = outs[p];
+      PropagationEmitter<Message> emitter;
+      // With local combination on, messages to *local* targets also merge
+      // per target before they are counted (inner ones are applied in
+      // memory anyway; boundary ones spill in merged form — the same
+      // associativity argument as for remote merging).
+      std::unordered_map<VertexId, Message> local_merged;
+
+      for (VertexId v = meta.begin; v < meta.end; ++v) {
+        const double state_bytes =
+            static_cast<double>(app_.StateBytes(states_[v]));
+        if (CascadeSkips(v, iteration)) {
+          // This vertex's value for the current iteration was computed in a
+          // batch during an earlier scan of the phase (Section 5.2): the
+          // scan skips its adjacency record and state round-trip.
+          out.skipped_state_bytes += state_bytes;
+          out.skipped_record_bytes += static_cast<double>(
+              StoredVertexRecordBytes(g.OutDegree(v)));
+          ++out.skipped_vertices;
+        }
+        out.state_read_bytes += state_bytes;
+        emitter.Clear();
+        app_.Transfer(v, states_[v], g.OutNeighbors(v), emitter);
+        for (auto& [target, message] : emitter.real()) {
+          const double bytes =
+              static_cast<double>(app_.MessageBytes(message));
+          out.emitted_bytes += bytes;
+          const PartitionId pt = graph_->PartitionOf(target);
+          if (pt == p) {
+            if (merge_remote) {
+              if constexpr (MergeableApp<App>) {
+                auto it = local_merged.find(target);
+                if (it == local_merged.end()) {
+                  local_merged.emplace(target, std::move(message));
+                } else {
+                  it->second = app_.Merge(it->second, message);
+                }
+              }
+            } else {
+              const bool inner = meta.boundary[target - meta.begin] == 0;
+              if (inner) {
+                out.inner_local_bytes += bytes;
+              } else {
+                out.boundary_local_bytes += bytes;
+              }
+              out.local.emplace_back(target, std::move(message));
+            }
+          } else if (merge_remote) {
+            if constexpr (MergeableApp<App>) {
+              auto& bucket = out.remote_merged[pt];
+              auto it = bucket.find(target);
+              if (it == bucket.end()) {
+                bucket.emplace(target, std::move(message));
+              } else {
+                it->second = app_.Merge(it->second, message);
+              }
+            }
+          } else {
+            out.remote_list[pt].emplace_back(target, std::move(message));
+          }
+        }
+        for (auto& [target, message] : emitter.virtuals()) {
+          const double bytes =
+              static_cast<double>(app_.MessageBytes(message));
+          out.emitted_bytes += bytes;
+          const PartitionId pt =
+              static_cast<PartitionId>(target % num_partitions);
+          if (merge_remote) {
+            if constexpr (MergeableApp<App>) {
+              auto& bucket = out.virtual_merged[pt];
+              auto it = bucket.find(target);
+              if (it == bucket.end()) {
+                bucket.emplace(target, std::move(message));
+              } else {
+                it->second = app_.Merge(it->second, message);
+              }
+            }
+          } else {
+            out.virtual_list[pt].emplace_back(target, std::move(message));
+          }
+        }
+      }
+
+      // Flush the merged local messages with post-merge byte counts.
+      if constexpr (MergeableApp<App>) {
+        for (auto& [target, message] : local_merged) {
+          const double bytes =
+              static_cast<double>(app_.MessageBytes(message));
+          if (meta.boundary[target - meta.begin] == 0) {
+            out.inner_local_bytes += bytes;
+          } else {
+            out.boundary_local_bytes += bytes;
+          }
+          out.local.emplace_back(target, std::move(message));
+        }
+        local_merged.clear();
+      }
+
+      // Price the task.
+      SimTask& task = transfer_tasks[p];
+      task.kind = SimTaskKind::kTransfer;
+      task.partition = p;
+      for (MachineId m : placement_->replicas[p]) {
+        if (m != kInvalidMachine) {
+          task.candidate_machines.push_back(m);
+        }
+      }
+      TaskCost& cost = task.cost;
+      const double effective_state_read =
+          out.state_read_bytes - out.skipped_state_bytes;
+      const double effective_record_read = std::max(
+          0.0, static_cast<double>(meta.stored_bytes) -
+                   out.skipped_record_bytes);
+      cost.disk_read_bytes = effective_record_read + effective_state_read;
+      cost.cpu_bytes =
+          static_cast<double>(meta.stored_bytes) + out.emitted_bytes;
+      // Intermediate materialization: boundary-target local messages always
+      // spill; inner-target ones only without local propagation; cascaded
+      // elision removes the skipped vertices' share of the inner spill.
+      double inner_spill =
+          config_.local_propagation ? 0.0 : out.inner_local_bytes;
+      const VertexId part_vertices = meta.num_vertices();
+      if (part_vertices > 0 && out.skipped_vertices > 0) {
+        const double skip_fraction = static_cast<double>(out.skipped_vertices) /
+                                     static_cast<double>(part_vertices);
+        inner_spill *= (1.0 - skip_fraction);
+      }
+      cost.disk_write_bytes = out.boundary_local_bytes + inner_spill;
+
+      // Cross-partition traffic, merged or raw.
+      const MachineId my_machine = placement_->primary(p);
+      auto price_destination = [&](PartitionId dst, double bytes) {
+        const MachineId dst_machine = placement_->primary(dst);
+        // Either way the bytes spill once on this machine: as the final
+        // intermediate for a co-located destination, or as the send buffer
+        // for a remote one (which additionally pays the wire and a receive
+        // spill on the destination).
+        cost.disk_write_bytes += bytes;
+        if (dst_machine != my_machine) {
+          cost.AddNetwork(dst_machine, bytes);
+        }
+      };
+      for (const auto& [dst, messages] : out.remote_list) {
+        double bytes = 0.0;
+        for (const auto& [target, message] : messages) {
+          (void)target;
+          bytes += static_cast<double>(app_.MessageBytes(message));
+        }
+        price_destination(dst, bytes);
+      }
+      for (const auto& [dst, merged] : out.remote_merged) {
+        double bytes = 0.0;
+        for (const auto& [target, message] : merged) {
+          (void)target;
+          bytes += static_cast<double>(app_.MessageBytes(message));
+        }
+        price_destination(dst, bytes);
+      }
+      for (const auto& [dst, messages] : out.virtual_list) {
+        double bytes = 0.0;
+        for (const auto& [target, message] : messages) {
+          (void)target;
+          bytes += static_cast<double>(app_.MessageBytes(message));
+        }
+        if (dst == p) {
+          cost.disk_write_bytes += bytes;
+        } else {
+          price_destination(dst, bytes);
+        }
+      }
+      for (const auto& [dst, merged] : out.virtual_merged) {
+        double bytes = 0.0;
+        for (const auto& [target, message] : merged) {
+          (void)target;
+          bytes += static_cast<double>(app_.MessageBytes(message));
+        }
+        if (dst == p) {
+          cost.disk_write_bytes += bytes;
+        } else {
+          price_destination(dst, bytes);
+        }
+      }
+      if (config_.memory_limit_bytes > 0) {
+        const double working_set = static_cast<double>(meta.stored_bytes) +
+                                   out.state_read_bytes +
+                                   cost.disk_write_bytes;
+        cost.random_io =
+            working_set > static_cast<double>(config_.memory_limit_bytes);
+      }
+    });
+
+    SURFER_RETURN_IF_ERROR(
+        sim->RunStage("transfer[" + std::to_string(iteration) + "]",
+                      std::move(transfer_tasks))
+            .status());
+
+    // ---------------- Delivery (zero-cost bookkeeping) ----------------
+    std::vector<std::vector<std::pair<VertexId, Message>>> inbox(
+        num_partitions);
+    std::vector<std::vector<std::pair<uint64_t, Message>>> virtual_inbox(
+        num_partitions);
+    std::vector<double> incoming_remote_bytes(num_partitions, 0.0);
+    std::vector<double> local_materialized_bytes(num_partitions, 0.0);
+
+    for (PartitionId p = 0; p < num_partitions; ++p) {
+      PartitionOut& out = outs[p];
+      auto& own = inbox[p];
+      std::move(out.local.begin(), out.local.end(), std::back_inserter(own));
+      out.local.clear();
+      local_materialized_bytes[p] +=
+          out.boundary_local_bytes +
+          (config_.local_propagation ? 0.0 : out.inner_local_bytes);
+      const MachineId src_machine = placement_->primary(p);
+      // Bytes from a co-located partition were already spilled to this
+      // machine's disk by the Transfer task; the Combine task only re-reads
+      // them. Truly remote bytes additionally pay the receive spill, and
+      // are what a recovering Combine task must re-transfer.
+      auto account = [&](PartitionId dst, double bytes) {
+        if (placement_->primary(dst) == src_machine) {
+          local_materialized_bytes[dst] += bytes;
+        } else {
+          incoming_remote_bytes[dst] += bytes;
+        }
+      };
+      for (auto& [dst, messages] : out.remote_list) {
+        for (auto& [target, message] : messages) {
+          account(dst, static_cast<double>(app_.MessageBytes(message)));
+          inbox[dst].emplace_back(target, std::move(message));
+        }
+      }
+      for (auto& [dst, merged] : out.remote_merged) {
+        for (auto& [target, message] : merged) {
+          account(dst, static_cast<double>(app_.MessageBytes(message)));
+          inbox[dst].emplace_back(target, std::move(message));
+        }
+      }
+      for (auto& [dst, messages] : out.virtual_list) {
+        for (auto& [target, message] : messages) {
+          if (dst != p) {
+            account(dst, static_cast<double>(app_.MessageBytes(message)));
+          } else {
+            local_materialized_bytes[p] +=
+                static_cast<double>(app_.MessageBytes(message));
+          }
+          virtual_inbox[dst].emplace_back(target, std::move(message));
+        }
+      }
+      for (auto& [dst, merged] : out.virtual_merged) {
+        for (auto& [target, message] : merged) {
+          if (dst != p) {
+            account(dst, static_cast<double>(app_.MessageBytes(message)));
+          } else {
+            local_materialized_bytes[p] +=
+                static_cast<double>(app_.MessageBytes(message));
+          }
+          virtual_inbox[dst].emplace_back(target, std::move(message));
+        }
+      }
+      out = PartitionOut{};  // release buffers eagerly
+    }
+
+    // ---------------- Combine stage ----------------
+    std::vector<SimTask> combine_tasks(num_partitions);
+    std::vector<std::vector<std::pair<uint64_t, VirtualOutput>>>
+        virtual_results(num_partitions);
+
+    GlobalThreadPool().ParallelFor(num_partitions, [&](size_t pi) {
+      const PartitionId p = static_cast<PartitionId>(pi);
+      const PartitionMeta& meta = graph_->partition(p);
+      auto& messages = inbox[p];
+      // Sort by target so each vertex's messages are contiguous; stable to
+      // keep per-sender emission order (determinism of message lists).
+      std::stable_sort(messages.begin(), messages.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+
+      double new_state_bytes = 0.0;
+      double skipped_state_bytes = 0.0;
+      std::vector<Message> vertex_messages;
+      size_t cursor = 0;
+      for (VertexId v = meta.begin; v < meta.end; ++v) {
+        vertex_messages.clear();
+        while (cursor < messages.size() && messages[cursor].first == v) {
+          vertex_messages.push_back(std::move(messages[cursor].second));
+          ++cursor;
+        }
+        app_.Combine(v, states_[v], g.OutNeighbors(v), vertex_messages);
+        const double state_bytes =
+            static_cast<double>(app_.StateBytes(states_[v]));
+        new_state_bytes += state_bytes;
+        if (CascadeSkips(v, iteration)) {
+          skipped_state_bytes += state_bytes;
+        }
+      }
+
+      // Virtual vertices owned by this partition.
+      double virtual_output_bytes = 0.0;
+      if constexpr (VirtualVertexApp<App>) {
+        auto& vmsgs = virtual_inbox[p];
+        std::stable_sort(vmsgs.begin(), vmsgs.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first < b.first;
+                         });
+        std::vector<Message> group;
+        size_t i = 0;
+        while (i < vmsgs.size()) {
+          const uint64_t id = vmsgs[i].first;
+          group.clear();
+          while (i < vmsgs.size() && vmsgs[i].first == id) {
+            group.push_back(std::move(vmsgs[i].second));
+            ++i;
+          }
+          virtual_results[p].emplace_back(id, app_.CombineVirtual(id, group));
+          virtual_output_bytes +=
+              static_cast<double>(internal::kVirtualOutputBytes);
+        }
+      }
+
+      SimTask& task = combine_tasks[p];
+      task.kind = SimTaskKind::kCombine;
+      task.partition = p;
+      for (MachineId m : placement_->replicas[p]) {
+        if (m != kInvalidMachine) {
+          task.candidate_machines.push_back(m);
+        }
+      }
+      TaskCost& cost = task.cost;
+      const double incoming = incoming_remote_bytes[p];
+      const double local_bytes = local_materialized_bytes[p];
+      cost.network_in_bytes = incoming;  // pulled from remote transfers
+      cost.disk_read_bytes = local_bytes + incoming;
+      // Receive spill + the updated states (cascade skips intermediate
+      // state round-trips for qualifying vertices).
+      cost.disk_write_bytes =
+          incoming + (new_state_bytes - skipped_state_bytes) +
+          virtual_output_bytes;
+      cost.cpu_bytes = incoming + local_bytes + new_state_bytes;
+      task.recovery_refetch_bytes = incoming;
+      if (config_.memory_limit_bytes > 0) {
+        const double working_set = incoming + local_bytes + new_state_bytes;
+        cost.random_io =
+            working_set > static_cast<double>(config_.memory_limit_bytes);
+      }
+    });
+
+    // Merge virtual outputs deterministically.
+    if constexpr (VirtualVertexApp<App>) {
+      for (auto& per_partition : virtual_results) {
+        for (auto& [id, output] : per_partition) {
+          virtual_outputs_[id] = std::move(output);
+        }
+      }
+    }
+
+    SURFER_RETURN_IF_ERROR(
+        sim->RunStage("combine[" + std::to_string(iteration) + "]",
+                      std::move(combine_tasks))
+            .status());
+    return Status::OK();
+  }
+
+  const PartitionedGraph* graph_;
+  const ReplicatedPlacement* placement_;
+  const Topology* topology_;
+  App app_;
+  PropagationConfig config_;
+
+  std::vector<VertexState> states_;
+  std::map<uint64_t, VirtualOutput> virtual_outputs_;
+  CascadeInfo cascade_;
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_PROPAGATION_RUNNER_H_

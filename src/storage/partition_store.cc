@@ -1,0 +1,295 @@
+#include "storage/partition_store.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "graph/types.h"
+
+namespace surfer {
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kEncodingName[] = "encoding.bin";
+constexpr uint64_t kPartitionMagic = 0x5355524645521002ULL;
+constexpr uint64_t kEncodingMagic = 0x5355524645521003ULL;
+
+std::string PartitionFileName(PartitionId p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "partition-%04u.bin", p);
+  return buf;
+}
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+Status WritePartitionFile(const PartitionedGraph& graph, PartitionId p,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  const PartitionMeta& meta = graph.partition(p);
+  const Graph& encoded = graph.encoded_graph();
+  WritePod(out, kPartitionMagic);
+  WritePod(out, static_cast<uint64_t>(meta.begin));
+  WritePod(out, static_cast<uint64_t>(meta.end));
+  for (VertexId v = meta.begin; v < meta.end; ++v) {
+    WritePod(out, static_cast<uint64_t>(v));
+    WritePod(out, static_cast<uint32_t>(encoded.OutDegree(v)));
+    for (VertexId nbr : encoded.OutNeighbors(v)) {
+      WritePod(out, static_cast<uint64_t>(nbr));
+    }
+  }
+  if (!out) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status PartitionStore::Write(const PartitionedGraph& graph,
+                             const ReplicatedPlacement& placement,
+                             const std::string& dir) {
+  if (placement.num_partitions() != graph.num_partitions()) {
+    return Status::InvalidArgument("placement does not match graph");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory: " + dir);
+  }
+
+  // Manifest: human-readable header.
+  {
+    std::ofstream out(dir + "/" + kManifestName, std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot write manifest in " + dir);
+    }
+    out << "surfer-partition-store 1\n";
+    out << "vertices " << graph.encoded_graph().num_vertices() << "\n";
+    out << "edges " << graph.encoded_graph().num_edges() << "\n";
+    out << "partitions " << graph.num_partitions() << "\n";
+    for (PartitionId p = 0; p < graph.num_partitions(); ++p) {
+      const PartitionMeta& meta = graph.partition(p);
+      out << "partition " << p << " " << meta.begin << " " << meta.end;
+      for (MachineId m : placement.replicas[p]) {
+        out << " " << (m == kInvalidMachine ? -1 : static_cast<int64_t>(m));
+      }
+      out << "\n";
+    }
+    if (!out) {
+      return Status::IOError("short manifest write in " + dir);
+    }
+  }
+
+  // Encoding: encoded -> original map.
+  {
+    std::ofstream out(dir + "/" + kEncodingName,
+                      std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot write encoding in " + dir);
+    }
+    WritePod(out, kEncodingMagic);
+    WritePod(out,
+             static_cast<uint64_t>(graph.encoded_graph().num_vertices()));
+    for (VertexId e = 0; e < graph.encoded_graph().num_vertices(); ++e) {
+      WritePod(out, static_cast<uint64_t>(graph.encoding().ToOriginal(e)));
+    }
+    if (!out) {
+      return Status::IOError("short encoding write in " + dir);
+    }
+  }
+
+  for (PartitionId p = 0; p < graph.num_partitions(); ++p) {
+    SURFER_RETURN_IF_ERROR(
+        WritePartitionFile(graph, p, dir + "/" + PartitionFileName(p)));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+struct Manifest {
+  uint64_t vertices = 0;
+  uint64_t edges = 0;
+  uint32_t partitions = 0;
+  std::vector<VertexId> starts;  // P+1
+  ReplicatedPlacement placement;
+};
+
+Result<Manifest> ReadManifest(const std::string& dir) {
+  std::ifstream in(dir + "/" + kManifestName);
+  if (!in) {
+    return Status::IOError("cannot open manifest in " + dir);
+  }
+  Manifest manifest;
+  std::string line;
+  if (!std::getline(in, line) || line != "surfer-partition-store 1") {
+    return Status::Corruption("bad manifest header in " + dir);
+  }
+  std::string keyword;
+  while (in >> keyword) {
+    if (keyword == "vertices") {
+      in >> manifest.vertices;
+    } else if (keyword == "edges") {
+      in >> manifest.edges;
+    } else if (keyword == "partitions") {
+      in >> manifest.partitions;
+      manifest.starts.assign(manifest.partitions + 1, 0);
+      manifest.placement.replicas.resize(manifest.partitions);
+    } else if (keyword == "partition") {
+      uint32_t p = 0;
+      uint64_t begin = 0;
+      uint64_t end = 0;
+      in >> p >> begin >> end;
+      if (!in || p >= manifest.partitions) {
+        return Status::Corruption("bad partition line in manifest");
+      }
+      manifest.starts[p] = static_cast<VertexId>(begin);
+      manifest.starts[p + 1] = static_cast<VertexId>(end);
+      for (uint32_t r = 0; r < kReplicationFactor; ++r) {
+        int64_t machine = -1;
+        in >> machine;
+        manifest.placement.replicas[p][r] =
+            machine < 0 ? kInvalidMachine : static_cast<MachineId>(machine);
+      }
+    } else {
+      return Status::Corruption("unknown manifest keyword: " + keyword);
+    }
+    if (!in) {
+      return Status::Corruption("truncated manifest in " + dir);
+    }
+  }
+  if (manifest.partitions == 0 ||
+      manifest.starts.back() != manifest.vertices) {
+    return Status::Corruption("manifest ranges do not tile the graph");
+  }
+  return manifest;
+}
+
+/// Reads one partition file, appending rows for [begin, end) into the CSR
+/// arrays (which must already cover [0, begin)).
+Status ReadPartitionInto(const std::string& path, VertexId expect_begin,
+                         VertexId expect_end, uint64_t num_vertices,
+                         std::vector<EdgeIndex>* offsets,
+                         std::vector<VertexId>* neighbors) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  uint64_t magic = 0;
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  if (!ReadPod(in, &magic) || magic != kPartitionMagic ||
+      !ReadPod(in, &begin) || !ReadPod(in, &end)) {
+    return Status::Corruption("bad partition header in " + path);
+  }
+  if (begin != expect_begin || end != expect_end) {
+    return Status::Corruption("partition range mismatch in " + path);
+  }
+  for (uint64_t v = begin; v < end; ++v) {
+    uint64_t id = 0;
+    uint32_t degree = 0;
+    if (!ReadPod(in, &id) || id != v || !ReadPod(in, &degree)) {
+      return Status::Corruption("bad record in " + path);
+    }
+    for (uint32_t i = 0; i < degree; ++i) {
+      uint64_t nbr = 0;
+      if (!ReadPod(in, &nbr) || nbr >= num_vertices) {
+        return Status::Corruption("bad neighbor in " + path);
+      }
+      neighbors->push_back(static_cast<VertexId>(nbr));
+    }
+    offsets->push_back(neighbors->size());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PartitionStore::Loaded> PartitionStore::Load(const std::string& dir) {
+  SURFER_ASSIGN_OR_RETURN(Manifest manifest, ReadManifest(dir));
+
+  // Encoding map.
+  std::vector<VertexId> to_original;
+  {
+    std::ifstream in(dir + "/" + kEncodingName, std::ios::binary);
+    if (!in) {
+      return Status::IOError("cannot open encoding in " + dir);
+    }
+    uint64_t magic = 0;
+    uint64_t n = 0;
+    if (!ReadPod(in, &magic) || magic != kEncodingMagic || !ReadPod(in, &n) ||
+        n != manifest.vertices) {
+      return Status::Corruption("bad encoding header in " + dir);
+    }
+    to_original.resize(n);
+    for (uint64_t e = 0; e < n; ++e) {
+      uint64_t original = 0;
+      if (!ReadPod(in, &original) || original >= n) {
+        return Status::Corruption("bad encoding entry in " + dir);
+      }
+      to_original[e] = static_cast<VertexId>(original);
+    }
+  }
+
+  // Partitions, in range order.
+  std::vector<EdgeIndex> offsets;
+  offsets.reserve(manifest.vertices + 1);
+  offsets.push_back(0);
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(manifest.edges);
+  for (PartitionId p = 0; p < manifest.partitions; ++p) {
+    SURFER_RETURN_IF_ERROR(ReadPartitionInto(
+        dir + "/" + PartitionFileName(p), manifest.starts[p],
+        manifest.starts[p + 1], manifest.vertices, &offsets, &neighbors));
+  }
+  if (neighbors.size() != manifest.edges) {
+    return Status::Corruption("edge count mismatch in " + dir);
+  }
+
+  SURFER_ASSIGN_OR_RETURN(
+      VertexEncoding encoding,
+      VertexEncoding::FromMapping(std::move(to_original),
+                                  std::move(manifest.starts)));
+  SURFER_ASSIGN_OR_RETURN(
+      PartitionedGraph graph,
+      PartitionedGraph::CreateFromEncoded(
+          Graph(std::move(offsets), std::move(neighbors)),
+          std::move(encoding)));
+  return Loaded{std::move(graph), std::move(manifest.placement)};
+}
+
+Result<Graph> PartitionStore::LoadPartitionRows(const std::string& dir,
+                                                PartitionId partition) {
+  SURFER_ASSIGN_OR_RETURN(Manifest manifest, ReadManifest(dir));
+  if (partition >= manifest.partitions) {
+    return Status::NotFound("partition out of range");
+  }
+  // Empty rows before the partition, real rows inside, empty after.
+  std::vector<EdgeIndex> offsets;
+  offsets.reserve(manifest.vertices + 1);
+  offsets.assign(manifest.starts[partition] + 1, 0);
+  std::vector<VertexId> neighbors;
+  SURFER_RETURN_IF_ERROR(ReadPartitionInto(
+      dir + "/" + PartitionFileName(partition), manifest.starts[partition],
+      manifest.starts[partition + 1], manifest.vertices, &offsets,
+      &neighbors));
+  offsets.resize(manifest.vertices + 1, neighbors.size());
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace surfer

@@ -1,0 +1,53 @@
+#ifndef SURFER_STORAGE_PARTITION_STORE_H_
+#define SURFER_STORAGE_PARTITION_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "partition/partitioning.h"
+#include "storage/partitioned_graph.h"
+#include "storage/replication.h"
+
+namespace surfer {
+
+/// On-disk layout of a partitioned graph — the durable format behind the
+/// simulated storage layer, and what a real deployment would replicate
+/// across slave machines. A store directory contains:
+///
+///   MANIFEST            text header: vertex/edge/partition counts, the
+///                       partition vertex ranges and placement
+///   partition-NNNN.bin  the partition's adjacency records in the paper's
+///                       <ID, d, neighbors> format (encoded vertex IDs;
+///                       neighbor IDs may point outside the partition —
+///                       those are the cross-partition edges)
+///   encoding.bin        encoded-ID -> original-ID map
+///
+/// Writing is atomic per file; a load validates the manifest against the
+/// partition files and rebuilds the full PartitionedGraph (including the
+/// boundary indexes, which are derived data).
+class PartitionStore {
+ public:
+  /// Writes `graph` (with its placement, for the manifest) under `dir`,
+  /// creating the directory if needed.
+  static Status Write(const PartitionedGraph& graph,
+                      const ReplicatedPlacement& placement,
+                      const std::string& dir);
+
+  /// Loads a store directory back into a PartitionedGraph and placement.
+  struct Loaded {
+    PartitionedGraph graph;
+    ReplicatedPlacement placement;
+  };
+  static Result<Loaded> Load(const std::string& dir);
+
+  /// Reads a single partition's subgraph rows without loading the rest:
+  /// returns (local vertex ranges in encoded IDs, neighbors). Used by tools
+  /// that inspect one partition.
+  static Result<Graph> LoadPartitionRows(const std::string& dir,
+                                         PartitionId partition);
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_STORAGE_PARTITION_STORE_H_

@@ -1,0 +1,79 @@
+#include "storage/partitioned_graph.h"
+
+namespace surfer {
+
+Result<PartitionedGraph> PartitionedGraph::Create(
+    const Graph& graph, const Partitioning& partitioning) {
+  if (!partitioning.Valid(graph)) {
+    return Status::InvalidArgument(
+        "partitioning does not cover the graph's vertices");
+  }
+  VertexEncoding encoding = VertexEncoding::Create(partitioning);
+  Graph encoded = encoding.Reencode(graph);
+  return CreateFromEncoded(std::move(encoded), std::move(encoding));
+}
+
+Result<PartitionedGraph> PartitionedGraph::CreateFromEncoded(
+    Graph encoded, VertexEncoding encoding) {
+  if (encoded.num_vertices() != encoding.num_vertices()) {
+    return Status::InvalidArgument(
+        "encoding does not cover the encoded graph's vertices");
+  }
+  PartitionedGraph pg;
+  pg.encoding_ = std::move(encoding);
+  pg.encoded_ = std::move(encoded);
+
+  const uint32_t p = pg.encoding_.num_partitions();
+  pg.partitions_.resize(p);
+  for (PartitionId i = 0; i < p; ++i) {
+    PartitionMeta& meta = pg.partitions_[i];
+    meta.id = i;
+    const auto [begin, end] = pg.encoding_.Range(i);
+    meta.begin = begin;
+    meta.end = end;
+    meta.boundary.assign(end - begin, 0);
+    meta.cross_out_by_partition.assign(p, 0);
+    meta.stored_bytes = pg.encoded_.StoredBytesOfRange(begin, end);
+    pg.total_stored_bytes_ += meta.stored_bytes;
+  }
+
+  // One pass over all edges fills inner/cross counts and boundary flags on
+  // both endpoints.
+  for (VertexId u = 0; u < pg.encoded_.num_vertices(); ++u) {
+    const PartitionId pu = pg.encoding_.PartitionOf(u);
+    PartitionMeta& mu = pg.partitions_[pu];
+    for (VertexId v : pg.encoded_.OutNeighbors(u)) {
+      const PartitionId pv = pg.encoding_.PartitionOf(v);
+      if (pu == pv) {
+        ++mu.inner_edges;
+      } else {
+        PartitionMeta& mv = pg.partitions_[pv];
+        ++mu.cross_out_edges;
+        ++mv.cross_in_edges;
+        ++mu.cross_out_by_partition[pv];
+        mu.boundary[u - mu.begin] = 1;
+        mv.boundary[v - mv.begin] = 1;
+      }
+    }
+  }
+  for (PartitionMeta& meta : pg.partitions_) {
+    for (uint8_t b : meta.boundary) {
+      meta.num_boundary += b;
+    }
+    meta.num_inner = meta.num_vertices() - meta.num_boundary;
+  }
+  return pg;
+}
+
+double PartitionedGraph::InnerVertexRatio() const {
+  uint64_t inner = 0;
+  uint64_t total = 0;
+  for (const PartitionMeta& meta : partitions_) {
+    inner += meta.num_inner;
+    total += meta.num_vertices();
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(inner) / static_cast<double>(total);
+}
+
+}  // namespace surfer

@@ -1,0 +1,90 @@
+#ifndef SURFER_STORAGE_PARTITIONED_GRAPH_H_
+#define SURFER_STORAGE_PARTITIONED_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "partition/partitioning.h"
+#include "partition/vertex_encoding.h"
+
+namespace surfer {
+
+/// Per-partition metadata kept alongside the partition data (Section 5.1):
+/// the boundary-vertex table and the (v -> pid) cross-edge map, generated at
+/// partitioning time and held in memory while processing the partition.
+struct PartitionMeta {
+  PartitionId id = 0;
+  /// Encoded vertex range [begin, end).
+  VertexId begin = 0;
+  VertexId end = 0;
+  /// Stored adjacency bytes of this partition (the paper's record format).
+  uint64_t stored_bytes = 0;
+  uint64_t inner_edges = 0;      ///< edges staying inside the partition
+  uint64_t cross_out_edges = 0;  ///< out-edges leaving the partition
+  uint64_t cross_in_edges = 0;   ///< in-edges arriving from other partitions
+  /// Boundary flag per local vertex (local index = encoded ID - begin); a
+  /// vertex is boundary iff it has any cross-partition edge, in or out.
+  std::vector<uint8_t> boundary;
+  uint64_t num_boundary = 0;
+  uint64_t num_inner = 0;
+  /// Out-edge counts toward each remote partition — the summary of the
+  /// (v, pid) map used by local combination.
+  std::vector<uint64_t> cross_out_by_partition;
+
+  VertexId num_vertices() const { return end - begin; }
+  double InnerVertexRatio() const {
+    const VertexId n = num_vertices();
+    return n == 0 ? 1.0
+                  : static_cast<double>(num_inner) / static_cast<double>(n);
+  }
+};
+
+/// A data graph partitioned, re-encoded (Appendix B) and indexed for the
+/// runtime. The encoded graph is shared; partitions are views over vertex
+/// ranges plus their metadata.
+class PartitionedGraph {
+ public:
+  /// Builds the partitioned form of `graph` under `partitioning`. The input
+  /// graph uses original IDs; the stored graph uses encoded IDs.
+  static Result<PartitionedGraph> Create(const Graph& graph,
+                                         const Partitioning& partitioning);
+
+  /// Rebuilds a PartitionedGraph from its stored pieces: the encoded graph
+  /// and the vertex encoding (partition ranges included). The boundary
+  /// indexes and cross-edge maps are derived data and are recomputed.
+  static Result<PartitionedGraph> CreateFromEncoded(Graph encoded,
+                                                    VertexEncoding encoding);
+
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(partitions_.size());
+  }
+  const Graph& encoded_graph() const { return encoded_; }
+  const VertexEncoding& encoding() const { return encoding_; }
+  const PartitionMeta& partition(PartitionId p) const {
+    return partitions_[p];
+  }
+  const std::vector<PartitionMeta>& partitions() const { return partitions_; }
+
+  PartitionId PartitionOf(VertexId encoded) const {
+    return encoding_.PartitionOf(encoded);
+  }
+
+  /// Total stored bytes across partitions.
+  uint64_t total_stored_bytes() const { return total_stored_bytes_; }
+
+  /// Fraction of vertices that are inner vertices, graph-wide (drives the
+  /// benefit of local propagation, Section 5.1).
+  double InnerVertexRatio() const;
+
+ private:
+  Graph encoded_;
+  VertexEncoding encoding_;
+  std::vector<PartitionMeta> partitions_;
+  uint64_t total_stored_bytes_ = 0;
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_STORAGE_PARTITIONED_GRAPH_H_

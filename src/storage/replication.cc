@@ -1,0 +1,93 @@
+#include "storage/replication.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace surfer {
+
+MachineId ReplicatedPlacement::FirstAliveReplica(
+    PartitionId p, const std::vector<uint8_t>& alive) const {
+  for (MachineId m : replicas[p]) {
+    if (m != kInvalidMachine && m < alive.size() && alive[m]) {
+      return m;
+    }
+  }
+  return kInvalidMachine;
+}
+
+Result<ReplicatedPlacement> MakeReplicatedPlacement(
+    const std::vector<MachineId>& primary, const Topology& topology,
+    uint64_t seed) {
+  const uint32_t n = topology.num_machines();
+  if (n == 0) {
+    return Status::InvalidArgument("empty topology");
+  }
+  for (MachineId m : primary) {
+    if (m >= n) {
+      return Status::InvalidArgument("primary machine out of range");
+    }
+  }
+  Rng rng(seed);
+  ReplicatedPlacement placement;
+  placement.replicas.resize(primary.size());
+
+  // Index machines by pod for the same-pod / cross-pod picks.
+  std::vector<std::vector<MachineId>> by_pod;
+  for (MachineId m = 0; m < n; ++m) {
+    const uint32_t pod = topology.machine(m).pod;
+    if (by_pod.size() <= pod) {
+      by_pod.resize(pod + 1);
+    }
+    by_pod[pod].push_back(m);
+  }
+
+  for (PartitionId p = 0; p < primary.size(); ++p) {
+    auto& reps = placement.replicas[p];
+    reps.fill(kInvalidMachine);
+    reps[0] = primary[p];
+    const uint32_t home_pod = topology.machine(primary[p]).pod;
+
+    // Second replica: another machine in the same pod when one exists.
+    const auto& pod_machines = by_pod[home_pod];
+    if (pod_machines.size() > 1) {
+      MachineId second = primary[p];
+      while (second == primary[p]) {
+        second = pod_machines[rng.Uniform(pod_machines.size())];
+      }
+      reps[1] = second;
+    } else if (n > 1) {
+      MachineId second = primary[p];
+      while (second == primary[p]) {
+        second = static_cast<MachineId>(rng.Uniform(n));
+      }
+      reps[1] = second;
+    }
+
+    // Third replica: a machine in a different pod when one exists,
+    // otherwise any machine distinct from the first two.
+    std::vector<MachineId> candidates;
+    for (MachineId m = 0; m < n; ++m) {
+      if (m == reps[0] || m == reps[1]) {
+        continue;
+      }
+      if (by_pod.size() > 1 && topology.machine(m).pod == home_pod) {
+        continue;
+      }
+      candidates.push_back(m);
+    }
+    if (candidates.empty()) {
+      for (MachineId m = 0; m < n; ++m) {
+        if (m != reps[0] && m != reps[1]) {
+          candidates.push_back(m);
+        }
+      }
+    }
+    if (!candidates.empty()) {
+      reps[2] = candidates[rng.Uniform(candidates.size())];
+    }
+  }
+  return placement;
+}
+
+}  // namespace surfer

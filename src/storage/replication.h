@@ -1,0 +1,44 @@
+#ifndef SURFER_STORAGE_REPLICATION_H_
+#define SURFER_STORAGE_REPLICATION_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/result.h"
+#include "graph/types.h"
+
+namespace surfer {
+
+/// Number of replicas per partition ("each partition has three replicas on
+/// different slave machines", Section 3, following GFS).
+inline constexpr uint32_t kReplicationFactor = 3;
+
+/// Partition-to-machine placement with replicas. replicas[p][0] is the
+/// primary; further replicas follow the GFS-style policy: the second on a
+/// different machine in the same pod (fast re-replication), the third in a
+/// different pod (failure-domain diversity). Clusters smaller than the
+/// replication factor get as many distinct machines as exist.
+struct ReplicatedPlacement {
+  std::vector<std::array<MachineId, kReplicationFactor>> replicas;
+
+  MachineId primary(PartitionId p) const { return replicas[p][0]; }
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(replicas.size());
+  }
+
+  /// First replica machine that `alive` reports as up; kInvalidMachine if
+  /// all replicas are down.
+  MachineId FirstAliveReplica(PartitionId p,
+                              const std::vector<uint8_t>& alive) const;
+};
+
+/// Builds a replicated placement from primary assignments.
+Result<ReplicatedPlacement> MakeReplicatedPlacement(
+    const std::vector<MachineId>& primary, const Topology& topology,
+    uint64_t seed);
+
+}  // namespace surfer
+
+#endif  // SURFER_STORAGE_REPLICATION_H_

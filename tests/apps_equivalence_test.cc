@@ -1,0 +1,80 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmark_suite.h"
+#include "tests/test_fixtures.h"
+
+namespace surfer {
+namespace {
+
+using testing_fixtures::EngineFixture;
+using testing_fixtures::MakeEngineFixture;
+
+const EngineFixture& Fixture() {
+  static const EngineFixture* fixture =
+      new EngineFixture(MakeEngineFixture(1 << 11, 8, 55));
+  return *fixture;
+}
+
+/// Every benchmark app must compute the same answer through propagation and
+/// MapReduce — the two primitives are interchangeable implementations of
+/// the same job (Section 3).
+class AppEquivalenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AppEquivalenceTest, PrimitivesAgree) {
+  const BenchmarkApp* app = FindBenchmarkApp(GetParam());
+  ASSERT_NE(app, nullptr);
+  BenchmarkSetup setup = Fixture().Setup(OptimizationLevel::kO4);
+  PropagationConfig config = PropagationConfig::ForLevel(OptimizationLevel::kO4);
+
+  auto prop = app->run_propagation(setup, config);
+  ASSERT_TRUE(prop.ok()) << prop.status().ToString();
+  auto mr = app->run_mapreduce(setup);
+  ASSERT_TRUE(mr.ok()) << mr.status().ToString();
+
+  const double tolerance =
+      1e-9 * std::max(1.0, std::abs(prop->checksum));
+  EXPECT_NEAR(prop->checksum, mr->checksum, tolerance) << app->name;
+  EXPECT_NE(prop->checksum, 0.0) << app->name << " computed nothing";
+}
+
+TEST_P(AppEquivalenceTest, OptimizationLevelsAgree) {
+  const BenchmarkApp* app = FindBenchmarkApp(GetParam());
+  ASSERT_NE(app, nullptr);
+  double reference = 0.0;
+  bool first = true;
+  for (OptimizationLevel level :
+       {OptimizationLevel::kO1, OptimizationLevel::kO2,
+        OptimizationLevel::kO3, OptimizationLevel::kO4}) {
+    BenchmarkSetup setup = Fixture().Setup(level);
+    auto result =
+        app->run_propagation(setup, PropagationConfig::ForLevel(level));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (first) {
+      reference = result->checksum;
+      first = false;
+    } else {
+      const double tolerance = 1e-9 * std::max(1.0, std::abs(reference));
+      EXPECT_NEAR(result->checksum, reference, tolerance)
+          << app->name << " at " << OptimizationLevelName(level);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppEquivalenceTest,
+                         ::testing::Values("VDD", "RS", "NR", "RLG", "TC",
+                                           "TFL"));
+
+TEST(BenchmarkSuiteTest, RegistryComplete) {
+  EXPECT_EQ(BenchmarkApps().size(), 6u);
+  EXPECT_NE(FindBenchmarkApp("NR"), nullptr);
+  EXPECT_EQ(FindBenchmarkApp("XYZ"), nullptr);
+  for (const BenchmarkApp& app : BenchmarkApps()) {
+    EXPECT_FALSE(app.full_name.empty());
+    EXPECT_GE(app.default_iterations, 1);
+  }
+}
+
+}  // namespace
+}  // namespace surfer

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "apps/network_ranking.h"
+#include "graph/algorithms.h"
+#include "graph/graph_builder.h"
+#include "propagation/cascade.h"
+#include "propagation/runner.h"
+#include "tests/test_fixtures.h"
+
+namespace surfer {
+namespace {
+
+using testing_fixtures::EngineFixture;
+using testing_fixtures::MakeEngineFixture;
+
+TEST(CascadeTest, LevelsOnHandBuiltPartition) {
+  // Chain 0 -> 1 -> 2 -> 3 -> 4 -> 5 split into {0..2} and {3..5}.
+  // IDs are already contiguous per partition, so encoding is identity.
+  GraphBuilder builder(6);
+  for (VertexId v = 0; v + 1 < 6; ++v) {
+    ASSERT_TRUE(builder.AddEdge(v, v + 1).ok());
+  }
+  const Graph g = std::move(builder).Build();
+  Partitioning partitioning;
+  partitioning.num_partitions = 2;
+  partitioning.assignment = {0, 0, 0, 1, 1, 1};
+  auto pg = PartitionedGraph::Create(g, partitioning);
+  ASSERT_TRUE(pg.ok());
+
+  const CascadeInfo info = ComputeCascadeInfo(*pg);
+  // Partition 0: only vertex 2 is boundary (edge 2 -> 3). Levels: 2 -> 0,
+  // nothing reachable from it inside the partition, so 0 and 1 are V_inf.
+  EXPECT_EQ(info.level[2], 0u);
+  EXPECT_EQ(info.level[0], kCascadeInf);
+  EXPECT_EQ(info.level[1], kCascadeInf);
+  // Partition 1: vertex 3 is boundary (incoming cross edge); 4 is one hop,
+  // 5 two hops downstream.
+  EXPECT_EQ(info.level[3], 0u);
+  EXPECT_EQ(info.level[4], 1u);
+  EXPECT_EQ(info.level[5], 2u);
+  EXPECT_EQ(info.partition_diameter[1], 3u);
+  EXPECT_GE(info.d_min, 1u);
+}
+
+TEST(CascadeTest, RatioAtLeastCountsInfAndDeepVertices) {
+  CascadeInfo info;
+  info.level = {0, 1, 2, kCascadeInf};
+  EXPECT_DOUBLE_EQ(info.RatioAtLeast(2), 0.5);   // {2, inf}
+  EXPECT_DOUBLE_EQ(info.RatioAtLeast(1), 0.75);  // {1, 2, inf}
+  EXPECT_DOUBLE_EQ(info.RatioAtLeast(100), 0.25);
+}
+
+TEST(CascadeTest, BoundaryVerticesAreLevelZero) {
+  const EngineFixture f = MakeEngineFixture(1 << 11, 8, 77);
+  const CascadeInfo info = ComputeCascadeInfo(f.engine->partitioned_graph());
+  const PartitionedGraph& pg = f.engine->partitioned_graph();
+  for (PartitionId p = 0; p < pg.num_partitions(); ++p) {
+    const PartitionMeta& meta = pg.partition(p);
+    for (VertexId v = meta.begin; v < meta.end; ++v) {
+      if (meta.boundary[v - meta.begin]) {
+        EXPECT_EQ(info.level[v], 0u);
+      } else {
+        EXPECT_NE(info.level[v], 0u);
+      }
+    }
+  }
+}
+
+TEST(CascadeTest, CascadedResultsIdenticalToNaive) {
+  const EngineFixture f = MakeEngineFixture(1 << 11, 8, 78);
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  NetworkRankingApp app(f.graph.num_vertices());
+
+  PropagationConfig naive;
+  naive.iterations = 4;
+  naive.cascaded = false;
+  PropagationRunner<NetworkRankingApp> naive_runner(
+      setup.graph, setup.placement, setup.topology, app, naive);
+  ASSERT_TRUE(naive_runner.Run(setup.sim_options).ok());
+
+  PropagationConfig cascaded = naive;
+  cascaded.cascaded = true;
+  PropagationRunner<NetworkRankingApp> cascaded_runner(
+      setup.graph, setup.placement, setup.topology, app, cascaded);
+  ASSERT_TRUE(cascaded_runner.Run(setup.sim_options).ok());
+
+  for (VertexId v = 0; v < f.graph.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(naive_runner.states()[v], cascaded_runner.states()[v]);
+  }
+}
+
+TEST(CascadeTest, CascadedReducesDiskIo) {
+  const EngineFixture f = MakeEngineFixture(1 << 12, 8, 79);
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  NetworkRankingApp app(f.graph.num_vertices());
+
+  PropagationConfig naive;
+  naive.iterations = 6;
+  PropagationRunner<NetworkRankingApp> naive_runner(
+      setup.graph, setup.placement, setup.topology, app, naive);
+  auto naive_metrics = naive_runner.Run(setup.sim_options);
+  ASSERT_TRUE(naive_metrics.ok());
+
+  PropagationConfig cascaded = naive;
+  cascaded.cascaded = true;
+  PropagationRunner<NetworkRankingApp> cascaded_runner(
+      setup.graph, setup.placement, setup.topology, app, cascaded);
+  auto cascaded_metrics = cascaded_runner.Run(setup.sim_options);
+  ASSERT_TRUE(cascaded_metrics.ok());
+
+  const double v2_ratio = cascaded_runner.cascade_info().RatioAtLeast(2);
+  if (v2_ratio > 0.01) {
+    EXPECT_LT(cascaded_metrics->disk_bytes, naive_metrics->disk_bytes);
+  } else {
+    EXPECT_LE(cascaded_metrics->disk_bytes, naive_metrics->disk_bytes);
+  }
+  // Network is untouched by cascading.
+  EXPECT_NEAR(cascaded_metrics->network_bytes, naive_metrics->network_bytes,
+              naive_metrics->network_bytes * 1e-9);
+}
+
+TEST(CascadeTest, SingleIterationNeverCascades) {
+  const EngineFixture f = MakeEngineFixture(1 << 10, 4, 80);
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationConfig config;
+  config.iterations = 1;
+  config.cascaded = true;  // ignored for single iterations
+  PropagationRunner<NetworkRankingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+  EXPECT_TRUE(runner.cascade_info().level.empty());
+}
+
+}  // namespace
+}  // namespace surfer

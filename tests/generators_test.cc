@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+
+namespace surfer {
+namespace {
+
+TEST(RmatTest, ProducesRequestedScale) {
+  RmatOptions opt;
+  opt.num_vertices = 1000;  // rounded up to 1024
+  opt.num_edges = 8000;
+  auto g = GenerateRmat(opt);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 1024u);
+  // Dedupe removes some edges, but most survive.
+  EXPECT_GT(g->num_edges(), 6000u);
+  EXPECT_LE(g->num_edges(), 8000u);
+}
+
+TEST(RmatTest, DeterministicBySeed) {
+  RmatOptions opt;
+  opt.num_vertices = 256;
+  opt.num_edges = 1024;
+  opt.seed = 99;
+  auto a = GenerateRmat(opt);
+  auto b = GenerateRmat(opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  opt.seed = 100;
+  auto c = GenerateRmat(opt);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(*a == *c);
+}
+
+TEST(RmatTest, NoSelfLoops) {
+  auto g = GenerateRmat({.num_vertices = 128, .num_edges = 1024, .seed = 3});
+  ASSERT_TRUE(g.ok());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_FALSE(g->HasEdge(v, v));
+  }
+}
+
+TEST(RmatTest, SkewedQuadrantsProduceSkewedDegrees) {
+  RmatOptions skewed;
+  skewed.num_vertices = 1 << 12;
+  skewed.num_edges = 1 << 15;
+  skewed.a = 0.7;
+  skewed.b = 0.1;
+  skewed.c = 0.1;
+  skewed.d = 0.1;
+  RmatOptions uniform = skewed;
+  uniform.a = uniform.b = uniform.c = uniform.d = 0.25;
+  auto gs = GenerateRmat(skewed);
+  auto gu = GenerateRmat(uniform);
+  ASSERT_TRUE(gs.ok());
+  ASSERT_TRUE(gu.ok());
+  EXPECT_GT(ComputeGraphStats(*gs).degree_gini,
+            ComputeGraphStats(*gu).degree_gini);
+}
+
+TEST(RmatTest, RejectsBadProbabilities) {
+  RmatOptions opt;
+  opt.a = 0.5;
+  opt.b = 0.5;
+  opt.c = 0.5;
+  opt.d = 0.5;
+  EXPECT_FALSE(GenerateRmat(opt).ok());
+  opt = RmatOptions{};
+  opt.num_vertices = 1;
+  EXPECT_FALSE(GenerateRmat(opt).ok());
+}
+
+TEST(ErdosRenyiTest, ScaleAndDeterminism) {
+  ErdosRenyiOptions opt;
+  opt.num_vertices = 500;
+  opt.num_edges = 3000;
+  auto a = GenerateErdosRenyi(opt);
+  auto b = GenerateErdosRenyi(opt);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->num_vertices(), 500u);
+  EXPECT_GT(a->num_edges(), 2900u);
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(ErdosRenyiTest, RejectsTinyGraph) {
+  ErdosRenyiOptions opt;
+  opt.num_vertices = 1;
+  EXPECT_FALSE(GenerateErdosRenyi(opt).ok());
+}
+
+TEST(CompositeTest, ComponentsAreConnectedByRewiredEdges) {
+  CompositeSmallWorldOptions opt;
+  opt.num_components = 8;
+  opt.vertices_per_component = 256;
+  opt.edges_per_component = 2048;
+  opt.rewire_ratio = 0.05;
+  auto g = GenerateCompositeSmallWorld(opt);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 8u * 256u);
+  // Count cross-component edges: should be roughly the rewired share.
+  uint64_t cross = 0;
+  for (VertexId u = 0; u < g->num_vertices(); ++u) {
+    for (VertexId v : g->OutNeighbors(u)) {
+      if (u / 256 != v / 256) {
+        ++cross;
+      }
+    }
+  }
+  const double ratio =
+      static_cast<double>(cross) / static_cast<double>(g->num_edges());
+  EXPECT_GT(ratio, 0.02);
+  EXPECT_LT(ratio, 0.10);
+}
+
+TEST(CompositeTest, ZeroRewireKeepsComponentsDisconnected) {
+  CompositeSmallWorldOptions opt;
+  opt.num_components = 4;
+  opt.vertices_per_component = 128;
+  opt.edges_per_component = 1024;
+  opt.rewire_ratio = 0.0;
+  auto g = GenerateCompositeSmallWorld(opt);
+  ASSERT_TRUE(g.ok());
+  for (VertexId u = 0; u < g->num_vertices(); ++u) {
+    for (VertexId v : g->OutNeighbors(u)) {
+      EXPECT_EQ(u / 128, v / 128);
+    }
+  }
+}
+
+TEST(CompositeTest, RejectsBadOptions) {
+  CompositeSmallWorldOptions opt;
+  opt.num_components = 0;
+  EXPECT_FALSE(GenerateCompositeSmallWorld(opt).ok());
+  opt = CompositeSmallWorldOptions{};
+  opt.rewire_ratio = 1.5;
+  EXPECT_FALSE(GenerateCompositeSmallWorld(opt).ok());
+}
+
+TEST(SocialGraphTest, HasSocialShape) {
+  SocialGraphOptions opt;
+  opt.num_vertices = 1 << 13;
+  opt.avg_out_degree = 10.0;
+  opt.num_communities = 16;
+  auto g = GenerateSocialGraph(opt);
+  ASSERT_TRUE(g.ok());
+  const GraphStats stats = ComputeGraphStats(*g);
+  EXPECT_EQ(stats.num_vertices, 1u << 13);
+  // Heavy-tailed: Gini well above a uniform random graph's.
+  EXPECT_GT(stats.degree_gini, 0.5);
+  // Most of the requested volume survives dedupe.
+  EXPECT_GT(stats.avg_out_degree, 5.0);
+}
+
+TEST(SocialGraphTest, DeterministicBySeed) {
+  SocialGraphOptions opt;
+  opt.num_vertices = 1 << 10;
+  auto a = GenerateSocialGraph(opt);
+  auto b = GenerateSocialGraph(opt);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+class GeneratorSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, SocialGraphAlwaysValid) {
+  SocialGraphOptions opt;
+  opt.num_vertices = 1 << 10;
+  opt.seed = GetParam();
+  auto g = GenerateSocialGraph(opt);
+  ASSERT_TRUE(g.ok());
+  // CSR invariants: neighbors sorted, in range, no self loops from RMAT.
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    const auto nbrs = g->OutNeighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    for (VertexId n : nbrs) {
+      EXPECT_LT(n, g->num_vertices());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace surfer

@@ -1,0 +1,311 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_stats.h"
+
+namespace surfer {
+namespace {
+
+Graph MakeChain(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    EXPECT_TRUE(builder.AddEdge(v, v + 1).ok());
+  }
+  return std::move(builder).Build();
+}
+
+// A directed 5-vertex graph used across tests:
+//   0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0, 3 -> 4
+Graph MakeSmall() {
+  GraphBuilder builder(5);
+  EXPECT_TRUE(builder.AddEdges({{0, 1}, {0, 2}, {1, 2}, {2, 0}, {3, 4}}).ok());
+  return std::move(builder).Build();
+}
+
+// ----------------------------------------------------------- GraphBuilder
+
+TEST(GraphBuilderTest, BuildsSortedCsr) {
+  GraphBuilder builder(4);
+  ASSERT_TRUE(builder.AddEdges({{1, 3}, {1, 0}, {1, 2}, {0, 3}}).ok());
+  const Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  const auto nbrs = g.OutNeighbors(1);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(g.OutDegree(1), 3u);
+  EXPECT_EQ(g.OutDegree(2), 0u);
+}
+
+TEST(GraphBuilderTest, DedupeRemovesParallelEdges) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdges({{0, 1}, {0, 1}, {0, 2}, {0, 1}}).ok());
+  const Graph g = std::move(builder).Build(/*dedupe=*/true);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, NoDedupeKeepsParallelEdges) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdges({{0, 1}, {0, 1}}).ok());
+  const Graph g = std::move(builder).Build(/*dedupe=*/false);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRange) {
+  GraphBuilder builder(2);
+  EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+  EXPECT_FALSE(builder.AddEdge(0, 2).ok());
+  EXPECT_FALSE(builder.AddEdge(5, 0).ok());
+}
+
+TEST(GraphBuilderTest, UndirectedAddsBothDirections) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddUndirectedEdge(0, 2).ok());
+  ASSERT_TRUE(builder.AddUndirectedEdge(1, 1).ok());  // self-loop added once
+  const Graph g = std::move(builder).Build();
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(GraphBuilderTest, FromEdgesConvenience) {
+  auto g = GraphBuilder::FromEdges(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+  auto bad = GraphBuilder::FromEdges(2, {{0, 5}});
+  EXPECT_FALSE(bad.ok());
+}
+
+// ------------------------------------------------------------------ Graph
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.StoredBytes(), 0u);
+}
+
+TEST(GraphTest, StoredBytesMatchPaperFormat) {
+  const Graph g = MakeSmall();
+  // 5 vertices * (8 + 4) + 5 edges * 8 = 60 + 40 = 100.
+  EXPECT_EQ(g.StoredBytes(), 100u);
+  EXPECT_EQ(g.StoredBytesOfRange(0, 1), 12u + 2 * 8u);
+  EXPECT_EQ(g.StoredBytesOfRange(3, 3), 0u);
+}
+
+TEST(GraphTest, ReversedTransposesEdges) {
+  const Graph g = MakeSmall();
+  const Graph r = g.Reversed();
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  EXPECT_TRUE(r.HasEdge(1, 0));
+  EXPECT_TRUE(r.HasEdge(2, 0));
+  EXPECT_TRUE(r.HasEdge(2, 1));
+  EXPECT_TRUE(r.HasEdge(0, 2));
+  EXPECT_TRUE(r.HasEdge(4, 3));
+  EXPECT_FALSE(r.HasEdge(0, 1));
+}
+
+TEST(GraphTest, ReversedTwiceIsIdentity) {
+  auto g = GenerateRmat({.num_vertices = 256, .num_edges = 2048, .seed = 4});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->Reversed().Reversed(), *g);
+}
+
+TEST(GraphTest, UndirectedSymmetrizesAndDedupes) {
+  const Graph g = MakeSmall();
+  const Graph u = g.Undirected();
+  // Edges {0,1},{0,2},{1,2},{3,4} as half-edge pairs: 8 entries.
+  EXPECT_EQ(u.num_edges(), 8u);
+  for (VertexId a = 0; a < 5; ++a) {
+    for (VertexId b : u.OutNeighbors(a)) {
+      EXPECT_TRUE(u.HasEdge(b, a)) << a << "->" << b;
+    }
+  }
+  // 0<->2 appears once even though both 0->2 and 2->0 exist.
+  EXPECT_EQ(u.OutDegree(0), 2u);
+}
+
+TEST(GraphTest, UndirectedDropsSelfLoops) {
+  GraphBuilder builder(2);
+  ASSERT_TRUE(builder.AddEdges({{0, 0}, {0, 1}}).ok());
+  const Graph g = std::move(builder).Build();
+  const Graph u = g.Undirected();
+  EXPECT_EQ(u.num_edges(), 2u);
+  EXPECT_FALSE(u.HasEdge(0, 0));
+}
+
+TEST(GraphTest, HasEdge) {
+  const Graph g = MakeSmall();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(4, 3));
+}
+
+// ------------------------------------------------------------- Algorithms
+
+TEST(AlgorithmsTest, BfsDistancesChain) {
+  const Graph g = MakeChain(5);
+  const auto dist = BfsDistances(g, 0);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(dist[v], v);
+  }
+  const auto from_end = BfsDistances(g, 4);
+  EXPECT_EQ(from_end[0], kUnreachableDistance);
+  EXPECT_EQ(from_end[4], 0u);
+}
+
+TEST(AlgorithmsTest, MultiSourceBfs) {
+  const Graph g = MakeChain(9);
+  const auto dist = MultiSourceBfsDistances(g, {0, 8});
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[8], 0u);
+  EXPECT_EQ(dist[4], 4u);  // only reachable from 0 in a directed chain
+}
+
+TEST(AlgorithmsTest, WeaklyConnectedComponents) {
+  const Graph g = MakeSmall();
+  const auto labels = WeaklyConnectedComponents(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(CountWeaklyConnectedComponents(g), 2u);
+}
+
+TEST(AlgorithmsTest, DiameterOfChain) {
+  const Graph g = MakeChain(7);
+  EXPECT_EQ(EstimateDiameter(g, /*samples=*/100), 6u);
+}
+
+TEST(AlgorithmsTest, PageRankSumsToOneWithoutLeaks) {
+  // A directed cycle has no dangling vertices: total rank mass stays 1.
+  GraphBuilder builder(6);
+  for (VertexId v = 0; v < 6; ++v) {
+    ASSERT_TRUE(builder.AddEdge(v, (v + 1) % 6).ok());
+  }
+  const Graph g = std::move(builder).Build();
+  const auto ranks = ReferencePageRank(g, 20);
+  double sum = 0.0;
+  for (double r : ranks) {
+    sum += r;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Symmetry: all cycle vertices tie.
+  for (double r : ranks) {
+    EXPECT_NEAR(r, 1.0 / 6, 1e-12);
+  }
+}
+
+TEST(AlgorithmsTest, PageRankFavorsHighInDegree) {
+  // Star: everyone points at 0.
+  GraphBuilder builder(5);
+  for (VertexId v = 1; v < 5; ++v) {
+    ASSERT_TRUE(builder.AddEdge(v, 0).ok());
+  }
+  const Graph g = std::move(builder).Build();
+  const auto ranks = ReferencePageRank(g, 10);
+  for (VertexId v = 1; v < 5; ++v) {
+    EXPECT_GT(ranks[0], ranks[v]);
+  }
+}
+
+TEST(AlgorithmsTest, TriangleCountSmall) {
+  // Triangle 0-1-2 (one direction each) + dangling edge.
+  GraphBuilder builder(4);
+  ASSERT_TRUE(builder.AddEdges({{0, 1}, {1, 2}, {2, 0}, {2, 3}}).ok());
+  const Graph g = std::move(builder).Build();
+  EXPECT_EQ(ReferenceTriangleCount(g), 1u);
+}
+
+TEST(AlgorithmsTest, TriangleCountCompleteGraph) {
+  // K5 has C(5,3) = 10 triangles.
+  GraphBuilder builder(5);
+  for (VertexId a = 0; a < 5; ++a) {
+    for (VertexId b = a + 1; b < 5; ++b) {
+      ASSERT_TRUE(builder.AddEdge(a, b).ok());
+    }
+  }
+  const Graph g = std::move(builder).Build();
+  EXPECT_EQ(ReferenceTriangleCount(g), 10u);
+}
+
+// Brute-force triangle oracle over the symmetrized graph.
+uint64_t BruteForceTriangles(const Graph& g) {
+  const Graph u = g.Undirected();
+  uint64_t count = 0;
+  for (VertexId a = 0; a < u.num_vertices(); ++a) {
+    for (VertexId b = a + 1; b < u.num_vertices(); ++b) {
+      if (!u.HasEdge(a, b)) {
+        continue;
+      }
+      for (VertexId c = b + 1; c < u.num_vertices(); ++c) {
+        if (u.HasEdge(a, c) && u.HasEdge(b, c)) {
+          ++count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+class TriangleCountPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TriangleCountPropertyTest, MatchesBruteForce) {
+  auto g = GenerateRmat(
+      {.num_vertices = 64, .num_edges = 512, .seed = GetParam()});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(ReferenceTriangleCount(*g), BruteForceTriangles(*g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangleCountPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(AlgorithmsTest, TwoHopNeighbors) {
+  const Graph g = MakeSmall();
+  // 0 -> {1, 2}; 1 -> {2}; 2 -> {0}. Two-hop of 0 = {2} (via 1) and {0}
+  // excluded (via 2 back to 0).
+  const auto two_hop = ReferenceTwoHopNeighbors(g, 0);
+  EXPECT_EQ(two_hop, (std::vector<VertexId>{2}));
+}
+
+TEST(AlgorithmsTest, DegreeHistogram) {
+  const Graph g = MakeSmall();
+  const auto hist = ReferenceDegreeHistogram(g);
+  // Degrees: 0:2, 1:1, 2:1, 3:1, 4:0.
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 3u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+// ------------------------------------------------------------ GraphStats
+
+TEST(GraphStatsTest, BasicCounts) {
+  const Graph g = MakeSmall();
+  const GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_vertices, 5u);
+  EXPECT_EQ(stats.num_edges, 5u);
+  EXPECT_EQ(stats.max_out_degree, 2u);
+  EXPECT_EQ(stats.num_isolated, 1u);
+  EXPECT_DOUBLE_EQ(stats.avg_out_degree, 1.0);
+  EXPECT_EQ(stats.stored_bytes, g.StoredBytes());
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(GraphStatsTest, GiniZeroForRegularGraph) {
+  GraphBuilder builder(4);
+  for (VertexId v = 0; v < 4; ++v) {
+    ASSERT_TRUE(builder.AddEdge(v, (v + 1) % 4).ok());
+  }
+  const GraphStats stats = ComputeGraphStats(std::move(builder).Build());
+  EXPECT_NEAR(stats.degree_gini, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace surfer

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "engine/job_simulation.h"
+
+namespace surfer {
+namespace {
+
+JobSimulationOptions NoOverheadOptions() {
+  JobSimulationOptions options;
+  options.cost.task_overhead_s = 0.0;
+  options.heartbeat_interval_s = 1.0;
+  return options;
+}
+
+SimTask MakeTask(MachineId machine, double disk_read,
+                 SimTaskKind kind = SimTaskKind::kGeneric) {
+  SimTask task;
+  task.kind = kind;
+  task.candidate_machines = {machine};
+  task.cost.disk_read_bytes = disk_read;
+  return task;
+}
+
+TEST(JobSimulationTest, SingleStageTimingMath) {
+  const Topology topo = Topology::T1(2);
+  JobSimulation sim(&topo, NoOverheadOptions());
+  const double disk_bw = topo.machine(0).disk_bytes_per_sec;
+  // Machine 0 gets two 1-second tasks, machine 1 one 1-second task.
+  std::vector<SimTask> tasks = {MakeTask(0, disk_bw), MakeTask(0, disk_bw),
+                                MakeTask(1, disk_bw)};
+  auto stage = sim.RunStage("s", tasks);
+  ASSERT_TRUE(stage.ok());
+  EXPECT_NEAR(stage->duration_s, 2.0, 1e-9);           // makespan
+  EXPECT_NEAR(stage->busy_machine_seconds, 3.0, 1e-9);  // total work
+  EXPECT_EQ(stage->num_tasks, 3u);
+  EXPECT_NEAR(sim.now(), 2.0, 1e-9);
+}
+
+TEST(JobSimulationTest, StagesAccumulate) {
+  const Topology topo = Topology::T1(1);
+  JobSimulation sim(&topo, NoOverheadOptions());
+  const double disk_bw = topo.machine(0).disk_bytes_per_sec;
+  ASSERT_TRUE(sim.RunStage("a", {MakeTask(0, disk_bw)}).ok());
+  ASSERT_TRUE(sim.RunStage("b", {MakeTask(0, 2 * disk_bw)}).ok());
+  EXPECT_NEAR(sim.metrics().response_time_s, 3.0, 1e-9);
+  EXPECT_EQ(sim.metrics().stages.size(), 2u);
+  EXPECT_NEAR(sim.metrics().disk_bytes, 3 * disk_bw, 1e-6);
+}
+
+TEST(JobSimulationTest, NetworkBytesCountOnlyRemote) {
+  const Topology topo = Topology::T1(2);
+  JobSimulation sim(&topo, NoOverheadOptions());
+  SimTask task = MakeTask(0, 0.0);
+  task.cost.AddNetwork(0, 500.0);  // local: free
+  task.cost.AddNetwork(1, 300.0);  // remote
+  auto stage = sim.RunStage("net", {task});
+  ASSERT_TRUE(stage.ok());
+  EXPECT_NEAR(stage->network_bytes, 300.0, 1e-9);
+  EXPECT_NEAR(stage->duration_s, 300.0 / topo.Bandwidth(0, 1), 1e-9);
+}
+
+TEST(JobSimulationTest, DiskTimelineMassMatches) {
+  const Topology topo = Topology::T1(2);
+  JobSimulation sim(&topo, NoOverheadOptions());
+  const double disk_bw = topo.machine(0).disk_bytes_per_sec;
+  ASSERT_TRUE(
+      sim.RunStage("io", {MakeTask(0, 2 * disk_bw), MakeTask(1, disk_bw)})
+          .ok());
+  double mass = 0.0;
+  for (double b : sim.metrics().disk_rate.buckets()) {
+    mass += b;
+  }
+  EXPECT_NEAR(mass, 3 * disk_bw, 1.0);
+}
+
+TEST(JobSimulationTest, FaultBeforeStageRoutesToFallback) {
+  const Topology topo = Topology::T1(3);
+  JobSimulation sim(&topo, NoOverheadOptions());
+  sim.InjectFault({.machine = 0, .fail_at_s = 0.0});
+  SimTask task = MakeTask(0, topo.machine(0).disk_bytes_per_sec);
+  task.candidate_machines = {0, 2};
+  auto stage = sim.RunStage("s", {task});
+  ASSERT_TRUE(stage.ok());
+  EXPECT_FALSE(sim.IsAlive(0));
+  EXPECT_NEAR(stage->duration_s, 1.0, 1e-9);
+}
+
+TEST(JobSimulationTest, NoAliveReplicaFailsStage) {
+  const Topology topo = Topology::T1(2);
+  JobSimulation sim(&topo, NoOverheadOptions());
+  sim.InjectFault({.machine = 1, .fail_at_s = 0.0});
+  SimTask task = MakeTask(1, 100.0);
+  auto stage = sim.RunStage("s", {task});
+  EXPECT_FALSE(stage.ok());
+  EXPECT_TRUE(stage.status().IsUnavailable());
+}
+
+TEST(JobSimulationTest, MidStageFaultReexecutesRemainingTasks) {
+  const Topology topo = Topology::T1(2);
+  JobSimulationOptions options = NoOverheadOptions();
+  options.heartbeat_interval_s = 0.5;
+  JobSimulation sim(&topo, options);
+  const double disk_bw = topo.machine(0).disk_bytes_per_sec;
+
+  // Four 1-second tasks, balanced two per machine; machine 0 dies at
+  // t = 1.5 with its second task in flight.
+  sim.InjectFault({.machine = 0, .fail_at_s = 1.5});
+  std::vector<SimTask> tasks;
+  for (int i = 0; i < 4; ++i) {
+    SimTask task = MakeTask(0, disk_bw, SimTaskKind::kTransfer);
+    task.candidate_machines = {0, 1};
+    tasks.push_back(task);
+  }
+  auto stage = sim.RunStage("s", tasks);
+  ASSERT_TRUE(stage.ok());
+  // The balanced schedule gives each machine tasks at [0,1) and [1,2).
+  // Machine 0 finished one task, lost the in-flight one at 1.5; the retry
+  // lands on machine 1 at detection (2.0) and finishes at 3.0.
+  EXPECT_NEAR(stage->duration_s, 3.0, 1e-6);
+  EXPECT_EQ(stage->num_reexecuted_tasks, 1u);
+  EXPECT_FALSE(sim.IsAlive(0));
+  // Busy time: 3 completed + 0.5 partial lost + 1 re-run = 4.5.
+  EXPECT_NEAR(stage->busy_machine_seconds, 4.5, 1e-6);
+}
+
+TEST(JobSimulationTest, RecoveryOverheadIsModest) {
+  // The Figure 10 shape: recovery adds ~10% to the normal completion.
+  const Topology topo = Topology::T1(8);
+  const double disk_bw = topo.machine(0).disk_bytes_per_sec;
+
+  auto run = [&](bool with_fault) {
+    JobSimulationOptions options = NoOverheadOptions();
+    options.heartbeat_interval_s = 0.2;
+    JobSimulation sim(&topo, options);
+    if (with_fault) {
+      sim.InjectFault({.machine = 3, .fail_at_s = 2.5});
+    }
+    std::vector<SimTask> tasks;
+    for (MachineId m = 0; m < 8; ++m) {
+      for (int i = 0; i < 8; ++i) {
+        SimTask task = MakeTask(m, disk_bw, SimTaskKind::kTransfer);
+        task.candidate_machines = {m, static_cast<MachineId>((m + 1) % 8)};
+        tasks.push_back(task);
+      }
+    }
+    auto stage = sim.RunStage("s", tasks);
+    EXPECT_TRUE(stage.ok());
+    return stage->duration_s;
+  };
+
+  const double normal = run(false);
+  const double recovered = run(true);
+  EXPECT_GT(recovered, normal);
+  EXPECT_LT(recovered, normal * 2.0);
+}
+
+TEST(JobSimulationTest, CombineRecoveryPaysRefetch) {
+  // Three machines so the recovering machine still has an alive peer to
+  // re-fetch the Combine inputs from.
+  const Topology topo = Topology::T1(3);
+  JobSimulationOptions options = NoOverheadOptions();
+  options.heartbeat_interval_s = 0.0;
+  const double disk_bw = topo.machine(0).disk_bytes_per_sec;
+
+  auto run = [&](double refetch_bytes) {
+    JobSimulation sim(&topo, options);
+    sim.InjectFault({.machine = 0, .fail_at_s = 0.25});
+    SimTask task = MakeTask(0, disk_bw, SimTaskKind::kCombine);
+    task.candidate_machines = {0, 1};
+    task.recovery_refetch_bytes = refetch_bytes;
+    auto stage = sim.RunStage("s", {task});
+    EXPECT_TRUE(stage.ok());
+    return stage->duration_s;
+  };
+
+  const double without = run(0.0);
+  const double with = run(topo.Bandwidth(0, 1));  // ~1 s of re-transfer
+  EXPECT_NEAR(with - without, 1.0, 0.05);
+}
+
+TEST(JobSimulationTest, DeadMachineAvoidedInLaterStages) {
+  const Topology topo = Topology::T1(2);
+  JobSimulation sim(&topo, NoOverheadOptions());
+  sim.InjectFault({.machine = 0, .fail_at_s = 0.1});
+  SimTask first = MakeTask(0, topo.machine(0).disk_bytes_per_sec);
+  first.candidate_machines = {0, 1};
+  ASSERT_TRUE(sim.RunStage("a", {first}).ok());
+  EXPECT_FALSE(sim.IsAlive(0));
+  // The next stage routes directly to the fallback.
+  SimTask second = MakeTask(0, topo.machine(0).disk_bytes_per_sec);
+  second.candidate_machines = {0, 1};
+  auto stage = sim.RunStage("b", {second});
+  ASSERT_TRUE(stage.ok());
+  EXPECT_EQ(stage->num_reexecuted_tasks, 0u);
+}
+
+TEST(JobSimulationTest, EmptyStage) {
+  const Topology topo = Topology::T1(2);
+  JobSimulation sim(&topo, NoOverheadOptions());
+  auto stage = sim.RunStage("empty", {});
+  ASSERT_TRUE(stage.ok());
+  EXPECT_DOUBLE_EQ(stage->duration_s, 0.0);
+}
+
+}  // namespace
+}  // namespace surfer

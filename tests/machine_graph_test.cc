@@ -1,0 +1,188 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "partition/machine_graph.h"
+#include "partition/partition_sketch.h"
+
+namespace surfer {
+namespace {
+
+TEST(MachineGraphTest, CompleteWithBandwidthWeights) {
+  const Topology topo = Topology::T2(8, 2, 1);
+  const WeightedGraph mg = BuildMachineGraph(topo);
+  EXPECT_EQ(mg.num_vertices(), 8u);
+  // Complete graph: every vertex has 7 neighbors.
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(mg.Neighbors(v).size(), 7u);
+  }
+  // Intra-pod weight exceeds cross-pod weight by the delay factor.
+  const auto weights = mg.EdgeWeights(0);
+  const auto nbrs = mg.Neighbors(0);
+  int64_t intra = 0;
+  int64_t cross = 0;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    if (topo.machine(nbrs[i]).pod == topo.machine(0).pod) {
+      intra = weights[i];
+    } else {
+      cross = weights[i];
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(intra) / static_cast<double>(cross), 16.0,
+              0.5);
+}
+
+TEST(BandwidthAwarePlacementTest, EveryPartitionPlaced) {
+  const Topology topo = Topology::T2(16, 4, 1);
+  PartitionSketch sketch(32);
+  auto placement = ComputeBandwidthAwarePlacement(topo, sketch);
+  ASSERT_TRUE(placement.ok());
+  ASSERT_EQ(placement->partition_to_machine.size(), 32u);
+  for (MachineId m : placement->partition_to_machine) {
+    EXPECT_LT(m, 16u);
+  }
+  // With P = 2M, every machine holds exactly 2 partitions.
+  std::vector<int> load(16, 0);
+  for (MachineId m : placement->partition_to_machine) {
+    ++load[m];
+  }
+  for (int l : load) {
+    EXPECT_EQ(l, 2);
+  }
+}
+
+TEST(BandwidthAwarePlacementTest, RootSplitsMachinesInHalf) {
+  const Topology topo = Topology::T2(16, 2, 1);
+  PartitionSketch sketch(16);
+  auto placement = ComputeBandwidthAwarePlacement(topo, sketch);
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->node_machines[1].size(), 16u);
+  EXPECT_EQ(placement->node_machines[2].size(), 8u);
+  EXPECT_EQ(placement->node_machines[3].size(), 8u);
+}
+
+TEST(BandwidthAwarePlacementTest, PodsStayTogetherOnT2) {
+  // Minimizing cut bandwidth must split the cluster along the pod boundary:
+  // the root split separates the two pods.
+  const Topology topo = Topology::T2(16, 2, 1);
+  PartitionSketch sketch(16);
+  auto placement = ComputeBandwidthAwarePlacement(topo, sketch);
+  ASSERT_TRUE(placement.ok());
+  const auto& left = placement->node_machines[2];
+  const auto& right = placement->node_machines[3];
+  std::set<uint32_t> left_pods;
+  std::set<uint32_t> right_pods;
+  for (MachineId m : left) {
+    left_pods.insert(topo.machine(m).pod);
+  }
+  for (MachineId m : right) {
+    right_pods.insert(topo.machine(m).pod);
+  }
+  EXPECT_EQ(left_pods.size(), 1u);
+  EXPECT_EQ(right_pods.size(), 1u);
+  EXPECT_NE(*left_pods.begin(), *right_pods.begin());
+}
+
+TEST(BandwidthAwarePlacementTest, SiblingPartitionsCoLocatedMoreThanRandom) {
+  // P3: sibling partitions (many mutual cross edges) should land on the
+  // same machine or pod far more often under the bandwidth-aware mapping
+  // than under random placement.
+  const Topology topo = Topology::T2(16, 4, 1);
+  PartitionSketch sketch(64);
+  auto ba = ComputeBandwidthAwarePlacement(topo, sketch);
+  ASSERT_TRUE(ba.ok());
+  const auto random = RandomPlacement(64, topo, 5);
+
+  auto same_pod_siblings = [&](const std::vector<MachineId>& placement) {
+    int same = 0;
+    for (PartitionId p = 0; p < 64; p += 2) {
+      if (topo.machine(placement[p]).pod == topo.machine(placement[p + 1]).pod) {
+        ++same;
+      }
+    }
+    return same;
+  };
+  EXPECT_EQ(same_pod_siblings(ba->partition_to_machine), 32);
+  EXPECT_LT(same_pod_siblings(random), 24);
+}
+
+TEST(BandwidthAwarePlacementTest, T3FastMachinesCarryMorePartitions) {
+  // On T3 the capability-weighted machine bisection gives HIGH machines a
+  // larger share of the partitions, so the slow half does not gate the
+  // makespan (the load-balancing generalization of Section 4.2's "same
+  // number of machines" constraint).
+  const Topology topo = Topology::T3(16, 0.5, /*seed=*/3);
+  PartitionSketch sketch(32);
+  auto placement = ComputeBandwidthAwarePlacement(topo, sketch);
+  ASSERT_TRUE(placement.ok());
+  double max_nic = 0;
+  for (MachineId m = 0; m < 16; ++m) {
+    max_nic = std::max(max_nic, topo.machine(m).nic_bytes_per_sec);
+  }
+  int fast_partitions = 0;
+  int slow_partitions = 0;
+  for (PartitionId p = 0; p < 32; ++p) {
+    const MachineId m = placement->partition_to_machine[p];
+    if (topo.machine(m).nic_bytes_per_sec == max_nic) {
+      ++fast_partitions;
+    } else {
+      ++slow_partitions;
+    }
+  }
+  EXPECT_GT(fast_partitions, slow_partitions);
+  // Count-balanced mode (used by the partitioning-time model) splits the
+  // root machine set evenly instead.
+  BandwidthAwarePlacementOptions count_balanced;
+  count_balanced.capability_weights = false;
+  auto counted = ComputeBandwidthAwarePlacement(topo, sketch, count_balanced);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->node_machines[2].size(), 8u);
+  EXPECT_EQ(counted->node_machines[3].size(), 8u);
+}
+
+TEST(BandwidthAwarePlacementTest, SingleMachineTakesEverything) {
+  const Topology topo = Topology::T1(1);
+  PartitionSketch sketch(8);
+  auto placement = ComputeBandwidthAwarePlacement(topo, sketch);
+  ASSERT_TRUE(placement.ok());
+  for (MachineId m : placement->partition_to_machine) {
+    EXPECT_EQ(m, 0u);
+  }
+}
+
+TEST(BandwidthAwarePlacementTest, MoreMachinesThanPartitions) {
+  const Topology topo = Topology::T1(16);
+  PartitionSketch sketch(4);
+  auto placement = ComputeBandwidthAwarePlacement(topo, sketch);
+  ASSERT_TRUE(placement.ok());
+  // All partitions placed on distinct machines (each leaf had 4 machines to
+  // choose from).
+  std::set<MachineId> used(placement->partition_to_machine.begin(),
+                           placement->partition_to_machine.end());
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(RandomPlacementTest, BalancedRoundRobin) {
+  const Topology topo = Topology::T1(8);
+  const auto placement = RandomPlacement(32, topo, 9);
+  ASSERT_EQ(placement.size(), 32u);
+  std::vector<int> load(8, 0);
+  for (MachineId m : placement) {
+    ASSERT_LT(m, 8u);
+    ++load[m];
+  }
+  for (int l : load) {
+    EXPECT_EQ(l, 4);
+  }
+}
+
+TEST(RandomPlacementTest, SeedVariesAssignment) {
+  const Topology topo = Topology::T1(8);
+  EXPECT_NE(RandomPlacement(32, topo, 1), RandomPlacement(32, topo, 2));
+  EXPECT_EQ(RandomPlacement(32, topo, 1), RandomPlacement(32, topo, 1));
+}
+
+}  // namespace
+}  // namespace surfer

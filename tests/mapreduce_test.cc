@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "apps/degree_distribution.h"
+#include "apps/network_ranking.h"
+#include "apps/reverse_link_graph.h"
+#include "graph/algorithms.h"
+#include "mapreduce/runner.h"
+#include "tests/test_fixtures.h"
+
+namespace surfer {
+namespace {
+
+using testing_fixtures::EngineFixture;
+using testing_fixtures::MakeEngineFixture;
+
+const EngineFixture& Fixture() {
+  static const EngineFixture* fixture =
+      new EngineFixture(MakeEngineFixture());
+  return *fixture;
+}
+
+TEST(MapReduceTest, PageRankMatchesReference) {
+  const EngineFixture& f = Fixture();
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  JobSimulation sim(setup.topology, setup.sim_options);
+  auto ranks = RunNetworkRankingMapReduce(*setup.graph, *setup.placement,
+                                          *setup.topology, &sim, 4);
+  ASSERT_TRUE(ranks.ok());
+  const auto reference = ReferencePageRank(f.graph, 4);
+  const VertexEncoding& enc = setup.graph->encoding();
+  for (VertexId v = 0; v < f.graph.num_vertices(); ++v) {
+    EXPECT_NEAR((*ranks)[enc.ToEncoded(v)], reference[v], 1e-12);
+  }
+}
+
+TEST(MapReduceTest, DegreeDistributionMatchesHistogram) {
+  const EngineFixture& f = Fixture();
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  DegreeDistributionMrApp app;
+  MapReduceRunner<DegreeDistributionMrApp> runner(
+      setup.graph, setup.placement, setup.topology, app);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+  const auto reference = ReferenceDegreeHistogram(f.graph);
+  for (uint64_t degree = 0; degree < reference.size(); ++degree) {
+    if (reference[degree] != 0) {
+      auto it = runner.outputs().find(degree);
+      ASSERT_NE(it, runner.outputs().end());
+      EXPECT_EQ(it->second, reference[degree]);
+    }
+  }
+}
+
+TEST(MapReduceTest, ReverseLinkGraphMatchesReversed) {
+  const EngineFixture& f = Fixture();
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  ReverseLinkGraphMrApp app;
+  MapReduceRunner<ReverseLinkGraphMrApp> runner(
+      setup.graph, setup.placement, setup.topology, app);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+  const Graph reversed = f.graph.Reversed();
+  const VertexEncoding& enc = setup.graph->encoding();
+  uint64_t total = 0;
+  for (const auto& [v, list] : runner.outputs()) {
+    const auto expected = reversed.OutNeighbors(enc.ToOriginal(v));
+    ASSERT_EQ(list.size(), expected.size());
+    total += list.size();
+  }
+  EXPECT_EQ(total, f.graph.num_edges());
+}
+
+TEST(MapReduceTest, ShuffleIsNetworkHeavy) {
+  // The core deficiency of Section 3.1: the hash shuffle ignores graph
+  // partitions, so MapReduce moves far more bytes than propagation.
+  const EngineFixture& f = Fixture();
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+
+  JobSimulation mr_sim(setup.topology, setup.sim_options);
+  ASSERT_TRUE(RunNetworkRankingMapReduce(*setup.graph, *setup.placement,
+                                         *setup.topology, &mr_sim, 3)
+                  .ok());
+
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationConfig config;
+  config.iterations = 3;
+  PropagationRunner<NetworkRankingApp> prop(
+      setup.graph, setup.placement, setup.topology, app, config);
+  auto prop_metrics = prop.Run(setup.sim_options);
+  ASSERT_TRUE(prop_metrics.ok());
+
+  EXPECT_GT(mr_sim.metrics().network_bytes,
+            prop_metrics->network_bytes * 1.5);
+}
+
+TEST(MapReduceTest, CombinerReducesShuffleBytes) {
+  // NR's map-side hash table (Appendix D Algorithm 2) is the combiner; an
+  // app without it ships one pair per edge.
+  const EngineFixture& f = Fixture();
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+
+  // Strip the combiner by wrapping the app without CombineValues.
+  struct NoCombinerNr {
+    using Key = VertexId;
+    using Value = double;
+    using Output = double;
+    const std::vector<double>* ranks;
+    VertexId n;
+    void Map(const PartitionView& partition,
+             MapEmitter<Key, Value>& emitter) const {
+      for (VertexId v = partition.begin(); v < partition.end(); ++v) {
+        const auto neighbors = partition.OutNeighbors(v);
+        if (neighbors.empty()) {
+          continue;
+        }
+        const double share =
+            (*ranks)[v] * kDefaultDamping / neighbors.size();
+        for (VertexId neighbor : neighbors) {
+          emitter.Emit(neighbor, share);
+        }
+      }
+    }
+    Output Reduce(const Key&, std::vector<Value>& values) const {
+      double rank = (1.0 - kDefaultDamping) / n;
+      for (double v : values) {
+        rank += v;
+      }
+      return rank;
+    }
+    size_t PairBytes(const Key&, const Value&) const { return 16; }
+    size_t OutputBytes(const Output&) const { return 16; }
+  };
+
+  const VertexId n = f.graph.num_vertices();
+  std::vector<double> ranks(n, 1.0 / n);
+
+  NetworkRankingMrApp with_combiner(&ranks, n);
+  MapReduceRunner<NetworkRankingMrApp> combined(
+      setup.graph, setup.placement, setup.topology, with_combiner);
+  auto combined_metrics = combined.Run(setup.sim_options);
+  ASSERT_TRUE(combined_metrics.ok());
+
+  NoCombinerNr without{&ranks, n};
+  MapReduceRunner<NoCombinerNr> uncombined(setup.graph, setup.placement,
+                                           setup.topology, without);
+  auto uncombined_metrics = uncombined.Run(setup.sim_options);
+  ASSERT_TRUE(uncombined_metrics.ok());
+
+  EXPECT_LT(combined_metrics->network_bytes,
+            uncombined_metrics->network_bytes);
+  // Both compute identical ranks.
+  for (const auto& [v, rank] : combined.outputs()) {
+    auto it = uncombined.outputs().find(v);
+    ASSERT_NE(it, uncombined.outputs().end());
+    EXPECT_NEAR(rank, it->second, 1e-12);
+  }
+}
+
+TEST(MapReduceTest, RejectsNullInputs) {
+  const EngineFixture& f = Fixture();
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  DegreeDistributionMrApp app;
+  MapReduceRunner<DegreeDistributionMrApp> runner(nullptr, setup.placement,
+                                                  setup.topology, app);
+  EXPECT_FALSE(runner.Run(setup.sim_options).ok());
+}
+
+TEST(MapReduceTest, SurvivesMachineFailure) {
+  const EngineFixture& f = Fixture();
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  JobSimulation sim(setup.topology, setup.sim_options);
+  sim.InjectFault({.machine = 2, .fail_at_s = 1.0});
+  DegreeDistributionMrApp app;
+  MapReduceRunner<DegreeDistributionMrApp> runner(
+      setup.graph, setup.placement, setup.topology, app);
+  ASSERT_TRUE(runner.RunWith(&sim).ok());
+  // Results are still exact.
+  const auto reference = ReferenceDegreeHistogram(f.graph);
+  for (uint64_t degree = 0; degree < reference.size(); ++degree) {
+    if (reference[degree] != 0) {
+      EXPECT_EQ(runner.outputs().at(degree), reference[degree]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace surfer

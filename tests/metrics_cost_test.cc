@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cost_model.h"
+#include "cluster/metrics.h"
+#include "cluster/topology.h"
+
+namespace surfer {
+namespace {
+
+// ------------------------------------------------------------ TimeSeries
+
+TEST(TimeSeriesTest, SpanSmearsUniformly) {
+  TimeSeries ts(1.0);
+  ts.AddSpan(0.0, 4.0, 40.0);
+  for (int b = 0; b < 4; ++b) {
+    EXPECT_DOUBLE_EQ(ts.ValueAt(b + 0.5), 10.0);
+  }
+  EXPECT_DOUBLE_EQ(ts.ValueAt(4.5), 0.0);
+}
+
+TEST(TimeSeriesTest, PartialBucketOverlap) {
+  TimeSeries ts(1.0);
+  ts.AddSpan(0.5, 1.5, 10.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(1.25), 5.0);
+}
+
+TEST(TimeSeriesTest, TotalMassPreserved) {
+  TimeSeries ts(2.0);
+  ts.AddSpan(1.3, 9.7, 123.0);
+  ts.AddSpan(0.0, 0.5, 7.0);
+  double total = 0.0;
+  for (double b : ts.buckets()) {
+    total += b;
+  }
+  EXPECT_NEAR(total, 130.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, IgnoresDegenerateSpans) {
+  TimeSeries ts(1.0);
+  ts.AddSpan(5.0, 5.0, 10.0);
+  ts.AddSpan(5.0, 4.0, 10.0);
+  ts.AddSpan(0.0, 1.0, 0.0);
+  EXPECT_EQ(ts.num_buckets(), 0u);
+}
+
+TEST(TimeSeriesTest, RatesDivideByWidth) {
+  TimeSeries ts(2.0);
+  ts.AddSpan(0.0, 2.0, 10.0);
+  const auto rates = ts.Rates();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+}
+
+// -------------------------------------------------------------- TaskCost
+
+TEST(TaskCostTest, AddNetworkAccumulatesPerDestination) {
+  TaskCost cost;
+  cost.AddNetwork(3, 100.0);
+  cost.AddNetwork(5, 50.0);
+  cost.AddNetwork(3, 25.0);
+  cost.AddNetwork(7, 0.0);  // ignored
+  EXPECT_EQ(cost.network_out.size(), 2u);
+  EXPECT_DOUBLE_EQ(cost.TotalNetworkBytes(), 175.0);
+}
+
+TEST(TaskCostTest, MergeFromCombinesEverything) {
+  TaskCost a;
+  a.disk_read_bytes = 10;
+  a.cpu_bytes = 5;
+  a.AddNetwork(1, 100);
+  TaskCost b;
+  b.disk_write_bytes = 20;
+  b.random_io = true;
+  b.AddNetwork(1, 50);
+  b.AddNetwork(2, 25);
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.disk_read_bytes, 10);
+  EXPECT_DOUBLE_EQ(a.disk_write_bytes, 20);
+  EXPECT_TRUE(a.random_io);
+  EXPECT_DOUBLE_EQ(a.TotalNetworkBytes(), 175.0);
+}
+
+// ------------------------------------------------------------- CostModel
+
+TEST(CostModelTest, PricesDiskCpuNetwork) {
+  Topology topo = Topology::T1(2);
+  CostParameters params;
+  params.task_overhead_s = 1.0;
+  params.cpu_bytes_per_sec = 100.0;
+  CostModel model(&topo, params);
+
+  TaskCost cost;
+  cost.disk_read_bytes = topo.machine(0).disk_bytes_per_sec;  // 1 s of disk
+  cost.cpu_bytes = 200.0;                                     // 2 s of CPU
+  cost.AddNetwork(1, topo.Bandwidth(0, 1));                   // 1 s of net
+  EXPECT_NEAR(model.TaskSeconds(0, cost), 1.0 + 1.0 + 2.0 + 1.0, 1e-9);
+}
+
+TEST(CostModelTest, LocalNetworkIsFree) {
+  Topology topo = Topology::T1(2);
+  CostParameters params;
+  params.task_overhead_s = 0.0;
+  CostModel model(&topo, params);
+  TaskCost cost;
+  cost.AddNetwork(0, 1e12);  // to itself
+  EXPECT_DOUBLE_EQ(model.TaskSeconds(0, cost), 0.0);
+}
+
+TEST(CostModelTest, RandomIoPenalty) {
+  Topology topo = Topology::T1(1);
+  CostParameters params;
+  params.task_overhead_s = 0.0;
+  params.random_io_penalty = 8.0;
+  CostModel model(&topo, params);
+  TaskCost sequential;
+  sequential.disk_read_bytes = 1e6;
+  TaskCost random = sequential;
+  random.random_io = true;
+  EXPECT_NEAR(model.TaskSeconds(0, random) / model.TaskSeconds(0, sequential),
+              8.0, 1e-9);
+}
+
+TEST(CostModelTest, SlowerLinkCostsMore) {
+  Topology topo = Topology::T2(4, 2, 1);
+  CostParameters params;
+  params.task_overhead_s = 0.0;
+  CostModel model(&topo, params);
+  TaskCost intra;
+  intra.AddNetwork(1, 1e6);  // same pod as machine 0
+  TaskCost cross;
+  cross.AddNetwork(2, 1e6);  // other pod
+  EXPECT_GT(model.TaskSeconds(0, cross), model.TaskSeconds(0, intra) * 15.0);
+}
+
+// ---------------------------------------------------- Stage / RunMetrics
+
+TEST(MetricsTest, AccumulateSumsStages) {
+  RunMetrics metrics;
+  StageMetrics s1;
+  s1.name = "a";
+  s1.duration_s = 2.0;
+  s1.busy_machine_seconds = 6.0;
+  s1.network_bytes = 100.0;
+  s1.disk_read_bytes = 10.0;
+  s1.disk_write_bytes = 5.0;
+  StageMetrics s2;
+  s2.name = "b";
+  s2.duration_s = 3.0;
+  s2.busy_machine_seconds = 4.0;
+  s2.network_bytes = 50.0;
+  metrics.Accumulate(s1);
+  metrics.Accumulate(s2);
+  EXPECT_DOUBLE_EQ(metrics.response_time_s, 5.0);
+  EXPECT_DOUBLE_EQ(metrics.total_machine_time_s, 10.0);
+  EXPECT_DOUBLE_EQ(metrics.network_bytes, 150.0);
+  EXPECT_DOUBLE_EQ(metrics.disk_bytes, 15.0);
+  ASSERT_EQ(metrics.stages.size(), 2u);
+  EXPECT_FALSE(metrics.Summary().empty());
+  EXPECT_FALSE(metrics.stages[0].ToString().empty());
+}
+
+}  // namespace
+}  // namespace surfer

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/recursive_partitioner.h"
+#include "storage/partitioned_graph.h"
+
+namespace surfer {
+namespace {
+
+struct Fixture {
+  Graph graph;
+  Partitioning partitioning;
+  PartitionedGraph pg;
+};
+
+Fixture MakeFixture(uint32_t partitions = 8, uint64_t seed = 21) {
+  auto g = GenerateCompositeSmallWorld({.num_components = 8,
+                                        .vertices_per_component = 128,
+                                        .edges_per_component = 1024,
+                                        .rewire_ratio = 0.05,
+                                        .seed = seed});
+  EXPECT_TRUE(g.ok());
+  RecursivePartitionerOptions options;
+  options.num_partitions = partitions;
+  auto result = RecursivePartition(*g, options);
+  EXPECT_TRUE(result.ok());
+  auto pg = PartitionedGraph::Create(*g, result->partitioning);
+  EXPECT_TRUE(pg.ok());
+  return Fixture{std::move(g).value(), std::move(result->partitioning),
+                 std::move(pg).value()};
+}
+
+TEST(PartitionedGraphTest, RejectsMismatchedPartitioning) {
+  auto g = GenerateRmat({.num_vertices = 64, .num_edges = 128, .seed = 1});
+  ASSERT_TRUE(g.ok());
+  Partitioning bad;
+  bad.num_partitions = 2;
+  bad.assignment = {0, 1};  // wrong size
+  EXPECT_FALSE(PartitionedGraph::Create(*g, bad).ok());
+}
+
+TEST(PartitionedGraphTest, MetaRangesTileVertices) {
+  const Fixture f = MakeFixture();
+  VertexId expected_begin = 0;
+  for (PartitionId p = 0; p < f.pg.num_partitions(); ++p) {
+    const PartitionMeta& meta = f.pg.partition(p);
+    EXPECT_EQ(meta.id, p);
+    EXPECT_EQ(meta.begin, expected_begin);
+    EXPECT_GT(meta.end, meta.begin);
+    expected_begin = meta.end;
+  }
+  EXPECT_EQ(expected_begin, f.graph.num_vertices());
+}
+
+TEST(PartitionedGraphTest, EdgeCountsConsistent) {
+  const Fixture f = MakeFixture();
+  uint64_t inner = 0;
+  uint64_t cross_out = 0;
+  uint64_t cross_in = 0;
+  for (PartitionId p = 0; p < f.pg.num_partitions(); ++p) {
+    const PartitionMeta& meta = f.pg.partition(p);
+    inner += meta.inner_edges;
+    cross_out += meta.cross_out_edges;
+    cross_in += meta.cross_in_edges;
+    // The per-destination map sums to the total.
+    uint64_t by_partition = 0;
+    for (uint64_t c : meta.cross_out_by_partition) {
+      by_partition += c;
+    }
+    EXPECT_EQ(by_partition, meta.cross_out_edges);
+    EXPECT_EQ(meta.cross_out_by_partition[p], 0u);
+  }
+  EXPECT_EQ(cross_out, cross_in);
+  EXPECT_EQ(inner + cross_out, f.graph.num_edges());
+}
+
+TEST(PartitionedGraphTest, BoundaryFlagsMatchBruteForce) {
+  const Fixture f = MakeFixture(4);
+  const Graph& encoded = f.pg.encoded_graph();
+  // Brute force: a vertex is boundary iff it has a cross-partition edge in
+  // either direction.
+  std::vector<uint8_t> expected(encoded.num_vertices(), 0);
+  for (VertexId u = 0; u < encoded.num_vertices(); ++u) {
+    for (VertexId v : encoded.OutNeighbors(u)) {
+      if (f.pg.PartitionOf(u) != f.pg.PartitionOf(v)) {
+        expected[u] = 1;
+        expected[v] = 1;
+      }
+    }
+  }
+  for (PartitionId p = 0; p < f.pg.num_partitions(); ++p) {
+    const PartitionMeta& meta = f.pg.partition(p);
+    for (VertexId v = meta.begin; v < meta.end; ++v) {
+      EXPECT_EQ(meta.boundary[v - meta.begin], expected[v]) << "vertex " << v;
+    }
+    uint64_t boundary_count = 0;
+    for (uint8_t b : meta.boundary) {
+      boundary_count += b;
+    }
+    EXPECT_EQ(meta.num_boundary, boundary_count);
+    EXPECT_EQ(meta.num_inner + meta.num_boundary, meta.num_vertices());
+  }
+}
+
+TEST(PartitionedGraphTest, StoredBytesMatchRanges) {
+  const Fixture f = MakeFixture();
+  uint64_t total = 0;
+  for (PartitionId p = 0; p < f.pg.num_partitions(); ++p) {
+    const PartitionMeta& meta = f.pg.partition(p);
+    EXPECT_EQ(meta.stored_bytes,
+              f.pg.encoded_graph().StoredBytesOfRange(meta.begin, meta.end));
+    total += meta.stored_bytes;
+  }
+  EXPECT_EQ(total, f.pg.total_stored_bytes());
+  EXPECT_EQ(total, f.graph.StoredBytes());
+}
+
+TEST(PartitionedGraphTest, InnerVertexRatioBounds) {
+  const Fixture f = MakeFixture();
+  const double ratio = f.pg.InnerVertexRatio();
+  EXPECT_GE(ratio, 0.0);
+  EXPECT_LE(ratio, 1.0);
+  // With 5% rewiring and aligned partitions, a sizeable share is inner.
+  EXPECT_GT(ratio, 0.1);
+}
+
+TEST(PartitionedGraphTest, SinglePartitionHasNoBoundary) {
+  auto g = GenerateRmat({.num_vertices = 64, .num_edges = 256, .seed = 2});
+  ASSERT_TRUE(g.ok());
+  Partitioning p;
+  p.num_partitions = 1;
+  p.assignment.assign(g->num_vertices(), 0);
+  auto pg = PartitionedGraph::Create(*g, p);
+  ASSERT_TRUE(pg.ok());
+  EXPECT_EQ(pg->partition(0).num_boundary, 0u);
+  EXPECT_EQ(pg->partition(0).cross_out_edges, 0u);
+  EXPECT_DOUBLE_EQ(pg->InnerVertexRatio(), 1.0);
+}
+
+}  // namespace
+}  // namespace surfer

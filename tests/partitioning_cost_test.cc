@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "partition/partitioning_cost.h"
+
+namespace surfer {
+namespace {
+
+constexpr size_t kGraphBytes = 100ull << 30;  // the paper's 100 GB graph
+
+double Estimate(const Topology& topo, MachineGroupingPolicy policy) {
+  auto result = EstimatePartitioningTime(topo, kGraphBytes, 64, policy);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result->total_seconds;
+}
+
+TEST(PartitioningCostTest, IdenticalOnUniformT1) {
+  // "Both techniques on T1 behave the same, since every machine pair in T1
+  // has the same network bandwidth" (Section 6.2).
+  const Topology t1 = Topology::T1(32);
+  const double ba = Estimate(t1, MachineGroupingPolicy::kBandwidthAware);
+  const double random = Estimate(t1, MachineGroupingPolicy::kRandom);
+  EXPECT_NEAR(ba, random, ba * 0.01);
+}
+
+TEST(PartitioningCostTest, BandwidthAwareWinsOnT2) {
+  for (auto [pods, levels] : {std::pair{2u, 1u}, {4u, 1u}, {4u, 2u}}) {
+    const Topology t2 = Topology::T2(32, pods, levels);
+    const double ba = Estimate(t2, MachineGroupingPolicy::kBandwidthAware);
+    const double random = Estimate(t2, MachineGroupingPolicy::kRandom);
+    // Paper improvement band: 39-55%; accept a generous 20-70%.
+    const double improvement = 1.0 - ba / random;
+    EXPECT_GT(improvement, 0.20) << "T2(" << pods << "," << levels << ")";
+    EXPECT_LT(improvement, 0.70) << "T2(" << pods << "," << levels << ")";
+  }
+}
+
+TEST(PartitioningCostTest, BandwidthAwareWinsOnT3) {
+  const Topology t3 = Topology::T3(32);
+  const double ba = Estimate(t3, MachineGroupingPolicy::kBandwidthAware);
+  const double random = Estimate(t3, MachineGroupingPolicy::kRandom);
+  EXPECT_LT(ba, random);
+}
+
+TEST(PartitioningCostTest, Table1Ordering) {
+  // ParMetis-like times grow with tree unevenness:
+  // T1 < T2(2,1) < T2(4,1) < T2(4,2), as in Table 1.
+  const double t1 = Estimate(Topology::T1(32), MachineGroupingPolicy::kRandom);
+  const double t2_21 =
+      Estimate(Topology::T2(32, 2, 1), MachineGroupingPolicy::kRandom);
+  const double t2_41 =
+      Estimate(Topology::T2(32, 4, 1), MachineGroupingPolicy::kRandom);
+  const double t2_42 =
+      Estimate(Topology::T2(32, 4, 2), MachineGroupingPolicy::kRandom);
+  EXPECT_LT(t1, t2_21);
+  EXPECT_LT(t2_21, t2_41 * 1.05);  // close but ordered
+  EXPECT_LT(t2_41, t2_42);
+}
+
+TEST(PartitioningCostTest, ScalesWithGraphSize) {
+  const Topology t1 = Topology::T1(32);
+  auto small = EstimatePartitioningTime(t1, 1ull << 30, 64,
+                                        MachineGroupingPolicy::kRandom);
+  auto large = EstimatePartitioningTime(t1, 8ull << 30, 64,
+                                        MachineGroupingPolicy::kRandom);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_NEAR(large->total_seconds / small->total_seconds, 8.0, 0.5);
+}
+
+TEST(PartitioningCostTest, BreakdownConsistent) {
+  const Topology t2 = Topology::T2(32, 4, 2);
+  auto result = EstimatePartitioningTime(t2, kGraphBytes, 64,
+                                         MachineGroupingPolicy::kBandwidthAware);
+  ASSERT_TRUE(result.ok());
+  double level_sum = 0.0;
+  for (double s : result->level_seconds) {
+    EXPECT_GE(s, 0.0);
+    level_sum += s;
+  }
+  EXPECT_NEAR(result->total_seconds,
+              level_sum + result->local_phase_seconds, 1e-9);
+  EXPECT_GT(result->local_phase_seconds, 0.0);
+  EXPECT_FALSE(result->ToString().empty());
+}
+
+TEST(PartitioningCostTest, Validation) {
+  const Topology t1 = Topology::T1(4);
+  EXPECT_FALSE(EstimatePartitioningTime(t1, 1000, 3,
+                                        MachineGroupingPolicy::kRandom)
+                   .ok());
+  EXPECT_FALSE(EstimatePartitioningTime(t1, 1000, 0,
+                                        MachineGroupingPolicy::kRandom)
+                   .ok());
+}
+
+TEST(PartitioningCostTest, DelaySweepMonotone) {
+  // Figure 9's driver: higher cross-pod delay, bigger ParMetis penalty.
+  double previous_gap = 0.0;
+  for (double delay : {2.0, 8.0, 32.0, 128.0}) {
+    const Topology t2 = Topology::T2(32, 2, 1, delay);
+    const double ba = Estimate(t2, MachineGroupingPolicy::kBandwidthAware);
+    const double random = Estimate(t2, MachineGroupingPolicy::kRandom);
+    const double gap = random - ba;
+    EXPECT_GE(gap, previous_gap * 0.99) << "delay " << delay;
+    previous_gap = gap;
+  }
+}
+
+}  // namespace
+}  // namespace surfer

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "apps/network_ranking.h"
+#include "apps/reverse_link_graph.h"
+#include "core/pipeline.h"
+#include "graph/algorithms.h"
+#include "tests/test_fixtures.h"
+
+namespace surfer {
+namespace {
+
+using testing_fixtures::EngineFixture;
+using testing_fixtures::MakeEngineFixture;
+
+const EngineFixture& Fixture() {
+  static const EngineFixture* fixture =
+      new EngineFixture(MakeEngineFixture(1 << 11, 8, 91));
+  return *fixture;
+}
+
+TEST(PipelineTest, EmptyPipelineRejected) {
+  const EngineFixture& f = Fixture();
+  JobPipeline pipeline(f.engine.get(), OptimizationLevel::kO4);
+  EXPECT_FALSE(pipeline.Run().ok());
+}
+
+TEST(PipelineTest, ChainsJobsAndAttributesCosts) {
+  const EngineFixture& f = Fixture();
+  JobPipeline pipeline(f.engine.get(), OptimizationLevel::kO4);
+  pipeline.set_sim_options(MakeScaledSimOptions());
+
+  std::vector<double> ranks;
+  PropagationConfig nr_config;
+  nr_config.iterations = 2;
+  pipeline.AddPropagation<NetworkRankingApp>(
+      "rank", NetworkRankingApp(f.graph.num_vertices()), nr_config,
+      [&](const PropagationRunner<NetworkRankingApp>& runner) {
+        ranks = runner.states();
+      });
+
+  uint64_t reversed_edges = 0;
+  pipeline.AddPropagation<ReverseLinkGraphApp>(
+      "reverse", ReverseLinkGraphApp(), PropagationConfig{},
+      [&](const PropagationRunner<ReverseLinkGraphApp>& runner) {
+        for (const auto& list : runner.states()) {
+          reversed_edges += list.size();
+        }
+      });
+
+  auto report = pipeline.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->steps.size(), 2u);
+  EXPECT_EQ(report->steps[0].name, "rank");
+  EXPECT_EQ(report->steps[1].name, "reverse");
+  // Per-step metrics are positive and sum to the totals.
+  double total_response = 0.0;
+  for (const auto& step : report->steps) {
+    EXPECT_GT(step.response_time_s, 0.0);
+    EXPECT_GT(step.disk_bytes, 0.0);
+    total_response += step.response_time_s;
+  }
+  EXPECT_NEAR(total_response, report->totals.response_time_s, 1e-9);
+  EXPECT_FALSE(report->ToString().empty());
+
+  // Both steps computed real results.
+  ASSERT_EQ(ranks.size(), f.graph.num_vertices());
+  const auto reference = ReferencePageRank(f.graph, 2);
+  double sum = 0.0;
+  double reference_sum = 0.0;
+  for (VertexId v = 0; v < f.graph.num_vertices(); ++v) {
+    sum += ranks[v];
+    reference_sum += reference[v];
+  }
+  EXPECT_NEAR(sum, reference_sum, 1e-9);
+  EXPECT_EQ(reversed_edges, f.graph.num_edges());
+}
+
+TEST(PipelineTest, LevelFlagsOverrideStepConfigs) {
+  // A pipeline built at O1 must run its propagation steps without local
+  // optimizations even if the step's config asked for them.
+  const EngineFixture& f = Fixture();
+
+  auto run_at = [&](OptimizationLevel level) {
+    JobPipeline pipeline(f.engine.get(), level);
+    pipeline.set_sim_options(MakeScaledSimOptions());
+    PropagationConfig config;  // defaults: local optimizations on
+    config.iterations = 1;
+    pipeline.AddPropagation<NetworkRankingApp>(
+        "rank", NetworkRankingApp(f.graph.num_vertices()), config);
+    auto report = pipeline.Run();
+    EXPECT_TRUE(report.ok());
+    return report->totals.network_bytes;
+  };
+
+  EXPECT_GT(run_at(OptimizationLevel::kO1), run_at(OptimizationLevel::kO4));
+}
+
+TEST(PipelineTest, FaultSurvivesAcrossSteps) {
+  const EngineFixture& f = Fixture();
+  JobPipeline pipeline(f.engine.get(), OptimizationLevel::kO4);
+  pipeline.set_sim_options(MakeScaledSimOptions());
+  pipeline.InjectFault({.machine = 1, .fail_at_s = 0.5});
+
+  PropagationConfig config;
+  config.iterations = 1;
+  pipeline.AddPropagation<NetworkRankingApp>(
+      "first", NetworkRankingApp(f.graph.num_vertices()), config);
+  bool second_ran = false;
+  pipeline.Add("check", [&](JobPipeline::JobContext& ctx) {
+    // The machine killed in step one stays dead for later steps.
+    EXPECT_FALSE(ctx.sim->IsAlive(1));
+    second_ran = true;
+    return Status::OK();
+  });
+  auto report = pipeline.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(PipelineTest, StepErrorPropagates) {
+  const EngineFixture& f = Fixture();
+  JobPipeline pipeline(f.engine.get(), OptimizationLevel::kO4);
+  pipeline.Add("boom", [](JobPipeline::JobContext&) {
+    return Status::Internal("step failed");
+  });
+  auto report = pipeline.Run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace surfer

@@ -1,0 +1,322 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "apps/degree_distribution.h"
+#include "apps/network_ranking.h"
+#include "apps/recommender.h"
+#include "apps/reverse_link_graph.h"
+#include "apps/triangle_counting.h"
+#include "apps/two_hop_friends.h"
+#include "graph/algorithms.h"
+#include "propagation/runner.h"
+#include "tests/test_fixtures.h"
+
+namespace surfer {
+namespace {
+
+using testing_fixtures::EngineFixture;
+using testing_fixtures::MakeEngineFixture;
+
+const EngineFixture& Fixture() {
+  static const EngineFixture* fixture =
+      new EngineFixture(MakeEngineFixture());
+  return *fixture;
+}
+
+// ------------------------------------------------- correctness: PageRank
+
+TEST(PropagationTest, PageRankMatchesReference) {
+  const EngineFixture& f = Fixture();
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationConfig config;
+  config.iterations = 4;
+  PropagationRunner<NetworkRankingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+  const auto reference = ReferencePageRank(f.graph, 4);
+  for (VertexId v = 0; v < f.graph.num_vertices(); ++v) {
+    EXPECT_NEAR(runner.StateOfOriginal(v), reference[v], 1e-12);
+  }
+}
+
+TEST(PropagationTest, ResultsIdenticalAcrossOptimizationLevels) {
+  const EngineFixture& f = Fixture();
+  double reference_checksum = 0.0;
+  for (OptimizationLevel level :
+       {OptimizationLevel::kO1, OptimizationLevel::kO2,
+        OptimizationLevel::kO3, OptimizationLevel::kO4}) {
+    BenchmarkSetup setup = f.Setup(level);
+    NetworkRankingApp app(f.graph.num_vertices());
+    PropagationConfig config = PropagationConfig::ForLevel(level);
+    config.iterations = 3;
+    PropagationRunner<NetworkRankingApp> runner(
+        setup.graph, setup.placement, setup.topology, app, config);
+    ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+    double checksum = 0.0;
+    for (double rank : runner.states()) {
+      checksum += rank;
+    }
+    if (level == OptimizationLevel::kO1) {
+      reference_checksum = checksum;
+    } else {
+      EXPECT_NEAR(checksum, reference_checksum, 1e-9);
+    }
+  }
+}
+
+// ------------------------------------------ optimization-level orderings
+
+struct LevelMetrics {
+  RunMetrics o1, o2, o3, o4;
+};
+
+LevelMetrics RunNrAtAllLevels() {
+  const EngineFixture& f = Fixture();
+  LevelMetrics out;
+  for (OptimizationLevel level :
+       {OptimizationLevel::kO1, OptimizationLevel::kO2,
+        OptimizationLevel::kO3, OptimizationLevel::kO4}) {
+    BenchmarkSetup setup = f.Setup(level);
+    NetworkRankingApp app(f.graph.num_vertices());
+    PropagationConfig config = PropagationConfig::ForLevel(level);
+    config.iterations = 3;
+    PropagationRunner<NetworkRankingApp> runner(
+        setup.graph, setup.placement, setup.topology, app, config);
+    auto metrics = runner.Run(setup.sim_options);
+    EXPECT_TRUE(metrics.ok());
+    switch (level) {
+      case OptimizationLevel::kO1:
+        out.o1 = *metrics;
+        break;
+      case OptimizationLevel::kO2:
+        out.o2 = *metrics;
+        break;
+      case OptimizationLevel::kO3:
+        out.o3 = *metrics;
+        break;
+      case OptimizationLevel::kO4:
+        out.o4 = *metrics;
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(PropagationTest, LocalOptimizationsReduceNetworkAndDisk) {
+  const LevelMetrics m = RunNrAtAllLevels();
+  // O1 -> O3: local combination merges partial ranks per remote vertex.
+  EXPECT_LT(m.o3.network_bytes, m.o1.network_bytes);
+  // O1 -> O3: local propagation stops materializing inner messages.
+  EXPECT_LT(m.o3.disk_bytes, m.o1.disk_bytes);
+  // Same effect on the bandwidth-aware layout.
+  EXPECT_LT(m.o4.network_bytes, m.o2.network_bytes);
+  EXPECT_LT(m.o4.disk_bytes, m.o2.disk_bytes);
+}
+
+TEST(PropagationTest, BandwidthAwareLayoutReducesNetwork) {
+  const LevelMetrics m = RunNrAtAllLevels();
+  // O1 -> O2 and O3 -> O4: co-located sibling partitions skip the network.
+  EXPECT_LT(m.o2.network_bytes, m.o1.network_bytes);
+  EXPECT_LE(m.o4.network_bytes, m.o3.network_bytes);
+}
+
+TEST(PropagationTest, ResponseTimeImprovesMonotonically) {
+  const LevelMetrics m = RunNrAtAllLevels();
+  EXPECT_LT(m.o4.response_time_s, m.o1.response_time_s);
+  EXPECT_LT(m.o3.response_time_s, m.o1.response_time_s);
+  EXPECT_LE(m.o2.response_time_s, m.o1.response_time_s * 1.02);
+}
+
+// ----------------------------------------------- correctness: other apps
+
+TEST(PropagationTest, ReverseLinkGraphMatchesReversed) {
+  const EngineFixture& f = Fixture();
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  ReverseLinkGraphApp app;
+  PropagationConfig config;
+  PropagationRunner<ReverseLinkGraphApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  const Graph reversed = f.graph.Reversed();
+  const VertexEncoding& enc = setup.graph->encoding();
+  for (VertexId v = 0; v < f.graph.num_vertices(); ++v) {
+    const auto& state = runner.StateOfOriginal(v);
+    const auto expected = reversed.OutNeighbors(v);
+    ASSERT_EQ(state.size(), expected.size()) << "vertex " << v;
+    // States hold encoded IDs; translate and compare as sets.
+    std::vector<VertexId> translated;
+    translated.reserve(state.size());
+    for (VertexId e : state) {
+      translated.push_back(enc.ToOriginal(e));
+    }
+    std::sort(translated.begin(), translated.end());
+    std::vector<VertexId> expected_sorted(expected.begin(), expected.end());
+    std::sort(expected_sorted.begin(), expected_sorted.end());
+    EXPECT_EQ(translated, expected_sorted) << "vertex " << v;
+  }
+}
+
+TEST(PropagationTest, TriangleCountMatchesReference) {
+  const EngineFixture& f = Fixture();
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  TriangleCountingApp app(&setup.graph->encoding());
+  PropagationConfig config;
+  PropagationRunner<TriangleCountingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+  uint64_t total = 0;
+  for (uint64_t c : runner.states()) {
+    total += c;
+  }
+  const VertexSampler sampler(&setup.graph->encoding(),
+                              kDefaultSamplePermille, 3);
+  EXPECT_EQ(total, testing_fixtures::ReferenceSampledDirectedTriangles(
+                       f.graph, sampler));
+  EXPECT_GT(total, 0u) << "sample produced no triangles; enlarge the graph";
+}
+
+TEST(PropagationTest, TwoHopFriendsMatchesReference) {
+  const EngineFixture& f = Fixture();
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  TwoHopFriendsApp app(&setup.graph->encoding());
+  PropagationConfig config;
+  PropagationRunner<TwoHopFriendsApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  const Graph reversed = f.graph.Reversed();
+  const VertexSampler sampler(&setup.graph->encoding(),
+                              kDefaultSamplePermille, 17);
+  const VertexEncoding& enc = setup.graph->encoding();
+  uint64_t nonempty = 0;
+  for (VertexId v = 0; v < f.graph.num_vertices(); ++v) {
+    const auto expected = testing_fixtures::ReferenceSampledTwoHop(
+        f.graph, reversed, sampler, v);
+    const auto& state = runner.StateOfOriginal(v);
+    std::vector<VertexId> translated;
+    translated.reserve(state.size());
+    for (VertexId e : state) {
+      translated.push_back(enc.ToOriginal(e));
+    }
+    std::sort(translated.begin(), translated.end());
+    ASSERT_EQ(translated, expected) << "vertex " << v;
+    nonempty += !expected.empty();
+  }
+  EXPECT_GT(nonempty, 0u);
+}
+
+TEST(PropagationTest, DegreeDistributionMatchesHistogram) {
+  const EngineFixture& f = Fixture();
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  DegreeDistributionApp app;
+  PropagationConfig config;
+  PropagationRunner<DegreeDistributionApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  const auto reference = ReferenceDegreeHistogram(f.graph);
+  const auto& outputs = runner.virtual_outputs();
+  for (uint64_t degree = 0; degree < reference.size(); ++degree) {
+    if (reference[degree] == 0) {
+      EXPECT_EQ(outputs.count(degree), 0u);
+    } else {
+      auto it = outputs.find(degree);
+      ASSERT_NE(it, outputs.end()) << "degree " << degree;
+      EXPECT_EQ(it->second, reference[degree]) << "degree " << degree;
+    }
+  }
+}
+
+TEST(PropagationTest, RecommenderSpreadsMonotonically) {
+  const EngineFixture& f = Fixture();
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  RecommenderApp app(&setup.graph->encoding(), RecommenderParams{});
+  PropagationConfig config;
+  config.iterations = 3;
+  PropagationRunner<RecommenderApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  uint64_t seeds = 0;
+  uint64_t adopted = 0;
+  for (uint32_t s : runner.states()) {
+    seeds += s == 1;
+    adopted += s != 0;
+  }
+  EXPECT_GT(seeds, 0u);
+  EXPECT_GT(adopted, seeds) << "recommendation produced no adoption";
+  // Adoption epochs are within the simulated range.
+  for (uint32_t s : runner.states()) {
+    EXPECT_LE(s, 4u);
+  }
+}
+
+TEST(PropagationTest, RecommenderDeterministicAcrossLayouts) {
+  const EngineFixture& f = Fixture();
+  double checksums[2] = {0, 0};
+  int i = 0;
+  for (OptimizationLevel level :
+       {OptimizationLevel::kO1, OptimizationLevel::kO4}) {
+    BenchmarkSetup setup = f.Setup(level);
+    RecommenderApp app(&setup.graph->encoding(), RecommenderParams{});
+    PropagationConfig config = PropagationConfig::ForLevel(level);
+    config.iterations = 3;
+    PropagationRunner<RecommenderApp> runner(
+        setup.graph, setup.placement, setup.topology, app, config);
+    ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+    const VertexEncoding& enc = setup.graph->encoding();
+    for (VertexId v = 0; v < runner.states().size(); ++v) {
+      checksums[i] += static_cast<double>(runner.states()[v]) *
+                      (1 + enc.ToOriginal(v) % 97);
+    }
+    ++i;
+  }
+  EXPECT_DOUBLE_EQ(checksums[0], checksums[1]);
+}
+
+// --------------------------------------------------------------- errors
+
+TEST(PropagationTest, ValidatesInputs) {
+  const EngineFixture& f = Fixture();
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationConfig config;
+  config.iterations = 0;
+  PropagationRunner<NetworkRankingApp> bad_iters(
+      setup.graph, setup.placement, setup.topology, app, config);
+  EXPECT_FALSE(bad_iters.Run(setup.sim_options).ok());
+
+  config.iterations = 1;
+  PropagationRunner<NetworkRankingApp> null_graph(
+      nullptr, setup.placement, setup.topology, app, config);
+  EXPECT_FALSE(null_graph.Run(setup.sim_options).ok());
+}
+
+TEST(PropagationTest, MemoryLimitTriggersRandomIoPenalty) {
+  const EngineFixture& f = Fixture();
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationConfig fits;
+  fits.iterations = 1;
+  fits.memory_limit_bytes = 1ull << 40;
+  PropagationConfig thrashes = fits;
+  thrashes.memory_limit_bytes = 1;  // everything exceeds this
+
+  PropagationRunner<NetworkRankingApp> fast(
+      setup.graph, setup.placement, setup.topology, app, fits);
+  PropagationRunner<NetworkRankingApp> slow(
+      setup.graph, setup.placement, setup.topology, app, thrashes);
+  auto fast_metrics = fast.Run(setup.sim_options);
+  auto slow_metrics = slow.Run(setup.sim_options);
+  ASSERT_TRUE(fast_metrics.ok());
+  ASSERT_TRUE(slow_metrics.ok());
+  // P2: partitions that outgrow memory pay the random-I/O penalty.
+  EXPECT_GT(slow_metrics->response_time_s,
+            fast_metrics->response_time_s * 2.0);
+}
+
+}  // namespace
+}  // namespace surfer

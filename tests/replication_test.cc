@@ -1,0 +1,91 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "storage/replication.h"
+
+namespace surfer {
+namespace {
+
+TEST(ReplicationTest, ThreeDistinctReplicasOnBigCluster) {
+  const Topology topo = Topology::T2(16, 4, 1);
+  std::vector<MachineId> primary = {0, 5, 10, 15};
+  auto placement = MakeReplicatedPlacement(primary, topo, 3);
+  ASSERT_TRUE(placement.ok());
+  ASSERT_EQ(placement->num_partitions(), 4u);
+  for (PartitionId p = 0; p < 4; ++p) {
+    const auto& reps = placement->replicas[p];
+    EXPECT_EQ(reps[0], primary[p]);
+    std::set<MachineId> distinct(reps.begin(), reps.end());
+    EXPECT_EQ(distinct.size(), kReplicationFactor);
+    EXPECT_EQ(distinct.count(kInvalidMachine), 0u);
+  }
+}
+
+TEST(ReplicationTest, GfsStylePodPolicy) {
+  const Topology topo = Topology::T2(16, 4, 1);
+  std::vector<MachineId> primary = {0};
+  auto placement = MakeReplicatedPlacement(primary, topo, 3);
+  ASSERT_TRUE(placement.ok());
+  const auto& reps = placement->replicas[0];
+  // Second replica same pod, third a different pod.
+  EXPECT_EQ(topo.machine(reps[1]).pod, topo.machine(reps[0]).pod);
+  EXPECT_NE(reps[1], reps[0]);
+  EXPECT_NE(topo.machine(reps[2]).pod, topo.machine(reps[0]).pod);
+}
+
+TEST(ReplicationTest, TinyClusterDegradesGracefully) {
+  const Topology topo = Topology::T1(2);
+  auto placement = MakeReplicatedPlacement({0, 1}, topo, 3);
+  ASSERT_TRUE(placement.ok());
+  for (PartitionId p = 0; p < 2; ++p) {
+    const auto& reps = placement->replicas[p];
+    EXPECT_NE(reps[0], kInvalidMachine);
+    EXPECT_NE(reps[1], kInvalidMachine);
+    EXPECT_NE(reps[0], reps[1]);
+    // No third distinct machine exists.
+    EXPECT_EQ(reps[2], kInvalidMachine);
+  }
+}
+
+TEST(ReplicationTest, SingleMachineCluster) {
+  const Topology topo = Topology::T1(1);
+  auto placement = MakeReplicatedPlacement({0}, topo, 3);
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->replicas[0][0], 0u);
+  EXPECT_EQ(placement->replicas[0][1], kInvalidMachine);
+}
+
+TEST(ReplicationTest, RejectsOutOfRangePrimary) {
+  const Topology topo = Topology::T1(4);
+  EXPECT_FALSE(MakeReplicatedPlacement({7}, topo, 3).ok());
+}
+
+TEST(ReplicationTest, FirstAliveReplicaFallsThrough) {
+  const Topology topo = Topology::T2(8, 2, 1);
+  auto placement = MakeReplicatedPlacement({1}, topo, 5);
+  ASSERT_TRUE(placement.ok());
+  const auto& reps = placement->replicas[0];
+  std::vector<uint8_t> alive(8, 1);
+  EXPECT_EQ(placement->FirstAliveReplica(0, alive), reps[0]);
+  alive[reps[0]] = 0;
+  EXPECT_EQ(placement->FirstAliveReplica(0, alive), reps[1]);
+  alive[reps[1]] = 0;
+  EXPECT_EQ(placement->FirstAliveReplica(0, alive), reps[2]);
+  alive[reps[2]] = 0;
+  EXPECT_EQ(placement->FirstAliveReplica(0, alive), kInvalidMachine);
+}
+
+TEST(ReplicationTest, DeterministicBySeed) {
+  const Topology topo = Topology::T2(16, 4, 1);
+  std::vector<MachineId> primary = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto a = MakeReplicatedPlacement(primary, topo, 9);
+  auto b = MakeReplicatedPlacement(primary, topo, 9);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->replicas, b->replicas);
+}
+
+}  // namespace
+}  // namespace surfer

@@ -1,0 +1,228 @@
+// Apps and engines on hand-built degenerate graphs (chains, cycles, stars,
+// disconnected pieces) plus seed-sweep property tests: the distributed
+// results must match single-machine references on every input shape.
+
+#include <gtest/gtest.h>
+
+#include "apps/network_ranking.h"
+#include "apps/reverse_link_graph.h"
+#include "core/sim_scale.h"
+#include "core/surfer.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "mapreduce/runner.h"
+#include "propagation/runner.h"
+
+namespace surfer {
+namespace {
+
+struct MiniCluster {
+  Topology topology = MakeScaledT1(4);
+  std::unique_ptr<SurferEngine> engine;
+  BenchmarkSetup setup;
+
+  explicit MiniCluster(const Graph& graph, uint32_t partitions = 4) {
+    SurferOptions options;
+    options.num_partitions = partitions;
+    auto result = SurferEngine::Build(graph, topology, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    engine = std::move(result).value();
+    setup = engine->MakeSetup(OptimizationLevel::kO4);
+    setup.sim_options = MakeScaledSimOptions();
+  }
+};
+
+std::vector<double> RunPageRank(const MiniCluster& cluster, VertexId n,
+                                int iterations) {
+  NetworkRankingApp app(n);
+  PropagationConfig config;
+  config.iterations = iterations;
+  PropagationRunner<NetworkRankingApp> runner(
+      cluster.setup.graph, cluster.setup.placement, cluster.setup.topology,
+      app, config);
+  EXPECT_TRUE(runner.Run(cluster.setup.sim_options).ok());
+  std::vector<double> by_original(n);
+  for (VertexId v = 0; v < n; ++v) {
+    by_original[v] = runner.StateOfOriginal(v);
+  }
+  return by_original;
+}
+
+TEST(SpecialGraphsTest, PageRankOnDirectedCycle) {
+  GraphBuilder builder(16);
+  for (VertexId v = 0; v < 16; ++v) {
+    ASSERT_TRUE(builder.AddEdge(v, (v + 1) % 16).ok());
+  }
+  const Graph g = std::move(builder).Build();
+  MiniCluster cluster(g);
+  const auto ranks = RunPageRank(cluster, 16, 8);
+  for (double r : ranks) {
+    EXPECT_NEAR(r, 1.0 / 16, 1e-12);  // symmetry: all equal, mass preserved
+  }
+}
+
+TEST(SpecialGraphsTest, PageRankOnStar) {
+  // Everyone points at the hub; the hub dangles (rank leaks, per the
+  // paper's update rule).
+  GraphBuilder builder(9);
+  for (VertexId v = 1; v < 9; ++v) {
+    ASSERT_TRUE(builder.AddEdge(v, 0).ok());
+  }
+  const Graph g = std::move(builder).Build();
+  MiniCluster cluster(g);
+  const auto ranks = RunPageRank(cluster, 9, 5);
+  const auto reference = ReferencePageRank(g, 5);
+  for (VertexId v = 0; v < 9; ++v) {
+    EXPECT_NEAR(ranks[v], reference[v], 1e-12);
+  }
+  EXPECT_GT(ranks[0], ranks[1] * 5);
+}
+
+TEST(SpecialGraphsTest, PageRankOnDisconnectedPieces) {
+  // Two cycles, no inter-edges: partitioning must still cover both, and
+  // each piece keeps its own mass.
+  GraphBuilder builder(12);
+  for (VertexId v = 0; v < 6; ++v) {
+    ASSERT_TRUE(builder.AddEdge(v, (v + 1) % 6).ok());
+    ASSERT_TRUE(builder.AddEdge(6 + v, 6 + (v + 1) % 6).ok());
+  }
+  const Graph g = std::move(builder).Build();
+  MiniCluster cluster(g);
+  const auto ranks = RunPageRank(cluster, 12, 10);
+  for (double r : ranks) {
+    EXPECT_NEAR(r, 1.0 / 12, 1e-12);
+  }
+}
+
+TEST(SpecialGraphsTest, ReverseLinkGraphOnChain) {
+  GraphBuilder builder(10);
+  for (VertexId v = 0; v + 1 < 10; ++v) {
+    ASSERT_TRUE(builder.AddEdge(v, v + 1).ok());
+  }
+  const Graph g = std::move(builder).Build();
+  MiniCluster cluster(g);
+  ReverseLinkGraphApp app;
+  PropagationRunner<ReverseLinkGraphApp> runner(
+      cluster.setup.graph, cluster.setup.placement, cluster.setup.topology,
+      app, PropagationConfig{});
+  ASSERT_TRUE(runner.Run(cluster.setup.sim_options).ok());
+  const VertexEncoding& enc = cluster.setup.graph->encoding();
+  EXPECT_TRUE(runner.StateOfOriginal(0).empty());  // head has no in-edges
+  for (VertexId v = 1; v < 10; ++v) {
+    const auto& in = runner.StateOfOriginal(v);
+    ASSERT_EQ(in.size(), 1u);
+    EXPECT_EQ(enc.ToOriginal(in[0]), v - 1);
+  }
+}
+
+TEST(SpecialGraphsTest, SingleVertexGraph) {
+  GraphBuilder builder(2);  // two isolated vertices, 2 partitions
+  const Graph g = std::move(builder).Build();
+  SurferOptions options;
+  options.num_partitions = 2;
+  Topology topo = MakeScaledT1(2);
+  auto engine = SurferEngine::Build(g, topo, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  BenchmarkSetup setup = (*engine)->MakeSetup(OptimizationLevel::kO4);
+  setup.sim_options = MakeScaledSimOptions();
+  NetworkRankingApp app(2);
+  PropagationConfig config;
+  PropagationRunner<NetworkRankingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+  // No edges: ranks collapse to the jump term.
+  for (double r : runner.states()) {
+    EXPECT_NEAR(r, (1.0 - kDefaultDamping) / 2.0, 1e-15);
+  }
+}
+
+// ------------------------------------------------- seed-sweep properties
+
+class SeedSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweepTest, PropagationMatchesReferenceAcrossSeeds) {
+  auto graph = GenerateSocialGraph({.num_vertices = 1 << 10,
+                                    .avg_out_degree = 6.0,
+                                    .num_communities = 4,
+                                    .seed = GetParam()});
+  ASSERT_TRUE(graph.ok());
+  MiniCluster cluster(*graph, 8);
+  const auto ranks = RunPageRank(cluster, graph->num_vertices(), 3);
+  const auto reference = ReferencePageRank(*graph, 3);
+  for (VertexId v = 0; v < graph->num_vertices(); ++v) {
+    ASSERT_NEAR(ranks[v], reference[v], 1e-12) << "seed " << GetParam();
+  }
+}
+
+TEST_P(SeedSweepTest, MapReduceMatchesPropagationAcrossSeeds) {
+  auto graph = GenerateSocialGraph({.num_vertices = 1 << 10,
+                                    .avg_out_degree = 6.0,
+                                    .num_communities = 4,
+                                    .seed = GetParam() * 31});
+  ASSERT_TRUE(graph.ok());
+  MiniCluster cluster(*graph, 8);
+  const auto prop = RunPageRank(cluster, graph->num_vertices(), 2);
+  JobSimulation sim(cluster.setup.topology, cluster.setup.sim_options);
+  auto mr = RunNetworkRankingMapReduce(*cluster.setup.graph,
+                                       *cluster.setup.placement,
+                                       *cluster.setup.topology, &sim, 2);
+  ASSERT_TRUE(mr.ok());
+  const VertexEncoding& enc = cluster.setup.graph->encoding();
+  for (VertexId v = 0; v < graph->num_vertices(); ++v) {
+    ASSERT_NEAR(prop[v], (*mr)[enc.ToEncoded(v)], 1e-12)
+        << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+// ------------------------------------- combiner window is semantics-free
+
+TEST(CombinerWindowTest, OutputsIdenticalAcrossWindowSizes) {
+  auto graph = GenerateSocialGraph({.num_vertices = 1 << 10,
+                                    .avg_out_degree = 6.0,
+                                    .num_communities = 4,
+                                    .seed = 77});
+  ASSERT_TRUE(graph.ok());
+  MiniCluster cluster(*graph, 8);
+  const VertexId n = graph->num_vertices();
+  std::vector<double> ranks(n, 1.0 / n);
+
+  std::map<VertexId, double> reference_outputs;
+  bool first = true;
+  double small_network = 0.0;
+  double large_network = 0.0;
+  for (size_t window : {1u, 16u, 1u << 20}) {
+    NetworkRankingMrApp app(&ranks, n);
+    MapReduceOptions options;
+    options.combiner_window_entries = window;
+    MapReduceRunner<NetworkRankingMrApp> runner(
+        cluster.setup.graph, cluster.setup.placement, cluster.setup.topology,
+        app, options);
+    auto metrics = runner.Run(cluster.setup.sim_options);
+    ASSERT_TRUE(metrics.ok());
+    if (window == 1u) {
+      small_network = metrics->network_bytes;
+    }
+    if (window == (1u << 20)) {
+      large_network = metrics->network_bytes;
+    }
+    if (first) {
+      for (const auto& [k, v] : runner.outputs()) {
+        reference_outputs[k] = v;
+      }
+      first = false;
+    } else {
+      for (const auto& [k, v] : runner.outputs()) {
+        ASSERT_NEAR(v, reference_outputs.at(k), 1e-12) << "window " << window;
+      }
+    }
+  }
+  // Bigger windows combine more: network monotone non-increasing.
+  EXPECT_LT(large_network, small_network);
+}
+
+}  // namespace
+}  // namespace surfer

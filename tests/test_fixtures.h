@@ -1,0 +1,104 @@
+#ifndef SURFER_TESTS_TEST_FIXTURES_H_
+#define SURFER_TESTS_TEST_FIXTURES_H_
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "apps/common.h"
+#include "core/sim_scale.h"
+#include "core/surfer.h"
+#include "graph/generators.h"
+
+namespace surfer {
+namespace testing_fixtures {
+
+/// A small social graph + engine + scaled 8-machine T2 cluster shared by the
+/// propagation/MapReduce test suites.
+struct EngineFixture {
+  Graph graph;
+  Topology topology;
+  std::unique_ptr<SurferEngine> engine;
+
+  BenchmarkSetup Setup(OptimizationLevel level) const {
+    BenchmarkSetup setup = engine->MakeSetup(level);
+    setup.sim_options = MakeScaledSimOptions();
+    return setup;
+  }
+};
+
+inline EngineFixture MakeEngineFixture(uint32_t num_vertices = 1 << 12,
+                                       uint32_t partitions = 16,
+                                       uint64_t seed = 33) {
+  EngineFixture f{Graph{}, MakeScaledT2(8, 2, 1), nullptr};
+  SocialGraphOptions graph_options;
+  graph_options.num_vertices = num_vertices;
+  graph_options.avg_out_degree = 8.0;
+  // Fewer communities than partitions: partitions subdivide communities,
+  // so sibling partitions share heavy intra-community traffic — the regime
+  // where the bandwidth-aware layout matters (proximity, Section 4.1).
+  graph_options.num_communities = 4;
+  graph_options.seed = seed;
+  auto graph = GenerateSocialGraph(graph_options);
+  EXPECT_TRUE(graph.ok());
+  f.graph = std::move(graph).value();
+  SurferOptions options;
+  options.num_partitions = partitions;
+  auto engine = SurferEngine::Build(f.graph, f.topology, options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  f.engine = std::move(engine).value();
+  return f;
+}
+
+/// Reference for the TC app's semantics: directed triangles a->b, b->c,
+/// a->c with all three vertices sampled.
+inline uint64_t ReferenceSampledDirectedTriangles(const Graph& g,
+                                                  const VertexSampler& s) {
+  uint64_t count = 0;
+  for (VertexId a = 0; a < g.num_vertices(); ++a) {
+    if (!s.SelectedOriginal(a)) {
+      continue;
+    }
+    for (VertexId b : g.OutNeighbors(a)) {
+      if (!s.SelectedOriginal(b)) {
+        continue;
+      }
+      // c in out(a) ∩ out(b), sampled.
+      for (VertexId c : g.OutNeighbors(b)) {
+        if (s.SelectedOriginal(c) && g.HasEdge(a, c)) {
+          ++count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+/// Reference for the TFL app's semantics on the *original* graph: the
+/// distinct out-neighbors of v's sampled in-neighbors, minus v.
+inline std::vector<VertexId> ReferenceSampledTwoHop(const Graph& g,
+                                                    const Graph& reversed,
+                                                    const VertexSampler& s,
+                                                    VertexId v) {
+  std::vector<VertexId> result;
+  for (VertexId u : reversed.OutNeighbors(v)) {
+    if (!s.SelectedOriginal(u)) {
+      continue;
+    }
+    for (VertexId w : g.OutNeighbors(u)) {
+      result.push_back(w);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  auto self = std::lower_bound(result.begin(), result.end(), v);
+  if (self != result.end() && *self == v) {
+    result.erase(self);
+  }
+  return result;
+}
+
+}  // namespace testing_fixtures
+}  // namespace surfer
+
+#endif  // SURFER_TESTS_TEST_FIXTURES_H_

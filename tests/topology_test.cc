@@ -1,0 +1,166 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "core/sim_scale.h"
+
+namespace surfer {
+namespace {
+
+TEST(TopologyTest, T1IsUniform) {
+  const Topology t = Topology::T1(8);
+  EXPECT_EQ(t.num_machines(), 8u);
+  EXPECT_TRUE(t.IsUniform());
+  EXPECT_EQ(t.Name(), "T1");
+  const double bw = t.Bandwidth(0, 1);
+  EXPECT_GT(bw, 0.0);
+  for (MachineId a = 0; a < 8; ++a) {
+    for (MachineId b = 0; b < 8; ++b) {
+      if (a != b) {
+        EXPECT_DOUBLE_EQ(t.Bandwidth(a, b), bw);
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, SelfBandwidthIsInfinite) {
+  const Topology t = Topology::T1(4);
+  EXPECT_TRUE(std::isinf(t.Bandwidth(2, 2)));
+}
+
+TEST(TopologyTest, T2OneLevelPods) {
+  const Topology t = Topology::T2(32, /*num_pods=*/2, /*num_levels=*/1);
+  EXPECT_EQ(t.Name(), "T2(2,1)");
+  EXPECT_FALSE(t.IsUniform());
+  // Machines 0..15 in pod 0, 16..31 in pod 1.
+  EXPECT_EQ(t.machine(0).pod, 0u);
+  EXPECT_EQ(t.machine(15).pod, 0u);
+  EXPECT_EQ(t.machine(16).pod, 1u);
+  const double intra = t.Bandwidth(0, 1);
+  const double cross = t.Bandwidth(0, 16);
+  // One-level tree: cross-pod pairs cross the (only) second-level switch.
+  EXPECT_DOUBLE_EQ(intra / cross, 16.0);
+}
+
+TEST(TopologyTest, T2TwoLevelGroups) {
+  const Topology t = Topology::T2(32, /*num_pods=*/4, /*num_levels=*/2);
+  EXPECT_EQ(t.Name(), "T2(4,2)");
+  // Pods 0,1 in group 0; pods 2,3 in group 1.
+  EXPECT_EQ(t.machine(0).pod_group, 0u);
+  EXPECT_EQ(t.machine(8).pod_group, 0u);   // pod 1
+  EXPECT_EQ(t.machine(16).pod_group, 1u);  // pod 2
+  const double intra_pod = t.Bandwidth(0, 7);
+  const double same_group = t.Bandwidth(0, 8);    // pod 0 -> pod 1
+  const double cross_group = t.Bandwidth(0, 16);  // pod 0 -> pod 2
+  EXPECT_DOUBLE_EQ(intra_pod / same_group, 16.0);
+  EXPECT_DOUBLE_EQ(intra_pod / cross_group, 32.0);
+  EXPECT_LT(cross_group, same_group);
+}
+
+TEST(TopologyTest, T2CustomDelayFactor) {
+  const Topology t =
+      Topology::T2(8, 2, 1, /*second_level_factor=*/128.0);
+  EXPECT_DOUBLE_EQ(t.Bandwidth(0, 1) / t.Bandwidth(0, 4), 128.0);
+}
+
+TEST(TopologyTest, T2Validation) {
+  TopologyOptions opt;
+  opt.kind = TopologyKind::kT2;
+  opt.num_machines = 10;
+  opt.num_pods = 3;  // does not divide 10
+  EXPECT_FALSE(Topology::Make(opt).ok());
+  opt.num_pods = 2;
+  opt.num_levels = 3;  // unsupported
+  EXPECT_FALSE(Topology::Make(opt).ok());
+  opt.num_levels = 2;
+  opt.num_pods = 5;  // odd pods cannot form two groups
+  opt.num_machines = 10;
+  EXPECT_FALSE(Topology::Make(opt).ok());
+}
+
+TEST(TopologyTest, T3HalvesBandwidth) {
+  const Topology t = Topology::T3(16, /*low_ratio=*/0.5, /*seed=*/3);
+  EXPECT_EQ(t.Name(), "T3");
+  EXPECT_FALSE(t.IsUniform());
+  // Exactly half the machines have a halved NIC.
+  const double full = t.machine(0).nic_bytes_per_sec;
+  uint32_t low = 0;
+  double max_nic = 0;
+  for (MachineId m = 0; m < 16; ++m) {
+    max_nic = std::max(max_nic, t.machine(m).nic_bytes_per_sec);
+  }
+  for (MachineId m = 0; m < 16; ++m) {
+    if (t.machine(m).nic_bytes_per_sec < max_nic) {
+      ++low;
+    }
+  }
+  (void)full;
+  EXPECT_EQ(low, 8u);
+  // A pair's bandwidth is min of endpoint NICs.
+  for (MachineId a = 0; a < 16; ++a) {
+    for (MachineId b = 0; b < 16; ++b) {
+      if (a == b) {
+        continue;
+      }
+      EXPECT_DOUBLE_EQ(t.Bandwidth(a, b),
+                       std::min(t.machine(a).nic_bytes_per_sec,
+                                t.machine(b).nic_bytes_per_sec));
+    }
+  }
+}
+
+TEST(TopologyTest, T3Validation) {
+  TopologyOptions opt;
+  opt.kind = TopologyKind::kT3;
+  opt.num_machines = 8;
+  opt.low_bandwidth_ratio = 0.0;
+  EXPECT_FALSE(Topology::Make(opt).ok());
+  opt.low_bandwidth_ratio = 1.5;
+  EXPECT_FALSE(Topology::Make(opt).ok());
+}
+
+TEST(TopologyTest, EmptyTopologyRejected) {
+  TopologyOptions opt;
+  opt.num_machines = 0;
+  EXPECT_FALSE(Topology::Make(opt).ok());
+}
+
+TEST(TopologyTest, AggregatedBandwidth) {
+  const Topology t = Topology::T1(4);
+  const double pair_bw = t.Bandwidth(0, 1);
+  EXPECT_DOUBLE_EQ(t.AggregatedBandwidth({0, 1}, {2, 3}), 4 * pair_bw);
+  EXPECT_DOUBLE_EQ(t.AggregatedBandwidth({0}, {1}), pair_bw);
+  // Shared machines are skipped (no self pairs).
+  EXPECT_DOUBLE_EQ(t.AggregatedBandwidth({0}, {0}), 0.0);
+}
+
+TEST(SimScaleTest, ScalesHardwareDown) {
+  const Topology base = Topology::T1(4);
+  const Topology scaled = MakeScaledT1(4, 100.0);
+  EXPECT_DOUBLE_EQ(base.Bandwidth(0, 1) / scaled.Bandwidth(0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(
+      base.machine(0).disk_bytes_per_sec / scaled.machine(0).disk_bytes_per_sec,
+      100.0);
+}
+
+TEST(SimScaleTest, ScaledTopologiesKeepStructure) {
+  const Topology t2 = MakeScaledT2(32, 4, 2, 1000.0);
+  EXPECT_EQ(t2.Name(), "T2(4,2)");
+  EXPECT_DOUBLE_EQ(t2.Bandwidth(0, 7) / t2.Bandwidth(0, 16), 32.0);
+  const Topology t3 = MakeScaledT3(16, 1000.0);
+  EXPECT_EQ(t3.Name(), "T3");
+}
+
+TEST(SimScaleTest, ScaledSimOptions) {
+  // CPU scales by a quarter of the I/O factor (compute overlaps with I/O on
+  // the real cluster; see ScaleSimOptions).
+  const JobSimulationOptions opt = MakeScaledSimOptions(100.0);
+  JobSimulationOptions base;
+  EXPECT_DOUBLE_EQ(base.cost.cpu_bytes_per_sec / opt.cost.cpu_bytes_per_sec,
+                   25.0);
+}
+
+}  // namespace
+}  // namespace surfer
