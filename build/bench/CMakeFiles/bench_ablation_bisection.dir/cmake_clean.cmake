@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bisection.dir/bench_ablation_bisection.cc.o"
+  "CMakeFiles/bench_ablation_bisection.dir/bench_ablation_bisection.cc.o.d"
+  "bench_ablation_bisection"
+  "bench_ablation_bisection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cascaded_propagation.dir/bench_cascaded_propagation.cc.o"
+  "CMakeFiles/bench_cascaded_propagation.dir/bench_cascaded_propagation.cc.o.d"
+  "bench_cascaded_propagation"
+  "bench_cascaded_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cascaded_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

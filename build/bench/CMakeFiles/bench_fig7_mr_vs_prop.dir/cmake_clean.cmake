@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_mr_vs_prop.dir/bench_fig7_mr_vs_prop.cc.o"
+  "CMakeFiles/bench_fig7_mr_vs_prop.dir/bench_fig7_mr_vs_prop.cc.o.d"
+  "bench_fig7_mr_vs_prop"
+  "bench_fig7_mr_vs_prop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_mr_vs_prop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_mr_vs_prop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_ier.dir/bench_table5_ier.cc.o"
+  "CMakeFiles/bench_table5_ier.dir/bench_table5_ier.cc.o.d"
+  "bench_table5_ier"
+  "bench_table5_ier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_ier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfer_apps.dir/benchmark_suite.cc.o"
+  "CMakeFiles/surfer_apps.dir/benchmark_suite.cc.o.d"
+  "CMakeFiles/surfer_apps.dir/udf_source.cc.o"
+  "CMakeFiles/surfer_apps.dir/udf_source.cc.o.d"
+  "libsurfer_apps.a"
+  "libsurfer_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfer_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

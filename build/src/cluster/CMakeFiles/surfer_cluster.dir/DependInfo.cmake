@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cost_model.cc" "src/cluster/CMakeFiles/surfer_cluster.dir/cost_model.cc.o" "gcc" "src/cluster/CMakeFiles/surfer_cluster.dir/cost_model.cc.o.d"
+  "/root/repo/src/cluster/metrics.cc" "src/cluster/CMakeFiles/surfer_cluster.dir/metrics.cc.o" "gcc" "src/cluster/CMakeFiles/surfer_cluster.dir/metrics.cc.o.d"
+  "/root/repo/src/cluster/topology.cc" "src/cluster/CMakeFiles/surfer_cluster.dir/topology.cc.o" "gcc" "src/cluster/CMakeFiles/surfer_cluster.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/surfer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/surfer_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfer_cluster.dir/cost_model.cc.o"
+  "CMakeFiles/surfer_cluster.dir/cost_model.cc.o.d"
+  "CMakeFiles/surfer_cluster.dir/metrics.cc.o"
+  "CMakeFiles/surfer_cluster.dir/metrics.cc.o.d"
+  "CMakeFiles/surfer_cluster.dir/topology.cc.o"
+  "CMakeFiles/surfer_cluster.dir/topology.cc.o.d"
+  "libsurfer_cluster.a"
+  "libsurfer_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfer_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfer_common.dir/histogram.cc.o"
+  "CMakeFiles/surfer_common.dir/histogram.cc.o.d"
+  "CMakeFiles/surfer_common.dir/logging.cc.o"
+  "CMakeFiles/surfer_common.dir/logging.cc.o.d"
+  "CMakeFiles/surfer_common.dir/status.cc.o"
+  "CMakeFiles/surfer_common.dir/status.cc.o.d"
+  "CMakeFiles/surfer_common.dir/thread_pool.cc.o"
+  "CMakeFiles/surfer_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/surfer_common.dir/units.cc.o"
+  "CMakeFiles/surfer_common.dir/units.cc.o.d"
+  "libsurfer_common.a"
+  "libsurfer_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfer_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

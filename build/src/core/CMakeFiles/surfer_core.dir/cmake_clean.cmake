@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfer_core.dir/pipeline.cc.o"
+  "CMakeFiles/surfer_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/surfer_core.dir/surfer.cc.o"
+  "CMakeFiles/surfer_core.dir/surfer.cc.o.d"
+  "libsurfer_core.a"
+  "libsurfer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

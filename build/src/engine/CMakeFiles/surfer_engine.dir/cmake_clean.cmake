@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfer_engine.dir/job_simulation.cc.o"
+  "CMakeFiles/surfer_engine.dir/job_simulation.cc.o.d"
+  "libsurfer_engine.a"
+  "libsurfer_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfer_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfer_graph.dir/algorithms.cc.o"
+  "CMakeFiles/surfer_graph.dir/algorithms.cc.o.d"
+  "CMakeFiles/surfer_graph.dir/generators.cc.o"
+  "CMakeFiles/surfer_graph.dir/generators.cc.o.d"
+  "CMakeFiles/surfer_graph.dir/graph.cc.o"
+  "CMakeFiles/surfer_graph.dir/graph.cc.o.d"
+  "CMakeFiles/surfer_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/surfer_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/surfer_graph.dir/graph_io.cc.o"
+  "CMakeFiles/surfer_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/surfer_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/surfer_graph.dir/graph_stats.cc.o.d"
+  "libsurfer_graph.a"
+  "libsurfer_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfer_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/bisection.cc" "src/partition/CMakeFiles/surfer_partition.dir/bisection.cc.o" "gcc" "src/partition/CMakeFiles/surfer_partition.dir/bisection.cc.o.d"
+  "/root/repo/src/partition/machine_graph.cc" "src/partition/CMakeFiles/surfer_partition.dir/machine_graph.cc.o" "gcc" "src/partition/CMakeFiles/surfer_partition.dir/machine_graph.cc.o.d"
+  "/root/repo/src/partition/partition_sketch.cc" "src/partition/CMakeFiles/surfer_partition.dir/partition_sketch.cc.o" "gcc" "src/partition/CMakeFiles/surfer_partition.dir/partition_sketch.cc.o.d"
+  "/root/repo/src/partition/partitioning.cc" "src/partition/CMakeFiles/surfer_partition.dir/partitioning.cc.o" "gcc" "src/partition/CMakeFiles/surfer_partition.dir/partitioning.cc.o.d"
+  "/root/repo/src/partition/partitioning_cost.cc" "src/partition/CMakeFiles/surfer_partition.dir/partitioning_cost.cc.o" "gcc" "src/partition/CMakeFiles/surfer_partition.dir/partitioning_cost.cc.o.d"
+  "/root/repo/src/partition/recursive_partitioner.cc" "src/partition/CMakeFiles/surfer_partition.dir/recursive_partitioner.cc.o" "gcc" "src/partition/CMakeFiles/surfer_partition.dir/recursive_partitioner.cc.o.d"
+  "/root/repo/src/partition/vertex_encoding.cc" "src/partition/CMakeFiles/surfer_partition.dir/vertex_encoding.cc.o" "gcc" "src/partition/CMakeFiles/surfer_partition.dir/vertex_encoding.cc.o.d"
+  "/root/repo/src/partition/weighted_graph.cc" "src/partition/CMakeFiles/surfer_partition.dir/weighted_graph.cc.o" "gcc" "src/partition/CMakeFiles/surfer_partition.dir/weighted_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/surfer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/surfer_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/surfer_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfer_partition.dir/bisection.cc.o"
+  "CMakeFiles/surfer_partition.dir/bisection.cc.o.d"
+  "CMakeFiles/surfer_partition.dir/machine_graph.cc.o"
+  "CMakeFiles/surfer_partition.dir/machine_graph.cc.o.d"
+  "CMakeFiles/surfer_partition.dir/partition_sketch.cc.o"
+  "CMakeFiles/surfer_partition.dir/partition_sketch.cc.o.d"
+  "CMakeFiles/surfer_partition.dir/partitioning.cc.o"
+  "CMakeFiles/surfer_partition.dir/partitioning.cc.o.d"
+  "CMakeFiles/surfer_partition.dir/partitioning_cost.cc.o"
+  "CMakeFiles/surfer_partition.dir/partitioning_cost.cc.o.d"
+  "CMakeFiles/surfer_partition.dir/recursive_partitioner.cc.o"
+  "CMakeFiles/surfer_partition.dir/recursive_partitioner.cc.o.d"
+  "CMakeFiles/surfer_partition.dir/vertex_encoding.cc.o"
+  "CMakeFiles/surfer_partition.dir/vertex_encoding.cc.o.d"
+  "CMakeFiles/surfer_partition.dir/weighted_graph.cc.o"
+  "CMakeFiles/surfer_partition.dir/weighted_graph.cc.o.d"
+  "libsurfer_partition.a"
+  "libsurfer_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfer_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsurfer_partition.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfer_propagation.dir/cascade.cc.o"
+  "CMakeFiles/surfer_propagation.dir/cascade.cc.o.d"
+  "CMakeFiles/surfer_propagation.dir/config.cc.o"
+  "CMakeFiles/surfer_propagation.dir/config.cc.o.d"
+  "libsurfer_propagation.a"
+  "libsurfer_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfer_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/partition_store.cc" "src/storage/CMakeFiles/surfer_storage.dir/partition_store.cc.o" "gcc" "src/storage/CMakeFiles/surfer_storage.dir/partition_store.cc.o.d"
+  "/root/repo/src/storage/partitioned_graph.cc" "src/storage/CMakeFiles/surfer_storage.dir/partitioned_graph.cc.o" "gcc" "src/storage/CMakeFiles/surfer_storage.dir/partitioned_graph.cc.o.d"
+  "/root/repo/src/storage/replication.cc" "src/storage/CMakeFiles/surfer_storage.dir/replication.cc.o" "gcc" "src/storage/CMakeFiles/surfer_storage.dir/replication.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/surfer_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/surfer_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/surfer_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/surfer_partition.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

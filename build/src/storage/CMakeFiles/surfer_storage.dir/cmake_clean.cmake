@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfer_storage.dir/partition_store.cc.o"
+  "CMakeFiles/surfer_storage.dir/partition_store.cc.o.d"
+  "CMakeFiles/surfer_storage.dir/partitioned_graph.cc.o"
+  "CMakeFiles/surfer_storage.dir/partitioned_graph.cc.o.d"
+  "CMakeFiles/surfer_storage.dir/replication.cc.o"
+  "CMakeFiles/surfer_storage.dir/replication.cc.o.d"
+  "libsurfer_storage.a"
+  "libsurfer_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfer_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_equivalence_test.cc" "tests/CMakeFiles/apps_equivalence_test.dir/apps_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/apps_equivalence_test.dir/apps_equivalence_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/surfer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/surfer_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/propagation/CMakeFiles/surfer_propagation.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/surfer_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/surfer_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/surfer_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/surfer_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/surfer_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/surfer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

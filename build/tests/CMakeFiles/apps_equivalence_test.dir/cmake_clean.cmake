@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_equivalence_test.dir/apps_equivalence_test.cc.o"
+  "CMakeFiles/apps_equivalence_test.dir/apps_equivalence_test.cc.o.d"
+  "apps_equivalence_test"
+  "apps_equivalence_test.pdb"
+  "apps_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

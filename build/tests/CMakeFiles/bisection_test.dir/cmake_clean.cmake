@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisection_test.dir/bisection_test.cc.o"
+  "CMakeFiles/bisection_test.dir/bisection_test.cc.o.d"
+  "bisection_test"
+  "bisection_test.pdb"
+  "bisection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_simulation_test.dir/job_simulation_test.cc.o"
+  "CMakeFiles/job_simulation_test.dir/job_simulation_test.cc.o.d"
+  "job_simulation_test"
+  "job_simulation_test.pdb"
+  "job_simulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_simulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

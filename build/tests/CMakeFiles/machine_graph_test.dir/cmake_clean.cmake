@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_graph_test.dir/machine_graph_test.cc.o"
+  "CMakeFiles/machine_graph_test.dir/machine_graph_test.cc.o.d"
+  "machine_graph_test"
+  "machine_graph_test.pdb"
+  "machine_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_cost_test.dir/metrics_cost_test.cc.o"
+  "CMakeFiles/metrics_cost_test.dir/metrics_cost_test.cc.o.d"
+  "metrics_cost_test"
+  "metrics_cost_test.pdb"
+  "metrics_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

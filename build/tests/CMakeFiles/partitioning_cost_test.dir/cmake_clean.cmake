@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioning_cost_test.dir/partitioning_cost_test.cc.o"
+  "CMakeFiles/partitioning_cost_test.dir/partitioning_cost_test.cc.o.d"
+  "partitioning_cost_test"
+  "partitioning_cost_test.pdb"
+  "partitioning_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioning_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/special_graphs_test.dir/special_graphs_test.cc.o"
+  "CMakeFiles/special_graphs_test.dir/special_graphs_test.cc.o.d"
+  "special_graphs_test"
+  "special_graphs_test.pdb"
+  "special_graphs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/special_graphs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udf_source_test.dir/udf_source_test.cc.o"
+  "CMakeFiles/udf_source_test.dir/udf_source_test.cc.o.d"
+  "udf_source_test"
+  "udf_source_test.pdb"
+  "udf_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udf_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

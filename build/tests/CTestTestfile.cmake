@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/generators_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_io_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_cost_test[1]_include.cmake")
+include("/root/repo/build/tests/bisection_test[1]_include.cmake")
+include("/root/repo/build/tests/partitioner_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/partitioning_cost_test[1]_include.cmake")
+include("/root/repo/build/tests/partitioned_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/replication_test[1]_include.cmake")
+include("/root/repo/build/tests/job_simulation_test[1]_include.cmake")
+include("/root/repo/build/tests/propagation_test[1]_include.cmake")
+include("/root/repo/build/tests/cascade_test[1]_include.cmake")
+include("/root/repo/build/tests/mapreduce_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_store_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/udf_source_test[1]_include.cmake")
+include("/root/repo/build/tests/special_graphs_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
