@@ -8,11 +8,15 @@
 
 #include "apps/benchmark_suite.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
 #include "core/sim_scale.h"
 #include "core/surfer.h"
 #include "graph/generators.h"
 #include "graph/graph_stats.h"
+#include "obs/metrics_registry.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 
 namespace surfer {
 namespace bench {
@@ -56,13 +60,30 @@ inline std::unique_ptr<SurferEngine> BuildEngine(const Graph& graph,
   return std::move(engine).value();
 }
 
+/// Observability sinks for one benchmark run: a tracer and a metrics
+/// registry that the propagation layer and the job simulation both feed.
+struct BenchObservability {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+};
+
 /// Runs one benchmark app through propagation at an optimization level.
+/// With `observability`, the run records wall-clock compute spans,
+/// simulated-clock stage/task spans, and propagation_*/sim_* metrics.
 inline AppRunResult RunPropagation(const SurferEngine& engine,
                                    const BenchmarkApp& app,
-                                   OptimizationLevel level) {
+                                   OptimizationLevel level,
+                                   BenchObservability* observability = nullptr) {
   BenchmarkSetup setup = engine.MakeSetup(level);
   setup.sim_options = MakeScaledSimOptions();
-  auto result = app.run_propagation(setup, PropagationConfig::ForLevel(level));
+  PropagationConfig config = PropagationConfig::ForLevel(level);
+  if (observability != nullptr) {
+    setup.sim_options.tracer = &observability->tracer;
+    setup.sim_options.metrics = &observability->metrics;
+    config.tracer = &observability->tracer;
+    config.metrics = &observability->metrics;
+  }
+  auto result = app.run_propagation(setup, config);
   SURFER_CHECK(result.ok()) << app.name << ": " << result.status().ToString();
   return std::move(result).value();
 }
@@ -80,6 +101,53 @@ inline AppRunResult RunMapReduce(const SurferEngine& engine,
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Where bench binaries drop their run reports and traces: the
+/// SURFER_ARTIFACT_DIR environment variable, or ./bench_artifacts.
+inline std::string ArtifactDir() {
+  const char* dir = std::getenv("SURFER_ARTIFACT_DIR");
+  return (dir != nullptr && dir[0] != '\0') ? dir : "bench_artifacts";
+}
+
+/// Writes `<dir>/<name>.report.json` (schema-validated run report) and
+/// `<dir>/<name>.trace.json` (Chrome trace) for one observed run. The global
+/// thread pool's counters are folded into the registry first, so reports
+/// always carry the host-side execution stats next to the simulated ones.
+inline void WriteBenchArtifacts(const std::string& name,
+                                const RunMetrics* run_metrics,
+                                BenchObservability* observability,
+                                const std::string& notes = "") {
+  SURFER_CHECK(observability != nullptr);
+  obs::ExportThreadPoolStats(GlobalThreadPool().stats(),
+                             &observability->metrics);
+  obs::RunReportOptions options;
+  options.name = name;
+  options.notes = notes;
+  const obs::JsonValue report = obs::BuildRunReport(
+      options, run_metrics, &observability->metrics, &observability->tracer);
+  if (const Status status = obs::ValidateRunReport(report); !status.ok()) {
+    SURFER_LOG(kWarning) << "run report for " << name
+                         << " failed validation: " << status.ToString();
+  }
+  const std::string dir = ArtifactDir();
+  const std::string report_path = dir + "/" + name + ".report.json";
+  const std::string trace_path = dir + "/" + name + ".trace.json";
+  if (const Status status = obs::WriteRunReport(report_path, report);
+      status.ok()) {
+    std::printf("artifact: %s\n", report_path.c_str());
+  } else {
+    SURFER_LOG(kWarning) << "failed to write " << report_path << ": "
+                         << status.ToString();
+  }
+  if (const Status status =
+          observability->tracer.WriteChromeTrace(trace_path);
+      status.ok()) {
+    std::printf("artifact: %s\n", trace_path.c_str());
+  } else {
+    SURFER_LOG(kWarning) << "failed to write " << trace_path << ": "
+                         << status.ToString();
+  }
 }
 
 }  // namespace bench

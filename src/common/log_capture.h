@@ -1,0 +1,89 @@
+#ifndef SURFER_COMMON_LOG_CAPTURE_H_
+#define SURFER_COMMON_LOG_CAPTURE_H_
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace surfer {
+
+/// Captures SURFER_LOG output for the lifetime of the object (tests assert
+/// on log lines instead of scraping stderr). Installs itself as the process
+/// log sink and restores the previous sink — and the previous minimum log
+/// level — on destruction. Not reentrant: nest captures LIFO only.
+class ScopedLogCapture {
+ public:
+  /// `capture_level` temporarily lowers the process log level so the lines
+  /// under test are not filtered before they reach the capture.
+  explicit ScopedLogCapture(LogLevel capture_level = LogLevel::kDebug)
+      : previous_level_(GetLogLevel()) {
+    SetLogLevel(capture_level);
+    previous_sink_ = SetLogSink([this](LogLevel level, const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu_);
+      entries_.emplace_back(level, line);
+    });
+  }
+
+  ~ScopedLogCapture() {
+    SetLogSink(std::move(previous_sink_));
+    SetLogLevel(previous_level_);
+  }
+
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [level, line] : entries_) {
+      out.push_back(line);
+    }
+    return out;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+  /// True when any captured line contains `needle`.
+  bool Contains(std::string_view needle) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [level, line] : entries_) {
+      if (line.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Number of captured lines at exactly `level`.
+  size_t CountAtLevel(LogLevel level) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto& [entry_level, line] : entries_) {
+      n += entry_level == level ? 1 : 0;
+    }
+    return n;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<LogLevel, std::string>> entries_;
+  LogLevel previous_level_;
+  LogSink previous_sink_;
+};
+
+}  // namespace surfer
+
+#endif  // SURFER_COMMON_LOG_CAPTURE_H_

@@ -2,11 +2,23 @@
 
 #include <atomic>
 #include <cstring>
+#include <mutex>
+#include <utility>
 
 namespace surfer {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+LogSink& SinkStorage() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -38,6 +50,13 @@ void SetLogLevel(LogLevel level) {
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink previous = std::move(SinkStorage());
+  SinkStorage() = std::move(sink);
+  return previous;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -47,8 +66,16 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  stream_ << "\n";
-  std::cerr << stream_.str();
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    sink = SinkStorage();
+  }
+  if (sink) {
+    sink(level_, stream_.str());
+  } else {
+    std::cerr << stream_.str() << "\n";
+  }
   if (level_ == LogLevel::kFatal) {
     std::cerr.flush();
     std::abort();

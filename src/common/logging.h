@@ -2,6 +2,7 @@
 #define SURFER_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -21,6 +22,16 @@ enum class LogLevel : int {
 /// examples raise verbosity explicitly.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Receives one fully formatted log line ("[LEVEL file:line] message", no
+/// trailing newline). Sinks must be callable from any thread.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+
+/// Installs a process-wide sink that replaces the default stderr output;
+/// returns the previously installed sink (empty for the stderr default).
+/// Passing an empty sink restores stderr. FATAL messages still abort after
+/// the sink runs.
+LogSink SetLogSink(LogSink sink);
 
 namespace internal {
 

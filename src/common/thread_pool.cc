@@ -27,10 +27,18 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_.push(std::move(task));
+    queue_.push(PendingTask{std::move(task), std::chrono::steady_clock::now()});
     ++in_flight_;
+    ++stats_.tasks_submitted;
+    stats_.queue_depth = queue_.size();
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
   }
   work_available_.notify_one();
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
 }
 
 void ThreadPool::Wait() {
@@ -69,8 +77,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 }
 
 void ThreadPool::WorkerLoop() {
+  using Clock = std::chrono::steady_clock;
   for (;;) {
-    std::function<void()> task;
+    PendingTask task;
+    Clock::time_point started;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(lock,
@@ -80,10 +90,17 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop();
+      stats_.queue_depth = queue_.size();
+      started = Clock::now();
+      stats_.queue_wait_seconds.Add(
+          std::chrono::duration<double>(started - task.enqueued).count());
     }
-    task();
+    task.fn();
     {
       std::unique_lock<std::mutex> lock(mu_);
+      stats_.task_run_seconds.Add(
+          std::chrono::duration<double>(Clock::now() - started).count());
+      ++stats_.tasks_completed;
       if (--in_flight_ == 0) {
         all_done_.notify_all();
       }

@@ -1,15 +1,32 @@
 #ifndef SURFER_COMMON_THREAD_POOL_H_
 #define SURFER_COMMON_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/histogram.h"
+
 namespace surfer {
+
+/// Point-in-time execution statistics of a ThreadPool; snapshot via
+/// ThreadPool::stats(). Latencies are wall-clock (the pool only affects how
+/// fast experiments run, never simulated time), so these feed the obs layer
+/// rather than any cost model.
+struct ThreadPoolStats {
+  uint64_t tasks_submitted = 0;
+  uint64_t tasks_completed = 0;
+  size_t queue_depth = 0;          ///< tasks currently waiting
+  size_t max_queue_depth = 0;      ///< high-water mark since construction
+  Histogram queue_wait_seconds;    ///< submit -> start latency
+  Histogram task_run_seconds;      ///< start -> finish latency
+};
 
 /// A fixed-size worker pool used to execute per-partition tasks in parallel.
 /// Simulated *time* never depends on the pool — wall-clock parallelism only
@@ -35,16 +52,25 @@ class ThreadPool {
   /// Work is chunked to limit queueing overhead for large n.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Copies the pool's execution statistics (thread-safe).
+  ThreadPoolStats stats() const;
+
  private:
+  struct PendingTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<PendingTask> queue_;
   std::vector<std::thread> threads_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  ThreadPoolStats stats_;
 };
 
 /// Returns a process-wide pool sized to the hardware concurrency.

@@ -4,8 +4,30 @@
 #include <deque>
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace surfer {
+
+namespace {
+
+const char* TaskKindName(SimTaskKind kind) {
+  switch (kind) {
+    case SimTaskKind::kTransfer:
+      return "transfer";
+    case SimTaskKind::kCombine:
+      return "combine";
+    case SimTaskKind::kMap:
+      return "map";
+    case SimTaskKind::kReduce:
+      return "reduce";
+    case SimTaskKind::kGeneric:
+      return "task";
+  }
+  return "task";
+}
+
+}  // namespace
 
 JobSimulation::JobSimulation(const Topology* topology,
                              JobSimulationOptions options)
@@ -193,6 +215,45 @@ Result<StageMetrics> JobSimulation::RunStage(const std::string& name,
       stage.num_tasks = frozen.size();
       now_s_ = end_time;
       metrics_.Accumulate(stage);
+      if (obs::Tracer* tracer = options_.tracer; tracer != nullptr) {
+        // Simulated-clock spans: lane 0 is the job manager, lane m+1 is
+        // machine m. Partial executions are visible as shorter task spans
+        // ending at the machine's failure time.
+        tracer->RecordComplete(
+            obs::TraceClock::kSimulated, name, "stage", stage_start * 1e6,
+            stage.duration_s * 1e6, /*tid=*/0,
+            {{"tasks", std::to_string(stage.num_tasks)},
+             {"reexecuted", std::to_string(stage.num_reexecuted_tasks)}});
+        for (const ExecRecord& exec : frozen) {
+          std::string span_name = TaskKindName(exec.task->kind);
+          if (exec.task->partition != kInvalidPartition) {
+            span_name += ":p" + std::to_string(exec.task->partition);
+          }
+          std::vector<std::pair<std::string, std::string>> args;
+          if (exec.is_retry) {
+            args.emplace_back("retry", "true");
+          }
+          if (exec.partial) {
+            args.emplace_back("lost_to_failure", "true");
+          }
+          tracer->RecordComplete(obs::TraceClock::kSimulated,
+                                 std::move(span_name), "sim_task",
+                                 exec.start * 1e6, (exec.end - exec.start) * 1e6,
+                                 exec.machine + 1, std::move(args));
+        }
+      }
+      if (obs::MetricsRegistry* registry = options_.metrics;
+          registry != nullptr) {
+        registry->CounterRef("sim_stages_total").Increment();
+        registry->CounterRef("sim_tasks_total").Increment(stage.num_tasks);
+        registry->CounterRef("sim_tasks_reexecuted_total")
+            .Increment(stage.num_reexecuted_tasks);
+        registry->GaugeRef("sim_clock_seconds").Set(now_s_);
+        auto& task_seconds = registry->HistogramRef("sim_task_seconds");
+        for (const ExecRecord& exec : frozen) {
+          task_seconds.Observe(exec.end - exec.start);
+        }
+      }
       return stage;
     }
 
@@ -232,6 +293,20 @@ Result<StageMetrics> JobSimulation::RunStage(const std::string& name,
                       << " failed at " << fault.fail_at_s << "s, requeued "
                       << to_requeue.size() << " tasks (detected at "
                       << detect_at << "s)";
+    if (obs::Tracer* tracer = options_.tracer; tracer != nullptr) {
+      tracer->RecordInstant(obs::TraceClock::kSimulated, "machine_failed",
+                            "fault", fault.fail_at_s * 1e6, fault.machine + 1,
+                            {{"machine", std::to_string(fault.machine)}});
+      tracer->RecordInstant(
+          obs::TraceClock::kSimulated, "fault_detected", "fault",
+          detect_at * 1e6, /*tid=*/0,
+          {{"machine", std::to_string(fault.machine)},
+           {"requeued_tasks", std::to_string(to_requeue.size())}});
+    }
+    if (obs::MetricsRegistry* registry = options_.metrics;
+        registry != nullptr) {
+      registry->CounterRef("sim_machine_failures_total").Increment();
+    }
     (void)reexecuted;
   }
 }

@@ -14,6 +14,11 @@
 
 namespace surfer {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
 /// Task kinds, used by the fault-recovery policy of Appendix B: a failed
 /// Transfer task is simply re-executed; a failed Combine task must first
 /// re-transfer its inputs from the remote partitions along incoming edges.
@@ -52,6 +57,11 @@ struct JobSimulationOptions {
   double heartbeat_interval_s = 5.0;
   /// Disk-rate timeline bucket width (Figure 10 plots per-second rates).
   double timeline_bucket_s = 1.0;
+  /// Optional observability hooks (not owned; may be null). The tracer
+  /// receives per-stage and per-task spans on the *simulated* clock plus
+  /// fault/detection instants; the registry receives sim_* counters.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// A deterministic bulk-synchronous job simulation over a cluster topology.

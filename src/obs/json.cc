@@ -1,0 +1,373 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace surfer {
+namespace obs {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void WriteNumber(std::string* out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no NaN/Inf; null is the conventional substitute.
+    *out += "null";
+    return;
+  }
+  // Integers within the double-exact range print without a fraction.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    *out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+}
+
+void Indent(std::string* out, int indent, int depth) {
+  if (indent > 0) {
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent) * depth, ' ');
+  }
+}
+
+}  // namespace
+
+void JsonValue::WriteTo(std::string* out, int indent, int depth) const {
+  if (is_null()) {
+    *out += "null";
+  } else if (is_bool()) {
+    *out += as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    WriteNumber(out, as_number());
+  } else if (is_string()) {
+    out->push_back('"');
+    *out += JsonEscape(as_string());
+    out->push_back('"');
+  } else if (is_array()) {
+    const Array& a = as_array();
+    out->push_back('[');
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (i > 0) {
+        out->push_back(',');
+      }
+      Indent(out, indent, depth + 1);
+      a[i].WriteTo(out, indent, depth + 1);
+    }
+    if (!a.empty()) {
+      Indent(out, indent, depth);
+    }
+    out->push_back(']');
+  } else {
+    const Object& o = as_object();
+    out->push_back('{');
+    for (size_t i = 0; i < o.size(); ++i) {
+      if (i > 0) {
+        out->push_back(',');
+      }
+      Indent(out, indent, depth + 1);
+      out->push_back('"');
+      *out += JsonEscape(o[i].first);
+      *out += indent > 0 ? "\": " : "\":";
+      o[i].second.WriteTo(out, indent, depth + 1);
+    }
+    if (!o.empty()) {
+      Indent(out, indent, depth);
+    }
+    out->push_back('}');
+  }
+}
+
+std::string JsonValue::Write(int indent) const {
+  std::string out;
+  WriteTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SURFER_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::Corruption("json parse error at offset " +
+                              std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      SURFER_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue(std::move(s));
+    }
+    if (ConsumeLiteral("true")) {
+      return JsonValue(true);
+    }
+    if (ConsumeLiteral("false")) {
+      return JsonValue(false);
+    }
+    if (ConsumeLiteral("null")) {
+      return JsonValue(nullptr);
+    }
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (Consume('}')) {
+      return obj;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      SURFER_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':' after object key");
+      }
+      SURFER_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      obj.Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) {
+        return obj;
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (Consume(']')) {
+      return arr;
+    }
+    for (;;) {
+      SURFER_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      arr.Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) {
+        return arr;
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode (no surrogate-pair handling; the artifacts this
+          // parser reads are ASCII except for user-supplied labels).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("expected a value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Error("malformed number '" + token + "'");
+    }
+    return JsonValue(d);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace obs
+}  // namespace surfer

@@ -1,0 +1,216 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+namespace surfer {
+namespace obs {
+
+namespace {
+
+Labels SortedLabels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string LabelString(const Labels& labels) {
+  if (labels.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += labels[i].first + "=\"" + JsonEscape(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+JsonValue LabelsToJson(const Labels& labels) {
+  JsonValue obj = JsonValue::MakeObject();
+  for (const auto& [k, v] : labels) {
+    obj.Set(k, v);
+  }
+  return obj;
+}
+
+JsonValue HistogramToJson(const Histogram& h) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("count", static_cast<uint64_t>(h.count()));
+  obj.Set("sum", h.sum());
+  obj.Set("mean", h.Mean());
+  obj.Set("min", h.min());
+  obj.Set("max", h.max());
+  obj.Set("p50", h.Percentile(50));
+  obj.Set("p90", h.Percentile(90));
+  obj.Set("p99", h.Percentile(99));
+  return obj;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::CounterRef(const std::string& name,
+                                     const Labels& labels) {
+  const Key key{name, SortedLabels(labels)};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GaugeRef(const std::string& name,
+                                 const Labels& labels) {
+  const Key key{name, SortedLabels(labels)};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::HistogramRef(const std::string& name,
+                                               const Labels& labels) {
+  const Key key{name, SortedLabels(labels)};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<HistogramMetric>();
+  }
+  return *slot;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> samples;
+  std::lock_guard<std::mutex> lock(mu_);
+  samples.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [key, counter] : counters_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kCounter;
+    s.name = key.first;
+    s.labels = key.second;
+    s.value = static_cast<double>(counter->value());
+    samples.push_back(std::move(s));
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kGauge;
+    s.name = key.first;
+    s.labels = key.second;
+    s.value = gauge->value();
+    samples.push_back(std::move(s));
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.name = key.first;
+    s.labels = key.second;
+    s.histogram = histogram->Snapshot();
+    samples.push_back(std::move(s));
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
+            });
+  return samples;
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  const std::vector<MetricSample> samples = Snapshot();
+  std::string out;
+  std::string last_typed;  // last family a # TYPE line was emitted for
+  auto emit_type = [&](const std::string& name, const char* type) {
+    if (name != last_typed) {
+      out += "# TYPE " + name + " " + type + "\n";
+      last_typed = name;
+    }
+  };
+  char buf[64];
+  auto number = [&](double d) {
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    return std::string(buf);
+  };
+  for (const MetricSample& s : samples) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        emit_type(s.name, "counter");
+        out += s.name + LabelString(s.labels) + " " + number(s.value) + "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        emit_type(s.name, "gauge");
+        out += s.name + LabelString(s.labels) + " " + number(s.value) + "\n";
+        break;
+      case MetricSample::Kind::kHistogram: {
+        // Exported as a summary (count/sum + percentile gauges): the
+        // underlying log2 buckets are not Prometheus cumulative buckets.
+        emit_type(s.name, "summary");
+        Labels labels = s.labels;
+        out += s.name + "_count" + LabelString(labels) + " " +
+               number(static_cast<double>(s.histogram.count())) + "\n";
+        out += s.name + "_sum" + LabelString(labels) + " " +
+               number(s.histogram.sum()) + "\n";
+        for (double q : {0.5, 0.9, 0.99}) {
+          labels = s.labels;
+          labels.emplace_back("quantile", number(q));
+          out += s.name + LabelString(labels) + " " +
+                 number(s.histogram.Percentile(q * 100.0)) + "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  const std::vector<MetricSample> samples = Snapshot();
+  JsonValue counters = JsonValue::MakeArray();
+  JsonValue gauges = JsonValue::MakeArray();
+  JsonValue histograms = JsonValue::MakeArray();
+  for (const MetricSample& s : samples) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("name", s.name);
+    if (!s.labels.empty()) {
+      entry.Set("labels", LabelsToJson(s.labels));
+    }
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        entry.Set("value", s.value);
+        counters.Append(std::move(entry));
+        break;
+      case MetricSample::Kind::kGauge:
+        entry.Set("value", s.value);
+        gauges.Append(std::move(entry));
+        break;
+      case MetricSample::Kind::kHistogram:
+        entry.Set("summary", HistogramToJson(s.histogram));
+        histograms.Append(std::move(entry));
+        break;
+    }
+  }
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("counters", std::move(counters));
+  obj.Set("gauges", std::move(gauges));
+  obj.Set("histograms", std::move(histograms));
+  return obj;
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace surfer

@@ -1,0 +1,119 @@
+#ifndef SURFER_OBS_METRICS_REGISTRY_H_
+#define SURFER_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "obs/json.h"
+
+namespace surfer {
+namespace obs {
+
+/// Sorted (key, value) label pairs identifying one time series of a metric
+/// family, Prometheus-style.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing integer metric (messages sent, tasks run, ...).
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time double metric (queue depth, edge cut, simulated clock, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Thread-safe wrapper over surfer::Histogram for distribution metrics.
+class HistogramMetric {
+ public:
+  void Observe(double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    histogram_.Add(value);
+  }
+  void Merge(const Histogram& other) {
+    std::lock_guard<std::mutex> lock(mu_);
+    histogram_.Merge(other);
+  }
+  Histogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return histogram_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram histogram_;
+};
+
+/// One exported time series in a registry snapshot.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  Labels labels;
+  double value = 0.0;   ///< counters and gauges
+  Histogram histogram;  ///< histograms only
+};
+
+/// A thread-safe collection of named metrics with label support. Metric
+/// handles returned by the *Ref accessors are stable for the registry's
+/// lifetime and cheap to update (atomics; histograms take a short lock), so
+/// hot paths should hold on to the reference rather than re-resolving names.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& CounterRef(const std::string& name, const Labels& labels = {});
+  Gauge& GaugeRef(const std::string& name, const Labels& labels = {});
+  HistogramMetric& HistogramRef(const std::string& name,
+                                const Labels& labels = {});
+
+  /// All metrics, sorted by (name, labels) for deterministic export.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Prometheus text exposition format (one # TYPE line per family).
+  std::string ToPrometheusText() const;
+
+  /// JSON object {"counters": [...], "gauges": [...], "histograms": [...]}.
+  JsonValue ToJson() const;
+
+  /// Drops every metric (tests).
+  void Clear();
+
+  /// Process-wide default registry.
+  static MetricsRegistry& Global();
+
+ private:
+  using Key = std::pair<std::string, Labels>;
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace surfer
+
+#endif  // SURFER_OBS_METRICS_REGISTRY_H_

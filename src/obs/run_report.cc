@@ -1,0 +1,220 @@
+#include "obs/run_report.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace surfer {
+namespace obs {
+
+namespace {
+
+JsonValue HistogramSummaryJson(const Histogram& h) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("count", static_cast<uint64_t>(h.count()));
+  obj.Set("mean", h.Mean());
+  obj.Set("min", h.min());
+  obj.Set("max", h.max());
+  obj.Set("p50", h.Percentile(50));
+  obj.Set("p99", h.Percentile(99));
+  return obj;
+}
+
+const char* ClockName(TraceClock clock) {
+  return clock == TraceClock::kWall ? "wall" : "simulated";
+}
+
+Status Expect(bool condition, const std::string& what) {
+  if (!condition) {
+    return Status::Corruption("run report schema violation: " + what);
+  }
+  return Status::OK();
+}
+
+Status RequireNumber(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.Find(key);
+  return Expect(v != nullptr && v->is_number(), "missing number '" + key + "'");
+}
+
+}  // namespace
+
+JsonValue RunMetricsToJson(const RunMetrics& metrics) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("response_time_s", metrics.response_time_s);
+  obj.Set("total_machine_time_s", metrics.total_machine_time_s);
+  obj.Set("network_bytes", metrics.network_bytes);
+  obj.Set("disk_bytes", metrics.disk_bytes);
+  JsonValue stages = JsonValue::MakeArray();
+  for (const StageMetrics& stage : metrics.stages) {
+    JsonValue s = JsonValue::MakeObject();
+    s.Set("name", stage.name);
+    s.Set("duration_s", stage.duration_s);
+    s.Set("busy_machine_seconds", stage.busy_machine_seconds);
+    s.Set("network_bytes", stage.network_bytes);
+    s.Set("disk_read_bytes", stage.disk_read_bytes);
+    s.Set("disk_write_bytes", stage.disk_write_bytes);
+    s.Set("num_tasks", static_cast<uint64_t>(stage.num_tasks));
+    s.Set("num_reexecuted_tasks",
+          static_cast<uint64_t>(stage.num_reexecuted_tasks));
+    stages.Append(std::move(s));
+  }
+  obj.Set("stages", std::move(stages));
+  obj.Set("task_seconds", HistogramSummaryJson(metrics.task_seconds));
+  return obj;
+}
+
+void ExportThreadPoolStats(const ThreadPoolStats& stats,
+                           MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return;
+  }
+  registry->CounterRef("threadpool_tasks_submitted")
+      .Increment(stats.tasks_submitted);
+  registry->CounterRef("threadpool_tasks_completed")
+      .Increment(stats.tasks_completed);
+  registry->GaugeRef("threadpool_max_queue_depth")
+      .Set(static_cast<double>(stats.max_queue_depth));
+  registry->HistogramRef("threadpool_queue_wait_seconds")
+      .Merge(stats.queue_wait_seconds);
+  registry->HistogramRef("threadpool_task_run_seconds")
+      .Merge(stats.task_run_seconds);
+}
+
+JsonValue BuildRunReport(const RunReportOptions& options,
+                         const RunMetrics* run,
+                         const MetricsRegistry* registry,
+                         const Tracer* tracer) {
+  JsonValue report = JsonValue::MakeObject();
+  report.Set("schema_version", kRunReportSchemaVersion);
+  report.Set("name", options.name);
+  if (!options.notes.empty()) {
+    report.Set("notes", options.notes);
+  }
+  if (run != nullptr) {
+    report.Set("run", RunMetricsToJson(*run));
+  }
+  if (registry != nullptr) {
+    report.Set("metrics", registry->ToJson());
+  }
+  if (tracer != nullptr) {
+    JsonValue trace = JsonValue::MakeObject();
+    trace.Set("tracing_compiled_in", Tracer::CompiledIn());
+    trace.Set("num_events", static_cast<uint64_t>(tracer->num_events()));
+    JsonValue spans = JsonValue::MakeArray();
+    for (const SpanStat& stat : tracer->SpanSummary()) {
+      JsonValue s = JsonValue::MakeObject();
+      s.Set("name", stat.name);
+      s.Set("clock", ClockName(stat.clock));
+      s.Set("count", stat.count);
+      s.Set("total_s", stat.total_us / 1e6);
+      s.Set("max_s", stat.max_us / 1e6);
+      spans.Append(std::move(s));
+    }
+    trace.Set("spans", std::move(spans));
+    report.Set("trace", std::move(trace));
+  }
+  return report;
+}
+
+Status ValidateRunReport(const JsonValue& report) {
+  SURFER_RETURN_IF_ERROR(Expect(report.is_object(), "root must be an object"));
+  const JsonValue* version = report.Find("schema_version");
+  SURFER_RETURN_IF_ERROR(Expect(version != nullptr && version->is_number(),
+                                "missing schema_version"));
+  SURFER_RETURN_IF_ERROR(
+      Expect(static_cast<int>(version->as_number()) == kRunReportSchemaVersion,
+             "unsupported schema_version"));
+  const JsonValue* name = report.Find("name");
+  SURFER_RETURN_IF_ERROR(
+      Expect(name != nullptr && name->is_string() && !name->as_string().empty(),
+             "missing name"));
+
+  if (const JsonValue* run = report.Find("run"); run != nullptr) {
+    SURFER_RETURN_IF_ERROR(Expect(run->is_object(), "run must be an object"));
+    for (const char* key : {"response_time_s", "total_machine_time_s",
+                            "network_bytes", "disk_bytes"}) {
+      SURFER_RETURN_IF_ERROR(RequireNumber(*run, key));
+    }
+    const JsonValue* stages = run->Find("stages");
+    SURFER_RETURN_IF_ERROR(
+        Expect(stages != nullptr && stages->is_array(), "run.stages missing"));
+    for (const JsonValue& stage : stages->as_array()) {
+      SURFER_RETURN_IF_ERROR(
+          Expect(stage.is_object(), "stage must be an object"));
+      const JsonValue* stage_name = stage.Find("name");
+      SURFER_RETURN_IF_ERROR(Expect(
+          stage_name != nullptr && stage_name->is_string(), "stage.name"));
+      for (const char* key :
+           {"duration_s", "busy_machine_seconds", "network_bytes",
+            "disk_read_bytes", "disk_write_bytes", "num_tasks"}) {
+        SURFER_RETURN_IF_ERROR(RequireNumber(stage, key));
+      }
+    }
+    const JsonValue* task_seconds = run->Find("task_seconds");
+    SURFER_RETURN_IF_ERROR(
+        Expect(task_seconds != nullptr && task_seconds->is_object(),
+               "run.task_seconds missing"));
+    SURFER_RETURN_IF_ERROR(RequireNumber(*task_seconds, "count"));
+  }
+
+  if (const JsonValue* metrics = report.Find("metrics"); metrics != nullptr) {
+    SURFER_RETURN_IF_ERROR(
+        Expect(metrics->is_object(), "metrics must be an object"));
+    for (const char* section : {"counters", "gauges", "histograms"}) {
+      const JsonValue* arr = metrics->Find(section);
+      SURFER_RETURN_IF_ERROR(
+          Expect(arr != nullptr && arr->is_array(),
+                 std::string("metrics.") + section + " missing"));
+      for (const JsonValue& entry : arr->as_array()) {
+        const JsonValue* entry_name = entry.Find("name");
+        SURFER_RETURN_IF_ERROR(
+            Expect(entry_name != nullptr && entry_name->is_string(),
+                   std::string("metrics.") + section + "[].name"));
+      }
+    }
+  }
+
+  if (const JsonValue* trace = report.Find("trace"); trace != nullptr) {
+    SURFER_RETURN_IF_ERROR(
+        Expect(trace->is_object(), "trace must be an object"));
+    SURFER_RETURN_IF_ERROR(RequireNumber(*trace, "num_events"));
+    const JsonValue* spans = trace->Find("spans");
+    SURFER_RETURN_IF_ERROR(Expect(spans != nullptr && spans->is_array(),
+                                  "trace.spans missing"));
+    for (const JsonValue& span : spans->as_array()) {
+      const JsonValue* clock = span.Find("clock");
+      SURFER_RETURN_IF_ERROR(Expect(
+          clock != nullptr && clock->is_string() &&
+              (clock->as_string() == "wall" ||
+               clock->as_string() == "simulated"),
+          "trace.spans[].clock must be 'wall' or 'simulated'"));
+      SURFER_RETURN_IF_ERROR(RequireNumber(span, "count"));
+      SURFER_RETURN_IF_ERROR(RequireNumber(span, "total_s"));
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteRunReport(const std::string& path, const JsonValue& report) {
+  std::error_code ec;
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+    if (ec) {
+      return Status::IOError("cannot create directory for " + path + ": " +
+                             ec.message());
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open run report " + path);
+  }
+  out << report.Write(/*indent=*/2) << "\n";
+  out.close();
+  if (!out.good()) {
+    return Status::IOError("failed writing run report " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace surfer

@@ -1,0 +1,54 @@
+#ifndef SURFER_OBS_RUN_REPORT_H_
+#define SURFER_OBS_RUN_REPORT_H_
+
+#include <string>
+
+#include "cluster/metrics.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace surfer {
+namespace obs {
+
+/// Version of the run-report JSON schema documented in DESIGN.md
+/// ("Observability"). Bump when a field is renamed or removed; adding
+/// fields is backwards compatible.
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// Identity block of a run report.
+struct RunReportOptions {
+  std::string name;   ///< producing target, e.g. "bench_fig11_scalability"
+  std::string notes;  ///< free-form context (parameters, graph size, ...)
+};
+
+/// Serializes one run into the stable report schema. Any of `run`,
+/// `registry`, `tracer` may be null; the corresponding section is omitted.
+JsonValue BuildRunReport(const RunReportOptions& options,
+                         const RunMetrics* run,
+                         const MetricsRegistry* registry,
+                         const Tracer* tracer);
+
+/// The paper's four headline quantities plus per-stage breakdown and the
+/// task-seconds summary, as one JSON object (the report's "run" section).
+JsonValue RunMetricsToJson(const RunMetrics& metrics);
+
+/// Folds a ThreadPool's counters and latency histograms into `registry`
+/// under threadpool_* metric names.
+void ExportThreadPoolStats(const ThreadPoolStats& stats,
+                           MetricsRegistry* registry);
+
+/// Structural schema check used by tests and by downstream artifact loaders
+/// (the BENCH_*.json trajectory): required keys present with the right
+/// types.
+Status ValidateRunReport(const JsonValue& report);
+
+/// Writes `report` to `path` (pretty-printed), creating parent directories.
+Status WriteRunReport(const std::string& path, const JsonValue& report);
+
+}  // namespace obs
+}  // namespace surfer
+
+#endif  // SURFER_OBS_RUN_REPORT_H_

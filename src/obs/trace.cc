@@ -1,0 +1,182 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <map>
+
+namespace surfer {
+namespace obs {
+
+namespace {
+
+constexpr int kWallPid = 1;
+constexpr int kSimulatedPid = 2;
+
+int PidFor(TraceClock clock) {
+  return clock == TraceClock::kWall ? kWallPid : kSimulatedPid;
+}
+
+}  // namespace
+
+Tracer::Tracer() : origin_(std::chrono::steady_clock::now()) {}
+
+double Tracer::WallNowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+uint32_t Tracer::CurrentThreadLane() {
+  static std::atomic<uint32_t> next_lane{0};
+  thread_local const uint32_t lane =
+      next_lane.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+void Tracer::RecordComplete(
+    TraceClock clock, std::string name, std::string category, double ts_us,
+    double dur_us, uint32_t tid,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if constexpr (!CompiledIn()) {
+    return;
+  }
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'X';
+  event.clock = clock;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = tid;
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::RecordInstant(
+    TraceClock clock, std::string name, std::string category, double ts_us,
+    uint32_t tid, std::vector<std::pair<std::string, std::string>> args) {
+  if constexpr (!CompiledIn()) {
+    return;
+  }
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'i';
+  event.clock = clock;
+  event.ts_us = ts_us;
+  event.tid = tid;
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<SpanStat> Tracer::SpanSummary() const {
+  std::map<std::pair<int, std::string>, SpanStat> by_name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const TraceEvent& event : events_) {
+      if (event.phase != 'X') {
+        continue;
+      }
+      SpanStat& stat = by_name[{PidFor(event.clock), event.name}];
+      if (stat.count == 0) {
+        stat.name = event.name;
+        stat.clock = event.clock;
+      }
+      ++stat.count;
+      stat.total_us += event.dur_us;
+      stat.max_us = std::max(stat.max_us, event.dur_us);
+    }
+  }
+  std::vector<SpanStat> stats;
+  stats.reserve(by_name.size());
+  for (auto& [key, stat] : by_name) {
+    stats.push_back(std::move(stat));
+  }
+  std::sort(stats.begin(), stats.end(), [](const SpanStat& a,
+                                           const SpanStat& b) {
+    return a.total_us > b.total_us;
+  });
+  return stats;
+}
+
+JsonValue Tracer::ToChromeJson() const {
+  JsonValue trace_events = JsonValue::MakeArray();
+  // Name the two clock-domain "processes" so Perfetto labels the tracks.
+  for (const auto& [pid, label] :
+       {std::pair<int, const char*>{kWallPid, "wall clock"},
+        std::pair<int, const char*>{kSimulatedPid, "simulated cluster"}}) {
+    JsonValue meta = JsonValue::MakeObject();
+    meta.Set("name", "process_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", pid);
+    meta.Set("tid", 0);
+    JsonValue args = JsonValue::MakeObject();
+    args.Set("name", label);
+    meta.Set("args", std::move(args));
+    trace_events.Append(std::move(meta));
+  }
+  for (const TraceEvent& event : Events()) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("name", event.name);
+    if (!event.category.empty()) {
+      entry.Set("cat", event.category);
+    }
+    entry.Set("ph", std::string(1, event.phase));
+    entry.Set("ts", event.ts_us);
+    if (event.phase == 'X') {
+      entry.Set("dur", event.dur_us);
+    }
+    entry.Set("pid", PidFor(event.clock));
+    entry.Set("tid", static_cast<uint64_t>(event.tid));
+    if (event.phase == 'i') {
+      entry.Set("s", "t");  // instant scoped to its thread lane
+    }
+    if (!event.args.empty()) {
+      JsonValue args = JsonValue::MakeObject();
+      for (const auto& [k, v] : event.args) {
+        args.Set(k, v);
+      }
+      entry.Set("args", std::move(args));
+    }
+    trace_events.Append(std::move(entry));
+  }
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("traceEvents", std::move(trace_events));
+  root.Set("displayTimeUnit", "ms");
+  return root;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open trace file " + path);
+  }
+  out << ToChromeJson().Write(/*indent=*/1);
+  out << "\n";
+  out.close();
+  if (!out.good()) {
+    return Status::IOError("failed writing trace file " + path);
+  }
+  return Status::OK();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+}  // namespace obs
+}  // namespace surfer

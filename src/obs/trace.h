@@ -1,0 +1,155 @@
+#ifndef SURFER_OBS_TRACE_H_
+#define SURFER_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+// Compiled in by default; -DSURFER_ENABLE_TRACING=OFF (CMake) defines this
+// to 0 and turns every recording call and SURFER_TRACE_SCOPE into a no-op.
+#ifndef SURFER_TRACING_ENABLED
+#define SURFER_TRACING_ENABLED 1
+#endif
+
+namespace surfer {
+namespace obs {
+
+/// Which clock a trace event's timestamps come from. Wall-clock events time
+/// the reproduction process itself (partitioning, per-iteration compute);
+/// simulated events replay the JobSimulation's analytic timeline (stages,
+/// tasks, faults). The two are exported as separate "processes" in the
+/// Chrome trace so they never visually interleave.
+enum class TraceClock {
+  kWall,
+  kSimulated,
+};
+
+/// One trace event, Chrome trace-event flavored.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';  ///< 'X' complete span, 'i' instant
+  TraceClock clock = TraceClock::kWall;
+  double ts_us = 0.0;   ///< event start, microseconds in `clock`
+  double dur_us = 0.0;  ///< span duration ('X' only)
+  uint32_t tid = 0;     ///< lane: machine id (simulated) / thread (wall)
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Aggregate of all complete spans sharing a name (for run reports).
+struct SpanStat {
+  std::string name;
+  TraceClock clock = TraceClock::kWall;
+  uint64_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Thread-safe in-memory trace buffer. Records spans against wall or
+/// simulated clocks and exports Chrome trace-event JSON loadable in
+/// chrome://tracing or Perfetto. All recording is a no-op when tracing is
+/// compiled out.
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// False when SURFER_ENABLE_TRACING=OFF; recording calls then do nothing.
+  static constexpr bool CompiledIn() { return SURFER_TRACING_ENABLED != 0; }
+
+  /// Microseconds of wall clock elapsed since this tracer was constructed.
+  double WallNowUs() const;
+
+  /// Lane id for the calling thread (stable small integer per thread).
+  static uint32_t CurrentThreadLane();
+
+  void RecordComplete(
+      TraceClock clock, std::string name, std::string category, double ts_us,
+      double dur_us, uint32_t tid,
+      std::vector<std::pair<std::string, std::string>> args = {});
+
+  void RecordInstant(
+      TraceClock clock, std::string name, std::string category, double ts_us,
+      uint32_t tid,
+      std::vector<std::pair<std::string, std::string>> args = {});
+
+  size_t num_events() const;
+  std::vector<TraceEvent> Events() const;
+
+  /// Complete spans aggregated by (clock, name), sorted by descending total
+  /// time.
+  std::vector<SpanStat> SpanSummary() const;
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} with process-name
+  /// metadata rows for the wall and simulated clock domains.
+  JsonValue ToChromeJson() const;
+
+  /// Writes ToChromeJson() to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// RAII wall-clock span: records a complete event on destruction. A null
+/// tracer (or tracing compiled out) makes it a no-op, so call sites never
+/// need their own guards.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string name, std::string category = "",
+             std::vector<std::pair<std::string, std::string>> args = {})
+      : tracer_(SURFER_TRACING_ENABLED ? tracer : nullptr),
+        name_(std::move(name)),
+        category_(std::move(category)),
+        args_(std::move(args)),
+        start_us_(tracer_ != nullptr ? tracer_->WallNowUs() : 0.0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->RecordComplete(TraceClock::kWall, std::move(name_),
+                              std::move(category_), start_us_,
+                              tracer_->WallNowUs() - start_us_,
+                              Tracer::CurrentThreadLane(), std::move(args_));
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  std::string category_;
+  std::vector<std::pair<std::string, std::string>> args_;
+  double start_us_;
+};
+
+}  // namespace obs
+}  // namespace surfer
+
+// Declares a wall-clock span covering the rest of the enclosing scope.
+#define SURFER_TRACE_CONCAT_INNER_(a, b) a##b
+#define SURFER_TRACE_CONCAT_(a, b) SURFER_TRACE_CONCAT_INNER_(a, b)
+#if SURFER_TRACING_ENABLED
+#define SURFER_TRACE_SCOPE(tracer, name, category)                       \
+  ::surfer::obs::ScopedSpan SURFER_TRACE_CONCAT_(_surfer_trace_scope_,   \
+                                                 __LINE__)(tracer, name, \
+                                                           category)
+#else
+#define SURFER_TRACE_SCOPE(tracer, name, category) \
+  do {                                             \
+  } while (false)
+#endif
+
+#endif  // SURFER_OBS_TRACE_H_

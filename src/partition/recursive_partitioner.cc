@@ -1,8 +1,13 @@
 #include "partition/recursive_partitioner.h"
 
+#include <chrono>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace surfer {
 
@@ -65,8 +70,40 @@ void PartitionNode(RecursionState& state, std::vector<VertexId> vertices,
       ExtractSubgraph(*state.working, vertices, &state.global_to_local);
   BisectionOptions bisect_options = state.options->bisection;
   bisect_options.seed = state.options->bisection.seed * 2654435761ULL + node;
+  // The bisection tree level: the root split of node 1 is level 0.
+  uint32_t level = 0;
+  for (uint32_t n = node; n > 1; n >>= 1) {
+    ++level;
+  }
+  obs::Tracer* tracer = state.options->tracer;
+  obs::MetricsRegistry* metrics = state.options->metrics;
+  const bool timed = tracer != nullptr || metrics != nullptr;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const double trace_start_us = tracer != nullptr ? tracer->WallNowUs() : 0.0;
   const BisectionResult result = Bisect(sub, bisect_options);
+  const double elapsed_s =
+      timed ? std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            wall_start)
+                  .count()
+            : 0.0;
   state.sketch->SetBisectionCut(node, result.cut_weight);
+  if (tracer != nullptr) {
+    tracer->RecordComplete(
+        obs::TraceClock::kWall, "bisect[node=" + std::to_string(node) + "]",
+        "partition", trace_start_us, elapsed_s * 1e6,
+        obs::Tracer::CurrentThreadLane(),
+        {{"level", std::to_string(level)},
+         {"vertices", std::to_string(vertices.size())},
+         {"cut", std::to_string(result.cut_weight)}});
+  }
+  if (metrics != nullptr) {
+    const obs::Labels level_label = {{"level", std::to_string(level)}};
+    metrics->CounterRef("partition_bisections_total").Increment();
+    metrics->GaugeRef("partition_edge_cut", level_label)
+        .Add(static_cast<double>(result.cut_weight));
+    metrics->HistogramRef("partition_bisection_seconds", level_label)
+        .Observe(elapsed_s);
+  }
 
   std::vector<VertexId> left;
   std::vector<VertexId> right;

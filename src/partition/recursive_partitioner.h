@@ -11,6 +11,11 @@
 
 namespace surfer {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
 /// Options for the P-way multilevel recursive-bisection partitioner (the
 /// algorithm family of Metis/ParMetis, Appendix A.2).
 struct RecursivePartitionerOptions {
@@ -18,6 +23,12 @@ struct RecursivePartitionerOptions {
   /// balanced binary tree).
   uint32_t num_partitions = 16;
   BisectionOptions bisection;
+  /// Optional observability hooks (not owned; may be null). The tracer gets
+  /// one wall-clock span per bisection (category "partition", args level /
+  /// vertices / cut); the registry gets partition_* counters, per-level
+  /// partition_edge_cut gauges, and partition_bisection_seconds histograms.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The result: the assignment plus the partition sketch annotated with the

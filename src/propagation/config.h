@@ -6,6 +6,11 @@
 
 namespace surfer {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
 /// The optimization levels evaluated in Section 6.3. The storage-layout half
 /// (O2/O4 vs O1/O3) is chosen by the *placement* passed to the runner; the
 /// local-optimization half (O3/O4 vs O1/O2) by these flags.
@@ -49,12 +54,48 @@ struct PropagationConfig {
   /// exceeding it degrades the task to random disk I/O (P2). Zero disables
   /// the check.
   uint64_t memory_limit_bytes = 0;
+  /// Optional observability hooks (not owned; may be null). The tracer gets
+  /// wall-clock spans per iteration; the registry gets propagation_*
+  /// counters. Pass the same pointers via JobSimulationOptions to also
+  /// capture the simulated-clock side of the run.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 
   static PropagationConfig ForLevel(OptimizationLevel level) {
     PropagationConfig config;
     config.local_propagation = UsesLocalOptimizations(level);
     config.local_combination = UsesLocalOptimizations(level);
     return config;
+  }
+};
+
+/// Message-routing counters of one propagation run, accumulated across
+/// iterations. These count *messages* (not bytes) at the point the
+/// optimization decision is made, so they diagnose the Section 5 levels
+/// directly:
+///   emitted == locally_propagated + locally_combined + materialized
+/// and network <= materialized (every network message also spills once as a
+/// send buffer). Cascaded elision changes byte accounting only and leaves
+/// these counts untouched.
+struct PropagationCounters {
+  /// Messages produced by Transfer (real + virtual targets).
+  uint64_t messages_emitted = 0;
+  /// Inner-vertex messages applied in memory by local propagation.
+  uint64_t messages_locally_propagated = 0;
+  /// Messages merged away by local combination before materialization.
+  uint64_t messages_locally_combined = 0;
+  /// Messages spilled to disk (boundary-local, unoptimized inner-local, and
+  /// every cross-partition send buffer).
+  uint64_t messages_materialized = 0;
+  /// Messages that crossed a machine boundary.
+  uint64_t messages_network = 0;
+
+  void MergeFrom(const PropagationCounters& other) {
+    messages_emitted += other.messages_emitted;
+    messages_locally_propagated += other.messages_locally_propagated;
+    messages_locally_combined += other.messages_locally_combined;
+    messages_materialized += other.messages_materialized;
+    messages_network += other.messages_network;
   }
 };
 

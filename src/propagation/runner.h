@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <unordered_map>
@@ -16,6 +17,8 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "engine/job_simulation.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "propagation/app_traits.h"
 #include "propagation/cascade.h"
 #include "propagation/config.h"
@@ -89,21 +92,30 @@ class PropagationRunner {
     SURFER_RETURN_IF_ERROR(Validate());
     InitializeStates();
     virtual_outputs_.clear();
+    counters_ = PropagationCounters{};
     if (config_.cascaded && config_.iterations > 1) {
       cascade_ = ComputeCascadeInfo(*graph_);
     } else {
       cascade_ = CascadeInfo{};
     }
     for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+      SURFER_TRACE_SCOPE(config_.tracer,
+                         "iteration[" + std::to_string(iteration) + "]",
+                         "propagation");
       if constexpr (IterationAwareApp<App>) {
         app_.OnIterationStart(iteration);
       }
       SURFER_RETURN_IF_ERROR(RunIteration(sim, iteration));
     }
+    PublishCounters();
     return Status::OK();
   }
 
   const std::vector<VertexState>& states() const { return states_; }
+
+  /// Message-routing counters of the last Run/RunWith (see
+  /// PropagationCounters for the invariants they satisfy).
+  const PropagationCounters& counters() const { return counters_; }
 
   /// State of a vertex addressed by its *original* (pre-encoding) ID.
   const VertexState& StateOfOriginal(VertexId original) const {
@@ -190,6 +202,7 @@ class PropagationRunner {
     double skipped_state_bytes = 0.0;   // cascaded elision: states
     double skipped_record_bytes = 0.0;  // cascaded elision: adjacency records
     uint64_t skipped_vertices = 0;
+    PropagationCounters counters;
   };
 
   Status RunIteration(JobSimulation* sim, int iteration) {
@@ -201,6 +214,11 @@ class PropagationRunner {
     std::vector<PartitionOut> outs(num_partitions);
     std::vector<SimTask> transfer_tasks(num_partitions);
 
+    // std::optional so the wall-clock span can close right after the
+    // parallel compute, before the simulated stage runs.
+    std::optional<obs::ScopedSpan> transfer_span(
+        std::in_place, config_.tracer,
+        "transfer_compute[" + std::to_string(iteration) + "]", "propagation");
     GlobalThreadPool().ParallelFor(num_partitions, [&](size_t pi) {
       const PartitionId p = static_cast<PartitionId>(pi);
       const PartitionMeta& meta = graph_->partition(p);
@@ -231,6 +249,7 @@ class PropagationRunner {
           const double bytes =
               static_cast<double>(app_.MessageBytes(message));
           out.emitted_bytes += bytes;
+          ++out.counters.messages_emitted;
           const PartitionId pt = graph_->PartitionOf(target);
           if (pt == p) {
             if (merge_remote) {
@@ -240,14 +259,21 @@ class PropagationRunner {
                   local_merged.emplace(target, std::move(message));
                 } else {
                   it->second = app_.Merge(it->second, message);
+                  ++out.counters.messages_locally_combined;
                 }
               }
             } else {
               const bool inner = meta.boundary[target - meta.begin] == 0;
               if (inner) {
                 out.inner_local_bytes += bytes;
+                if (config_.local_propagation) {
+                  ++out.counters.messages_locally_propagated;
+                } else {
+                  ++out.counters.messages_materialized;
+                }
               } else {
                 out.boundary_local_bytes += bytes;
+                ++out.counters.messages_materialized;
               }
               out.local.emplace_back(target, std::move(message));
             }
@@ -259,6 +285,7 @@ class PropagationRunner {
                 bucket.emplace(target, std::move(message));
               } else {
                 it->second = app_.Merge(it->second, message);
+                ++out.counters.messages_locally_combined;
               }
             }
           } else {
@@ -269,6 +296,7 @@ class PropagationRunner {
           const double bytes =
               static_cast<double>(app_.MessageBytes(message));
           out.emitted_bytes += bytes;
+          ++out.counters.messages_emitted;
           const PartitionId pt =
               static_cast<PartitionId>(target % num_partitions);
           if (merge_remote) {
@@ -279,6 +307,7 @@ class PropagationRunner {
                 bucket.emplace(target, std::move(message));
               } else {
                 it->second = app_.Merge(it->second, message);
+                ++out.counters.messages_locally_combined;
               }
             }
           } else {
@@ -294,8 +323,14 @@ class PropagationRunner {
               static_cast<double>(app_.MessageBytes(message));
           if (meta.boundary[target - meta.begin] == 0) {
             out.inner_local_bytes += bytes;
+            if (config_.local_propagation) {
+              ++out.counters.messages_locally_propagated;
+            } else {
+              ++out.counters.messages_materialized;
+            }
           } else {
             out.boundary_local_bytes += bytes;
+            ++out.counters.messages_materialized;
           }
           out.local.emplace_back(target, std::move(message));
         }
@@ -335,15 +370,18 @@ class PropagationRunner {
 
       // Cross-partition traffic, merged or raw.
       const MachineId my_machine = placement_->primary(p);
-      auto price_destination = [&](PartitionId dst, double bytes) {
+      auto price_destination = [&](PartitionId dst, double bytes,
+                                   uint64_t num_messages) {
         const MachineId dst_machine = placement_->primary(dst);
         // Either way the bytes spill once on this machine: as the final
         // intermediate for a co-located destination, or as the send buffer
         // for a remote one (which additionally pays the wire and a receive
         // spill on the destination).
         cost.disk_write_bytes += bytes;
+        out.counters.messages_materialized += num_messages;
         if (dst_machine != my_machine) {
           cost.AddNetwork(dst_machine, bytes);
+          out.counters.messages_network += num_messages;
         }
       };
       for (const auto& [dst, messages] : out.remote_list) {
@@ -352,7 +390,7 @@ class PropagationRunner {
           (void)target;
           bytes += static_cast<double>(app_.MessageBytes(message));
         }
-        price_destination(dst, bytes);
+        price_destination(dst, bytes, messages.size());
       }
       for (const auto& [dst, merged] : out.remote_merged) {
         double bytes = 0.0;
@@ -360,7 +398,7 @@ class PropagationRunner {
           (void)target;
           bytes += static_cast<double>(app_.MessageBytes(message));
         }
-        price_destination(dst, bytes);
+        price_destination(dst, bytes, merged.size());
       }
       for (const auto& [dst, messages] : out.virtual_list) {
         double bytes = 0.0;
@@ -370,8 +408,9 @@ class PropagationRunner {
         }
         if (dst == p) {
           cost.disk_write_bytes += bytes;
+          out.counters.messages_materialized += messages.size();
         } else {
-          price_destination(dst, bytes);
+          price_destination(dst, bytes, messages.size());
         }
       }
       for (const auto& [dst, merged] : out.virtual_merged) {
@@ -382,8 +421,9 @@ class PropagationRunner {
         }
         if (dst == p) {
           cost.disk_write_bytes += bytes;
+          out.counters.messages_materialized += merged.size();
         } else {
-          price_destination(dst, bytes);
+          price_destination(dst, bytes, merged.size());
         }
       }
       if (config_.memory_limit_bytes > 0) {
@@ -394,6 +434,11 @@ class PropagationRunner {
             working_set > static_cast<double>(config_.memory_limit_bytes);
       }
     });
+
+    transfer_span.reset();
+    for (const PartitionOut& out : outs) {
+      counters_.MergeFrom(out.counters);
+    }
 
     SURFER_RETURN_IF_ERROR(
         sim->RunStage("transfer[" + std::to_string(iteration) + "]",
@@ -470,6 +515,9 @@ class PropagationRunner {
     std::vector<std::vector<std::pair<uint64_t, VirtualOutput>>>
         virtual_results(num_partitions);
 
+    std::optional<obs::ScopedSpan> combine_span(
+        std::in_place, config_.tracer,
+        "combine_compute[" + std::to_string(iteration) + "]", "propagation");
     GlobalThreadPool().ParallelFor(num_partitions, [&](size_t pi) {
       const PartitionId p = static_cast<PartitionId>(pi);
       const PartitionMeta& meta = graph_->partition(p);
@@ -550,6 +598,8 @@ class PropagationRunner {
       }
     });
 
+    combine_span.reset();
+
     // Merge virtual outputs deterministically.
     if constexpr (VirtualVertexApp<App>) {
       for (auto& per_partition : virtual_results) {
@@ -566,6 +616,29 @@ class PropagationRunner {
     return Status::OK();
   }
 
+  /// Publishes the run's message-routing counters to the configured
+  /// registry (no-op without one). Counters accumulate across runs; the
+  /// per-run values stay available via counters().
+  void PublishCounters() {
+    obs::MetricsRegistry* metrics = config_.metrics;
+    if (metrics == nullptr) {
+      return;
+    }
+    metrics->CounterRef("propagation_runs_total").Increment();
+    metrics->CounterRef("propagation_iterations_total")
+        .Increment(static_cast<uint64_t>(config_.iterations));
+    metrics->CounterRef("propagation_messages_emitted")
+        .Increment(counters_.messages_emitted);
+    metrics->CounterRef("propagation_messages_locally_propagated")
+        .Increment(counters_.messages_locally_propagated);
+    metrics->CounterRef("propagation_messages_locally_combined")
+        .Increment(counters_.messages_locally_combined);
+    metrics->CounterRef("propagation_messages_materialized")
+        .Increment(counters_.messages_materialized);
+    metrics->CounterRef("propagation_messages_network")
+        .Increment(counters_.messages_network);
+  }
+
   const PartitionedGraph* graph_;
   const ReplicatedPlacement* placement_;
   const Topology* topology_;
@@ -575,6 +648,7 @@ class PropagationRunner {
   std::vector<VertexState> states_;
   std::map<uint64_t, VirtualOutput> virtual_outputs_;
   CascadeInfo cascade_;
+  PropagationCounters counters_;
 };
 
 }  // namespace surfer

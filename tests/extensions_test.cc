@@ -6,6 +6,8 @@
 
 #include "apps/network_ranking.h"
 #include "graph/algorithms.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "propagation/runner.h"
 #include "tests/test_fixtures.h"
 
@@ -148,6 +150,60 @@ TEST(ReplicaRoutingTest, PinnedTasksStaySerial) {
   auto stage = sim.RunStage("pinned", tasks);
   ASSERT_TRUE(stage.ok());
   EXPECT_NEAR(stage->duration_s, 4.0, 1e-9);
+}
+
+TEST(FaultObservabilityTest, TraceCarriesFaultInstantsAndRetriedTasks) {
+  const EngineFixture& f = Fixture();
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  setup.sim_options.tracer = &tracer;
+  setup.sim_options.metrics = &registry;
+  JobSimulation sim(setup.topology, setup.sim_options);
+  sim.InjectFault({.machine = 2, .fail_at_s = 1.0});
+  sim.InjectFault({.machine = 5, .fail_at_s = 3.0});
+
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationConfig config;
+  config.iterations = 3;
+  config.tracer = &tracer;
+  config.metrics = &registry;
+  PropagationRunner<NetworkRankingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.RunWith(&sim).ok());
+
+  EXPECT_EQ(registry.CounterRef("sim_machine_failures_total").value(), 2u);
+  EXPECT_GT(registry.CounterRef("sim_tasks_reexecuted_total").value(), 0u);
+  size_t reexecuted = 0;
+  for (const StageMetrics& stage : sim.metrics().stages) {
+    reexecuted += stage.num_reexecuted_tasks;
+  }
+  EXPECT_EQ(registry.CounterRef("sim_tasks_reexecuted_total").value(),
+            reexecuted);
+
+  if (obs::Tracer::CompiledIn()) {
+    size_t failures = 0;
+    size_t detections = 0;
+    size_t retried_spans = 0;
+    for (const obs::TraceEvent& event : tracer.Events()) {
+      if (event.name == "machine_failed") {
+        ++failures;
+        EXPECT_EQ(event.phase, 'i');
+        EXPECT_EQ(event.clock, obs::TraceClock::kSimulated);
+      } else if (event.name == "fault_detected") {
+        ++detections;
+      } else if (event.phase == 'X') {
+        for (const auto& [key, value] : event.args) {
+          if (key == "retry" && value == "true") {
+            ++retried_spans;
+          }
+        }
+      }
+    }
+    EXPECT_EQ(failures, 2u);
+    EXPECT_EQ(detections, 2u);
+    EXPECT_EQ(retried_spans, reexecuted);
+  }
 }
 
 }  // namespace

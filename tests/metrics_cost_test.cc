@@ -3,6 +3,7 @@
 #include "cluster/cost_model.h"
 #include "cluster/metrics.h"
 #include "cluster/topology.h"
+#include "common/histogram.h"
 
 namespace surfer {
 namespace {
@@ -50,6 +51,107 @@ TEST(TimeSeriesTest, RatesDivideByWidth) {
   const auto rates = ts.Rates();
   ASSERT_EQ(rates.size(), 1u);
   EXPECT_DOUBLE_EQ(rates[0], 5.0);
+}
+
+TEST(TimeSeriesTest, SpanWithinOneBucketLandsThereEntirely) {
+  TimeSeries ts(1.0);
+  ts.AddSpan(3.2, 3.7, 8.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(3.5), 8.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(2.5), 0.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(4.5), 0.0);
+}
+
+TEST(TimeSeriesTest, AsymmetricPartialBucketsSplitByOverlap) {
+  // [0.75, 3.5) over 1 s buckets: overlaps are 0.25, 1, 1, 0.5 of the
+  // 2.75 s span — the smeared mass must follow those fractions exactly.
+  TimeSeries ts(1.0);
+  ts.AddSpan(0.75, 3.5, 27.5);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(1.5), 10.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(2.5), 10.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(3.5), 5.0);
+}
+
+TEST(TimeSeriesTest, OverlappingSpansAccumulate) {
+  TimeSeries ts(1.0);
+  ts.AddSpan(0.0, 2.0, 2.0);
+  ts.AddSpan(1.0, 3.0, 4.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(1.5), 3.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(2.5), 2.0);
+}
+
+// ------------------------------------------------------------- Histogram
+
+TEST(HistogramEdgeTest, EmptyPercentilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramEdgeTest, SingleValueCollapsesAllPercentiles) {
+  Histogram h;
+  h.Add(3.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 3.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.9), 3.5);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.5);
+  EXPECT_DOUBLE_EQ(h.StdDev(), 0.0);
+}
+
+TEST(HistogramEdgeTest, PercentilesClampToObservedRange) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    h.Add(v);
+  }
+  EXPECT_GE(h.Percentile(0.0), h.min());
+  EXPECT_LE(h.Percentile(100.0), h.max());
+  EXPECT_LE(h.Percentile(50.0), h.Percentile(90.0));
+  EXPECT_LE(h.Percentile(90.0), h.Percentile(99.0));
+}
+
+TEST(HistogramEdgeTest, MergeIntoEmptyEqualsCopy) {
+  Histogram a;
+  a.Add(1.0);
+  a.Add(10.0);
+  Histogram empty;
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 10.0);
+  EXPECT_DOUBLE_EQ(empty.sum(), 11.0);
+  // Merging an empty histogram changes nothing.
+  a.Merge(Histogram{});
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(HistogramEdgeTest, CrossBucketMergeMatchesCombinedAdds) {
+  // One histogram holds small values, the other holds values dozens of log2
+  // buckets away; the merge must agree with adding everything to one.
+  Histogram small;
+  Histogram large;
+  Histogram combined;
+  for (double v : {0.001, 0.002, 0.004}) {
+    small.Add(v);
+    combined.Add(v);
+  }
+  for (double v : {1e6, 2e6, 4e6}) {
+    large.Add(v);
+    combined.Add(v);
+  }
+  small.Merge(large);
+  EXPECT_EQ(small.count(), combined.count());
+  EXPECT_DOUBLE_EQ(small.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(small.min(), combined.min());
+  EXPECT_DOUBLE_EQ(small.max(), combined.max());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(small.Percentile(p), combined.Percentile(p)) << p;
+  }
 }
 
 // -------------------------------------------------------------- TaskCost

@@ -1,0 +1,419 @@
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/log_capture.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "graph/generators.h"
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "partition/recursive_partitioner.h"
+
+namespace surfer {
+namespace obs {
+namespace {
+
+// ------------------------------------------------------------------ JSON
+
+TEST(JsonTest, WritesPrimitives) {
+  EXPECT_EQ(JsonValue().Write(), "null");
+  EXPECT_EQ(JsonValue(true).Write(), "true");
+  EXPECT_EQ(JsonValue(false).Write(), "false");
+  EXPECT_EQ(JsonValue(42).Write(), "42");
+  EXPECT_EQ(JsonValue(-1.5).Write(), "-1.5");
+  EXPECT_EQ(JsonValue("hi").Write(), "\"hi\"");
+}
+
+TEST(JsonTest, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(JsonValue(uint64_t{1234567}).Write(), "1234567");
+  EXPECT_EQ(JsonValue(0).Write(), "0");
+}
+
+TEST(JsonTest, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(JsonValue("a\"b\\c\n").Write(), "\"a\\\"b\\\\c\\n\"");
+  const std::string written = JsonValue(std::string("\x01", 1)).Write();
+  EXPECT_EQ(written, "\"\\u0001\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("zebra", 1);
+  obj.Set("alpha", 2);
+  EXPECT_EQ(obj.Write(), "{\"zebra\":1,\"alpha\":2}");
+  ASSERT_NE(obj.Find("alpha"), nullptr);
+  EXPECT_EQ(obj.Find("alpha")->as_number(), 2.0);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("name", "run");
+  obj.Set("ok", true);
+  obj.Set("nothing", nullptr);
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(1);
+  arr.Append(2.5);
+  arr.Append("three");
+  obj.Set("values", std::move(arr));
+  const std::string text = obj.Write(/*indent=*/2);
+
+  auto parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Write(), obj.Write());
+  EXPECT_EQ(parsed->Find("values")->as_array()[2].as_string(), "three");
+}
+
+TEST(JsonTest, ParseHandlesEscapesAndNumbers) {
+  auto parsed = ParseJson(R"({"s":"a\u0041\n","n":-1.25e2})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("s")->as_string(), "aA\n");
+  EXPECT_EQ(parsed->Find("n")->as_number(), -125.0);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+}
+
+// ------------------------------------------------------- MetricsRegistry
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry registry;
+  registry.CounterRef("events").Increment();
+  registry.CounterRef("events").Increment(4);
+  EXPECT_EQ(registry.CounterRef("events").value(), 5u);
+}
+
+TEST(MetricsRegistryTest, LabelsIdentifyDistinctSeries) {
+  MetricsRegistry registry;
+  registry.CounterRef("cut", {{"level", "0"}}).Increment(10);
+  registry.CounterRef("cut", {{"level", "1"}}).Increment(20);
+  EXPECT_EQ(registry.CounterRef("cut", {{"level", "0"}}).value(), 10u);
+  EXPECT_EQ(registry.CounterRef("cut", {{"level", "1"}}).value(), 20u);
+  EXPECT_EQ(registry.Snapshot().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  registry.GaugeRef("depth").Set(3.0);
+  registry.GaugeRef("depth").Add(1.5);
+  EXPECT_DOUBLE_EQ(registry.GaugeRef("depth").value(), 4.5);
+}
+
+TEST(MetricsRegistryTest, HistogramObservesAndSnapshots) {
+  MetricsRegistry registry;
+  auto& h = registry.HistogramRef("latency");
+  h.Observe(1.0);
+  h.Observe(2.0);
+  h.Observe(3.0);
+  const Histogram snapshot = h.Snapshot();
+  EXPECT_EQ(snapshot.count(), 3u);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), 2.0);
+}
+
+TEST(MetricsRegistryTest, RefsAreStableUnderConcurrentUpdates) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      auto& counter = registry.CounterRef("shared");
+      for (int i = 0; i < kIncrements; ++i) {
+        counter.Increment();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(registry.CounterRef("shared").value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndTyped) {
+  MetricsRegistry registry;
+  registry.GaugeRef("b_gauge").Set(1.0);
+  registry.CounterRef("a_counter").Increment();
+  registry.HistogramRef("c_hist").Observe(2.0);
+  const auto samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a_counter");
+  EXPECT_EQ(samples[0].kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(samples[1].name, "b_gauge");
+  EXPECT_EQ(samples[1].kind, MetricSample::Kind::kGauge);
+  EXPECT_EQ(samples[2].name, "c_hist");
+  EXPECT_EQ(samples[2].kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(samples[2].histogram.count(), 1u);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry.CounterRef("messages_total", {{"kind", "real"}}).Increment(7);
+  registry.GaugeRef("clock_seconds").Set(1.5);
+  registry.HistogramRef("task_seconds").Observe(0.25);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE messages_total counter"), std::string::npos);
+  EXPECT_NE(text.find("messages_total{kind=\"real\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE clock_seconds gauge"), std::string::npos);
+  EXPECT_NE(text.find("clock_seconds 1.5"), std::string::npos);
+  EXPECT_NE(text.find("task_seconds_count"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ToJsonSectionsParse) {
+  MetricsRegistry registry;
+  registry.CounterRef("n").Increment(3);
+  registry.HistogramRef("h").Observe(1.0);
+  auto parsed = ParseJson(registry.ToJson().Write());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_NE(parsed->Find("counters"), nullptr);
+  ASSERT_NE(parsed->Find("gauges"), nullptr);
+  ASSERT_NE(parsed->Find("histograms"), nullptr);
+  const auto& counters = parsed->Find("counters")->as_array();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].Find("name")->as_string(), "n");
+  EXPECT_EQ(counters[0].Find("value")->as_number(), 3.0);
+}
+
+TEST(MetricsRegistryTest, ClearDropsEverything) {
+  MetricsRegistry registry;
+  registry.CounterRef("x").Increment();
+  registry.Clear();
+  EXPECT_TRUE(registry.Snapshot().empty());
+  EXPECT_EQ(registry.CounterRef("x").value(), 0u);
+}
+
+// ---------------------------------------------------------------- Tracer
+
+TEST(TracerTest, RecordsCompleteAndInstantEvents) {
+  Tracer tracer;
+  tracer.RecordComplete(TraceClock::kSimulated, "stage", "sim", 0.0, 100.0, 0);
+  tracer.RecordInstant(TraceClock::kSimulated, "fault", "sim", 50.0, 1);
+  if (!Tracer::CompiledIn()) {
+    EXPECT_EQ(tracer.num_events(), 0u);
+    return;
+  }
+  ASSERT_EQ(tracer.num_events(), 2u);
+  const auto events = tracer.Events();
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[1].phase, 'i');
+}
+
+TEST(TracerTest, SpanSummaryAggregatesByNameAndSortsByTotal) {
+  if (!Tracer::CompiledIn()) {
+    GTEST_SKIP() << "tracing compiled out";
+  }
+  Tracer tracer;
+  tracer.RecordComplete(TraceClock::kWall, "small", "", 0.0, 10.0, 0);
+  tracer.RecordComplete(TraceClock::kWall, "big", "", 0.0, 100.0, 0);
+  tracer.RecordComplete(TraceClock::kWall, "big", "", 200.0, 50.0, 0);
+  const auto summary = tracer.SpanSummary();
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_EQ(summary[0].name, "big");
+  EXPECT_EQ(summary[0].count, 2u);
+  EXPECT_DOUBLE_EQ(summary[0].total_us, 150.0);
+  EXPECT_DOUBLE_EQ(summary[0].max_us, 100.0);
+  EXPECT_EQ(summary[1].name, "small");
+}
+
+TEST(TracerTest, ChromeJsonHasEventsAndProcessMetadata) {
+  if (!Tracer::CompiledIn()) {
+    GTEST_SKIP() << "tracing compiled out";
+  }
+  Tracer tracer;
+  tracer.RecordComplete(TraceClock::kWall, "compute", "cat", 1.0, 2.0, 3,
+                        {{"k", "v"}});
+  tracer.RecordInstant(TraceClock::kSimulated, "fault", "sim", 4.0, 5);
+  auto parsed = ParseJson(tracer.ToChromeJson().Write());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Two metadata rows (process names) + the two recorded events.
+  ASSERT_EQ(events->as_array().size(), 4u);
+  size_t metadata = 0;
+  size_t complete = 0;
+  size_t instants = 0;
+  for (const JsonValue& event : events->as_array()) {
+    const std::string phase = event.Find("ph")->as_string();
+    if (phase == "M") {
+      ++metadata;
+      EXPECT_EQ(event.Find("name")->as_string(), "process_name");
+    } else if (phase == "X") {
+      ++complete;
+      EXPECT_EQ(event.Find("dur")->as_number(), 2.0);
+      EXPECT_EQ(event.Find("args")->Find("k")->as_string(), "v");
+    } else if (phase == "i") {
+      ++instants;
+    }
+  }
+  EXPECT_EQ(metadata, 2u);
+  EXPECT_EQ(complete, 1u);
+  EXPECT_EQ(instants, 1u);
+}
+
+TEST(TracerTest, ScopedSpanIsNullSafeAndRecords) {
+  { ScopedSpan noop(nullptr, "nothing"); }
+  Tracer tracer;
+  {
+    ScopedSpan span(&tracer, "work", "test");
+    SURFER_TRACE_SCOPE(&tracer, "macro_work", "test");
+  }
+  if (Tracer::CompiledIn()) {
+    EXPECT_EQ(tracer.num_events(), 2u);
+  } else {
+    EXPECT_EQ(tracer.num_events(), 0u);
+  }
+}
+
+TEST(TracerTest, WriteChromeTraceProducesParsableFile) {
+  Tracer tracer;
+  tracer.RecordComplete(TraceClock::kWall, "span", "", 0.0, 1.0, 0);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "surfer_obs_test.trace.json")
+          .string();
+  ASSERT_TRUE(tracer.WriteChromeTrace(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto parsed = ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::filesystem::remove(path);
+}
+
+TEST(TracerTest, ClearResetsBuffer) {
+  Tracer tracer;
+  tracer.RecordComplete(TraceClock::kWall, "x", "", 0.0, 1.0, 0);
+  tracer.Clear();
+  EXPECT_EQ(tracer.num_events(), 0u);
+}
+
+// ---------------------------------------------------- log sink & capture
+
+TEST(LogSinkTest, SinkReceivesFormattedLines) {
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::string> lines;
+  LogSink previous = SetLogSink(
+      [&lines](LogLevel, const std::string& line) { lines.push_back(line); });
+  SURFER_LOG(kInfo) << "sink test message";
+  SetLogSink(std::move(previous));
+  SetLogLevel(LogLevel::kWarning);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("sink test message"), std::string::npos);
+  EXPECT_NE(lines[0].find("INFO"), std::string::npos);
+}
+
+TEST(LogSinkTest, ScopedLogCaptureCollectsAndRestores) {
+  {
+    ScopedLogCapture capture;
+    SURFER_LOG(kDebug) << "debug line";
+    SURFER_LOG(kWarning) << "warning line";
+    EXPECT_EQ(capture.size(), 2u);
+    EXPECT_TRUE(capture.Contains("warning line"));
+    EXPECT_FALSE(capture.Contains("absent"));
+    EXPECT_EQ(capture.CountAtLevel(LogLevel::kDebug), 1u);
+    EXPECT_EQ(capture.CountAtLevel(LogLevel::kWarning), 1u);
+    capture.Clear();
+    EXPECT_EQ(capture.size(), 0u);
+  }
+  // After the capture, the default level (kWarning) is restored, so a debug
+  // log is dropped rather than reaching a stale sink.
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST(LogSinkTest, CapturesRespectLevelFilter) {
+  ScopedLogCapture capture(LogLevel::kWarning);
+  SURFER_LOG(kInfo) << "filtered out";
+  SURFER_LOG(kError) << "kept";
+  EXPECT_EQ(capture.size(), 1u);
+  EXPECT_TRUE(capture.Contains("kept"));
+}
+
+// --------------------------------------------------- thread pool metrics
+
+TEST(ThreadPoolStatsTest, CountsSubmittedAndCompletedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 10);
+  const ThreadPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.tasks_submitted, 10u);
+  EXPECT_EQ(stats.tasks_completed, 10u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.task_run_seconds.count(), 10u);
+  EXPECT_EQ(stats.queue_wait_seconds.count(), 10u);
+}
+
+TEST(ThreadPoolStatsTest, ExportPublishesThreadpoolMetrics) {
+  ThreadPool pool(2);
+  pool.ParallelFor(16, [](size_t) {});
+  MetricsRegistry registry;
+  ExportThreadPoolStats(pool.stats(), &registry);
+  EXPECT_GT(registry.CounterRef("threadpool_tasks_submitted").value(), 0u);
+  EXPECT_EQ(registry.CounterRef("threadpool_tasks_submitted").value(),
+            registry.CounterRef("threadpool_tasks_completed").value());
+  EXPECT_GT(
+      registry.HistogramRef("threadpool_task_run_seconds").Snapshot().count(),
+      0u);
+}
+
+// ------------------------------------------------ partitioner instruments
+
+TEST(PartitionerObservabilityTest, BisectionsEmitSpansAndMetrics) {
+  SocialGraphOptions graph_options;
+  graph_options.num_vertices = 1 << 10;
+  graph_options.avg_out_degree = 6.0;
+  graph_options.num_communities = 4;
+  graph_options.seed = 7;
+  auto graph = GenerateSocialGraph(graph_options);
+  ASSERT_TRUE(graph.ok());
+
+  Tracer tracer;
+  MetricsRegistry registry;
+  RecursivePartitionerOptions options;
+  options.num_partitions = 8;
+  options.tracer = &tracer;
+  options.metrics = &registry;
+  auto result = RecursivePartition(*graph, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // 8 partitions -> 7 bisections across 3 levels.
+  EXPECT_EQ(registry.CounterRef("partition_bisections_total").value(), 7u);
+  for (int level = 0; level < 3; ++level) {
+    const Labels labels = {{"level", std::to_string(level)}};
+    EXPECT_EQ(
+        registry.HistogramRef("partition_bisection_seconds", labels)
+            .Snapshot()
+            .count(),
+        static_cast<size_t>(1) << level)
+        << "level " << level;
+    EXPECT_GE(registry.GaugeRef("partition_edge_cut", labels).value(), 0.0);
+  }
+  if (Tracer::CompiledIn()) {
+    EXPECT_EQ(tracer.num_events(), 7u);
+    for (const TraceEvent& event : tracer.Events()) {
+      EXPECT_EQ(event.category, "partition");
+      EXPECT_EQ(event.clock, TraceClock::kWall);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace surfer

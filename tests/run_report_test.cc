@@ -1,0 +1,225 @@
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apps/network_ranking.h"
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "propagation/runner.h"
+#include "tests/test_fixtures.h"
+
+namespace surfer {
+namespace {
+
+using testing_fixtures::EngineFixture;
+using testing_fixtures::MakeEngineFixture;
+
+const EngineFixture& Fixture() {
+  static const EngineFixture* fixture =
+      new EngineFixture(MakeEngineFixture());
+  return *fixture;
+}
+
+/// Runs NR through propagation with the observability hooks attached.
+RunMetrics RunObserved(OptimizationLevel level, int iterations,
+                       obs::Tracer* tracer, obs::MetricsRegistry* metrics,
+                       PropagationCounters* counters = nullptr) {
+  const EngineFixture& f = Fixture();
+  BenchmarkSetup setup = f.Setup(level);
+  setup.sim_options.tracer = tracer;
+  setup.sim_options.metrics = metrics;
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationConfig config = PropagationConfig::ForLevel(level);
+  config.iterations = iterations;
+  config.tracer = tracer;
+  config.metrics = metrics;
+  PropagationRunner<NetworkRankingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  auto metrics_result = runner.Run(setup.sim_options);
+  EXPECT_TRUE(metrics_result.ok()) << metrics_result.status().ToString();
+  if (counters != nullptr) {
+    *counters = runner.counters();
+  }
+  return std::move(metrics_result).value();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+// ------------------------------------------------- report schema & files
+
+TEST(RunReportTest, BuildValidateWriteParseRoundTrip) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  const RunMetrics run = RunObserved(OptimizationLevel::kO4, /*iterations=*/2,
+                                     &tracer, &registry);
+
+  obs::RunReportOptions options;
+  options.name = "run_report_test";
+  options.notes = "NR at O4, 2 iterations";
+  const obs::JsonValue report =
+      obs::BuildRunReport(options, &run, &registry, &tracer);
+  ASSERT_TRUE(obs::ValidateRunReport(report).ok())
+      << obs::ValidateRunReport(report).ToString();
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "surfer_run_report_test" / "nested";
+  std::filesystem::remove_all(dir.parent_path());
+  const std::string report_path = (dir / "run.report.json").string();
+  ASSERT_TRUE(obs::WriteRunReport(report_path, report).ok());
+
+  auto parsed = obs::ParseJson(ReadFile(report_path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(obs::ValidateRunReport(*parsed).ok())
+      << obs::ValidateRunReport(*parsed).ToString();
+
+  // Spot-check the documented schema: identity, run totals, stage list, and
+  // metrics/trace sections all survive the disk round trip.
+  EXPECT_EQ(parsed->Find("schema_version")->as_number(),
+            obs::kRunReportSchemaVersion);
+  EXPECT_EQ(parsed->Find("name")->as_string(), "run_report_test");
+  const obs::JsonValue* run_section = parsed->Find("run");
+  ASSERT_NE(run_section, nullptr);
+  EXPECT_GT(run_section->Find("response_time_s")->as_number(), 0.0);
+  // 2 iterations -> transfer + combine stages each.
+  EXPECT_EQ(run_section->Find("stages")->as_array().size(), 4u);
+  const obs::JsonValue* metrics_section = parsed->Find("metrics");
+  ASSERT_NE(metrics_section, nullptr);
+  bool found_emitted = false;
+  for (const obs::JsonValue& counter :
+       metrics_section->Find("counters")->as_array()) {
+    if (counter.Find("name")->as_string() == "propagation_messages_emitted") {
+      found_emitted = true;
+      EXPECT_GT(counter.Find("value")->as_number(), 0.0);
+    }
+  }
+  EXPECT_TRUE(found_emitted);
+  const obs::JsonValue* trace_section = parsed->Find("trace");
+  ASSERT_NE(trace_section, nullptr);
+  if (obs::Tracer::CompiledIn()) {
+    EXPECT_GT(trace_section->Find("num_events")->as_number(), 0.0);
+    EXPECT_FALSE(trace_section->Find("spans")->as_array().empty());
+  }
+  std::filesystem::remove_all(dir.parent_path());
+}
+
+TEST(RunReportTest, ValidateRejectsBrokenReports) {
+  obs::JsonValue report = obs::JsonValue::MakeObject();
+  EXPECT_FALSE(obs::ValidateRunReport(report).ok());  // no version/name
+  report.Set("schema_version", obs::kRunReportSchemaVersion);
+  report.Set("name", "x");
+  EXPECT_TRUE(obs::ValidateRunReport(report).ok());  // minimal report
+  obs::JsonValue bad_run = obs::JsonValue::MakeObject();
+  bad_run.Set("response_time_s", "not a number");
+  report.Set("run", std::move(bad_run));
+  EXPECT_FALSE(obs::ValidateRunReport(report).ok());
+
+  obs::JsonValue wrong_version = obs::JsonValue::MakeObject();
+  wrong_version.Set("schema_version", obs::kRunReportSchemaVersion + 1);
+  wrong_version.Set("name", "x");
+  EXPECT_FALSE(obs::ValidateRunReport(wrong_version).ok());
+}
+
+TEST(RunReportTest, ChromeTraceCarriesBothClockDomains) {
+  if (!obs::Tracer::CompiledIn()) {
+    GTEST_SKIP() << "tracing compiled out";
+  }
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  (void)RunObserved(OptimizationLevel::kO4, /*iterations=*/1, &tracer,
+                    &registry);
+  const std::string path = (std::filesystem::temp_directory_path() /
+                            "surfer_run_report_test.trace.json")
+                               .string();
+  ASSERT_TRUE(tracer.WriteChromeTrace(path).ok());
+  auto parsed = obs::ParseJson(ReadFile(path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_wall = false;
+  bool saw_simulated = false;
+  for (const obs::JsonValue& event : events->as_array()) {
+    if (event.Find("ph")->as_string() == "M") {
+      continue;
+    }
+    const double pid = event.Find("pid")->as_number();
+    saw_wall = saw_wall || pid == 1.0;
+    saw_simulated = saw_simulated || pid == 2.0;
+  }
+  // The propagation layer records wall-clock compute spans; the simulation
+  // records stage/task spans — one run populates both domains.
+  EXPECT_TRUE(saw_wall);
+  EXPECT_TRUE(saw_simulated);
+  std::filesystem::remove(path);
+}
+
+// -------------------------------------- counters vs. optimization levels
+
+TEST(RunReportTest, CountersConsistentWithoutLocalOptimizations) {
+  obs::MetricsRegistry registry;
+  PropagationCounters counters;
+  (void)RunObserved(OptimizationLevel::kO1, /*iterations=*/2, nullptr,
+                    &registry, &counters);
+  // O1: no local propagation, no local combination — every emitted message
+  // is materialized.
+  EXPECT_GT(counters.messages_emitted, 0u);
+  EXPECT_EQ(counters.messages_locally_propagated, 0u);
+  EXPECT_EQ(counters.messages_locally_combined, 0u);
+  EXPECT_EQ(counters.messages_materialized, counters.messages_emitted);
+  EXPECT_LE(counters.messages_network, counters.messages_materialized);
+  // The registry saw the same numbers.
+  EXPECT_EQ(registry.CounterRef("propagation_messages_emitted").value(),
+            counters.messages_emitted);
+  EXPECT_EQ(registry.CounterRef("propagation_messages_network").value(),
+            counters.messages_network);
+}
+
+TEST(RunReportTest, CountersConsistentWithLocalOptimizations) {
+  obs::MetricsRegistry registry;
+  PropagationCounters counters;
+  (void)RunObserved(OptimizationLevel::kO4, /*iterations=*/2, nullptr,
+                    &registry, &counters);
+  // O4: local propagation keeps inner-vertex messages in memory and local
+  // combination merges same-target messages; both must fire on the social
+  // graph, and the conservation invariant must hold exactly.
+  EXPECT_GT(counters.messages_emitted, 0u);
+  EXPECT_GT(counters.messages_locally_propagated, 0u);
+  EXPECT_GT(counters.messages_locally_combined, 0u);
+  EXPECT_EQ(counters.messages_emitted,
+            counters.messages_locally_propagated +
+                counters.messages_locally_combined +
+                counters.messages_materialized);
+  EXPECT_LT(counters.messages_materialized, counters.messages_emitted);
+  EXPECT_LE(counters.messages_network, counters.messages_materialized);
+  EXPECT_GT(counters.messages_network, 0u);
+}
+
+TEST(RunReportTest, SimulatedStageCountersMatchRunMetrics) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  const RunMetrics run = RunObserved(OptimizationLevel::kO4, /*iterations=*/2,
+                                     &tracer, &registry);
+  EXPECT_EQ(registry.CounterRef("sim_stages_total").value(),
+            run.stages.size());
+  size_t total_tasks = 0;
+  for (const StageMetrics& stage : run.stages) {
+    total_tasks += stage.num_tasks;
+  }
+  EXPECT_EQ(registry.CounterRef("sim_tasks_total").value(), total_tasks);
+  EXPECT_DOUBLE_EQ(registry.GaugeRef("sim_clock_seconds").value(),
+                   run.response_time_s);
+  EXPECT_EQ(registry.HistogramRef("sim_task_seconds").Snapshot().count(),
+            total_tasks);
+}
+
+}  // namespace
+}  // namespace surfer
