@@ -11,6 +11,7 @@
 #include "apps/network_ranking.h"
 #include "apps/two_hop_friends.h"
 #include "bench/bench_common.h"
+#include "common/units.h"
 #include "propagation/runner.h"
 
 namespace {

@@ -8,6 +8,7 @@
 
 #include "apps/network_ranking.h"
 #include "bench/bench_common.h"
+#include "common/units.h"
 #include "propagation/cascade.h"
 #include "propagation/runner.h"
 

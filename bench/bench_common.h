@@ -9,7 +9,6 @@
 #include "apps/benchmark_suite.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
-#include "common/units.h"
 #include "core/sim_scale.h"
 #include "core/surfer.h"
 #include "graph/generators.h"

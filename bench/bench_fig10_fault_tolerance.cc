@@ -10,6 +10,7 @@
 
 #include "apps/network_ranking.h"
 #include "bench/bench_common.h"
+#include "common/units.h"
 #include "propagation/runner.h"
 
 int main() {

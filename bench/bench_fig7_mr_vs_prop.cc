@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "common/units.h"
 
 int main() {
   using namespace surfer;

@@ -1,0 +1,124 @@
+// Host-side scaling of the concurrent execution runtime: NR at O4 runs once
+// through the sequential PropagationRunner (host wall clock) and then through
+// the RuntimeExecutor at 1/2/4/8 workers. Emits the machine-readable perf
+// baseline BENCH_runtime.json so CI trends wall-clock speedup over time.
+// Results are cross-checked for bit-identity on every point — a speedup that
+// changes the answer is a bug, not a win.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "apps/network_ranking.h"
+#include "bench/bench_common.h"
+#include "propagation/runner.h"
+#include "runtime/executor.h"
+#include "runtime/report.h"
+
+int main() {
+  using namespace surfer;
+  using namespace surfer::bench;
+  using Clock = std::chrono::steady_clock;
+
+  constexpr int kIterations = 5;
+  const Graph graph = MakeBenchGraph();
+  const Topology topology = MakeScaledT2(8, 2, 1);
+  auto engine = BuildEngine(graph, topology);
+  const BenchmarkSetup setup = engine->MakeSetup(OptimizationLevel::kO4);
+  PropagationConfig config = PropagationConfig::ForLevel(OptimizationLevel::kO4);
+  config.iterations = kIterations;
+  NetworkRankingApp app(graph.num_vertices());
+
+  PrintHeader("Runtime scaling: concurrent executor vs sequential runner");
+
+  PropagationRunner<NetworkRankingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  const auto seq_start = Clock::now();
+  auto seq_metrics = runner.Run(MakeScaledSimOptions());
+  SURFER_CHECK(seq_metrics.ok()) << seq_metrics.status().ToString();
+  const double sequential_wall_s =
+      std::chrono::duration<double>(Clock::now() - seq_start).count();
+  std::printf("sequential runner: %.3f s (host wall clock)\n\n",
+              sequential_wall_s);
+
+  obs::JsonValue baseline = obs::JsonValue::MakeObject();
+  baseline.Set("name", std::string("bench_runtime_scaling"));
+  baseline.Set("app", std::string("NR"));
+  baseline.Set("optimization_level",
+               OptimizationLevelName(OptimizationLevel::kO4));
+  baseline.Set("iterations", static_cast<uint64_t>(kIterations));
+  baseline.Set("num_vertices", static_cast<uint64_t>(graph.num_vertices()));
+  baseline.Set("num_machines", static_cast<uint64_t>(topology.num_machines()));
+  // Speedup is bounded by host cores (the sequential runner's per-partition
+  // compute already spreads over the global thread pool); record the bound so
+  // baselines from different hosts compare meaningfully.
+  baseline.Set("host_cores",
+               static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  baseline.Set("sequential_wall_s", sequential_wall_s);
+
+  std::printf("%-9s %12s %9s %13s %15s\n", "Workers", "Wall (s)", "Speedup",
+              "Send stalls", "Barrier wait(s)");
+  obs::JsonValue points = obs::JsonValue::MakeArray();
+  obs::JsonValue last_runtime_block = obs::JsonValue::MakeObject();
+  for (uint32_t workers : {1u, 2u, 4u, 8u}) {
+    runtime::RuntimeOptions options;
+    options.max_workers = workers;
+    runtime::RuntimeExecutor<NetworkRankingApp> executor(
+        setup.graph, setup.placement, setup.topology, app, config, options);
+    const Status status = executor.Run();
+    SURFER_CHECK(status.ok()) << status.ToString();
+    SURFER_CHECK(runner.states().size() == executor.states().size());
+    SURFER_CHECK(std::memcmp(runner.states().data(), executor.states().data(),
+                             runner.states().size() *
+                                 sizeof(NetworkRankingApp::VertexState)) == 0)
+        << "runtime diverged from the sequential runner at " << workers
+        << " workers";
+    const runtime::RuntimeStats& stats = executor.stats();
+    const double speedup = sequential_wall_s / stats.wall_seconds;
+    std::printf("%-9u %12.3f %8.2fx %13llu %15.3f\n", workers,
+                stats.wall_seconds, speedup,
+                static_cast<unsigned long long>(stats.send_stalls),
+                stats.barrier_wait_seconds);
+    obs::JsonValue point = obs::JsonValue::MakeObject();
+    point.Set("workers", static_cast<uint64_t>(workers));
+    point.Set("wall_s", stats.wall_seconds);
+    point.Set("speedup", speedup);
+    point.Set("bit_identical", true);
+    point.Set("send_stalls", stats.send_stalls);
+    point.Set("barrier_wait_seconds", stats.barrier_wait_seconds);
+    point.Set("network_bytes", stats.TotalNetworkBytes());
+    points.Append(std::move(point));
+    last_runtime_block = runtime::RuntimeStatsToJson(stats);
+  }
+  baseline.Set("points", std::move(points));
+
+  const std::string baseline_path = ArtifactDir() + "/BENCH_runtime.json";
+  if (const Status status = obs::WriteRunReport(baseline_path, baseline);
+      status.ok()) {
+    std::printf("\nartifact: %s\n", baseline_path.c_str());
+  } else {
+    SURFER_LOG(kWarning) << "failed to write " << baseline_path << ": "
+                         << status.ToString();
+  }
+
+  // The full-width (8-worker) run also ships as a standard run report with
+  // the `runtime` block populated, exercising the same schema CI validates.
+  obs::RunReportOptions report_options;
+  report_options.name = "bench_runtime_scaling";
+  report_options.notes = "NR at O4 through the concurrent runtime; runtime "
+                         "block is the 8-worker point";
+  const obs::JsonValue report = obs::BuildRunReport(
+      report_options, nullptr, nullptr, nullptr, &last_runtime_block);
+  if (const Status status = obs::ValidateRunReport(report); !status.ok()) {
+    SURFER_LOG(kWarning) << "run report failed validation: "
+                         << status.ToString();
+  }
+  const std::string report_path =
+      ArtifactDir() + "/bench_runtime_scaling.report.json";
+  if (const Status status = obs::WriteRunReport(report_path, report);
+      status.ok()) {
+    std::printf("artifact: %s\n", report_path.c_str());
+  }
+  return 0;
+}

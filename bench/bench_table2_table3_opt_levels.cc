@@ -16,6 +16,7 @@
 #include <string>
 
 #include "bench/bench_common.h"
+#include "common/units.h"
 
 int main() {
   using namespace surfer;

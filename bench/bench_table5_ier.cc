@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/units.h"
 #include "partition/recursive_partitioner.h"
 
 int main() {

@@ -2,6 +2,8 @@
 #define SURFER_CLUSTER_MACHINE_H_
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "graph/types.h"
 
@@ -25,6 +27,22 @@ struct Machine {
   /// partitions P = 2^ceil(log2(||G|| / r)) per Section 4.2.
   uint64_t memory_bytes = 8ULL << 30;
 };
+
+/// First machine in `candidates` that `alive` reports as up; kInvalidMachine
+/// when every candidate is down (the job is unrecoverable). Candidates equal
+/// to kInvalidMachine or outside the alive vector are skipped. This is the
+/// Appendix-B recovery rule — "re-execute from the next replica holder" —
+/// shared by the replicated placement, the job simulator's task routing, and
+/// the concurrent runtime's stage re-assignment.
+inline MachineId FirstAliveMachine(std::span<const MachineId> candidates,
+                                   const std::vector<uint8_t>& alive) {
+  for (MachineId m : candidates) {
+    if (m != kInvalidMachine && m < alive.size() && alive[m]) {
+      return m;
+    }
+  }
+  return kInvalidMachine;
+}
 
 }  // namespace surfer
 

@@ -174,6 +174,17 @@ bool Topology::IsUniform() const {
   return true;
 }
 
+double Topology::MaxPairBandwidth() const {
+  const uint32_t n = num_machines();
+  double best = 0.0;
+  for (uint32_t a = 0; a < n; ++a) {
+    for (uint32_t b = a + 1; b < n; ++b) {
+      best = std::max(best, Bandwidth(a, b));
+    }
+  }
+  return best;
+}
+
 std::string Topology::Name() const {
   switch (options_.kind) {
     case TopologyKind::kT1:

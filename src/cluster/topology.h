@@ -80,6 +80,11 @@ class Topology {
   /// True when all machine pairs have identical bandwidth (T1).
   bool IsUniform() const;
 
+  /// Largest bandwidth between two *distinct* machines — the reference
+  /// width runtime channel planning scales other links against. Zero for a
+  /// single-machine topology.
+  double MaxPairBandwidth() const;
+
   TopologyKind kind() const { return options_.kind; }
   const TopologyOptions& options() const { return options_; }
 

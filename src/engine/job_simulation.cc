@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "cluster/machine.h"
 #include "common/logging.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
@@ -81,12 +82,7 @@ Result<StageMetrics> JobSimulation::RunStage(const std::string& name,
   }
 
   auto route = [&](const SimTask& task) -> MachineId {
-    for (MachineId m : task.candidate_machines) {
-      if (m < num_machines && alive_[m]) {
-        return m;
-      }
-    }
-    return kInvalidMachine;
+    return FirstAliveMachine(task.candidate_machines, alive_);
   };
 
   // Greedy list scheduling across replica holders: every candidate machine

@@ -10,7 +10,6 @@
 #include "cluster/topology.h"
 #include "common/result.h"
 #include "graph/types.h"
-#include "storage/replication.h"
 
 namespace surfer {
 

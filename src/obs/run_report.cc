@@ -82,7 +82,8 @@ void ExportThreadPoolStats(const ThreadPoolStats& stats,
 JsonValue BuildRunReport(const RunReportOptions& options,
                          const RunMetrics* run,
                          const MetricsRegistry* registry,
-                         const Tracer* tracer) {
+                         const Tracer* tracer,
+                         const JsonValue* runtime_block) {
   JsonValue report = JsonValue::MakeObject();
   report.Set("schema_version", kRunReportSchemaVersion);
   report.Set("name", options.name);
@@ -111,6 +112,9 @@ JsonValue BuildRunReport(const RunReportOptions& options,
     }
     trace.Set("spans", std::move(spans));
     report.Set("trace", std::move(trace));
+  }
+  if (runtime_block != nullptr) {
+    report.Set("runtime", *runtime_block);
   }
   return report;
 }
@@ -189,6 +193,36 @@ Status ValidateRunReport(const JsonValue& report) {
           "trace.spans[].clock must be 'wall' or 'simulated'"));
       SURFER_RETURN_IF_ERROR(RequireNumber(span, "count"));
       SURFER_RETURN_IF_ERROR(RequireNumber(span, "total_s"));
+    }
+  }
+
+  if (const JsonValue* runtime = report.Find("runtime"); runtime != nullptr) {
+    SURFER_RETURN_IF_ERROR(
+        Expect(runtime->is_object(), "runtime must be an object"));
+    for (const char* key :
+         {"num_workers", "num_machines", "iterations", "tasks_executed",
+          "tasks_reexecuted", "machine_failures", "messages_sent",
+          "buffers_sent", "send_stalls", "barrier_wait_seconds",
+          "barrier_generations", "wall_seconds", "network_bytes"}) {
+      SURFER_RETURN_IF_ERROR(RequireNumber(*runtime, key));
+    }
+    const JsonValue* channels = runtime->Find("channels");
+    SURFER_RETURN_IF_ERROR(Expect(channels != nullptr && channels->is_array(),
+                                  "runtime.channels missing"));
+    for (const JsonValue& channel : channels->as_array()) {
+      SURFER_RETURN_IF_ERROR(
+          Expect(channel.is_object(), "runtime channel must be an object"));
+      for (const char* key :
+           {"src", "dst", "capacity", "bytes", "sends", "receives"}) {
+        SURFER_RETURN_IF_ERROR(RequireNumber(channel, key));
+      }
+    }
+    for (const char* key : {"channel_depth", "barrier_wait"}) {
+      const JsonValue* hist = runtime->Find(key);
+      SURFER_RETURN_IF_ERROR(
+          Expect(hist != nullptr && hist->is_object(),
+                 std::string("runtime.") + key + " missing"));
+      SURFER_RETURN_IF_ERROR(RequireNumber(*hist, "count"));
     }
   }
   return Status::OK();

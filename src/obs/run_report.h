@@ -25,11 +25,16 @@ struct RunReportOptions {
 };
 
 /// Serializes one run into the stable report schema. Any of `run`,
-/// `registry`, `tracer` may be null; the corresponding section is omitted.
+/// `registry`, `tracer`, `runtime_block` may be null; the corresponding
+/// section is omitted. `runtime_block` is a pre-built `runtime` section (the
+/// concurrent executor's worker/channel/barrier tallies, produced by
+/// runtime::RuntimeStatsToJson) — passed in as opaque JSON so this layer
+/// never depends on the runtime it observes.
 JsonValue BuildRunReport(const RunReportOptions& options,
                          const RunMetrics* run,
                          const MetricsRegistry* registry,
-                         const Tracer* tracer);
+                         const Tracer* tracer,
+                         const JsonValue* runtime_block = nullptr);
 
 /// The paper's four headline quantities plus per-stage breakdown and the
 /// task-seconds summary, as one JSON object (the report's "run" section).

@@ -5,11 +5,30 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <type_traits>
+#include <variant>
 #include <vector>
 
 #include "graph/types.h"
 
 namespace surfer {
+
+namespace internal {
+
+/// Extracts App::VirtualOutput when present; std::monostate otherwise.
+/// Shared by the analytic PropagationRunner and the concurrent
+/// runtime::RuntimeExecutor, which must agree on the output type to be
+/// cross-validated against each other.
+template <typename App, typename = void>
+struct VirtualOutputOf {
+  using type = std::monostate;
+};
+template <typename App>
+struct VirtualOutputOf<App, std::void_t<typename App::VirtualOutput>> {
+  using type = typename App::VirtualOutput;
+};
+
+}  // namespace internal
 
 /// Collects the (target, message) pairs emitted by a `transfer` call.
 /// Targets are either real graph vertices or *virtual vertices* (Section 3.2)

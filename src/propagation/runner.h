@@ -29,16 +29,6 @@ namespace surfer {
 
 namespace internal {
 
-/// Extracts App::VirtualOutput when present; std::monostate otherwise.
-template <typename App, typename = void>
-struct VirtualOutputOf {
-  using type = std::monostate;
-};
-template <typename App>
-struct VirtualOutputOf<App, std::void_t<typename App::VirtualOutput>> {
-  using type = typename App::VirtualOutput;
-};
-
 /// Simulated size of one virtual-vertex output record.
 inline constexpr size_t kVirtualOutputBytes = 16;
 
@@ -93,6 +83,9 @@ class PropagationRunner {
     InitializeStates();
     virtual_outputs_.clear();
     counters_ = PropagationCounters{};
+    const uint32_t num_machines = topology_->num_machines();
+    link_network_bytes_.assign(
+        static_cast<size_t>(num_machines) * num_machines, 0.0);
     if (config_.cascaded && config_.iterations > 1) {
       cascade_ = ComputeCascadeInfo(*graph_);
     } else {
@@ -129,6 +122,16 @@ class PropagationRunner {
   }
 
   const CascadeInfo& cascade_info() const { return cascade_; }
+
+  /// Analytic per-link network bytes of the last Run/RunWith: a row-major
+  /// M x M matrix where entry [src * M + dst] sums the Transfer-stage bytes
+  /// priced from src's primary machine to dst (the diagonal is zero — local
+  /// traffic never touches the network). The concurrent runtime's measured
+  /// RuntimeStats::link_bytes must reconcile with this matrix exactly, which
+  /// cross-checks the cost model against real execution.
+  const std::vector<double>& link_network_bytes() const {
+    return link_network_bytes_;
+  }
 
  private:
   Status Validate() const {
@@ -439,6 +442,16 @@ class PropagationRunner {
     for (const PartitionOut& out : outs) {
       counters_.MergeFrom(out.counters);
     }
+    // Fold each task's priced sends into the per-link byte matrix before the
+    // simulation consumes the tasks. Sources are the partitions' primaries:
+    // the matrix describes the no-fault execution the runtime reproduces.
+    const uint32_t nm = topology_->num_machines();
+    for (PartitionId p = 0; p < num_partitions; ++p) {
+      const MachineId src = placement_->primary(p);
+      for (const auto& [dst, bytes] : transfer_tasks[p].cost.network_out) {
+        link_network_bytes_[static_cast<size_t>(src) * nm + dst] += bytes;
+      }
+    }
 
     SURFER_RETURN_IF_ERROR(
         sim->RunStage("transfer[" + std::to_string(iteration) + "]",
@@ -649,6 +662,7 @@ class PropagationRunner {
   std::map<uint64_t, VirtualOutput> virtual_outputs_;
   CascadeInfo cascade_;
   PropagationCounters counters_;
+  std::vector<double> link_network_bytes_;
 };
 
 }  // namespace surfer

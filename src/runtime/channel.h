@@ -1,0 +1,124 @@
+#ifndef SURFER_RUNTIME_CHANNEL_H_
+#define SURFER_RUNTIME_CHANNEL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/histogram.h"
+
+namespace surfer {
+namespace runtime {
+
+/// Execution statistics of one channel, snapshot via BoundedChannel::stats().
+struct ChannelStats {
+  size_t capacity = 0;
+  uint64_t sends = 0;           ///< items accepted into the queue
+  uint64_t receives = 0;        ///< items popped
+  uint64_t send_stalls = 0;     ///< failed TrySend/TrySendFor attempts (full)
+  size_t max_depth = 0;         ///< high-water queue depth
+  Histogram depth_on_send;      ///< queue depth observed after each send
+};
+
+/// A bounded multi-producer single-consumer queue connecting two runtime
+/// workers. Capacity models the link's bandwidth share (see
+/// PlanChannelCapacities): narrow links fill up sooner and exert
+/// backpressure on their producers, which is exactly the behaviour the
+/// paper's uneven cloud networks impose on cross-pod traffic.
+///
+/// Producers that find the channel full must not block-and-hold: the runtime
+/// send loop retries with TrySendFor while draining the sender's own inbound
+/// channels, which guarantees global progress (every blocked producer keeps
+/// its consumer side moving, so some channel always drains).
+template <typename T>
+class BoundedChannel {
+ public:
+  explicit BoundedChannel(size_t capacity) : capacity_(capacity > 0 ? capacity : 1) {}
+
+  BoundedChannel(const BoundedChannel&) = delete;
+  BoundedChannel& operator=(const BoundedChannel&) = delete;
+
+  /// Moves `item` into the channel if space is available; on failure the
+  /// item is left untouched and the stall is counted.
+  bool TrySend(T& item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= capacity_) {
+      ++stats_.send_stalls;
+      return false;
+    }
+    Push(std::move(item));
+    return true;
+  }
+
+  /// TrySend that waits up to `timeout` for space before giving up.
+  template <typename Rep, typename Period>
+  bool TrySendFor(T& item, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_full_.wait_for(lock, timeout,
+                            [&] { return queue_.size() < capacity_; })) {
+      ++stats_.send_stalls;
+      return false;
+    }
+    Push(std::move(item));
+    return true;
+  }
+
+  /// Blocks until space is available (tests; the runtime itself always uses
+  /// the TrySendFor/drain loop to stay deadlock-free).
+  void Send(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
+    Push(std::move(item));
+  }
+
+  /// Pops the oldest item; std::nullopt when empty.
+  std::optional<T> TryRecv() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.receives;
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+  ChannelStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    ChannelStats s = stats_;
+    s.capacity = capacity_;
+    return s;
+  }
+
+ private:
+  void Push(T&& item) {
+    queue_.push_back(std::move(item));
+    ++stats_.sends;
+    stats_.max_depth = std::max(stats_.max_depth, queue_.size());
+    stats_.depth_on_send.Add(static_cast<double>(queue_.size()));
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  ChannelStats stats_;
+};
+
+}  // namespace runtime
+}  // namespace surfer
+
+#endif  // SURFER_RUNTIME_CHANNEL_H_

@@ -1,0 +1,35 @@
+#include "runtime/channel_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace surfer {
+namespace runtime {
+
+std::vector<size_t> PlanChannelCapacities(const Topology& topology,
+                                          size_t base_capacity) {
+  const uint32_t n = topology.num_machines();
+  const size_t base = std::max<size_t>(base_capacity, 1);
+  std::vector<size_t> capacities(static_cast<size_t>(n) * n, base);
+  const double max_bw = topology.MaxPairBandwidth();
+  if (max_bw <= 0.0) {
+    return capacities;  // single machine: only the self link exists
+  }
+  for (uint32_t src = 0; src < n; ++src) {
+    for (uint32_t dst = 0; dst < n; ++dst) {
+      if (src == dst) {
+        continue;  // self links carry local traffic at full width
+      }
+      const double share = topology.Bandwidth(src, dst) / max_bw;
+      const auto scaled =
+          static_cast<size_t>(std::llround(static_cast<double>(base) *
+                                           std::min(share, 1.0)));
+      capacities[static_cast<size_t>(src) * n + dst] =
+          std::max<size_t>(scaled, 1);
+    }
+  }
+  return capacities;
+}
+
+}  // namespace runtime
+}  // namespace surfer

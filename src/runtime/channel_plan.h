@@ -1,0 +1,29 @@
+#ifndef SURFER_RUNTIME_CHANNEL_PLAN_H_
+#define SURFER_RUNTIME_CHANNEL_PLAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/topology.h"
+
+namespace surfer {
+namespace runtime {
+
+/// Derives per-link channel capacities from the topology bandwidth matrix.
+///
+/// The widest pair link in the topology gets `base_capacity` slots; every
+/// other link is scaled down proportionally to its bandwidth (minimum 1).
+/// Under T2/T3 topologies this gives intra-pod channels `base_capacity`
+/// slots while cross-pod channels get a narrow queue, so a worker flooding
+/// a cross-pod link hits backpressure much earlier — the runtime analogue
+/// of the paper's scarce inter-switch bandwidth. Self links (m == m) carry
+/// locally materialized traffic and always get the full base capacity.
+///
+/// Returns a row-major M x M matrix: entry [src * M + dst].
+std::vector<size_t> PlanChannelCapacities(const Topology& topology,
+                                          size_t base_capacity);
+
+}  // namespace runtime
+}  // namespace surfer
+
+#endif  // SURFER_RUNTIME_CHANNEL_PLAN_H_

@@ -1,0 +1,723 @@
+#ifndef SURFER_RUNTIME_EXECUTOR_H_
+#define SURFER_RUNTIME_EXECUTOR_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/result.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "propagation/app_traits.h"
+#include "propagation/config.h"
+#include "runtime/barrier.h"
+#include "runtime/channel.h"
+#include "runtime/channel_plan.h"
+#include "runtime/fault.h"
+#include "runtime/stats.h"
+#include "storage/partitioned_graph.h"
+#include "storage/replication.h"
+
+namespace surfer {
+namespace runtime {
+
+/// Knobs of the concurrent runtime. Observability hooks come from the
+/// PropagationConfig so runner and runtime share one configuration surface.
+struct RuntimeOptions {
+  /// Worker threads; 0 means one per simulated machine. With fewer workers
+  /// than machines, machine m is owned by worker (m % num_workers).
+  uint32_t max_workers = 0;
+  /// Channel slots granted to the widest topology link; narrower links are
+  /// scaled down proportionally (see PlanChannelCapacities). Sized so a wide
+  /// link absorbs a whole stage's buffers from one machine without stalling
+  /// at typical partition counts; narrow (cross-pod) links still backpressure.
+  size_t base_channel_capacity = 128;
+  /// Machines to kill mid-stage (Appendix-B recovery drills).
+  std::vector<RuntimeFaultPlan> faults;
+};
+
+/// Concurrent BSP executor for propagation apps: the wall-clock counterpart
+/// of the analytic PropagationRunner.
+///
+/// One worker thread per simulated machine runs that machine's Transfer and
+/// Combine tasks; cross-machine message buffers travel through bounded
+/// channels whose capacities mirror the topology's bandwidth matrix, and a
+/// barrier separates the BSP supersteps. The executor's contract, asserted
+/// by tests/runtime_test.cc, is *bit-identical* results to the sequential
+/// runner at every optimization level:
+///   - each Combine sees its messages in the exact sequential order. The
+///     sequential runner fills a partition's inbox in ascending source
+///     partition order (its own local buffer landing at the src == dst
+///     slot) and then stable-sorts by target; the runtime ships exactly one
+///     buffer per (src, dst) partition pair, sorts received buffers by src,
+///     concatenates, and applies the same stable sort;
+///   - merged (local-combination) buffers carry at most one message per
+///     target per source partition, so the unordered merge-map iteration
+///     order inside a buffer is normalized away by the target sort;
+///   - cascaded propagation and memory limits change the *accounted* cost
+///     only, so the runtime ignores them without affecting results.
+///
+/// Fault injection follows Appendix B at task granularity: a machine killed
+/// mid-stage keeps the buffers of tasks it completed (its disk replicas
+/// survive), while its unfinished tasks are re-assigned to the next alive
+/// replica holder on the following round; re-executed Combine tasks
+/// re-fetch their remote inputs (counted in RuntimeStats::refetch_bytes).
+/// Dead machines' worker threads stay up purely to drain their inbound
+/// channels, so senders never deadlock against a corpse.
+template <typename App>
+  requires PropagationApp<App>
+class RuntimeExecutor {
+ public:
+  using VertexState = typename App::VertexState;
+  using Message = typename App::Message;
+  using VirtualOutput = typename internal::VirtualOutputOf<App>::type;
+
+  RuntimeExecutor(const PartitionedGraph* graph,
+                  const ReplicatedPlacement* placement,
+                  const Topology* topology, App app, PropagationConfig config,
+                  RuntimeOptions options = {})
+      : graph_(graph),
+        placement_(placement),
+        topology_(topology),
+        app_(std::move(app)),
+        config_(config),
+        options_(options),
+        fault_(options.faults) {}
+
+  /// Executes config.iterations supersteps. Fails when every replica of a
+  /// partition is dead (the job is unrecoverable, as in Appendix B).
+  Status Run() {
+    SURFER_RETURN_IF_ERROR(Validate());
+    const auto wall_start = std::chrono::steady_clock::now();
+    InitializeStates();
+    virtual_outputs_.clear();
+    stats_ = RuntimeStats{};
+
+    const uint32_t num_machines = topology_->num_machines();
+    const uint32_t num_workers =
+        options_.max_workers == 0
+            ? num_machines
+            : std::min(options_.max_workers, num_machines);
+    num_machines_ = num_machines;
+    num_workers_ = num_workers;
+
+    owned_machines_.assign(num_workers, {});
+    for (MachineId m = 0; m < num_machines; ++m) {
+      owned_machines_[m % num_workers].push_back(m);
+    }
+    const size_t num_channels = static_cast<size_t>(num_machines) * num_machines;
+    const std::vector<size_t> capacities =
+        PlanChannelCapacities(*topology_, options_.base_channel_capacity);
+    channels_.clear();
+    channels_.reserve(num_channels);
+    for (size_t i = 0; i < num_channels; ++i) {
+      channels_.push_back(
+          std::make_unique<BoundedChannel<MessageBuffer>>(capacities[i]));
+    }
+
+    const uint32_t num_partitions = graph_->num_partitions();
+    inboxes_.assign(num_partitions, {});
+    virtual_results_.assign(num_partitions, {});
+    done_.assign(num_partitions, 0);
+    alive_.assign(num_machines, 1);
+    stage_tasks_done_.assign(num_machines, 0);
+    locals_.assign(num_workers + 1, WorkerLocal{});
+    for (WorkerLocal& local : locals_) {
+      local.link_bytes.assign(num_channels, 0);
+    }
+    barrier_ = std::make_unique<BspBarrier>(num_workers + 1);
+    phase_ = Phase{};
+
+    std::vector<std::thread> workers;
+    workers.reserve(num_workers);
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      workers.emplace_back([this, w] { WorkerMain(w); });
+    }
+
+    Status status = Status::OK();
+    for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+      if constexpr (IterationAwareApp<App>) {
+        app_.OnIterationStart(iteration);
+      }
+      status = RunStage(PhaseKind::kTransfer, iteration);
+      if (!status.ok()) {
+        break;
+      }
+      status = RunStage(PhaseKind::kCombine, iteration);
+      if (!status.ok()) {
+        break;
+      }
+      // Fold this iteration's virtual-vertex outputs in partition order,
+      // exactly as the sequential runner does at the end of RunIteration.
+      if constexpr (VirtualVertexApp<App>) {
+        for (auto& per_partition : virtual_results_) {
+          for (auto& [id, output] : per_partition) {
+            virtual_outputs_[id] = std::move(output);
+          }
+          per_partition.clear();
+        }
+      }
+    }
+
+    // Publish the shutdown phase whether or not the run succeeded; workers
+    // are all parked at the start barrier by construction.
+    phase_.kind = PhaseKind::kShutdown;
+    MainBarrier();
+    for (std::thread& t : workers) {
+      t.join();
+    }
+    stats_.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+    FinalizeStats();
+    return status;
+  }
+
+  const std::vector<VertexState>& states() const { return states_; }
+
+  /// State of a vertex addressed by its *original* (pre-encoding) ID.
+  const VertexState& StateOfOriginal(VertexId original) const {
+    return states_[graph_->encoding().ToEncoded(original)];
+  }
+
+  const std::map<uint64_t, VirtualOutput>& virtual_outputs() const {
+    return virtual_outputs_;
+  }
+
+  const RuntimeStats& stats() const { return stats_; }
+
+  /// Machine liveness after the run (all ones without injected faults).
+  const std::vector<uint8_t>& alive() const { return alive_; }
+
+ private:
+  enum class PhaseKind : uint8_t { kIdle, kTransfer, kCombine, kShutdown };
+
+  /// One stage round published by the main thread before the start barrier;
+  /// workers read it (immutably) after the barrier releases them.
+  struct Phase {
+    PhaseKind kind = PhaseKind::kIdle;
+    int iteration = 0;
+    bool recovery = false;
+    /// tasks[m]: partitions machine m executes this round, ascending.
+    std::vector<std::vector<PartitionId>> tasks;
+  };
+
+  /// Everything one (src partition -> dst partition) pair ships in a stage:
+  /// the unit of channel traffic. Exactly one buffer exists per pair per
+  /// stage (tasks are atomic under fault injection), which is what lets the
+  /// receiver reconstruct the sequential inbox order by sorting on src.
+  struct MessageBuffer {
+    PartitionId src = kInvalidPartition;
+    PartitionId dst = kInvalidPartition;
+    MachineId src_machine = kInvalidMachine;
+    uint64_t bytes = 0;
+    uint64_t num_messages = 0;
+    std::vector<std::pair<VertexId, Message>> real;
+    std::vector<std::pair<uint64_t, Message>> virtuals;
+  };
+
+  /// Per-thread tallies, merged into RuntimeStats after the join.
+  struct WorkerLocal {
+    uint64_t tasks_executed = 0;
+    uint64_t tasks_reexecuted = 0;
+    uint64_t messages_sent = 0;
+    uint64_t buffers_sent = 0;
+    uint64_t refetch_bytes = 0;
+    uint32_t machine_failures = 0;
+    double barrier_wait_seconds = 0.0;
+    Histogram barrier_wait;
+    std::vector<uint64_t> link_bytes;
+  };
+
+  Status Validate() const {
+    if (graph_ == nullptr || placement_ == nullptr || topology_ == nullptr) {
+      return Status::InvalidArgument("executor inputs must be non-null");
+    }
+    if (placement_->num_partitions() != graph_->num_partitions()) {
+      return Status::InvalidArgument(
+          "placement partition count does not match graph");
+    }
+    if (config_.iterations < 1) {
+      return Status::InvalidArgument("iterations must be >= 1");
+    }
+    for (PartitionId p = 0; p < placement_->num_partitions(); ++p) {
+      if (placement_->primary(p) >= topology_->num_machines()) {
+        return Status::InvalidArgument("placement machine out of range");
+      }
+    }
+    return Status::OK();
+  }
+
+  void InitializeStates() {
+    const Graph& g = graph_->encoded_graph();
+    states_.clear();
+    states_.reserve(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      states_.push_back(app_.InitState(v, g.OutNeighbors(v)));
+    }
+  }
+
+  double MainBarrier() { return barrier_->ArriveAndWait(); }
+
+  static RuntimeStage StageOf(PhaseKind kind) {
+    return kind == PhaseKind::kTransfer ? RuntimeStage::kTransfer
+                                        : RuntimeStage::kCombine;
+  }
+
+  static const char* StageName(PhaseKind kind) {
+    return kind == PhaseKind::kTransfer ? "transfer" : "combine";
+  }
+
+  /// Drives one BSP stage to completion, re-assigning the tasks of machines
+  /// that die mid-round to their next alive replica holder until every
+  /// partition's task has run. Each extra round implies a fresh machine
+  /// death, so the loop terminates within num_machines rounds.
+  Status RunStage(PhaseKind kind, int iteration) {
+    obs::ScopedSpan stage_span(
+        config_.tracer,
+        std::string("rt_") + StageName(kind) + "[" +
+            std::to_string(iteration) + "]",
+        "runtime");
+    const uint32_t num_partitions = graph_->num_partitions();
+    std::fill(done_.begin(), done_.end(), uint8_t{0});
+    std::fill(stage_tasks_done_.begin(), stage_tasks_done_.end(), 0u);
+    bool recovery = false;
+    for (;;) {
+      // Assign every pending partition to its first alive replica holder
+      // (Appendix B's recovery rule; round one degenerates to the primary).
+      Phase phase;
+      phase.kind = kind;
+      phase.iteration = iteration;
+      phase.recovery = recovery;
+      phase.tasks.assign(num_machines_, {});
+      uint32_t pending = 0;
+      for (PartitionId p = 0; p < num_partitions; ++p) {
+        if (done_[p]) {
+          continue;
+        }
+        const MachineId m = placement_->FirstAliveReplica(p, alive_);
+        if (m == kInvalidMachine) {
+          // Workers stay parked at the start barrier; Run publishes the
+          // shutdown phase and joins them before surfacing this error.
+          return Status::Internal(
+              "all replicas of partition " + std::to_string(p) +
+              " are dead; " + StageName(kind) + " stage cannot recover");
+        }
+        phase.tasks[m].push_back(p);
+        ++pending;
+      }
+      if (pending == 0) {
+        return Status::OK();
+      }
+      phase_ = std::move(phase);
+      locals_[num_workers_].barrier_wait_seconds += MainBarrier();  // start
+      locals_[num_workers_].barrier_wait_seconds += MainBarrier();  // work done
+      locals_[num_workers_].barrier_wait_seconds += MainBarrier();  // drained
+      recovery = true;
+    }
+  }
+
+  // --------------------------------------------------------- worker side
+
+  void WorkerMain(uint32_t w) {
+    WorkerLocal& local = locals_[w];
+    for (;;) {
+      RecordBarrierWait(local, barrier_->ArriveAndWait());  // start barrier
+      if (phase_.kind == PhaseKind::kShutdown) {
+        return;
+      }
+      const Phase& phase = phase_;
+      for (MachineId m : owned_machines_[w]) {
+        if (!alive_[m]) {
+          continue;
+        }
+        for (PartitionId p : phase.tasks[m]) {
+          if (fault_.ShouldKill(m, phase.iteration, StageOf(phase.kind),
+                                stage_tasks_done_[m])) {
+            KillMachine(m, local);
+            break;
+          }
+          if (phase.kind == PhaseKind::kTransfer) {
+            RunTransferTask(p, m, phase.iteration, w, local);
+          } else {
+            RunCombineTask(p, m, phase.iteration, local);
+          }
+          done_[p] = 1;
+          ++stage_tasks_done_[m];
+          ++local.tasks_executed;
+          if (phase.recovery) {
+            ++local.tasks_reexecuted;
+          }
+          Drain(w);  // keep inbound channels moving between tasks
+        }
+      }
+      RecordBarrierWait(local, barrier_->ArriveAndWait([this, w] { Drain(w); }));
+      // All sends of this stage were accepted before the work-done barrier
+      // released, so one final sweep leaves every owned channel empty.
+      Drain(w);
+      RecordBarrierWait(local, barrier_->ArriveAndWait());  // drain done
+    }
+  }
+
+  void RecordBarrierWait(WorkerLocal& local, double seconds) {
+    local.barrier_wait_seconds += seconds;
+    local.barrier_wait.Add(seconds);
+  }
+
+  void KillMachine(MachineId m, WorkerLocal& local) {
+    alive_[m] = 0;
+    ++local.machine_failures;
+    if (config_.tracer != nullptr) {
+      config_.tracer->RecordInstant(
+          obs::TraceClock::kWall, "rt_machine_failed", "runtime",
+          config_.tracer->WallNowUs(), obs::Tracer::CurrentThreadLane(),
+          {{"machine", std::to_string(m)}});
+    }
+  }
+
+  /// Moves every buffer waiting in worker w's inbound channels into the
+  /// per-partition inboxes. Only w ever consumes these channels (and only w
+  /// writes inboxes of partitions whose primary it owns), so no lock is
+  /// needed beyond the channels' own.
+  void Drain(uint32_t w) {
+    for (MachineId d : owned_machines_[w]) {
+      for (MachineId s = 0; s < num_machines_; ++s) {
+        BoundedChannel<MessageBuffer>& ch =
+            *channels_[static_cast<size_t>(s) * num_machines_ + d];
+        while (std::optional<MessageBuffer> buf = ch.TryRecv()) {
+          inboxes_[buf->dst].push_back(std::move(*buf));
+        }
+      }
+    }
+  }
+
+  void SendBuffer(MessageBuffer buffer, MachineId exec_machine, uint32_t w,
+                  WorkerLocal& local) {
+    const MachineId dst_machine = placement_->primary(buffer.dst);
+    local.link_bytes[static_cast<size_t>(exec_machine) * num_machines_ +
+                     dst_machine] += buffer.bytes;
+    local.messages_sent += buffer.num_messages;
+    ++local.buffers_sent;
+    BoundedChannel<MessageBuffer>& ch =
+        *channels_[static_cast<size_t>(exec_machine) * num_machines_ +
+                   dst_machine];
+    // Backpressure loop: while the link is saturated, keep draining our own
+    // inbound channels so the system as a whole cannot wedge. Drain before
+    // the timed wait: when the full channel is one this worker owns (always
+    // true at one worker), draining it is what frees the slot, and waiting
+    // first would just burn the timeout.
+    while (!ch.TrySend(buffer)) {
+      Drain(w);
+      if (ch.TrySendFor(buffer, std::chrono::microseconds(200))) {
+        return;
+      }
+    }
+  }
+
+  /// Runs the Transfer task of partition p on `exec_machine`, reproducing
+  /// the sequential runner's emission and merge logic verbatim so buffer
+  /// contents (and with them the combine-side message order) are identical.
+  void RunTransferTask(PartitionId p, MachineId exec_machine, int iteration,
+                       uint32_t w, WorkerLocal& local) {
+    obs::ScopedSpan task_span(
+        config_.tracer,
+        "rt_transfer[" + std::to_string(iteration) + "]:p" + std::to_string(p),
+        "runtime", {{"machine", std::to_string(exec_machine)}});
+    const Graph& g = graph_->encoded_graph();
+    const PartitionMeta& meta = graph_->partition(p);
+    const uint32_t num_partitions = graph_->num_partitions();
+    const bool merge_remote = config_.local_combination && MergeableApp<App>;
+
+    std::vector<std::pair<VertexId, Message>> local_out;
+    std::unordered_map<VertexId, Message> local_merged;
+    std::unordered_map<PartitionId, std::vector<std::pair<VertexId, Message>>>
+        remote_list;
+    std::unordered_map<PartitionId, std::unordered_map<VertexId, Message>>
+        remote_merged;
+    std::unordered_map<PartitionId, std::vector<std::pair<uint64_t, Message>>>
+        virtual_list;
+    std::unordered_map<PartitionId, std::unordered_map<uint64_t, Message>>
+        virtual_merged;
+
+    PropagationEmitter<Message> emitter;
+    for (VertexId v = meta.begin; v < meta.end; ++v) {
+      emitter.Clear();
+      app_.Transfer(v, states_[v], g.OutNeighbors(v), emitter);
+      for (auto& [target, message] : emitter.real()) {
+        const PartitionId pt = graph_->PartitionOf(target);
+        if (pt == p) {
+          if (merge_remote) {
+            if constexpr (MergeableApp<App>) {
+              auto it = local_merged.find(target);
+              if (it == local_merged.end()) {
+                local_merged.emplace(target, std::move(message));
+              } else {
+                it->second = app_.Merge(it->second, message);
+              }
+            }
+          } else {
+            local_out.emplace_back(target, std::move(message));
+          }
+        } else if (merge_remote) {
+          if constexpr (MergeableApp<App>) {
+            auto& bucket = remote_merged[pt];
+            auto it = bucket.find(target);
+            if (it == bucket.end()) {
+              bucket.emplace(target, std::move(message));
+            } else {
+              it->second = app_.Merge(it->second, message);
+            }
+          }
+        } else {
+          remote_list[pt].emplace_back(target, std::move(message));
+        }
+      }
+      for (auto& [target, message] : emitter.virtuals()) {
+        const PartitionId pt = static_cast<PartitionId>(target % num_partitions);
+        if (merge_remote) {
+          if constexpr (MergeableApp<App>) {
+            auto& bucket = virtual_merged[pt];
+            auto it = bucket.find(target);
+            if (it == bucket.end()) {
+              bucket.emplace(target, std::move(message));
+            } else {
+              it->second = app_.Merge(it->second, message);
+            }
+          }
+        } else {
+          virtual_list[pt].emplace_back(target, std::move(message));
+        }
+      }
+    }
+    if constexpr (MergeableApp<App>) {
+      for (auto& [target, message] : local_merged) {
+        local_out.emplace_back(target, std::move(message));
+      }
+    }
+
+    // Ship exactly one buffer per destination partition with any content,
+    // in ascending destination order (deterministic channel traffic).
+    for (PartitionId dst = 0; dst < num_partitions; ++dst) {
+      MessageBuffer buffer;
+      buffer.src = p;
+      buffer.dst = dst;
+      buffer.src_machine = exec_machine;
+      if (dst == p) {
+        buffer.real = std::move(local_out);
+      } else if (merge_remote) {
+        if (auto it = remote_merged.find(dst); it != remote_merged.end()) {
+          buffer.real.reserve(it->second.size());
+          for (auto& [target, message] : it->second) {
+            buffer.real.emplace_back(target, std::move(message));
+          }
+        }
+      } else if (auto it = remote_list.find(dst); it != remote_list.end()) {
+        buffer.real = std::move(it->second);
+      }
+      if (merge_remote) {
+        if (auto it = virtual_merged.find(dst); it != virtual_merged.end()) {
+          buffer.virtuals.reserve(it->second.size());
+          for (auto& [target, message] : it->second) {
+            buffer.virtuals.emplace_back(target, std::move(message));
+          }
+        }
+      } else if (auto it = virtual_list.find(dst); it != virtual_list.end()) {
+        buffer.virtuals = std::move(it->second);
+      }
+      if (buffer.real.empty() && buffer.virtuals.empty()) {
+        continue;
+      }
+      for (const auto& [target, message] : buffer.real) {
+        (void)target;
+        buffer.bytes += app_.MessageBytes(message);
+      }
+      for (const auto& [target, message] : buffer.virtuals) {
+        (void)target;
+        buffer.bytes += app_.MessageBytes(message);
+      }
+      buffer.num_messages = buffer.real.size() + buffer.virtuals.size();
+      SendBuffer(std::move(buffer), exec_machine, w, local);
+    }
+  }
+
+  /// Runs the Combine task of partition p: reconstructs the sequential
+  /// inbox order from the received buffers and applies Combine to every
+  /// vertex of the partition (messages or not), then folds virtual groups.
+  void RunCombineTask(PartitionId p, MachineId exec_machine, int iteration,
+                      WorkerLocal& local) {
+    obs::ScopedSpan task_span(
+        config_.tracer,
+        "rt_combine[" + std::to_string(iteration) + "]:p" + std::to_string(p),
+        "runtime", {{"machine", std::to_string(exec_machine)}});
+    const Graph& g = graph_->encoded_graph();
+    const PartitionMeta& meta = graph_->partition(p);
+    std::vector<MessageBuffer>& buffers = inboxes_[p];
+    // Ascending src order recreates the sequential delivery loop (the
+    // partition's own buffer lands at the src == p slot automatically).
+    std::sort(buffers.begin(), buffers.end(),
+              [](const MessageBuffer& a, const MessageBuffer& b) {
+                return a.src < b.src;
+              });
+    if (exec_machine != placement_->primary(p)) {
+      // Appendix-B recovery: the replica holder re-fetches the incoming
+      // message spills that the dead primary had already received.
+      for (const MessageBuffer& buffer : buffers) {
+        if (buffer.src_machine != exec_machine) {
+          local.refetch_bytes += buffer.bytes;
+        }
+      }
+    }
+
+    std::vector<std::pair<VertexId, Message>> messages;
+    std::vector<std::pair<uint64_t, Message>> virtual_messages;
+    for (MessageBuffer& buffer : buffers) {
+      std::move(buffer.real.begin(), buffer.real.end(),
+                std::back_inserter(messages));
+      std::move(buffer.virtuals.begin(), buffer.virtuals.end(),
+                std::back_inserter(virtual_messages));
+    }
+    buffers.clear();
+    buffers.shrink_to_fit();
+
+    std::stable_sort(messages.begin(), messages.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::vector<Message> vertex_messages;
+    size_t cursor = 0;
+    for (VertexId v = meta.begin; v < meta.end; ++v) {
+      vertex_messages.clear();
+      while (cursor < messages.size() && messages[cursor].first == v) {
+        vertex_messages.push_back(std::move(messages[cursor].second));
+        ++cursor;
+      }
+      app_.Combine(v, states_[v], g.OutNeighbors(v), vertex_messages);
+    }
+
+    if constexpr (VirtualVertexApp<App>) {
+      std::stable_sort(virtual_messages.begin(), virtual_messages.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+      std::vector<Message> group;
+      size_t i = 0;
+      while (i < virtual_messages.size()) {
+        const uint64_t id = virtual_messages[i].first;
+        group.clear();
+        while (i < virtual_messages.size() && virtual_messages[i].first == id) {
+          group.push_back(std::move(virtual_messages[i].second));
+          ++i;
+        }
+        virtual_results_[p].emplace_back(id, app_.CombineVirtual(id, group));
+      }
+    }
+  }
+
+  // ------------------------------------------------------------- wrap-up
+
+  void FinalizeStats() {
+    stats_.num_workers = num_workers_;
+    stats_.num_machines = num_machines_;
+    stats_.iterations = config_.iterations;
+    stats_.barrier_generations = barrier_->generation();
+    stats_.link_bytes.assign(
+        static_cast<size_t>(num_machines_) * num_machines_, 0);
+    for (const WorkerLocal& local : locals_) {
+      stats_.tasks_executed += local.tasks_executed;
+      stats_.tasks_reexecuted += local.tasks_reexecuted;
+      stats_.machine_failures += local.machine_failures;
+      stats_.messages_sent += local.messages_sent;
+      stats_.buffers_sent += local.buffers_sent;
+      stats_.refetch_bytes += local.refetch_bytes;
+      stats_.barrier_wait_seconds += local.barrier_wait_seconds;
+      stats_.barrier_wait.Merge(local.barrier_wait);
+      for (size_t i = 0; i < local.link_bytes.size(); ++i) {
+        stats_.link_bytes[i] += local.link_bytes[i];
+      }
+    }
+    stats_.channels.reserve(channels_.size());
+    for (const auto& channel : channels_) {
+      ChannelStats snapshot = channel->stats();
+      stats_.send_stalls += snapshot.send_stalls;
+      stats_.channel_depth.Merge(snapshot.depth_on_send);
+      stats_.channels.push_back(std::move(snapshot));
+    }
+
+    obs::MetricsRegistry* metrics = config_.metrics;
+    if (metrics == nullptr) {
+      return;
+    }
+    metrics->CounterRef("runtime_runs_total").Increment();
+    metrics->CounterRef("runtime_tasks_executed")
+        .Increment(stats_.tasks_executed);
+    metrics->CounterRef("runtime_tasks_reexecuted")
+        .Increment(stats_.tasks_reexecuted);
+    metrics->CounterRef("runtime_machine_failures")
+        .Increment(stats_.machine_failures);
+    metrics->CounterRef("runtime_messages_sent")
+        .Increment(stats_.messages_sent);
+    metrics->CounterRef("runtime_buffers_sent").Increment(stats_.buffers_sent);
+    metrics->CounterRef("runtime_send_stalls").Increment(stats_.send_stalls);
+    metrics->CounterRef("runtime_barrier_generations")
+        .Increment(stats_.barrier_generations);
+    metrics->CounterRef("runtime_network_bytes")
+        .Increment(stats_.TotalNetworkBytes());
+    metrics->GaugeRef("runtime_wall_seconds").Set(stats_.wall_seconds);
+    metrics->GaugeRef("runtime_barrier_wait_seconds")
+        .Set(stats_.barrier_wait_seconds);
+    metrics->HistogramRef("runtime_channel_depth")
+        .Merge(stats_.channel_depth);
+    metrics->HistogramRef("runtime_barrier_wait").Merge(stats_.barrier_wait);
+  }
+
+  const PartitionedGraph* graph_;
+  const ReplicatedPlacement* placement_;
+  const Topology* topology_;
+  App app_;
+  PropagationConfig config_;
+  RuntimeOptions options_;
+  FaultController fault_;
+
+  uint32_t num_machines_ = 0;
+  uint32_t num_workers_ = 0;
+  std::vector<std::vector<MachineId>> owned_machines_;
+  std::vector<std::unique_ptr<BoundedChannel<MessageBuffer>>> channels_;
+  std::unique_ptr<BspBarrier> barrier_;
+
+  // Shared state with single-writer-per-element or barrier-separated access
+  // (the data-race-freedom discipline TSan verifies):
+  //  - phase_: written by main before the start barrier, read by workers
+  //    after it releases;
+  //  - done_[p], inboxes_[p], virtual_results_[p]: written by the one worker
+  //    executing/owning that partition this round, read by main (and any
+  //    re-assigned worker) only across a barrier;
+  //  - alive_[m], stage_tasks_done_[m]: written solely by m's owner worker
+  //    (reset by main between stages, across a barrier);
+  //  - states_[v]: written by the Combine executor of v's partition, read
+  //    by the next iteration's Transfer executor across two barriers.
+  Phase phase_;
+  std::vector<uint8_t> done_;
+  std::vector<uint8_t> alive_;
+  std::vector<uint32_t> stage_tasks_done_;
+  std::vector<std::vector<MessageBuffer>> inboxes_;
+  std::vector<VertexState> states_;
+  std::vector<std::vector<std::pair<uint64_t, VirtualOutput>>> virtual_results_;
+  std::vector<WorkerLocal> locals_;
+
+  std::map<uint64_t, VirtualOutput> virtual_outputs_;
+  RuntimeStats stats_;
+};
+
+}  // namespace runtime
+}  // namespace surfer
+
+#endif  // SURFER_RUNTIME_EXECUTOR_H_

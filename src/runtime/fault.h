@@ -1,0 +1,56 @@
+#ifndef SURFER_RUNTIME_FAULT_H_
+#define SURFER_RUNTIME_FAULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace surfer {
+namespace runtime {
+
+/// Which half of a BSP superstep a fault lands in.
+enum class RuntimeStage : uint8_t { kTransfer = 0, kCombine = 1 };
+
+/// Kills `machine` during `iteration` (0-based) once it has completed
+/// `after_tasks` tasks of `stage`. Task-granular rather than time-granular so
+/// failure tests are deterministic under TSan and arbitrary scheduling.
+struct RuntimeFaultPlan {
+  MachineId machine = kInvalidMachine;
+  int iteration = 0;
+  RuntimeStage stage = RuntimeStage::kTransfer;
+  uint32_t after_tasks = 0;
+};
+
+/// Immutable fault schedule consulted by workers before each task. Mirrors
+/// the Appendix-B model in JobSimulation: a failed machine loses its
+/// unfinished work, which is re-executed from the next alive replica holder.
+class FaultController {
+ public:
+  FaultController() = default;
+  explicit FaultController(std::vector<RuntimeFaultPlan> plans)
+      : plans_(std::move(plans)) {}
+
+  /// True when `machine` should die now, i.e. before starting its
+  /// (tasks_completed + 1)-th task of the given stage.
+  bool ShouldKill(MachineId machine, int iteration, RuntimeStage stage,
+                  uint32_t tasks_completed) const {
+    for (const RuntimeFaultPlan& plan : plans_) {
+      if (plan.machine == machine && plan.iteration == iteration &&
+          plan.stage == stage && tasks_completed >= plan.after_tasks) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool empty() const { return plans_.empty(); }
+
+ private:
+  std::vector<RuntimeFaultPlan> plans_;
+};
+
+}  // namespace runtime
+}  // namespace surfer
+
+#endif  // SURFER_RUNTIME_FAULT_H_

@@ -1,0 +1,71 @@
+#include "runtime/report.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace surfer {
+namespace runtime {
+
+namespace {
+
+obs::JsonValue HistogramToJson(const Histogram& h) {
+  obs::JsonValue out = obs::JsonValue::MakeObject();
+  out.Set("count", static_cast<uint64_t>(h.count()));
+  out.Set("mean", h.Mean());
+  out.Set("max", h.max());
+  out.Set("p50", h.Percentile(50.0));
+  out.Set("p99", h.Percentile(99.0));
+  return out;
+}
+
+}  // namespace
+
+obs::JsonValue RuntimeStatsToJson(const RuntimeStats& stats) {
+  obs::JsonValue block = obs::JsonValue::MakeObject();
+  block.Set("num_workers", static_cast<uint64_t>(stats.num_workers));
+  block.Set("num_machines", static_cast<uint64_t>(stats.num_machines));
+  block.Set("iterations", stats.iterations);
+  block.Set("tasks_executed", stats.tasks_executed);
+  block.Set("tasks_reexecuted", stats.tasks_reexecuted);
+  block.Set("machine_failures", static_cast<uint64_t>(stats.machine_failures));
+  block.Set("messages_sent", stats.messages_sent);
+  block.Set("buffers_sent", stats.buffers_sent);
+  block.Set("send_stalls", stats.send_stalls);
+  block.Set("barrier_wait_seconds", stats.barrier_wait_seconds);
+  block.Set("barrier_generations", stats.barrier_generations);
+  block.Set("refetch_bytes", stats.refetch_bytes);
+  block.Set("wall_seconds", stats.wall_seconds);
+  block.Set("network_bytes", stats.TotalNetworkBytes());
+  block.Set("channel_depth", HistogramToJson(stats.channel_depth));
+  block.Set("barrier_wait", HistogramToJson(stats.barrier_wait));
+
+  // Only non-trivial channels make it into the report: with M machines there
+  // are M^2 channels but most carry nothing on sparse exchanges.
+  obs::JsonValue channels = obs::JsonValue::MakeArray();
+  const uint32_t n = stats.num_machines;
+  for (uint32_t src = 0; src < n; ++src) {
+    for (uint32_t dst = 0; dst < n; ++dst) {
+      const size_t idx = static_cast<size_t>(src) * n + dst;
+      const ChannelStats& ch = stats.channels[idx];
+      if (ch.sends == 0 && ch.send_stalls == 0) {
+        continue;
+      }
+      obs::JsonValue entry = obs::JsonValue::MakeObject();
+      entry.Set("src", static_cast<uint64_t>(src));
+      entry.Set("dst", static_cast<uint64_t>(dst));
+      entry.Set("capacity", static_cast<uint64_t>(ch.capacity));
+      entry.Set("bytes", stats.link_bytes.empty() ? uint64_t{0}
+                                                  : stats.link_bytes[idx]);
+      entry.Set("sends", ch.sends);
+      entry.Set("receives", ch.receives);
+      entry.Set("send_stalls", ch.send_stalls);
+      entry.Set("max_depth", static_cast<uint64_t>(ch.max_depth));
+      channels.Append(std::move(entry));
+    }
+  }
+  block.Set("channels", std::move(channels));
+  return block;
+}
+
+}  // namespace runtime
+}  // namespace surfer

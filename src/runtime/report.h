@@ -1,0 +1,18 @@
+#ifndef SURFER_RUNTIME_REPORT_H_
+#define SURFER_RUNTIME_REPORT_H_
+
+#include "obs/json.h"
+#include "runtime/stats.h"
+
+namespace surfer {
+namespace runtime {
+
+/// Serializes RuntimeStats into the run-report `runtime` block (see
+/// obs::ValidateRunReport for the schema contract). Built here rather than
+/// in obs/ so the observability layer stays independent of the runtime.
+obs::JsonValue RuntimeStatsToJson(const RuntimeStats& stats);
+
+}  // namespace runtime
+}  // namespace surfer
+
+#endif  // SURFER_RUNTIME_REPORT_H_

@@ -1,0 +1,62 @@
+#ifndef SURFER_RUNTIME_STATS_H_
+#define SURFER_RUNTIME_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "graph/types.h"
+#include "runtime/channel.h"
+
+namespace surfer {
+namespace runtime {
+
+/// Wall-clock execution statistics for one RuntimeExecutor run. Collected
+/// after the worker threads join, so everything here is plain data.
+struct RuntimeStats {
+  uint32_t num_workers = 0;
+  uint32_t num_machines = 0;
+  int iterations = 0;
+
+  uint64_t tasks_executed = 0;    ///< transfer + combine tasks run, incl. retries
+  uint64_t tasks_reexecuted = 0;  ///< tasks re-run on a replica after a kill
+  uint32_t machine_failures = 0;
+
+  uint64_t messages_sent = 0;  ///< materialized messages through channels
+  uint64_t buffers_sent = 0;   ///< channel items (one buffer per src/dst pair)
+  uint64_t send_stalls = 0;    ///< backpressure events across all channels
+
+  double barrier_wait_seconds = 0.0;  ///< summed across workers + main
+  uint64_t barrier_generations = 0;
+  uint64_t refetch_bytes = 0;  ///< replica re-reads triggered by recovery
+  double wall_seconds = 0.0;
+
+  /// Row-major M x M actual bytes moved per (src machine -> dst machine).
+  /// Off-diagonal entries are network traffic and, absent faults, must
+  /// reconcile exactly with PropagationRunner::link_network_bytes().
+  std::vector<uint64_t> link_bytes;
+
+  /// Snapshot of every channel, indexed src * M + dst.
+  std::vector<ChannelStats> channels;
+
+  Histogram channel_depth;  ///< queue depth observed at each send, merged
+  Histogram barrier_wait;   ///< per-wait seconds, merged across workers
+
+  uint64_t TotalNetworkBytes() const {
+    uint64_t total = 0;
+    const uint32_t n = num_machines;
+    for (uint32_t src = 0; src < n; ++src) {
+      for (uint32_t dst = 0; dst < n; ++dst) {
+        if (src != dst) {
+          total += link_bytes[static_cast<size_t>(src) * n + dst];
+        }
+      }
+    }
+    return total;
+  }
+};
+
+}  // namespace runtime
+}  // namespace surfer
+
+#endif  // SURFER_RUNTIME_STATS_H_

@@ -1,19 +1,16 @@
 #include "storage/replication.h"
 
 #include <algorithm>
+#include <span>
 
+#include "cluster/machine.h"
 #include "common/random.h"
 
 namespace surfer {
 
 MachineId ReplicatedPlacement::FirstAliveReplica(
     PartitionId p, const std::vector<uint8_t>& alive) const {
-  for (MachineId m : replicas[p]) {
-    if (m != kInvalidMachine && m < alive.size() && alive[m]) {
-      return m;
-    }
-  }
-  return kInvalidMachine;
+  return FirstAliveMachine(std::span<const MachineId>(replicas[p]), alive);
 }
 
 Result<ReplicatedPlacement> MakeReplicatedPlacement(

@@ -11,6 +11,8 @@
 #include "obs/run_report.h"
 #include "obs/trace.h"
 #include "propagation/runner.h"
+#include "runtime/executor.h"
+#include "runtime/report.h"
 #include "tests/test_fixtures.h"
 
 namespace surfer {
@@ -160,6 +162,51 @@ TEST(RunReportTest, ChromeTraceCarriesBothClockDomains) {
   EXPECT_TRUE(saw_wall);
   EXPECT_TRUE(saw_simulated);
   std::filesystem::remove(path);
+}
+
+TEST(RunReportTest, RuntimeBlockValidatesAndRoundTrips) {
+  // A real runtime run's stats become the report's optional `runtime` block.
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationConfig config = PropagationConfig::ForLevel(OptimizationLevel::kO4);
+  config.iterations = 2;
+  runtime::RuntimeExecutor<NetworkRankingApp> executor(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(executor.Run().ok());
+  const obs::JsonValue runtime_block =
+      runtime::RuntimeStatsToJson(executor.stats());
+
+  obs::RunReportOptions options;
+  options.name = "run_report_test_runtime";
+  const obs::JsonValue report = obs::BuildRunReport(
+      options, nullptr, nullptr, nullptr, &runtime_block);
+  ASSERT_TRUE(obs::ValidateRunReport(report).ok())
+      << obs::ValidateRunReport(report).ToString();
+
+  auto parsed = obs::ParseJson(report.Write());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* rt = parsed->Find("runtime");
+  ASSERT_NE(rt, nullptr);
+  EXPECT_EQ(rt->Find("num_machines")->as_number(),
+            f.topology.num_machines());
+  EXPECT_GT(rt->Find("tasks_executed")->as_number(), 0.0);
+  EXPECT_GT(rt->Find("network_bytes")->as_number(), 0.0);
+  EXPECT_GT(rt->Find("barrier_generations")->as_number(), 0.0);
+  EXPECT_FALSE(rt->Find("channels")->as_array().empty());
+  for (const obs::JsonValue& channel : rt->Find("channels")->as_array()) {
+    EXPECT_GE(channel.Find("capacity")->as_number(), 1.0);
+  }
+}
+
+TEST(RunReportTest, ValidateRejectsMalformedRuntimeBlock) {
+  obs::JsonValue report = obs::JsonValue::MakeObject();
+  report.Set("schema_version", obs::kRunReportSchemaVersion);
+  report.Set("name", "x");
+  obs::JsonValue bad_runtime = obs::JsonValue::MakeObject();
+  bad_runtime.Set("num_workers", 4);  // missing every other required field
+  report.Set("runtime", std::move(bad_runtime));
+  EXPECT_FALSE(obs::ValidateRunReport(report).ok());
 }
 
 // -------------------------------------- counters vs. optimization levels

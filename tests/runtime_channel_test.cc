@@ -1,0 +1,203 @@
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "runtime/barrier.h"
+#include "runtime/channel.h"
+#include "runtime/channel_plan.h"
+#include "runtime/fault.h"
+
+namespace surfer {
+namespace runtime {
+namespace {
+
+// ------------------------------------------------------------ channels
+
+TEST(BoundedChannelTest, FifoOrderAndStats) {
+  BoundedChannel<int> ch(4);
+  for (int i = 0; i < 4; ++i) {
+    int item = i;
+    EXPECT_TRUE(ch.TrySend(item));
+  }
+  EXPECT_EQ(ch.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    auto item = ch.TryRecv();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(ch.TryRecv().has_value());
+  const ChannelStats stats = ch.stats();
+  EXPECT_EQ(stats.capacity, 4u);
+  EXPECT_EQ(stats.sends, 4u);
+  EXPECT_EQ(stats.receives, 4u);
+  EXPECT_EQ(stats.send_stalls, 0u);
+  EXPECT_EQ(stats.max_depth, 4u);
+  EXPECT_EQ(stats.depth_on_send.count(), 4u);
+}
+
+TEST(BoundedChannelTest, FullChannelRejectsAndCountsStalls) {
+  BoundedChannel<int> ch(2);
+  int item = 1;
+  EXPECT_TRUE(ch.TrySend(item));
+  item = 2;
+  EXPECT_TRUE(ch.TrySend(item));
+  item = 99;
+  EXPECT_FALSE(ch.TrySend(item));
+  EXPECT_EQ(item, 99);  // failed send leaves the item intact
+  EXPECT_FALSE(
+      ch.TrySendFor(item, std::chrono::milliseconds(5)));
+  EXPECT_EQ(ch.stats().send_stalls, 2u);
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(BoundedChannelTest, ProducerBlocksOnFullChannelUntilConsumerDrains) {
+  BoundedChannel<int> ch(1);
+  int item = 1;
+  ASSERT_TRUE(ch.TrySend(item));
+
+  std::atomic<bool> sent{false};
+  std::thread producer([&] {
+    ch.Send(2);  // must block: the single slot is taken
+    sent.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(sent.load()) << "producer should be blocked on the full channel";
+
+  auto first = ch.TryRecv();  // frees the slot, unblocking the producer
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 1);
+  producer.join();
+  EXPECT_TRUE(sent.load());
+  auto second = ch.TryRecv();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, 2);
+}
+
+TEST(BoundedChannelTest, MinimumCapacityIsOne) {
+  BoundedChannel<int> ch(0);
+  EXPECT_EQ(ch.capacity(), 1u);
+}
+
+// ------------------------------------------------------------- barrier
+
+TEST(BspBarrierTest, GenerationsAdvanceAcrossThreads) {
+  constexpr uint32_t kThreads = 4;
+  constexpr int kRounds = 25;
+  BspBarrier barrier(kThreads);
+  std::atomic<uint32_t> inside{0};
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        inside.fetch_add(1);
+        barrier.ArriveAndWait();
+        // Everyone must have entered this round before anyone proceeds.
+        EXPECT_GE(inside.load(), (round + 1) * kThreads);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(barrier.generation(), static_cast<uint64_t>(kRounds));
+}
+
+TEST(BspBarrierTest, PollCallbackRunsWhileWaiting) {
+  BspBarrier barrier(2);
+  std::atomic<uint64_t> polls{0};
+  std::thread waiter([&] {
+    barrier.ArriveAndWait([&] { polls.fetch_add(1); });
+  });
+  // Give the waiter time to spin on the poll loop before releasing it.
+  while (polls.load() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  barrier.ArriveAndWait();
+  waiter.join();
+  EXPECT_GE(polls.load(), 3u);
+}
+
+TEST(BspBarrierTest, DefectReleasesCurrentGeneration) {
+  // Two of three participants arrive; the third defects (worker death) and
+  // the generation must complete for the two waiters.
+  BspBarrier barrier(3);
+  std::thread a([&] { barrier.ArriveAndWait(); });
+  std::thread b([&] { barrier.ArriveAndWait(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(barrier.generation(), 0u);
+  barrier.Defect();
+  a.join();
+  b.join();
+  EXPECT_EQ(barrier.generation(), 1u);
+  EXPECT_EQ(barrier.participants(), 2u);
+  // The barrier stays usable at the reduced membership.
+  std::thread c([&] { barrier.ArriveAndWait(); });
+  barrier.ArriveAndWait();
+  c.join();
+  EXPECT_EQ(barrier.generation(), 2u);
+}
+
+// -------------------------------------------------------- channel plan
+
+TEST(ChannelPlanTest, UniformTopologyGetsUniformCapacities) {
+  const Topology t1 = Topology::T1(4);
+  const std::vector<size_t> caps = PlanChannelCapacities(t1, 32);
+  ASSERT_EQ(caps.size(), 16u);
+  for (size_t cap : caps) {
+    EXPECT_EQ(cap, 32u);
+  }
+}
+
+TEST(ChannelPlanTest, CrossPodLinksAreNarrow) {
+  // T2 with two pods and a 16x cross-pod slowdown: intra-pod pairs keep the
+  // base capacity, cross-pod pairs get base/16, self links stay at base.
+  const Topology t2 = Topology::T2(4, 2, 1, /*second_level_factor=*/16.0);
+  const uint32_t n = t2.num_machines();
+  const std::vector<size_t> caps = PlanChannelCapacities(t2, 32);
+  for (uint32_t a = 0; a < n; ++a) {
+    for (uint32_t b = 0; b < n; ++b) {
+      const size_t cap = caps[a * n + b];
+      if (a == b) {
+        EXPECT_EQ(cap, 32u);
+      } else if (t2.machine(a).pod == t2.machine(b).pod) {
+        EXPECT_EQ(cap, 32u);
+      } else {
+        EXPECT_EQ(cap, 2u);  // 32 / 16
+      }
+    }
+  }
+}
+
+TEST(ChannelPlanTest, CapacityNeverDropsBelowOne) {
+  const Topology t2 = Topology::T2(4, 2, 1, /*second_level_factor=*/128.0);
+  const std::vector<size_t> caps = PlanChannelCapacities(t2, 4);
+  for (size_t cap : caps) {
+    EXPECT_GE(cap, 1u);  // 4/128 rounds to 0 and must clamp
+  }
+}
+
+// --------------------------------------------------------------- fault
+
+TEST(FaultControllerTest, KillsAtTaskGranularity) {
+  FaultController controller({RuntimeFaultPlan{
+      .machine = 3, .iteration = 1, .stage = RuntimeStage::kTransfer,
+      .after_tasks = 2}});
+  EXPECT_FALSE(controller.ShouldKill(3, 1, RuntimeStage::kTransfer, 0));
+  EXPECT_FALSE(controller.ShouldKill(3, 1, RuntimeStage::kTransfer, 1));
+  EXPECT_TRUE(controller.ShouldKill(3, 1, RuntimeStage::kTransfer, 2));
+  EXPECT_TRUE(controller.ShouldKill(3, 1, RuntimeStage::kTransfer, 5));
+  // Wrong machine / iteration / stage never fire.
+  EXPECT_FALSE(controller.ShouldKill(2, 1, RuntimeStage::kTransfer, 9));
+  EXPECT_FALSE(controller.ShouldKill(3, 0, RuntimeStage::kTransfer, 9));
+  EXPECT_FALSE(controller.ShouldKill(3, 1, RuntimeStage::kCombine, 9));
+  EXPECT_TRUE(FaultController{}.empty());
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace surfer

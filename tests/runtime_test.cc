@@ -1,0 +1,297 @@
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/degree_distribution.h"
+#include "apps/network_ranking.h"
+#include "propagation/app_traits.h"
+#include "propagation/config.h"
+#include "propagation/runner.h"
+#include "runtime/executor.h"
+#include "tests/test_fixtures.h"
+
+namespace surfer {
+namespace {
+
+using runtime::RuntimeExecutor;
+using runtime::RuntimeFaultPlan;
+using runtime::RuntimeOptions;
+using runtime::RuntimeStage;
+using testing_fixtures::EngineFixture;
+using testing_fixtures::MakeEngineFixture;
+
+const EngineFixture& Fixture() {
+  static const EngineFixture* fixture =
+      new EngineFixture(MakeEngineFixture());
+  return *fixture;
+}
+
+constexpr OptimizationLevel kAllLevels[] = {
+    OptimizationLevel::kO1, OptimizationLevel::kO2, OptimizationLevel::kO3,
+    OptimizationLevel::kO4};
+
+/// Bitwise comparison of two state vectors; on mismatch reports the first
+/// differing vertex so failures are debuggable.
+template <typename State>
+void ExpectBitIdentical(const std::vector<State>& expected,
+                        const std::vector<State>& actual,
+                        const std::string& what) {
+  ASSERT_EQ(expected.size(), actual.size()) << what;
+  if (std::memcmp(expected.data(), actual.data(),
+                  expected.size() * sizeof(State)) == 0) {
+    return;
+  }
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_EQ(std::memcmp(&expected[v], &actual[v], sizeof(State)), 0)
+        << what << ": first bit difference at vertex " << v << " (expected "
+        << expected[v] << ", got " << actual[v] << ")";
+  }
+}
+
+PropagationConfig ConfigFor(OptimizationLevel level, int iterations) {
+  PropagationConfig config = PropagationConfig::ForLevel(level);
+  config.iterations = iterations;
+  return config;
+}
+
+// ----------------------------------------------- bit-identity contract
+
+TEST(RuntimeTest, NetworkRankingBitIdenticalAcrossLevelsAndWorkerCounts) {
+  const EngineFixture& f = Fixture();
+  for (OptimizationLevel level : kAllLevels) {
+    const BenchmarkSetup setup = f.Setup(level);
+    const PropagationConfig config = ConfigFor(level, /*iterations=*/3);
+    NetworkRankingApp app(f.graph.num_vertices());
+    PropagationRunner<NetworkRankingApp> runner(
+        setup.graph, setup.placement, setup.topology, app, config);
+    ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+    // Worker count 1 is the single-worker degeneracy case (pure sequential
+    // execution through the same code path); 3 forces machine multiplexing;
+    // 8 is one worker per machine.
+    for (uint32_t workers : {1u, 3u, 8u}) {
+      RuntimeOptions options;
+      options.max_workers = workers;
+      RuntimeExecutor<NetworkRankingApp> executor(
+          setup.graph, setup.placement, setup.topology, app, config, options);
+      ASSERT_TRUE(executor.Run().ok());
+      ExpectBitIdentical(runner.states(), executor.states(),
+                         OptimizationLevelName(level) + " with " +
+                             std::to_string(workers) + " workers");
+      EXPECT_EQ(executor.stats().num_workers, workers);
+      EXPECT_GT(executor.stats().messages_sent, 0u);
+      EXPECT_GT(executor.stats().barrier_generations, 0u);
+    }
+  }
+}
+
+TEST(RuntimeTest, DegreeDistributionVirtualOutputsMatchSequential) {
+  const EngineFixture& f = Fixture();
+  for (OptimizationLevel level : kAllLevels) {
+    const BenchmarkSetup setup = f.Setup(level);
+    const PropagationConfig config = ConfigFor(level, /*iterations=*/1);
+    DegreeDistributionApp app;
+    PropagationRunner<DegreeDistributionApp> runner(
+        setup.graph, setup.placement, setup.topology, app, config);
+    ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+    ASSERT_FALSE(runner.virtual_outputs().empty());
+
+    RuntimeExecutor<DegreeDistributionApp> executor(
+        setup.graph, setup.placement, setup.topology, app, config);
+    ASSERT_TRUE(executor.Run().ok());
+    EXPECT_EQ(runner.virtual_outputs(), executor.virtual_outputs())
+        << OptimizationLevelName(level);
+  }
+}
+
+TEST(RuntimeTest, BitIdenticalUnderMaximumBackpressure) {
+  // Capacity-1 channels force every link to stall constantly; the
+  // drain-while-blocked send loop must still complete with exact results.
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  const PropagationConfig config =
+      ConfigFor(OptimizationLevel::kO4, /*iterations=*/2);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationRunner<NetworkRankingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  RuntimeOptions options;
+  options.base_channel_capacity = 1;
+  RuntimeExecutor<NetworkRankingApp> executor(
+      setup.graph, setup.placement, setup.topology, app, config, options);
+  ASSERT_TRUE(executor.Run().ok());
+  ExpectBitIdentical(runner.states(), executor.states(),
+                     "capacity-1 channels");
+}
+
+// ------------------------------------ cost-model cross-validation (bytes)
+
+TEST(RuntimeTest, PerLinkBytesReconcileWithCostModel) {
+  const EngineFixture& f = Fixture();
+  const uint32_t n = f.topology.num_machines();
+  for (OptimizationLevel level : kAllLevels) {
+    const BenchmarkSetup setup = f.Setup(level);
+    const PropagationConfig config = ConfigFor(level, /*iterations=*/2);
+    NetworkRankingApp app(f.graph.num_vertices());
+    PropagationRunner<NetworkRankingApp> runner(
+        setup.graph, setup.placement, setup.topology, app, config);
+    ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+    RuntimeExecutor<NetworkRankingApp> executor(
+        setup.graph, setup.placement, setup.topology, app, config);
+    ASSERT_TRUE(executor.Run().ok());
+
+    const std::vector<double>& analytic = runner.link_network_bytes();
+    const std::vector<uint64_t>& measured = executor.stats().link_bytes;
+    ASSERT_EQ(analytic.size(), static_cast<size_t>(n) * n);
+    ASSERT_EQ(measured.size(), analytic.size());
+    double analytic_total = 0.0;
+    for (uint32_t src = 0; src < n; ++src) {
+      for (uint32_t dst = 0; dst < n; ++dst) {
+        const size_t i = static_cast<size_t>(src) * n + dst;
+        if (src == dst) {
+          EXPECT_EQ(analytic[i], 0.0) << "analytic diagonal must be empty";
+          continue;  // runtime diagonal carries local (non-network) traffic
+        }
+        EXPECT_EQ(analytic[i], static_cast<double>(measured[i]))
+            << OptimizationLevelName(level) << " link " << src << "->" << dst;
+        analytic_total += analytic[i];
+      }
+    }
+    EXPECT_GT(analytic_total, 0.0);
+    EXPECT_EQ(static_cast<double>(executor.stats().TotalNetworkBytes()),
+              analytic_total);
+  }
+}
+
+// -------------------------------------------------- fault injection (B)
+
+TEST(RuntimeTest, TransferStageFaultRecoversBitIdentically) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  const PropagationConfig config =
+      ConfigFor(OptimizationLevel::kO4, /*iterations=*/3);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationRunner<NetworkRankingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  const MachineId victim = setup.placement->primary(0);
+  RuntimeOptions options;
+  options.faults = {RuntimeFaultPlan{.machine = victim,
+                                     .iteration = 1,
+                                     .stage = RuntimeStage::kTransfer,
+                                     .after_tasks = 1}};
+  RuntimeExecutor<NetworkRankingApp> executor(
+      setup.graph, setup.placement, setup.topology, app, config, options);
+  ASSERT_TRUE(executor.Run().ok());
+  ExpectBitIdentical(runner.states(), executor.states(),
+                     "transfer-stage fault");
+  EXPECT_EQ(executor.stats().machine_failures, 1u);
+  EXPECT_GT(executor.stats().tasks_reexecuted, 0u);
+  EXPECT_EQ(executor.alive()[victim], 0u);
+  // The victim's later Combine tasks ran on a replica, which re-fetches the
+  // message spills the dead primary had received (Appendix B).
+  EXPECT_GT(executor.stats().refetch_bytes, 0u);
+}
+
+TEST(RuntimeTest, CombineStageFaultRecoversBitIdentically) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO1);
+  const PropagationConfig config =
+      ConfigFor(OptimizationLevel::kO1, /*iterations=*/2);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationRunner<NetworkRankingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  const MachineId victim = setup.placement->primary(1);
+  RuntimeOptions options;
+  options.faults = {RuntimeFaultPlan{.machine = victim,
+                                     .iteration = 0,
+                                     .stage = RuntimeStage::kCombine,
+                                     .after_tasks = 0}};
+  RuntimeExecutor<NetworkRankingApp> executor(
+      setup.graph, setup.placement, setup.topology, app, config, options);
+  ASSERT_TRUE(executor.Run().ok());
+  ExpectBitIdentical(runner.states(), executor.states(),
+                     "combine-stage fault");
+  EXPECT_EQ(executor.stats().machine_failures, 1u);
+  EXPECT_GT(executor.stats().tasks_reexecuted, 0u);
+  EXPECT_GT(executor.stats().refetch_bytes, 0u);
+}
+
+TEST(RuntimeTest, UnrecoverableJobFailsCleanly) {
+  // Kill every machine in the first transfer stage: at some point a pending
+  // partition has no alive replica left and the run must fail (not hang).
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  const PropagationConfig config =
+      ConfigFor(OptimizationLevel::kO4, /*iterations=*/1);
+  NetworkRankingApp app(f.graph.num_vertices());
+  RuntimeOptions options;
+  for (MachineId m = 0; m < f.topology.num_machines(); ++m) {
+    options.faults.push_back(RuntimeFaultPlan{.machine = m,
+                                              .iteration = 0,
+                                              .stage = RuntimeStage::kTransfer,
+                                              .after_tasks = 0});
+  }
+  RuntimeExecutor<NetworkRankingApp> executor(
+      setup.graph, setup.placement, setup.topology, app, config, options);
+  const Status status = executor.Run();
+  EXPECT_FALSE(status.ok());
+  EXPECT_GT(executor.stats().machine_failures, 0u);
+}
+
+// ----------------------------------------------------- edge-case apps
+
+/// An app whose Transfer emits nothing: exercises zero-message stages (the
+/// BSP machinery must still run Combine for every vertex each iteration).
+struct SilentApp {
+  using VertexState = uint32_t;
+  using Message = uint32_t;
+
+  VertexState InitState(VertexId v, std::span<const VertexId>) const {
+    return v;
+  }
+  void Transfer(VertexId, const VertexState&, std::span<const VertexId>,
+                PropagationEmitter<Message>&) const {}
+  void Combine(VertexId, VertexState& state, std::span<const VertexId>,
+               std::vector<Message>& messages) const {
+    state += 1 + static_cast<uint32_t>(messages.size());
+  }
+  size_t MessageBytes(const Message&) const { return sizeof(Message); }
+  size_t StateBytes(const VertexState&) const { return sizeof(VertexState); }
+};
+static_assert(PropagationApp<SilentApp>);
+
+TEST(RuntimeTest, ZeroMessageStagesStillCombineEveryVertex) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  const PropagationConfig config =
+      ConfigFor(OptimizationLevel::kO4, /*iterations=*/2);
+  SilentApp app;
+  PropagationRunner<SilentApp> runner(setup.graph, setup.placement,
+                                      setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  RuntimeExecutor<SilentApp> executor(setup.graph, setup.placement,
+                                      setup.topology, app, config);
+  ASSERT_TRUE(executor.Run().ok());
+  ExpectBitIdentical(runner.states(), executor.states(), "zero-message app");
+  // No messages were emitted, so nothing traveled the channels...
+  EXPECT_EQ(executor.stats().messages_sent, 0u);
+  EXPECT_EQ(executor.stats().TotalNetworkBytes(), 0u);
+  // ...yet Combine ran twice for every vertex.
+  for (VertexId v = 0; v < f.graph.num_vertices(); ++v) {
+    ASSERT_EQ(executor.states()[v], v + 2);
+  }
+}
+
+}  // namespace
+}  // namespace surfer
