@@ -1,0 +1,108 @@
+// Host-side scaling of the task-parallel multilevel partitioner: the
+// standard bench graph is partitioned 64 ways once through the sequential
+// path (num_threads = 0) and then at 1/2/4/8 worker threads. Emits the
+// machine-readable perf baseline BENCH_partition.json so CI trends
+// partitioning wall clock — the headline preprocessing cost of PAPER.md
+// Table 1 — over time. Every threaded point is cross-checked for
+// bit-identity against the sequential assignment and sketch cuts: a speedup
+// that changes the partitioning is a bug, not a win.
+//
+// `--smoke` runs a reduced sweep (small graph, one threaded point) so CI can
+// exercise the binary in seconds without polluting baselines.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "partition/recursive_partitioner.h"
+
+int main(int argc, char** argv) {
+  using namespace surfer;
+  using namespace surfer::bench;
+  using Clock = std::chrono::steady_clock;
+
+  const bool smoke =
+      argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  BenchGraphOptions graph_options;
+  uint32_t num_partitions = 64;
+  std::vector<uint32_t> thread_points = {1, 2, 4, 8};
+  if (smoke) {
+    graph_options.num_vertices = 1 << 13;
+    graph_options.num_communities = 8;
+    num_partitions = 16;
+    thread_points = {2};
+  }
+  const Graph graph = MakeBenchGraph(graph_options);
+
+  PrintHeader(std::string("Partition scaling: task-parallel recursive "
+                          "bisection vs sequential") +
+              (smoke ? " (smoke)" : ""));
+
+  RecursivePartitionerOptions options;
+  options.num_partitions = num_partitions;
+  options.num_threads = 0;
+  const auto seq_start = Clock::now();
+  auto sequential = RecursivePartition(graph, options);
+  const double sequential_wall_s =
+      std::chrono::duration<double>(Clock::now() - seq_start).count();
+  SURFER_CHECK(sequential.ok()) << sequential.status().ToString();
+  std::printf("sequential partitioner: %.3f s (host wall clock)\n\n",
+              sequential_wall_s);
+
+  obs::JsonValue baseline = obs::JsonValue::MakeObject();
+  baseline.Set("name", std::string("bench_partition_scaling"));
+  baseline.Set("smoke", smoke);
+  baseline.Set("num_vertices", static_cast<uint64_t>(graph.num_vertices()));
+  baseline.Set("num_edges", static_cast<uint64_t>(graph.num_edges()));
+  baseline.Set("num_partitions", static_cast<uint64_t>(num_partitions));
+  // Speedup is bounded by host cores; record the bound so baselines from
+  // different hosts compare meaningfully (a 1-core CI runner cannot beat
+  // 1.0x no matter how well the partitioner scales).
+  baseline.Set("host_cores",
+               static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  baseline.Set("sequential_wall_s", sequential_wall_s);
+
+  std::printf("%-9s %12s %9s %14s\n", "Threads", "Wall (s)", "Speedup",
+              "Bit-identical");
+  obs::JsonValue points = obs::JsonValue::MakeArray();
+  for (uint32_t threads : thread_points) {
+    options.num_threads = threads;
+    const auto start = Clock::now();
+    auto threaded = RecursivePartition(graph, options);
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    SURFER_CHECK(threaded.ok()) << threaded.status().ToString();
+    bool identical = threaded->partitioning.assignment ==
+                     sequential->partitioning.assignment;
+    for (uint32_t node = 1; node < num_partitions; ++node) {
+      identical = identical && threaded->sketch.BisectionCut(node) ==
+                                   sequential->sketch.BisectionCut(node);
+    }
+    SURFER_CHECK(identical)
+        << "partitioner diverged from the sequential path at " << threads
+        << " threads";
+    const double speedup = sequential_wall_s / wall_s;
+    std::printf("%-9u %12.3f %8.2fx %14s\n", threads, wall_s, speedup, "yes");
+    obs::JsonValue point = obs::JsonValue::MakeObject();
+    point.Set("threads", static_cast<uint64_t>(threads));
+    point.Set("wall_s", wall_s);
+    point.Set("speedup", speedup);
+    point.Set("bit_identical", identical);
+    points.Append(std::move(point));
+  }
+  baseline.Set("points", std::move(points));
+
+  const std::string baseline_path = ArtifactDir() + "/BENCH_partition.json";
+  if (const Status status = obs::WriteRunReport(baseline_path, baseline);
+      status.ok()) {
+    std::printf("\nartifact: %s\n", baseline_path.c_str());
+  } else {
+    SURFER_LOG(kWarning) << "failed to write " << baseline_path << ": "
+                         << status.ToString();
+  }
+  return 0;
+}

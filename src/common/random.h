@@ -6,6 +6,19 @@
 
 namespace surfer {
 
+/// Mixes a base seed with a stream index (tree node, recursion depth,
+/// shard id, ...) into a decorrelated derived seed via the SplitMix64
+/// finalizer. Use this instead of additive/multiplicative schemes like
+/// `seed + depth * 7919`: nearby (seed, stream) pairs under those schemes
+/// land in nearby PRNG states and produce visibly correlated shuffles,
+/// while the finalizer's avalanche makes every derived seed independent.
+inline uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Deterministic, fast PRNG (xoshiro256**), seeded via SplitMix64. Every
 /// randomized component in Surfer (generators, partitioners, schedulers)
 /// takes an explicit seed so experiments are reproducible bit-for-bit.

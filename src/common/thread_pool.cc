@@ -76,6 +76,35 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   Wait();
 }
 
+bool ThreadPool::TryRunOneTask() {
+  using Clock = std::chrono::steady_clock;
+  PendingTask task;
+  Clock::time_point started;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) {
+      return false;
+    }
+    task = std::move(queue_.front());
+    queue_.pop();
+    stats_.queue_depth = queue_.size();
+    started = Clock::now();
+    stats_.queue_wait_seconds.Add(
+        std::chrono::duration<double>(started - task.enqueued).count());
+  }
+  task.fn();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stats_.task_run_seconds.Add(
+        std::chrono::duration<double>(Clock::now() - started).count());
+    ++stats_.tasks_completed;
+    if (--in_flight_ == 0) {
+      all_done_.notify_all();
+    }
+  }
+  return true;
+}
+
 void ThreadPool::WorkerLoop() {
   using Clock = std::chrono::steady_clock;
   for (;;) {
@@ -106,6 +135,69 @@ void ThreadPool::WorkerLoop() {
       }
     }
   }
+}
+
+void TaskGroup::Submit(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    fn();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
+  pool_->Submit([this, fn = std::move(fn)] {
+    fn();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--outstanding_ == 0) {
+      done_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::Wait() {
+  if (pool_ == nullptr) {
+    return;  // inline mode: every task already ran in Submit
+  }
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (outstanding_ == 0) {
+        return;
+      }
+    }
+    if (pool_->TryRunOneTask()) {
+      continue;
+    }
+    // Queue empty but group tasks still running on other threads. A running
+    // task may submit more work to the pool, which our predicate cannot see,
+    // so wake periodically to re-check the queue rather than parking until
+    // the group drains.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait_for(lock, std::chrono::milliseconds(1),
+                   [this] { return outstanding_ == 0; });
+  }
+}
+
+void ParallelForChunked(ThreadPool* pool, size_t n, size_t grain,
+                        const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  grain = std::max<size_t>(1, grain);
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= grain) {
+    fn(0, n);
+    return;
+  }
+  const size_t max_chunks = (n + grain - 1) / grain;
+  const size_t num_chunks = std::min(max_chunks, pool->num_threads() * 4);
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  TaskGroup group(pool);
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    const size_t end = std::min(n, begin + chunk);
+    group.Submit([&fn, begin, end] { fn(begin, end); });
+  }
+  group.Wait();
 }
 
 ThreadPool& GlobalThreadPool() {

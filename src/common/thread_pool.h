@@ -46,6 +46,13 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void Wait();
 
+  /// Pops one queued task (if any) and runs it on the *calling* thread.
+  /// Returns false when the queue was empty. This is what lets a thread
+  /// that must block on a subset of tasks (see TaskGroup::Wait) help drain
+  /// the pool instead of idling — and is the reason nested waits cannot
+  /// deadlock even when every worker is itself inside a wait.
+  bool TryRunOneTask();
+
   size_t num_threads() const { return threads_.size(); }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
@@ -75,6 +82,49 @@ class ThreadPool {
 
 /// Returns a process-wide pool sized to the hardware concurrency.
 ThreadPool& GlobalThreadPool();
+
+/// Tracks completion of one *set* of tasks submitted to a shared ThreadPool,
+/// unlike ThreadPool::Wait which waits for the whole pool. A null pool runs
+/// every submitted task inline on the calling thread, so sequential and
+/// parallel callers share one code path (the partitioner's num_threads = 0
+/// mode relies on this: inline execution reproduces the exact depth-first
+/// order of the pre-parallel code).
+///
+/// Wait() is help-first: while the group's tasks are outstanding the waiting
+/// thread executes *any* queued pool task. Tasks may therefore submit nested
+/// groups and wait on them from inside a worker without deadlock.
+class TaskGroup {
+ public:
+  /// `pool` is not owned and may be null (inline mode).
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Runs `fn` inline (null pool) or enqueues it on the pool.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted to *this group* has finished,
+  /// executing queued pool tasks while it waits.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_;
+  size_t outstanding_ = 0;
+};
+
+/// Deterministic chunked parallel-for: splits [0, n) into fixed ranges of at
+/// least `grain` indices (independent of how many threads actually run) and
+/// calls fn(begin, end) for each, blocking until all complete. A null pool,
+/// n <= grain, or a single-thread pool runs fn(0, n) inline. Because the
+/// chunk boundaries depend only on (n, grain, pool size), a caller whose
+/// chunks write disjoint state produces bit-identical results at any level
+/// of actual concurrency.
+void ParallelForChunked(ThreadPool* pool, size_t n, size_t grain,
+                        const std::function<void(size_t, size_t)>& fn);
 
 }  // namespace surfer
 

@@ -8,13 +8,22 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 
 namespace surfer {
 
-int64_t ComputeCutWeight(const WeightedGraph& graph,
-                         const std::vector<uint8_t>& side) {
+namespace {
+
+/// Below this many vertices the sharded paths fall back to sequential: the
+/// submit/wait overhead dwarfs the work. Purely a performance gate — the
+/// parallel paths produce identical output at any size.
+constexpr VertexId kIntraParallelMinVertices = 4096;
+
+int64_t CutWeightRange(const WeightedGraph& graph,
+                       const std::vector<uint8_t>& side, VertexId begin,
+                       VertexId end) {
   int64_t cut = 0;
-  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+  for (VertexId u = begin; u < end; ++u) {
     const auto nbrs = graph.Neighbors(u);
     const auto weights = graph.EdgeWeights(u);
     for (size_t i = 0; i < nbrs.size(); ++i) {
@@ -23,13 +32,47 @@ int64_t ComputeCutWeight(const WeightedGraph& graph,
       }
     }
   }
+  return cut;
+}
+
+}  // namespace
+
+int64_t ComputeCutWeight(const WeightedGraph& graph,
+                         const std::vector<uint8_t>& side, ThreadPool* pool) {
+  const VertexId n = graph.num_vertices();
+  if (pool == nullptr || n < kIntraParallelMinVertices) {
+    return CutWeightRange(graph, side, 0, n) / 2;
+  }
+  // Shard into fixed chunks; each writes its own slot, and the slots sum in
+  // chunk order. Integer addition is exact under regrouping, so the total
+  // matches the sequential scan bit-for-bit.
+  const size_t num_chunks = pool->num_threads() * 4;
+  const size_t chunk = (static_cast<size_t>(n) + num_chunks - 1) / num_chunks;
+  std::vector<int64_t> partial(num_chunks, 0);
+  TaskGroup group(pool);
+  size_t slot = 0;
+  for (size_t begin = 0; begin < n; begin += chunk, ++slot) {
+    const VertexId range_begin = static_cast<VertexId>(begin);
+    const VertexId range_end =
+        static_cast<VertexId>(std::min<size_t>(n, begin + chunk));
+    int64_t* out = &partial[slot];
+    group.Submit([&graph, &side, range_begin, range_end, out] {
+      *out = CutWeightRange(graph, side, range_begin, range_end);
+    });
+  }
+  group.Wait();
+  int64_t cut = 0;
+  for (int64_t p : partial) {
+    cut += p;
+  }
   return cut / 2;  // every undirected edge counted from both endpoints
 }
 
 namespace internal {
 
 WeightedGraph CoarsenOnce(const WeightedGraph& graph, uint64_t seed,
-                          std::vector<VertexId>* fine_to_coarse) {
+                          std::vector<VertexId>* fine_to_coarse,
+                          ThreadPool* pool) {
   const VertexId n = graph.num_vertices();
   std::vector<VertexId> match(n, kInvalidVertex);
   std::vector<VertexId> order(n);
@@ -89,9 +132,15 @@ WeightedGraph CoarsenOnce(const WeightedGraph& graph, uint64_t seed,
     members[(*fine_to_coarse)[v]].push_back(v);
   }
   coarse.offsets.assign(next_coarse + 1, 0);
-  std::vector<int64_t> accumulator(next_coarse, 0);
-  std::vector<VertexId> touched;
-  for (VertexId c = 0; c < next_coarse; ++c) {
+  // Merges one coarse vertex's adjacency: accumulate edge weights from all
+  // members into `accumulator` (dense, reset after use), emit neighbors in
+  // sorted coarse-ID order. Each coarse vertex is independent of the others,
+  // which is what the sharded build below exploits.
+  auto merge_adjacency = [&graph, &members, fine_to_coarse](
+                             VertexId c, std::vector<int64_t>& accumulator,
+                             std::vector<VertexId>& touched,
+                             std::vector<VertexId>& out_neighbors,
+                             std::vector<int64_t>& out_weights) {
     touched.clear();
     for (VertexId v : members[c]) {
       const auto nbrs = graph.Neighbors(v);
@@ -109,11 +158,70 @@ WeightedGraph CoarsenOnce(const WeightedGraph& graph, uint64_t seed,
     }
     std::sort(touched.begin(), touched.end());
     for (VertexId cn : touched) {
-      coarse.neighbors.push_back(cn);
-      coarse.edge_weights.push_back(accumulator[cn]);
+      out_neighbors.push_back(cn);
+      out_weights.push_back(accumulator[cn]);
       accumulator[cn] = 0;
     }
-    coarse.offsets[c + 1] = coarse.neighbors.size();
+  };
+
+  if (pool == nullptr || n < kIntraParallelMinVertices) {
+    std::vector<int64_t> accumulator(next_coarse, 0);
+    std::vector<VertexId> touched;
+    for (VertexId c = 0; c < next_coarse; ++c) {
+      merge_adjacency(c, accumulator, touched, coarse.neighbors,
+                      coarse.edge_weights);
+      coarse.offsets[c + 1] = coarse.neighbors.size();
+    }
+    return coarse;
+  }
+
+  // Sharded build: each chunk of coarse vertices merges into its own buffer
+  // (with its own dense accumulator), and buffers concatenate in chunk order
+  // afterwards. Chunk boundaries only group the same per-vertex lists, so
+  // the stitched CSR is identical to the sequential build.
+  struct ChunkBuffer {
+    std::vector<VertexId> neighbors;
+    std::vector<int64_t> weights;
+    std::vector<EdgeIndex> degrees;  // per coarse vertex in the chunk
+  };
+  const size_t num_chunks =
+      std::min<size_t>(pool->num_threads() * 4, next_coarse);
+  const VertexId chunk =
+      static_cast<VertexId>((next_coarse + num_chunks - 1) / num_chunks);
+  std::vector<ChunkBuffer> buffers(num_chunks);
+  TaskGroup group(pool);
+  for (size_t ci = 0; ci < num_chunks; ++ci) {
+    group.Submit([&, ci] {
+      const VertexId begin = static_cast<VertexId>(ci) * chunk;
+      const VertexId end = std::min<VertexId>(next_coarse, begin + chunk);
+      ChunkBuffer& buffer = buffers[ci];
+      std::vector<int64_t> accumulator(next_coarse, 0);
+      std::vector<VertexId> touched;
+      for (VertexId c = begin; c < end; ++c) {
+        const size_t before = buffer.neighbors.size();
+        merge_adjacency(c, accumulator, touched, buffer.neighbors,
+                        buffer.weights);
+        buffer.degrees.push_back(buffer.neighbors.size() - before);
+      }
+    });
+  }
+  group.Wait();
+  size_t total = 0;
+  for (const ChunkBuffer& buffer : buffers) {
+    total += buffer.neighbors.size();
+  }
+  coarse.neighbors.reserve(total);
+  coarse.edge_weights.reserve(total);
+  VertexId c = 0;
+  for (const ChunkBuffer& buffer : buffers) {
+    coarse.neighbors.insert(coarse.neighbors.end(), buffer.neighbors.begin(),
+                            buffer.neighbors.end());
+    coarse.edge_weights.insert(coarse.edge_weights.end(),
+                               buffer.weights.begin(), buffer.weights.end());
+    for (EdgeIndex degree : buffer.degrees) {
+      coarse.offsets[c + 1] = coarse.offsets[c] + degree;
+      ++c;
+    }
   }
   return coarse;
 }
@@ -141,8 +249,9 @@ SideWeights ComputeSideWeights(const WeightedGraph& graph, VertexId v,
   return sw;
 }
 
-void FillResult(const WeightedGraph& graph, BisectionResult* result) {
-  result->cut_weight = ComputeCutWeight(graph, result->side);
+void FillResult(const WeightedGraph& graph, BisectionResult* result,
+                ThreadPool* pool) {
+  result->cut_weight = ComputeCutWeight(graph, result->side, pool);
   result->side_weight[0] = 0;
   result->side_weight[1] = 0;
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
@@ -174,6 +283,7 @@ BisectionResult InitialBisection(const WeightedGraph& graph,
     std::vector<int64_t> gain(n, std::numeric_limits<int64_t>::min());
     std::priority_queue<std::pair<int64_t, VertexId>> frontier;
     int64_t region_weight = 0;
+    VertexId first_unassigned = 0;
 
     auto add_to_region = [&](VertexId v) {
       side[v] = 0;
@@ -210,23 +320,24 @@ BisectionResult InitialBisection(const WeightedGraph& graph,
         break;
       }
       if (pick == kInvalidVertex) {
-        // Disconnected remainder: jump to any vertex still on side 1.
-        for (VertexId v = 0; v < n; ++v) {
-          if (side[v] != 0) {
-            pick = v;
-            break;
-          }
+        // Disconnected remainder: jump to the first vertex still on side 1.
+        // Vertices never leave the region, so the cursor is monotone across
+        // picks and the whole trial's rescans cost O(n) total — a fresh scan
+        // per pick degraded edgeless graphs to O(n^2).
+        while (first_unassigned < n && side[first_unassigned] == 0) {
+          ++first_unassigned;
         }
-        if (pick == kInvalidVertex) {
+        if (first_unassigned == n) {
           break;
         }
+        pick = first_unassigned;
       }
       add_to_region(pick);
     }
 
     BisectionResult candidate;
     candidate.side = std::move(side);
-    FillResult(graph, &candidate);
+    FillResult(graph, &candidate, options.pool);
     FmRefine(graph, options, &candidate);
     if (candidate.cut_weight < best.cut_weight ||
         (candidate.cut_weight == best.cut_weight &&
@@ -251,15 +362,28 @@ uint32_t FmRefine(const WeightedGraph& graph, const BisectionOptions& options,
   uint32_t improving_passes = 0;
 
   for (uint32_t pass = 0; pass < options.refine_passes; ++pass) {
-    // gain[v] = cut reduction from moving v to the other side.
+    // gain[v] = cut reduction from moving v to the other side. Computing the
+    // initial gains is the pass's only O(E) scan, and each vertex's gain is
+    // independent, so it shards over the pool; the heap is then built from
+    // the full entry vector in one shot. A binary heap's pop sequence is a
+    // function of its *contents* (every (gain, v) pair is distinct, so the
+    // max is unique at each pop), not of its internal layout, so make_heap
+    // here and the former one-push-per-vertex loop pop identically.
     std::vector<int64_t> gain(n);
-    std::priority_queue<std::pair<int64_t, VertexId>> heap;
+    std::vector<std::pair<int64_t, VertexId>> entries(n);
     std::vector<uint8_t> moved(n, 0);
-    for (VertexId v = 0; v < n; ++v) {
-      const SideWeights sw = ComputeSideWeights(graph, v, side);
-      gain[v] = sw.other - sw.same;
-      heap.emplace(gain[v], v);
-    }
+    ParallelForChunked(n < kIntraParallelMinVertices ? nullptr : options.pool,
+                       n, /*grain=*/1024, [&](size_t begin, size_t end) {
+                         for (size_t i = begin; i < end; ++i) {
+                           const VertexId v = static_cast<VertexId>(i);
+                           const SideWeights sw =
+                               ComputeSideWeights(graph, v, side);
+                           gain[v] = sw.other - sw.same;
+                           entries[i] = {gain[v], v};
+                         }
+                       });
+    std::priority_queue<std::pair<int64_t, VertexId>> heap(
+        std::less<std::pair<int64_t, VertexId>>(), std::move(entries));
 
     int64_t side_weight[2] = {result->side_weight[0], result->side_weight[1]};
     int64_t current_cut = result->cut_weight;
@@ -330,7 +454,7 @@ uint32_t FmRefine(const WeightedGraph& graph, const BisectionOptions& options,
       const VertexId v = move_sequence[i];
       side[v] = 1 - side[v];
     }
-    FillResult(graph, result);
+    FillResult(graph, result, options.pool);
     if (moves_to_best == 0) {
       break;  // pass found no improvement
     }
@@ -351,8 +475,8 @@ BisectionResult BisectRecursive(const WeightedGraph& graph,
     return internal::InitialBisection(graph, options);
   }
   std::vector<VertexId> fine_to_coarse;
-  const WeightedGraph coarse =
-      internal::CoarsenOnce(graph, options.seed + depth * 7919, &fine_to_coarse);
+  const WeightedGraph coarse = internal::CoarsenOnce(
+      graph, MixSeed(options.seed, depth), &fine_to_coarse, options.pool);
   if (coarse.num_vertices() >=
       static_cast<VertexId>(0.95 * static_cast<double>(n))) {
     // Matching stalled (e.g. star graphs); stop coarsening here.
@@ -367,7 +491,7 @@ BisectionResult BisectRecursive(const WeightedGraph& graph,
   for (VertexId v = 0; v < n; ++v) {
     result.side[v] = coarse_result.side[fine_to_coarse[v]];
   }
-  result.cut_weight = ComputeCutWeight(graph, result.side);
+  result.cut_weight = ComputeCutWeight(graph, result.side, options.pool);
   result.side_weight[0] = 0;
   result.side_weight[1] = 0;
   for (VertexId v = 0; v < n; ++v) {

@@ -8,6 +8,8 @@
 
 namespace surfer {
 
+class ThreadPool;
+
 /// Options for one multilevel graph bisection (Appendix A.2): coarsening via
 /// heavy-edge matching, initial partitioning via GGGP (greedy graph growing),
 /// and FM boundary refinement during uncoarsening.
@@ -24,6 +26,12 @@ struct BisectionOptions {
   /// Maximum FM passes at each uncoarsening level.
   uint32_t refine_passes = 8;
   uint64_t seed = 1;
+  /// Optional worker pool (not owned; may be null) for intra-bisection
+  /// parallelism: cut evaluation, FM gain initialization, and the coarse
+  /// graph build all shard over it on large graphs. The matching and the FM
+  /// move loop stay sequential, so the result is bit-identical to a null
+  /// pool at every pool size (see DESIGN.md Section 10).
+  ThreadPool* pool = nullptr;
 };
 
 /// The outcome of a bisection: a side (0/1) per vertex, the cut weight, and
@@ -45,9 +53,13 @@ struct BisectionResult {
   }
 };
 
-/// Computes the cut weight of an assignment (for verification).
+/// Computes the cut weight of an assignment (for verification). With a pool,
+/// vertices are sharded into fixed chunks whose partial sums combine in chunk
+/// order; integer addition makes that exact, so the result never depends on
+/// the pool or its size.
 int64_t ComputeCutWeight(const WeightedGraph& graph,
-                         const std::vector<uint8_t>& side);
+                         const std::vector<uint8_t>& side,
+                         ThreadPool* pool = nullptr);
 
 /// Runs a full multilevel bisection of `graph`.
 BisectionResult Bisect(const WeightedGraph& graph,
@@ -57,9 +69,14 @@ namespace internal {
 
 /// One level of heavy-edge-matching coarsening. `fine_to_coarse` maps each
 /// fine vertex to its coarse vertex; the coarse graph merges matched pairs,
-/// sums parallel edge weights, and drops intra-pair edges.
+/// sums parallel edge weights, and drops intra-pair edges. The matching is
+/// sequential (seeded, order-sensitive); the coarse-graph build shards over
+/// `pool` when given — every coarse vertex's merged adjacency list is
+/// computed independently and stitched in coarse-ID order, so the output is
+/// identical to the sequential build.
 WeightedGraph CoarsenOnce(const WeightedGraph& graph, uint64_t seed,
-                          std::vector<VertexId>* fine_to_coarse);
+                          std::vector<VertexId>* fine_to_coarse,
+                          ThreadPool* pool = nullptr);
 
 /// GGGP initial bisection on a (small) graph.
 BisectionResult InitialBisection(const WeightedGraph& graph,

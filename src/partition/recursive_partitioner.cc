@@ -2,10 +2,15 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -13,36 +18,119 @@ namespace surfer {
 
 namespace {
 
+/// Subgraph extraction shards its passes over the pool only above this many
+/// member vertices; below it the task overhead exceeds the scan.
+constexpr size_t kExtractParallelMinVertices = 4096;
+
+/// Nodes at least this large hand the pool to their bisection for
+/// intra-bisection parallelism. Near the top of the tree there are fewer
+/// subtree tasks than workers, so the spare threads shard the bisection
+/// itself; deeper nodes have enough sibling tasks to fill the pool and skip
+/// the sharding overhead. The gate depends only on the subgraph size, never
+/// on the thread count, so it cannot perturb determinism.
+constexpr size_t kIntraNodeParallelMinVertices = 8192;
+
+/// Reuses full-length global->local scratch maps across subtree tasks so
+/// each extraction doesn't allocate (and fault in) num_vertices entries.
+/// Maps are returned reset to kInvalidVertex — ExtractSubgraph restores the
+/// entries it touched, which is O(|subgraph|), not O(n).
+class ScratchMapPool {
+ public:
+  explicit ScratchMapPool(VertexId num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  std::vector<VertexId> Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::vector<VertexId> map = std::move(free_.back());
+        free_.pop_back();
+        return map;
+      }
+    }
+    return std::vector<VertexId>(num_vertices_, kInvalidVertex);
+  }
+
+  void Release(std::vector<VertexId> map) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(map));
+  }
+
+ private:
+  const VertexId num_vertices_;
+  std::mutex mu_;
+  std::vector<std::vector<VertexId>> free_;
+};
+
 /// Extracts the induced subgraph of `graph` on `vertices` (which must be
-/// sorted or at least unique); `vertices[i]` becomes local vertex i.
+/// unique); `vertices[i]` becomes local vertex i. Two-pass CSR build: count
+/// each member's surviving degree, prefix-sum, then fill preallocated arrays
+/// — no push_back growth, and both passes shard over `pool` because every
+/// member writes only its own offset range (content and order match the
+/// sequential build exactly).
 WeightedGraph ExtractSubgraph(const WeightedGraph& graph,
                               const std::vector<VertexId>& vertices,
-                              std::vector<VertexId>* global_to_local_scratch) {
+                              std::vector<VertexId>* global_to_local_scratch,
+                              ThreadPool* pool) {
   std::vector<VertexId>& global_to_local = *global_to_local_scratch;
-  for (size_t i = 0; i < vertices.size(); ++i) {
-    global_to_local[vertices[i]] = static_cast<VertexId>(i);
+  if (vertices.size() < kExtractParallelMinVertices) {
+    pool = nullptr;
   }
+  constexpr size_t kGrain = 2048;
+  ParallelForChunked(pool, vertices.size(), kGrain,
+                     [&](size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) {
+                         global_to_local[vertices[i]] =
+                             static_cast<VertexId>(i);
+                       }
+                     });
+
   WeightedGraph sub;
   sub.offsets.assign(vertices.size() + 1, 0);
   sub.vertex_weights.resize(vertices.size());
+  std::vector<EdgeIndex> local_degree(vertices.size(), 0);
+  ParallelForChunked(pool, vertices.size(), kGrain,
+                     [&](size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) {
+                         EdgeIndex kept = 0;
+                         for (VertexId nbr : graph.Neighbors(vertices[i])) {
+                           if (global_to_local[nbr] != kInvalidVertex) {
+                             ++kept;
+                           }
+                         }
+                         local_degree[i] = kept;
+                       }
+                     });
   for (size_t i = 0; i < vertices.size(); ++i) {
-    const VertexId v = vertices[i];
-    sub.vertex_weights[i] = graph.vertex_weights[v];
-    const auto nbrs = graph.Neighbors(v);
-    const auto weights = graph.EdgeWeights(v);
-    for (size_t j = 0; j < nbrs.size(); ++j) {
-      const VertexId local = global_to_local[nbrs[j]];
-      if (local != kInvalidVertex) {
-        sub.neighbors.push_back(local);
-        sub.edge_weights.push_back(weights[j]);
-      }
-    }
-    sub.offsets[i + 1] = sub.neighbors.size();
+    sub.offsets[i + 1] = sub.offsets[i] + local_degree[i];
   }
+  sub.neighbors.resize(sub.offsets.back());
+  sub.edge_weights.resize(sub.offsets.back());
+  ParallelForChunked(
+      pool, vertices.size(), kGrain, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const VertexId v = vertices[i];
+          sub.vertex_weights[i] = graph.vertex_weights[v];
+          const auto nbrs = graph.Neighbors(v);
+          const auto weights = graph.EdgeWeights(v);
+          EdgeIndex out = sub.offsets[i];
+          for (size_t j = 0; j < nbrs.size(); ++j) {
+            const VertexId local = global_to_local[nbrs[j]];
+            if (local != kInvalidVertex) {
+              sub.neighbors[out] = local;
+              sub.edge_weights[out] = weights[j];
+              ++out;
+            }
+          }
+        }
+      });
   // Reset the scratch map for the next extraction.
-  for (VertexId v : vertices) {
-    global_to_local[v] = kInvalidVertex;
-  }
+  ParallelForChunked(pool, vertices.size(), kGrain,
+                     [&](size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) {
+                         global_to_local[vertices[i]] = kInvalidVertex;
+                       }
+                     });
   return sub;
 }
 
@@ -51,11 +139,25 @@ struct RecursionState {
   const RecursivePartitionerOptions* options;
   Partitioning* partitioning;
   PartitionSketch* sketch;
-  std::vector<VertexId> global_to_local;
+  /// Null when num_threads == 0; then `group` runs tasks inline and the
+  /// traversal is the exact depth-first order of the sequential partitioner.
+  ThreadPool* pool;
+  ScratchMapPool* scratch_maps;
+  TaskGroup* group;
 };
 
 /// Bisects the subgraph on `vertices` for sketch `node`; assigns partition
-/// IDs once single-partition nodes are reached.
+/// IDs once single-partition nodes are reached, and submits the two child
+/// subtrees to the task group.
+///
+/// Determinism and race-freedom under task parallelism:
+///  - The node's seed is MixSeed(base, node), a pure function of the sketch
+///    node, and its input subgraph is fixed by the parent's bisection — so
+///    every node's result is independent of task execution order.
+///  - Concurrent tasks write disjoint state: `assignment[v]` only for the
+///    leaf's own vertex set (leaves partition the vertex space), and
+///    `SetBisectionCut(node, ...)` exactly once per distinct heap slot.
+///    Distinct vector elements make both race-free.
 void PartitionNode(RecursionState& state, std::vector<VertexId> vertices,
                    uint32_t node) {
   if (state.sketch->IsLeaf(node)) {
@@ -66,10 +168,16 @@ void PartitionNode(RecursionState& state, std::vector<VertexId> vertices,
     }
     return;
   }
-  const WeightedGraph sub =
-      ExtractSubgraph(*state.working, vertices, &state.global_to_local);
   BisectionOptions bisect_options = state.options->bisection;
-  bisect_options.seed = state.options->bisection.seed * 2654435761ULL + node;
+  bisect_options.seed = MixSeed(state.options->bisection.seed, node);
+  bisect_options.pool = vertices.size() >= kIntraNodeParallelMinVertices
+                            ? state.pool
+                            : nullptr;
+  std::vector<VertexId> global_to_local = state.scratch_maps->Acquire();
+  const WeightedGraph sub =
+      ExtractSubgraph(*state.working, vertices, &global_to_local,
+                      bisect_options.pool);
+  state.scratch_maps->Release(std::move(global_to_local));
   // The bisection tree level: the root split of node 1 is level 0.
   uint32_t level = 0;
   for (uint32_t n = node; n > 1; n >>= 1) {
@@ -118,8 +226,13 @@ void PartitionNode(RecursionState& state, std::vector<VertexId> vertices,
   }
   vertices.clear();
   vertices.shrink_to_fit();
-  PartitionNode(state, std::move(left), PartitionSketch::Left(node));
-  PartitionNode(state, std::move(right), PartitionSketch::Right(node));
+  RecursionState* shared = &state;
+  state.group->Submit([shared, left = std::move(left), node]() mutable {
+    PartitionNode(*shared, std::move(left), PartitionSketch::Left(node));
+  });
+  state.group->Submit([shared, right = std::move(right), node]() mutable {
+    PartitionNode(*shared, std::move(right), PartitionSketch::Right(node));
+  });
 }
 
 }  // namespace
@@ -143,16 +256,25 @@ Result<RecursivePartitionResult> RecursivePartition(
     return result;
   }
 
-  const WeightedGraph working = WeightedGraph::FromDataGraph(graph);
-  RecursionState state{&working, &options, &result.partitioning,
-                       &result.sketch,
-                       std::vector<VertexId>(graph.num_vertices(),
-                                             kInvalidVertex)};
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 0) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+  const WeightedGraph working =
+      WeightedGraph::FromDataGraph(graph, pool.get());
+  ScratchMapPool scratch_maps(graph.num_vertices());
+  TaskGroup group(pool.get());
+  RecursionState state{&working,       &options,  &result.partitioning,
+                       &result.sketch, pool.get(), &scratch_maps,
+                       &group};
   std::vector<VertexId> all(graph.num_vertices());
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
     all[v] = v;
   }
   PartitionNode(state, std::move(all), /*node=*/1);
+  // Subtree tasks fan out through the group; state outlives them because
+  // this wait (helping, so the caller's thread works too) ends the fan-out.
+  group.Wait();
   return result;
 }
 

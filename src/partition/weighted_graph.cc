@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/thread_pool.h"
+
 namespace surfer {
 
 int64_t WeightedGraph::TotalVertexWeight() const {
@@ -19,10 +21,12 @@ int64_t WeightedGraph::WeightedDegree(VertexId v) const {
   return sum;
 }
 
-WeightedGraph WeightedGraph::FromDataGraph(const Graph& graph) {
+WeightedGraph WeightedGraph::FromDataGraph(const Graph& graph,
+                                           ThreadPool* pool) {
   const VertexId n = graph.num_vertices();
   // First pass: count symmetrized half-edges per vertex (over-allocate, then
-  // compact after merging parallels).
+  // compact after merging parallels). The scatter increments to arbitrary
+  // endpoints keep this pass and the fill below sequential.
   std::vector<EdgeIndex> degree(n, 0);
   for (VertexId u = 0; u < n; ++u) {
     for (VertexId v : graph.OutNeighbors(u)) {
@@ -49,29 +53,55 @@ WeightedGraph WeightedGraph::FromDataGraph(const Graph& graph) {
     }
   }
 
+  // Second pass, sharded: sort each vertex's slice of `adj` and count its
+  // distinct neighbors (slices are disjoint, so chunks never conflict).
+  std::vector<EdgeIndex> merged_degree(n, 0);
+  ParallelForChunked(pool, n, /*grain=*/2048, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const VertexId v = static_cast<VertexId>(i);
+      std::sort(adj.begin() + offsets[v], adj.begin() + offsets[v + 1]);
+      EdgeIndex distinct = 0;
+      for (EdgeIndex e = offsets[v]; e < offsets[v + 1];) {
+        EdgeIndex j = e;
+        while (j < offsets[v + 1] && adj[j] == adj[e]) {
+          ++j;
+        }
+        ++distinct;
+        e = j;
+      }
+      merged_degree[v] = distinct;
+    }
+  });
+
   WeightedGraph result;
   result.offsets.assign(n + 1, 0);
-  result.neighbors.reserve(adj.size());
-  result.edge_weights.reserve(adj.size());
   for (VertexId v = 0; v < n; ++v) {
-    std::sort(adj.begin() + offsets[v], adj.begin() + offsets[v + 1]);
-    for (EdgeIndex i = offsets[v]; i < offsets[v + 1];) {
-      EdgeIndex j = i;
-      while (j < offsets[v + 1] && adj[j] == adj[i]) {
-        ++j;
-      }
-      result.neighbors.push_back(adj[i]);
-      result.edge_weights.push_back(static_cast<int64_t>(j - i));
-      i = j;
-    }
-    result.offsets[v + 1] = result.neighbors.size();
+    result.offsets[v + 1] = result.offsets[v] + merged_degree[v];
   }
-
+  result.neighbors.resize(result.offsets[n]);
+  result.edge_weights.resize(result.offsets[n]);
   result.vertex_weights.resize(n);
-  for (VertexId v = 0; v < n; ++v) {
-    result.vertex_weights[v] =
-        static_cast<int64_t>(StoredVertexRecordBytes(graph.OutDegree(v)));
-  }
+  // Third pass, sharded: emit each vertex's merged run into its
+  // preallocated range. Identical content and order to the sequential
+  // push_back build, at any pool size.
+  ParallelForChunked(pool, n, /*grain=*/2048, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const VertexId v = static_cast<VertexId>(i);
+      EdgeIndex out = result.offsets[v];
+      for (EdgeIndex e = offsets[v]; e < offsets[v + 1];) {
+        EdgeIndex j = e;
+        while (j < offsets[v + 1] && adj[j] == adj[e]) {
+          ++j;
+        }
+        result.neighbors[out] = adj[e];
+        result.edge_weights[out] = static_cast<int64_t>(j - e);
+        ++out;
+        e = j;
+      }
+      result.vertex_weights[v] =
+          static_cast<int64_t>(StoredVertexRecordBytes(graph.OutDegree(v)));
+    }
+  });
   return result;
 }
 

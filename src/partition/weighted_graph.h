@@ -10,6 +10,8 @@
 
 namespace surfer {
 
+class ThreadPool;
+
 /// An undirected weighted graph in CSR form, the working representation of
 /// the multilevel partitioner. Every edge appears in both endpoint lists
 /// with the same weight. Vertex weights carry the "size" being balanced
@@ -44,8 +46,12 @@ struct WeightedGraph {
   /// symmetrize, drop self-loops, merge parallel edges (weight = number of
   /// directed edges between the endpoints, i.e. 1 or 2), and set vertex
   /// weight to the stored adjacency-record size so that balancing vertex
-  /// weight balances partition bytes (constraint of Section 2).
-  static WeightedGraph FromDataGraph(const Graph& graph);
+  /// weight balances partition bytes (constraint of Section 2). The
+  /// per-vertex sort/merge pass (the dominant cost) shards over `pool` when
+  /// given; every vertex's list is built independently into a preallocated
+  /// range, so the result is identical to the sequential build.
+  static WeightedGraph FromDataGraph(const Graph& graph,
+                                     ThreadPool* pool = nullptr);
 
   /// Builds a complete machine graph: vertex per machine, edge weight =
   /// pairwise bandwidth scaled to integers, vertex weight 1 (the paper's

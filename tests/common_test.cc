@@ -1,4 +1,6 @@
 #include <atomic>
+#include <bit>
+#include <functional>
 #include <set>
 #include <vector>
 
@@ -120,6 +122,27 @@ TEST(RngTest, DeterministicForSeed) {
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(a.Next(), b.Next());
   }
+}
+
+TEST(MixSeedTest, DistinctStreamsDecorrelate) {
+  // Nearby (seed, stream) pairs must land on distinct derived seeds — the
+  // additive schemes this replaced (seed + depth * 7919) collided across
+  // (seed, depth) pairs and correlated nearby shuffles.
+  std::set<uint64_t> derived;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    for (uint64_t stream = 0; stream < 32; ++stream) {
+      derived.insert(MixSeed(seed, stream));
+    }
+  }
+  EXPECT_EQ(derived.size(), 32u * 32u);
+}
+
+TEST(MixSeedTest, DeterministicAndAvalanching) {
+  EXPECT_EQ(MixSeed(1, 2), MixSeed(1, 2));
+  // A one-bit stream change should flip roughly half the output bits.
+  const uint64_t diff = MixSeed(42, 7) ^ MixSeed(42, 6);
+  EXPECT_GT(std::popcount(diff), 16);
+  EXPECT_LT(std::popcount(diff), 48);
 }
 
 TEST(RngTest, DifferentSeedsDiffer) {
@@ -313,6 +336,96 @@ TEST(ThreadPoolTest, WaitIsReusable) {
   pool.Submit([&] { counter.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(counter.load(), 2);
+}
+
+// ------------------------------------------------------------ TaskGroup
+
+TEST(TaskGroupTest, WaitsOnlyForItsOwnTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 64; ++i) {
+    group.Submit([&] { counter.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), 64);
+  // Reusable after a wait.
+  group.Submit([&] { counter.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(counter.load(), 65);
+}
+
+TEST(TaskGroupTest, NullPoolRunsInline) {
+  TaskGroup group(nullptr);
+  int order = 0;
+  int first = -1;
+  int second = -1;
+  group.Submit([&] { first = order++; });
+  group.Submit([&] { second = order++; });
+  group.Wait();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(TaskGroupTest, TasksMaySpawnMoreTasks) {
+  // Recursive fan-out: every task submits two children until a depth cap.
+  // The group must count the late submissions and Wait for all of them.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  TaskGroup group(&pool);
+  std::function<void(int)> spawn = [&](int depth) {
+    counter.fetch_add(1);
+    if (depth < 5) {
+      group.Submit([&spawn, depth] { spawn(depth + 1); });
+      group.Submit([&spawn, depth] { spawn(depth + 1); });
+    }
+  };
+  group.Submit([&spawn] { spawn(0); });
+  group.Wait();
+  EXPECT_EQ(counter.load(), (1 << 6) - 1);
+}
+
+TEST(TaskGroupTest, NestedWaitInsideWorkerDoesNotDeadlock) {
+  // Every worker blocks in a nested group Wait at once; helping (the waiter
+  // drains the shared queue itself) is what keeps this from deadlocking.
+  ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 4; ++i) {
+    outer.Submit([&] {
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 8; ++j) {
+        inner.Submit([&] { inner_runs.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(inner_runs.load(), 32);
+}
+
+TEST(TaskGroupTest, ParallelForChunkedCoversDisjointRanges) {
+  ThreadPool pool(3);
+  std::vector<int> hits(10000, 0);
+  ParallelForChunked(&pool, hits.size(), /*grain=*/64,
+                     [&](size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) {
+                         ++hits[i];  // disjoint ranges: no atomics needed
+                       }
+                     });
+  for (int h : hits) {
+    ASSERT_EQ(h, 1);
+  }
+  // Null pool and tiny n run inline.
+  int calls = 0;
+  ParallelForChunked(nullptr, 5, 64, [&](size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 5u);
+  });
+  EXPECT_EQ(calls, 1);
+  ParallelForChunked(&pool, 0, 64, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
 }
 
 // -------------------------------------------------------------- Logging
