@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "apps/benchmark_suite.h"
 #include "common/logging.h"
@@ -13,6 +14,7 @@
 #include "core/surfer.h"
 #include "graph/generators.h"
 #include "graph/graph_stats.h"
+#include "obs/bench_gate.h"
 #include "obs/metrics_registry.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
@@ -107,6 +109,34 @@ inline void PrintHeader(const std::string& title) {
 inline std::string ArtifactDir() {
   const char* dir = std::getenv("SURFER_ARTIFACT_DIR");
   return (dir != nullptr && dir[0] != '\0') ? dir : "bench_artifacts";
+}
+
+/// Starts a BENCH_*.json perf baseline with the shared envelope every bench
+/// emits identically: schema version, benchmark name, smoke flag, and the
+/// host's core count. Speedup and wall clock are bounded by host cores;
+/// recording the bound lets `surfer_trace check` widen its tolerances when a
+/// 1-core CI container compares against a beefier recording host. Callers
+/// append their workload fields and a `points` array next to the envelope.
+inline obs::JsonValue MakeBenchBaseline(const std::string& name, bool smoke) {
+  obs::JsonValue baseline = obs::JsonValue::MakeObject();
+  baseline.Set("schema_version", obs::kBenchBaselineSchemaVersion);
+  baseline.Set("name", name);
+  baseline.Set("smoke", smoke);
+  baseline.Set("host_cores",
+               static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  return baseline;
+}
+
+/// Writes a perf baseline to `<artifact dir>/<filename>`.
+inline void WriteBenchBaseline(const std::string& filename,
+                               const obs::JsonValue& baseline) {
+  const std::string path = ArtifactDir() + "/" + filename;
+  if (const Status status = obs::WriteRunReport(path, baseline); status.ok()) {
+    std::printf("artifact: %s\n", path.c_str());
+  } else {
+    SURFER_LOG(kWarning) << "failed to write " << path << ": "
+                         << status.ToString();
+  }
 }
 
 /// Writes `<dir>/<name>.report.json` (schema-validated run report) and

@@ -53,17 +53,10 @@ int main(int argc, char** argv) {
   std::printf("sequential partitioner: %.3f s (host wall clock)\n\n",
               sequential_wall_s);
 
-  obs::JsonValue baseline = obs::JsonValue::MakeObject();
-  baseline.Set("name", std::string("bench_partition_scaling"));
-  baseline.Set("smoke", smoke);
+  obs::JsonValue baseline = MakeBenchBaseline("bench_partition_scaling", smoke);
   baseline.Set("num_vertices", static_cast<uint64_t>(graph.num_vertices()));
   baseline.Set("num_edges", static_cast<uint64_t>(graph.num_edges()));
   baseline.Set("num_partitions", static_cast<uint64_t>(num_partitions));
-  // Speedup is bounded by host cores; record the bound so baselines from
-  // different hosts compare meaningfully (a 1-core CI runner cannot beat
-  // 1.0x no matter how well the partitioner scales).
-  baseline.Set("host_cores",
-               static_cast<uint64_t>(std::thread::hardware_concurrency()));
   baseline.Set("sequential_wall_s", sequential_wall_s);
 
   std::printf("%-9s %12s %9s %14s\n", "Threads", "Wall (s)", "Speedup",
@@ -96,13 +89,7 @@ int main(int argc, char** argv) {
   }
   baseline.Set("points", std::move(points));
 
-  const std::string baseline_path = ArtifactDir() + "/BENCH_partition.json";
-  if (const Status status = obs::WriteRunReport(baseline_path, baseline);
-      status.ok()) {
-    std::printf("\nartifact: %s\n", baseline_path.c_str());
-  } else {
-    SURFER_LOG(kWarning) << "failed to write " << baseline_path << ": "
-                         << status.ToString();
-  }
+  std::printf("\n");
+  WriteBenchBaseline("BENCH_partition.json", baseline);
   return 0;
 }

@@ -3,34 +3,53 @@
 // the RuntimeExecutor at 1/2/4/8 workers. Emits the machine-readable perf
 // baseline BENCH_runtime.json so CI trends wall-clock speedup over time.
 // Results are cross-checked for bit-identity on every point — a speedup that
-// changes the answer is a bug, not a win.
+// changes the answer is a bug, not a win. Profiling stays on for every point
+// (sharded trace + superstep timeline), so the baseline prices the
+// instrumented configuration users actually run.
+//
+// `--smoke` runs a reduced sweep (small graph, fewer iterations, one worker
+// point) so CI can exercise the binary and its artifacts in seconds without
+// polluting baselines.
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <thread>
+#include <vector>
 
 #include "apps/network_ranking.h"
 #include "bench/bench_common.h"
 #include "propagation/runner.h"
 #include "runtime/executor.h"
 #include "runtime/report.h"
+#include "runtime/timeline.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace surfer;
   using namespace surfer::bench;
   using Clock = std::chrono::steady_clock;
 
-  constexpr int kIterations = 5;
-  const Graph graph = MakeBenchGraph();
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  int iterations = 5;
+  BenchGraphOptions graph_options;
+  std::vector<uint32_t> worker_points = {1, 2, 4, 8};
+  if (smoke) {
+    iterations = 2;
+    graph_options.num_vertices = 1 << 13;
+    graph_options.num_communities = 8;
+    worker_points = {2};
+  }
+  const Graph graph = MakeBenchGraph(graph_options);
   const Topology topology = MakeScaledT2(8, 2, 1);
   auto engine = BuildEngine(graph, topology);
   const BenchmarkSetup setup = engine->MakeSetup(OptimizationLevel::kO4);
   PropagationConfig config = PropagationConfig::ForLevel(OptimizationLevel::kO4);
-  config.iterations = kIterations;
+  config.iterations = iterations;
   NetworkRankingApp app(graph.num_vertices());
 
-  PrintHeader("Runtime scaling: concurrent executor vs sequential runner");
+  PrintHeader(std::string("Runtime scaling: concurrent executor vs "
+                          "sequential runner") +
+              (smoke ? " (smoke)" : ""));
 
   PropagationRunner<NetworkRankingApp> runner(
       setup.graph, setup.placement, setup.topology, app, config);
@@ -42,26 +61,26 @@ int main() {
   std::printf("sequential runner: %.3f s (host wall clock)\n\n",
               sequential_wall_s);
 
-  obs::JsonValue baseline = obs::JsonValue::MakeObject();
-  baseline.Set("name", std::string("bench_runtime_scaling"));
+  obs::JsonValue baseline = MakeBenchBaseline("bench_runtime_scaling", smoke);
   baseline.Set("app", std::string("NR"));
   baseline.Set("optimization_level",
                OptimizationLevelName(OptimizationLevel::kO4));
-  baseline.Set("iterations", static_cast<uint64_t>(kIterations));
+  baseline.Set("iterations", static_cast<uint64_t>(iterations));
   baseline.Set("num_vertices", static_cast<uint64_t>(graph.num_vertices()));
   baseline.Set("num_machines", static_cast<uint64_t>(topology.num_machines()));
-  // Speedup is bounded by host cores (the sequential runner's per-partition
-  // compute already spreads over the global thread pool); record the bound so
-  // baselines from different hosts compare meaningfully.
-  baseline.Set("host_cores",
-               static_cast<uint64_t>(std::thread::hardware_concurrency()));
   baseline.Set("sequential_wall_s", sequential_wall_s);
 
   std::printf("%-9s %12s %9s %13s %15s\n", "Workers", "Wall (s)", "Speedup",
               "Send stalls", "Barrier wait(s)");
   obs::JsonValue points = obs::JsonValue::MakeArray();
   obs::JsonValue last_runtime_block = obs::JsonValue::MakeObject();
-  for (uint32_t workers : {1u, 2u, 4u, 8u}) {
+  obs::JsonValue last_timeline_block = obs::JsonValue::MakeObject();
+  BenchObservability observability;
+  for (uint32_t workers : worker_points) {
+    // Profiling on: per-task events flow through the sharded tracer into
+    // this tracer, and the executor builds the superstep timeline.
+    config.tracer = &observability.tracer;
+    config.metrics = &observability.metrics;
     runtime::RuntimeOptions options;
     options.max_workers = workers;
     runtime::RuntimeExecutor<NetworkRankingApp> executor(
@@ -88,28 +107,30 @@ int main() {
     point.Set("send_stalls", stats.send_stalls);
     point.Set("barrier_wait_seconds", stats.barrier_wait_seconds);
     point.Set("network_bytes", stats.TotalNetworkBytes());
+    point.Set("trace_events_dropped", stats.trace_events_dropped);
     points.Append(std::move(point));
     last_runtime_block = runtime::RuntimeStatsToJson(stats);
+    last_timeline_block = runtime::TimelineToJson(stats.timeline);
   }
   baseline.Set("points", std::move(points));
 
-  const std::string baseline_path = ArtifactDir() + "/BENCH_runtime.json";
-  if (const Status status = obs::WriteRunReport(baseline_path, baseline);
-      status.ok()) {
-    std::printf("\nartifact: %s\n", baseline_path.c_str());
-  } else {
-    SURFER_LOG(kWarning) << "failed to write " << baseline_path << ": "
-                         << status.ToString();
-  }
+  std::printf("\n");
+  WriteBenchBaseline("BENCH_runtime.json", baseline);
 
-  // The full-width (8-worker) run also ships as a standard run report with
-  // the `runtime` block populated, exercising the same schema CI validates.
+  // The widest run also ships as a standard run report with the `runtime`
+  // and schema-v2 `timeline` blocks populated, plus the Chrome trace with
+  // the per-task lanes from the sharded profiler — the same artifacts CI
+  // uploads and `surfer_trace summary` reads.
+  obs::ExportThreadPoolStats(GlobalThreadPool().stats(),
+                             &observability.metrics);
   obs::RunReportOptions report_options;
   report_options.name = "bench_runtime_scaling";
-  report_options.notes = "NR at O4 through the concurrent runtime; runtime "
-                         "block is the 8-worker point";
+  report_options.notes =
+      "NR at O4 through the concurrent runtime; runtime/timeline blocks are "
+      "the widest worker point";
   const obs::JsonValue report = obs::BuildRunReport(
-      report_options, nullptr, nullptr, nullptr, &last_runtime_block);
+      report_options, nullptr, &observability.metrics, &observability.tracer,
+      &last_runtime_block, &last_timeline_block);
   if (const Status status = obs::ValidateRunReport(report); !status.ok()) {
     SURFER_LOG(kWarning) << "run report failed validation: "
                          << status.ToString();
@@ -119,6 +140,13 @@ int main() {
   if (const Status status = obs::WriteRunReport(report_path, report);
       status.ok()) {
     std::printf("artifact: %s\n", report_path.c_str());
+  }
+  const std::string trace_path =
+      ArtifactDir() + "/bench_runtime_scaling.trace.json";
+  if (const Status status =
+          observability.tracer.WriteChromeTrace(trace_path);
+      status.ok()) {
+    std::printf("artifact: %s\n", trace_path.c_str());
   }
   return 0;
 }

@@ -356,6 +356,11 @@ class Parser {
     if (end == nullptr || *end != '\0') {
       return Error("malformed number '" + token + "'");
     }
+    if (!std::isfinite(d)) {
+      // strtod happily overflows "1e999" to inf; JSON numbers must stay
+      // finite (the writer maps non-finite to null for the same reason).
+      return Error("number out of range '" + token + "'");
+    }
     return JsonValue(d);
   }
 

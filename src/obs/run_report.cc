@@ -83,7 +83,8 @@ JsonValue BuildRunReport(const RunReportOptions& options,
                          const RunMetrics* run,
                          const MetricsRegistry* registry,
                          const Tracer* tracer,
-                         const JsonValue* runtime_block) {
+                         const JsonValue* runtime_block,
+                         const JsonValue* timeline_block) {
   JsonValue report = JsonValue::MakeObject();
   report.Set("schema_version", kRunReportSchemaVersion);
   report.Set("name", options.name);
@@ -107,6 +108,9 @@ JsonValue BuildRunReport(const RunReportOptions& options,
       s.Set("clock", ClockName(stat.clock));
       s.Set("count", stat.count);
       s.Set("total_s", stat.total_us / 1e6);
+      s.Set("min_s", stat.min_us / 1e6);
+      s.Set("p50_s", stat.p50_us / 1e6);
+      s.Set("p99_s", stat.p99_us / 1e6);
       s.Set("max_s", stat.max_us / 1e6);
       spans.Append(std::move(s));
     }
@@ -116,6 +120,9 @@ JsonValue BuildRunReport(const RunReportOptions& options,
   if (runtime_block != nullptr) {
     report.Set("runtime", *runtime_block);
   }
+  if (timeline_block != nullptr) {
+    report.Set("timeline", *timeline_block);
+  }
   return report;
 }
 
@@ -124,9 +131,10 @@ Status ValidateRunReport(const JsonValue& report) {
   const JsonValue* version = report.Find("schema_version");
   SURFER_RETURN_IF_ERROR(Expect(version != nullptr && version->is_number(),
                                 "missing schema_version"));
-  SURFER_RETURN_IF_ERROR(
-      Expect(static_cast<int>(version->as_number()) == kRunReportSchemaVersion,
-             "unsupported schema_version"));
+  const int v = static_cast<int>(version->as_number());
+  SURFER_RETURN_IF_ERROR(Expect(v >= kMinSupportedRunReportSchemaVersion &&
+                                    v <= kRunReportSchemaVersion,
+                                "unsupported schema_version"));
   const JsonValue* name = report.Find("name");
   SURFER_RETURN_IF_ERROR(
       Expect(name != nullptr && name->is_string() && !name->as_string().empty(),
@@ -223,6 +231,56 @@ Status ValidateRunReport(const JsonValue& report) {
           Expect(hist != nullptr && hist->is_object(),
                  std::string("runtime.") + key + " missing"));
       SURFER_RETURN_IF_ERROR(RequireNumber(*hist, "count"));
+    }
+  }
+
+  if (const JsonValue* timeline = report.Find("timeline");
+      timeline != nullptr) {
+    SURFER_RETURN_IF_ERROR(
+        Expect(timeline->is_object(), "timeline must be an object"));
+    const JsonValue* steps = timeline->Find("steps");
+    SURFER_RETURN_IF_ERROR(Expect(steps != nullptr && steps->is_array(),
+                                  "timeline.steps missing"));
+    for (const JsonValue& step : steps->as_array()) {
+      SURFER_RETURN_IF_ERROR(
+          Expect(step.is_object(), "timeline step must be an object"));
+      SURFER_RETURN_IF_ERROR(RequireNumber(step, "iteration"));
+      const JsonValue* stage = step.Find("stage");
+      SURFER_RETURN_IF_ERROR(Expect(
+          stage != nullptr && stage->is_string() &&
+              (stage->as_string() == "transfer" ||
+               stage->as_string() == "combine"),
+          "timeline.steps[].stage must be 'transfer' or 'combine'"));
+      const JsonValue* machines = step.Find("machines");
+      SURFER_RETURN_IF_ERROR(
+          Expect(machines != nullptr && machines->is_array(),
+                 "timeline.steps[].machines missing"));
+      for (const JsonValue& machine : machines->as_array()) {
+        for (const char* key : {"machine", "compute_s", "serialize_s",
+                                "blocked_s", "barrier_s", "busy_s"}) {
+          SURFER_RETURN_IF_ERROR(RequireNumber(machine, key));
+        }
+      }
+      const JsonValue* straggler = step.Find("straggler");
+      SURFER_RETURN_IF_ERROR(
+          Expect(straggler != nullptr && straggler->is_object(),
+                 "timeline.steps[].straggler missing"));
+      for (const char* key : {"max_busy_s", "mean_busy_s", "skew"}) {
+        SURFER_RETURN_IF_ERROR(RequireNumber(*straggler, key));
+      }
+    }
+    const JsonValue* critical = timeline->Find("critical_path");
+    SURFER_RETURN_IF_ERROR(
+        Expect(critical != nullptr && critical->is_object(),
+               "timeline.critical_path missing"));
+    SURFER_RETURN_IF_ERROR(RequireNumber(*critical, "total_busy_s"));
+    const JsonValue* path_steps = critical->Find("steps");
+    SURFER_RETURN_IF_ERROR(
+        Expect(path_steps != nullptr && path_steps->is_array(),
+               "timeline.critical_path.steps missing"));
+    for (const JsonValue& entry : path_steps->as_array()) {
+      SURFER_RETURN_IF_ERROR(RequireNumber(entry, "step"));
+      SURFER_RETURN_IF_ERROR(RequireNumber(entry, "busy_s"));
     }
   }
   return Status::OK();

@@ -15,8 +15,14 @@ namespace obs {
 
 /// Version of the run-report JSON schema documented in DESIGN.md
 /// ("Observability"). Bump when a field is renamed or removed; adding
-/// fields is backwards compatible.
-inline constexpr int kRunReportSchemaVersion = 1;
+/// fields is backwards compatible. v2 added the "timeline" block (superstep
+/// phase breakdown + critical path) and span tail-latency fields.
+inline constexpr int kRunReportSchemaVersion = 2;
+
+/// Oldest schema still accepted by ValidateRunReport: v1 reports (no
+/// timeline, no span percentiles) remain loadable because v2 only added
+/// fields.
+inline constexpr int kMinSupportedRunReportSchemaVersion = 1;
 
 /// Identity block of a run report.
 struct RunReportOptions {
@@ -25,16 +31,18 @@ struct RunReportOptions {
 };
 
 /// Serializes one run into the stable report schema. Any of `run`,
-/// `registry`, `tracer`, `runtime_block` may be null; the corresponding
-/// section is omitted. `runtime_block` is a pre-built `runtime` section (the
-/// concurrent executor's worker/channel/barrier tallies, produced by
-/// runtime::RuntimeStatsToJson) — passed in as opaque JSON so this layer
-/// never depends on the runtime it observes.
+/// `registry`, `tracer`, `runtime_block`, `timeline_block` may be null; the
+/// corresponding section is omitted. `runtime_block` is a pre-built
+/// `runtime` section (the concurrent executor's worker/channel/barrier
+/// tallies, produced by runtime::RuntimeStatsToJson) and `timeline_block`
+/// the schema-v2 `timeline` section (runtime::TimelineToJson) — passed in as
+/// opaque JSON so this layer never depends on the runtime it observes.
 JsonValue BuildRunReport(const RunReportOptions& options,
                          const RunMetrics* run,
                          const MetricsRegistry* registry,
                          const Tracer* tracer,
-                         const JsonValue* runtime_block = nullptr);
+                         const JsonValue* runtime_block = nullptr,
+                         const JsonValue* timeline_block = nullptr);
 
 /// The paper's four headline quantities plus per-stage breakdown and the
 /// task-seconds summary, as one JSON object (the report's "run" section).

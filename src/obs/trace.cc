@@ -5,6 +5,8 @@
 #include <fstream>
 #include <map>
 
+#include "common/histogram.h"
+
 namespace surfer {
 namespace obs {
 
@@ -84,25 +86,33 @@ std::vector<TraceEvent> Tracer::Events() const {
 
 std::vector<SpanStat> Tracer::SpanSummary() const {
   std::map<std::pair<int, std::string>, SpanStat> by_name;
+  std::map<std::pair<int, std::string>, Histogram> durations;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const TraceEvent& event : events_) {
       if (event.phase != 'X') {
         continue;
       }
-      SpanStat& stat = by_name[{PidFor(event.clock), event.name}];
+      const std::pair<int, std::string> key{PidFor(event.clock), event.name};
+      SpanStat& stat = by_name[key];
       if (stat.count == 0) {
         stat.name = event.name;
         stat.clock = event.clock;
+        stat.min_us = event.dur_us;
       }
       ++stat.count;
       stat.total_us += event.dur_us;
+      stat.min_us = std::min(stat.min_us, event.dur_us);
       stat.max_us = std::max(stat.max_us, event.dur_us);
+      durations[key].Add(event.dur_us);
     }
   }
   std::vector<SpanStat> stats;
   stats.reserve(by_name.size());
   for (auto& [key, stat] : by_name) {
+    const Histogram& hist = durations[key];
+    stat.p50_us = hist.Percentile(50);
+    stat.p99_us = hist.Percentile(99);
     stats.push_back(std::move(stat));
   }
   std::sort(stats.begin(), stats.end(), [](const SpanStat& a,

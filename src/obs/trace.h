@@ -42,12 +42,18 @@ struct TraceEvent {
   std::vector<std::pair<std::string, std::string>> args;
 };
 
-/// Aggregate of all complete spans sharing a name (for run reports).
+/// Aggregate of all complete spans sharing a name (for run reports). The
+/// percentiles come from a log2-bucketed histogram (common/histogram.h), so
+/// they are bucket upper-bound estimates, good to within a factor of two —
+/// plenty to tell "one straggler" from "uniformly slow".
 struct SpanStat {
   std::string name;
   TraceClock clock = TraceClock::kWall;
   uint64_t count = 0;
   double total_us = 0.0;
+  double min_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
   double max_us = 0.0;
 };
 

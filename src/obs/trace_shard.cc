@@ -1,0 +1,95 @@
+#include "obs/trace_shard.h"
+
+#include <utility>
+
+namespace surfer {
+namespace obs {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 2;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+TraceShard::TraceShard(size_t capacity)
+    : slots_(RoundUpPow2(capacity)), mask_(slots_.size() - 1) {}
+
+size_t TraceShard::Drain(std::vector<ShardEvent>* out) {
+  const uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  for (uint64_t i = tail; i < head; ++i) {
+    out->push_back(slots_[i & mask_]);
+  }
+  tail_.store(head, std::memory_order_release);
+  return static_cast<size_t>(head - tail);
+}
+
+ShardedTracer::ShardedTracer(Tracer* sink, size_t num_shards,
+                             size_t shard_capacity)
+    : sink_(sink) {
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<TraceShard>(shard_capacity));
+  }
+}
+
+uint32_t ShardedTracer::InternName(std::string name, std::string category,
+                                   std::string arg_key) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  for (uint32_t id = 0; id < names_.size(); ++id) {
+    if (names_[id].name == name && names_[id].category == category &&
+        names_[id].arg_key == arg_key) {
+      return id;
+    }
+  }
+  names_.push_back(InternedName{std::move(name), std::move(category),
+                                std::move(arg_key)});
+  return static_cast<uint32_t>(names_.size() - 1);
+}
+
+size_t ShardedTracer::Flush() {
+  scratch_.clear();
+  for (auto& shard : shards_) {
+    shard->Drain(&scratch_);
+  }
+  if (sink_ == nullptr) {
+    return scratch_.size();
+  }
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  for (const ShardEvent& event : scratch_) {
+    if (event.name_id >= names_.size()) {
+      continue;  // recorded with an ID this tracer never handed out
+    }
+    const InternedName& interned = names_[event.name_id];
+    std::vector<std::pair<std::string, std::string>> args;
+    if (!interned.arg_key.empty()) {
+      args.emplace_back(interned.arg_key, std::to_string(event.arg));
+    }
+    if (event.dur_us < 0.0) {
+      sink_->RecordInstant(TraceClock::kWall, interned.name, interned.category,
+                           event.ts_us, event.lane, std::move(args));
+    } else {
+      sink_->RecordComplete(TraceClock::kWall, interned.name,
+                            interned.category, event.ts_us, event.dur_us,
+                            event.lane, std::move(args));
+    }
+  }
+  return scratch_.size();
+}
+
+uint64_t ShardedTracer::total_dropped() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->dropped();
+  }
+  return total;
+}
+
+}  // namespace obs
+}  // namespace surfer

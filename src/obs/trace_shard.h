@@ -1,0 +1,133 @@
+#ifndef SURFER_OBS_TRACE_SHARD_H_
+#define SURFER_OBS_TRACE_SHARD_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace surfer {
+namespace obs {
+
+/// One hot-path trace record: fixed size, no strings, no heap. Names and
+/// categories are interned once (cold path) into small IDs; `arg` carries one
+/// free integer payload (partition id, byte count, ...) whose label is part
+/// of the interned entry.
+struct ShardEvent {
+  uint32_t name_id = 0;
+  uint32_t lane = 0;     ///< Chrome-trace tid lane (machine id in the runtime)
+  double ts_us = 0.0;    ///< wall microseconds in the sink tracer's origin
+  double dur_us = 0.0;   ///< span duration; < 0 marks an instant event
+  uint64_t arg = 0;      ///< payload, labeled by the interned entry's arg key
+};
+
+/// Single-producer single-consumer ring buffer of ShardEvents. The producer
+/// is the one thread that owns the shard; the consumer is whoever flushes
+/// (the main thread at flush points). Record never blocks and never
+/// allocates: when the ring is full the event is dropped and counted, which
+/// is the right trade for a profiler — losing a sample must not perturb the
+/// workload being profiled.
+class TraceShard {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit TraceShard(size_t capacity);
+
+  TraceShard(const TraceShard&) = delete;
+  TraceShard& operator=(const TraceShard&) = delete;
+
+  /// Producer side. Returns false (and counts a drop) when the ring is full.
+  /// Compiled out together with the rest of tracing.
+  bool Record(const ShardEvent& event) {
+    if constexpr (!Tracer::CompiledIn()) {
+      return true;
+    }
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[head & mask_] = event;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: appends every pending event to `out` in record order and
+  /// frees their slots. Returns the number of events drained.
+  size_t Drain(std::vector<ShardEvent>* out);
+
+  size_t capacity() const { return slots_.size(); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  /// Events accepted so far (producer's view; approximate under concurrency).
+  uint64_t recorded() const { return head_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<ShardEvent> slots_;
+  uint64_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> head_{0};  ///< written by the producer
+  alignas(64) std::atomic<uint64_t> tail_{0};  ///< written by the consumer
+  std::atomic<uint64_t> dropped_{0};
+};
+
+/// A set of SPSC shards feeding one cold-path Tracer. Worker threads each
+/// own a shard by index (the caller fixes the thread -> shard assignment, so
+/// the single-producer contract is explicit rather than enforced through
+/// thread-locals); the flusher converts compact events back into full
+/// TraceEvents on the sink.
+///
+/// Interning is the cold half of the contract: call InternName once per
+/// distinct span name before the hot loop, then record with the returned ID.
+class ShardedTracer {
+ public:
+  static constexpr size_t kDefaultShardCapacity = 8192;
+
+  /// `sink` may be null, in which case recording still works but Flush
+  /// discards the events (useful when only the drop/throughput counters are
+  /// wanted). Shards are preallocated; `shard(i)` is valid for i < count.
+  ShardedTracer(Tracer* sink, size_t num_shards,
+                size_t shard_capacity = kDefaultShardCapacity);
+
+  ShardedTracer(const ShardedTracer&) = delete;
+  ShardedTracer& operator=(const ShardedTracer&) = delete;
+
+  /// Registers a span name once and returns its hot-path ID. `arg_key`, when
+  /// non-empty, labels ShardEvent::arg in the flushed Chrome trace args.
+  /// Thread-safe, but meant for setup code, not hot loops.
+  uint32_t InternName(std::string name, std::string category = "",
+                      std::string arg_key = "");
+
+  TraceShard& shard(size_t i) { return *shards_[i]; }
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Drains every shard into the sink tracer (ShardEvents with dur_us < 0
+  /// become instants). Safe to call while producers are still recording —
+  /// each shard is SPSC with this flusher as the consumer — but not
+  /// concurrently with another Flush. Returns the number of events flushed.
+  size_t Flush();
+
+  /// Events dropped across all shards because a ring was full.
+  uint64_t total_dropped() const;
+
+ private:
+  struct InternedName {
+    std::string name;
+    std::string category;
+    std::string arg_key;
+  };
+
+  Tracer* sink_;
+  std::vector<std::unique_ptr<TraceShard>> shards_;
+  mutable std::mutex intern_mu_;
+  std::vector<InternedName> names_;
+  std::vector<ShardEvent> scratch_;
+};
+
+}  // namespace obs
+}  // namespace surfer
+
+#endif  // SURFER_OBS_TRACE_SHARD_H_

@@ -17,6 +17,7 @@
 #include "common/result.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "obs/trace_shard.h"
 #include "propagation/app_traits.h"
 #include "propagation/config.h"
 #include "runtime/barrier.h"
@@ -24,6 +25,7 @@
 #include "runtime/channel_plan.h"
 #include "runtime/fault.h"
 #include "runtime/stats.h"
+#include "runtime/timeline.h"
 #include "storage/partitioned_graph.h"
 #include "storage/replication.h"
 
@@ -41,6 +43,10 @@ struct RuntimeOptions {
   /// link absorbs a whole stage's buffers from one machine without stalling
   /// at typical partition counts; narrow (cross-pod) links still backpressure.
   size_t base_channel_capacity = 128;
+  /// Ring slots of each worker's SPSC trace shard (rounded up to a power of
+  /// two). Per-task profiling events overflow into drop counts, never into
+  /// blocking; see RuntimeStats::trace_events_dropped.
+  size_t trace_shard_capacity = obs::ShardedTracer::kDefaultShardCapacity;
   /// Machines to kill mid-stage (Appendix-B recovery drills).
   std::vector<RuntimeFaultPlan> faults;
 };
@@ -137,6 +143,21 @@ class RuntimeExecutor {
     barrier_ = std::make_unique<BspBarrier>(num_workers + 1);
     phase_ = Phase{};
 
+    // Superstep timeline: one slot per (stage, machine). Slot [step][m] is
+    // written only by m's owner worker, so the matrix needs no locking; the
+    // main thread reads it after the join.
+    step_phases_.assign(static_cast<size_t>(config_.iterations) * 2,
+                        std::vector<PhaseSeconds>(num_machines));
+    sharded_.reset();
+    if (config_.tracer != nullptr && obs::Tracer::CompiledIn()) {
+      sharded_ = std::make_unique<obs::ShardedTracer>(
+          config_.tracer, num_workers, options_.trace_shard_capacity);
+      transfer_name_id_ =
+          sharded_->InternName("rt_task_transfer", "runtime", "partition");
+      combine_name_id_ =
+          sharded_->InternName("rt_task_combine", "runtime", "partition");
+    }
+
     std::vector<std::thread> workers;
     workers.reserve(num_workers);
     for (uint32_t w = 0; w < num_workers; ++w) {
@@ -156,6 +177,13 @@ class RuntimeExecutor {
       if (!status.ok()) {
         break;
       }
+      // Flush point: workers are parked at the next start barrier, so their
+      // shards only grow while we drain (SPSC-safe either way). One flush
+      // per iteration keeps ring occupancy bounded without touching the
+      // global tracer mutex from the hot path.
+      if (sharded_ != nullptr) {
+        sharded_->Flush();
+      }
       // Fold this iteration's virtual-vertex outputs in partition order,
       // exactly as the sequential runner does at the end of RunIteration.
       if constexpr (VirtualVertexApp<App>) {
@@ -174,6 +202,9 @@ class RuntimeExecutor {
     MainBarrier();
     for (std::thread& t : workers) {
       t.join();
+    }
+    if (sharded_ != nullptr) {
+      sharded_->Flush();
     }
     stats_.wall_seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - wall_start)
@@ -268,6 +299,35 @@ class RuntimeExecutor {
 
   double MainBarrier() { return barrier_->ArriveAndWait(); }
 
+  static double Seconds(std::chrono::steady_clock::duration d) {
+    return std::chrono::duration<double>(d).count();
+  }
+
+  /// Superstep index in execution order: two stages per BSP iteration.
+  static size_t StepIndex(int iteration, PhaseKind kind) {
+    return static_cast<size_t>(iteration) * 2 +
+           (kind == PhaseKind::kCombine ? 1 : 0);
+  }
+
+  PhaseSeconds& PhaseSlot(int iteration, PhaseKind kind, MachineId m) {
+    return step_phases_[StepIndex(iteration, kind)][m];
+  }
+
+  /// Books a worker's barrier idle time against its owned machines, split
+  /// evenly: with workers == machines the attribution is exact; with fewer
+  /// workers each hosted machine shares its worker's idle time.
+  void AttributeBarrierWait(int iteration, PhaseKind kind, uint32_t w,
+                            double seconds) {
+    const std::vector<MachineId>& owned = owned_machines_[w];
+    if (owned.empty() || seconds <= 0.0) {
+      return;
+    }
+    const double share = seconds / static_cast<double>(owned.size());
+    for (MachineId m : owned) {
+      PhaseSlot(iteration, kind, m).barrier_s += share;
+    }
+  }
+
   static RuntimeStage StageOf(PhaseKind kind) {
     return kind == PhaseKind::kTransfer ? RuntimeStage::kTransfer
                                         : RuntimeStage::kCombine;
@@ -331,25 +391,30 @@ class RuntimeExecutor {
   void WorkerMain(uint32_t w) {
     WorkerLocal& local = locals_[w];
     for (;;) {
-      RecordBarrierWait(local, barrier_->ArriveAndWait());  // start barrier
+      const double start_wait = barrier_->ArriveAndWait();  // start barrier
+      RecordBarrierWait(local, start_wait);
       if (phase_.kind == PhaseKind::kShutdown) {
         return;
       }
       const Phase& phase = phase_;
+      // Copied out because phase_ is only stable until our last barrier of
+      // this round releases the main thread to publish the next phase.
+      const int iteration = phase.iteration;
+      const PhaseKind kind = phase.kind;
       for (MachineId m : owned_machines_[w]) {
         if (!alive_[m]) {
           continue;
         }
         for (PartitionId p : phase.tasks[m]) {
-          if (fault_.ShouldKill(m, phase.iteration, StageOf(phase.kind),
+          if (fault_.ShouldKill(m, iteration, StageOf(kind),
                                 stage_tasks_done_[m])) {
             KillMachine(m, local);
             break;
           }
-          if (phase.kind == PhaseKind::kTransfer) {
-            RunTransferTask(p, m, phase.iteration, w, local);
+          if (kind == PhaseKind::kTransfer) {
+            RunTransferTask(p, m, iteration, w, local);
           } else {
-            RunCombineTask(p, m, phase.iteration, local);
+            RunCombineTask(p, m, iteration, w, local);
           }
           done_[p] = 1;
           ++stage_tasks_done_[m];
@@ -360,11 +425,16 @@ class RuntimeExecutor {
           Drain(w);  // keep inbound channels moving between tasks
         }
       }
-      RecordBarrierWait(local, barrier_->ArriveAndWait([this, w] { Drain(w); }));
+      const double work_wait =
+          barrier_->ArriveAndWait([this, w] { Drain(w); });
+      RecordBarrierWait(local, work_wait);
       // All sends of this stage were accepted before the work-done barrier
       // released, so one final sweep leaves every owned channel empty.
       Drain(w);
-      RecordBarrierWait(local, barrier_->ArriveAndWait());  // drain done
+      const double drain_wait = barrier_->ArriveAndWait();  // drain done
+      RecordBarrierWait(local, drain_wait);
+      AttributeBarrierWait(iteration, kind, w,
+                           start_wait + work_wait + drain_wait);
     }
   }
 
@@ -400,8 +470,11 @@ class RuntimeExecutor {
     }
   }
 
-  void SendBuffer(MessageBuffer buffer, MachineId exec_machine, uint32_t w,
-                  WorkerLocal& local) {
+  /// Returns the seconds this send spent blocked on channel backpressure
+  /// (0 when the first TrySend lands), which the caller books as
+  /// channel-blocked time in the superstep timeline.
+  double SendBuffer(MessageBuffer buffer, MachineId exec_machine, uint32_t w,
+                    WorkerLocal& local) {
     const MachineId dst_machine = placement_->primary(buffer.dst);
     local.link_bytes[static_cast<size_t>(exec_machine) * num_machines_ +
                      dst_machine] += buffer.bytes;
@@ -410,17 +483,22 @@ class RuntimeExecutor {
     BoundedChannel<MessageBuffer>& ch =
         *channels_[static_cast<size_t>(exec_machine) * num_machines_ +
                    dst_machine];
+    if (ch.TrySend(buffer)) {
+      return 0.0;
+    }
     // Backpressure loop: while the link is saturated, keep draining our own
     // inbound channels so the system as a whole cannot wedge. Drain before
     // the timed wait: when the full channel is one this worker owns (always
     // true at one worker), draining it is what frees the slot, and waiting
     // first would just burn the timeout.
-    while (!ch.TrySend(buffer)) {
+    const auto stall_start = std::chrono::steady_clock::now();
+    do {
       Drain(w);
       if (ch.TrySendFor(buffer, std::chrono::microseconds(200))) {
-        return;
+        break;
       }
-    }
+    } while (!ch.TrySend(buffer));
+    return Seconds(std::chrono::steady_clock::now() - stall_start);
   }
 
   /// Runs the Transfer task of partition p on `exec_machine`, reproducing
@@ -428,10 +506,11 @@ class RuntimeExecutor {
   /// contents (and with them the combine-side message order) are identical.
   void RunTransferTask(PartitionId p, MachineId exec_machine, int iteration,
                        uint32_t w, WorkerLocal& local) {
-    obs::ScopedSpan task_span(
-        config_.tracer,
-        "rt_transfer[" + std::to_string(iteration) + "]:p" + std::to_string(p),
-        "runtime", {{"machine", std::to_string(exec_machine)}});
+    // Hot path: per-task events go through this worker's lock-free shard
+    // (flushed into the tracer between supersteps), never the tracer mutex.
+    const double task_start_us =
+        sharded_ != nullptr ? config_.tracer->WallNowUs() : 0.0;
+    const auto compute_start = std::chrono::steady_clock::now();
     const Graph& g = graph_->encoded_graph();
     const PartitionMeta& meta = graph_->partition(p);
     const uint32_t num_partitions = graph_->num_partitions();
@@ -503,6 +582,8 @@ class RuntimeExecutor {
         local_out.emplace_back(target, std::move(message));
       }
     }
+    const auto serialize_start = std::chrono::steady_clock::now();
+    double blocked_s = 0.0;
 
     // Ship exactly one buffer per destination partition with any content,
     // in ascending destination order (deterministic channel traffic).
@@ -545,7 +626,19 @@ class RuntimeExecutor {
         buffer.bytes += app_.MessageBytes(message);
       }
       buffer.num_messages = buffer.real.size() + buffer.virtuals.size();
-      SendBuffer(std::move(buffer), exec_machine, w, local);
+      blocked_s += SendBuffer(std::move(buffer), exec_machine, w, local);
+    }
+
+    const auto task_end = std::chrono::steady_clock::now();
+    PhaseSeconds& slot = PhaseSlot(iteration, PhaseKind::kTransfer,
+                                   exec_machine);
+    slot.compute_s += Seconds(serialize_start - compute_start);
+    slot.serialize_s += Seconds(task_end - serialize_start) - blocked_s;
+    slot.blocked_s += blocked_s;
+    if (sharded_ != nullptr) {
+      sharded_->shard(w).Record(obs::ShardEvent{
+          transfer_name_id_, exec_machine, task_start_us,
+          config_.tracer->WallNowUs() - task_start_us, p});
     }
   }
 
@@ -553,11 +646,10 @@ class RuntimeExecutor {
   /// inbox order from the received buffers and applies Combine to every
   /// vertex of the partition (messages or not), then folds virtual groups.
   void RunCombineTask(PartitionId p, MachineId exec_machine, int iteration,
-                      WorkerLocal& local) {
-    obs::ScopedSpan task_span(
-        config_.tracer,
-        "rt_combine[" + std::to_string(iteration) + "]:p" + std::to_string(p),
-        "runtime", {{"machine", std::to_string(exec_machine)}});
+                      uint32_t w, WorkerLocal& local) {
+    const double task_start_us =
+        sharded_ != nullptr ? config_.tracer->WallNowUs() : 0.0;
+    const auto inbox_start = std::chrono::steady_clock::now();
     const Graph& g = graph_->encoded_graph();
     const PartitionMeta& meta = graph_->partition(p);
     std::vector<MessageBuffer>& buffers = inboxes_[p];
@@ -592,6 +684,10 @@ class RuntimeExecutor {
                      [](const auto& a, const auto& b) {
                        return a.first < b.first;
                      });
+    // Everything up to here reconstructed the sequential inbox from wire
+    // buffers: serialization time. The rest is user compute (the virtual
+    // regroup sort below is noise at real message volumes).
+    const auto compute_start = std::chrono::steady_clock::now();
     std::vector<Message> vertex_messages;
     size_t cursor = 0;
     for (VertexId v = meta.begin; v < meta.end; ++v) {
@@ -619,6 +715,17 @@ class RuntimeExecutor {
         }
         virtual_results_[p].emplace_back(id, app_.CombineVirtual(id, group));
       }
+    }
+
+    const auto task_end = std::chrono::steady_clock::now();
+    PhaseSeconds& slot = PhaseSlot(iteration, PhaseKind::kCombine,
+                                   exec_machine);
+    slot.serialize_s += Seconds(compute_start - inbox_start);
+    slot.compute_s += Seconds(task_end - compute_start);
+    if (sharded_ != nullptr) {
+      sharded_->shard(w).Record(obs::ShardEvent{
+          combine_name_id_, exec_machine, task_start_us,
+          config_.tracer->WallNowUs() - task_start_us, p});
     }
   }
 
@@ -652,6 +759,21 @@ class RuntimeExecutor {
       stats_.channels.push_back(std::move(snapshot));
     }
 
+    stats_.timeline.clear();
+    stats_.timeline.reserve(step_phases_.size());
+    for (size_t step = 0; step < step_phases_.size(); ++step) {
+      SuperstepProfile profile;
+      profile.iteration = static_cast<int>(step / 2);
+      profile.stage = step % 2 == 0 ? RuntimeStage::kTransfer
+                                    : RuntimeStage::kCombine;
+      profile.machines = std::move(step_phases_[step]);
+      stats_.timeline.push_back(std::move(profile));
+    }
+    step_phases_.clear();
+    if (sharded_ != nullptr) {
+      stats_.trace_events_dropped = sharded_->total_dropped();
+    }
+
     obs::MetricsRegistry* metrics = config_.metrics;
     if (metrics == nullptr) {
       return;
@@ -677,6 +799,13 @@ class RuntimeExecutor {
     metrics->HistogramRef("runtime_channel_depth")
         .Merge(stats_.channel_depth);
     metrics->HistogramRef("runtime_barrier_wait").Merge(stats_.barrier_wait);
+    metrics->CounterRef("runtime_trace_events_dropped")
+        .Increment(stats_.trace_events_dropped);
+    double critical_busy = 0.0;
+    for (const CriticalPathEntry& entry : ComputeCriticalPath(stats_.timeline)) {
+      critical_busy += entry.busy_s;
+    }
+    metrics->GaugeRef("runtime_critical_path_busy_seconds").Set(critical_busy);
   }
 
   const PartitionedGraph* graph_;
@@ -712,6 +841,13 @@ class RuntimeExecutor {
   std::vector<VertexState> states_;
   std::vector<std::vector<std::pair<uint64_t, VirtualOutput>>> virtual_results_;
   std::vector<WorkerLocal> locals_;
+
+  //  - step_phases_[step][m]: written solely by m's owner worker during that
+  //    superstep, read by main after the join.
+  std::vector<std::vector<PhaseSeconds>> step_phases_;
+  std::unique_ptr<obs::ShardedTracer> sharded_;  ///< null when tracing is off
+  uint32_t transfer_name_id_ = 0;
+  uint32_t combine_name_id_ = 0;
 
   std::map<uint64_t, VirtualOutput> virtual_outputs_;
   RuntimeStats stats_;

@@ -7,6 +7,7 @@
 #include "common/histogram.h"
 #include "graph/types.h"
 #include "runtime/channel.h"
+#include "runtime/timeline.h"
 
 namespace surfer {
 namespace runtime {
@@ -42,13 +43,29 @@ struct RuntimeStats {
   Histogram channel_depth;  ///< queue depth observed at each send, merged
   Histogram barrier_wait;   ///< per-wait seconds, merged across workers
 
+  /// Per-superstep per-machine phase breakdown ({compute, serialize,
+  /// blocked, barrier}), one entry per (iteration, stage) in execution
+  /// order. Feeds the run report's "timeline" block and the critical-path
+  /// analysis; see runtime/timeline.h.
+  std::vector<SuperstepProfile> timeline;
+
+  /// Hot-path trace events lost to full ring shards (0 when tracing is off
+  /// or every shard kept up). A nonzero value means the Chrome trace is
+  /// incomplete, never that the run itself was perturbed.
+  uint64_t trace_events_dropped = 0;
+
   uint64_t TotalNetworkBytes() const {
+    // Tolerate a default-constructed or truncated matrix: stats objects are
+    // plain data that callers may build by hand (reports, tests), and a
+    // short `link_bytes` must degrade to "no traffic seen", not index out
+    // of bounds.
     uint64_t total = 0;
     const uint32_t n = num_machines;
     for (uint32_t src = 0; src < n; ++src) {
       for (uint32_t dst = 0; dst < n; ++dst) {
-        if (src != dst) {
-          total += link_bytes[static_cast<size_t>(src) * n + dst];
+        const size_t idx = static_cast<size_t>(src) * n + dst;
+        if (src != dst && idx < link_bytes.size()) {
+          total += link_bytes[idx];
         }
       }
     }

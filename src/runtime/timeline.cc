@@ -1,0 +1,144 @@
+#include "runtime/timeline.h"
+
+namespace surfer {
+namespace runtime {
+
+const char* RuntimeStageName(RuntimeStage stage) {
+  return stage == RuntimeStage::kTransfer ? "transfer" : "combine";
+}
+
+StragglerStats ComputeStraggler(const SuperstepProfile& step) {
+  StragglerStats stats;
+  double total_busy = 0.0;
+  uint32_t active_machines = 0;
+  for (MachineId m = 0; m < step.machines.size(); ++m) {
+    const PhaseSeconds& phases = step.machines[m];
+    const double busy = phases.Busy();
+    if (busy <= 0.0) {
+      continue;
+    }
+    ++active_machines;
+    total_busy += busy;
+    if (busy > stats.max_busy_s) {
+      stats.max_busy_s = busy;
+      stats.machine = m;
+    }
+  }
+  if (active_machines == 0) {
+    return stats;
+  }
+  stats.mean_busy_s = total_busy / active_machines;
+  stats.skew = stats.mean_busy_s > 0.0 ? stats.max_busy_s / stats.mean_busy_s
+                                       : 0.0;
+  const PhaseSeconds& slowest = step.machines[stats.machine];
+  stats.dominant_phase = "compute";
+  double dominant = slowest.compute_s;
+  if (slowest.serialize_s > dominant) {
+    dominant = slowest.serialize_s;
+    stats.dominant_phase = "serialize";
+  }
+  if (slowest.blocked_s > dominant) {
+    stats.dominant_phase = "blocked";
+  }
+  return stats;
+}
+
+std::vector<CriticalPathEntry> ComputeCriticalPath(
+    const std::vector<SuperstepProfile>& timeline) {
+  std::vector<CriticalPathEntry> path;
+  path.reserve(timeline.size());
+  for (size_t step = 0; step < timeline.size(); ++step) {
+    const SuperstepProfile& profile = timeline[step];
+    CriticalPathEntry entry;
+    entry.step = step;
+    entry.iteration = profile.iteration;
+    entry.stage = profile.stage;
+    for (MachineId m = 0; m < profile.machines.size(); ++m) {
+      const double busy = profile.machines[m].Busy();
+      if (entry.machine == kInvalidMachine || busy > entry.busy_s) {
+        entry.machine = m;
+        entry.busy_s = busy;
+      }
+    }
+    path.push_back(entry);
+  }
+  return path;
+}
+
+namespace {
+
+obs::JsonValue PhasesToJson(const PhaseSeconds& phases) {
+  obs::JsonValue obj = obs::JsonValue::MakeObject();
+  obj.Set("compute_s", phases.compute_s);
+  obj.Set("serialize_s", phases.serialize_s);
+  obj.Set("blocked_s", phases.blocked_s);
+  obj.Set("barrier_s", phases.barrier_s);
+  obj.Set("busy_s", phases.Busy());
+  return obj;
+}
+
+}  // namespace
+
+obs::JsonValue TimelineToJson(const std::vector<SuperstepProfile>& timeline) {
+  obs::JsonValue block = obs::JsonValue::MakeObject();
+  obs::JsonValue steps = obs::JsonValue::MakeArray();
+  for (const SuperstepProfile& profile : timeline) {
+    obs::JsonValue step = obs::JsonValue::MakeObject();
+    step.Set("iteration", profile.iteration);
+    step.Set("stage", RuntimeStageName(profile.stage));
+    obs::JsonValue machines = obs::JsonValue::MakeArray();
+    for (MachineId m = 0; m < profile.machines.size(); ++m) {
+      const PhaseSeconds& phases = profile.machines[m];
+      // All-zero machines are elided: with M machines and S supersteps a
+      // dense dump is M x S rows, most of which say nothing on skewed runs.
+      if (phases.Busy() <= 0.0 && phases.barrier_s <= 0.0) {
+        continue;
+      }
+      obs::JsonValue row = obs::JsonValue::MakeObject();
+      row.Set("machine", static_cast<uint64_t>(m));
+      obs::JsonValue phase_fields = PhasesToJson(phases);
+      for (auto& [key, value] : phase_fields.as_object()) {
+        row.Set(key, std::move(value));
+      }
+      machines.Append(std::move(row));
+    }
+    step.Set("machines", std::move(machines));
+    const StragglerStats straggler = ComputeStraggler(profile);
+    obs::JsonValue skew = obs::JsonValue::MakeObject();
+    skew.Set("machine", straggler.machine == kInvalidMachine
+                            ? obs::JsonValue(nullptr)
+                            : obs::JsonValue(
+                                  static_cast<uint64_t>(straggler.machine)));
+    skew.Set("max_busy_s", straggler.max_busy_s);
+    skew.Set("mean_busy_s", straggler.mean_busy_s);
+    skew.Set("skew", straggler.skew);
+    skew.Set("dominant_phase", straggler.dominant_phase);
+    step.Set("straggler", std::move(skew));
+    steps.Append(std::move(step));
+  }
+  block.Set("steps", std::move(steps));
+
+  const std::vector<CriticalPathEntry> path = ComputeCriticalPath(timeline);
+  obs::JsonValue critical = obs::JsonValue::MakeObject();
+  double total_busy = 0.0;
+  obs::JsonValue entries = obs::JsonValue::MakeArray();
+  for (const CriticalPathEntry& entry : path) {
+    total_busy += entry.busy_s;
+    obs::JsonValue e = obs::JsonValue::MakeObject();
+    e.Set("step", static_cast<uint64_t>(entry.step));
+    e.Set("iteration", entry.iteration);
+    e.Set("stage", RuntimeStageName(entry.stage));
+    e.Set("machine", entry.machine == kInvalidMachine
+                         ? obs::JsonValue(nullptr)
+                         : obs::JsonValue(static_cast<uint64_t>(entry.machine)));
+    e.Set("busy_s", entry.busy_s);
+    entries.Append(std::move(e));
+  }
+  critical.Set("total_busy_s", total_busy);
+  critical.Set("steps", std::move(entries));
+  block.Set("critical_path", std::move(critical));
+  return block;
+}
+
+}  // namespace runtime
+}  // namespace surfer

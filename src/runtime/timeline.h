@@ -1,0 +1,91 @@
+#ifndef SURFER_RUNTIME_TIMELINE_H_
+#define SURFER_RUNTIME_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "obs/json.h"
+#include "runtime/fault.h"
+
+namespace surfer {
+namespace runtime {
+
+/// Where one machine's time went during one BSP superstep stage. The four
+/// phases mirror the paper's propagation cost decomposition: user compute
+/// (Transfer/Combine bodies), serialization (building and reconstructing
+/// message buffers), channel-blocked (backpressure stalls on saturated
+/// links), and barrier-wait (idle time behind stragglers).
+struct PhaseSeconds {
+  double compute_s = 0.0;
+  double serialize_s = 0.0;
+  double blocked_s = 0.0;
+  double barrier_s = 0.0;
+
+  /// Busy time: everything except waiting at the barrier. This is the
+  /// quantity the critical path chains, because barrier wait is by
+  /// definition time spent behind some *other* machine's busy time.
+  double Busy() const { return compute_s + serialize_s + blocked_s; }
+
+  void MergeFrom(const PhaseSeconds& other) {
+    compute_s += other.compute_s;
+    serialize_s += other.serialize_s;
+    blocked_s += other.blocked_s;
+    barrier_s += other.barrier_s;
+  }
+};
+
+/// One superstep stage (a Transfer or Combine half of a BSP iteration) with
+/// a per-machine phase breakdown. Recovery rounds triggered by faults fold
+/// into the same superstep.
+struct SuperstepProfile {
+  int iteration = 0;
+  RuntimeStage stage = RuntimeStage::kTransfer;
+  /// Indexed by machine id; machines that ran nothing stay all-zero.
+  std::vector<PhaseSeconds> machines;
+};
+
+/// Straggler/skew statistics of one superstep: who was slowest, by how much
+/// relative to the mean, and which phase dominated its time.
+struct StragglerStats {
+  MachineId machine = kInvalidMachine;
+  double max_busy_s = 0.0;
+  double mean_busy_s = 0.0;
+  /// max/mean over machines that did any work; 1.0 means perfectly level.
+  double skew = 0.0;
+  /// "compute", "serialize", or "blocked" — the slowest machine's top phase.
+  std::string dominant_phase;
+};
+
+/// One link of the critical path: the slowest machine of one superstep.
+struct CriticalPathEntry {
+  size_t step = 0;  ///< iteration * 2 + (stage == kCombine)
+  int iteration = 0;
+  RuntimeStage stage = RuntimeStage::kTransfer;
+  MachineId machine = kInvalidMachine;
+  double busy_s = 0.0;
+};
+
+const char* RuntimeStageName(RuntimeStage stage);
+
+StragglerStats ComputeStraggler(const SuperstepProfile& step);
+
+/// The critical path through the BSP DAG: every barrier generation is a full
+/// synchronization point, so the chain of per-superstep slowest machines is
+/// exactly the path that bounds response time. Entries for supersteps where
+/// no machine did any work are still emitted (busy_s == 0) so the chain
+/// always has one entry per superstep.
+std::vector<CriticalPathEntry> ComputeCriticalPath(
+    const std::vector<SuperstepProfile>& timeline);
+
+/// Serializes the timeline into the run report's "timeline" block (schema
+/// v2): {"steps": [...], "critical_path": {...}}. Each step carries its
+/// per-machine phase breakdown plus derived straggler stats; the critical
+/// path block chains the per-step slowest machines and sums their busy time.
+obs::JsonValue TimelineToJson(const std::vector<SuperstepProfile>& timeline);
+
+}  // namespace runtime
+}  // namespace surfer
+
+#endif  // SURFER_RUNTIME_TIMELINE_H_

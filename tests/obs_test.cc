@@ -88,6 +88,84 @@ TEST(JsonTest, ParseRejectsMalformedInput) {
   EXPECT_FALSE(ParseJson("{} trailing").ok());
 }
 
+TEST(JsonTest, EscapedStringsSurviveWriteParseCycles) {
+  // Every escape class the writer can emit must come back bitwise equal:
+  // quotes, backslashes, control characters, tabs/newlines, and non-ASCII
+  // bytes (UTF-8 passes through untouched).
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("tricky", std::string("quote\" slash\\ nl\n tab\t cr\r") +
+                        std::string(1, '\x01') + "\x1f bell\x07 high\xc3\xa9");
+  obj.Set("empty", "");
+  obj.Set("key with \"quotes\"", 1);
+  std::string text = obj.Write();
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    auto parsed = ParseJson(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->Write(), text) << "cycle " << cycle;
+    text = parsed->Write();
+  }
+  auto parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("tricky")->as_string(),
+            obj.Find("tricky")->as_string());
+}
+
+TEST(JsonTest, DeeplyNestedStructuresRoundTrip) {
+  // 200 levels of [[[...{"k": 42}...]]]: deep but legitimate documents
+  // (timeline blocks nest several levels; give generous headroom).
+  constexpr int kDepth = 200;
+  std::string text;
+  for (int i = 0; i < kDepth; ++i) {
+    text += "[";
+  }
+  text += R"({"k": 42})";
+  for (int i = 0; i < kDepth; ++i) {
+    text += "]";
+  }
+  auto parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* cursor = &*parsed;
+  for (int i = 0; i < kDepth; ++i) {
+    ASSERT_TRUE(cursor->is_array());
+    ASSERT_EQ(cursor->as_array().size(), 1u);
+    cursor = &cursor->as_array()[0];
+  }
+  EXPECT_EQ(cursor->Find("k")->as_number(), 42.0);
+}
+
+TEST(JsonTest, LargeIntegersKeepExactValuesUpTo2Pow53) {
+  // Doubles hold integers exactly up to 2^53; byte counters in the reports
+  // live in that range and must not lose precision through a round trip.
+  const uint64_t exact = (uint64_t{1} << 53) - 1;  // 9007199254740991
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("bytes", exact);
+  const std::string text = obj.Write();
+  EXPECT_NE(text.find("9007199254740991"), std::string::npos) << text;
+  auto parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(static_cast<uint64_t>(parsed->Find("bytes")->as_number()), exact);
+
+  auto negative = ParseJson(R"({"n": -9007199254740991})");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(static_cast<int64_t>(negative->Find("n")->as_number()),
+            -9007199254740991LL);
+}
+
+TEST(JsonTest, RejectsNonFiniteNumbers) {
+  // JSON has no NaN/Infinity literals, and overflowing scientific notation
+  // must not smuggle an infinity into a report either.
+  EXPECT_FALSE(ParseJson("NaN").ok());
+  EXPECT_FALSE(ParseJson("Infinity").ok());
+  EXPECT_FALSE(ParseJson("-Infinity").ok());
+  EXPECT_FALSE(ParseJson(R"({"x": NaN})").ok());
+  EXPECT_FALSE(ParseJson(R"({"x": 1e999})").ok());
+  EXPECT_FALSE(ParseJson(R"({"x": -1e999})").ok());
+  // The largest finite double still parses.
+  auto parsed = ParseJson(R"({"x": 1.7976931348623157e308})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_GT(parsed->Find("x")->as_number(), 1e308);
+}
+
 // ------------------------------------------------------- MetricsRegistry
 
 TEST(MetricsRegistryTest, CountersAccumulate) {
@@ -227,6 +305,34 @@ TEST(TracerTest, SpanSummaryAggregatesByNameAndSortsByTotal) {
   EXPECT_DOUBLE_EQ(summary[0].total_us, 150.0);
   EXPECT_DOUBLE_EQ(summary[0].max_us, 100.0);
   EXPECT_EQ(summary[1].name, "small");
+}
+
+TEST(TracerTest, SpanSummaryTracksMinAndTailPercentiles) {
+  if (!Tracer::CompiledIn()) {
+    GTEST_SKIP() << "tracing compiled out";
+  }
+  Tracer tracer;
+  // 99 spans at 10us and one 1000us outlier: the mean hides the outlier,
+  // min/p50/p99 pin it down (within log2-bucket resolution).
+  for (int i = 0; i < 99; ++i) {
+    tracer.RecordComplete(TraceClock::kWall, "op", "", i * 10.0, 10.0, 0);
+  }
+  tracer.RecordComplete(TraceClock::kWall, "op", "", 1000.0, 1000.0, 0);
+  const auto summary = tracer.SpanSummary();
+  ASSERT_EQ(summary.size(), 1u);
+  const SpanStat& stat = summary[0];
+  EXPECT_EQ(stat.count, 100u);
+  EXPECT_DOUBLE_EQ(stat.min_us, 10.0);
+  EXPECT_DOUBLE_EQ(stat.max_us, 1000.0);
+  // Log2 buckets report midpoints: p50 resolves to within a power of two
+  // of the 10us bulk, p99 at or above it and no higher than the outlier.
+  EXPECT_GE(stat.p50_us, 8.0);
+  EXPECT_LE(stat.p50_us, 32.0);
+  EXPECT_GE(stat.p99_us, stat.p50_us);
+  EXPECT_LE(stat.p99_us, 2048.0);
+  // Ordering invariant holds in general.
+  EXPECT_LE(stat.min_us, stat.p50_us);
+  EXPECT_LE(stat.p99_us, stat.max_us * 2.049);  // bucket upper-bound slack
 }
 
 TEST(TracerTest, ChromeJsonHasEventsAndProcessMetadata) {

@@ -13,6 +13,7 @@
 #include "propagation/runner.h"
 #include "runtime/executor.h"
 #include "runtime/report.h"
+#include "runtime/timeline.h"
 #include "tests/test_fixtures.h"
 
 namespace surfer {
@@ -196,6 +197,96 @@ TEST(RunReportTest, RuntimeBlockValidatesAndRoundTrips) {
   EXPECT_FALSE(rt->Find("channels")->as_array().empty());
   for (const obs::JsonValue& channel : rt->Find("channels")->as_array()) {
     EXPECT_GE(channel.Find("capacity")->as_number(), 1.0);
+  }
+}
+
+TEST(RunReportTest, TimelineBlockValidatesAndRoundTrips) {
+  // Schema v2: a profiled executor run's timeline becomes the report's
+  // optional `timeline` block and survives a serialize/parse round trip.
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationConfig config =
+      PropagationConfig::ForLevel(OptimizationLevel::kO4);
+  config.iterations = 2;
+  runtime::RuntimeExecutor<NetworkRankingApp> executor(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(executor.Run().ok());
+  const obs::JsonValue timeline_block =
+      runtime::TimelineToJson(executor.stats().timeline);
+
+  obs::RunReportOptions options;
+  options.name = "run_report_test_timeline";
+  const obs::JsonValue report =
+      obs::BuildRunReport(options, nullptr, nullptr, nullptr,
+                          /*runtime_block=*/nullptr, &timeline_block);
+  ASSERT_TRUE(obs::ValidateRunReport(report).ok())
+      << obs::ValidateRunReport(report).ToString();
+
+  auto parsed = obs::ParseJson(report.Write());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(obs::ValidateRunReport(*parsed).ok())
+      << obs::ValidateRunReport(*parsed).ToString();
+  const obs::JsonValue* timeline = parsed->Find("timeline");
+  ASSERT_NE(timeline, nullptr);
+  ASSERT_EQ(timeline->Find("steps")->as_array().size(), 4u);
+  for (const obs::JsonValue& step : timeline->Find("steps")->as_array()) {
+    const std::string stage = step.Find("stage")->as_string();
+    EXPECT_TRUE(stage == "transfer" || stage == "combine") << stage;
+    ASSERT_NE(step.Find("straggler"), nullptr);
+    EXPECT_GE(step.Find("straggler")->Find("skew")->as_number(), 0.0);
+  }
+  EXPECT_GT(timeline->Find("critical_path")->Find("total_busy_s")
+                ->as_number(),
+            0.0);
+}
+
+TEST(RunReportTest, ValidateAcceptsMinSupportedVersion) {
+  // A v1 report (pre-timeline) must stay loadable.
+  obs::JsonValue report = obs::JsonValue::MakeObject();
+  report.Set("schema_version", obs::kMinSupportedRunReportSchemaVersion);
+  report.Set("name", "legacy");
+  EXPECT_TRUE(obs::ValidateRunReport(report).ok());
+}
+
+TEST(RunReportTest, ValidateRejectsMalformedTimelineBlock) {
+  obs::JsonValue base = obs::JsonValue::MakeObject();
+  base.Set("schema_version", obs::kRunReportSchemaVersion);
+  base.Set("name", "x");
+
+  {
+    obs::JsonValue report = base;  // timeline must be an object
+    report.Set("timeline", "nope");
+    EXPECT_FALSE(obs::ValidateRunReport(report).ok());
+  }
+  {
+    obs::JsonValue report = base;  // steps[].stage must be a known stage
+    auto parsed = obs::ParseJson(
+        R"({"steps": [{"iteration": 0, "stage": "warp", "machines": [],
+             "straggler": {"max_busy_s": 0, "mean_busy_s": 0, "skew": 0}}],
+            "critical_path": {"total_busy_s": 0, "steps": []}})");
+    ASSERT_TRUE(parsed.ok());
+    report.Set("timeline", std::move(*parsed));
+    EXPECT_FALSE(obs::ValidateRunReport(report).ok());
+  }
+  {
+    obs::JsonValue report = base;  // machine rows need the phase fields
+    auto parsed = obs::ParseJson(
+        R"({"steps": [{"iteration": 0, "stage": "transfer",
+             "machines": [{"machine": 0, "compute_s": 0.5}],
+             "straggler": {"max_busy_s": 0, "mean_busy_s": 0, "skew": 0}}],
+            "critical_path": {"total_busy_s": 0, "steps": []}})");
+    ASSERT_TRUE(parsed.ok());
+    report.Set("timeline", std::move(*parsed));
+    EXPECT_FALSE(obs::ValidateRunReport(report).ok());
+  }
+  {
+    obs::JsonValue report = base;  // critical_path needs total_busy_s
+    auto parsed = obs::ParseJson(
+        R"({"steps": [], "critical_path": {"steps": []}})");
+    ASSERT_TRUE(parsed.ok());
+    report.Set("timeline", std::move(*parsed));
+    EXPECT_FALSE(obs::ValidateRunReport(report).ok());
   }
 }
 

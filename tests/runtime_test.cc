@@ -8,10 +8,14 @@
 
 #include "apps/degree_distribution.h"
 #include "apps/network_ranking.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "propagation/app_traits.h"
 #include "propagation/config.h"
 #include "propagation/runner.h"
 #include "runtime/executor.h"
+#include "runtime/stats.h"
+#include "runtime/timeline.h"
 #include "tests/test_fixtures.h"
 
 namespace surfer {
@@ -167,6 +171,130 @@ TEST(RuntimeTest, PerLinkBytesReconcileWithCostModel) {
     EXPECT_EQ(static_cast<double>(executor.stats().TotalNetworkBytes()),
               analytic_total);
   }
+}
+
+TEST(RuntimeStatsTest, TotalNetworkBytesToleratesShortOrEmptyMatrix) {
+  // Stats objects are plain data that reports and tests build by hand; an
+  // absent or truncated link matrix must read as "no traffic", not UB.
+  runtime::RuntimeStats stats;
+  stats.num_machines = 4;
+  EXPECT_EQ(stats.TotalNetworkBytes(), 0u);  // empty link_bytes
+
+  stats.link_bytes = {0, 7, 9};  // 3 of the expected 16 entries
+  EXPECT_EQ(stats.TotalNetworkBytes(), 16u);  // [0][1] + [0][2], diag skipped
+
+  stats.link_bytes.assign(16, 1);
+  EXPECT_EQ(stats.TotalNetworkBytes(), 12u);  // full matrix, 4 diagonal zeros
+}
+
+// ------------------------------------------- superstep profiler (timeline)
+
+TEST(RuntimeTest, ProfilingEnabledRunStaysBitIdenticalWithTimeline) {
+  // The profiler's core promise: turning it on changes nothing about the
+  // computation. Compare against the sequential runner with the tracer and
+  // metrics attached and the sharded hot path active.
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  constexpr int kIterations = 3;
+  PropagationConfig config = ConfigFor(OptimizationLevel::kO4, kIterations);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationRunner<NetworkRankingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  config.tracer = &tracer;
+  config.metrics = &metrics;
+  RuntimeOptions options;
+  options.max_workers = 3;
+  RuntimeExecutor<NetworkRankingApp> executor(
+      setup.graph, setup.placement, setup.topology, app, config, options);
+  ASSERT_TRUE(executor.Run().ok());
+  ExpectBitIdentical(runner.states(), executor.states(),
+                     "profiling enabled");
+
+  const runtime::RuntimeStats& stats = executor.stats();
+  // One profile per (iteration, stage), in execution order.
+  ASSERT_EQ(stats.timeline.size(), static_cast<size_t>(kIterations) * 2);
+  for (size_t step = 0; step < stats.timeline.size(); ++step) {
+    const runtime::SuperstepProfile& profile = stats.timeline[step];
+    EXPECT_EQ(profile.iteration, static_cast<int>(step / 2));
+    EXPECT_EQ(profile.stage, step % 2 == 0 ? RuntimeStage::kTransfer
+                                           : RuntimeStage::kCombine);
+    ASSERT_EQ(profile.machines.size(), stats.num_machines);
+    double step_busy = 0.0;
+    for (const runtime::PhaseSeconds& phases : profile.machines) {
+      EXPECT_GE(phases.compute_s, 0.0);
+      EXPECT_GE(phases.serialize_s, 0.0);
+      EXPECT_GE(phases.blocked_s, 0.0);
+      EXPECT_GE(phases.barrier_s, 0.0);
+      step_busy += phases.Busy();
+    }
+    // Every superstep did real work on this fixture.
+    EXPECT_GT(step_busy, 0.0) << "step " << step;
+    const runtime::StragglerStats straggler =
+        runtime::ComputeStraggler(profile);
+    EXPECT_NE(straggler.machine, kInvalidMachine);
+    EXPECT_GE(straggler.skew, 1.0);  // max/mean is >= 1 by construction
+    EXPECT_GE(straggler.max_busy_s, straggler.mean_busy_s);
+  }
+
+  const std::vector<runtime::CriticalPathEntry> path =
+      runtime::ComputeCriticalPath(stats.timeline);
+  ASSERT_EQ(path.size(), stats.timeline.size());
+  for (const runtime::CriticalPathEntry& entry : path) {
+    ASSERT_NE(entry.machine, kInvalidMachine);
+    // The chained machine is the straggler of its step.
+    EXPECT_DOUBLE_EQ(
+        entry.busy_s,
+        stats.timeline[entry.step].machines[entry.machine].Busy());
+  }
+
+  // At the default shard capacity this workload never overflows a ring.
+  EXPECT_EQ(stats.trace_events_dropped, 0u);
+  if (obs::Tracer::CompiledIn()) {
+    // The sharded hot path delivered per-task spans into the sink tracer.
+    size_t task_spans = 0;
+    for (const obs::TraceEvent& event : tracer.Events()) {
+      if (event.name == "rt_task_transfer" ||
+          event.name == "rt_task_combine") {
+        ++task_spans;
+      }
+    }
+    EXPECT_GT(task_spans, 0u);
+  }
+}
+
+TEST(RuntimeTest, TimelineJsonCarriesStepsAndCriticalPath) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO2);
+  const PropagationConfig config =
+      ConfigFor(OptimizationLevel::kO2, /*iterations=*/2);
+  NetworkRankingApp app(f.graph.num_vertices());
+  RuntimeExecutor<NetworkRankingApp> executor(setup.graph, setup.placement,
+                                              setup.topology, app, config);
+  ASSERT_TRUE(executor.Run().ok());
+
+  const obs::JsonValue block =
+      runtime::TimelineToJson(executor.stats().timeline);
+  const obs::JsonValue* steps = block.Find("steps");
+  ASSERT_NE(steps, nullptr);
+  ASSERT_EQ(steps->as_array().size(), 4u);
+  const obs::JsonValue& first = steps->as_array()[0];
+  EXPECT_EQ(first.Find("stage")->as_string(), "transfer");
+  ASSERT_FALSE(first.Find("machines")->as_array().empty());
+  const obs::JsonValue& row = first.Find("machines")->as_array()[0];
+  for (const char* key :
+       {"machine", "compute_s", "serialize_s", "blocked_s", "barrier_s",
+        "busy_s"}) {
+    ASSERT_NE(row.Find(key), nullptr) << key;
+    EXPECT_TRUE(row.Find(key)->is_number()) << key;
+  }
+  const obs::JsonValue* critical = block.Find("critical_path");
+  ASSERT_NE(critical, nullptr);
+  EXPECT_GT(critical->Find("total_busy_s")->as_number(), 0.0);
+  EXPECT_EQ(critical->Find("steps")->as_array().size(), 4u);
 }
 
 // -------------------------------------------------- fault injection (B)

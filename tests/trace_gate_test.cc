@@ -1,0 +1,210 @@
+#include "obs/bench_gate.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace surfer {
+namespace obs {
+namespace {
+
+JsonValue ParseOrDie(const std::string& text) {
+  auto parsed = ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+JsonValue LoadCommittedPartitionBaseline() {
+  const std::string path =
+      std::string(SURFER_SOURCE_DIR) + "/BENCH_partition.json";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing committed baseline " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseOrDie(text.str());
+}
+
+JsonValue* FindMutable(JsonValue& obj, const std::string& key) {
+  for (auto& [k, v] : obj.as_object()) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+/// A minimal well-formed baseline pair for targeted checks.
+JsonValue MakeBaselineDoc() {
+  return ParseOrDie(R"({
+    "schema_version": 1,
+    "name": "bench_x",
+    "smoke": false,
+    "num_vertices": 1024,
+    "host_cores": 8,
+    "sequential_wall_s": 10.0,
+    "points": [
+      {"threads": 1, "wall_s": 10.0, "bit_identical": true,
+       "network_bytes": 5000},
+      {"threads": 2, "wall_s": 6.0, "bit_identical": true,
+       "network_bytes": 5000}
+    ]
+  })");
+}
+
+TEST(BenchGateTest, CommittedPartitionBaselineSelfChecks) {
+  // The acceptance contract: `surfer_trace check BENCH_partition.json` from
+  // the repo root (current == baseline == the committed file) exits 0.
+  const JsonValue doc = LoadCommittedPartitionBaseline();
+  const JsonValue* version = doc.Find("schema_version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(static_cast<int>(version->as_number()),
+            kBenchBaselineSchemaVersion);
+  const BenchCheckResult result = CheckBenchBaseline(doc, doc);
+  EXPECT_TRUE(result.ok) << (result.failures.empty()
+                                 ? ""
+                                 : result.failures.front());
+  EXPECT_TRUE(result.failures.empty());
+}
+
+TEST(BenchGateTest, PerturbedWallClockFailsAgainstCommittedBaseline) {
+  const JsonValue baseline = LoadCommittedPartitionBaseline();
+  JsonValue current = LoadCommittedPartitionBaseline();
+  JsonValue* points = FindMutable(current, "points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_FALSE(points->as_array().empty());
+  JsonValue* wall = FindMutable(points->as_array()[0], "wall_s");
+  ASSERT_NE(wall, nullptr);
+  *wall = JsonValue(wall->as_number() * 10.0);  // far past any tolerance
+
+  const BenchCheckResult result = CheckBenchBaseline(current, baseline);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_NE(result.failures.front().find("wall_s regressed"),
+            std::string::npos)
+      << result.failures.front();
+}
+
+TEST(BenchGateTest, BitIdentityFalseFailsEvenWhenWorkloadsDiffer) {
+  const JsonValue baseline = MakeBaselineDoc();
+  JsonValue current = MakeBaselineDoc();
+  // Different workload (timings skipped) AND a broken invariant: the
+  // invariant must still fail — correctness is never tolerance-gated.
+  *FindMutable(current, "num_vertices") = JsonValue(uint64_t{2048});
+  JsonValue* points = FindMutable(current, "points");
+  *FindMutable(points->as_array()[1], "bit_identical") = JsonValue(false);
+
+  const BenchCheckResult result = CheckBenchBaseline(current, baseline);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_NE(result.failures.front().find("bit_identical"), std::string::npos);
+}
+
+TEST(BenchGateTest, NetworkBytesMustMatchExactly) {
+  const JsonValue baseline = MakeBaselineDoc();
+  JsonValue current = MakeBaselineDoc();
+  JsonValue* points = FindMutable(current, "points");
+  *FindMutable(points->as_array()[0], "network_bytes") =
+      JsonValue(uint64_t{5001});
+
+  const BenchCheckResult result = CheckBenchBaseline(current, baseline);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_NE(result.failures.front().find("network_bytes"), std::string::npos);
+}
+
+TEST(BenchGateTest, MismatchedNamesFail) {
+  JsonValue current = MakeBaselineDoc();
+  *FindMutable(current, "name") = JsonValue(std::string("bench_y"));
+  EXPECT_FALSE(CheckBenchBaseline(current, MakeBaselineDoc()).ok);
+}
+
+TEST(BenchGateTest, WorkloadMismatchSkipsTimingComparisons) {
+  const JsonValue baseline = MakeBaselineDoc();
+  JsonValue current = MakeBaselineDoc();
+  *FindMutable(current, "num_vertices") = JsonValue(uint64_t{4096});
+  JsonValue* points = FindMutable(current, "points");
+  *FindMutable(points->as_array()[0], "wall_s") = JsonValue(500.0);
+
+  const BenchCheckResult result = CheckBenchBaseline(current, baseline);
+  EXPECT_TRUE(result.ok);  // 50x slower, but on a different workload
+  EXPECT_FALSE(result.notes.empty());
+}
+
+TEST(BenchGateTest, SmokeFlagMismatchSkipsTimingComparisons) {
+  const JsonValue baseline = MakeBaselineDoc();
+  JsonValue current = MakeBaselineDoc();
+  *FindMutable(current, "smoke") = JsonValue(true);
+  *FindMutable(current, "sequential_wall_s") = JsonValue(999.0);
+  const BenchCheckResult result = CheckBenchBaseline(current, baseline);
+  EXPECT_TRUE(result.ok);
+  EXPECT_FALSE(result.notes.empty());
+}
+
+TEST(BenchGateTest, CrossHostCoresWidensTolerance) {
+  const JsonValue baseline = MakeBaselineDoc();  // host_cores 8
+  JsonValue current = MakeBaselineDoc();
+  JsonValue* points = FindMutable(current, "points");
+  // 1.8x slower: beyond the 35% same-host tolerance...
+  *FindMutable(points->as_array()[0], "wall_s") = JsonValue(18.0);
+  EXPECT_FALSE(CheckBenchBaseline(current, baseline).ok);
+
+  // ...but acceptable when the current run came from a 1-core container
+  // (cross-host + small-host slack: 0.35 + 1.0 + 0.65 = 2.0 → up to 3x).
+  *FindMutable(current, "host_cores") = JsonValue(uint64_t{1});
+  EXPECT_TRUE(CheckBenchBaseline(current, baseline).ok);
+}
+
+TEST(BenchGateTest, ImprovementsAreNotesNotFailures) {
+  const JsonValue baseline = MakeBaselineDoc();
+  JsonValue current = MakeBaselineDoc();
+  JsonValue* points = FindMutable(current, "points");
+  *FindMutable(points->as_array()[1], "wall_s") = JsonValue(0.5);
+  const BenchCheckResult result = CheckBenchBaseline(current, baseline);
+  EXPECT_TRUE(result.ok);
+  ASSERT_FALSE(result.notes.empty());
+  EXPECT_NE(result.notes.front().find("improved"), std::string::npos);
+}
+
+TEST(BenchGateTest, ExtraPointsAreNoted) {
+  const JsonValue baseline = MakeBaselineDoc();
+  JsonValue current = MakeBaselineDoc();
+  JsonValue* points = FindMutable(current, "points");
+  JsonValue extra = ParseOrDie(
+      R"({"threads": 16, "wall_s": 1.0, "bit_identical": true})");
+  points->Append(std::move(extra));
+  const BenchCheckResult result = CheckBenchBaseline(current, baseline);
+  EXPECT_TRUE(result.ok);
+  ASSERT_FALSE(result.notes.empty());
+  EXPECT_NE(result.notes.back().find("no baseline counterpart"),
+            std::string::npos);
+}
+
+TEST(JsonDiffTest, ReportsChangedNumericLeavesWithPaths) {
+  const JsonValue before = ParseOrDie(
+      R"({"a": 1, "b": {"c": 2.5, "d": "text"},
+          "points": [{"x": 1}, {"x": 2}]})");
+  const JsonValue after = ParseOrDie(
+      R"({"a": 1, "b": {"c": 3.5, "d": "text"},
+          "points": [{"x": 1}, {"x": 9}], "extra": 42})");
+  const std::vector<JsonDelta> deltas = DiffNumbers(before, after);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[0].path, "b.c");
+  EXPECT_DOUBLE_EQ(deltas[0].before, 2.5);
+  EXPECT_DOUBLE_EQ(deltas[0].after, 3.5);
+  EXPECT_EQ(deltas[1].path, "points[1].x");
+  EXPECT_DOUBLE_EQ(deltas[1].before, 2);
+  EXPECT_DOUBLE_EQ(deltas[1].after, 9);
+}
+
+TEST(JsonDiffTest, IdenticalDocumentsProduceNoDeltas) {
+  const JsonValue doc = MakeBaselineDoc();
+  EXPECT_TRUE(DiffNumbers(doc, doc).empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace surfer

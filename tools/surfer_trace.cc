@@ -1,0 +1,251 @@
+// surfer_trace: analysis and gating CLI over surfer's JSON artifacts.
+//
+//   surfer_trace summary <run_report.json>
+//       Top spans and, when present, the per-superstep timeline: phase
+//       breakdown, straggler per step, and the critical path.
+//
+//   surfer_trace diff <before.json> <after.json>
+//       Every numeric field present in both files whose value changed.
+//
+//   surfer_trace check <current.json> [--baseline <path>]
+//                      [--tolerance <frac>]
+//       Gates a BENCH_*.json against a committed baseline: exits nonzero on
+//       a perf regression or a broken bit-identity/byte-count invariant.
+//       Without --baseline the file's own basename in the current directory
+//       is used, so `surfer_trace check BENCH_partition.json` from the repo
+//       root self-checks the committed baseline (a smoke test that the gate
+//       and the baseline agree).
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_gate.h"
+#include "obs/json.h"
+
+namespace {
+
+using surfer::obs::BenchCheckOptions;
+using surfer::obs::BenchCheckResult;
+using surfer::obs::JsonValue;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: surfer_trace summary <run_report.json>\n"
+               "       surfer_trace diff <before.json> <after.json>\n"
+               "       surfer_trace check <current.json> [--baseline <path>]"
+               " [--tolerance <frac>]\n");
+  return 2;
+}
+
+bool LoadJson(const std::string& path, JsonValue* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "surfer_trace: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto parsed = surfer::obs::ParseJson(text.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "surfer_trace: %s: %s\n", path.c_str(),
+                 parsed.status().message().c_str());
+    return false;
+  }
+  *out = std::move(parsed).value();
+  return true;
+}
+
+double NumberOr(const JsonValue* v, double fallback) {
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string StringOr(const JsonValue* v, const std::string& fallback) {
+  return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+void PrintSpans(const JsonValue& report) {
+  const JsonValue* trace = report.Find("trace");
+  const JsonValue* spans = trace != nullptr ? trace->Find("spans") : nullptr;
+  if (spans == nullptr || !spans->is_array() || spans->as_array().empty()) {
+    return;
+  }
+  std::printf("top spans (by total time):\n");
+  std::printf("  %-40s %8s %12s %12s %12s\n", "name", "count", "total_s",
+              "p99_s", "max_s");
+  size_t shown = 0;
+  for (const JsonValue& span : spans->as_array()) {
+    if (++shown > 15) {
+      std::printf("  ... %zu more\n", spans->as_array().size() - 15);
+      break;
+    }
+    std::printf("  %-40s %8.0f %12.6f %12.6f %12.6f\n",
+                StringOr(span.Find("name"), "?").c_str(),
+                NumberOr(span.Find("count"), 0),
+                NumberOr(span.Find("total_s"), 0),
+                NumberOr(span.Find("p99_s"), 0),
+                NumberOr(span.Find("max_s"), 0));
+  }
+}
+
+void PrintTimeline(const JsonValue& report) {
+  const JsonValue* timeline = report.Find("timeline");
+  if (timeline == nullptr || !timeline->is_object()) {
+    return;
+  }
+  const JsonValue* steps = timeline->Find("steps");
+  if (steps != nullptr && steps->is_array() && !steps->as_array().empty()) {
+    std::printf("\nsuperstep timeline:\n");
+    std::printf("  %4s %-9s %9s %12s %12s %7s %-10s\n", "iter", "stage",
+                "straggler", "max_busy_s", "mean_busy_s", "skew", "dominant");
+    for (const JsonValue& step : steps->as_array()) {
+      const JsonValue* straggler = step.Find("straggler");
+      if (straggler == nullptr) {
+        continue;
+      }
+      const JsonValue* machine = straggler->Find("machine");
+      const std::string who =
+          machine != nullptr && machine->is_number()
+              ? "m" + std::to_string(
+                          static_cast<long long>(machine->as_number()))
+              : "-";
+      std::printf("  %4.0f %-9s %9s %12.6f %12.6f %7.2f %-10s\n",
+                  NumberOr(step.Find("iteration"), 0),
+                  StringOr(step.Find("stage"), "?").c_str(), who.c_str(),
+                  NumberOr(straggler->Find("max_busy_s"), 0),
+                  NumberOr(straggler->Find("mean_busy_s"), 0),
+                  NumberOr(straggler->Find("skew"), 0),
+                  StringOr(straggler->Find("dominant_phase"), "-").c_str());
+    }
+  }
+  const JsonValue* critical = timeline->Find("critical_path");
+  if (critical != nullptr && critical->is_object()) {
+    std::printf("\ncritical path: %.6fs busy across %zu supersteps\n",
+                NumberOr(critical->Find("total_busy_s"), 0),
+                critical->Find("steps") != nullptr &&
+                        critical->Find("steps")->is_array()
+                    ? critical->Find("steps")->as_array().size()
+                    : 0);
+  }
+}
+
+int RunSummary(const std::string& path) {
+  JsonValue report;
+  if (!LoadJson(path, &report)) {
+    return 1;
+  }
+  std::printf("%s (schema v%.0f)\n", StringOr(report.Find("name"), "?").c_str(),
+              NumberOr(report.Find("schema_version"), 0));
+  if (const JsonValue* notes = report.Find("notes");
+      notes != nullptr && notes->is_string()) {
+    std::printf("notes: %s\n", notes->as_string().c_str());
+  }
+  if (const JsonValue* runtime = report.Find("runtime");
+      runtime != nullptr && runtime->is_object()) {
+    std::printf(
+        "runtime: %.0f machines x %.0f workers, %.0f iterations, "
+        "wall %.4fs, barrier wait %.4fs, %.0f stalls\n",
+        NumberOr(runtime->Find("num_machines"), 0),
+        NumberOr(runtime->Find("num_workers"), 0),
+        NumberOr(runtime->Find("iterations"), 0),
+        NumberOr(runtime->Find("wall_seconds"), 0),
+        NumberOr(runtime->Find("barrier_wait_seconds"), 0),
+        NumberOr(runtime->Find("send_stalls"), 0));
+  }
+  PrintSpans(report);
+  PrintTimeline(report);
+  return 0;
+}
+
+int RunDiff(const std::string& before_path, const std::string& after_path) {
+  JsonValue before;
+  JsonValue after;
+  if (!LoadJson(before_path, &before) || !LoadJson(after_path, &after)) {
+    return 1;
+  }
+  const std::vector<surfer::obs::JsonDelta> deltas =
+      surfer::obs::DiffNumbers(before, after);
+  if (deltas.empty()) {
+    std::printf("no numeric differences\n");
+    return 0;
+  }
+  for (const auto& delta : deltas) {
+    if (delta.before != 0.0) {
+      std::printf("%-60s %14.6g -> %-14.6g (%+.1f%%)\n", delta.path.c_str(),
+                  delta.before, delta.after,
+                  (delta.after / delta.before - 1.0) * 100.0);
+    } else {
+      std::printf("%-60s %14.6g -> %-14.6g\n", delta.path.c_str(),
+                  delta.before, delta.after);
+    }
+  }
+  return 0;
+}
+
+int RunCheck(const std::vector<std::string>& args) {
+  std::string current_path;
+  std::string baseline_path;
+  BenchCheckOptions options;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--baseline" && i + 1 < args.size()) {
+      baseline_path = args[++i];
+    } else if (args[i] == "--tolerance" && i + 1 < args.size()) {
+      options.rel_tolerance = std::stod(args[++i]);
+    } else if (current_path.empty()) {
+      current_path = args[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (current_path.empty()) {
+    return Usage();
+  }
+  if (baseline_path.empty()) {
+    baseline_path =
+        std::filesystem::path(current_path).filename().string();
+  }
+  JsonValue current;
+  JsonValue baseline;
+  if (!LoadJson(current_path, &current) ||
+      !LoadJson(baseline_path, &baseline)) {
+    return 1;
+  }
+  const BenchCheckResult result =
+      surfer::obs::CheckBenchBaseline(current, baseline, options);
+  for (const std::string& note : result.notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
+  for (const std::string& failure : result.failures) {
+    std::fprintf(stderr, "FAIL: %s\n", failure.c_str());
+  }
+  if (result.ok) {
+    std::printf("check OK: %s vs %s\n", current_path.c_str(),
+                baseline_path.c_str());
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    return Usage();
+  }
+  const std::string command = args[0];
+  args.erase(args.begin());
+  if (command == "summary" && args.size() == 1) {
+    return RunSummary(args[0]);
+  }
+  if (command == "diff" && args.size() == 2) {
+    return RunDiff(args[0], args[1]);
+  }
+  if (command == "check") {
+    return RunCheck(args);
+  }
+  return Usage();
+}
