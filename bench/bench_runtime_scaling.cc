@@ -18,8 +18,7 @@
 
 #include "apps/network_ranking.h"
 #include "bench/bench_common.h"
-#include "propagation/runner.h"
-#include "runtime/executor.h"
+#include "core/run_app.h"
 #include "runtime/report.h"
 #include "runtime/timeline.h"
 
@@ -51,11 +50,13 @@ int main(int argc, char** argv) {
                           "sequential runner") +
               (smoke ? " (smoke)" : ""));
 
-  PropagationRunner<NetworkRankingApp> runner(
-      setup.graph, setup.placement, setup.topology, app, config);
+  EngineOptions sequential_options;
+  sequential_options.propagation = config;
+  sequential_options.sim = MakeScaledSimOptions();
   const auto seq_start = Clock::now();
-  auto seq_metrics = runner.Run(MakeScaledSimOptions());
-  SURFER_CHECK(seq_metrics.ok()) << seq_metrics.status().ToString();
+  auto sequential = RunApp(setup.graph, setup.placement, setup.topology, app,
+                           sequential_options);
+  SURFER_CHECK(sequential.ok()) << sequential.status().ToString();
   const double sequential_wall_s =
       std::chrono::duration<double>(Clock::now() - seq_start).count();
   std::printf("sequential runner: %.3f s (host wall clock)\n\n",
@@ -79,21 +80,23 @@ int main(int argc, char** argv) {
   for (uint32_t workers : worker_points) {
     // Profiling on: per-task events flow through the sharded tracer into
     // this tracer, and the executor builds the superstep timeline.
-    config.tracer = &observability.tracer;
-    config.metrics = &observability.metrics;
-    runtime::RuntimeOptions options;
-    options.max_workers = workers;
-    runtime::RuntimeExecutor<NetworkRankingApp> executor(
-        setup.graph, setup.placement, setup.topology, app, config, options);
-    const Status status = executor.Run();
-    SURFER_CHECK(status.ok()) << status.ToString();
-    SURFER_CHECK(runner.states().size() == executor.states().size());
-    SURFER_CHECK(std::memcmp(runner.states().data(), executor.states().data(),
-                             runner.states().size() *
+    EngineOptions engine_options;
+    engine_options.engine = EngineKind::kConcurrent;
+    engine_options.propagation = config;
+    engine_options.propagation.tracer = &observability.tracer;
+    engine_options.propagation.metrics = &observability.metrics;
+    engine_options.runtime.max_workers = workers;
+    auto concurrent = RunApp(setup.graph, setup.placement, setup.topology,
+                             app, engine_options);
+    SURFER_CHECK(concurrent.ok()) << concurrent.status().ToString();
+    SURFER_CHECK(sequential->states.size() == concurrent->states.size());
+    SURFER_CHECK(std::memcmp(sequential->states.data(),
+                             concurrent->states.data(),
+                             sequential->states.size() *
                                  sizeof(NetworkRankingApp::VertexState)) == 0)
         << "runtime diverged from the sequential runner at " << workers
         << " workers";
-    const runtime::RuntimeStats& stats = executor.stats();
+    const runtime::RuntimeStats& stats = *concurrent->runtime_stats;
     const double speedup = sequential_wall_s / stats.wall_seconds;
     std::printf("%-9u %12.3f %8.2fx %13llu %15.3f\n", workers,
                 stats.wall_seconds, speedup,
@@ -105,8 +108,15 @@ int main(int argc, char** argv) {
     point.Set("speedup", speedup);
     point.Set("bit_identical", true);
     point.Set("send_stalls", stats.send_stalls);
+    point.Set("items_stalled", stats.items_stalled);
     point.Set("barrier_wait_seconds", stats.barrier_wait_seconds);
     point.Set("network_bytes", stats.TotalNetworkBytes());
+    point.Set("messages_sent", stats.messages_sent);
+    point.Set("wire_batches_sent", stats.wire_batches_sent);
+    point.Set("wire_segments_sent", stats.wire_segments_sent);
+    point.Set("wire_payload_bytes", stats.wire_payload_bytes);
+    point.Set("wire_messages_combined", stats.wire_messages_combined);
+    point.Set("batch_fill_mean", stats.batch_fill.Mean());
     point.Set("trace_events_dropped", stats.trace_events_dropped);
     points.Append(std::move(point));
     last_runtime_block = runtime::RuntimeStatsToJson(stats);

@@ -18,7 +18,6 @@
 #include "graph/generators.h"
 #include "graph/graph_stats.h"
 #include "partition/partitioning_cost.h"
-#include "propagation/runner.h"
 
 int main() {
   using namespace surfer;
@@ -88,24 +87,23 @@ int main() {
     }
     BenchmarkSetup setup = (*engine)->MakeSetup(OptimizationLevel::kO4);
     setup.sim_options = MakeScaledSimOptions();
-    NetworkRankingApp app(graph.num_vertices());
-    PropagationConfig config;
-    config.iterations = 3;
-    PropagationRunner<NetworkRankingApp> runner(
-        setup.graph, setup.placement, setup.topology, app, config);
-    auto metrics = runner.Run(setup.sim_options);
-    if (!metrics.ok()) {
-      std::fprintf(stderr, "run: %s\n", metrics.status().ToString().c_str());
+    EngineOptions engine_options;
+    engine_options.propagation.iterations = 3;
+    auto run = RunApp(setup, NetworkRankingApp(graph.num_vertices()),
+                      engine_options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run: %s\n", run.status().ToString().c_str());
       return 1;
     }
+    const RunMetrics& metrics = *run->metrics;
     std::printf("%-24s %14.1f %14.1f %16.1f %7.2f\n", candidate.name.c_str(),
                 aware->total_seconds / 3600.0,
                 oblivious->total_seconds / 3600.0,
-                metrics->response_time_s,
+                metrics.response_time_s,
                 (*engine)->quality().inner_edge_ratio);
-    if (best_name.empty() || metrics->response_time_s < best_response) {
+    if (best_name.empty() || metrics.response_time_s < best_response) {
       best_name = candidate.name;
-      best_response = metrics->response_time_s;
+      best_response = metrics.response_time_s;
     }
   }
   std::printf(

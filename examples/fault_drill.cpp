@@ -13,7 +13,6 @@
 #include "core/surfer.h"
 #include "graph/generators.h"
 #include "graph/graph_stats.h"
-#include "propagation/runner.h"
 #include "storage/partition_store.h"
 
 int main() {
@@ -74,28 +73,22 @@ int main() {
     setup.placement = &reloaded->placement;
     setup.topology = &topology;
     setup.sim_options = MakeScaledSimOptions();
-    JobSimulation sim(setup.topology, setup.sim_options);
-    for (const FaultPlan& fault : faults) {
-      sim.InjectFault(fault);
+    EngineOptions engine_options;
+    engine_options.propagation.iterations = 3;
+    engine_options.sim_faults = std::move(faults);
+    auto result =
+        RunApp(setup, NetworkRankingApp(graph.num_vertices()), engine_options);
+    if (!result.ok()) {
+      std::printf("%-28s -> %s\n", label, result.status().ToString().c_str());
+      return result.status();
     }
-    NetworkRankingApp app(graph.num_vertices());
-    PropagationConfig config;
-    config.iterations = 3;
-    PropagationRunner<NetworkRankingApp> runner(
-        setup.graph, setup.placement, setup.topology, app, config);
-    const Status status = runner.RunWith(&sim);
     size_t reexecuted = 0;
-    for (const StageMetrics& stage : sim.metrics().stages) {
+    for (const StageMetrics& stage : result->metrics->stages) {
       reexecuted += stage.num_reexecuted_tasks;
     }
-    std::printf("%-28s -> %s", label,
-                status.ok() ? sim.metrics().Summary().c_str()
-                            : status.ToString().c_str());
-    if (status.ok()) {
-      std::printf("  (re-executed tasks: %zu)", reexecuted);
-    }
-    std::printf("\n");
-    return status;
+    std::printf("%-28s -> %s  (re-executed tasks: %zu)\n", label,
+                result->metrics->Summary().c_str(), reexecuted);
+    return Status::OK();
   };
 
   std::printf("\n--- drill ---\n");

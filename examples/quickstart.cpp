@@ -20,7 +20,6 @@
 #include "graph/graph_stats.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
-#include "propagation/runner.h"
 
 int main() {
   using namespace surfer;
@@ -70,30 +69,56 @@ int main() {
   setup.sim_options = MakeScaledSimOptions();
   setup.sim_options.tracer = &tracer;
   setup.sim_options.metrics = &metrics_registry;
-  NetworkRankingApp app(graph.num_vertices());
-  PropagationConfig config;
-  config.iterations = 3;
-  config.tracer = &tracer;
-  config.metrics = &metrics_registry;
-  PropagationRunner<NetworkRankingApp> runner(
-      setup.graph, setup.placement, setup.topology, app, config);
-  auto metrics = runner.Run(setup.sim_options);
-  if (!metrics.ok()) {
+  EngineOptions engine_options;
+  engine_options.propagation.iterations = 3;
+  engine_options.propagation.tracer = &tracer;
+  engine_options.propagation.metrics = &metrics_registry;
+  auto run = RunApp(setup, NetworkRankingApp(graph.num_vertices()),
+                    engine_options);
+  if (!run.ok()) {
     std::fprintf(stderr, "propagation failed: %s\n",
-                 metrics.status().ToString().c_str());
+                 run.status().ToString().c_str());
     return 1;
   }
-  std::printf("propagation NR:  %s\n", metrics->Summary().c_str());
+  const RunMetrics& metrics = *run->metrics;
+  std::printf("propagation NR:  %s\n", metrics.Summary().c_str());
 
   // Sanity: compare with the single-machine reference PageRank.
   const auto reference = ReferencePageRank(graph, 3);
   double max_err = 0.0;
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    const double err =
-        reference[v] - runner.StateOfOriginal(v);
+    const double err = reference[v] - run->StateOfOriginal(v);
     max_err = std::max(max_err, err < 0 ? -err : err);
   }
   std::printf("max |surfer - reference| rank error: %.3e\n", max_err);
+
+  // 4b. The same job on the concurrent runtime: real threads exchanging
+  //     pooled wire batches. Bit-identical states, measured statistics.
+  EngineOptions runtime_options;
+  runtime_options.engine = EngineKind::kConcurrent;
+  runtime_options.propagation.iterations = 3;
+  auto concurrent = RunApp(setup.graph, setup.placement, setup.topology,
+                           NetworkRankingApp(graph.num_vertices()),
+                           runtime_options);
+  if (!concurrent.ok()) {
+    std::fprintf(stderr, "runtime failed: %s\n",
+                 concurrent.status().ToString().c_str());
+    return 1;
+  }
+  const auto& rt = *concurrent->runtime_stats;
+  std::printf(
+      "runtime     NR:  %u workers, %.3f s wall, %llu msgs in %llu wire "
+      "batches (%.0f%% mean fill, %llu merged on the wire)\n",
+      rt.num_workers, rt.wall_seconds,
+      static_cast<unsigned long long>(rt.messages_sent),
+      static_cast<unsigned long long>(rt.wire_batches_sent),
+      100.0 * rt.batch_fill.Mean(),
+      static_cast<unsigned long long>(rt.wire_messages_combined));
+  bool identical = concurrent->states.size() == run->states.size();
+  for (VertexId v = 0; identical && v < concurrent->states.size(); ++v) {
+    identical = concurrent->states[v] == run->states[v];
+  }
+  std::printf("engines bit-identical: %s\n", identical ? "yes" : "NO");
 
   // 5. The same job through the MapReduce primitive, for comparison.
   JobSimulation sim(setup.topology, setup.sim_options);
@@ -107,8 +132,8 @@ int main() {
   std::printf("mapreduce  NR:  %s\n", sim.metrics().Summary().c_str());
   std::printf(
       "propagation speedup: %.2fx response, %.1f%% less network I/O\n",
-      sim.metrics().response_time_s / metrics->response_time_s,
-      100.0 * (1.0 - metrics->network_bytes / sim.metrics().network_bytes));
+      sim.metrics().response_time_s / metrics.response_time_s,
+      100.0 * (1.0 - metrics.network_bytes / sim.metrics().network_bytes));
 
   // 6. What the observability layer saw during the propagation run.
   std::printf("\nobservability (%zu trace events%s):\n", tracer.num_events(),

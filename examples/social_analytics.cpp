@@ -68,16 +68,16 @@ int main() {
   nr_config.cascaded = true;
   pipeline.AddPropagation<NetworkRankingApp>(
       "rank(NR)", NetworkRankingApp(graph.num_vertices()), nr_config,
-      [&](const PropagationRunner<NetworkRankingApp>& runner) {
-        ranks = runner.states();
+      [&](const RunAppResult<NetworkRankingApp>& result) {
+        ranks = result.states;
       });
 
   PropagationConfig rs_config;
   rs_config.iterations = 3;
   pipeline.AddPropagation<RecommenderApp>(
       "recommend(RS)", RecommenderApp(&encoding, RecommenderParams{}),
-      rs_config, [&](const PropagationRunner<RecommenderApp>& runner) {
-        for (uint32_t s : runner.states()) {
+      rs_config, [&](const RunAppResult<RecommenderApp>& result) {
+        for (uint32_t s : result.states) {
           seeds += s == 1;
           adopted += s != 0;
         }
@@ -85,33 +85,33 @@ int main() {
 
   pipeline.AddPropagation<TriangleCountingApp>(
       "triangles(TC)", TriangleCountingApp(&encoding), PropagationConfig{},
-      [&](const PropagationRunner<TriangleCountingApp>& runner) {
-        for (uint64_t c : runner.states()) {
+      [&](const RunAppResult<TriangleCountingApp>& result) {
+        for (uint64_t c : result.states) {
           triangles += c;
         }
       });
 
   pipeline.AddPropagation<DegreeDistributionApp>(
       "degrees(VDD)", DegreeDistributionApp(), PropagationConfig{},
-      [&](const PropagationRunner<DegreeDistributionApp>& runner) {
-        degree_histogram.assign(runner.virtual_outputs().begin(),
-                                runner.virtual_outputs().end());
+      [&](const RunAppResult<DegreeDistributionApp>& result) {
+        degree_histogram.assign(result.virtual_outputs.begin(),
+                                result.virtual_outputs.end());
       });
 
   pipeline.AddPropagation<ReverseLinkGraphApp>(
       "reverse(RLG)", ReverseLinkGraphApp(), PropagationConfig{},
-      [&](const PropagationRunner<ReverseLinkGraphApp>& runner) {
-        for (const auto& list : runner.states()) {
+      [&](const RunAppResult<ReverseLinkGraphApp>& result) {
+        for (const auto& list : result.states) {
           max_in_degree = std::max<uint64_t>(max_in_degree, list.size());
         }
       });
 
   pipeline.AddPropagation<TwoHopFriendsApp>(
       "two-hop(TFL)", TwoHopFriendsApp(&encoding), PropagationConfig{},
-      [&](const PropagationRunner<TwoHopFriendsApp>& runner) {
+      [&](const RunAppResult<TwoHopFriendsApp>& result) {
         uint64_t total = 0;
         uint64_t nonempty = 0;
-        for (const auto& list : runner.states()) {
+        for (const auto& list : result.states) {
           total += list.size();
           nonempty += !list.empty();
         }

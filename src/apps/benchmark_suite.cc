@@ -8,8 +8,8 @@
 #include "apps/reverse_link_graph.h"
 #include "apps/triangle_counting.h"
 #include "apps/two_hop_friends.h"
+#include "core/run_app.h"
 #include "mapreduce/runner.h"
-#include "propagation/runner.h"
 
 namespace surfer {
 
@@ -28,15 +28,14 @@ Result<AppRunResult> RunNrPropagation(const BenchmarkSetup& setup,
                                       const PropagationConfig& config,
                                       int iterations) {
   NetworkRankingApp app(setup.graph->encoded_graph().num_vertices());
-  PropagationConfig cfg = config;
-  cfg.iterations = iterations;
-  PropagationRunner<NetworkRankingApp> runner(
-      setup.graph, setup.placement, setup.topology, app, cfg);
-  SURFER_ASSIGN_OR_RETURN(RunMetrics metrics, runner.Run(setup.sim_options));
-  AppRunResult result{metrics, 0.0};
-  const auto& states = runner.states();
-  for (VertexId v = 0; v < states.size(); ++v) {
-    result.checksum += states[v] * WeightOf(setup.graph->encoding(), v);
+  EngineOptions options;
+  options.propagation = config;
+  options.propagation.iterations = iterations;
+  SURFER_ASSIGN_OR_RETURN(RunAppResult<NetworkRankingApp> run,
+                          RunApp(setup, std::move(app), options));
+  AppRunResult result{*run.metrics, 0.0};
+  for (VertexId v = 0; v < run.states.size(); ++v) {
+    result.checksum += run.states[v] * WeightOf(setup.graph->encoding(), v);
   }
   return result;
 }
@@ -61,18 +60,17 @@ Result<AppRunResult> RunRsPropagation(const BenchmarkSetup& setup,
                                       const PropagationConfig& config,
                                       int iterations) {
   RecommenderApp app(&setup.graph->encoding(), RecommenderParams{});
-  PropagationConfig cfg = config;
-  cfg.iterations = iterations;
-  cfg.cascaded = false;  // round-dependent combine cannot cascade
-  PropagationRunner<RecommenderApp> runner(setup.graph, setup.placement,
-                                           setup.topology, app, cfg);
-  SURFER_ASSIGN_OR_RETURN(RunMetrics metrics, runner.Run(setup.sim_options));
-  AppRunResult result{metrics, 0.0};
-  const auto& states = runner.states();
-  for (VertexId v = 0; v < states.size(); ++v) {
-    if (states[v] != 0) {
+  EngineOptions options;
+  options.propagation = config;
+  options.propagation.iterations = iterations;
+  options.propagation.cascaded = false;  // round-dependent combine
+  SURFER_ASSIGN_OR_RETURN(RunAppResult<RecommenderApp> run,
+                          RunApp(setup, std::move(app), options));
+  AppRunResult result{*run.metrics, 0.0};
+  for (VertexId v = 0; v < run.states.size(); ++v) {
+    if (run.states[v] != 0) {
       result.checksum += WeightOf(setup.graph->encoding(), v) *
-                         static_cast<double>(states[v]);
+                         static_cast<double>(run.states[v]);
     }
   }
   return result;
@@ -100,13 +98,13 @@ Result<AppRunResult> RunRsMapReduce(const BenchmarkSetup& setup,
 Result<AppRunResult> RunVddPropagation(const BenchmarkSetup& setup,
                                        const PropagationConfig& config) {
   DegreeDistributionApp app;
-  PropagationConfig cfg = config;
-  cfg.iterations = 1;
-  PropagationRunner<DegreeDistributionApp> runner(
-      setup.graph, setup.placement, setup.topology, app, cfg);
-  SURFER_ASSIGN_OR_RETURN(RunMetrics metrics, runner.Run(setup.sim_options));
-  AppRunResult result{metrics, 0.0};
-  for (const auto& [degree, count] : runner.virtual_outputs()) {
+  EngineOptions options;
+  options.propagation = config;
+  options.propagation.iterations = 1;
+  SURFER_ASSIGN_OR_RETURN(RunAppResult<DegreeDistributionApp> run,
+                          RunApp(setup, std::move(app), options));
+  AppRunResult result{*run.metrics, 0.0};
+  for (const auto& [degree, count] : run.virtual_outputs) {
     result.checksum += static_cast<double>((degree + 1) * count);
   }
   return result;
@@ -129,15 +127,14 @@ Result<AppRunResult> RunVddMapReduce(const BenchmarkSetup& setup) {
 Result<AppRunResult> RunRlgPropagation(const BenchmarkSetup& setup,
                                        const PropagationConfig& config) {
   ReverseLinkGraphApp app;
-  PropagationConfig cfg = config;
-  cfg.iterations = 1;
-  PropagationRunner<ReverseLinkGraphApp> runner(
-      setup.graph, setup.placement, setup.topology, app, cfg);
-  SURFER_ASSIGN_OR_RETURN(RunMetrics metrics, runner.Run(setup.sim_options));
-  AppRunResult result{metrics, 0.0};
-  const auto& states = runner.states();
-  for (VertexId v = 0; v < states.size(); ++v) {
-    result.checksum += static_cast<double>(states[v].size()) *
+  EngineOptions options;
+  options.propagation = config;
+  options.propagation.iterations = 1;
+  SURFER_ASSIGN_OR_RETURN(RunAppResult<ReverseLinkGraphApp> run,
+                          RunApp(setup, std::move(app), options));
+  AppRunResult result{*run.metrics, 0.0};
+  for (VertexId v = 0; v < run.states.size(); ++v) {
+    result.checksum += static_cast<double>(run.states[v].size()) *
                        WeightOf(setup.graph->encoding(), v);
   }
   return result;
@@ -161,13 +158,13 @@ Result<AppRunResult> RunRlgMapReduce(const BenchmarkSetup& setup) {
 Result<AppRunResult> RunTcPropagation(const BenchmarkSetup& setup,
                                       const PropagationConfig& config) {
   TriangleCountingApp app(&setup.graph->encoding());
-  PropagationConfig cfg = config;
-  cfg.iterations = 1;
-  PropagationRunner<TriangleCountingApp> runner(
-      setup.graph, setup.placement, setup.topology, app, cfg);
-  SURFER_ASSIGN_OR_RETURN(RunMetrics metrics, runner.Run(setup.sim_options));
-  AppRunResult result{metrics, 0.0};
-  for (uint64_t count : runner.states()) {
+  EngineOptions options;
+  options.propagation = config;
+  options.propagation.iterations = 1;
+  SURFER_ASSIGN_OR_RETURN(RunAppResult<TriangleCountingApp> run,
+                          RunApp(setup, std::move(app), options));
+  AppRunResult result{*run.metrics, 0.0};
+  for (uint64_t count : run.states) {
     result.checksum += static_cast<double>(count);
   }
   return result;
@@ -191,15 +188,14 @@ Result<AppRunResult> RunTcMapReduce(const BenchmarkSetup& setup) {
 Result<AppRunResult> RunTflPropagation(const BenchmarkSetup& setup,
                                        const PropagationConfig& config) {
   TwoHopFriendsApp app(&setup.graph->encoding());
-  PropagationConfig cfg = config;
-  cfg.iterations = 1;
-  PropagationRunner<TwoHopFriendsApp> runner(
-      setup.graph, setup.placement, setup.topology, app, cfg);
-  SURFER_ASSIGN_OR_RETURN(RunMetrics metrics, runner.Run(setup.sim_options));
-  AppRunResult result{metrics, 0.0};
-  const auto& states = runner.states();
-  for (VertexId v = 0; v < states.size(); ++v) {
-    result.checksum += static_cast<double>(states[v].size()) *
+  EngineOptions options;
+  options.propagation = config;
+  options.propagation.iterations = 1;
+  SURFER_ASSIGN_OR_RETURN(RunAppResult<TwoHopFriendsApp> run,
+                          RunApp(setup, std::move(app), options));
+  AppRunResult result{*run.metrics, 0.0};
+  for (VertexId v = 0; v < run.states.size(); ++v) {
+    result.checksum += static_cast<double>(run.states[v].size()) *
                        WeightOf(setup.graph->encoding(), v);
   }
   return result;

@@ -9,10 +9,10 @@
 
 #include "apps/benchmark_suite.h"
 #include "common/result.h"
+#include "core/run_app.h"
 #include "core/surfer.h"
 #include "engine/job_simulation.h"
 #include "mapreduce/runner.h"
-#include "propagation/runner.h"
 
 namespace surfer {
 
@@ -69,21 +69,24 @@ class JobPipeline {
   }
 
   /// Appends a propagation job. `on_done` (optional) receives the finished
-  /// runner to extract results.
+  /// RunAppResult to extract states/outputs.
   template <typename App>
   void AddPropagation(
       std::string name, App app, PropagationConfig config,
-      std::function<void(const PropagationRunner<App>&)> on_done = nullptr) {
+      std::function<void(const RunAppResult<App>&)> on_done = nullptr) {
     PropagationConfig level_config = PropagationConfig::ForLevel(level_);
     config.local_propagation = level_config.local_propagation;
     config.local_combination = level_config.local_combination;
     Add(std::move(name),
         [app = std::move(app), config, on_done](JobContext& ctx) -> Status {
-          PropagationRunner<App> runner(ctx.setup.graph, ctx.setup.placement,
-                                        ctx.setup.topology, app, config);
-          SURFER_RETURN_IF_ERROR(runner.RunWith(ctx.sim));
+          EngineOptions options;
+          options.propagation = config;
+          SURFER_ASSIGN_OR_RETURN(
+              RunAppResult<App> result,
+              RunApp(ctx.setup.graph, ctx.setup.placement, ctx.setup.topology,
+                     app, options, ctx.sim));
           if (on_done) {
-            on_done(runner);
+            on_done(result);
           }
           return Status::OK();
         });

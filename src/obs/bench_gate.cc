@@ -144,6 +144,19 @@ BenchCheckResult CheckBenchBaseline(const JsonValue& current,
                   "].bit_identical is false: concurrent result diverged "
                   "from the sequential runner");
     }
+    // Batching efficiency: each wire segment is a per-task stream that the
+    // pre-batching plane shipped as its own channel send. Pooled batches
+    // must coalesce at least 5 of them per send at equal payload bytes, or
+    // the message plane has regressed to near per-stream traffic.
+    const double segments =
+        NumberOr(point.Find("wire_segments_sent"), 0.0);
+    const double batches = NumberOr(point.Find("wire_batches_sent"), 0.0);
+    if (batches > 0.0 && segments > 0.0 && segments < 5.0 * batches) {
+      result.Fail("points[" + std::to_string(i) + "] batching collapsed: " +
+                  FormatNumber(segments) + " segments in " +
+                  FormatNumber(batches) +
+                  " wire batches (< 5x channel-send reduction)");
+    }
   }
 
   // Decide whether timings are comparable at all.

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <span>
 #include <type_traits>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -45,8 +46,32 @@ class PropagationEmitter {
     virtual_.emplace_back(target, std::move(message));
   }
 
-  std::vector<std::pair<VertexId, Message>>& real() { return real_; }
-  std::vector<std::pair<uint64_t, Message>>& virtuals() { return virtual_; }
+  /// Streams every emission into the visitors — reals first, then virtuals,
+  /// both in emission order — and resets the emitter for the next vertex.
+  /// This is the only way engines consume emissions: a sink interface lets
+  /// them route messages straight into wire batches or delivery buckets
+  /// without copying or mutating the emitter's internals.
+  template <typename RealFn, typename VirtualFn>
+  void Drain(RealFn&& on_real, VirtualFn&& on_virtual) {
+    for (auto& [target, message] : real_) {
+      on_real(target, std::move(message));
+    }
+    for (auto& [target, message] : virtual_) {
+      on_virtual(target, std::move(message));
+    }
+    real_.clear();
+    virtual_.clear();
+  }
+
+  /// Move-out accessors for callers that want the raw emission vectors
+  /// (tests, batch consumers); the emitter is left empty.
+  std::vector<std::pair<VertexId, Message>> TakeReal() {
+    return std::exchange(real_, {});
+  }
+  std::vector<std::pair<uint64_t, Message>> TakeVirtuals() {
+    return std::exchange(virtual_, {});
+  }
+
   void Clear() {
     real_.clear();
     virtual_.clear();

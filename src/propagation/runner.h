@@ -246,77 +246,79 @@ class PropagationRunner {
           ++out.skipped_vertices;
         }
         out.state_read_bytes += state_bytes;
-        emitter.Clear();
         app_.Transfer(v, states_[v], g.OutNeighbors(v), emitter);
-        for (auto& [target, message] : emitter.real()) {
-          const double bytes =
-              static_cast<double>(app_.MessageBytes(message));
-          out.emitted_bytes += bytes;
-          ++out.counters.messages_emitted;
-          const PartitionId pt = graph_->PartitionOf(target);
-          if (pt == p) {
-            if (merge_remote) {
-              if constexpr (MergeableApp<App>) {
-                auto it = local_merged.find(target);
-                if (it == local_merged.end()) {
-                  local_merged.emplace(target, std::move(message));
+        // Drain() resets the emitter after streaming, so the next vertex's
+        // Transfer starts from a clean slate.
+        emitter.Drain(
+            [&](VertexId target, Message message) {
+              const double bytes =
+                  static_cast<double>(app_.MessageBytes(message));
+              out.emitted_bytes += bytes;
+              ++out.counters.messages_emitted;
+              const PartitionId pt = graph_->PartitionOf(target);
+              if (pt == p) {
+                if (merge_remote) {
+                  if constexpr (MergeableApp<App>) {
+                    auto it = local_merged.find(target);
+                    if (it == local_merged.end()) {
+                      local_merged.emplace(target, std::move(message));
+                    } else {
+                      it->second = app_.Merge(it->second, message);
+                      ++out.counters.messages_locally_combined;
+                    }
+                  }
                 } else {
-                  it->second = app_.Merge(it->second, message);
-                  ++out.counters.messages_locally_combined;
+                  const bool inner = meta.boundary[target - meta.begin] == 0;
+                  if (inner) {
+                    out.inner_local_bytes += bytes;
+                    if (config_.local_propagation) {
+                      ++out.counters.messages_locally_propagated;
+                    } else {
+                      ++out.counters.messages_materialized;
+                    }
+                  } else {
+                    out.boundary_local_bytes += bytes;
+                    ++out.counters.messages_materialized;
+                  }
+                  out.local.emplace_back(target, std::move(message));
                 }
-              }
-            } else {
-              const bool inner = meta.boundary[target - meta.begin] == 0;
-              if (inner) {
-                out.inner_local_bytes += bytes;
-                if (config_.local_propagation) {
-                  ++out.counters.messages_locally_propagated;
-                } else {
-                  ++out.counters.messages_materialized;
+              } else if (merge_remote) {
+                if constexpr (MergeableApp<App>) {
+                  auto& bucket = out.remote_merged[pt];
+                  auto it = bucket.find(target);
+                  if (it == bucket.end()) {
+                    bucket.emplace(target, std::move(message));
+                  } else {
+                    it->second = app_.Merge(it->second, message);
+                    ++out.counters.messages_locally_combined;
+                  }
                 }
               } else {
-                out.boundary_local_bytes += bytes;
-                ++out.counters.messages_materialized;
+                out.remote_list[pt].emplace_back(target, std::move(message));
               }
-              out.local.emplace_back(target, std::move(message));
-            }
-          } else if (merge_remote) {
-            if constexpr (MergeableApp<App>) {
-              auto& bucket = out.remote_merged[pt];
-              auto it = bucket.find(target);
-              if (it == bucket.end()) {
-                bucket.emplace(target, std::move(message));
+            },
+            [&](uint64_t target, Message message) {
+              const double bytes =
+                  static_cast<double>(app_.MessageBytes(message));
+              out.emitted_bytes += bytes;
+              ++out.counters.messages_emitted;
+              const PartitionId pt =
+                  static_cast<PartitionId>(target % num_partitions);
+              if (merge_remote) {
+                if constexpr (MergeableApp<App>) {
+                  auto& bucket = out.virtual_merged[pt];
+                  auto it = bucket.find(target);
+                  if (it == bucket.end()) {
+                    bucket.emplace(target, std::move(message));
+                  } else {
+                    it->second = app_.Merge(it->second, message);
+                    ++out.counters.messages_locally_combined;
+                  }
+                }
               } else {
-                it->second = app_.Merge(it->second, message);
-                ++out.counters.messages_locally_combined;
+                out.virtual_list[pt].emplace_back(target, std::move(message));
               }
-            }
-          } else {
-            out.remote_list[pt].emplace_back(target, std::move(message));
-          }
-        }
-        for (auto& [target, message] : emitter.virtuals()) {
-          const double bytes =
-              static_cast<double>(app_.MessageBytes(message));
-          out.emitted_bytes += bytes;
-          ++out.counters.messages_emitted;
-          const PartitionId pt =
-              static_cast<PartitionId>(target % num_partitions);
-          if (merge_remote) {
-            if constexpr (MergeableApp<App>) {
-              auto& bucket = out.virtual_merged[pt];
-              auto it = bucket.find(target);
-              if (it == bucket.end()) {
-                bucket.emplace(target, std::move(message));
-              } else {
-                it->second = app_.Merge(it->second, message);
-                ++out.counters.messages_locally_combined;
-              }
-            }
-          } else {
-            out.virtual_list[pt].emplace_back(target, std::move(message));
-          }
-        }
+            });
       }
 
       // Flush the merged local messages with post-merge byte counts.

@@ -17,24 +17,34 @@ namespace runtime {
 
 /// Execution statistics of one channel, snapshot via BoundedChannel::stats().
 struct ChannelStats {
-  size_t capacity = 0;
+  size_t capacity = 0;          ///< admission weight (bytes for wire links)
   uint64_t sends = 0;           ///< items accepted into the queue
   uint64_t receives = 0;        ///< items popped
-  uint64_t send_stalls = 0;     ///< failed TrySend/TrySendFor attempts (full)
-  size_t max_depth = 0;         ///< high-water queue depth
+  uint64_t stall_attempts = 0;  ///< every failed TrySend/TrySendFor (full)
+  uint64_t items_stalled = 0;   ///< distinct items that hit a full channel
+  size_t max_depth = 0;         ///< high-water queue depth (items)
   Histogram depth_on_send;      ///< queue depth observed after each send
 };
 
 /// A bounded multi-producer single-consumer queue connecting two runtime
-/// workers. Capacity models the link's bandwidth share (see
-/// PlanChannelCapacities): narrow links fill up sooner and exert
-/// backpressure on their producers, which is exactly the behaviour the
-/// paper's uneven cloud networks impose on cross-pod traffic.
+/// workers. Capacity is a *weight* budget: each item carries a weight
+/// (bytes for the runtime's WireBatch traffic; 1 by default, which recovers
+/// plain item-count semantics), and admission requires the queued weight
+/// plus the new item to fit. An item heavier than the whole capacity is
+/// still admitted when the queue is empty, so oversized batches make
+/// progress instead of deadlocking. Capacities model each link's bandwidth
+/// share (see PlanChannelCapacities): narrow links accept fewer bytes in
+/// flight and exert backpressure on their producers sooner, which is
+/// exactly the behaviour the paper's uneven cloud networks impose on
+/// cross-pod traffic.
 ///
 /// Producers that find the channel full must not block-and-hold: the runtime
 /// send loop retries with TrySendFor while draining the sender's own inbound
 /// channels, which guarantees global progress (every blocked producer keeps
-/// its consumer side moving, so some channel always drains).
+/// its consumer side moving, so some channel always drains). Retries pass
+/// `is_retry` so the stall statistics can tell distinct blocked items
+/// (items_stalled) apart from repeated attempts for the same item
+/// (stall_attempts).
 template <typename T>
 class BoundedChannel {
  public:
@@ -43,37 +53,38 @@ class BoundedChannel {
   BoundedChannel(const BoundedChannel&) = delete;
   BoundedChannel& operator=(const BoundedChannel&) = delete;
 
-  /// Moves `item` into the channel if space is available; on failure the
-  /// item is left untouched and the stall is counted.
-  bool TrySend(T& item) {
+  /// Moves `item` into the channel if its weight fits; on failure the item
+  /// is left untouched and the stall is counted (as a new stalled item
+  /// unless `is_retry`).
+  bool TrySend(T& item, size_t weight = 1, bool is_retry = false) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.size() >= capacity_) {
-      ++stats_.send_stalls;
+    if (!HasRoom(weight)) {
+      CountStall(is_retry);
       return false;
     }
-    Push(std::move(item));
+    Push(std::move(item), weight);
     return true;
   }
 
-  /// TrySend that waits up to `timeout` for space before giving up.
+  /// TrySend that waits up to `timeout` for room before giving up.
   template <typename Rep, typename Period>
-  bool TrySendFor(T& item, std::chrono::duration<Rep, Period> timeout) {
+  bool TrySendFor(T& item, std::chrono::duration<Rep, Period> timeout,
+                  size_t weight = 1, bool is_retry = false) {
     std::unique_lock<std::mutex> lock(mu_);
-    if (!not_full_.wait_for(lock, timeout,
-                            [&] { return queue_.size() < capacity_; })) {
-      ++stats_.send_stalls;
+    if (!not_full_.wait_for(lock, timeout, [&] { return HasRoom(weight); })) {
+      CountStall(is_retry);
       return false;
     }
-    Push(std::move(item));
+    Push(std::move(item), weight);
     return true;
   }
 
-  /// Blocks until space is available (tests; the runtime itself always uses
+  /// Blocks until room is available (tests; the runtime itself always uses
   /// the TrySendFor/drain loop to stay deadlock-free).
-  void Send(T item) {
+  void Send(T item, size_t weight = 1) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return queue_.size() < capacity_; });
-    Push(std::move(item));
+    not_full_.wait(lock, [&] { return HasRoom(weight); });
+    Push(std::move(item), weight);
   }
 
   /// Pops the oldest item; std::nullopt when empty.
@@ -82,7 +93,8 @@ class BoundedChannel {
     if (queue_.empty()) {
       return std::nullopt;
     }
-    T item = std::move(queue_.front());
+    T item = std::move(queue_.front().first);
+    queued_weight_ -= queue_.front().second;
     queue_.pop_front();
     ++stats_.receives;
     lock.unlock();
@@ -104,8 +116,22 @@ class BoundedChannel {
   }
 
  private:
-  void Push(T&& item) {
-    queue_.push_back(std::move(item));
+  /// With all weights 1 this degenerates to the classic `size < capacity`;
+  /// the empty-queue escape hatch is what admits oversized single items.
+  bool HasRoom(size_t weight) const {
+    return queue_.empty() || queued_weight_ + weight <= capacity_;
+  }
+
+  void CountStall(bool is_retry) {
+    ++stats_.stall_attempts;
+    if (!is_retry) {
+      ++stats_.items_stalled;
+    }
+  }
+
+  void Push(T&& item, size_t weight) {
+    queue_.emplace_back(std::move(item), weight);
+    queued_weight_ += weight;
     ++stats_.sends;
     stats_.max_depth = std::max(stats_.max_depth, queue_.size());
     stats_.depth_on_send.Add(static_cast<double>(queue_.size()));
@@ -114,7 +140,8 @@ class BoundedChannel {
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
-  std::deque<T> queue_;
+  std::deque<std::pair<T, size_t>> queue_;
+  size_t queued_weight_ = 0;
   ChannelStats stats_;
 };
 

@@ -11,12 +11,16 @@ namespace runtime {
 
 /// Derives per-link channel capacities from the topology bandwidth matrix.
 ///
-/// The widest pair link in the topology gets `base_capacity` slots; every
-/// other link is scaled down proportionally to its bandwidth (minimum 1).
-/// Under T2/T3 topologies this gives intra-pod channels `base_capacity`
-/// slots while cross-pod channels get a narrow queue, so a worker flooding
-/// a cross-pod link hits backpressure much earlier — the runtime analogue
-/// of the paper's scarce inter-switch bandwidth. Self links (m == m) carry
+/// Capacities are admission *weight* budgets in whatever unit the caller's
+/// BoundedChannel items are weighed in — bytes-in-flight for the runtime's
+/// WireBatch traffic (`base_capacity` = channel_window_bytes), plain item
+/// counts when every send uses the default weight of 1. The widest pair
+/// link in the topology gets the full `base_capacity`; every other link is
+/// scaled down proportionally to its bandwidth (minimum 1). Under T2/T3
+/// topologies this gives intra-pod channels the full window while
+/// cross-pod channels get a narrow one, so a worker flooding a cross-pod
+/// link hits backpressure much earlier — the runtime analogue of the
+/// paper's scarce inter-switch bandwidth. Self links (m == m) carry
 /// locally materialized traffic and always get the full base capacity.
 ///
 /// Returns a row-major M x M matrix: entry [src * M + dst].

@@ -26,6 +26,7 @@
 #include "runtime/fault.h"
 #include "runtime/stats.h"
 #include "runtime/timeline.h"
+#include "runtime/wire_batch.h"
 #include "storage/partitioned_graph.h"
 #include "storage/replication.h"
 
@@ -38,11 +39,16 @@ struct RuntimeOptions {
   /// Worker threads; 0 means one per simulated machine. With fewer workers
   /// than machines, machine m is owned by worker (m % num_workers).
   uint32_t max_workers = 0;
-  /// Channel slots granted to the widest topology link; narrower links are
-  /// scaled down proportionally (see PlanChannelCapacities). Sized so a wide
-  /// link absorbs a whole stage's buffers from one machine without stalling
-  /// at typical partition counts; narrow (cross-pod) links still backpressure.
-  size_t base_channel_capacity = 128;
+  /// Bytes-in-flight granted to the widest topology link's channel; narrower
+  /// links are scaled down proportionally (see PlanChannelCapacities), so
+  /// cross-pod links backpressure sooner at equal traffic. Channels weigh
+  /// each WireBatch by its wire size; a batch larger than the whole window
+  /// is still admitted once the queue is empty (progress guarantee), so a
+  /// tiny window maximizes backpressure without deadlocking.
+  size_t channel_window_bytes = 256 << 10;
+  /// Wire-plane staging knobs: batch size cap, flush deadline, and the
+  /// wire-level local combination toggle (see WireBatchOptions).
+  WireBatchOptions wire;
   /// Ring slots of each worker's SPSC trace shard (rounded up to a power of
   /// two). Per-task profiling events overflow into drop counts, never into
   /// blocking; see RuntimeStats::trace_events_dropped.
@@ -55,20 +61,27 @@ struct RuntimeOptions {
 /// of the analytic PropagationRunner.
 ///
 /// One worker thread per simulated machine runs that machine's Transfer and
-/// Combine tasks; cross-machine message buffers travel through bounded
-/// channels whose capacities mirror the topology's bandwidth matrix, and a
-/// barrier separates the BSP supersteps. The executor's contract, asserted
-/// by tests/runtime_test.cc, is *bit-identical* results to the sequential
+/// Combine tasks. Messages travel as serialized WireBatches: each machine's
+/// WireStager packs its outbound (src partition -> dst partition) streams
+/// into pooled per-destination-machine byte buffers, performing wire-level
+/// local combination at seal time, and ships them through bounded channels
+/// whose byte capacities mirror the topology's bandwidth matrix; a barrier
+/// separates the BSP supersteps. The executor's contract, asserted by
+/// tests/runtime_test.cc, is *bit-identical* results to the sequential
 /// runner at every optimization level:
 ///   - each Combine sees its messages in the exact sequential order. The
 ///     sequential runner fills a partition's inbox in ascending source
 ///     partition order (its own local buffer landing at the src == dst
-///     slot) and then stable-sorts by target; the runtime ships exactly one
-///     buffer per (src, dst) partition pair, sorts received buffers by src,
-///     concatenates, and applies the same stable sort;
-///   - merged (local-combination) buffers carry at most one message per
-///     target per source partition, so the unordered merge-map iteration
-///     order inside a buffer is normalized away by the target sort;
+///     slot) and then stable-sorts by target. On the wire, a (src, dst)
+///     stream may be chunked across batches by size/deadline flushes, but
+///     only one machine ever produces a given stream (tasks are atomic) and
+///     channels are FIFO, so chunks arrive in emission order; the receiver
+///     stable-sorts its chunks by src, concatenates, and applies the same
+///     target sort;
+///   - wire combination merges a task's complete per-stream records before
+///     pricing or serializing any of them (WireStager::StageTask), so a
+///     merged stream carries at most one message per target per source and
+///     chunking never changes the priced byte count;
 ///   - cascaded propagation and memory limits change the *accounted* cost
 ///     only, so the runtime ignores them without affecting results.
 ///
@@ -80,7 +93,7 @@ struct RuntimeOptions {
 /// Dead machines' worker threads stay up purely to drain their inbound
 /// channels, so senders never deadlock against a corpse.
 template <typename App>
-  requires PropagationApp<App>
+  requires PropagationApp<App> && WireSerializableApp<App>
 class RuntimeExecutor {
  public:
   using VertexState = typename App::VertexState;
@@ -122,12 +135,25 @@ class RuntimeExecutor {
     }
     const size_t num_channels = static_cast<size_t>(num_machines) * num_machines;
     const std::vector<size_t> capacities =
-        PlanChannelCapacities(*topology_, options_.base_channel_capacity);
+        PlanChannelCapacities(*topology_, options_.channel_window_bytes);
     channels_.clear();
     channels_.reserve(num_channels);
     for (size_t i = 0; i < num_channels; ++i) {
       channels_.push_back(
-          std::make_unique<BoundedChannel<MessageBuffer>>(capacities[i]));
+          std::make_unique<BoundedChannel<WireBatch>>(capacities[i]));
+    }
+    // One stager per machine, touched only by the machine's owner worker.
+    // Wire combination needs the job to allow local combination *and* the
+    // app to be mergeable *and* the wire toggle to be on.
+    const bool wire_combine =
+        config_.local_combination && MergeableApp<App> &&
+        options_.wire.wire_combine;
+    pool_ = std::make_unique<WireBufferPool>();
+    stagers_.clear();
+    stagers_.reserve(num_machines);
+    for (MachineId m = 0; m < num_machines; ++m) {
+      stagers_.emplace_back(&app_, options_.wire, pool_.get(), m, num_machines,
+                            wire_combine);
     }
 
     const uint32_t num_partitions = graph_->num_partitions();
@@ -140,6 +166,7 @@ class RuntimeExecutor {
     for (WorkerLocal& local : locals_) {
       local.link_bytes.assign(num_channels, 0);
     }
+    drain_phase_.assign(num_workers, DrainPhase{});
     barrier_ = std::make_unique<BspBarrier>(num_workers + 1);
     phase_ = Phase{};
 
@@ -242,18 +269,28 @@ class RuntimeExecutor {
     std::vector<std::vector<PartitionId>> tasks;
   };
 
-  /// Everything one (src partition -> dst partition) pair ships in a stage:
-  /// the unit of channel traffic. Exactly one buffer exists per pair per
-  /// stage (tasks are atomic under fault injection), which is what lets the
-  /// receiver reconstruct the sequential inbox order by sorting on src.
-  struct MessageBuffer {
+  /// One deserialized wire segment: a contiguous chunk of one
+  /// (src partition -> dst partition) message stream, either real or
+  /// virtual records. A stream may arrive as several chunks when size or
+  /// deadline flushes split it across batches; exactly one machine produces
+  /// a given stream per stage (tasks are atomic under fault injection) and
+  /// channels are FIFO, so within a src the arrival order of chunks is the
+  /// emission order, and a stable sort on src reconstructs the sequential
+  /// inbox.
+  struct InboxChunk {
     PartitionId src = kInvalidPartition;
-    PartitionId dst = kInvalidPartition;
     MachineId src_machine = kInvalidMachine;
-    uint64_t bytes = 0;
-    uint64_t num_messages = 0;
+    uint64_t priced_bytes = 0;
     std::vector<std::pair<VertexId, Message>> real;
     std::vector<std::pair<uint64_t, Message>> virtuals;
+  };
+
+  /// The stage a worker is currently draining for; written by the worker
+  /// after the start barrier and read only by that worker inside Drain, so
+  /// deserialization time lands in the right superstep slot.
+  struct DrainPhase {
+    int iteration = 0;
+    PhaseKind kind = PhaseKind::kTransfer;
   };
 
   /// Per-thread tallies, merged into RuntimeStats after the join.
@@ -401,6 +438,7 @@ class RuntimeExecutor {
       // this round releases the main thread to publish the next phase.
       const int iteration = phase.iteration;
       const PhaseKind kind = phase.kind;
+      drain_phase_[w] = DrainPhase{iteration, kind};
       for (MachineId m : owned_machines_[w]) {
         if (!alive_[m]) {
           continue;
@@ -408,7 +446,7 @@ class RuntimeExecutor {
         for (PartitionId p : phase.tasks[m]) {
           if (fault_.ShouldKill(m, iteration, StageOf(kind),
                                 stage_tasks_done_[m])) {
-            KillMachine(m, local);
+            KillMachine(m, iteration, kind, w, local);
             break;
           }
           if (kind == PhaseKind::kTransfer) {
@@ -422,7 +460,24 @@ class RuntimeExecutor {
           if (phase.recovery) {
             ++local.tasks_reexecuted;
           }
+          if (kind == PhaseKind::kTransfer) {
+            // Ship batches whose flush deadline lapsed while the task ran,
+            // so a quiet destination is not held hostage to the stage end.
+            PhaseSlot(iteration, kind, m).blocked_s +=
+                stagers_[m].FlushExpired(
+                    [&](WireBatch&& batch) {
+                      return SendBatch(std::move(batch), w, local);
+                    });
+          }
           Drain(w);  // keep inbound channels moving between tasks
+        }
+        if (kind == PhaseKind::kTransfer && alive_[m]) {
+          // Stage-end flush: every batch must be on the wire before the
+          // work-done barrier (the runtime's send-completeness contract).
+          PhaseSlot(iteration, kind, m).blocked_s +=
+              stagers_[m].FlushAll([&](WireBatch&& batch) {
+                return SendBatch(std::move(batch), w, local);
+              });
         }
       }
       const double work_wait =
@@ -443,7 +498,18 @@ class RuntimeExecutor {
     local.barrier_wait.Add(seconds);
   }
 
-  void KillMachine(MachineId m, WorkerLocal& local) {
+  void KillMachine(MachineId m, int iteration, PhaseKind kind, uint32_t w,
+                   WorkerLocal& local) {
+    // Batches staged by this machine's *completed* tasks still ship: a
+    // completed task's output survives the crash (its disk replicas do,
+    // Appendix B), so the wire plane must not lose it. Flush before marking
+    // the machine dead.
+    if (kind == PhaseKind::kTransfer) {
+      PhaseSlot(iteration, kind, m).blocked_s +=
+          stagers_[m].FlushAll([&](WireBatch&& batch) {
+            return SendBatch(std::move(batch), w, local);
+          });
+    }
     alive_[m] = 0;
     ++local.machine_failures;
     if (config_.tracer != nullptr) {
@@ -454,56 +520,86 @@ class RuntimeExecutor {
     }
   }
 
-  /// Moves every buffer waiting in worker w's inbound channels into the
-  /// per-partition inboxes. Only w ever consumes these channels (and only w
-  /// writes inboxes of partitions whose primary it owns), so no lock is
-  /// needed beyond the channels' own.
+  /// Moves every batch waiting in worker w's inbound channels into the
+  /// per-partition inboxes (deserializing segments into chunks). Only w ever
+  /// consumes these channels (and only w writes inboxes of partitions whose
+  /// primary it owns), so no lock is needed beyond the channels' own.
   void Drain(uint32_t w) {
     for (MachineId d : owned_machines_[w]) {
       for (MachineId s = 0; s < num_machines_; ++s) {
-        BoundedChannel<MessageBuffer>& ch =
+        BoundedChannel<WireBatch>& ch =
             *channels_[static_cast<size_t>(s) * num_machines_ + d];
-        while (std::optional<MessageBuffer> buf = ch.TryRecv()) {
-          inboxes_[buf->dst].push_back(std::move(*buf));
+        while (std::optional<WireBatch> batch = ch.TryRecv()) {
+          ReceiveBatch(std::move(*batch), d, w);
         }
       }
     }
   }
 
-  /// Returns the seconds this send spent blocked on channel backpressure
-  /// (0 when the first TrySend lands), which the caller books as
-  /// channel-blocked time in the superstep timeline.
-  double SendBuffer(MessageBuffer buffer, MachineId exec_machine, uint32_t w,
-                    WorkerLocal& local) {
-    const MachineId dst_machine = placement_->primary(buffer.dst);
-    local.link_bytes[static_cast<size_t>(exec_machine) * num_machines_ +
-                     dst_machine] += buffer.bytes;
-    local.messages_sent += buffer.num_messages;
+  /// Unpacks a received batch into inbox chunks and recycles its payload.
+  /// Deserialization cost is booked as serialize time of the *receiving*
+  /// machine in the current stage's slot (single-writer discipline holds:
+  /// d's owner worker is the one draining).
+  void ReceiveBatch(WireBatch batch, MachineId d, uint32_t w) {
+    const auto unpack_start = std::chrono::steady_clock::now();
+    const double wire_bytes = static_cast<double>(batch.wire_size());
+    WireBatchReader<Message> reader(batch);
+    while (std::optional<typename WireBatchReader<Message>::Segment> segment =
+               reader.Next()) {
+      InboxChunk chunk;
+      chunk.src = segment->header.src_partition;
+      chunk.src_machine = batch.src_machine;
+      chunk.priced_bytes = segment->header.priced_bytes;
+      chunk.real = std::move(segment->real);
+      chunk.virtuals = std::move(segment->virtuals);
+      inboxes_[segment->header.dst_partition].push_back(std::move(chunk));
+    }
+    pool_->Release(std::move(batch.payload));
+    const DrainPhase phase = drain_phase_[w];
+    PhaseSeconds& slot = PhaseSlot(phase.iteration, phase.kind, d);
+    slot.serialize_s +=
+        Seconds(std::chrono::steady_clock::now() - unpack_start);
+    slot.wire_bytes += wire_bytes;
+  }
+
+  /// Books a sealed batch against its link and moves it into the channel.
+  /// Returns the seconds the send spent blocked on channel backpressure
+  /// (0 when the first TrySend lands), which flows back through the stager
+  /// into the superstep timeline's blocked phase.
+  double SendBatch(WireBatch&& batch, uint32_t w, WorkerLocal& local) {
+    local.link_bytes[static_cast<size_t>(batch.src_machine) * num_machines_ +
+                     batch.dst_machine] += batch.priced_bytes;
+    local.messages_sent += batch.num_messages;
     ++local.buffers_sent;
-    BoundedChannel<MessageBuffer>& ch =
-        *channels_[static_cast<size_t>(exec_machine) * num_machines_ +
-                   dst_machine];
-    if (ch.TrySend(buffer)) {
+    BoundedChannel<WireBatch>& ch =
+        *channels_[static_cast<size_t>(batch.src_machine) * num_machines_ +
+                   batch.dst_machine];
+    const size_t weight = batch.wire_size() > 0 ? batch.wire_size() : 1;
+    if (ch.TrySend(batch, weight)) {
       return 0.0;
     }
     // Backpressure loop: while the link is saturated, keep draining our own
     // inbound channels so the system as a whole cannot wedge. Drain before
     // the timed wait: when the full channel is one this worker owns (always
-    // true at one worker), draining it is what frees the slot, and waiting
-    // first would just burn the timeout.
+    // true at one worker), draining it is what frees the window, and waiting
+    // first would just burn the timeout. Retries pass is_retry so the stall
+    // stats count this batch once in items_stalled however long it waits.
     const auto stall_start = std::chrono::steady_clock::now();
     do {
       Drain(w);
-      if (ch.TrySendFor(buffer, std::chrono::microseconds(200))) {
+      if (ch.TrySendFor(batch, std::chrono::microseconds(200), weight,
+                        /*is_retry=*/true)) {
         break;
       }
-    } while (!ch.TrySend(buffer));
+    } while (!ch.TrySend(batch, weight, /*is_retry=*/true));
     return Seconds(std::chrono::steady_clock::now() - stall_start);
   }
 
-  /// Runs the Transfer task of partition p on `exec_machine`, reproducing
-  /// the sequential runner's emission and merge logic verbatim so buffer
-  /// contents (and with them the combine-side message order) are identical.
+  /// Runs the Transfer task of partition p on `exec_machine`. The task body
+  /// only routes raw emissions into per-destination streams; local
+  /// combination, pricing, and serialization all happen at staging time in
+  /// the machine's WireStager (which replays the sequential runner's merge
+  /// sequence, keeping results bit-identical).
   void RunTransferTask(PartitionId p, MachineId exec_machine, int iteration,
                        uint32_t w, WorkerLocal& local) {
     // Hot path: per-task events go through this worker's lock-free shard
@@ -514,119 +610,44 @@ class RuntimeExecutor {
     const Graph& g = graph_->encoded_graph();
     const PartitionMeta& meta = graph_->partition(p);
     const uint32_t num_partitions = graph_->num_partitions();
-    const bool merge_remote = config_.local_combination && MergeableApp<App>;
 
-    std::vector<std::pair<VertexId, Message>> local_out;
-    std::unordered_map<VertexId, Message> local_merged;
-    std::unordered_map<PartitionId, std::vector<std::pair<VertexId, Message>>>
-        remote_list;
-    std::unordered_map<PartitionId, std::unordered_map<VertexId, Message>>
-        remote_merged;
-    std::unordered_map<PartitionId, std::vector<std::pair<uint64_t, Message>>>
-        virtual_list;
-    std::unordered_map<PartitionId, std::unordered_map<uint64_t, Message>>
-        virtual_merged;
+    // Raw (emission-order) streams per destination partition. The whole
+    // task accumulates before anything is staged so wire combination spans
+    // the full stream — the precondition for exact byte reconciliation.
+    std::vector<std::vector<std::pair<VertexId, Message>>> real_out(
+        num_partitions);
+    std::vector<std::vector<std::pair<uint64_t, Message>>> virtual_out(
+        num_partitions);
 
     PropagationEmitter<Message> emitter;
     for (VertexId v = meta.begin; v < meta.end; ++v) {
-      emitter.Clear();
       app_.Transfer(v, states_[v], g.OutNeighbors(v), emitter);
-      for (auto& [target, message] : emitter.real()) {
-        const PartitionId pt = graph_->PartitionOf(target);
-        if (pt == p) {
-          if (merge_remote) {
-            if constexpr (MergeableApp<App>) {
-              auto it = local_merged.find(target);
-              if (it == local_merged.end()) {
-                local_merged.emplace(target, std::move(message));
-              } else {
-                it->second = app_.Merge(it->second, message);
-              }
-            }
-          } else {
-            local_out.emplace_back(target, std::move(message));
-          }
-        } else if (merge_remote) {
-          if constexpr (MergeableApp<App>) {
-            auto& bucket = remote_merged[pt];
-            auto it = bucket.find(target);
-            if (it == bucket.end()) {
-              bucket.emplace(target, std::move(message));
-            } else {
-              it->second = app_.Merge(it->second, message);
-            }
-          }
-        } else {
-          remote_list[pt].emplace_back(target, std::move(message));
-        }
-      }
-      for (auto& [target, message] : emitter.virtuals()) {
-        const PartitionId pt = static_cast<PartitionId>(target % num_partitions);
-        if (merge_remote) {
-          if constexpr (MergeableApp<App>) {
-            auto& bucket = virtual_merged[pt];
-            auto it = bucket.find(target);
-            if (it == bucket.end()) {
-              bucket.emplace(target, std::move(message));
-            } else {
-              it->second = app_.Merge(it->second, message);
-            }
-          }
-        } else {
-          virtual_list[pt].emplace_back(target, std::move(message));
-        }
-      }
-    }
-    if constexpr (MergeableApp<App>) {
-      for (auto& [target, message] : local_merged) {
-        local_out.emplace_back(target, std::move(message));
-      }
+      emitter.Drain(
+          [&](VertexId target, Message message) {
+            real_out[graph_->PartitionOf(target)].emplace_back(
+                target, std::move(message));
+          },
+          [&](uint64_t target, Message message) {
+            virtual_out[target % num_partitions].emplace_back(
+                target, std::move(message));
+          });
     }
     const auto serialize_start = std::chrono::steady_clock::now();
     double blocked_s = 0.0;
 
-    // Ship exactly one buffer per destination partition with any content,
-    // in ascending destination order (deterministic channel traffic).
+    // Stage every non-empty stream in ascending destination order
+    // (deterministic wire traffic); the stager seals and ships batches as
+    // they fill.
+    WireStager<App>& stager = stagers_[exec_machine];
     for (PartitionId dst = 0; dst < num_partitions; ++dst) {
-      MessageBuffer buffer;
-      buffer.src = p;
-      buffer.dst = dst;
-      buffer.src_machine = exec_machine;
-      if (dst == p) {
-        buffer.real = std::move(local_out);
-      } else if (merge_remote) {
-        if (auto it = remote_merged.find(dst); it != remote_merged.end()) {
-          buffer.real.reserve(it->second.size());
-          for (auto& [target, message] : it->second) {
-            buffer.real.emplace_back(target, std::move(message));
-          }
-        }
-      } else if (auto it = remote_list.find(dst); it != remote_list.end()) {
-        buffer.real = std::move(it->second);
-      }
-      if (merge_remote) {
-        if (auto it = virtual_merged.find(dst); it != virtual_merged.end()) {
-          buffer.virtuals.reserve(it->second.size());
-          for (auto& [target, message] : it->second) {
-            buffer.virtuals.emplace_back(target, std::move(message));
-          }
-        }
-      } else if (auto it = virtual_list.find(dst); it != virtual_list.end()) {
-        buffer.virtuals = std::move(it->second);
-      }
-      if (buffer.real.empty() && buffer.virtuals.empty()) {
+      if (real_out[dst].empty() && virtual_out[dst].empty()) {
         continue;
       }
-      for (const auto& [target, message] : buffer.real) {
-        (void)target;
-        buffer.bytes += app_.MessageBytes(message);
-      }
-      for (const auto& [target, message] : buffer.virtuals) {
-        (void)target;
-        buffer.bytes += app_.MessageBytes(message);
-      }
-      buffer.num_messages = buffer.real.size() + buffer.virtuals.size();
-      blocked_s += SendBuffer(std::move(buffer), exec_machine, w, local);
+      blocked_s += stager.StageTask(
+          p, dst, placement_->primary(dst), real_out[dst], virtual_out[dst],
+          [&](WireBatch&& batch) {
+            return SendBatch(std::move(batch), w, local);
+          });
     }
 
     const auto task_end = std::chrono::steady_clock::now();
@@ -643,7 +664,7 @@ class RuntimeExecutor {
   }
 
   /// Runs the Combine task of partition p: reconstructs the sequential
-  /// inbox order from the received buffers and applies Combine to every
+  /// inbox order from the received chunks and applies Combine to every
   /// vertex of the partition (messages or not), then folds virtual groups.
   void RunCombineTask(PartitionId p, MachineId exec_machine, int iteration,
                       uint32_t w, WorkerLocal& local) {
@@ -652,33 +673,36 @@ class RuntimeExecutor {
     const auto inbox_start = std::chrono::steady_clock::now();
     const Graph& g = graph_->encoded_graph();
     const PartitionMeta& meta = graph_->partition(p);
-    std::vector<MessageBuffer>& buffers = inboxes_[p];
+    std::vector<InboxChunk>& chunks = inboxes_[p];
     // Ascending src order recreates the sequential delivery loop (the
-    // partition's own buffer lands at the src == p slot automatically).
-    std::sort(buffers.begin(), buffers.end(),
-              [](const MessageBuffer& a, const MessageBuffer& b) {
-                return a.src < b.src;
-              });
+    // partition's own chunks land at the src == p slot automatically). The
+    // sort must be *stable*: a stream split across batches arrives as
+    // several chunks with the same src whose relative (emission) order
+    // carries the sequential message order.
+    std::stable_sort(chunks.begin(), chunks.end(),
+                     [](const InboxChunk& a, const InboxChunk& b) {
+                       return a.src < b.src;
+                     });
     if (exec_machine != placement_->primary(p)) {
       // Appendix-B recovery: the replica holder re-fetches the incoming
       // message spills that the dead primary had already received.
-      for (const MessageBuffer& buffer : buffers) {
-        if (buffer.src_machine != exec_machine) {
-          local.refetch_bytes += buffer.bytes;
+      for (const InboxChunk& chunk : chunks) {
+        if (chunk.src_machine != exec_machine) {
+          local.refetch_bytes += chunk.priced_bytes;
         }
       }
     }
 
     std::vector<std::pair<VertexId, Message>> messages;
     std::vector<std::pair<uint64_t, Message>> virtual_messages;
-    for (MessageBuffer& buffer : buffers) {
-      std::move(buffer.real.begin(), buffer.real.end(),
+    for (InboxChunk& chunk : chunks) {
+      std::move(chunk.real.begin(), chunk.real.end(),
                 std::back_inserter(messages));
-      std::move(buffer.virtuals.begin(), buffer.virtuals.end(),
+      std::move(chunk.virtuals.begin(), chunk.virtuals.end(),
                 std::back_inserter(virtual_messages));
     }
-    buffers.clear();
-    buffers.shrink_to_fit();
+    chunks.clear();
+    chunks.shrink_to_fit();
 
     std::stable_sort(messages.begin(), messages.end(),
                      [](const auto& a, const auto& b) {
@@ -754,9 +778,26 @@ class RuntimeExecutor {
     stats_.channels.reserve(channels_.size());
     for (const auto& channel : channels_) {
       ChannelStats snapshot = channel->stats();
-      stats_.send_stalls += snapshot.send_stalls;
+      stats_.send_stalls += snapshot.stall_attempts;
+      stats_.items_stalled += snapshot.items_stalled;
       stats_.channel_depth.Merge(snapshot.depth_on_send);
       stats_.channels.push_back(std::move(snapshot));
+    }
+    for (const WireStager<App>& stager : stagers_) {
+      const WireStagerStats& ws = stager.stats();
+      stats_.wire_batches_sent += ws.batches_sealed;
+      stats_.wire_segments_sent += ws.segments_sealed;
+      stats_.wire_payload_bytes += ws.payload_bytes;
+      stats_.wire_messages_combined += ws.messages_combined;
+      stats_.wire_flush_size += ws.flush_size;
+      stats_.wire_flush_deadline += ws.flush_deadline;
+      stats_.wire_flush_stage_end += ws.flush_stage_end;
+      stats_.batch_fill.Merge(ws.batch_fill);
+    }
+    if (pool_ != nullptr) {
+      const WireBufferPool::Stats pool = pool_->stats();
+      stats_.pool_buffers_acquired = pool.acquires;
+      stats_.pool_buffers_reused = pool.reuses;
     }
 
     stats_.timeline.clear();
@@ -789,6 +830,16 @@ class RuntimeExecutor {
         .Increment(stats_.messages_sent);
     metrics->CounterRef("runtime_buffers_sent").Increment(stats_.buffers_sent);
     metrics->CounterRef("runtime_send_stalls").Increment(stats_.send_stalls);
+    metrics->CounterRef("runtime_items_stalled")
+        .Increment(stats_.items_stalled);
+    metrics->CounterRef("runtime_wire_batches_sent")
+        .Increment(stats_.wire_batches_sent);
+    metrics->CounterRef("runtime_wire_segments_sent")
+        .Increment(stats_.wire_segments_sent);
+    metrics->CounterRef("runtime_wire_payload_bytes")
+        .Increment(stats_.wire_payload_bytes);
+    metrics->CounterRef("runtime_wire_messages_combined")
+        .Increment(stats_.wire_messages_combined);
     metrics->CounterRef("runtime_barrier_generations")
         .Increment(stats_.barrier_generations);
     metrics->CounterRef("runtime_network_bytes")
@@ -819,8 +870,12 @@ class RuntimeExecutor {
   uint32_t num_machines_ = 0;
   uint32_t num_workers_ = 0;
   std::vector<std::vector<MachineId>> owned_machines_;
-  std::vector<std::unique_ptr<BoundedChannel<MessageBuffer>>> channels_;
+  std::vector<std::unique_ptr<BoundedChannel<WireBatch>>> channels_;
   std::unique_ptr<BspBarrier> barrier_;
+  /// Payload freelist shared by all stagers (thread-safe on its own).
+  std::unique_ptr<WireBufferPool> pool_;
+  /// stagers_[m]: machine m's wire stager, touched only by m's owner worker.
+  std::vector<WireStager<App>> stagers_;
 
   // Shared state with single-writer-per-element or barrier-separated access
   // (the data-race-freedom discipline TSan verifies):
@@ -833,14 +888,16 @@ class RuntimeExecutor {
   //    (reset by main between stages, across a barrier);
   //  - states_[v]: written by the Combine executor of v's partition, read
   //    by the next iteration's Transfer executor across two barriers.
+  //  - drain_phase_[w]: written and read only by worker w.
   Phase phase_;
   std::vector<uint8_t> done_;
   std::vector<uint8_t> alive_;
   std::vector<uint32_t> stage_tasks_done_;
-  std::vector<std::vector<MessageBuffer>> inboxes_;
+  std::vector<std::vector<InboxChunk>> inboxes_;
   std::vector<VertexState> states_;
   std::vector<std::vector<std::pair<uint64_t, VirtualOutput>>> virtual_results_;
   std::vector<WorkerLocal> locals_;
+  std::vector<DrainPhase> drain_phase_;
 
   //  - step_phases_[step][m]: written solely by m's owner worker during that
   //    superstep, read by main after the join.

@@ -31,6 +31,29 @@ obs::JsonValue RuntimeStatsToJson(const RuntimeStats& stats) {
   block.Set("messages_sent", stats.messages_sent);
   block.Set("buffers_sent", stats.buffers_sent);
   block.Set("send_stalls", stats.send_stalls);
+  block.Set("items_stalled", stats.items_stalled);
+  block.Set("wire_batches_sent", stats.wire_batches_sent);
+  block.Set("wire_segments_sent", stats.wire_segments_sent);
+  block.Set("wire_payload_bytes", stats.wire_payload_bytes);
+  block.Set("wire_messages_combined", stats.wire_messages_combined);
+  block.Set("wire_flush_size", stats.wire_flush_size);
+  block.Set("wire_flush_deadline", stats.wire_flush_deadline);
+  block.Set("wire_flush_stage_end", stats.wire_flush_stage_end);
+  block.Set("pool_buffers_acquired", stats.pool_buffers_acquired);
+  block.Set("pool_buffers_reused", stats.pool_buffers_reused);
+  // Fraction of staged messages merged away by wire-level combination
+  // before being priced: combined / (combined + sent-on-the-wire).
+  const uint64_t staged =
+      stats.wire_messages_combined + stats.messages_sent;
+  block.Set("wire_combine_hit_rate",
+            staged > 0
+                ? static_cast<double>(stats.wire_messages_combined) / staged
+                : 0.0);
+  block.Set("wire_serialize_bytes_per_sec",
+            stats.wall_seconds > 0.0
+                ? static_cast<double>(stats.wire_payload_bytes) /
+                      stats.wall_seconds
+                : 0.0);
   block.Set("barrier_wait_seconds", stats.barrier_wait_seconds);
   block.Set("barrier_generations", stats.barrier_generations);
   block.Set("refetch_bytes", stats.refetch_bytes);
@@ -38,6 +61,7 @@ obs::JsonValue RuntimeStatsToJson(const RuntimeStats& stats) {
   block.Set("network_bytes", stats.TotalNetworkBytes());
   block.Set("channel_depth", HistogramToJson(stats.channel_depth));
   block.Set("barrier_wait", HistogramToJson(stats.barrier_wait));
+  block.Set("batch_fill", HistogramToJson(stats.batch_fill));
 
   // Only non-trivial channels make it into the report: with M machines there
   // are M^2 channels but most carry nothing on sparse exchanges.
@@ -47,7 +71,7 @@ obs::JsonValue RuntimeStatsToJson(const RuntimeStats& stats) {
     for (uint32_t dst = 0; dst < n; ++dst) {
       const size_t idx = static_cast<size_t>(src) * n + dst;
       const ChannelStats& ch = stats.channels[idx];
-      if (ch.sends == 0 && ch.send_stalls == 0) {
+      if (ch.sends == 0 && ch.stall_attempts == 0) {
         continue;
       }
       obs::JsonValue entry = obs::JsonValue::MakeObject();
@@ -58,7 +82,10 @@ obs::JsonValue RuntimeStatsToJson(const RuntimeStats& stats) {
                                                   : stats.link_bytes[idx]);
       entry.Set("sends", ch.sends);
       entry.Set("receives", ch.receives);
-      entry.Set("send_stalls", ch.send_stalls);
+      // "send_stalls" keeps its historical meaning (every failed attempt)
+      // for report consumers; "items_stalled" is the deduplicated count.
+      entry.Set("send_stalls", ch.stall_attempts);
+      entry.Set("items_stalled", ch.items_stalled);
       entry.Set("max_depth", static_cast<uint64_t>(ch.max_depth));
       channels.Append(std::move(entry));
     }

@@ -24,8 +24,22 @@ struct RuntimeStats {
   uint32_t machine_failures = 0;
 
   uint64_t messages_sent = 0;  ///< materialized messages through channels
-  uint64_t buffers_sent = 0;   ///< channel items (one buffer per src/dst pair)
-  uint64_t send_stalls = 0;    ///< backpressure events across all channels
+  uint64_t buffers_sent = 0;   ///< channel items (wire batches put on a link)
+  uint64_t send_stalls = 0;    ///< stall *attempts* across all channels
+  uint64_t items_stalled = 0;  ///< distinct batches that hit a full channel
+
+  // Wire-batch plane (see runtime/wire_batch.h). A batch is one pooled
+  // buffer sent to one destination machine; a segment is one (src, dst)
+  // partition stream chunk inside a batch.
+  uint64_t wire_batches_sent = 0;
+  uint64_t wire_segments_sent = 0;
+  uint64_t wire_payload_bytes = 0;       ///< serialized bytes across batches
+  uint64_t wire_messages_combined = 0;   ///< messages merged away at seal time
+  uint64_t wire_flush_size = 0;          ///< seals forced by max_batch_bytes
+  uint64_t wire_flush_deadline = 0;      ///< seals forced by the flush deadline
+  uint64_t wire_flush_stage_end = 0;     ///< seals at end-of-stage FlushAll
+  uint64_t pool_buffers_acquired = 0;    ///< WireBufferPool::Acquire calls
+  uint64_t pool_buffers_reused = 0;      ///< acquires served from the freelist
 
   double barrier_wait_seconds = 0.0;  ///< summed across workers + main
   uint64_t barrier_generations = 0;
@@ -42,6 +56,7 @@ struct RuntimeStats {
 
   Histogram channel_depth;  ///< queue depth observed at each send, merged
   Histogram barrier_wait;   ///< per-wait seconds, merged across workers
+  Histogram batch_fill;     ///< sealed-batch payload bytes / max_batch_bytes
 
   /// Per-superstep per-machine phase breakdown ({compute, serialize,
   /// blocked, barrier}), one entry per (iteration, stage) in execution

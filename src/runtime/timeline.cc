@@ -73,6 +73,7 @@ obs::JsonValue PhasesToJson(const PhaseSeconds& phases) {
   obj.Set("serialize_s", phases.serialize_s);
   obj.Set("blocked_s", phases.blocked_s);
   obj.Set("barrier_s", phases.barrier_s);
+  obj.Set("wire_bytes", phases.wire_bytes);
   obj.Set("busy_s", phases.Busy());
   return obj;
 }

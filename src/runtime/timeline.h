@@ -22,6 +22,11 @@ struct PhaseSeconds {
   double serialize_s = 0.0;
   double blocked_s = 0.0;
   double barrier_s = 0.0;
+  /// Wire-batch payload bytes received by this machine during the stage
+  /// (batch-level attribution; not a duration, but it rides the same
+  /// per-(superstep, machine) slot so reports can correlate bytes with
+  /// serialize time).
+  double wire_bytes = 0.0;
 
   /// Busy time: everything except waiting at the barrier. This is the
   /// quantity the critical path chains, because barrier wait is by
@@ -33,6 +38,7 @@ struct PhaseSeconds {
     serialize_s += other.serialize_s;
     blocked_s += other.blocked_s;
     barrier_s += other.barrier_s;
+    wire_bytes += other.wire_bytes;
   }
 };
 

@@ -1,0 +1,39 @@
+#include "runtime/wire_batch.h"
+
+#include <algorithm>
+
+namespace surfer {
+namespace runtime {
+
+std::vector<uint8_t> WireBufferPool::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.acquires;
+  if (free_.empty()) {
+    return {};
+  }
+  ++stats_.reuses;
+  std::vector<uint8_t> buffer = std::move(free_.back());
+  free_.pop_back();
+  buffer.clear();  // keeps capacity: the recycled allocation is the point
+  return buffer;
+}
+
+void WireBufferPool::Release(std::vector<uint8_t> buffer) {
+  if (buffer.capacity() == 0) {
+    return;  // nothing worth pooling
+  }
+  // Poison the stored bytes so any reader holding a stale view of this
+  // buffer sees garbage deterministically (asserted by the pool tests)
+  // instead of the next batch's content.
+  std::fill(buffer.begin(), buffer.end(), uint8_t{0xDD});
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(buffer));
+}
+
+WireBufferPool::Stats WireBufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace runtime
+}  // namespace surfer

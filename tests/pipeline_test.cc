@@ -34,15 +34,15 @@ TEST(PipelineTest, ChainsJobsAndAttributesCosts) {
   nr_config.iterations = 2;
   pipeline.AddPropagation<NetworkRankingApp>(
       "rank", NetworkRankingApp(f.graph.num_vertices()), nr_config,
-      [&](const PropagationRunner<NetworkRankingApp>& runner) {
-        ranks = runner.states();
+      [&](const RunAppResult<NetworkRankingApp>& result) {
+        ranks = result.states;
       });
 
   uint64_t reversed_edges = 0;
   pipeline.AddPropagation<ReverseLinkGraphApp>(
       "reverse", ReverseLinkGraphApp(), PropagationConfig{},
-      [&](const PropagationRunner<ReverseLinkGraphApp>& runner) {
-        for (const auto& list : runner.states()) {
+      [&](const RunAppResult<ReverseLinkGraphApp>& result) {
+        for (const auto& list : result.states) {
           reversed_edges += list.size();
         }
       });

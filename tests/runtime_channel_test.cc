@@ -35,7 +35,8 @@ TEST(BoundedChannelTest, FifoOrderAndStats) {
   EXPECT_EQ(stats.capacity, 4u);
   EXPECT_EQ(stats.sends, 4u);
   EXPECT_EQ(stats.receives, 4u);
-  EXPECT_EQ(stats.send_stalls, 0u);
+  EXPECT_EQ(stats.stall_attempts, 0u);
+  EXPECT_EQ(stats.items_stalled, 0u);
   EXPECT_EQ(stats.max_depth, 4u);
   EXPECT_EQ(stats.depth_on_send.count(), 4u);
 }
@@ -51,8 +52,48 @@ TEST(BoundedChannelTest, FullChannelRejectsAndCountsStalls) {
   EXPECT_EQ(item, 99);  // failed send leaves the item intact
   EXPECT_FALSE(
       ch.TrySendFor(item, std::chrono::milliseconds(5)));
-  EXPECT_EQ(ch.stats().send_stalls, 2u);
+  EXPECT_EQ(ch.stats().stall_attempts, 2u);
+  // Both failures defaulted to is_retry=false, so each counts as a fresh
+  // stalled item.
+  EXPECT_EQ(ch.stats().items_stalled, 2u);
   EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(BoundedChannelTest, RetriesCountAttemptsNotItems) {
+  BoundedChannel<int> ch(1);
+  int item = 1;
+  ASSERT_TRUE(ch.TrySend(item));
+  item = 2;
+  EXPECT_FALSE(ch.TrySend(item));  // first failure: a new stalled item
+  EXPECT_FALSE(ch.TrySend(item, /*weight=*/1, /*is_retry=*/true));
+  EXPECT_FALSE(ch.TrySend(item, /*weight=*/1, /*is_retry=*/true));
+  const ChannelStats stats = ch.stats();
+  EXPECT_EQ(stats.stall_attempts, 3u);
+  EXPECT_EQ(stats.items_stalled, 1u);
+}
+
+TEST(BoundedChannelTest, WeightedAdmissionModelsBytesInFlight) {
+  BoundedChannel<int> ch(100);
+  int item = 1;
+  EXPECT_TRUE(ch.TrySend(item, /*weight=*/60));
+  item = 2;
+  EXPECT_FALSE(ch.TrySend(item, /*weight=*/50));  // 60 + 50 > 100
+  EXPECT_TRUE(ch.TrySend(item, /*weight=*/40));   // 60 + 40 == 100 fits
+  EXPECT_EQ(ch.size(), 2u);
+  ASSERT_TRUE(ch.TryRecv().has_value());  // frees 60
+  item = 3;
+  EXPECT_TRUE(ch.TrySend(item, /*weight=*/50));  // 40 + 50 <= 100
+}
+
+TEST(BoundedChannelTest, OversizedItemAdmittedOnlyWhenEmpty) {
+  BoundedChannel<int> ch(10);
+  int big = 1;
+  // Heavier than the whole capacity, but the queue is empty: progress wins.
+  EXPECT_TRUE(ch.TrySend(big, /*weight=*/64));
+  int next = 2;
+  EXPECT_FALSE(ch.TrySend(next, /*weight=*/1));  // queue non-empty, over budget
+  ASSERT_TRUE(ch.TryRecv().has_value());
+  EXPECT_TRUE(ch.TrySend(next, /*weight=*/1));
 }
 
 TEST(BoundedChannelTest, ProducerBlocksOnFullChannelUntilConsumerDrains) {

@@ -8,6 +8,8 @@
 
 #include "apps/degree_distribution.h"
 #include "apps/network_ranking.h"
+#include "apps/reverse_link_graph.h"
+#include "core/run_app.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "propagation/app_traits.h"
@@ -125,12 +127,85 @@ TEST(RuntimeTest, BitIdenticalUnderMaximumBackpressure) {
   ASSERT_TRUE(runner.Run(setup.sim_options).ok());
 
   RuntimeOptions options;
-  options.base_channel_capacity = 1;
+  // A 1-byte window means every batch is oversized and only admitted on an
+  // empty queue — the strongest backpressure the weighted channel can exert.
+  options.channel_window_bytes = 1;
   RuntimeExecutor<NetworkRankingApp> executor(
       setup.graph, setup.placement, setup.topology, app, config, options);
   ASSERT_TRUE(executor.Run().ok());
   ExpectBitIdentical(runner.states(), executor.states(),
                      "capacity-1 channels");
+}
+
+TEST(RuntimeTest, BitIdenticalWithWireCombineDisabled) {
+  // With wire-level combination off, the executor must match a sequential
+  // run that also skips local combination: both move the same uncombined
+  // message multiset, and the per-link bytes must still reconcile exactly.
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  PropagationConfig config = ConfigFor(OptimizationLevel::kO4, /*iterations=*/2);
+  config.local_combination = false;
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationRunner<NetworkRankingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  for (uint32_t workers : {1u, 3u, 8u}) {
+    RuntimeOptions options;
+    options.max_workers = workers;
+    options.wire.wire_combine = false;
+    RuntimeExecutor<NetworkRankingApp> executor(
+        setup.graph, setup.placement, setup.topology, app, config, options);
+    ASSERT_TRUE(executor.Run().ok());
+    ExpectBitIdentical(runner.states(), executor.states(),
+                       "wire-combine off, " + std::to_string(workers) +
+                           " workers");
+    EXPECT_EQ(executor.stats().wire_messages_combined, 0u);
+
+    const std::vector<double>& analytic = runner.link_network_bytes();
+    const std::vector<uint64_t>& measured = executor.stats().link_bytes;
+    const uint32_t n = f.topology.num_machines();
+    for (uint32_t src = 0; src < n; ++src) {
+      for (uint32_t dst = 0; dst < n; ++dst) {
+        if (src == dst) {
+          continue;
+        }
+        const size_t i = static_cast<size_t>(src) * n + dst;
+        EXPECT_EQ(analytic[i], static_cast<double>(measured[i]))
+            << "uncombined link " << src << "->" << dst;
+      }
+    }
+  }
+}
+
+TEST(RuntimeTest, WireBatchStatsAreCoherent) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  const PropagationConfig config =
+      ConfigFor(OptimizationLevel::kO4, /*iterations=*/3);
+  NetworkRankingApp app(f.graph.num_vertices());
+  RuntimeOptions options;
+  options.max_workers = 8;
+  RuntimeExecutor<NetworkRankingApp> executor(
+      setup.graph, setup.placement, setup.topology, app, config, options);
+  ASSERT_TRUE(executor.Run().ok());
+
+  const runtime::RuntimeStats& stats = executor.stats();
+  // Every channel item is a sealed batch; every batch holds >= 1 segment.
+  EXPECT_EQ(stats.wire_batches_sent, stats.buffers_sent);
+  EXPECT_GE(stats.wire_segments_sent, stats.wire_batches_sent);
+  EXPECT_GT(stats.wire_payload_bytes, 0u);
+  // NR is mergeable and the fixture has parallel edges into shared targets,
+  // so wire combination must fire under O4 (local combination on).
+  EXPECT_GT(stats.wire_messages_combined, 0u);
+  EXPECT_EQ(stats.batch_fill.count(), stats.wire_batches_sent);
+  EXPECT_EQ(stats.wire_flush_size + stats.wire_flush_deadline +
+                stats.wire_flush_stage_end,
+            stats.wire_batches_sent);
+  // Across 3 iterations the pool must be recycling buffers, not allocating
+  // one per batch.
+  EXPECT_EQ(stats.pool_buffers_acquired, stats.wire_batches_sent);
+  EXPECT_GT(stats.pool_buffers_reused, 0u);
 }
 
 // ------------------------------------ cost-model cross-validation (bytes)
@@ -419,6 +494,98 @@ TEST(RuntimeTest, ZeroMessageStagesStillCombineEveryVertex) {
   for (VertexId v = 0; v < f.graph.num_vertices(); ++v) {
     ASSERT_EQ(executor.states()[v], v + 2);
   }
+}
+
+// -------------------------------------------------- RunApp front-end
+
+TEST(RunAppTest, EnginesAgreeBitwiseThroughTheUnifiedFrontEnd) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+
+  EngineOptions analytic_options;
+  analytic_options.propagation = ConfigFor(OptimizationLevel::kO4, 3);
+  auto analytic = RunApp(setup, NetworkRankingApp(f.graph.num_vertices()),
+                         analytic_options);
+  ASSERT_TRUE(analytic.ok()) << analytic.status().ToString();
+  ASSERT_TRUE(analytic->metrics.has_value());
+  ASSERT_TRUE(analytic->counters.has_value());
+  EXPECT_FALSE(analytic->runtime_stats.has_value());
+  EXPECT_GT(analytic->metrics->response_time_s, 0.0);
+
+  EngineOptions concurrent_options;
+  concurrent_options.engine = EngineKind::kConcurrent;
+  concurrent_options.propagation = analytic_options.propagation;
+  concurrent_options.runtime.max_workers = 3;
+  auto concurrent = RunApp(setup, NetworkRankingApp(f.graph.num_vertices()),
+                           concurrent_options);
+  ASSERT_TRUE(concurrent.ok()) << concurrent.status().ToString();
+  ASSERT_TRUE(concurrent->runtime_stats.has_value());
+  EXPECT_FALSE(concurrent->metrics.has_value());
+  EXPECT_EQ(concurrent->runtime_stats->num_workers, 3u);
+  ExpectBitIdentical(analytic->states, concurrent->states,
+                     "RunApp analytic vs concurrent");
+
+  // The unified link matrix reconciles exactly across engines, including
+  // empty diagonals on both sides.
+  ASSERT_EQ(analytic->link_network_bytes.size(),
+            concurrent->link_network_bytes.size());
+  const uint32_t n = f.topology.num_machines();
+  for (uint32_t src = 0; src < n; ++src) {
+    for (uint32_t dst = 0; dst < n; ++dst) {
+      const size_t i = static_cast<size_t>(src) * n + dst;
+      if (src == dst) {
+        EXPECT_EQ(concurrent->link_network_bytes[i], 0.0);
+      }
+      EXPECT_EQ(analytic->link_network_bytes[i],
+                concurrent->link_network_bytes[i])
+          << "link " << src << "->" << dst;
+    }
+  }
+
+  // Original-ID addressing works through the unified result.
+  EXPECT_EQ(analytic->StateOfOriginal(0), concurrent->StateOfOriginal(0));
+}
+
+TEST(RunAppTest, ConcurrentEngineRejectsNonWireSerializableApps) {
+  // RLG messages are std::vector<VertexId> — not trivially copyable, so the
+  // wire-batch plane cannot carry them. The front-end must say so instead
+  // of failing to compile or silently misbehaving.
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  EngineOptions options;
+  options.engine = EngineKind::kConcurrent;
+  options.propagation = ConfigFor(OptimizationLevel::kO4, 1);
+  auto result = RunApp(setup, ReverseLinkGraphApp(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  // The analytic engine still runs the same app fine.
+  options.engine = EngineKind::kAnalytic;
+  auto analytic = RunApp(setup, ReverseLinkGraphApp(), options);
+  EXPECT_TRUE(analytic.ok()) << analytic.status().ToString();
+}
+
+TEST(RunAppTest, ExternalSimulationOnlyAppliesToTheAnalyticEngine) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO2);
+  EngineOptions options;
+  options.propagation = ConfigFor(OptimizationLevel::kO2, 2);
+  JobSimulation sim(setup.topology, setup.sim_options);
+  auto analytic =
+      RunApp(setup.graph, setup.placement, setup.topology,
+             NetworkRankingApp(f.graph.num_vertices()), options, &sim);
+  ASSERT_TRUE(analytic.ok()) << analytic.status().ToString();
+  // Metrics accumulated into the caller's simulation, and the result
+  // mirrors them.
+  EXPECT_GT(sim.metrics().response_time_s, 0.0);
+  EXPECT_EQ(analytic->metrics->response_time_s, sim.metrics().response_time_s);
+
+  options.engine = EngineKind::kConcurrent;
+  auto rejected =
+      RunApp(setup.graph, setup.placement, setup.topology,
+             NetworkRankingApp(f.graph.num_vertices()), options, &sim);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -103,6 +103,33 @@ TEST(BenchGateTest, BitIdentityFalseFailsEvenWhenWorkloadsDiffer) {
   EXPECT_NE(result.failures.front().find("bit_identical"), std::string::npos);
 }
 
+TEST(BenchGateTest, CollapsedWireBatchingFailsRegardlessOfWorkload) {
+  const JsonValue baseline = MakeBaselineDoc();
+  JsonValue current = MakeBaselineDoc();
+  // Different workload (timings skipped), but the batching invariant is a
+  // correctness gate: barely more than one segment per batch means the
+  // message plane degenerated to per-stream channel sends.
+  *FindMutable(current, "num_vertices") = JsonValue(uint64_t{2048});
+  JsonValue* points = FindMutable(current, "points");
+  points->as_array()[0].Set("wire_segments_sent", uint64_t{400});
+  points->as_array()[0].Set("wire_batches_sent", uint64_t{100});
+
+  const BenchCheckResult result = CheckBenchBaseline(current, baseline);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_NE(result.failures.front().find("batching collapsed"),
+            std::string::npos);
+
+  // At >= 5x coalescing the same document passes.
+  *FindMutable(points->as_array()[0], "wire_segments_sent") =
+      JsonValue(uint64_t{500});
+  EXPECT_TRUE(CheckBenchBaseline(current, baseline).ok);
+  // Points without the wire counters (older baselines) are not gated.
+  *FindMutable(points->as_array()[0], "wire_batches_sent") =
+      JsonValue(uint64_t{0});
+  EXPECT_TRUE(CheckBenchBaseline(current, baseline).ok);
+}
+
 TEST(BenchGateTest, NetworkBytesMustMatchExactly) {
   const JsonValue baseline = MakeBaselineDoc();
   JsonValue current = MakeBaselineDoc();
