@@ -112,11 +112,14 @@ inline std::string ArtifactDir() {
 }
 
 /// Starts a BENCH_*.json perf baseline with the shared envelope every bench
-/// emits identically: schema version, benchmark name, smoke flag, and the
-/// host's core count. Speedup and wall clock are bounded by host cores;
+/// emits identically: schema version, benchmark name, smoke flag, the
+/// host's core count, and a provenance block (timestamp, hostname, build
+/// type, sanitizer). Speedup and wall clock are bounded by host cores;
 /// recording the bound lets `surfer_trace check` widen its tolerances when a
-/// 1-core CI container compares against a beefier recording host. Callers
-/// append their workload fields and a `points` array next to the envelope.
+/// 1-core CI container compares against a beefier recording host, and the
+/// provenance block answers "what produced this baseline" when numbers look
+/// off months later. Callers append their workload fields and a `points`
+/// array next to the envelope.
 inline obs::JsonValue MakeBenchBaseline(const std::string& name, bool smoke) {
   obs::JsonValue baseline = obs::JsonValue::MakeObject();
   baseline.Set("schema_version", obs::kBenchBaselineSchemaVersion);
@@ -124,6 +127,7 @@ inline obs::JsonValue MakeBenchBaseline(const std::string& name, bool smoke) {
   baseline.Set("smoke", smoke);
   baseline.Set("host_cores",
                static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  baseline.Set("provenance", obs::BuildProvenance());
   return baseline;
 }
 

@@ -4,8 +4,11 @@
 // baseline BENCH_runtime.json so CI trends wall-clock speedup over time.
 // Results are cross-checked for bit-identity on every point — a speedup that
 // changes the answer is a bug, not a win. Profiling stays on for every point
-// (sharded trace + superstep timeline), so the baseline prices the
-// instrumented configuration users actually run.
+// (sharded trace + superstep timeline + telemetry flight recorder), so the
+// baseline prices the instrumented configuration users actually run. The
+// first worker point additionally runs once with the flight recorder off,
+// and the wall-clock delta ships as `telemetry_overhead_frac` — the measured
+// price of the sampler, trended alongside the timings it prices.
 //
 // `--smoke` runs a reduced sweep (small graph, fewer iterations, one worker
 // point) so CI can exercise the binary and its artifacts in seconds without
@@ -71,21 +74,60 @@ int main(int argc, char** argv) {
   baseline.Set("num_machines", static_cast<uint64_t>(topology.num_machines()));
   baseline.Set("sequential_wall_s", sequential_wall_s);
 
-  std::printf("%-9s %12s %9s %13s %15s\n", "Workers", "Wall (s)", "Speedup",
-              "Send stalls", "Barrier wait(s)");
+  std::printf("%-9s %12s %9s %13s %15s %13s\n", "Workers", "Wall (s)",
+              "Speedup", "Send stalls", "Barrier wait(s)", "Peak RSS(MB)");
   obs::JsonValue points = obs::JsonValue::MakeArray();
   obs::JsonValue last_runtime_block = obs::JsonValue::MakeObject();
   obs::JsonValue last_timeline_block = obs::JsonValue::MakeObject();
+  obs::JsonValue last_telemetry_block = obs::JsonValue::MakeObject();
+  bool have_telemetry_block = false;
+  double telemetry_overhead_frac = 0.0;
   BenchObservability observability;
-  for (uint32_t workers : worker_points) {
+  for (size_t point_index = 0; point_index < worker_points.size();
+       ++point_index) {
+    const uint32_t workers = worker_points[point_index];
     // Profiling on: per-task events flow through the sharded tracer into
-    // this tracer, and the executor builds the superstep timeline.
+    // this tracer, the executor builds the superstep timeline, and the
+    // flight recorder samples the runtime gauges at its default period.
     EngineOptions engine_options;
     engine_options.engine = EngineKind::kConcurrent;
     engine_options.propagation = config;
     engine_options.propagation.tracer = &observability.tracer;
     engine_options.propagation.metrics = &observability.metrics;
     engine_options.runtime.max_workers = workers;
+    engine_options.runtime.telemetry.enabled = true;
+    if (point_index == 0) {
+      // Price the sampler: run the first point once with only the recorder
+      // off (tracer and metrics stay on, so the delta isolates telemetry
+      // from the rest of the instrumentation), then again fully
+      // instrumented. The wall_s fields are tolerance-gated elsewhere and
+      // would absorb far more than the sampler's ~1% — so the overhead is
+      // reported for trending rather than gated here; the hard <=2% bar is
+      // the per-tick telemetry_sample microbenchmark.
+      EngineOptions plain_options = engine_options;
+      plain_options.runtime.telemetry.enabled = false;
+      const auto plain_start = Clock::now();
+      auto plain = RunApp(setup.graph, setup.placement, setup.topology, app,
+                          plain_options);
+      const double plain_wall_s =
+          std::chrono::duration<double>(Clock::now() - plain_start).count();
+      SURFER_CHECK(plain.ok()) << plain.status().ToString();
+      const auto instrumented_start = Clock::now();
+      auto warm = RunApp(setup.graph, setup.placement, setup.topology, app,
+                         engine_options);
+      const double instrumented_wall_s =
+          std::chrono::duration<double>(Clock::now() - instrumented_start)
+              .count();
+      SURFER_CHECK(warm.ok()) << warm.status().ToString();
+      if (plain_wall_s > 0.0) {
+        telemetry_overhead_frac =
+            (instrumented_wall_s - plain_wall_s) / plain_wall_s;
+      }
+      std::printf("telemetry overhead at %u worker(s): %+.2f%% "
+                  "(%.3f s off, %.3f s on)\n",
+                  workers, telemetry_overhead_frac * 100.0, plain_wall_s,
+                  instrumented_wall_s);
+    }
     auto concurrent = RunApp(setup.graph, setup.placement, setup.topology,
                              app, engine_options);
     SURFER_CHECK(concurrent.ok()) << concurrent.status().ToString();
@@ -98,10 +140,11 @@ int main(int argc, char** argv) {
         << " workers";
     const runtime::RuntimeStats& stats = *concurrent->runtime_stats;
     const double speedup = sequential_wall_s / stats.wall_seconds;
-    std::printf("%-9u %12.3f %8.2fx %13llu %15.3f\n", workers,
+    std::printf("%-9u %12.3f %8.2fx %13llu %15.3f %13.1f\n", workers,
                 stats.wall_seconds, speedup,
                 static_cast<unsigned long long>(stats.send_stalls),
-                stats.barrier_wait_seconds);
+                stats.barrier_wait_seconds,
+                static_cast<double>(stats.peak_rss_bytes) / (1024.0 * 1024.0));
     obs::JsonValue point = obs::JsonValue::MakeObject();
     point.Set("workers", static_cast<uint64_t>(workers));
     point.Set("wall_s", stats.wall_seconds);
@@ -110,6 +153,8 @@ int main(int argc, char** argv) {
     point.Set("send_stalls", stats.send_stalls);
     point.Set("items_stalled", stats.items_stalled);
     point.Set("barrier_wait_seconds", stats.barrier_wait_seconds);
+    point.Set("barrier_wait_mean_s", stats.barrier_wait_mean_s);
+    point.Set("barrier_wait_max_s", stats.barrier_wait_max_s);
     point.Set("network_bytes", stats.TotalNetworkBytes());
     point.Set("messages_sent", stats.messages_sent);
     point.Set("wire_batches_sent", stats.wire_batches_sent);
@@ -118,29 +163,39 @@ int main(int argc, char** argv) {
     point.Set("wire_messages_combined", stats.wire_messages_combined);
     point.Set("batch_fill_mean", stats.batch_fill.Mean());
     point.Set("trace_events_dropped", stats.trace_events_dropped);
+    point.Set("telemetry_samples", stats.telemetry_samples);
+    point.Set("telemetry_samples_dropped", stats.telemetry_samples_dropped);
+    point.Set("peak_rss_bytes", stats.peak_rss_bytes);
     points.Append(std::move(point));
     last_runtime_block = runtime::RuntimeStatsToJson(stats);
     last_timeline_block = runtime::TimelineToJson(stats.timeline);
+    if (concurrent->telemetry.has_value()) {
+      last_telemetry_block = *concurrent->telemetry;
+      have_telemetry_block = true;
+    }
   }
+  baseline.Set("telemetry_overhead_frac", telemetry_overhead_frac);
   baseline.Set("points", std::move(points));
 
   std::printf("\n");
   WriteBenchBaseline("BENCH_runtime.json", baseline);
 
-  // The widest run also ships as a standard run report with the `runtime`
-  // and schema-v2 `timeline` blocks populated, plus the Chrome trace with
-  // the per-task lanes from the sharded profiler — the same artifacts CI
-  // uploads and `surfer_trace summary` reads.
+  // The widest run also ships as a standard run report with the `runtime`,
+  // schema-v2 `timeline`, and schema-v3 `telemetry` blocks populated, plus
+  // the Chrome trace with the per-task lanes from the sharded profiler and
+  // the flight recorder's counter lanes — the same artifacts CI uploads and
+  // `surfer_trace summary` / `surfer_trace telemetry` read.
   obs::ExportThreadPoolStats(GlobalThreadPool().stats(),
                              &observability.metrics);
   obs::RunReportOptions report_options;
   report_options.name = "bench_runtime_scaling";
   report_options.notes =
-      "NR at O4 through the concurrent runtime; runtime/timeline blocks are "
-      "the widest worker point";
+      "NR at O4 through the concurrent runtime; runtime/timeline/telemetry "
+      "blocks are the widest worker point";
   const obs::JsonValue report = obs::BuildRunReport(
       report_options, nullptr, &observability.metrics, &observability.tracer,
-      &last_runtime_block, &last_timeline_block);
+      &last_runtime_block, &last_timeline_block,
+      have_telemetry_block ? &last_telemetry_block : nullptr);
   if (const Status status = obs::ValidateRunReport(report); !status.ok()) {
     SURFER_LOG(kWarning) << "run report failed validation: "
                          << status.ToString();

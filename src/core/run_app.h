@@ -12,6 +12,8 @@
 #include "common/result.h"
 #include "engine/job_simulation.h"
 #include "graph/types.h"
+#include "obs/json.h"
+#include "obs/telemetry.h"
 #include "propagation/app_traits.h"
 #include "propagation/config.h"
 #include "propagation/runner.h"
@@ -69,6 +71,10 @@ struct RunAppResult {
   std::optional<RunMetrics> metrics;
   /// Measured execution statistics (concurrent engine).
   std::optional<runtime::RuntimeStats> runtime_stats;
+  /// Flight-recorder time series, pre-serialized as the run report's
+  /// schema-v3 "telemetry" block (concurrent engine with
+  /// options.runtime.telemetry.enabled only).
+  std::optional<obs::JsonValue> telemetry;
 
   /// Row-major M x M per-link network bytes, diagonal zero. Analytic runs
   /// report the priced model bytes; concurrent runs report measured wire
@@ -126,6 +132,9 @@ Result<RunAppResult<App>> RunConcurrent(const PartitionedGraph* graph,
     result.states = executor.states();
     result.virtual_outputs = executor.virtual_outputs();
     result.runtime_stats = executor.stats();
+    if (executor.telemetry() != nullptr && executor.telemetry()->enabled()) {
+      result.telemetry = executor.telemetry()->ToJson();
+    }
     const uint32_t n = topology->num_machines();
     result.link_network_bytes.assign(static_cast<size_t>(n) * n, 0.0);
     const std::vector<uint64_t>& measured = executor.stats().link_bytes;

@@ -28,9 +28,11 @@ double NumberOr(const JsonValue* v, double fallback) {
 /// must match for timings to be comparable.
 bool IsWorkloadKey(const std::string& key) {
   static const std::set<std::string> kNonWorkload = {
-      "schema_version", "smoke",         "host_cores",
-      "points",         "name",          "sequential_wall_s",
+      "schema_version", "smoke",
+      "host_cores",     "points",
+      "name",           "sequential_wall_s",
       "wall_s",         "network_bytes",
+      "telemetry_overhead_frac",
   };
   return kNonWorkload.find(key) == kNonWorkload.end();
 }
@@ -62,21 +64,47 @@ const JsonValue* MatchPoint(const JsonValue::Array& points, double key,
   return nullptr;
 }
 
-void CheckTiming(const std::string& what, double current, double baseline,
-                 double tolerance, BenchCheckResult* result) {
+void CheckRatio(const std::string& what, const char* unit, double current,
+                double baseline, double tolerance, BenchCheckResult* result) {
   if (baseline <= 0.0) {
     result->Note(what + ": baseline is zero, skipping");
     return;
   }
   const double ratio = current / baseline;
   if (ratio > 1.0 + tolerance) {
-    result->Fail(what + " regressed: " + FormatNumber(current) + "s vs " +
-                 FormatNumber(baseline) + "s baseline (" +
+    result->Fail(what + " regressed: " + FormatNumber(current) + unit +
+                 " vs " + FormatNumber(baseline) + unit + " baseline (" +
                  FormatNumber((ratio - 1.0) * 100.0) + "% over, tolerance " +
                  FormatNumber(tolerance * 100.0) + "%)");
   } else if (ratio < 1.0 - tolerance) {
-    result->Note(what + " improved: " + FormatNumber(current) + "s vs " +
-                 FormatNumber(baseline) + "s baseline");
+    result->Note(what + " improved: " + FormatNumber(current) + unit +
+                 " vs " + FormatNumber(baseline) + unit + " baseline");
+  }
+}
+
+void CheckTiming(const std::string& what, double current, double baseline,
+                 double tolerance, BenchCheckResult* result) {
+  CheckRatio(what, "s", current, baseline, tolerance, result);
+}
+
+/// Nonzero observability drop counters: the recording is partial (rings
+/// overwrote or overflowed), never that the run misbehaved. Advisory unless
+/// strict, where CI treats an undersized ring as a configuration bug.
+void CheckDrops(const std::string& label, const JsonValue& point, bool strict,
+                BenchCheckResult* result) {
+  for (const char* key : {"trace_events_dropped", "telemetry_samples_dropped"}) {
+    const double dropped = NumberOr(point.Find(key), 0.0);
+    if (dropped <= 0.0) {
+      continue;
+    }
+    const std::string what = label + "." + key + " is " +
+                             FormatNumber(dropped) +
+                             ": the recorded window is incomplete";
+    if (strict) {
+      result->Fail(what + " (strict drops)");
+    } else {
+      result->Note(what);
+    }
   }
 }
 
@@ -157,6 +185,8 @@ BenchCheckResult CheckBenchBaseline(const JsonValue& current,
                   FormatNumber(batches) +
                   " wire batches (< 5x channel-send reduction)");
     }
+    CheckDrops("points[" + std::to_string(i) + "]", point,
+               options.strict_drops, &result);
   }
 
   // Decide whether timings are comparable at all.
@@ -235,6 +265,19 @@ BenchCheckResult CheckBenchBaseline(const JsonValue& current,
           base_wall != nullptr && base_wall->is_number()) {
         CheckTiming(label + ".wall_s", cur_wall->as_number(),
                     base_wall->as_number(), tolerance, &result);
+      }
+    }
+    if (const JsonValue* cur_rss = point.Find("peak_rss_bytes");
+        cur_rss != nullptr && cur_rss->is_number() &&
+        cur_rss->as_number() > 0.0) {
+      if (const JsonValue* base_rss = base_point->Find("peak_rss_bytes");
+          base_rss != nullptr && base_rss->is_number() &&
+          base_rss->as_number() > 0.0) {
+        // Peak RSS gets the same stacked tolerance as wall time: allocator
+        // behaviour and host page caching move it between hosts the way
+        // scheduler noise moves timings.
+        CheckRatio(label + ".peak_rss_bytes", " bytes", cur_rss->as_number(),
+                   base_rss->as_number(), tolerance, &result);
       }
     }
     const JsonValue* cur_bytes = point.Find("network_bytes");

@@ -26,6 +26,12 @@ struct BenchCheckOptions {
   /// Extra slack when either side ran on <= 2 cores, where scheduler noise
   /// dominates short timings.
   double small_host_extra = 0.65;
+  /// Escalates nonzero observability drop counters (trace_events_dropped,
+  /// telemetry_samples_dropped) from advisory notes to hard failures. Off
+  /// by default because drops mean the *recording* is partial, not that the
+  /// run misbehaved; CI smoke runs turn it on, where a drop means the ring
+  /// capacities are undersized for even the smallest workload.
+  bool strict_drops = false;
 };
 
 /// Verdict of one baseline check: hard failures (regressions, broken
@@ -51,7 +57,11 @@ struct BenchCheckResult {
 ///   - `network_bytes` differing where both sides record it (byte counts
 ///     are deterministic, so equality is exact);
 ///   - wall-clock fields (`sequential_wall_s`, points' `wall_s`) regressing
-///     beyond the host-aware tolerance.
+///     beyond the host-aware tolerance;
+///   - points' `peak_rss_bytes` regressing beyond the same host-aware
+///     tolerance (memory varies with allocator and host like time does);
+///   - nonzero drop counters when options.strict_drops is set (an advisory
+///     note otherwise).
 ///
 /// Timing comparisons are skipped (with a note) when the two files describe
 /// different workloads — different smoke flags or any differing numeric

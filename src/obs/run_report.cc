@@ -1,7 +1,21 @@
 #include "obs/run_report.h"
 
+#include <cstdio>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
+#include <thread>
+
+#include <unistd.h>
+
+// Stamped by src/obs/CMakeLists.txt so provenance headers can state how the
+// producing binary was built.
+#ifndef SURFER_BUILD_TYPE_NAME
+#define SURFER_BUILD_TYPE_NAME "unknown"
+#endif
+#ifndef SURFER_SANITIZE_NAME
+#define SURFER_SANITIZE_NAME ""
+#endif
 
 namespace surfer {
 namespace obs {
@@ -36,6 +50,28 @@ Status RequireNumber(const JsonValue& obj, const std::string& key) {
 }
 
 }  // namespace
+
+JsonValue BuildProvenance() {
+  JsonValue provenance = JsonValue::MakeObject();
+  char timestamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+  provenance.Set("timestamp", std::string(timestamp));
+  char hostname[256] = "unknown";
+  if (gethostname(hostname, sizeof(hostname)) != 0) {
+    std::snprintf(hostname, sizeof(hostname), "unknown");
+  }
+  hostname[sizeof(hostname) - 1] = '\0';
+  provenance.Set("hostname", std::string(hostname));
+  provenance.Set("host_cores",
+                 static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  provenance.Set("build_type", std::string(SURFER_BUILD_TYPE_NAME));
+  provenance.Set("sanitizer", std::string(SURFER_SANITIZE_NAME));
+  return provenance;
+}
 
 JsonValue RunMetricsToJson(const RunMetrics& metrics) {
   JsonValue obj = JsonValue::MakeObject();
@@ -84,10 +120,12 @@ JsonValue BuildRunReport(const RunReportOptions& options,
                          const MetricsRegistry* registry,
                          const Tracer* tracer,
                          const JsonValue* runtime_block,
-                         const JsonValue* timeline_block) {
+                         const JsonValue* timeline_block,
+                         const JsonValue* telemetry_block) {
   JsonValue report = JsonValue::MakeObject();
   report.Set("schema_version", kRunReportSchemaVersion);
   report.Set("name", options.name);
+  report.Set("provenance", BuildProvenance());
   if (!options.notes.empty()) {
     report.Set("notes", options.notes);
   }
@@ -123,6 +161,9 @@ JsonValue BuildRunReport(const RunReportOptions& options,
   if (timeline_block != nullptr) {
     report.Set("timeline", *timeline_block);
   }
+  if (telemetry_block != nullptr) {
+    report.Set("telemetry", *telemetry_block);
+  }
   return report;
 }
 
@@ -139,6 +180,20 @@ Status ValidateRunReport(const JsonValue& report) {
   SURFER_RETURN_IF_ERROR(
       Expect(name != nullptr && name->is_string() && !name->as_string().empty(),
              "missing name"));
+
+  // Optional in every version (v1/v2 artifacts predate it), but when present
+  // the identifying fields must be well-formed strings.
+  if (const JsonValue* provenance = report.Find("provenance");
+      provenance != nullptr) {
+    SURFER_RETURN_IF_ERROR(
+        Expect(provenance->is_object(), "provenance must be an object"));
+    for (const char* key : {"timestamp", "hostname", "build_type"}) {
+      const JsonValue* v = provenance->Find(key);
+      SURFER_RETURN_IF_ERROR(Expect(v != nullptr && v->is_string(),
+                                    std::string("provenance.") + key));
+    }
+    SURFER_RETURN_IF_ERROR(RequireNumber(*provenance, "host_cores"));
+  }
 
   if (const JsonValue* run = report.Find("run"); run != nullptr) {
     SURFER_RETURN_IF_ERROR(Expect(run->is_object(), "run must be an object"));
@@ -281,6 +336,47 @@ Status ValidateRunReport(const JsonValue& report) {
     for (const JsonValue& entry : path_steps->as_array()) {
       SURFER_RETURN_IF_ERROR(RequireNumber(entry, "step"));
       SURFER_RETURN_IF_ERROR(RequireNumber(entry, "busy_s"));
+    }
+  }
+
+  // Schema v3: the flight recorder's time series. Optional (telemetry off,
+  // or a v1/v2 artifact); when present the sampling envelope and per-series
+  // summaries must be well-formed. A series' "samples" array is itself
+  // optional — all-zero series are exported summary-only.
+  if (const JsonValue* telemetry = report.Find("telemetry");
+      telemetry != nullptr) {
+    SURFER_RETURN_IF_ERROR(
+        Expect(telemetry->is_object(), "telemetry must be an object"));
+    for (const char* key :
+         {"period_seconds", "samples_taken", "samples_dropped"}) {
+      SURFER_RETURN_IF_ERROR(RequireNumber(*telemetry, key));
+    }
+    const JsonValue* series = telemetry->Find("series");
+    SURFER_RETURN_IF_ERROR(Expect(series != nullptr && series->is_array(),
+                                  "telemetry.series missing"));
+    for (const JsonValue& entry : series->as_array()) {
+      SURFER_RETURN_IF_ERROR(
+          Expect(entry.is_object(), "telemetry series must be an object"));
+      const JsonValue* series_name = entry.Find("name");
+      SURFER_RETURN_IF_ERROR(
+          Expect(series_name != nullptr && series_name->is_string(),
+                 "telemetry.series[].name"));
+      for (const char* key :
+           {"count", "samples_dropped", "min", "mean", "max", "p99"}) {
+        SURFER_RETURN_IF_ERROR(RequireNumber(entry, key));
+      }
+      if (const JsonValue* samples = entry.Find("samples");
+          samples != nullptr) {
+        SURFER_RETURN_IF_ERROR(Expect(
+            samples->is_array(), "telemetry.series[].samples must be array"));
+        for (const JsonValue& sample : samples->as_array()) {
+          SURFER_RETURN_IF_ERROR(
+              Expect(sample.is_array() && sample.as_array().size() == 2 &&
+                         sample.as_array()[0].is_number() &&
+                         sample.as_array()[1].is_number(),
+                     "telemetry sample must be a [t_us, value] pair"));
+        }
+      }
     }
   }
   return Status::OK();

@@ -16,12 +16,13 @@ namespace obs {
 /// Version of the run-report JSON schema documented in DESIGN.md
 /// ("Observability"). Bump when a field is renamed or removed; adding
 /// fields is backwards compatible. v2 added the "timeline" block (superstep
-/// phase breakdown + critical path) and span tail-latency fields.
-inline constexpr int kRunReportSchemaVersion = 2;
+/// phase breakdown + critical path) and span tail-latency fields. v3 added
+/// the optional "telemetry" block (flight-recorder time series), the
+/// "provenance" header, and superstep start_s/end_s bounds.
+inline constexpr int kRunReportSchemaVersion = 3;
 
-/// Oldest schema still accepted by ValidateRunReport: v1 reports (no
-/// timeline, no span percentiles) remain loadable because v2 only added
-/// fields.
+/// Oldest schema still accepted by ValidateRunReport: v1 and v2 reports
+/// remain loadable because later versions only added fields.
 inline constexpr int kMinSupportedRunReportSchemaVersion = 1;
 
 /// Identity block of a run report.
@@ -31,18 +32,29 @@ struct RunReportOptions {
 };
 
 /// Serializes one run into the stable report schema. Any of `run`,
-/// `registry`, `tracer`, `runtime_block`, `timeline_block` may be null; the
-/// corresponding section is omitted. `runtime_block` is a pre-built
-/// `runtime` section (the concurrent executor's worker/channel/barrier
-/// tallies, produced by runtime::RuntimeStatsToJson) and `timeline_block`
-/// the schema-v2 `timeline` section (runtime::TimelineToJson) — passed in as
+/// `registry`, `tracer`, `runtime_block`, `timeline_block`,
+/// `telemetry_block` may be null; the corresponding section is omitted.
+/// `runtime_block` is a pre-built `runtime` section (the concurrent
+/// executor's worker/channel/barrier tallies, produced by
+/// runtime::RuntimeStatsToJson), `timeline_block` the schema-v2 `timeline`
+/// section (runtime::TimelineToJson), and `telemetry_block` the schema-v3
+/// `telemetry` section (obs::TelemetryRecorder::ToJson) — passed in as
 /// opaque JSON so this layer never depends on the runtime it observes.
+/// Every report also carries a "provenance" header (timestamp, hostname,
+/// host cores, build type, sanitizer) so archived artifacts are
+/// self-describing.
 JsonValue BuildRunReport(const RunReportOptions& options,
                          const RunMetrics* run,
                          const MetricsRegistry* registry,
                          const Tracer* tracer,
                          const JsonValue* runtime_block = nullptr,
-                         const JsonValue* timeline_block = nullptr);
+                         const JsonValue* timeline_block = nullptr,
+                         const JsonValue* telemetry_block = nullptr);
+
+/// The "provenance" header stamped into every run report and bench
+/// baseline: ISO-8601 UTC timestamp, hostname, host_cores, build type, and
+/// sanitizer flags.
+JsonValue BuildProvenance();
 
 /// The paper's four headline quantities plus per-stage breakdown and the
 /// task-seconds summary, as one JSON object (the report's "run" section).

@@ -74,6 +74,24 @@ void Tracer::RecordInstant(
   events_.push_back(std::move(event));
 }
 
+void Tracer::RecordCounter(TraceClock clock, std::string name,
+                           std::string category, double ts_us, uint32_t tid,
+                           double value) {
+  if constexpr (!CompiledIn()) {
+    return;
+  }
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'C';
+  event.clock = clock;
+  event.ts_us = ts_us;
+  event.tid = tid;
+  event.counter_value = value;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
 size_t Tracer::num_events() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_.size();
@@ -153,6 +171,14 @@ JsonValue Tracer::ToChromeJson() const {
     entry.Set("tid", static_cast<uint64_t>(event.tid));
     if (event.phase == 'i') {
       entry.Set("s", "t");  // instant scoped to its thread lane
+    }
+    if (event.phase == 'C') {
+      // Counter args must be numeric for the viewer to chart them.
+      JsonValue args = JsonValue::MakeObject();
+      args.Set("value", event.counter_value);
+      entry.Set("args", std::move(args));
+      trace_events.Append(std::move(entry));
+      continue;
     }
     if (!event.args.empty()) {
       JsonValue args = JsonValue::MakeObject();

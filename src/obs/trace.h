@@ -34,11 +34,12 @@ enum class TraceClock {
 struct TraceEvent {
   std::string name;
   std::string category;
-  char phase = 'X';  ///< 'X' complete span, 'i' instant
+  char phase = 'X';  ///< 'X' complete span, 'i' instant, 'C' counter
   TraceClock clock = TraceClock::kWall;
   double ts_us = 0.0;   ///< event start, microseconds in `clock`
   double dur_us = 0.0;  ///< span duration ('X' only)
   uint32_t tid = 0;     ///< lane: machine id (simulated) / thread (wall)
+  double counter_value = 0.0;  ///< sampled gauge value ('C' only)
   std::vector<std::pair<std::string, std::string>> args;
 };
 
@@ -85,6 +86,14 @@ class Tracer {
       TraceClock clock, std::string name, std::string category, double ts_us,
       uint32_t tid,
       std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Records one Chrome counter-event sample ("ph":"C"): a named time series
+  /// value at one instant. chrome://tracing and Perfetto render consecutive
+  /// samples of the same name as a stacked area chart under the span tracks,
+  /// which is how the telemetry plane's gauges land next to the runtime's
+  /// superstep spans (see obs/telemetry.h).
+  void RecordCounter(TraceClock clock, std::string name, std::string category,
+                     double ts_us, uint32_t tid, double value);
 
   size_t num_events() const;
   std::vector<TraceEvent> Events() const;

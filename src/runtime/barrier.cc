@@ -18,6 +18,7 @@ double BspBarrier::ArriveAndWait(const std::function<void()>& poll) {
     released_.notify_all();
     return 0.0;
   }
+  waiting_.fetch_add(1, std::memory_order_relaxed);
   while (generation_ == my_generation) {
     if (poll) {
       // Drop the lock so the poll callback can touch channels freely; the
@@ -36,6 +37,7 @@ double BspBarrier::ArriveAndWait(const std::function<void()>& poll) {
       released_.wait(lock, [&] { return generation_ != my_generation; });
     }
   }
+  waiting_.fetch_sub(1, std::memory_order_relaxed);
   lock.unlock();
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();

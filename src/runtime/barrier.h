@@ -1,6 +1,7 @@
 #ifndef SURFER_RUNTIME_BARRIER_H_
 #define SURFER_RUNTIME_BARRIER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -38,12 +39,20 @@ class BspBarrier {
   uint64_t generation() const;
   uint32_t participants() const;
 
+  /// Participants currently parked inside ArriveAndWait. Lock-free mirror
+  /// for the telemetry sampler: a sustained value near participants() - 1
+  /// means everyone is idling behind one straggler.
+  uint32_t ApproxWaiting() const {
+    return waiting_.load(std::memory_order_relaxed);
+  }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable released_;
   uint32_t participants_;
   uint32_t arrived_ = 0;
   uint64_t generation_ = 0;
+  std::atomic<uint32_t> waiting_{0};
 };
 
 }  // namespace runtime

@@ -1,6 +1,7 @@
 #ifndef SURFER_RUNTIME_CHANNEL_H_
 #define SURFER_RUNTIME_CHANNEL_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -97,6 +98,8 @@ class BoundedChannel {
     queued_weight_ -= queue_.front().second;
     queue_.pop_front();
     ++stats_.receives;
+    approx_queued_weight_.store(queued_weight_, std::memory_order_relaxed);
+    approx_depth_.store(queue_.size(), std::memory_order_relaxed);
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -107,6 +110,16 @@ class BoundedChannel {
     return queue_.size();
   }
   size_t capacity() const { return capacity_; }
+
+  /// Lock-free mirrors of the queue occupancy, for telemetry providers
+  /// sampling from another thread. Relaxed loads of values written under
+  /// mu_: momentarily stale, never torn — exactly what a gauge needs.
+  uint64_t ApproxQueuedWeight() const {
+    return approx_queued_weight_.load(std::memory_order_relaxed);
+  }
+  uint64_t ApproxDepth() const {
+    return approx_depth_.load(std::memory_order_relaxed);
+  }
 
   ChannelStats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -135,6 +148,8 @@ class BoundedChannel {
     ++stats_.sends;
     stats_.max_depth = std::max(stats_.max_depth, queue_.size());
     stats_.depth_on_send.Add(static_cast<double>(queue_.size()));
+    approx_queued_weight_.store(queued_weight_, std::memory_order_relaxed);
+    approx_depth_.store(queue_.size(), std::memory_order_relaxed);
   }
 
   const size_t capacity_;
@@ -143,6 +158,9 @@ class BoundedChannel {
   std::deque<std::pair<T, size_t>> queue_;
   size_t queued_weight_ = 0;
   ChannelStats stats_;
+  /// Written under mu_, read lock-free by the telemetry sampler.
+  std::atomic<uint64_t> approx_queued_weight_{0};
+  std::atomic<uint64_t> approx_depth_{0};
 };
 
 }  // namespace runtime

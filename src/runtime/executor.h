@@ -2,6 +2,7 @@
 #define SURFER_RUNTIME_EXECUTOR_H_
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -16,6 +17,7 @@
 #include "cluster/topology.h"
 #include "common/result.h"
 #include "obs/metrics_registry.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "obs/trace_shard.h"
 #include "propagation/app_traits.h"
@@ -53,6 +55,12 @@ struct RuntimeOptions {
   /// two). Per-task profiling events overflow into drop counts, never into
   /// blocking; see RuntimeStats::trace_events_dropped.
   size_t trace_shard_capacity = obs::ShardedTracer::kDefaultShardCapacity;
+  /// Flight-recorder sampling of runtime gauges (channel occupancy, pool
+  /// pressure, barrier membership, RSS): off by default. The instrumented
+  /// hot paths only ever update relaxed atomics — one store per batch-level
+  /// event, never per message — whether or not the sampler runs; enabling
+  /// telemetry only starts the background sampling thread.
+  obs::TelemetryOptions telemetry;
   /// Machines to kill mid-stage (Appendix-B recovery drills).
   std::vector<RuntimeFaultPlan> faults;
 };
@@ -117,6 +125,12 @@ class RuntimeExecutor {
   Status Run() {
     SURFER_RETURN_IF_ERROR(Validate());
     const auto wall_start = std::chrono::steady_clock::now();
+    run_start_ = wall_start;
+    // Tracer time at the run's start instant: the offset that maps the
+    // flight recorder's run-relative timestamps onto the tracer's origin
+    // when counter events merge into the Chrome trace.
+    const double wall_start_tracer_us =
+        config_.tracer != nullptr ? config_.tracer->WallNowUs() : 0.0;
     InitializeStates();
     virtual_outputs_.clear();
     stats_ = RuntimeStats{};
@@ -170,6 +184,30 @@ class RuntimeExecutor {
     barrier_ = std::make_unique<BspBarrier>(num_workers + 1);
     phase_ = Phase{};
 
+    // Telemetry mirrors live whether or not the sampler runs: each is one
+    // relaxed atomic touched at batch granularity, so keeping them
+    // unconditional avoids a branch on the same paths.
+    inbox_chunk_counts_ =
+        std::make_unique<std::atomic<uint64_t>[]>(num_partitions);
+    for (uint32_t p = 0; p < num_partitions; ++p) {
+      inbox_chunk_counts_[p].store(0, std::memory_order_relaxed);
+    }
+    staged_wire_bytes_ =
+        std::make_unique<std::atomic<uint64_t>[]>(num_machines);
+    for (MachineId m = 0; m < num_machines; ++m) {
+      staged_wire_bytes_[m].store(0, std::memory_order_relaxed);
+    }
+    worker_state_ = std::make_unique<std::atomic<uint32_t>[]>(num_workers);
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      worker_state_[w].store(0, std::memory_order_relaxed);
+    }
+    step_bounds_.assign(static_cast<size_t>(config_.iterations) * 2,
+                        {0.0, 0.0});
+    telemetry_ = std::make_unique<obs::TelemetryRecorder>(options_.telemetry);
+    if (options_.telemetry.enabled) {
+      RegisterTelemetryGauges();
+    }
+
     // Superstep timeline: one slot per (stage, machine). Slot [step][m] is
     // written only by m's owner worker, so the matrix needs no locking; the
     // main thread reads it after the join.
@@ -184,6 +222,8 @@ class RuntimeExecutor {
       combine_name_id_ =
           sharded_->InternName("rt_task_combine", "runtime", "partition");
     }
+
+    telemetry_->Start(wall_start);
 
     std::vector<std::thread> workers;
     workers.reserve(num_workers);
@@ -233,6 +273,12 @@ class RuntimeExecutor {
     if (sharded_ != nullptr) {
       sharded_->Flush();
     }
+    // The sampler must stop before stats finalization tears anything down:
+    // its providers read the channels, pool, and barrier it outlives here.
+    telemetry_->Stop();
+    if (config_.tracer != nullptr) {
+      telemetry_->ExportCounterEvents(config_.tracer, wall_start_tracer_us);
+    }
     stats_.wall_seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - wall_start)
                               .count();
@@ -252,6 +298,10 @@ class RuntimeExecutor {
   }
 
   const RuntimeStats& stats() const { return stats_; }
+
+  /// The run's flight recorder (null before the first Run call; inert when
+  /// RuntimeOptions::telemetry is off). Valid until the next Run call.
+  const obs::TelemetryRecorder* telemetry() const { return telemetry_.get(); }
 
   /// Machine liveness after the run (all ones without injected faults).
   const std::vector<uint8_t>& alive() const { return alive_; }
@@ -365,6 +415,139 @@ class RuntimeExecutor {
     }
   }
 
+  /// Attaches the runtime's gauge providers to the flight recorder. Every
+  /// provider reads only relaxed atomics (the mirrors maintained next to
+  /// the mutex-protected structures), so sampling never contends with the
+  /// run. Per-entity series are registered up to a small fan-out cap and
+  /// fall back to aggregates beyond it — M^2 channel series at large M
+  /// would dominate the recorder's own memory; all-zero series are elided
+  /// at export either way.
+  void RegisterTelemetryGauges() {
+    constexpr uint32_t kPerEntityCap = 8;
+    const std::vector<size_t> capacities =
+        PlanChannelCapacities(*topology_, options_.channel_window_bytes);
+    double total_capacity = 0.0;
+    for (size_t c : capacities) {
+      total_capacity += static_cast<double>(c);
+    }
+    if (num_machines_ <= kPerEntityCap) {
+      for (MachineId s = 0; s < num_machines_; ++s) {
+        for (MachineId d = 0; d < num_machines_; ++d) {
+          const size_t i = static_cast<size_t>(s) * num_machines_ + d;
+          BoundedChannel<WireBatch>* ch = channels_[i].get();
+          telemetry_->RegisterGauge(
+              "rt_channel_bytes_in_flight.m" + std::to_string(s) + ".m" +
+                  std::to_string(d),
+              "bytes",
+              [ch] { return static_cast<double>(ch->ApproxQueuedWeight()); },
+              static_cast<double>(capacities[i]));
+        }
+      }
+    }
+    telemetry_->RegisterGauge(
+        "rt_channel_bytes_in_flight.total", "bytes",
+        [this] {
+          double total = 0.0;
+          for (const auto& ch : channels_) {
+            total += static_cast<double>(ch->ApproxQueuedWeight());
+          }
+          return total;
+        },
+        total_capacity);
+    telemetry_->RegisterGauge("rt_channel_queued_batches.total", "batches",
+                              [this] {
+                                double total = 0.0;
+                                for (const auto& ch : channels_) {
+                                  total += static_cast<double>(
+                                      ch->ApproxDepth());
+                                }
+                                return total;
+                              });
+    if (num_machines_ <= kPerEntityCap) {
+      for (MachineId m = 0; m < num_machines_; ++m) {
+        std::atomic<uint64_t>* staged = &staged_wire_bytes_[m];
+        telemetry_->RegisterGauge(
+            "rt_staged_wire_bytes.m" + std::to_string(m), "bytes", [staged] {
+              return static_cast<double>(
+                  staged->load(std::memory_order_relaxed));
+            });
+      }
+    }
+    telemetry_->RegisterGauge("rt_staged_wire_bytes.total", "bytes", [this] {
+      double total = 0.0;
+      for (MachineId m = 0; m < num_machines_; ++m) {
+        total += static_cast<double>(
+            staged_wire_bytes_[m].load(std::memory_order_relaxed));
+      }
+      return total;
+    });
+    WireBufferPool* pool = pool_.get();
+    telemetry_->RegisterGauge("rt_pool_free_buffers", "buffers", [pool] {
+      return static_cast<double>(pool->ApproxFreeBuffers());
+    });
+    telemetry_->RegisterGauge(
+        "rt_pool_outstanding_buffers", "buffers", [pool] {
+          return static_cast<double>(pool->ApproxOutstandingBuffers());
+        });
+    if (num_machines_ <= kPerEntityCap) {
+      for (MachineId m = 0; m < num_machines_; ++m) {
+        telemetry_->RegisterGauge(
+            "rt_inbox_chunks.m" + std::to_string(m), "chunks", [this, m] {
+              double total = 0.0;
+              for (PartitionId p = 0; p < placement_->num_partitions(); ++p) {
+                if (placement_->primary(p) == m) {
+                  total += static_cast<double>(inbox_chunk_counts_[p].load(
+                      std::memory_order_relaxed));
+                }
+              }
+              return total;
+            });
+      }
+    }
+    telemetry_->RegisterGauge("rt_inbox_chunks.total", "chunks", [this] {
+      double total = 0.0;
+      const uint32_t num_partitions = graph_->num_partitions();
+      for (PartitionId p = 0; p < num_partitions; ++p) {
+        total += static_cast<double>(
+            inbox_chunk_counts_[p].load(std::memory_order_relaxed));
+      }
+      return total;
+    });
+    if (num_workers_ <= kPerEntityCap) {
+      for (uint32_t w = 0; w < num_workers_; ++w) {
+        std::atomic<uint32_t>* state = &worker_state_[w];
+        telemetry_->RegisterGauge(
+            "rt_worker_state.w" + std::to_string(w), "phase", [state] {
+              return static_cast<double>(
+                  state->load(std::memory_order_relaxed));
+            });
+      }
+    }
+    telemetry_->RegisterGauge(
+        "rt_workers_busy", "workers",
+        [this] {
+          double busy = 0.0;
+          for (uint32_t w = 0; w < num_workers_; ++w) {
+            if (worker_state_[w].load(std::memory_order_relaxed) != 0) {
+              busy += 1.0;
+            }
+          }
+          return busy;
+        },
+        static_cast<double>(num_workers_));
+    BspBarrier* barrier = barrier_.get();
+    telemetry_->RegisterGauge(
+        "rt_barrier_waiting", "threads",
+        [barrier] { return static_cast<double>(barrier->ApproxWaiting()); },
+        static_cast<double>(num_workers_ + 1));
+    // The /proc probe costs a file read; subsampled so the base tick stays
+    // cheap (see telemetry_sample microbenchmark).
+    telemetry_->RegisterGauge(
+        "proc_rss_bytes", "bytes",
+        [] { return static_cast<double>(obs::ReadMemoryUsage().rss_bytes); },
+        /*ceiling=*/0.0, /*period_multiple=*/16);
+  }
+
   static RuntimeStage StageOf(PhaseKind kind) {
     return kind == PhaseKind::kTransfer ? RuntimeStage::kTransfer
                                         : RuntimeStage::kCombine;
@@ -387,6 +570,12 @@ class RuntimeExecutor {
     const uint32_t num_partitions = graph_->num_partitions();
     std::fill(done_.begin(), done_.end(), uint8_t{0});
     std::fill(stage_tasks_done_.begin(), stage_tasks_done_.end(), 0u);
+    // Stage bounds relative to the run's start: the same clock and origin
+    // the flight recorder samples against, so telemetry windows correlate
+    // with supersteps by plain timestamp comparison.
+    const size_t step = StepIndex(iteration, kind);
+    step_bounds_[step].first =
+        Seconds(std::chrono::steady_clock::now() - run_start_);
     bool recovery = false;
     for (;;) {
       // Assign every pending partition to its first alive replica holder
@@ -413,6 +602,8 @@ class RuntimeExecutor {
         ++pending;
       }
       if (pending == 0) {
+        step_bounds_[step].second =
+            Seconds(std::chrono::steady_clock::now() - run_start_);
         return Status::OK();
       }
       phase_ = std::move(phase);
@@ -439,6 +630,10 @@ class RuntimeExecutor {
       const int iteration = phase.iteration;
       const PhaseKind kind = phase.kind;
       drain_phase_[w] = DrainPhase{iteration, kind};
+      // Run-state gauge: the stage being worked (PhaseKind value), 0 while
+      // parked at a barrier. One relaxed store per stage round.
+      worker_state_[w].store(static_cast<uint32_t>(kind),
+                             std::memory_order_relaxed);
       for (MachineId m : owned_machines_[w]) {
         if (!alive_[m]) {
           continue;
@@ -480,6 +675,7 @@ class RuntimeExecutor {
               });
         }
       }
+      worker_state_[w].store(0, std::memory_order_relaxed);
       const double work_wait =
           barrier_->ArriveAndWait([this, w] { Drain(w); });
       RecordBarrierWait(local, work_wait);
@@ -552,6 +748,8 @@ class RuntimeExecutor {
       chunk.priced_bytes = segment->header.priced_bytes;
       chunk.real = std::move(segment->real);
       chunk.virtuals = std::move(segment->virtuals);
+      inbox_chunk_counts_[segment->header.dst_partition].fetch_add(
+          1, std::memory_order_relaxed);
       inboxes_[segment->header.dst_partition].push_back(std::move(chunk));
     }
     pool_->Release(std::move(batch.payload));
@@ -571,6 +769,8 @@ class RuntimeExecutor {
                      batch.dst_machine] += batch.priced_bytes;
     local.messages_sent += batch.num_messages;
     ++local.buffers_sent;
+    staged_wire_bytes_[batch.src_machine].fetch_add(
+        batch.wire_size(), std::memory_order_relaxed);
     BoundedChannel<WireBatch>& ch =
         *channels_[static_cast<size_t>(batch.src_machine) * num_machines_ +
                    batch.dst_machine];
@@ -703,6 +903,7 @@ class RuntimeExecutor {
     }
     chunks.clear();
     chunks.shrink_to_fit();
+    inbox_chunk_counts_[p].store(0, std::memory_order_relaxed);
 
     std::stable_sort(messages.begin(), messages.end(),
                      [](const auto& a, const auto& b) {
@@ -775,6 +976,17 @@ class RuntimeExecutor {
         stats_.link_bytes[i] += local.link_bytes[i];
       }
     }
+    // Mean/max over *workers only* (locals_[num_workers_] is the main
+    // thread, whose waits overlap every worker's): the per-thread view that
+    // stays comparable to wall_seconds where the overlapping sum does not.
+    double wait_total = 0.0;
+    for (uint32_t w = 0; w < num_workers_; ++w) {
+      wait_total += locals_[w].barrier_wait_seconds;
+      stats_.barrier_wait_max_s =
+          std::max(stats_.barrier_wait_max_s, locals_[w].barrier_wait_seconds);
+    }
+    stats_.barrier_wait_mean_s =
+        num_workers_ > 0 ? wait_total / num_workers_ : 0.0;
     stats_.channels.reserve(channels_.size());
     for (const auto& channel : channels_) {
       ChannelStats snapshot = channel->stats();
@@ -807,6 +1019,10 @@ class RuntimeExecutor {
       profile.iteration = static_cast<int>(step / 2);
       profile.stage = step % 2 == 0 ? RuntimeStage::kTransfer
                                     : RuntimeStage::kCombine;
+      if (step < step_bounds_.size()) {
+        profile.start_s = step_bounds_[step].first;
+        profile.end_s = step_bounds_[step].second;
+      }
       profile.machines = std::move(step_phases_[step]);
       stats_.timeline.push_back(std::move(profile));
     }
@@ -814,6 +1030,13 @@ class RuntimeExecutor {
     if (sharded_ != nullptr) {
       stats_.trace_events_dropped = sharded_->total_dropped();
     }
+    if (telemetry_ != nullptr) {
+      stats_.telemetry_samples = telemetry_->samples_taken();
+      stats_.telemetry_samples_dropped = telemetry_->total_dropped();
+    }
+    const obs::MemoryUsage memory = obs::ReadMemoryUsage();
+    stats_.rss_bytes = memory.rss_bytes;
+    stats_.peak_rss_bytes = memory.peak_rss_bytes;
 
     obs::MetricsRegistry* metrics = config_.metrics;
     if (metrics == nullptr) {
@@ -847,6 +1070,20 @@ class RuntimeExecutor {
     metrics->GaugeRef("runtime_wall_seconds").Set(stats_.wall_seconds);
     metrics->GaugeRef("runtime_barrier_wait_seconds")
         .Set(stats_.barrier_wait_seconds);
+    metrics->GaugeRef("runtime_barrier_wait_mean_seconds")
+        .Set(stats_.barrier_wait_mean_s);
+    metrics->GaugeRef("runtime_barrier_wait_max_seconds")
+        .Set(stats_.barrier_wait_max_s);
+    metrics->CounterRef("runtime_telemetry_samples")
+        .Increment(stats_.telemetry_samples);
+    metrics->CounterRef("runtime_telemetry_samples_dropped")
+        .Increment(stats_.telemetry_samples_dropped);
+    // Plain end-of-run memory gauges, exported whether or not the sampler
+    // ran: the bench plane gates peak RSS from these.
+    metrics->GaugeRef("process_rss_bytes")
+        .Set(static_cast<double>(stats_.rss_bytes));
+    metrics->GaugeRef("process_peak_rss_bytes")
+        .Set(static_cast<double>(stats_.peak_rss_bytes));
     metrics->HistogramRef("runtime_channel_depth")
         .Merge(stats_.channel_depth);
     metrics->HistogramRef("runtime_barrier_wait").Merge(stats_.barrier_wait);
@@ -902,9 +1139,22 @@ class RuntimeExecutor {
   //  - step_phases_[step][m]: written solely by m's owner worker during that
   //    superstep, read by main after the join.
   std::vector<std::vector<PhaseSeconds>> step_phases_;
+  /// (start_s, end_s) of each superstep relative to run_start_, stamped by
+  /// the main thread around the stage's barrier rounds.
+  std::vector<std::pair<double, double>> step_bounds_;
   std::unique_ptr<obs::ShardedTracer> sharded_;  ///< null when tracing is off
   uint32_t transfer_name_id_ = 0;
   uint32_t combine_name_id_ = 0;
+
+  // Flight-recorder plane. The atomic arrays are lock-free mirrors written
+  // by the instrumented paths (relaxed, batch granularity) and read by the
+  // sampler thread; the recorder itself stops before Run returns, so its
+  // providers never outlive the structures they read.
+  std::unique_ptr<obs::TelemetryRecorder> telemetry_;
+  std::unique_ptr<std::atomic<uint64_t>[]> inbox_chunk_counts_;  ///< per part.
+  std::unique_ptr<std::atomic<uint64_t>[]> staged_wire_bytes_;   ///< per mach.
+  std::unique_ptr<std::atomic<uint32_t>[]> worker_state_;  ///< PhaseKind or 0
+  std::chrono::steady_clock::time_point run_start_;
 
   std::map<uint64_t, VirtualOutput> virtual_outputs_;
   RuntimeStats stats_;

@@ -55,10 +55,16 @@ obs::JsonValue RuntimeStatsToJson(const RuntimeStats& stats) {
                       stats.wall_seconds
                 : 0.0);
   block.Set("barrier_wait_seconds", stats.barrier_wait_seconds);
+  block.Set("barrier_wait_mean_s", stats.barrier_wait_mean_s);
+  block.Set("barrier_wait_max_s", stats.barrier_wait_max_s);
   block.Set("barrier_generations", stats.barrier_generations);
   block.Set("refetch_bytes", stats.refetch_bytes);
   block.Set("wall_seconds", stats.wall_seconds);
   block.Set("network_bytes", stats.TotalNetworkBytes());
+  block.Set("telemetry_samples", stats.telemetry_samples);
+  block.Set("telemetry_samples_dropped", stats.telemetry_samples_dropped);
+  block.Set("rss_bytes", stats.rss_bytes);
+  block.Set("peak_rss_bytes", stats.peak_rss_bytes);
   block.Set("channel_depth", HistogramToJson(stats.channel_depth));
   block.Set("barrier_wait", HistogramToJson(stats.barrier_wait));
   block.Set("batch_fill", HistogramToJson(stats.batch_fill));

@@ -42,6 +42,12 @@ struct RuntimeStats {
   uint64_t pool_buffers_reused = 0;      ///< acquires served from the freelist
 
   double barrier_wait_seconds = 0.0;  ///< summed across workers + main
+  /// Per-worker distribution of the summed wait (workers only, main thread
+  /// excluded). barrier_wait_seconds adds N workers' overlapping idle time
+  /// and so routinely exceeds wall_seconds on wide runs; mean and max are
+  /// the per-worker quantities that compare against the wall clock.
+  double barrier_wait_mean_s = 0.0;
+  double barrier_wait_max_s = 0.0;
   uint64_t barrier_generations = 0;
   uint64_t refetch_bytes = 0;  ///< replica re-reads triggered by recovery
   double wall_seconds = 0.0;
@@ -68,6 +74,19 @@ struct RuntimeStats {
   /// or every shard kept up). A nonzero value means the Chrome trace is
   /// incomplete, never that the run itself was perturbed.
   uint64_t trace_events_dropped = 0;
+
+  /// Flight-recorder tallies (0 when RuntimeOptions::telemetry is off).
+  /// Like trace drops, sample drops only mean the recorded window is
+  /// partial — the oldest samples were overwritten, the run was untouched.
+  uint64_t telemetry_samples = 0;
+  uint64_t telemetry_samples_dropped = 0;
+
+  /// Process memory at the end of the run (/proc/self/status; 0 where
+  /// unavailable). Peak RSS is the regression-gated quantity: it is
+  /// dominated by the run's buffers, pools, and inboxes, so a leak or an
+  /// unpooled allocation path shows up here before it shows up in wall time.
+  uint64_t rss_bytes = 0;
+  uint64_t peak_rss_bytes = 0;
 
   uint64_t TotalNetworkBytes() const {
     // Tolerate a default-constructed or truncated matrix: stats objects are

@@ -87,6 +87,8 @@ obs::JsonValue TimelineToJson(const std::vector<SuperstepProfile>& timeline) {
     obs::JsonValue step = obs::JsonValue::MakeObject();
     step.Set("iteration", profile.iteration);
     step.Set("stage", RuntimeStageName(profile.stage));
+    step.Set("start_s", profile.start_s);
+    step.Set("end_s", profile.end_s);
     obs::JsonValue machines = obs::JsonValue::MakeArray();
     for (MachineId m = 0; m < profile.machines.size(); ++m) {
       const PhaseSeconds& phases = profile.machines[m];

@@ -8,17 +8,20 @@ namespace runtime {
 std::vector<uint8_t> WireBufferPool::Acquire() {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.acquires;
+  approx_outstanding_.fetch_add(1, std::memory_order_relaxed);
   if (free_.empty()) {
     return {};
   }
   ++stats_.reuses;
   std::vector<uint8_t> buffer = std::move(free_.back());
   free_.pop_back();
+  approx_free_.store(free_.size(), std::memory_order_relaxed);
   buffer.clear();  // keeps capacity: the recycled allocation is the point
   return buffer;
 }
 
 void WireBufferPool::Release(std::vector<uint8_t> buffer) {
+  approx_outstanding_.fetch_sub(1, std::memory_order_relaxed);
   if (buffer.capacity() == 0) {
     return;  // nothing worth pooling
   }
@@ -28,6 +31,7 @@ void WireBufferPool::Release(std::vector<uint8_t> buffer) {
   std::fill(buffer.begin(), buffer.end(), uint8_t{0xDD});
   std::lock_guard<std::mutex> lock(mu_);
   free_.push_back(std::move(buffer));
+  approx_free_.store(free_.size(), std::memory_order_relaxed);
 }
 
 WireBufferPool::Stats WireBufferPool::stats() const {

@@ -1,6 +1,7 @@
 #ifndef SURFER_RUNTIME_WIRE_BATCH_H_
 #define SURFER_RUNTIME_WIRE_BATCH_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -111,10 +112,23 @@ class WireBufferPool {
   void Release(std::vector<uint8_t> buffer);
   Stats stats() const;
 
+  /// Lock-free occupancy mirrors for the telemetry sampler. Outstanding is
+  /// acquires minus releases: buffers currently filling or in flight.
+  /// Sustained zero free with nonzero outstanding means every acquire
+  /// allocates fresh — pool exhaustion.
+  uint64_t ApproxFreeBuffers() const {
+    return approx_free_.load(std::memory_order_relaxed);
+  }
+  uint64_t ApproxOutstandingBuffers() const {
+    return approx_outstanding_.load(std::memory_order_relaxed);
+  }
+
  private:
   mutable std::mutex mu_;
   std::vector<std::vector<uint8_t>> free_;
   Stats stats_;
+  std::atomic<uint64_t> approx_free_{0};
+  std::atomic<uint64_t> approx_outstanding_{0};
 };
 
 /// Decodes a batch payload segment by segment. The reader copies records out

@@ -9,6 +9,7 @@
 #include "obs/json.h"
 #include "obs/metrics_registry.h"
 #include "obs/run_report.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "propagation/runner.h"
 #include "runtime/executor.h"
@@ -247,6 +248,131 @@ TEST(RunReportTest, ValidateAcceptsMinSupportedVersion) {
   report.Set("schema_version", obs::kMinSupportedRunReportSchemaVersion);
   report.Set("name", "legacy");
   EXPECT_TRUE(obs::ValidateRunReport(report).ok());
+}
+
+TEST(RunReportTest, ValidateAcceptsEveryVersionSinceMinSupported) {
+  // v1 (pre-timeline) and v2 (pre-telemetry/provenance) reports both stay
+  // loadable under the v3 validator: the new blocks are optional.
+  for (int version = obs::kMinSupportedRunReportSchemaVersion;
+       version <= obs::kRunReportSchemaVersion; ++version) {
+    obs::JsonValue report = obs::JsonValue::MakeObject();
+    report.Set("schema_version", version);
+    report.Set("name", "versioned");
+    EXPECT_TRUE(obs::ValidateRunReport(report).ok()) << "v" << version;
+  }
+}
+
+TEST(RunReportTest, ProvenanceStampedAndValidated) {
+  // Schema v3: every built report carries a provenance header answering
+  // "what produced this file" — timestamp, host, build flavor.
+  obs::RunReportOptions options;
+  options.name = "run_report_test_provenance";
+  const obs::JsonValue report =
+      obs::BuildRunReport(options, nullptr, nullptr, nullptr);
+  ASSERT_TRUE(obs::ValidateRunReport(report).ok())
+      << obs::ValidateRunReport(report).ToString();
+  const obs::JsonValue* provenance = report.Find("provenance");
+  ASSERT_NE(provenance, nullptr);
+  const std::string timestamp =
+      provenance->Find("timestamp")->as_string();
+  // ISO-8601 UTC: "2026-08-08T12:34:56Z".
+  ASSERT_EQ(timestamp.size(), 20u) << timestamp;
+  EXPECT_EQ(timestamp[4], '-');
+  EXPECT_EQ(timestamp[10], 'T');
+  EXPECT_EQ(timestamp.back(), 'Z');
+  EXPECT_FALSE(provenance->Find("hostname")->as_string().empty());
+  EXPECT_GE(provenance->Find("host_cores")->as_number(), 1.0);
+  EXPECT_FALSE(provenance->Find("build_type") == nullptr);
+  EXPECT_FALSE(provenance->Find("sanitizer") == nullptr);
+
+  // A malformed provenance block (wrong type) must be rejected.
+  obs::JsonValue bad = obs::JsonValue::MakeObject();
+  bad.Set("schema_version", obs::kRunReportSchemaVersion);
+  bad.Set("name", "x");
+  obs::JsonValue bad_provenance = obs::JsonValue::MakeObject();
+  bad_provenance.Set("host_cores", "four");
+  bad.Set("provenance", std::move(bad_provenance));
+  EXPECT_FALSE(obs::ValidateRunReport(bad).ok());
+}
+
+TEST(RunReportTest, TelemetryBlockValidatesAndRoundTrips) {
+  // Schema v3: a flight recorder's ToJson becomes the report's optional
+  // `telemetry` block and survives a serialize/parse round trip.
+  obs::TelemetryOptions telemetry_options;
+  telemetry_options.enabled = true;
+  obs::TelemetryRecorder recorder(telemetry_options);
+  double value = 0.0;
+  recorder.RegisterGauge("test_gauge", "items", [&value] { return value; },
+                         /*ceiling=*/100.0);
+  recorder.RegisterGauge("flat_zero", "items", [] { return 0.0; });
+  for (int i = 0; i < 5; ++i) {
+    value = static_cast<double>(i * 10);
+    recorder.SampleNow();
+  }
+  const obs::JsonValue telemetry_block = recorder.ToJson();
+
+  obs::RunReportOptions options;
+  options.name = "run_report_test_telemetry";
+  const obs::JsonValue report = obs::BuildRunReport(
+      options, nullptr, nullptr, nullptr, /*runtime_block=*/nullptr,
+      /*timeline_block=*/nullptr, &telemetry_block);
+  ASSERT_TRUE(obs::ValidateRunReport(report).ok())
+      << obs::ValidateRunReport(report).ToString();
+
+  auto parsed = obs::ParseJson(report.Write());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(obs::ValidateRunReport(*parsed).ok())
+      << obs::ValidateRunReport(*parsed).ToString();
+  const obs::JsonValue* telemetry = parsed->Find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  EXPECT_GT(telemetry->Find("period_seconds")->as_number(), 0.0);
+  EXPECT_EQ(telemetry->Find("samples_taken")->as_number(), 5.0);
+  const obs::JsonValue* series = telemetry->Find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->as_array().size(), 2u);
+  const obs::JsonValue& gauge = series->as_array()[0];
+  EXPECT_EQ(gauge.Find("name")->as_string(), "test_gauge");
+  EXPECT_EQ(gauge.Find("max")->as_number(), 40.0);
+  ASSERT_NE(gauge.Find("samples"), nullptr);
+  EXPECT_EQ(gauge.Find("samples")->as_array().size(), 5u);
+  // The all-zero series ships summary-only: no samples array.
+  const obs::JsonValue& flat = series->as_array()[1];
+  EXPECT_EQ(flat.Find("name")->as_string(), "flat_zero");
+  EXPECT_EQ(flat.Find("samples"), nullptr);
+}
+
+TEST(RunReportTest, ValidateRejectsMalformedTelemetryBlock) {
+  obs::JsonValue base = obs::JsonValue::MakeObject();
+  base.Set("schema_version", obs::kRunReportSchemaVersion);
+  base.Set("name", "x");
+
+  {
+    obs::JsonValue report = base;  // telemetry must be an object
+    report.Set("telemetry", "nope");
+    EXPECT_FALSE(obs::ValidateRunReport(report).ok());
+  }
+  {
+    obs::JsonValue report = base;  // series entries need summary numbers
+    auto parsed = obs::ParseJson(
+        R"({"period_seconds": 0.001, "samples_taken": 1,
+            "samples_dropped": 0,
+            "series": [{"name": "g", "count": 1}]})");
+    ASSERT_TRUE(parsed.ok());
+    report.Set("telemetry", std::move(*parsed));
+    EXPECT_FALSE(obs::ValidateRunReport(report).ok());
+  }
+  {
+    obs::JsonValue report = base;  // samples must be [t_us, value] pairs
+    auto parsed = obs::ParseJson(
+        R"({"period_seconds": 0.001, "samples_taken": 1,
+            "samples_dropped": 0,
+            "series": [{"name": "g", "unit": "items", "count": 1,
+                        "samples_dropped": 0, "min": 0, "mean": 0,
+                        "max": 0, "p99": 0, "samples": [[1.0]]}]})");
+    ASSERT_TRUE(parsed.ok());
+    report.Set("telemetry", std::move(*parsed));
+    EXPECT_FALSE(obs::ValidateRunReport(report).ok());
+  }
 }
 
 TEST(RunReportTest, ValidateRejectsMalformedTimelineBlock) {

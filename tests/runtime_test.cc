@@ -341,6 +341,84 @@ TEST(RuntimeTest, ProfilingEnabledRunStaysBitIdenticalWithTimeline) {
   }
 }
 
+TEST(RuntimeTest, TelemetryEnabledRunStaysBitIdentical) {
+  // The flight recorder's core promise mirrors the profiler's: sampling the
+  // runtime's gauges changes nothing about the computation. Run with the
+  // sampler at an aggressive period (plus tracer/metrics, the full
+  // instrumented configuration) and compare against the sequential runner.
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  constexpr int kIterations = 3;
+  PropagationConfig config = ConfigFor(OptimizationLevel::kO4, kIterations);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationRunner<NetworkRankingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  config.tracer = &tracer;
+  config.metrics = &metrics;
+  RuntimeOptions options;
+  options.max_workers = 3;
+  options.telemetry.enabled = true;
+  options.telemetry.period_seconds = 0.0002;
+  RuntimeExecutor<NetworkRankingApp> executor(
+      setup.graph, setup.placement, setup.topology, app, config, options);
+  ASSERT_TRUE(executor.Run().ok());
+  ExpectBitIdentical(runner.states(), executor.states(),
+                     "telemetry enabled");
+
+  const runtime::RuntimeStats& stats = executor.stats();
+  // The sampler ran: at least the first tick and the final stop-edge tick.
+  EXPECT_GE(stats.telemetry_samples, 2u);
+  ASSERT_NE(executor.telemetry(), nullptr);
+  EXPECT_TRUE(executor.telemetry()->enabled());
+  const std::vector<obs::TelemetrySeries> snapshot =
+      executor.telemetry()->Snapshot();
+  EXPECT_FALSE(snapshot.empty());
+  bool saw_pool_series = false;
+  for (const obs::TelemetrySeries& series : snapshot) {
+    if (series.name == "rt_pool_free_buffers") {
+      saw_pool_series = true;
+      EXPECT_EQ(series.samples_taken,
+                series.samples.size() + series.samples_dropped);
+    }
+  }
+  EXPECT_TRUE(saw_pool_series);
+
+  // The memory probe populated the end-of-run stats (Linux CI hosts).
+  EXPECT_GT(stats.rss_bytes, 0u);
+  EXPECT_GE(stats.peak_rss_bytes, stats.rss_bytes);
+
+  // Superstep wall-clock bounds: present, ordered, and nested in run time.
+  ASSERT_EQ(stats.timeline.size(), static_cast<size_t>(kIterations) * 2);
+  double previous_start = 0.0;
+  for (const runtime::SuperstepProfile& profile : stats.timeline) {
+    EXPECT_GE(profile.start_s, previous_start);
+    EXPECT_GE(profile.end_s, profile.start_s);
+    EXPECT_LE(profile.end_s, stats.wall_seconds + 0.001);
+    previous_start = profile.start_s;
+  }
+
+  // Worker-side barrier decomposition: the mean never exceeds the max, and
+  // both are bounded by the run itself (unlike the summed counter).
+  EXPECT_GE(stats.barrier_wait_max_s, stats.barrier_wait_mean_s);
+  EXPECT_LE(stats.barrier_wait_max_s, stats.wall_seconds + 0.001);
+
+  if (obs::Tracer::CompiledIn()) {
+    // Counter lanes were merged into the trace stream.
+    size_t counter_events = 0;
+    for (const obs::TraceEvent& event : tracer.Events()) {
+      if (event.phase == 'C') {
+        EXPECT_EQ(event.category, "telemetry");
+        ++counter_events;
+      }
+    }
+    EXPECT_GT(counter_events, 0u);
+  }
+}
+
 TEST(RuntimeTest, TimelineJsonCarriesStepsAndCriticalPath) {
   const EngineFixture& f = Fixture();
   const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO2);

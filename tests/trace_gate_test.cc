@@ -210,6 +210,85 @@ TEST(BenchGateTest, ExtraPointsAreNoted) {
             std::string::npos);
 }
 
+TEST(BenchGateTest, DropCountersNoteByDefaultFailWhenStrict) {
+  const JsonValue baseline = MakeBaselineDoc();
+  JsonValue current = MakeBaselineDoc();
+  JsonValue* points = FindMutable(current, "points");
+  points->as_array()[0].Set("trace_events_dropped", uint64_t{3});
+  points->as_array()[1].Set("telemetry_samples_dropped", uint64_t{7});
+
+  // Default: drops mean the *recording* is partial, not that the run
+  // misbehaved — advisory notes, check still passes.
+  const BenchCheckResult lenient = CheckBenchBaseline(current, baseline);
+  EXPECT_TRUE(lenient.ok);
+  int drop_notes = 0;
+  for (const std::string& note : lenient.notes) {
+    if (note.find("incomplete") != std::string::npos) {
+      ++drop_notes;
+    }
+  }
+  EXPECT_EQ(drop_notes, 2);
+
+  // Strict (CI smoke): an undersized ring is a configuration bug.
+  BenchCheckOptions strict;
+  strict.strict_drops = true;
+  const BenchCheckResult failed = CheckBenchBaseline(current, baseline, strict);
+  EXPECT_FALSE(failed.ok);
+  EXPECT_EQ(failed.failures.size(), 2u);
+  EXPECT_NE(failed.failures.front().find("strict drops"), std::string::npos);
+
+  // Zero drops stay silent even under strict.
+  *FindMutable(points->as_array()[0], "trace_events_dropped") =
+      JsonValue(uint64_t{0});
+  *FindMutable(points->as_array()[1], "telemetry_samples_dropped") =
+      JsonValue(uint64_t{0});
+  EXPECT_TRUE(CheckBenchBaseline(current, baseline, strict).ok);
+}
+
+TEST(BenchGateTest, PeakRssGatedWithHostAwareTolerance) {
+  JsonValue baseline = MakeBaselineDoc();
+  JsonValue* base_points = FindMutable(baseline, "points");
+  base_points->as_array()[0].Set("peak_rss_bytes", uint64_t{100000000});
+  JsonValue current = baseline;
+
+  // Within the same-host 35% tolerance: fine.
+  JsonValue* points = FindMutable(current, "points");
+  *FindMutable(points->as_array()[0], "peak_rss_bytes") =
+      JsonValue(uint64_t{120000000});
+  EXPECT_TRUE(CheckBenchBaseline(current, baseline).ok);
+
+  // 2x the baseline: a memory regression, gated like a timing one.
+  *FindMutable(points->as_array()[0], "peak_rss_bytes") =
+      JsonValue(uint64_t{200000000});
+  const BenchCheckResult result = CheckBenchBaseline(current, baseline);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_NE(result.failures.front().find("peak_rss_bytes"),
+            std::string::npos);
+
+  // A zero on either side means "probe unavailable", never a regression.
+  *FindMutable(points->as_array()[0], "peak_rss_bytes") =
+      JsonValue(uint64_t{0});
+  EXPECT_TRUE(CheckBenchBaseline(current, baseline).ok);
+  *FindMutable(points->as_array()[0], "peak_rss_bytes") =
+      JsonValue(uint64_t{200000000});
+  *FindMutable(base_points->as_array()[0], "peak_rss_bytes") =
+      JsonValue(uint64_t{0});
+  EXPECT_TRUE(CheckBenchBaseline(current, baseline).ok);
+}
+
+TEST(BenchGateTest, TelemetryOverheadFracIsNotAWorkloadField) {
+  // The measured sampler overhead varies run to run; it must not disable
+  // timing comparisons the way a genuine workload-shape mismatch does.
+  const JsonValue baseline = MakeBaselineDoc();
+  JsonValue current = MakeBaselineDoc();
+  current.Set("telemetry_overhead_frac", 0.013);
+  JsonValue* points = FindMutable(current, "points");
+  *FindMutable(points->as_array()[0], "wall_s") = JsonValue(500.0);
+  // Timings are still compared (and fail): the overhead field was ignored.
+  EXPECT_FALSE(CheckBenchBaseline(current, baseline).ok);
+}
+
 TEST(JsonDiffTest, ReportsChangedNumericLeavesWithPaths) {
   const JsonValue before = ParseOrDie(
       R"({"a": 1, "b": {"c": 2.5, "d": "text"},

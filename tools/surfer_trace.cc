@@ -8,14 +8,25 @@
 //       Every numeric field present in both files whose value changed.
 //
 //   surfer_trace check <current.json> [--baseline <path>]
-//                      [--tolerance <frac>]
+//                      [--tolerance <frac>] [--strict-drops]
 //       Gates a BENCH_*.json against a committed baseline: exits nonzero on
 //       a perf regression or a broken bit-identity/byte-count invariant.
-//       Without --baseline the file's own basename in the current directory
-//       is used, so `surfer_trace check BENCH_partition.json` from the repo
-//       root self-checks the committed baseline (a smoke test that the gate
-//       and the baseline agree).
+//       Nonzero drop counters (trace events, telemetry samples) warn by
+//       default and fail under --strict-drops. Without --baseline the
+//       file's own basename in the current directory is used, so
+//       `surfer_trace check BENCH_partition.json` from the repo root
+//       self-checks the committed baseline (a smoke test that the gate and
+//       the baseline agree).
+//
+//   surfer_trace telemetry <run_report.json>
+//       Summarizes the flight recorder's time series (min/mean/max/p99,
+//       peak timestamp, ceiling occupancy) and scans them for sustained
+//       conditions: channel backpressure windows, wire-pool exhaustion, and
+//       barrier-wait onset — each correlated against the superstep bounds
+//       in the report's timeline block, so "which superstep went wrong"
+//       falls out of timestamps instead of guesswork.
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -37,7 +48,8 @@ int Usage() {
                "usage: surfer_trace summary <run_report.json>\n"
                "       surfer_trace diff <before.json> <after.json>\n"
                "       surfer_trace check <current.json> [--baseline <path>]"
-               " [--tolerance <frac>]\n");
+               " [--tolerance <frac>] [--strict-drops]\n"
+               "       surfer_trace telemetry <run_report.json>\n");
   return 2;
 }
 
@@ -194,6 +206,8 @@ int RunCheck(const std::vector<std::string>& args) {
       baseline_path = args[++i];
     } else if (args[i] == "--tolerance" && i + 1 < args.size()) {
       options.rel_tolerance = std::stod(args[++i]);
+    } else if (args[i] == "--strict-drops") {
+      options.strict_drops = true;
     } else if (current_path.empty()) {
       current_path = args[i];
     } else {
@@ -229,6 +243,243 @@ int RunCheck(const std::vector<std::string>& args) {
   return 1;
 }
 
+// ----------------------------------------------------------- telemetry
+
+/// One superstep's bounds pulled from the report's timeline block, plus its
+/// summed barrier seconds — what telemetry windows correlate against.
+struct StepBound {
+  double iteration = 0;
+  std::string stage;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double barrier_s = 0.0;
+};
+
+std::vector<StepBound> LoadStepBounds(const JsonValue& report) {
+  std::vector<StepBound> bounds;
+  const JsonValue* timeline = report.Find("timeline");
+  const JsonValue* steps =
+      timeline != nullptr ? timeline->Find("steps") : nullptr;
+  if (steps == nullptr || !steps->is_array()) {
+    return bounds;
+  }
+  for (const JsonValue& step : steps->as_array()) {
+    StepBound bound;
+    bound.iteration = NumberOr(step.Find("iteration"), 0);
+    bound.stage = StringOr(step.Find("stage"), "?");
+    bound.start_s = NumberOr(step.Find("start_s"), 0);
+    bound.end_s = NumberOr(step.Find("end_s"), 0);
+    if (const JsonValue* machines = step.Find("machines");
+        machines != nullptr && machines->is_array()) {
+      for (const JsonValue& machine : machines->as_array()) {
+        bound.barrier_s += NumberOr(machine.Find("barrier_s"), 0);
+      }
+    }
+    bounds.push_back(std::move(bound));
+  }
+  return bounds;
+}
+
+/// Names the supersteps a [t0, t1] second window overlaps; "-" when the
+/// report predates start_s/end_s bounds (all zero) or nothing matches.
+std::string StepsCovering(const std::vector<StepBound>& bounds, double t0_s,
+                          double t1_s) {
+  std::string out;
+  for (const StepBound& bound : bounds) {
+    if (bound.end_s <= bound.start_s) {
+      continue;  // v2-era profile without bounds
+    }
+    if (bound.start_s <= t1_s && bound.end_s >= t0_s) {
+      if (!out.empty()) {
+        out += ", ";
+      }
+      out += bound.stage + "[" +
+             std::to_string(static_cast<long long>(bound.iteration)) + "]";
+    }
+  }
+  return out.empty() ? "-" : out;
+}
+
+/// A maximal run of consecutive samples satisfying a condition.
+struct Window {
+  double t0_us = 0.0;
+  double t1_us = 0.0;
+  size_t samples = 0;
+  double peak = 0.0;
+};
+
+/// Scans a sample array ([t_us, value] pairs) for sustained windows where
+/// `above(value)` holds for at least `min_samples` consecutive samples —
+/// one tick over a threshold is noise; a sustained run is a condition.
+template <typename Pred>
+std::vector<Window> SustainedWindows(const JsonValue& samples, Pred above,
+                                     size_t min_samples) {
+  std::vector<Window> windows;
+  Window open;
+  bool active = false;
+  auto close = [&] {
+    if (active && open.samples >= min_samples) {
+      windows.push_back(open);
+    }
+    active = false;
+  };
+  for (const JsonValue& pair : samples.as_array()) {
+    if (!pair.is_array() || pair.as_array().size() != 2) {
+      continue;
+    }
+    const double t_us = pair.as_array()[0].as_number();
+    const double value = pair.as_array()[1].as_number();
+    if (above(value)) {
+      if (!active) {
+        open = Window{t_us, t_us, 0, value};
+        active = true;
+      }
+      open.t1_us = t_us;
+      ++open.samples;
+      open.peak = std::max(open.peak, value);
+    } else {
+      close();
+    }
+  }
+  close();
+  return windows;
+}
+
+void PrintWindows(const char* what, const std::vector<Window>& windows,
+                  const std::vector<StepBound>& bounds, bool* any) {
+  for (const Window& w : windows) {
+    const double t0_s = w.t0_us / 1e6;
+    const double t1_s = w.t1_us / 1e6;
+    std::printf("  %-24s %9.4fs - %9.4fs (%4zu samples, peak %.3g) steps: %s\n",
+                what, t0_s, t1_s, w.samples, w.peak,
+                StepsCovering(bounds, t0_s, t1_s).c_str());
+    *any = true;
+  }
+}
+
+int RunTelemetry(const std::string& path) {
+  JsonValue report;
+  if (!LoadJson(path, &report)) {
+    return 1;
+  }
+  const JsonValue* telemetry = report.Find("telemetry");
+  if (telemetry == nullptr || !telemetry->is_object()) {
+    std::fprintf(stderr,
+                 "surfer_trace: %s has no telemetry block (run with "
+                 "RuntimeOptions::telemetry.enabled, schema v3)\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("%s: telemetry @ %.2gms period, %.0f ticks, %.0f dropped\n",
+              StringOr(report.Find("name"), "?").c_str(),
+              NumberOr(telemetry->Find("period_seconds"), 0) * 1e3,
+              NumberOr(telemetry->Find("samples_taken"), 0),
+              NumberOr(telemetry->Find("samples_dropped"), 0));
+  if (NumberOr(telemetry->Find("samples_dropped"), 0) > 0) {
+    std::printf("note: rings wrapped; only the newest window survived\n");
+  }
+
+  const JsonValue* series = telemetry->Find("series");
+  if (series == nullptr || !series->is_array()) {
+    std::fprintf(stderr, "surfer_trace: telemetry block has no series\n");
+    return 1;
+  }
+  std::printf("\n%-36s %6s %12s %12s %12s %12s %9s\n", "series", "count",
+              "min", "mean", "p99", "max", "peak_at_s");
+  for (const JsonValue& entry : series->as_array()) {
+    const double max = NumberOr(entry.Find("max"), 0);
+    const double min = NumberOr(entry.Find("min"), 0);
+    if (min == 0.0 && max == 0.0) {
+      continue;  // idle series: summary-only in the report, elided here too
+    }
+    std::string name = StringOr(entry.Find("name"), "?");
+    const double ceiling = NumberOr(entry.Find("ceiling"), 0);
+    if (ceiling > 0.0) {
+      char occupancy[32];
+      std::snprintf(occupancy, sizeof(occupancy), " (peak %2.0f%%)",
+                    100.0 * max / ceiling);
+      name += occupancy;
+    }
+    std::printf("%-36s %6.0f %12.4g %12.4g %12.4g %12.4g %9.4f\n",
+                name.c_str(), NumberOr(entry.Find("count"), 0), min,
+                NumberOr(entry.Find("mean"), 0), NumberOr(entry.Find("p99"), 0),
+                max, NumberOr(entry.Find("peak_t_us"), 0) / 1e6);
+  }
+
+  // Condition scan. Thresholds: sustained means >= 3 consecutive ticks, a
+  // channel is backpressured at >= 80% of its byte window, the barrier is
+  // congested when over half its membership is parked.
+  const std::vector<StepBound> bounds = LoadStepBounds(report);
+  constexpr size_t kMinSustained = 3;
+  std::printf("\nsustained conditions:\n");
+  bool any = false;
+  double outstanding_peak = 0.0;
+  for (const JsonValue& entry : series->as_array()) {
+    if (StringOr(entry.Find("name"), "") == "rt_pool_outstanding_buffers") {
+      outstanding_peak = NumberOr(entry.Find("max"), 0);
+    }
+  }
+  for (const JsonValue& entry : series->as_array()) {
+    const std::string name = StringOr(entry.Find("name"), "");
+    const JsonValue* samples = entry.Find("samples");
+    if (samples == nullptr || !samples->is_array()) {
+      continue;
+    }
+    const double ceiling = NumberOr(entry.Find("ceiling"), 0);
+    if (name.rfind("rt_channel_bytes_in_flight", 0) == 0 && ceiling > 0.0) {
+      PrintWindows(
+          ("backpressure " + name).c_str(),
+          SustainedWindows(
+              *samples, [&](double v) { return v >= 0.8 * ceiling; },
+              kMinSustained),
+          bounds, &any);
+    } else if (name == "rt_pool_free_buffers" && outstanding_peak > 0.0) {
+      // Free buffers pinned at zero while batches are outstanding: every
+      // Acquire in the window allocated instead of recycling.
+      PrintWindows("pool exhaustion",
+                   SustainedWindows(
+                       *samples, [](double v) { return v <= 0.0; },
+                       kMinSustained),
+                   bounds, &any);
+    } else if (name == "rt_barrier_waiting" && ceiling > 0.0) {
+      PrintWindows(
+          "barrier congestion",
+          SustainedWindows(
+              *samples, [&](double v) { return v >= 0.5 * ceiling; },
+              kMinSustained),
+          bounds, &any);
+    }
+  }
+  if (!any) {
+    std::printf("  none\n");
+  }
+
+  // Where barrier wait concentrates, from the timeline's own accounting —
+  // the answer stands even when the sampler's window missed the moment.
+  const StepBound* worst = nullptr;
+  double total_barrier_s = 0.0;
+  for (const StepBound& bound : bounds) {
+    total_barrier_s += bound.barrier_s;
+    if (worst == nullptr || bound.barrier_s > worst->barrier_s) {
+      worst = &bound;
+    }
+  }
+  if (worst != nullptr && worst->barrier_s > 0.0) {
+    std::printf(
+        "\nbarrier wait concentrates in %s[%lld]: %.4fs of %.4fs total "
+        "(%.0f%%)",
+        worst->stage.c_str(), static_cast<long long>(worst->iteration),
+        worst->barrier_s, total_barrier_s,
+        total_barrier_s > 0.0 ? 100.0 * worst->barrier_s / total_barrier_s
+                              : 0.0);
+    if (worst->end_s > worst->start_s) {
+      std::printf(" @ %.4fs - %.4fs", worst->start_s, worst->end_s);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -246,6 +497,9 @@ int main(int argc, char** argv) {
   }
   if (command == "check") {
     return RunCheck(args);
+  }
+  if (command == "telemetry" && args.size() == 1) {
+    return RunTelemetry(args[0]);
   }
   return Usage();
 }
