@@ -1,0 +1,292 @@
+#include "net/control.h"
+
+#include "runtime/wire_batch.h"
+
+namespace surfer {
+namespace net {
+
+using runtime::AppendPod;
+
+namespace {
+
+template <typename T>
+void AppendVector(std::vector<uint8_t>& out, const std::vector<T>& values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AppendPod(out, static_cast<uint32_t>(values.size()));
+  const size_t offset = out.size();
+  out.resize(offset + values.size() * sizeof(T));
+  if (!values.empty()) {
+    std::memcpy(out.data() + offset, values.data(),
+                values.size() * sizeof(T));
+  }
+}
+
+template <typename T>
+Status ReadVector(PayloadReader& reader, std::vector<T>* values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  uint32_t count = 0;
+  SURFER_RETURN_IF_ERROR(reader.Read(&count));
+  if (static_cast<size_t>(count) * sizeof(T) > reader.remaining()) {
+    return Status::Corruption("control vector length exceeds payload");
+  }
+  values->resize(count);
+  if (count > 0) {
+    SURFER_RETURN_IF_ERROR(
+        reader.ReadBytes(values->data(), count * sizeof(T)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeHello(const HelloMsg& msg) {
+  std::vector<uint8_t> out;
+  AppendPod(out, msg.proc);
+  AppendPod(out, msg.mesh_port);
+  return out;
+}
+
+Result<HelloMsg> DecodeHello(const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  HelloMsg msg;
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.proc));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.mesh_port));
+  return msg;
+}
+
+std::vector<uint8_t> EncodePeers(const PeersMsg& msg) {
+  std::vector<uint8_t> out;
+  AppendVector(out, msg.ports);
+  return out;
+}
+
+Result<PeersMsg> DecodePeers(const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  PeersMsg msg;
+  SURFER_RETURN_IF_ERROR(ReadVector(reader, &msg.ports));
+  return msg;
+}
+
+std::vector<uint8_t> EncodePlacement(const PlacementMsg& msg) {
+  std::vector<uint8_t> out;
+  AppendPod(out, msg.num_machines);
+  AppendPod(out, msg.num_partitions);
+  AppendPod(out, msg.replication);
+  AppendPod(out, msg.fault_tolerant);
+  AppendVector(out, msg.replicas);
+  AppendPod(out, static_cast<uint32_t>(msg.faults.size()));
+  for (const runtime::RuntimeFaultPlan& plan : msg.faults) {
+    AppendPod(out, static_cast<uint32_t>(plan.machine));
+    AppendPod(out, static_cast<int32_t>(plan.iteration));
+    AppendPod(out, static_cast<uint8_t>(plan.stage));
+    AppendPod(out, plan.after_tasks);
+  }
+  return out;
+}
+
+Result<PlacementMsg> DecodePlacement(const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  PlacementMsg msg;
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.num_machines));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.num_partitions));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.replication));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.fault_tolerant));
+  SURFER_RETURN_IF_ERROR(ReadVector(reader, &msg.replicas));
+  uint32_t fault_count = 0;
+  SURFER_RETURN_IF_ERROR(reader.Read(&fault_count));
+  msg.faults.resize(fault_count);
+  for (runtime::RuntimeFaultPlan& plan : msg.faults) {
+    uint32_t machine = 0;
+    int32_t iteration = 0;
+    uint8_t stage = 0;
+    SURFER_RETURN_IF_ERROR(reader.Read(&machine));
+    SURFER_RETURN_IF_ERROR(reader.Read(&iteration));
+    SURFER_RETURN_IF_ERROR(reader.Read(&stage));
+    SURFER_RETURN_IF_ERROR(reader.Read(&plan.after_tasks));
+    plan.machine = machine;
+    plan.iteration = iteration;
+    plan.stage = static_cast<runtime::RuntimeStage>(stage);
+  }
+  return msg;
+}
+
+std::vector<uint8_t> EncodeRound(const RoundMsg& msg) {
+  std::vector<uint8_t> out;
+  AppendPod(out, msg.seq);
+  AppendPod(out, msg.iteration);
+  AppendPod(out, static_cast<uint8_t>(msg.kind));
+  AppendPod(out, msg.recovery);
+  AppendVector(out, msg.alive);
+  AppendVector(out, msg.exec);
+  AppendVector(out, msg.route);
+  AppendVector(out, msg.reexec);
+  return out;
+}
+
+Result<RoundMsg> DecodeRound(const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  RoundMsg msg;
+  uint8_t kind = 0;
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.seq));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.iteration));
+  SURFER_RETURN_IF_ERROR(reader.Read(&kind));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.recovery));
+  msg.kind = static_cast<RoundKind>(kind);
+  SURFER_RETURN_IF_ERROR(ReadVector(reader, &msg.alive));
+  SURFER_RETURN_IF_ERROR(ReadVector(reader, &msg.exec));
+  SURFER_RETURN_IF_ERROR(ReadVector(reader, &msg.route));
+  SURFER_RETURN_IF_ERROR(ReadVector(reader, &msg.reexec));
+  return msg;
+}
+
+std::vector<uint8_t> EncodeTaskDone(const TaskDoneMsg& msg) {
+  std::vector<uint8_t> out;
+  AppendPod(out, msg.partition);
+  AppendPod(out, msg.machine);
+  AppendPod(out, msg.iteration);
+  AppendPod(out, msg.kind);
+  return out;
+}
+
+Result<TaskDoneMsg> DecodeTaskDone(const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  TaskDoneMsg msg;
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.partition));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.machine));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.iteration));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.kind));
+  return msg;
+}
+
+std::vector<uint8_t> EncodeSeq(const SeqMsg& msg) {
+  std::vector<uint8_t> out;
+  AppendPod(out, msg.seq);
+  AppendPod(out, msg.src_proc);
+  return out;
+}
+
+Result<SeqMsg> DecodeSeq(const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  SeqMsg msg;
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.seq));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.src_proc));
+  return msg;
+}
+
+std::vector<uint8_t> EncodeStateUpdate(const StateUpdateMsg& msg) {
+  std::vector<uint8_t> out;
+  AppendPod(out, msg.partition);
+  AppendPod(out, msg.iteration);
+  AppendPod(out, msg.begin);
+  AppendPod(out, msg.count);
+  AppendVector(out, msg.states);
+  AppendPod(out, msg.virtual_count);
+  AppendVector(out, msg.virtuals);
+  return out;
+}
+
+Result<StateUpdateMsg> DecodeStateUpdate(const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  StateUpdateMsg msg;
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.partition));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.iteration));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.begin));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.count));
+  SURFER_RETURN_IF_ERROR(ReadVector(reader, &msg.states));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.virtual_count));
+  SURFER_RETURN_IF_ERROR(ReadVector(reader, &msg.virtuals));
+  return msg;
+}
+
+std::vector<uint8_t> EncodeWorkerStats(const WorkerStatsMsg& msg) {
+  std::vector<uint8_t> out;
+  AppendPod(out, msg.tasks_executed);
+  AppendPod(out, msg.tasks_reexecuted);
+  AppendPod(out, msg.messages_sent);
+  AppendPod(out, msg.buffers_sent);
+  AppendPod(out, msg.wire_batches_sent);
+  AppendPod(out, msg.wire_segments_sent);
+  AppendPod(out, msg.wire_payload_bytes);
+  AppendPod(out, msg.wire_messages_combined);
+  AppendPod(out, msg.wire_flush_size);
+  AppendPod(out, msg.wire_flush_deadline);
+  AppendPod(out, msg.wire_flush_stage_end);
+  AppendPod(out, msg.pool_buffers_acquired);
+  AppendPod(out, msg.pool_buffers_reused);
+  AppendPod(out, msg.refetch_bytes);
+  AppendPod(out, msg.tcp_bytes_sent);
+  AppendPod(out, msg.tcp_frames_sent);
+  AppendPod(out, msg.resend_bytes);
+  AppendPod(out, msg.replication_bytes);
+  AppendPod(out, msg.peak_rss_bytes);
+  AppendVector(out, msg.link_bytes);
+  return out;
+}
+
+Result<WorkerStatsMsg> DecodeWorkerStats(const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  WorkerStatsMsg msg;
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.tasks_executed));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.tasks_reexecuted));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.messages_sent));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.buffers_sent));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.wire_batches_sent));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.wire_segments_sent));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.wire_payload_bytes));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.wire_messages_combined));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.wire_flush_size));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.wire_flush_deadline));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.wire_flush_stage_end));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.pool_buffers_acquired));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.pool_buffers_reused));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.refetch_bytes));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.tcp_bytes_sent));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.tcp_frames_sent));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.resend_bytes));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.replication_bytes));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.peak_rss_bytes));
+  SURFER_RETURN_IF_ERROR(ReadVector(reader, &msg.link_bytes));
+  return msg;
+}
+
+std::vector<uint8_t> EncodeFinalState(const FinalStateMsg& msg) {
+  std::vector<uint8_t> out;
+  AppendPod(out, msg.partition);
+  AppendPod(out, msg.version);
+  AppendPod(out, msg.begin);
+  AppendPod(out, msg.count);
+  AppendVector(out, msg.states);
+  return out;
+}
+
+Result<FinalStateMsg> DecodeFinalState(const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  FinalStateMsg msg;
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.partition));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.version));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.begin));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.count));
+  SURFER_RETURN_IF_ERROR(ReadVector(reader, &msg.states));
+  return msg;
+}
+
+std::vector<uint8_t> EncodeFinalVirtual(const FinalVirtualMsg& msg) {
+  std::vector<uint8_t> out;
+  AppendPod(out, msg.entry_bytes);
+  AppendPod(out, msg.count);
+  AppendVector(out, msg.entries);
+  return out;
+}
+
+Result<FinalVirtualMsg> DecodeFinalVirtual(
+    const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  FinalVirtualMsg msg;
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.entry_bytes));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.count));
+  SURFER_RETURN_IF_ERROR(ReadVector(reader, &msg.entries));
+  return msg;
+}
+
+}  // namespace net
+}  // namespace surfer

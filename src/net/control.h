@@ -1,0 +1,182 @@
+#ifndef SURFER_NET_CONTROL_H_
+#define SURFER_NET_CONTROL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/types.h"
+#include "net/frame.h"
+#include "runtime/fault.h"
+
+namespace surfer {
+namespace net {
+
+/// What a BSP round asks the workers to do. kTransfer and kCombine map to
+/// the two halves of a superstep; kResend is the recovery-only round that
+/// rebuilds a re-homed partition's inbox (retained-batch resend plus
+/// re-execution of transfer tasks whose producer died) before its combine
+/// task runs on the first alive replica.
+enum class RoundKind : uint8_t {
+  kTransfer = 0,
+  kCombine = 1,
+  kResend = 2,
+};
+
+/// worker -> coordinator, first control frame: which process this is and
+/// where its mesh listener is.
+struct HelloMsg {
+  uint32_t proc = 0;
+  uint16_t mesh_port = 0;
+};
+
+/// coordinator -> workers: every process's mesh listener port, indexed by
+/// process. Workers build the full mesh from this (process i dials every
+/// j < i, accepts from every j > i).
+struct PeersMsg {
+  std::vector<uint16_t> ports;
+};
+
+/// coordinator -> workers: the replica placement table (row-major partition
+/// x replica machine ids) and the fault schedule. The placement crossing the
+/// control plane — rather than being inherited through fork — is what makes
+/// the coordinator the single source of truth for task routing.
+struct PlacementMsg {
+  uint32_t num_machines = 0;
+  uint32_t num_partitions = 0;
+  uint32_t replication = 0;
+  /// Faults (or a scheduled SIGTERM) are possible this run: workers retain
+  /// sent batches for resend and replicate post-combine state to replica
+  /// holders. Off on clean runs so the no-fault path pays nothing.
+  uint8_t fault_tolerant = 0;
+  std::vector<MachineId> replicas;  ///< partition-major, num_partitions x replication
+  std::vector<runtime::RuntimeFaultPlan> faults;
+};
+
+/// coordinator -> workers: one round of the barrier protocol. `seq` is a
+/// global monotone round counter (EOS frames carry it, so drain progress is
+/// unambiguous across recovery rounds). `exec[p]` names the machine running
+/// partition p's task this round (kInvalidMachine = not scheduled);
+/// `route[d]` names the machine to which dst-partition-d traffic must be
+/// sent (transfer and resend rounds); `reexec[q]` names the machine that
+/// must re-run q's transfer task during a resend round because the original
+/// executor died with its retained output.
+struct RoundMsg {
+  uint32_t seq = 0;
+  int32_t iteration = 0;
+  RoundKind kind = RoundKind::kTransfer;
+  uint8_t recovery = 0;
+  std::vector<uint8_t> alive;       ///< per machine
+  std::vector<MachineId> exec;      ///< per partition
+  std::vector<MachineId> route;     ///< per partition
+  std::vector<MachineId> reexec;    ///< per partition
+};
+
+/// worker -> coordinator after each completed task.
+struct TaskDoneMsg {
+  uint32_t partition = 0;
+  uint32_t machine = 0;
+  int32_t iteration = 0;
+  uint8_t kind = 0;  ///< RoundKind of the round the task ran in
+};
+
+/// worker -> coordinator (kRoundDone) and worker -> worker (kEos).
+struct SeqMsg {
+  uint32_t seq = 0;
+  uint32_t src_proc = 0;
+};
+
+/// worker -> worker after combining a partition (fault-tolerant runs only):
+/// the partition's fresh vertex states, and the virtual-vertex outputs its
+/// combine produced this iteration, shipped to the partition's other replica
+/// holders so a first-alive-replica takeover starts from current state.
+struct StateUpdateMsg {
+  uint32_t partition = 0;
+  int32_t iteration = 0;
+  uint32_t begin = 0;       ///< first encoded vertex id of the partition
+  uint32_t count = 0;       ///< number of vertices
+  std::vector<uint8_t> states;    ///< count * sizeof(VertexState) raw bytes
+  uint32_t virtual_count = 0;
+  std::vector<uint8_t> virtuals;  ///< virtual_count * (u64 id + VirtualOutput)
+};
+
+/// worker -> coordinator at finalize: counters and the worker's additive
+/// share of the M x M link matrix.
+struct WorkerStatsMsg {
+  uint64_t tasks_executed = 0;
+  uint64_t tasks_reexecuted = 0;
+  uint64_t messages_sent = 0;
+  uint64_t buffers_sent = 0;
+  uint64_t wire_batches_sent = 0;
+  uint64_t wire_segments_sent = 0;
+  uint64_t wire_payload_bytes = 0;
+  uint64_t wire_messages_combined = 0;
+  uint64_t wire_flush_size = 0;
+  uint64_t wire_flush_deadline = 0;
+  uint64_t wire_flush_stage_end = 0;
+  uint64_t pool_buffers_acquired = 0;
+  uint64_t pool_buffers_reused = 0;
+  uint64_t refetch_bytes = 0;
+  uint64_t tcp_bytes_sent = 0;
+  uint64_t tcp_frames_sent = 0;
+  uint64_t resend_bytes = 0;
+  uint64_t replication_bytes = 0;
+  uint64_t peak_rss_bytes = 0;
+  std::vector<uint64_t> link_bytes;  ///< row-major M x M, this worker's sends
+};
+
+/// worker -> coordinator at finalize: one partition's final vertex states,
+/// stamped with the last iteration whose combine produced them. The
+/// coordinator keeps the highest stamp per partition, which is how a replica
+/// holder's copy wins over a dead primary's lost one.
+struct FinalStateMsg {
+  uint32_t partition = 0;
+  int32_t version = -1;
+  uint32_t begin = 0;
+  uint32_t count = 0;
+  std::vector<uint8_t> states;
+};
+
+/// worker -> coordinator at finalize: iteration-stamped virtual-vertex
+/// outputs, entries of (u64 id, i32 version, VirtualOutput bytes).
+struct FinalVirtualMsg {
+  uint32_t entry_bytes = 0;  ///< sizeof(VirtualOutput)
+  uint32_t count = 0;
+  std::vector<uint8_t> entries;
+};
+
+std::vector<uint8_t> EncodeHello(const HelloMsg& msg);
+Result<HelloMsg> DecodeHello(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodePeers(const PeersMsg& msg);
+Result<PeersMsg> DecodePeers(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodePlacement(const PlacementMsg& msg);
+Result<PlacementMsg> DecodePlacement(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeRound(const RoundMsg& msg);
+Result<RoundMsg> DecodeRound(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeTaskDone(const TaskDoneMsg& msg);
+Result<TaskDoneMsg> DecodeTaskDone(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeSeq(const SeqMsg& msg);
+Result<SeqMsg> DecodeSeq(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeStateUpdate(const StateUpdateMsg& msg);
+Result<StateUpdateMsg> DecodeStateUpdate(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeWorkerStats(const WorkerStatsMsg& msg);
+Result<WorkerStatsMsg> DecodeWorkerStats(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeFinalState(const FinalStateMsg& msg);
+Result<FinalStateMsg> DecodeFinalState(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeFinalVirtual(const FinalVirtualMsg& msg);
+Result<FinalVirtualMsg> DecodeFinalVirtual(const std::vector<uint8_t>& payload);
+
+}  // namespace net
+}  // namespace surfer
+
+#endif  // SURFER_NET_CONTROL_H_

@@ -1,0 +1,546 @@
+#include "net/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <poll.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+
+#include "net/frame.h"
+
+namespace surfer {
+namespace net {
+
+namespace {
+
+/// How long the coordinator waits for any control event before declaring the
+/// run wedged. Generous: workers only go quiet while computing.
+constexpr int kEventTimeoutMs = 120000;
+
+/// Grace period between closing a child's control socket and SIGKILL.
+constexpr int kReapGraceMs = 10000;
+
+void AddStats(WorkerStatsMsg& into, const WorkerStatsMsg& from) {
+  into.tasks_executed += from.tasks_executed;
+  into.tasks_reexecuted += from.tasks_reexecuted;
+  into.messages_sent += from.messages_sent;
+  into.buffers_sent += from.buffers_sent;
+  into.wire_batches_sent += from.wire_batches_sent;
+  into.wire_segments_sent += from.wire_segments_sent;
+  into.wire_payload_bytes += from.wire_payload_bytes;
+  into.wire_messages_combined += from.wire_messages_combined;
+  into.wire_flush_size += from.wire_flush_size;
+  into.wire_flush_deadline += from.wire_flush_deadline;
+  into.wire_flush_stage_end += from.wire_flush_stage_end;
+  into.pool_buffers_acquired += from.pool_buffers_acquired;
+  into.pool_buffers_reused += from.pool_buffers_reused;
+  into.refetch_bytes += from.refetch_bytes;
+  into.tcp_bytes_sent += from.tcp_bytes_sent;
+  into.tcp_frames_sent += from.tcp_frames_sent;
+  into.resend_bytes += from.resend_bytes;
+  into.replication_bytes += from.replication_bytes;
+  for (size_t i = 0;
+       i < from.link_bytes.size() && i < into.link_bytes.size(); ++i) {
+    into.link_bytes[i] += from.link_bytes[i];
+  }
+}
+
+}  // namespace
+
+DistributedCoordinator::DistributedCoordinator(CoordinatorParams params,
+                                               WorkerEntry entry)
+    : params_(std::move(params)), entry_(std::move(entry)) {}
+
+Result<CoordinatorOutcome> DistributedCoordinator::Run() {
+  if (params_.num_processes == 0 || params_.num_machines == 0 ||
+      params_.replicas == nullptr || entry_ == nullptr) {
+    return Status::InvalidArgument("coordinator params incomplete");
+  }
+  fault_tolerant_ = params_.placement.fault_tolerant != 0;
+  alive_machines_.assign(params_.num_machines, 1);
+  seq_ = 0;
+  sigterm_delivered_ = false;
+
+  CoordinatorOutcome out;
+  out.totals.link_bytes.assign(
+      static_cast<size_t>(params_.num_machines) * params_.num_machines, 0);
+  out.worker_reports.assign(params_.num_processes, "");
+
+  Status st = Spawn();
+  if (st.ok()) {
+    st = HandshakeAll();
+  }
+  if (st.ok()) {
+    st = RunBsp(&out);
+  }
+  if (st.ok()) {
+    st = Finalize(&out);
+  }
+  Shutdown();
+  if (!st.ok()) {
+    return st;
+  }
+  out.alive = alive_machines_;
+  out.machine_failures = machine_failures_;
+  return out;
+}
+
+Status DistributedCoordinator::Spawn() {
+  procs_.clear();
+  procs_.resize(params_.num_processes);
+  for (uint32_t i = 0; i < params_.num_processes; ++i) {
+    SURFER_ASSIGN_OR_RETURN(auto pair, Socket::Pair());
+    Socket parent_end = std::move(pair.first);
+    Socket child_end = std::move(pair.second);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      return Status::IOError("fork failed");
+    }
+    if (pid == 0) {
+      // Child: drop every inherited parent-side control socket (earlier
+      // children's and our own) so control EOF tracks process death exactly,
+      // then hand off to the worker entry. The entry must _exit.
+      for (uint32_t j = 0; j < i; ++j) {
+        procs_[j].control.Close();
+      }
+      parent_end.Close();
+      entry_(i, std::move(child_end));
+      ::_exit(3);  // entry returned: protocol bug, die loudly
+    }
+    procs_[i].pid = pid;
+    procs_[i].control = std::move(parent_end);
+    procs_[i].alive = true;
+    // child_end closes here in the parent (scope exit).
+  }
+  return Status::OK();
+}
+
+Status DistributedCoordinator::HandshakeAll() {
+  PeersMsg peers;
+  peers.ports.assign(params_.num_processes, 0);
+  for (uint32_t i = 0; i < params_.num_processes; ++i) {
+    SURFER_ASSIGN_OR_RETURN(Frame frame, ReadFrame(procs_[i].control));
+    if (frame.type != FrameType::kHello) {
+      return Status::Internal("expected kHello from worker " +
+                              std::to_string(i));
+    }
+    SURFER_ASSIGN_OR_RETURN(HelloMsg hello, DecodeHello(frame.payload));
+    if (hello.proc != i) {
+      return Status::Internal("worker identity mismatch in hello");
+    }
+    peers.ports[i] = hello.mesh_port;
+  }
+  const std::vector<uint8_t> peers_payload = EncodePeers(peers);
+  const std::vector<uint8_t> placement_payload =
+      EncodePlacement(params_.placement);
+  for (uint32_t i = 0; i < params_.num_processes; ++i) {
+    SURFER_RETURN_IF_ERROR(
+        WriteFrame(procs_[i].control, FrameType::kPeers, peers_payload));
+    SURFER_RETURN_IF_ERROR(WriteFrame(procs_[i].control, FrameType::kPlacement,
+                                      placement_payload));
+  }
+  for (uint32_t i = 0; i < params_.num_processes; ++i) {
+    SURFER_ASSIGN_OR_RETURN(Frame frame, ReadFrame(procs_[i].control));
+    if (frame.type != FrameType::kReady) {
+      return Status::Internal("expected kReady from worker " +
+                              std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+Status DistributedCoordinator::RunBsp(CoordinatorOutcome* out) {
+  for (int iteration = 0; iteration < params_.iterations; ++iteration) {
+    if (params_.sigterm_machine != kInvalidMachine && !sigterm_delivered_ &&
+        iteration == params_.sigterm_iteration) {
+      SURFER_RETURN_IF_ERROR(DeliverSigterm(out));
+    }
+    SURFER_RETURN_IF_ERROR(RunStage(RoundKind::kTransfer, iteration, out));
+    SURFER_RETURN_IF_ERROR(RunStage(RoundKind::kCombine, iteration, out));
+  }
+  return Status::OK();
+}
+
+Status DistributedCoordinator::RunStage(RoundKind stage_kind, int iteration,
+                                        CoordinatorOutcome* out) {
+  const uint32_t num_partitions = params_.placement.num_partitions;
+  const char* stage_name =
+      stage_kind == RoundKind::kTransfer ? "transfer" : "combine";
+  done_.assign(num_partitions, 0);
+  if (stage_kind == RoundKind::kTransfer) {
+    holders_.assign(num_partitions, {});
+    transfer_exec_.assign(num_partitions, kInvalidMachine);
+  }
+  bool recovery = false;
+  for (;;) {
+    std::vector<PartitionId> pending;
+    for (PartitionId p = 0; p < num_partitions; ++p) {
+      if (!done_[p]) {
+        pending.push_back(p);
+      }
+    }
+    if (pending.empty()) {
+      return Status::OK();
+    }
+
+    if (stage_kind == RoundKind::kCombine) {
+      // Partitions whose inbox holders died must be rebuilt before (or
+      // instead of re-running) their combine: a resend round replays every
+      // retained batch destined to them and re-executes the transfer tasks
+      // whose producer died with its retained output.
+      std::vector<uint8_t> rebuild(num_partitions, 0);
+      bool any_rebuild = false;
+      for (PartitionId p : pending) {
+        for (MachineId h : holders_[p]) {
+          if (!alive_machines_[h]) {
+            rebuild[p] = 1;
+            any_rebuild = true;
+            break;
+          }
+        }
+      }
+      if (any_rebuild) {
+        RoundMsg round;
+        round.kind = RoundKind::kResend;
+        round.iteration = iteration;
+        round.recovery = 1;
+        round.exec.assign(num_partitions, kInvalidMachine);
+        round.route.assign(num_partitions, kInvalidMachine);
+        round.reexec.assign(num_partitions, kInvalidMachine);
+        for (PartitionId p = 0; p < num_partitions; ++p) {
+          if (rebuild[p]) {
+            const MachineId m =
+                params_.replicas->FirstAliveReplica(p, alive_machines_);
+            if (m == kInvalidMachine) {
+              return Status::Internal(
+                  "all replicas of partition " + std::to_string(p) +
+                  " are dead; combine stage cannot recover");
+            }
+            round.exec[p] = m;
+            round.route[p] = m;
+          }
+          if (transfer_exec_[p] != kInvalidMachine &&
+              !alive_machines_[transfer_exec_[p]]) {
+            const MachineId m =
+                params_.replicas->FirstAliveReplica(p, alive_machines_);
+            if (m == kInvalidMachine) {
+              return Status::Internal(
+                  "all replicas of partition " + std::to_string(p) +
+                  " are dead; transfer output cannot be rebuilt");
+            }
+            round.reexec[p] = m;
+          }
+        }
+        const std::vector<MachineId> assignees = round.exec;
+        int deaths = 0;
+        SURFER_RETURN_IF_ERROR(DriveRound(std::move(round), out, &deaths));
+        ++out->recovery_rounds;
+        if (deaths == 0) {
+          // A clean resend collapses each rebuilt partition's holder set to
+          // its new (alive) assignee. A resend interrupted by another death
+          // keeps the old holder set — the dead holder it still names puts
+          // the partition straight back into the next rebuild set.
+          for (PartitionId p = 0; p < num_partitions; ++p) {
+            if (rebuild[p]) {
+              holders_[p].assign(1, assignees[p]);
+            }
+          }
+        }
+        continue;
+      }
+    }
+
+    RoundMsg round;
+    round.kind = stage_kind;
+    round.iteration = iteration;
+    round.recovery = recovery ? 1 : 0;
+    round.exec.assign(num_partitions, kInvalidMachine);
+    round.route.assign(num_partitions, kInvalidMachine);
+    round.reexec.assign(num_partitions, kInvalidMachine);
+    for (PartitionId p : pending) {
+      const MachineId m =
+          params_.replicas->FirstAliveReplica(p, alive_machines_);
+      if (m == kInvalidMachine) {
+        return Status::Internal("all replicas of partition " +
+                                std::to_string(p) + " are dead; " +
+                                stage_name + " stage cannot recover");
+      }
+      round.exec[p] = m;
+    }
+    if (stage_kind == RoundKind::kTransfer) {
+      for (PartitionId d = 0; d < num_partitions; ++d) {
+        const MachineId r =
+            params_.replicas->FirstAliveReplica(d, alive_machines_);
+        if (r == kInvalidMachine) {
+          return Status::Internal("all replicas of partition " +
+                                  std::to_string(d) +
+                                  " are dead; transfer stage cannot route");
+        }
+        round.route[d] = r;
+        // The route machine may now hold chunks of d's inbox whether or not
+        // this round completes cleanly.
+        if (std::find(holders_[d].begin(), holders_[d].end(), r) ==
+            holders_[d].end()) {
+          holders_[d].push_back(r);
+        }
+      }
+    }
+    int deaths = 0;
+    SURFER_RETURN_IF_ERROR(DriveRound(std::move(round), out, &deaths));
+    if (recovery) {
+      ++out->recovery_rounds;
+    }
+    recovery = true;
+  }
+}
+
+Status DistributedCoordinator::DriveRound(RoundMsg round,
+                                          CoordinatorOutcome* out,
+                                          int* deaths) {
+  round.seq = ++seq_;
+  round.alive = alive_machines_;
+  const std::vector<uint8_t> payload = EncodeRound(round);
+  std::vector<uint8_t> expect(procs_.size(), 0);
+  size_t waiting = 0;
+  for (uint32_t i = 0; i < procs_.size(); ++i) {
+    if (!procs_[i].alive) {
+      continue;
+    }
+    if (!WriteFrame(procs_[i].control, FrameType::kRound, payload).ok()) {
+      SURFER_RETURN_IF_ERROR(MarkProcDead(i));
+      ++*deaths;
+      continue;
+    }
+    expect[i] = 1;
+    ++waiting;
+  }
+  while (waiting > 0) {
+    SURFER_ASSIGN_OR_RETURN(Event event, WaitControlEvent());
+    if (event.death) {
+      SURFER_RETURN_IF_ERROR(MarkProcDead(event.proc));
+      ++*deaths;
+      if (expect[event.proc]) {
+        expect[event.proc] = 0;
+        --waiting;
+      }
+      continue;
+    }
+    switch (event.frame.type) {
+      case FrameType::kTaskDone: {
+        SURFER_ASSIGN_OR_RETURN(TaskDoneMsg task,
+                                DecodeTaskDone(event.frame.payload));
+        if (task.partition >= done_.size()) {
+          return Status::Internal("task-done partition out of range");
+        }
+        if (task.kind == static_cast<uint8_t>(RoundKind::kResend)) {
+          transfer_exec_[task.partition] = task.machine;
+        } else {
+          done_[task.partition] = 1;
+          if (task.kind == static_cast<uint8_t>(RoundKind::kTransfer)) {
+            transfer_exec_[task.partition] = task.machine;
+          }
+        }
+        break;
+      }
+      case FrameType::kRoundDone: {
+        SURFER_ASSIGN_OR_RETURN(SeqMsg done, DecodeSeq(event.frame.payload));
+        if (done.seq == round.seq && expect[event.proc]) {
+          expect[event.proc] = 0;
+          --waiting;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  ++out->rounds;
+  return Status::OK();
+}
+
+Result<DistributedCoordinator::Event>
+DistributedCoordinator::WaitControlEvent() {
+  std::vector<pollfd> fds;
+  std::vector<uint32_t> owner;
+  for (uint32_t i = 0; i < procs_.size(); ++i) {
+    if (procs_[i].alive) {
+      fds.push_back(pollfd{procs_[i].control.fd(), POLLIN, 0});
+      owner.push_back(i);
+    }
+  }
+  if (fds.empty()) {
+    return Status::Internal("no live worker processes to wait on");
+  }
+  int rc;
+  do {
+    rc = ::poll(fds.data(), fds.size(), kEventTimeoutMs);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return Status::IOError("poll on control sockets failed");
+  }
+  if (rc == 0) {
+    return Status::Internal("timed out waiting for worker control traffic");
+  }
+  for (size_t k = 0; k < fds.size(); ++k) {
+    if (fds[k].revents == 0) {
+      continue;
+    }
+    Event event;
+    event.proc = owner[k];
+    if ((fds[k].revents & POLLIN) != 0) {
+      Result<Frame> frame = ReadFrame(procs_[owner[k]].control);
+      if (!frame.ok()) {
+        event.death = true;
+        return event;
+      }
+      event.frame = std::move(*frame);
+      return event;
+    }
+    // POLLHUP/POLLERR without readable data: the process is gone.
+    event.death = true;
+    return event;
+  }
+  return Status::Internal("poll reported readiness but no fd was ready");
+}
+
+Status DistributedCoordinator::MarkProcDead(uint32_t proc) {
+  Proc& p = procs_[proc];
+  if (!p.alive) {
+    return Status::OK();
+  }
+  p.alive = false;
+  p.control.Close();
+  for (MachineId m = 0; m < params_.num_machines; ++m) {
+    if (HostsMachine(proc, m) && alive_machines_[m]) {
+      alive_machines_[m] = 0;
+      ++machine_failures_;
+    }
+  }
+  ReapChild(p, /*force_kill_after_grace=*/true);
+  if (!fault_tolerant_) {
+    return Status::Internal(
+        "worker process " + std::to_string(proc) +
+        " died during a run with no fault tolerance configured");
+  }
+  return Status::OK();
+}
+
+void DistributedCoordinator::ReapChild(Proc& proc,
+                                       bool force_kill_after_grace) {
+  if (proc.reaped || proc.pid <= 0) {
+    return;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(kReapGraceMs);
+  for (;;) {
+    const pid_t rc = ::waitpid(proc.pid, nullptr, WNOHANG);
+    if (rc == proc.pid || (rc < 0 && errno == ECHILD)) {
+      proc.reaped = true;
+      return;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (force_kill_after_grace) {
+    ::kill(proc.pid, SIGKILL);
+    ::waitpid(proc.pid, nullptr, 0);
+    proc.reaped = true;
+  }
+}
+
+Status DistributedCoordinator::DeliverSigterm(CoordinatorOutcome* out) {
+  (void)out;
+  sigterm_delivered_ = true;
+  const uint32_t proc = params_.sigterm_machine % params_.num_processes;
+  if (!procs_[proc].alive) {
+    return Status::OK();
+  }
+  ::kill(procs_[proc].pid, SIGTERM);
+  // The worker flushes, writes its artifacts, and exits; consume anything it
+  // still says and wait for its EOF so the next round's liveness snapshot is
+  // deterministic.
+  for (;;) {
+    Result<Frame> frame = ReadFrame(procs_[proc].control);
+    if (!frame.ok()) {
+      break;
+    }
+  }
+  return MarkProcDead(proc);
+}
+
+Status DistributedCoordinator::Finalize(CoordinatorOutcome* out) {
+  for (uint32_t i = 0; i < procs_.size(); ++i) {
+    if (!procs_[i].alive) {
+      continue;
+    }
+    if (!WriteFrame(procs_[i].control, FrameType::kFinalize).ok()) {
+      SURFER_RETURN_IF_ERROR(MarkProcDead(i));
+    }
+  }
+  for (uint32_t i = 0; i < procs_.size(); ++i) {
+    if (!procs_[i].alive) {
+      continue;
+    }
+    bool collecting = true;
+    while (collecting) {
+      Result<Frame> frame = ReadFrame(procs_[i].control);
+      if (!frame.ok()) {
+        SURFER_RETURN_IF_ERROR(MarkProcDead(i));
+        break;
+      }
+      switch (frame->type) {
+        case FrameType::kWorkerStats: {
+          SURFER_ASSIGN_OR_RETURN(WorkerStatsMsg stats,
+                                  DecodeWorkerStats(frame->payload));
+          AddStats(out->totals, stats);
+          out->peak_worker_rss_bytes =
+              std::max(out->peak_worker_rss_bytes, stats.peak_rss_bytes);
+          break;
+        }
+        case FrameType::kFinalState: {
+          SURFER_ASSIGN_OR_RETURN(FinalStateMsg state,
+                                  DecodeFinalState(frame->payload));
+          out->states.push_back(std::move(state));
+          break;
+        }
+        case FrameType::kFinalVirtual: {
+          SURFER_ASSIGN_OR_RETURN(FinalVirtualMsg virtuals,
+                                  DecodeFinalVirtual(frame->payload));
+          out->virtuals.push_back(std::move(virtuals));
+          break;
+        }
+        case FrameType::kWorkerReport: {
+          out->worker_reports[i].assign(frame->payload.begin(),
+                                        frame->payload.end());
+          break;
+        }
+        case FrameType::kFinalDone:
+          collecting = false;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void DistributedCoordinator::Shutdown() {
+  for (Proc& proc : procs_) {
+    if (proc.alive && proc.control.valid()) {
+      (void)WriteFrame(proc.control, FrameType::kShutdown);
+    }
+  }
+  for (Proc& proc : procs_) {
+    proc.control.Close();
+    ReapChild(proc, /*force_kill_after_grace=*/true);
+  }
+}
+
+}  // namespace net
+}  // namespace surfer

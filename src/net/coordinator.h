@@ -1,0 +1,143 @@
+#ifndef SURFER_NET_COORDINATOR_H_
+#define SURFER_NET_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/types.h"
+#include "net/control.h"
+#include "net/socket.h"
+#include "storage/replication.h"
+
+namespace surfer {
+namespace net {
+
+/// Everything the coordinator needs to drive a distributed run; the
+/// app-typed executor builds this and supplies a fork entry point.
+struct CoordinatorParams {
+  uint32_t num_processes = 0;
+  uint32_t num_machines = 0;
+  int iterations = 1;
+  /// Broadcast to every worker after the hello round; fault_tolerant and the
+  /// fault plans inside gate the recovery machinery on both sides.
+  PlacementMsg placement;
+  /// The replica table behind `placement` (not owned); the coordinator's
+  /// source of first-alive-replica assignment.
+  const ReplicatedPlacement* replicas = nullptr;
+  /// Deliver a real SIGTERM to the process hosting this machine right before
+  /// the given iteration (graceful-decommission drill); kInvalidMachine = off.
+  MachineId sigterm_machine = kInvalidMachine;
+  int sigterm_iteration = 0;
+};
+
+/// What a completed coordinator run hands back to the executor.
+struct CoordinatorOutcome {
+  /// Workers' counters summed; link_bytes is the full M x M matrix.
+  WorkerStatsMsg totals;
+  uint32_t machine_failures = 0;
+  uint64_t rounds = 0;           ///< BSP rounds driven (>= 2 per iteration)
+  uint64_t recovery_rounds = 0;  ///< re-assignment + resend rounds
+  std::vector<uint8_t> alive;    ///< final per-machine liveness
+  /// Per-partition final states as received, possibly several versions of
+  /// the same partition from different replica holders; the executor keeps
+  /// the highest-version copy.
+  std::vector<FinalStateMsg> states;
+  std::vector<FinalVirtualMsg> virtuals;
+  /// Per-process run-report JSON (empty string for processes that died).
+  std::vector<std::string> worker_reports;
+  /// Peak worker-process RSS reported at finalize (max across processes).
+  uint64_t peak_worker_rss_bytes = 0;
+};
+
+/// Parent-process side of the distributed engine: forks one worker process
+/// per simulated machine group, runs the setup rendezvous (hello -> peers ->
+/// placement -> ready), then drives the BSP barrier over control frames.
+///
+/// Per stage it assigns every pending partition to its first alive replica
+/// holder and broadcasts a kRound; workers report kTaskDone per task and
+/// kRoundDone when their round (work + mesh drain) is complete. A worker
+/// process that dies — fault-plan self-kill, delivered SIGTERM, or crash —
+/// surfaces as EOF on its control socket; the coordinator marks its hosted
+/// machines dead, treats its round as implicitly done, and schedules
+/// recovery: re-assignment rounds for unexecuted tasks, and resend rounds
+/// (retained-batch replay + transfer re-execution) to rebuild the inboxes of
+/// partitions whose holders died before combining. A death in a
+/// non-fault-tolerant run aborts the job instead.
+class DistributedCoordinator {
+ public:
+  /// Runs the worker side in the forked child. Must never return; the child
+  /// _exits. Receives the child's process index and control socket.
+  using WorkerEntry = std::function<void(uint32_t proc, Socket control)>;
+
+  DistributedCoordinator(CoordinatorParams params, WorkerEntry entry);
+
+  /// Spawns, drives, collects, shuts down. Always reaps every child before
+  /// returning, also on error.
+  Result<CoordinatorOutcome> Run();
+
+ private:
+  struct Proc {
+    pid_t pid = -1;
+    Socket control;
+    bool alive = false;
+    bool reaped = false;
+  };
+
+  struct Event {
+    bool death = false;
+    uint32_t proc = 0;
+    Frame frame;
+  };
+
+  Status Spawn();
+  Status HandshakeAll();
+  Status RunBsp(CoordinatorOutcome* out);
+  Status RunStage(RoundKind stage_kind, int iteration,
+                  CoordinatorOutcome* out);
+  /// Broadcasts one round and pumps control events until every alive
+  /// process reported kRoundDone. `deaths` counts processes lost mid-round.
+  Status DriveRound(RoundMsg round, CoordinatorOutcome* out, int* deaths);
+  Status Finalize(CoordinatorOutcome* out);
+  void Shutdown();
+
+  Result<Event> WaitControlEvent();
+  /// Marks a process (and its hosted machines) dead and reaps it. Returns an
+  /// error when the run is not fault tolerant.
+  Status MarkProcDead(uint32_t proc);
+  void ReapChild(Proc& proc, bool force_kill_after_grace);
+  Status DeliverSigterm(CoordinatorOutcome* out);
+
+  bool HostsMachine(uint32_t proc, MachineId m) const {
+    return m % params_.num_processes == proc;
+  }
+
+  CoordinatorParams params_;
+  WorkerEntry entry_;
+  bool fault_tolerant_ = false;
+
+  std::vector<Proc> procs_;
+  std::vector<uint8_t> alive_machines_;
+  uint32_t seq_ = 0;
+  uint32_t machine_failures_ = 0;
+  bool sigterm_delivered_ = false;
+
+  // Per-stage scheduling state.
+  std::vector<uint8_t> done_;
+  /// holders_[p]: machines that may hold chunks of p's inbox this iteration
+  /// (transfer-round routes, collapsed to the resend assignee after a clean
+  /// resend). Any dead holder means p's inbox must be rebuilt.
+  std::vector<std::vector<MachineId>> holders_;
+  /// transfer_exec_[q]: machine whose process holds q's retained transfer
+  /// output (last reported executor). Dead executor => re-execute during the
+  /// next resend round.
+  std::vector<MachineId> transfer_exec_;
+};
+
+}  // namespace net
+}  // namespace surfer
+
+#endif  // SURFER_NET_COORDINATOR_H_

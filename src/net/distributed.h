@@ -1,0 +1,1241 @@
+#ifndef SURFER_NET_DISTRIBUTED_H_
+#define SURFER_NET_DISTRIBUTED_H_
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <type_traits>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/result.h"
+#include "net/control.h"
+#include "net/coordinator.h"
+#include "net/frame.h"
+#include "net/transport.h"
+#include "obs/run_report.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "propagation/app_traits.h"
+#include "propagation/config.h"
+#include "runtime/fault.h"
+#include "runtime/report.h"
+#include "runtime/stats.h"
+#include "runtime/wire_batch.h"
+#include "storage/partitioned_graph.h"
+#include "storage/replication.h"
+
+namespace surfer {
+namespace net {
+
+/// Apps that can run distributed: wire-serializable messages (the mesh
+/// carries WireBatches) plus trivially-copyable vertex states and virtual
+/// outputs, because final results and replication updates cross process
+/// boundaries as raw bytes.
+template <typename App>
+concept DistributableApp =
+    PropagationApp<App> && runtime::WireSerializableApp<App> &&
+    std::is_trivially_copyable_v<typename App::VertexState> &&
+    std::is_trivially_copyable_v<typename internal::VirtualOutputOf<App>::type>;
+
+/// Knobs of the distributed engine.
+struct DistributedOptions {
+  /// Worker processes; 0 means one per simulated machine. With fewer
+  /// processes than machines, machine m is hosted by process
+  /// (m % num_processes) — mirroring the threaded executor's worker
+  /// ownership rule, so a process death is a correlated failure of its
+  /// hosted machine group.
+  uint32_t max_processes = 0;
+  /// Wire-plane staging knobs (shared with the threaded runtime).
+  runtime::WireBatchOptions wire;
+  /// Task-granular fault plans. Here a plan kills the *process* hosting the
+  /// planned machine (flushing completed-task output first), so recovery
+  /// exercises real process death, reconnect-free mesh degradation, and
+  /// first-alive-replica takeover.
+  std::vector<runtime::RuntimeFaultPlan> faults;
+  /// Deliver a real SIGTERM to the process hosting this machine before the
+  /// given iteration (graceful decommission); kInvalidMachine = off.
+  MachineId sigterm_machine = kInvalidMachine;
+  int sigterm_iteration = 0;
+  /// When non-empty, each worker process writes
+  /// `dist_worker_<proc>.report.json` and `dist_worker_<proc>.trace.json`
+  /// here at finalize (and on SIGTERM).
+  std::string artifact_dir;
+  /// Per-worker-process flight recorder (mailbox depth, RSS).
+  obs::TelemetryOptions telemetry;
+};
+
+namespace detail {
+
+/// The worker-process side of the distributed engine: hosts the machines
+/// m % P == proc, executes their rounds as directed by the coordinator, and
+/// exchanges WireBatch data frames with the other workers over the TCP mesh.
+///
+/// Bit-identity argument (the same one the threaded RuntimeExecutor makes):
+/// exactly one machine produces a given (src partition -> dst partition)
+/// stream per stage, each TCP connection is FIFO and drained by one receiver
+/// thread into a FIFO mailbox, so chunks of a stream reach the destination
+/// inbox in emission order; the combine side stable-sorts chunks by src
+/// partition, concatenates, and stable-sorts records by target — exactly the
+/// sequential inbox. Recovery preserves the argument because replayed
+/// retained segments keep their original src machine and relative order, and
+/// re-executed transfer tasks go back through a WireStager (identical merge
+/// sequence) against *iteration-start* states (see next_states_ below).
+template <typename App>
+  requires DistributableApp<App>
+class DistributedWorker {
+ public:
+  using VertexState = typename App::VertexState;
+  using Message = typename App::Message;
+  using VirtualOutput = typename internal::VirtualOutputOf<App>::type;
+
+  DistributedWorker(const PartitionedGraph* graph, App app,
+                    PropagationConfig config, DistributedOptions options,
+                    uint32_t proc, Socket control)
+      : graph_(graph),
+        app_(std::move(app)),
+        config_(config),
+        options_(std::move(options)),
+        proc_(proc),
+        transport_(proc, std::move(control)) {}
+
+  /// Runs the whole worker life cycle. Never returns: every path ends in
+  /// _exit (0 clean/graceful, 2 fault or protocol failure).
+  [[noreturn]] void Run() {
+    InstallWorkerSignalHandlers();
+    tracer_ = std::make_unique<obs::Tracer>();
+    trace_origin_unix_us_ = NowUnixUs() - tracer_->WallNowUs();
+    PlacementMsg placement;
+    if (!transport_.Handshake(&placement).ok()) {
+      Die();
+    }
+    if (!Setup(placement)) {
+      Die();
+    }
+    for (;;) {
+      Result<Frame> frame = transport_.ReadControl();
+      if (!frame.ok()) {
+        if (SigtermFlag()->load(std::memory_order_relaxed)) {
+          GracefulExit();
+        }
+        Die();  // coordinator vanished mid-run
+      }
+      switch (frame->type) {
+        case FrameType::kRound: {
+          Result<RoundMsg> round = DecodeRound(frame->payload);
+          if (!round.ok()) {
+            Die();
+          }
+          ExecuteRound(*round);
+          break;
+        }
+        case FrameType::kFinalize:
+          Finalize();
+          break;
+        case FrameType::kShutdown:
+          transport_.CloseAll();
+          ::_exit(0);
+        default:
+          break;
+      }
+    }
+  }
+
+ private:
+  /// One deserialized wire segment waiting in a partition's inbox; mirrors
+  /// the threaded executor's chunk (src machine kept for refetch pricing).
+  struct InboxChunk {
+    PartitionId src = kInvalidPartition;
+    MachineId src_machine = kInvalidMachine;
+    uint64_t priced_bytes = 0;
+    std::vector<std::pair<VertexId, Message>> real;
+    std::vector<std::pair<uint64_t, Message>> virtuals;
+  };
+
+  static double NowUnixUs() {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  }
+
+  [[noreturn]] void Die() {
+    transport_.CloseAll();
+    ::_exit(2);
+  }
+
+  bool HostedHere(MachineId m) const { return m % num_procs_ == proc_; }
+
+  bool Setup(const PlacementMsg& placement) {
+    num_machines_ = placement.num_machines;
+    num_partitions_ = placement.num_partitions;
+    num_procs_ = transport_.num_procs();
+    if (num_partitions_ != graph_->num_partitions() || num_machines_ == 0 ||
+        placement.replication == 0) {
+      return false;
+    }
+    fault_tolerant_ = placement.fault_tolerant != 0;
+    fault_ = runtime::FaultController(placement.faults);
+    replicas_.assign(num_partitions_, {});
+    if (placement.replicas.size() !=
+        static_cast<size_t>(num_partitions_) * placement.replication) {
+      return false;
+    }
+    for (PartitionId p = 0; p < num_partitions_; ++p) {
+      for (uint32_t r = 0; r < placement.replication; ++r) {
+        replicas_[p].push_back(
+            placement.replicas[static_cast<size_t>(p) * placement.replication +
+                               r]);
+      }
+    }
+    for (MachineId m = 0; m < num_machines_; ++m) {
+      if (HostedHere(m)) {
+        hosted_.push_back(m);
+      }
+    }
+    wire_combine_ = config_.local_combination && MergeableApp<App> &&
+                    options_.wire.wire_combine;
+    pool_ = std::make_unique<runtime::WireBufferPool>();
+    for (MachineId m : hosted_) {
+      stagers_.emplace(
+          std::piecewise_construct, std::forward_as_tuple(m),
+          std::forward_as_tuple(&app_, options_.wire, pool_.get(), m,
+                                num_machines_, wire_combine_));
+    }
+
+    const Graph& g = graph_->encoded_graph();
+    states_.clear();
+    states_.reserve(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      states_.push_back(app_.InitState(v, g.OutNeighbors(v)));
+    }
+    // Deferred-commit double buffer: transfer tasks (including recovery
+    // re-execution, which can run *after* some combines of the same
+    // iteration) always read states_, the value set at iteration start;
+    // combine results land in next_states_ and commit at the next iteration
+    // boundary. In-place mutation would poison re-executed transfers.
+    next_states_ = states_;
+    dirty_.assign(num_partitions_, 0);
+    state_version_.assign(num_partitions_, -1);
+    inboxes_.assign(num_partitions_, {});
+    stage_tasks_done_.assign(num_machines_, 0);
+    link_bytes_.assign(static_cast<size_t>(num_machines_) * num_machines_, 0);
+
+    telemetry_ = std::make_unique<obs::TelemetryRecorder>(options_.telemetry);
+    if (options_.telemetry.enabled) {
+      telemetry_->RegisterGauge("dist_mailbox_depth", "frames", [this] {
+        return static_cast<double>(transport_.ApproxMailboxDepth());
+      });
+      telemetry_->RegisterGauge(
+          "proc_rss_bytes", "bytes",
+          [] {
+            return static_cast<double>(obs::ReadMemoryUsage().rss_bytes);
+          },
+          /*ceiling=*/0.0, /*period_multiple=*/16);
+      // The sampler thread must never take the process-directed SIGTERM:
+      // only the main thread owns the graceful-exit interrupt.
+      sigset_t block, old;
+      sigemptyset(&block);
+      sigaddset(&block, SIGTERM);
+      pthread_sigmask(SIG_BLOCK, &block, &old);
+      telemetry_->Start();
+      pthread_sigmask(SIG_SETMASK, &old, nullptr);
+    }
+    return true;
+  }
+
+  // ------------------------------------------------------------ round driver
+
+  void ExecuteRound(const RoundMsg& round) {
+    obs::ScopedSpan span(
+        tracer_.get(), "dist_round[" + std::to_string(round.seq) + "]", "net",
+        {{"kind", std::to_string(static_cast<int>(round.kind))},
+         {"iteration", std::to_string(round.iteration)}});
+    if (round.kind == RoundKind::kTransfer &&
+        round.iteration != started_iteration_) {
+      // First transfer round of a new iteration: commit last iteration's
+      // combine results, drop last iteration's retention, advance the app.
+      CommitPendingStates();
+      started_iteration_ = round.iteration;
+      if constexpr (IterationAwareApp<App>) {
+        app_.OnIterationStart(round.iteration);
+      }
+      for (runtime::WireBatch& batch : retained_) {
+        pool_->Release(std::move(batch.payload));
+      }
+      retained_.clear();
+    }
+    const RoundKind norm =
+        round.kind == RoundKind::kResend ? RoundKind::kCombine : round.kind;
+    if (stage_iteration_ != round.iteration || stage_kind_ != norm) {
+      stage_iteration_ = round.iteration;
+      stage_kind_ = norm;
+      std::fill(stage_tasks_done_.begin(), stage_tasks_done_.end(), 0u);
+    }
+    if (round.kind == RoundKind::kResend) {
+      ExecuteResend(round);
+    } else {
+      ExecuteNormal(round);
+    }
+  }
+
+  void ExecuteNormal(const RoundMsg& round) {
+    const runtime::RuntimeStage stage = round.kind == RoundKind::kTransfer
+                                            ? runtime::RuntimeStage::kTransfer
+                                            : runtime::RuntimeStage::kCombine;
+    for (MachineId m : hosted_) {
+      for (PartitionId p = 0; p < num_partitions_; ++p) {
+        if (round.exec[p] != m) {
+          continue;
+        }
+        if (fault_.ShouldKill(m, round.iteration, stage,
+                              stage_tasks_done_[m])) {
+          FaultExit();
+        }
+        if (round.kind == RoundKind::kTransfer) {
+          RunTransferTask(p, m, round);
+        } else {
+          RunCombineTask(p, m, round);
+        }
+        ++stage_tasks_done_[m];
+        ++tasks_executed_;
+        if (round.recovery != 0) {
+          ++tasks_reexecuted_;
+        }
+        SendTaskDone(p, m, round);
+        if (round.kind == RoundKind::kTransfer) {
+          stagers_.at(m).FlushExpired([&](runtime::WireBatch&& batch) {
+            return ShipBatch(std::move(batch), /*resend=*/false,
+                             /*retain=*/true);
+          });
+        }
+        PumpMailbox();
+      }
+      if (round.kind == RoundKind::kTransfer) {
+        stagers_.at(m).FlushAll([&](runtime::WireBatch&& batch) {
+          return ShipBatch(std::move(batch), /*resend=*/false,
+                           /*retain=*/true);
+        });
+      }
+    }
+    FinishRound(round);
+  }
+
+  /// Recovery-only round: rebuild the inboxes of the partitions in
+  /// round.exec (their previous holders died) by replaying retained batches
+  /// and re-executing the transfer tasks whose producer died with its
+  /// retained output.
+  void ExecuteResend(const RoundMsg& round) {
+    // Clear before the first mailbox pop of this round: replayed frames that
+    // raced ahead of our own replay work sit safely in the transport mailbox
+    // until PumpMailbox runs (pumps only happen inside rounds).
+    for (PartitionId p = 0; p < num_partitions_; ++p) {
+      if (round.exec[p] != kInvalidMachine && HostedHere(round.exec[p])) {
+        inboxes_[p].clear();
+      }
+    }
+    ReplayRetained(round);
+    for (MachineId m : hosted_) {
+      for (PartitionId q = 0; q < num_partitions_; ++q) {
+        if (round.reexec[q] != m) {
+          continue;
+        }
+        ReexecTransfer(q, m, round);
+        ++tasks_executed_;
+        ++tasks_reexecuted_;
+        SendTaskDone(q, m, round);
+        PumpMailbox();
+      }
+    }
+    FinishRound(round);
+  }
+
+  void FinishRound(const RoundMsg& round) {
+    if (!transport_.BroadcastEos(round.seq).ok()) {
+      Die();
+    }
+    for (;;) {
+      PumpMailbox();
+      if (transport_.RoundDrained(round.seq)) {
+        break;
+      }
+      if (SigtermFlag()->load(std::memory_order_relaxed)) {
+        GracefulExit();
+      }
+      transport_.WaitActivity();
+    }
+    // Every peer is dead or past-EOS, and each receiver pushes a link's data
+    // frames before recording its EOS — one final pump empties the round.
+    PumpMailbox();
+    SeqMsg done;
+    done.seq = round.seq;
+    done.src_proc = proc_;
+    if (!transport_.SendControl(FrameType::kRoundDone, EncodeSeq(done)).ok()) {
+      Die();
+    }
+  }
+
+  void SendTaskDone(PartitionId p, MachineId m, const RoundMsg& round) {
+    TaskDoneMsg msg;
+    msg.partition = p;
+    msg.machine = m;
+    msg.iteration = round.iteration;
+    msg.kind = static_cast<uint8_t>(round.kind);
+    if (!transport_.SendControl(FrameType::kTaskDone, EncodeTaskDone(msg))
+             .ok()) {
+      Die();
+    }
+  }
+
+  // -------------------------------------------------------------- data plane
+
+  /// Books and delivers one sealed batch. Local destinations (a machine this
+  /// process hosts) short-circuit into the inbox; remote ones go over the
+  /// mesh. Normal sends are booked into the link matrix (priced bytes, the
+  /// quantity that reconciles with the analytic model) and retained for
+  /// replay in fault-tolerant runs; resend traffic is booked separately.
+  double ShipBatch(runtime::WireBatch&& batch, bool resend, bool retain) {
+    if (!resend) {
+      link_bytes_[static_cast<size_t>(batch.src_machine) * num_machines_ +
+                  batch.dst_machine] += batch.priced_bytes;
+      messages_sent_ += batch.num_messages;
+      ++buffers_sent_;
+    } else {
+      resend_bytes_ += batch.payload.size();
+    }
+    if (retain && fault_tolerant_) {
+      retained_.push_back(batch);  // deep copy; replayed if a holder dies
+    }
+    const uint32_t dst_proc = batch.dst_machine % num_procs_;
+    if (dst_proc == proc_) {
+      ApplyBatch(batch);
+    } else {
+      (void)transport_.SendPeer(dst_proc, FrameType::kData,
+                                EncodeWireBatch(batch));
+    }
+    pool_->Release(std::move(batch.payload));
+    return 0.0;
+  }
+
+  void ApplyBatch(const runtime::WireBatch& batch) {
+    runtime::WireBatchReader<Message> reader(batch);
+    while (auto segment = reader.Next()) {
+      if (segment->header.dst_partition >= num_partitions_) {
+        continue;
+      }
+      InboxChunk chunk;
+      chunk.src = segment->header.src_partition;
+      chunk.src_machine = batch.src_machine;
+      chunk.priced_bytes = segment->header.priced_bytes;
+      chunk.real = std::move(segment->real);
+      chunk.virtuals = std::move(segment->virtuals);
+      inboxes_[segment->header.dst_partition].push_back(std::move(chunk));
+    }
+  }
+
+  void PumpMailbox() {
+    runtime::WireBatch batch;
+    while (transport_.TryPopData(&batch)) {
+      ApplyBatch(batch);
+      batch = runtime::WireBatch{};
+    }
+    StateUpdateMsg update;
+    while (transport_.TryPopUpdate(&update)) {
+      ApplyUpdate(update);
+    }
+  }
+
+  // -------------------------------------------------------------- task logic
+
+  void RunTransferTask(PartitionId p, MachineId m, const RoundMsg& round) {
+    const Graph& g = graph_->encoded_graph();
+    const PartitionMeta& meta = graph_->partition(p);
+    std::vector<std::vector<std::pair<VertexId, Message>>> real_out(
+        num_partitions_);
+    std::vector<std::vector<std::pair<uint64_t, Message>>> virtual_out(
+        num_partitions_);
+    PropagationEmitter<Message> emitter;
+    for (VertexId v = meta.begin; v < meta.end; ++v) {
+      app_.Transfer(v, states_[v], g.OutNeighbors(v), emitter);
+      emitter.Drain(
+          [&](VertexId target, Message message) {
+            real_out[graph_->PartitionOf(target)].emplace_back(
+                target, std::move(message));
+          },
+          [&](uint64_t target, Message message) {
+            virtual_out[target % num_partitions_].emplace_back(
+                target, std::move(message));
+          });
+    }
+    runtime::WireStager<App>& stager = stagers_.at(m);
+    for (PartitionId dst = 0; dst < num_partitions_; ++dst) {
+      if (real_out[dst].empty() && virtual_out[dst].empty()) {
+        continue;
+      }
+      stager.StageTask(p, dst, round.route[dst], real_out[dst],
+                       virtual_out[dst], [&](runtime::WireBatch&& batch) {
+                         return ShipBatch(std::move(batch), /*resend=*/false,
+                                          /*retain=*/true);
+                       });
+    }
+  }
+
+  void RunCombineTask(PartitionId p, MachineId m, const RoundMsg& round) {
+    const Graph& g = graph_->encoded_graph();
+    const PartitionMeta& meta = graph_->partition(p);
+    std::vector<InboxChunk>& chunks = inboxes_[p];
+    std::stable_sort(chunks.begin(), chunks.end(),
+                     [](const InboxChunk& a, const InboxChunk& b) {
+                       return a.src < b.src;
+                     });
+    if (m != replicas_[p][0]) {
+      // Appendix-B recovery pricing: a non-primary executor re-fetches the
+      // message spills the primary had already received.
+      for (const InboxChunk& chunk : chunks) {
+        if (chunk.src_machine != m) {
+          refetch_bytes_ += chunk.priced_bytes;
+        }
+      }
+    }
+    std::vector<std::pair<VertexId, Message>> messages;
+    std::vector<std::pair<uint64_t, Message>> virtual_messages;
+    for (InboxChunk& chunk : chunks) {
+      std::move(chunk.real.begin(), chunk.real.end(),
+                std::back_inserter(messages));
+      std::move(chunk.virtuals.begin(), chunk.virtuals.end(),
+                std::back_inserter(virtual_messages));
+    }
+    chunks.clear();
+    chunks.shrink_to_fit();
+    std::stable_sort(
+        messages.begin(), messages.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    std::vector<Message> vertex_messages;
+    size_t cursor = 0;
+    for (VertexId v = meta.begin; v < meta.end; ++v) {
+      vertex_messages.clear();
+      while (cursor < messages.size() && messages[cursor].first == v) {
+        vertex_messages.push_back(std::move(messages[cursor].second));
+        ++cursor;
+      }
+      VertexState state = states_[v];
+      app_.Combine(v, state, g.OutNeighbors(v), vertex_messages);
+      next_states_[v] = state;
+    }
+    dirty_[p] = 1;
+    state_version_[p] = round.iteration;
+
+    std::vector<std::pair<uint64_t, VirtualOutput>> virtual_results;
+    if constexpr (VirtualVertexApp<App>) {
+      std::stable_sort(
+          virtual_messages.begin(), virtual_messages.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::vector<Message> group;
+      size_t i = 0;
+      while (i < virtual_messages.size()) {
+        const uint64_t id = virtual_messages[i].first;
+        group.clear();
+        while (i < virtual_messages.size() &&
+               virtual_messages[i].first == id) {
+          group.push_back(std::move(virtual_messages[i].second));
+          ++i;
+        }
+        virtual_results.emplace_back(id, app_.CombineVirtual(id, group));
+      }
+      for (const auto& [id, output] : virtual_results) {
+        virtual_acc_[id] = {round.iteration, output};
+      }
+    }
+    if (fault_tolerant_) {
+      // Replicate *before* TASK_DONE: once the coordinator marks p done, a
+      // replica holder must already be able to take over from this state.
+      ReplicateState(p, round.iteration, meta, virtual_results);
+    }
+  }
+
+  void ReplicateState(
+      PartitionId p, int32_t iteration, const PartitionMeta& meta,
+      const std::vector<std::pair<uint64_t, VirtualOutput>>& virtual_results) {
+    StateUpdateMsg msg;
+    msg.partition = p;
+    msg.iteration = iteration;
+    msg.begin = meta.begin;
+    msg.count = meta.end - meta.begin;
+    msg.states.resize(static_cast<size_t>(msg.count) * sizeof(VertexState));
+    if (msg.count > 0) {
+      std::memcpy(msg.states.data(), &next_states_[meta.begin],
+                  msg.states.size());
+    }
+    msg.virtual_count = static_cast<uint32_t>(virtual_results.size());
+    for (const auto& [id, output] : virtual_results) {
+      runtime::AppendPod(msg.virtuals, id);
+      runtime::AppendPod(msg.virtuals, output);
+    }
+    const std::vector<uint8_t> payload = EncodeStateUpdate(msg);
+    std::set<uint32_t> targets;
+    for (MachineId r : replicas_[p]) {
+      if (r != kInvalidMachine && r < num_machines_ && !HostedHere(r)) {
+        targets.insert(r % num_procs_);
+      }
+    }
+    for (uint32_t q : targets) {
+      (void)transport_.SendPeer(q, FrameType::kStateUpdate, payload);
+      replication_bytes_ += payload.size();
+    }
+  }
+
+  void ApplyUpdate(const StateUpdateMsg& msg) {
+    if (msg.partition >= num_partitions_ ||
+        msg.iteration <= state_version_[msg.partition]) {
+      return;
+    }
+    const size_t expect = static_cast<size_t>(msg.count) * sizeof(VertexState);
+    if (msg.states.size() != expect ||
+        static_cast<size_t>(msg.begin) + msg.count > next_states_.size()) {
+      return;
+    }
+    if (msg.count > 0) {
+      std::memcpy(&next_states_[msg.begin], msg.states.data(), expect);
+    }
+    dirty_[msg.partition] = 1;
+    state_version_[msg.partition] = msg.iteration;
+    constexpr size_t kEntry = sizeof(uint64_t) + sizeof(VirtualOutput);
+    if (msg.virtuals.size() == static_cast<size_t>(msg.virtual_count) * kEntry) {
+      const uint8_t* base = msg.virtuals.data();
+      for (uint32_t i = 0; i < msg.virtual_count; ++i) {
+        const uint64_t id = runtime::ReadPod<uint64_t>(base + i * kEntry);
+        const VirtualOutput output = runtime::ReadPod<VirtualOutput>(
+            base + i * kEntry + sizeof(uint64_t));
+        virtual_acc_[id] = {msg.iteration, output};
+      }
+    }
+  }
+
+  void CommitPendingStates() {
+    for (PartitionId p = 0; p < num_partitions_; ++p) {
+      if (!dirty_[p]) {
+        continue;
+      }
+      const PartitionMeta& meta = graph_->partition(p);
+      std::copy(next_states_.begin() + meta.begin,
+                next_states_.begin() + meta.end, states_.begin() + meta.begin);
+      dirty_[p] = 0;
+    }
+  }
+
+  // ---------------------------------------------------------------- recovery
+
+  /// Replays every retained segment destined to a partition being rebuilt,
+  /// preserving the original producer machine and chronological order, so
+  /// the rebuilt inbox sorts into the identical sequential order.
+  void ReplayRetained(const RoundMsg& round) {
+    if (retained_.empty()) {
+      return;
+    }
+    std::map<std::pair<MachineId, MachineId>, runtime::WireBatch> open;
+    auto ship = [&](runtime::WireBatch&& batch) {
+      if (batch.payload.empty()) {
+        pool_->Release(std::move(batch.payload));
+        return;
+      }
+      ShipBatch(std::move(batch), /*resend=*/true, /*retain=*/false);
+    };
+    for (const runtime::WireBatch& batch : retained_) {
+      const uint8_t* base = batch.payload.data();
+      size_t offset = 0;
+      while (offset + sizeof(runtime::WireSegmentHeader) <=
+             batch.payload.size()) {
+        const auto header =
+            runtime::ReadPod<runtime::WireSegmentHeader>(base + offset);
+        const size_t record_bytes =
+            (header.kind == runtime::kWireSegmentReal ? sizeof(VertexId)
+                                                      : sizeof(uint64_t)) +
+            sizeof(Message);
+        const size_t segment_bytes = sizeof(runtime::WireSegmentHeader) +
+                                     static_cast<size_t>(header.count) *
+                                         record_bytes;
+        if (offset + segment_bytes > batch.payload.size()) {
+          break;  // malformed retention; drop the tail rather than misparse
+        }
+        const MachineId target = header.dst_partition < round.route.size()
+                                     ? round.route[header.dst_partition]
+                                     : kInvalidMachine;
+        if (target != kInvalidMachine) {
+          const auto key = std::make_pair(batch.src_machine, target);
+          auto it = open.find(key);
+          if (it == open.end()) {
+            runtime::WireBatch fresh;
+            fresh.src_machine = batch.src_machine;
+            fresh.dst_machine = target;
+            fresh.payload = pool_->Acquire();
+            it = open.emplace(key, std::move(fresh)).first;
+          }
+          runtime::WireBatch& out = it->second;
+          if (!out.payload.empty() &&
+              out.payload.size() + segment_bytes >
+                  options_.wire.max_batch_bytes) {
+            runtime::WireBatch full = std::move(out);
+            out = runtime::WireBatch{};
+            out.src_machine = batch.src_machine;
+            out.dst_machine = target;
+            out.payload = pool_->Acquire();
+            ship(std::move(full));
+          }
+          out.payload.insert(out.payload.end(), base + offset,
+                             base + offset + segment_bytes);
+          out.num_segments += 1;
+          out.num_messages += header.count;
+          out.priced_bytes += header.priced_bytes;
+        }
+        offset += segment_bytes;
+      }
+    }
+    for (auto& [key, batch] : open) {
+      ship(std::move(batch));
+    }
+  }
+
+  /// Re-executes a transfer task whose producer process died with its
+  /// retained output. The full task re-runs against iteration-start states
+  /// through WireStagers (identical duplicate-merge folds); streams for the
+  /// partitions being rebuilt are sent, the rest are retained only — so a
+  /// later death in this same iteration still finds a complete copy here.
+  /// Two stagers keep rebuilt and retain-only streams in separate batches.
+  void ReexecTransfer(PartitionId q, MachineId m, const RoundMsg& round) {
+    const Graph& g = graph_->encoded_graph();
+    const PartitionMeta& meta = graph_->partition(q);
+    std::vector<std::vector<std::pair<VertexId, Message>>> real_out(
+        num_partitions_);
+    std::vector<std::vector<std::pair<uint64_t, Message>>> virtual_out(
+        num_partitions_);
+    PropagationEmitter<Message> emitter;
+    for (VertexId v = meta.begin; v < meta.end; ++v) {
+      app_.Transfer(v, states_[v], g.OutNeighbors(v), emitter);
+      emitter.Drain(
+          [&](VertexId target, Message message) {
+            real_out[graph_->PartitionOf(target)].emplace_back(
+                target, std::move(message));
+          },
+          [&](uint64_t target, Message message) {
+            virtual_out[target % num_partitions_].emplace_back(
+                target, std::move(message));
+          });
+    }
+    runtime::WireStager<App> send_stager(&app_, options_.wire, pool_.get(), m,
+                                         num_machines_, wire_combine_);
+    runtime::WireStager<App> retain_stager(&app_, options_.wire, pool_.get(),
+                                           m, num_machines_, wire_combine_);
+    auto send = [&](runtime::WireBatch&& batch) {
+      return ShipBatch(std::move(batch), /*resend=*/true, /*retain=*/true);
+    };
+    auto retain_only = [&](runtime::WireBatch&& batch) {
+      retained_.push_back(batch);
+      pool_->Release(std::move(batch.payload));
+      return 0.0;
+    };
+    for (PartitionId dst = 0; dst < num_partitions_; ++dst) {
+      if (real_out[dst].empty() && virtual_out[dst].empty()) {
+        continue;
+      }
+      const MachineId target = round.route[dst];
+      if (target != kInvalidMachine) {
+        send_stager.StageTask(q, dst, target, real_out[dst], virtual_out[dst],
+                              send);
+      } else {
+        retain_stager.StageTask(q, dst, replicas_[dst][0], real_out[dst],
+                                virtual_out[dst], retain_only);
+      }
+    }
+    send_stager.FlushAll(send);
+    retain_stager.FlushAll(retain_only);
+  }
+
+  // ------------------------------------------------------------------- exits
+
+  /// Planned process death (fault plan hit). Completed tasks' output
+  /// survives the crash in the paper's model, so staged batches flush and
+  /// the exit waits until every sent frame is acknowledged as *consumed* by
+  /// its peer — closing earlier could RST away kernel-buffered output.
+  [[noreturn]] void FaultExit() {
+    for (auto& [m, stager] : stagers_) {
+      stager.FlushAll([&](runtime::WireBatch&& batch) {
+        return ShipBatch(std::move(batch), /*resend=*/false, /*retain=*/true);
+      });
+    }
+    (void)transport_.WaitDataAcked();
+    transport_.CloseAll();
+    ::_exit(2);
+  }
+
+  /// SIGTERM: flush staged batches, persist run report and telemetry, then
+  /// exit cleanly. The coordinator treats the EOF like any machine death and
+  /// recovers hosted partitions on their replicas.
+  [[noreturn]] void GracefulExit() {
+    for (auto& [m, stager] : stagers_) {
+      stager.FlushAll([&](runtime::WireBatch&& batch) {
+        return ShipBatch(std::move(batch), /*resend=*/false, /*retain=*/true);
+      });
+    }
+    (void)transport_.WaitDataAcked();
+    WriteArtifacts();
+    transport_.CloseAll();
+    ::_exit(0);
+  }
+
+  // ---------------------------------------------------------------- finalize
+
+  void Finalize() {
+    CommitPendingStates();
+    telemetry_->Stop();
+    const WorkerStatsMsg stats = BuildStatsMsg();
+    if (!transport_
+             .SendControl(FrameType::kWorkerStats, EncodeWorkerStats(stats))
+             .ok()) {
+      Die();
+    }
+    for (PartitionId p = 0; p < num_partitions_; ++p) {
+      if (state_version_[p] < 0) {
+        continue;
+      }
+      const PartitionMeta& meta = graph_->partition(p);
+      FinalStateMsg msg;
+      msg.partition = p;
+      msg.version = state_version_[p];
+      msg.begin = meta.begin;
+      msg.count = meta.end - meta.begin;
+      msg.states.resize(static_cast<size_t>(msg.count) * sizeof(VertexState));
+      if (msg.count > 0) {
+        std::memcpy(msg.states.data(), &states_[meta.begin],
+                    msg.states.size());
+      }
+      if (!transport_
+               .SendControl(FrameType::kFinalState, EncodeFinalState(msg))
+               .ok()) {
+        Die();
+      }
+    }
+    if (!virtual_acc_.empty()) {
+      FinalVirtualMsg msg;
+      msg.entry_bytes = sizeof(VirtualOutput);
+      msg.count = static_cast<uint32_t>(virtual_acc_.size());
+      for (const auto& [id, entry] : virtual_acc_) {
+        runtime::AppendPod(msg.entries, id);
+        runtime::AppendPod(msg.entries, entry.first);   // int32_t version
+        runtime::AppendPod(msg.entries, entry.second);  // VirtualOutput
+      }
+      if (!transport_
+               .SendControl(FrameType::kFinalVirtual, EncodeFinalVirtual(msg))
+               .ok()) {
+        Die();
+      }
+    }
+    const std::string report = BuildReport().Write(2);
+    std::vector<uint8_t> report_bytes(report.begin(), report.end());
+    if (!transport_.SendControl(FrameType::kWorkerReport, report_bytes).ok()) {
+      Die();
+    }
+    WriteArtifacts();
+    if (!transport_.SendControl(FrameType::kFinalDone).ok()) {
+      Die();
+    }
+  }
+
+  WorkerStatsMsg BuildStatsMsg() {
+    WorkerStatsMsg stats;
+    stats.tasks_executed = tasks_executed_;
+    stats.tasks_reexecuted = tasks_reexecuted_;
+    stats.messages_sent = messages_sent_;
+    stats.buffers_sent = buffers_sent_;
+    for (const auto& [m, stager] : stagers_) {
+      const runtime::WireStagerStats& ws = stager.stats();
+      stats.wire_batches_sent += ws.batches_sealed;
+      stats.wire_segments_sent += ws.segments_sealed;
+      stats.wire_payload_bytes += ws.payload_bytes;
+      stats.wire_messages_combined += ws.messages_combined;
+      stats.wire_flush_size += ws.flush_size;
+      stats.wire_flush_deadline += ws.flush_deadline;
+      stats.wire_flush_stage_end += ws.flush_stage_end;
+    }
+    const runtime::WireBufferPool::Stats pool = pool_->stats();
+    stats.pool_buffers_acquired = pool.acquires;
+    stats.pool_buffers_reused = pool.reuses;
+    stats.refetch_bytes = refetch_bytes_;
+    stats.tcp_bytes_sent = transport_.tcp_bytes_sent();
+    stats.tcp_frames_sent = transport_.tcp_frames_sent();
+    stats.resend_bytes = resend_bytes_;
+    stats.replication_bytes = replication_bytes_;
+    stats.peak_rss_bytes = obs::ReadMemoryUsage().peak_rss_bytes;
+    stats.link_bytes = link_bytes_;
+    return stats;
+  }
+
+  runtime::RuntimeStats LocalStats() {
+    runtime::RuntimeStats stats;
+    stats.num_workers = static_cast<uint32_t>(hosted_.size());
+    stats.num_machines = num_machines_;
+    stats.num_processes = num_procs_;
+    stats.iterations = config_.iterations;
+    stats.tasks_executed = tasks_executed_;
+    stats.tasks_reexecuted = tasks_reexecuted_;
+    stats.messages_sent = messages_sent_;
+    stats.buffers_sent = buffers_sent_;
+    for (const auto& [m, stager] : stagers_) {
+      const runtime::WireStagerStats& ws = stager.stats();
+      stats.wire_batches_sent += ws.batches_sealed;
+      stats.wire_segments_sent += ws.segments_sealed;
+      stats.wire_payload_bytes += ws.payload_bytes;
+      stats.wire_messages_combined += ws.messages_combined;
+      stats.wire_flush_size += ws.flush_size;
+      stats.wire_flush_deadline += ws.flush_deadline;
+      stats.wire_flush_stage_end += ws.flush_stage_end;
+      stats.batch_fill.Merge(ws.batch_fill);
+    }
+    const runtime::WireBufferPool::Stats pool = pool_->stats();
+    stats.pool_buffers_acquired = pool.acquires;
+    stats.pool_buffers_reused = pool.reuses;
+    stats.refetch_bytes = refetch_bytes_;
+    stats.tcp_bytes_sent = transport_.tcp_bytes_sent();
+    stats.tcp_frames_sent = transport_.tcp_frames_sent();
+    stats.resend_bytes = resend_bytes_;
+    stats.replication_bytes = replication_bytes_;
+    stats.link_bytes = link_bytes_;
+    stats.telemetry_samples = telemetry_->samples_taken();
+    stats.telemetry_samples_dropped = telemetry_->total_dropped();
+    const obs::MemoryUsage memory = obs::ReadMemoryUsage();
+    stats.rss_bytes = memory.rss_bytes;
+    stats.peak_rss_bytes = memory.peak_rss_bytes;
+    return stats;
+  }
+
+  obs::JsonValue BuildReport() {
+    obs::RunReportOptions report_options;
+    report_options.name = "surfer_dist_worker_" + std::to_string(proc_);
+    std::string machines;
+    for (MachineId m : hosted_) {
+      machines += (machines.empty() ? "" : ",") + std::to_string(m);
+    }
+    report_options.notes = "distributed worker process " +
+                           std::to_string(proc_) + "/" +
+                           std::to_string(num_procs_) + " hosting machines [" +
+                           machines + "]";
+    const obs::JsonValue runtime_block =
+        runtime::RuntimeStatsToJson(LocalStats());
+    obs::JsonValue telemetry_block;
+    const bool have_telemetry = telemetry_->enabled();
+    if (have_telemetry) {
+      telemetry_block = telemetry_->ToJson();
+    }
+    return obs::BuildRunReport(report_options, nullptr, nullptr, tracer_.get(),
+                               &runtime_block, nullptr,
+                               have_telemetry ? &telemetry_block : nullptr);
+  }
+
+  void WriteArtifacts() {
+    if (options_.artifact_dir.empty()) {
+      return;
+    }
+    telemetry_->Stop();
+    const std::string stem =
+        options_.artifact_dir + "/dist_worker_" + std::to_string(proc_);
+    (void)obs::WriteRunReport(stem + ".report.json", BuildReport());
+    obs::JsonValue trace = tracer_->ToChromeJson();
+    if (trace.is_object()) {
+      // Wall-clock anchor of this tracer's t=0, so surfer_trace merge can
+      // align per-process timelines.
+      trace.Set("origin_unix_us", obs::JsonValue(trace_origin_unix_us_));
+    }
+    (void)obs::WriteRunReport(stem + ".trace.json", trace);
+  }
+
+  // -------------------------------------------------------------------------
+
+  const PartitionedGraph* graph_;
+  App app_;
+  PropagationConfig config_;
+  DistributedOptions options_;
+  const uint32_t proc_;
+  WorkerTransport transport_;
+
+  uint32_t num_machines_ = 0;
+  uint32_t num_partitions_ = 0;
+  uint32_t num_procs_ = 1;
+  bool fault_tolerant_ = false;
+  bool wire_combine_ = false;
+  runtime::FaultController fault_;
+  std::vector<std::vector<MachineId>> replicas_;
+  std::vector<MachineId> hosted_;
+  std::unique_ptr<runtime::WireBufferPool> pool_;
+  std::map<MachineId, runtime::WireStager<App>> stagers_;
+
+  /// Committed states (iteration-start view, read by transfer tasks) and the
+  /// in-flight combine results of the current iteration (see Setup).
+  std::vector<VertexState> states_;
+  std::vector<VertexState> next_states_;
+  std::vector<uint8_t> dirty_;            ///< partition combined/updated
+  std::vector<int32_t> state_version_;    ///< iteration of last combine, -1 none
+  std::vector<std::vector<InboxChunk>> inboxes_;
+  /// id -> (iteration of last update, output); the coordinator-side merge
+  /// keeps the max-iteration entry across processes.
+  std::map<uint64_t, std::pair<int32_t, VirtualOutput>> virtual_acc_;
+  /// Normal sends of the current iteration (deep copies), replayed when an
+  /// inbox holder dies. Cleared at each iteration boundary.
+  std::vector<runtime::WireBatch> retained_;
+
+  int started_iteration_ = -1;
+  int stage_iteration_ = -1;
+  RoundKind stage_kind_ = RoundKind::kResend;
+  std::vector<uint32_t> stage_tasks_done_;
+
+  uint64_t tasks_executed_ = 0;
+  uint64_t tasks_reexecuted_ = 0;
+  uint64_t messages_sent_ = 0;
+  uint64_t buffers_sent_ = 0;
+  uint64_t refetch_bytes_ = 0;
+  uint64_t resend_bytes_ = 0;
+  uint64_t replication_bytes_ = 0;
+  std::vector<uint64_t> link_bytes_;
+
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::TelemetryRecorder> telemetry_;
+  double trace_origin_unix_us_ = 0.0;
+};
+
+}  // namespace detail
+
+/// Parent-process front end of the distributed engine: forks one worker
+/// process per machine group, lets DistributedCoordinator drive the BSP
+/// rounds over the control plane, then assembles the version-merged final
+/// states and the cluster-wide stats. Mirrors RuntimeExecutor's public
+/// surface so core::RunApp can treat the two engines uniformly.
+template <typename App>
+  requires DistributableApp<App>
+class DistributedExecutor {
+ public:
+  using VertexState = typename App::VertexState;
+  using Message = typename App::Message;
+  using VirtualOutput = typename internal::VirtualOutputOf<App>::type;
+
+  DistributedExecutor(const PartitionedGraph* graph,
+                      const ReplicatedPlacement* placement,
+                      const Topology* topology, App app,
+                      PropagationConfig config, DistributedOptions options = {})
+      : graph_(graph),
+        placement_(placement),
+        topology_(topology),
+        app_(std::move(app)),
+        config_(config),
+        options_(std::move(options)) {}
+
+  Status Run() {
+    SURFER_RETURN_IF_ERROR(Validate());
+    const auto wall_start = std::chrono::steady_clock::now();
+    const uint32_t num_machines = topology_->num_machines();
+    const uint32_t num_processes =
+        options_.max_processes == 0
+            ? num_machines
+            : std::min(options_.max_processes, num_machines);
+
+    CoordinatorParams params;
+    params.num_processes = num_processes;
+    params.num_machines = num_machines;
+    params.iterations = config_.iterations;
+    params.placement = BuildPlacementMsg(num_machines);
+    params.replicas = placement_;
+    params.sigterm_machine = options_.sigterm_machine;
+    params.sigterm_iteration = options_.sigterm_iteration;
+
+    DistributedCoordinator coordinator(
+        params, [this](uint32_t proc, Socket control) {
+          detail::DistributedWorker<App> worker(graph_, app_, config_,
+                                                options_, proc,
+                                                std::move(control));
+          worker.Run();  // never returns
+        });
+    SURFER_ASSIGN_OR_RETURN(CoordinatorOutcome outcome, coordinator.Run());
+    SURFER_RETURN_IF_ERROR(Assemble(outcome, num_processes, num_machines));
+    stats_.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+    return Status::OK();
+  }
+
+  const std::vector<VertexState>& states() const { return states_; }
+
+  const VertexState& StateOfOriginal(VertexId original) const {
+    return states_[graph_->encoding().ToEncoded(original)];
+  }
+
+  const std::map<uint64_t, VirtualOutput>& virtual_outputs() const {
+    return virtual_outputs_;
+  }
+
+  const runtime::RuntimeStats& stats() const { return stats_; }
+
+  /// Machine liveness after the run (all ones without injected faults).
+  const std::vector<uint8_t>& alive() const { return alive_; }
+
+  /// Per-process run-report JSON collected over the control plane (empty
+  /// string for processes that died before finalize).
+  const std::vector<std::string>& worker_reports() const {
+    return worker_reports_;
+  }
+
+ private:
+  Status Validate() const {
+    if (graph_ == nullptr || placement_ == nullptr || topology_ == nullptr) {
+      return Status::InvalidArgument("executor inputs must be non-null");
+    }
+    if (placement_->num_partitions() != graph_->num_partitions()) {
+      return Status::InvalidArgument(
+          "placement partition count does not match graph");
+    }
+    if (config_.iterations < 1) {
+      return Status::InvalidArgument("iterations must be >= 1");
+    }
+    for (PartitionId p = 0; p < placement_->num_partitions(); ++p) {
+      if (placement_->primary(p) >= topology_->num_machines()) {
+        return Status::InvalidArgument("placement machine out of range");
+      }
+    }
+    return Status::OK();
+  }
+
+  PlacementMsg BuildPlacementMsg(uint32_t num_machines) const {
+    PlacementMsg msg;
+    msg.num_machines = num_machines;
+    msg.num_partitions = placement_->num_partitions();
+    msg.replication = kReplicationFactor;
+    msg.fault_tolerant = (!options_.faults.empty() ||
+                          options_.sigterm_machine != kInvalidMachine)
+                             ? 1
+                             : 0;
+    msg.replicas.reserve(static_cast<size_t>(msg.num_partitions) *
+                         kReplicationFactor);
+    for (PartitionId p = 0; p < msg.num_partitions; ++p) {
+      for (uint32_t r = 0; r < kReplicationFactor; ++r) {
+        msg.replicas.push_back(placement_->replicas[p][r]);
+      }
+    }
+    msg.faults = options_.faults;
+    return msg;
+  }
+
+  Status Assemble(const CoordinatorOutcome& outcome, uint32_t num_processes,
+                  uint32_t num_machines) {
+    // Baseline, then overlay each partition's highest-version final state.
+    const Graph& g = graph_->encoded_graph();
+    states_.clear();
+    states_.reserve(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      states_.push_back(app_.InitState(v, g.OutNeighbors(v)));
+    }
+    std::vector<int32_t> best(graph_->num_partitions(), -1);
+    for (const FinalStateMsg& msg : outcome.states) {
+      if (msg.partition >= best.size() || msg.version <= best[msg.partition]) {
+        continue;
+      }
+      const size_t expect =
+          static_cast<size_t>(msg.count) * sizeof(VertexState);
+      if (msg.states.size() != expect ||
+          static_cast<size_t>(msg.begin) + msg.count > states_.size()) {
+        return Status::Corruption("malformed final state for partition " +
+                                  std::to_string(msg.partition));
+      }
+      if (msg.count > 0) {
+        std::memcpy(&states_[msg.begin], msg.states.data(), expect);
+      }
+      best[msg.partition] = msg.version;
+    }
+    for (PartitionId p = 0; p < best.size(); ++p) {
+      if (best[p] < 0) {
+        return Status::Internal("no final state received for partition " +
+                                std::to_string(p));
+      }
+    }
+
+    virtual_outputs_.clear();
+    std::map<uint64_t, int32_t> virtual_version;
+    constexpr size_t kEntry =
+        sizeof(uint64_t) + sizeof(int32_t) + sizeof(VirtualOutput);
+    for (const FinalVirtualMsg& msg : outcome.virtuals) {
+      if (msg.entry_bytes != sizeof(VirtualOutput) ||
+          msg.entries.size() != static_cast<size_t>(msg.count) * kEntry) {
+        return Status::Corruption("malformed final virtual outputs");
+      }
+      const uint8_t* base = msg.entries.data();
+      for (uint32_t i = 0; i < msg.count; ++i) {
+        const uint64_t id = runtime::ReadPod<uint64_t>(base + i * kEntry);
+        const int32_t version =
+            runtime::ReadPod<int32_t>(base + i * kEntry + sizeof(uint64_t));
+        const VirtualOutput output = runtime::ReadPod<VirtualOutput>(
+            base + i * kEntry + sizeof(uint64_t) + sizeof(int32_t));
+        auto it = virtual_version.find(id);
+        if (it == virtual_version.end() || version > it->second) {
+          virtual_version[id] = version;
+          virtual_outputs_[id] = output;
+        }
+      }
+    }
+
+    stats_ = runtime::RuntimeStats{};
+    stats_.num_workers = num_processes;
+    stats_.num_machines = num_machines;
+    stats_.num_processes = num_processes;
+    stats_.iterations = config_.iterations;
+    const WorkerStatsMsg& totals = outcome.totals;
+    stats_.tasks_executed = totals.tasks_executed;
+    stats_.tasks_reexecuted = totals.tasks_reexecuted;
+    stats_.machine_failures = outcome.machine_failures;
+    stats_.messages_sent = totals.messages_sent;
+    stats_.buffers_sent = totals.buffers_sent;
+    stats_.wire_batches_sent = totals.wire_batches_sent;
+    stats_.wire_segments_sent = totals.wire_segments_sent;
+    stats_.wire_payload_bytes = totals.wire_payload_bytes;
+    stats_.wire_messages_combined = totals.wire_messages_combined;
+    stats_.wire_flush_size = totals.wire_flush_size;
+    stats_.wire_flush_deadline = totals.wire_flush_deadline;
+    stats_.wire_flush_stage_end = totals.wire_flush_stage_end;
+    stats_.pool_buffers_acquired = totals.pool_buffers_acquired;
+    stats_.pool_buffers_reused = totals.pool_buffers_reused;
+    stats_.refetch_bytes = totals.refetch_bytes;
+    stats_.tcp_bytes_sent = totals.tcp_bytes_sent;
+    stats_.tcp_frames_sent = totals.tcp_frames_sent;
+    stats_.resend_bytes = totals.resend_bytes;
+    stats_.replication_bytes = totals.replication_bytes;
+    stats_.barrier_generations = outcome.rounds;
+    stats_.link_bytes = totals.link_bytes;
+    stats_.peak_rss_bytes = outcome.peak_worker_rss_bytes;
+    stats_.rss_bytes = obs::ReadMemoryUsage().rss_bytes;
+
+    alive_ = outcome.alive;
+    worker_reports_ = outcome.worker_reports;
+    return Status::OK();
+  }
+
+  const PartitionedGraph* graph_;
+  const ReplicatedPlacement* placement_;
+  const Topology* topology_;
+  App app_;
+  PropagationConfig config_;
+  DistributedOptions options_;
+
+  std::vector<VertexState> states_;
+  std::map<uint64_t, VirtualOutput> virtual_outputs_;
+  runtime::RuntimeStats stats_;
+  std::vector<uint8_t> alive_;
+  std::vector<std::string> worker_reports_;
+};
+
+}  // namespace net
+}  // namespace surfer
+
+#endif  // SURFER_NET_DISTRIBUTED_H_

@@ -1,0 +1,96 @@
+#include "net/frame.h"
+
+#include <cstdio>
+
+namespace surfer {
+namespace net {
+
+using runtime::AppendPod;
+using runtime::WireBatch;
+
+Status WriteFrame(Socket& sock, FrameType type, const void* payload,
+                  size_t payload_bytes) {
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(type);
+  header.payload_bytes = payload_bytes;
+  SURFER_RETURN_IF_ERROR(sock.WriteFull(&header, sizeof(header)));
+  if (payload_bytes > 0) {
+    SURFER_RETURN_IF_ERROR(sock.WriteFull(payload, payload_bytes));
+  }
+  return Status::OK();
+}
+
+Result<Frame> ReadFrame(Socket& sock, const std::atomic<bool>* interrupt) {
+  FrameHeader header;
+  SURFER_RETURN_IF_ERROR(sock.ReadFull(&header, sizeof(header), interrupt));
+  if (header.magic != kFrameMagic) {
+    return Status::Corruption("bad frame magic 0x" + [&] {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%08x", header.magic);
+      return std::string(buf);
+    }());
+  }
+  if (header.version != kFrameVersion) {
+    return Status::NotSupported(
+        "frame version mismatch: peer speaks v" +
+        std::to_string(header.version) + ", this build speaks v" +
+        std::to_string(kFrameVersion));
+  }
+  if (header.payload_bytes > kMaxFramePayloadBytes) {
+    return Status::Corruption("frame payload length " +
+                              std::to_string(header.payload_bytes) +
+                              " exceeds limit");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(header.type);
+  frame.payload.resize(header.payload_bytes);
+  if (header.payload_bytes > 0) {
+    // A torn payload (peer died mid-frame) surfaces as kCorruption from
+    // ReadFull's mid-buffer EOF path.
+    SURFER_RETURN_IF_ERROR(
+        sock.ReadFull(frame.payload.data(), frame.payload.size(), interrupt));
+  }
+  return frame;
+}
+
+std::vector<uint8_t> EncodeWireBatch(const WireBatch& batch) {
+  std::vector<uint8_t> out;
+  out.reserve(32 + batch.payload.size());
+  AppendPod(out, static_cast<uint32_t>(batch.src_machine));
+  AppendPod(out, static_cast<uint32_t>(batch.dst_machine));
+  AppendPod(out, batch.num_segments);
+  AppendPod(out, batch.num_messages);
+  AppendPod(out, batch.priced_bytes);
+  AppendPod(out, static_cast<uint64_t>(batch.payload.size()));
+  out.insert(out.end(), batch.payload.begin(), batch.payload.end());
+  return out;
+}
+
+Result<WireBatch> DecodeWireBatch(const std::vector<uint8_t>& frame) {
+  PayloadReader reader(frame);
+  WireBatch batch;
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  uint64_t payload_bytes = 0;
+  SURFER_RETURN_IF_ERROR(reader.Read(&src));
+  SURFER_RETURN_IF_ERROR(reader.Read(&dst));
+  SURFER_RETURN_IF_ERROR(reader.Read(&batch.num_segments));
+  SURFER_RETURN_IF_ERROR(reader.Read(&batch.num_messages));
+  SURFER_RETURN_IF_ERROR(reader.Read(&batch.priced_bytes));
+  SURFER_RETURN_IF_ERROR(reader.Read(&payload_bytes));
+  batch.src_machine = src;
+  batch.dst_machine = dst;
+  if (payload_bytes != reader.remaining()) {
+    return Status::Corruption(
+        "wire batch length mismatch: header says " +
+        std::to_string(payload_bytes) + " payload bytes, frame carries " +
+        std::to_string(reader.remaining()));
+  }
+  batch.payload.resize(payload_bytes);
+  SURFER_RETURN_IF_ERROR(reader.ReadBytes(batch.payload.data(),
+                                          payload_bytes));
+  return batch;
+}
+
+}  // namespace net
+}  // namespace surfer

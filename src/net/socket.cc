@@ -1,0 +1,172 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <thread>
+#include <unistd.h>
+
+#include "common/status.h"
+
+namespace surfer {
+namespace net {
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Socket::ReadFull(void* buf, size_t len,
+                        const std::atomic<bool>* interrupt) {
+  if (fd_ < 0) return Status::FailedPrecondition("read on closed socket");
+  uint8_t* out = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::recv(fd_, out + done, len - done, 0);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      bytes_read_ += static_cast<uint64_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      // Peer closed. At a message boundary that is an orderly shutdown; in
+      // the middle of a requested range it is a torn message.
+      if (done == 0) return Status::Unavailable("connection closed by peer");
+      return Status::Corruption("unexpected EOF after " +
+                                std::to_string(done) + " of " +
+                                std::to_string(len) + " bytes");
+    }
+    if (errno == EINTR) {
+      if (interrupt != nullptr &&
+          interrupt->load(std::memory_order_relaxed)) {
+        return Status::Unavailable("read interrupted by signal");
+      }
+      continue;
+    }
+    if (errno == ECONNRESET) {
+      if (done == 0) return Status::Unavailable("connection reset by peer");
+      return Status::Corruption("connection reset after " +
+                                std::to_string(done) + " of " +
+                                std::to_string(len) + " bytes");
+    }
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status Socket::WriteFull(const void* buf, size_t len) {
+  if (fd_ < 0) return Status::FailedPrecondition("write on closed socket");
+  const uint8_t* in = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::send(fd_, in + done, len - done, MSG_NOSIGNAL);
+    if (n >= 0) {
+      done += static_cast<size_t>(n);
+      bytes_written_ += static_cast<uint64_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return Status::Unavailable("peer closed during write");
+    }
+    return Status::IOError(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::pair<Socket, Socket>> Socket::Pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::IOError(std::string("socketpair: ") +
+                           std::strerror(errno));
+  }
+  return std::make_pair(Socket(fds[0]), Socket(fds[1]));
+}
+
+Result<Listener> Listener::Bind(uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  Socket sock(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::IOError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(fd, backlog) != 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    return Status::IOError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  Listener listener;
+  listener.sock_ = std::move(sock);
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<Socket> Listener::Accept() {
+  if (!sock_.valid()) {
+    return Status::FailedPrecondition("accept on closed listener");
+  }
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("accept: ") + std::strerror(errno));
+  }
+}
+
+Result<Socket> ConnectLocal(uint16_t port, double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError(std::string("socket: ") + std::strerror(errno));
+    }
+    Socket sock(fd);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return sock;
+    }
+    if (errno != ECONNREFUSED ||
+        std::chrono::steady_clock::now() >= deadline) {
+      return Status::IOError(std::string("connect 127.0.0.1:") +
+                             std::to_string(port) + ": " +
+                             std::strerror(errno));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace net
+}  // namespace surfer

@@ -1,0 +1,110 @@
+#ifndef SURFER_NET_SOCKET_H_
+#define SURFER_NET_SOCKET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "common/result.h"
+
+namespace surfer {
+namespace net {
+
+/// Thin RAII wrapper over a POSIX stream socket (TCP on 127.0.0.1 for the
+/// distributed mesh, AF_UNIX socketpairs for the coordinator control plane
+/// and for tests). All transfer goes through ReadFull/WriteFull: explicit
+/// loops that survive partial reads, short writes, and EINTR — the wire
+/// frame layer above assumes a byte range either arrives whole or fails
+/// with a diagnosable Status.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept { *this = std::move(other); }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      bytes_read_ = other.bytes_read_;
+      bytes_written_ = other.bytes_written_;
+      other.fd_ = -1;
+      other.bytes_read_ = 0;
+      other.bytes_written_ = 0;
+    }
+    return *this;
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Releases ownership of the descriptor without closing it.
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Reads exactly `len` bytes, looping over partial reads and retrying
+  /// EINTR. A clean EOF before the first byte returns kUnavailable (the
+  /// peer closed between messages); EOF mid-buffer returns kCorruption (a
+  /// torn message — the peer died mid-frame). When `interrupt` is non-null
+  /// and set, an EINTR wakeup returns kUnavailable("interrupted") instead
+  /// of retrying, which is how a SIGTERM'd worker escapes a blocking
+  /// control read to run its graceful shutdown.
+  Status ReadFull(void* buf, size_t len,
+                  const std::atomic<bool>* interrupt = nullptr);
+
+  /// Writes exactly `len` bytes, looping over short writes and EINTR. Uses
+  /// MSG_NOSIGNAL so a dead peer surfaces as kUnavailable (EPIPE /
+  /// ECONNRESET), never as a process-killing SIGPIPE.
+  Status WriteFull(const void* buf, size_t len);
+
+  /// Gross bytes moved through this socket (payload + anything the caller
+  /// framed around it); feeds the per-process TCP accounting.
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// An AF_UNIX stream socketpair (control plane, unit tests).
+  static Result<std::pair<Socket, Socket>> Pair();
+
+ private:
+  int fd_ = -1;
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+/// A TCP listener bound to 127.0.0.1 (port 0 = kernel-assigned ephemeral
+/// port, the default for the distributed mesh rendezvous).
+class Listener {
+ public:
+  static Result<Listener> Bind(uint16_t port = 0, int backlog = 64);
+
+  Listener() = default;
+  Listener(Listener&&) = default;
+  Listener& operator=(Listener&&) = default;
+
+  uint16_t port() const { return port_; }
+  bool valid() const { return sock_.valid(); }
+  void Close() { sock_.Close(); }
+
+  Result<Socket> Accept();
+
+ private:
+  Socket sock_;
+  uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port`, retrying ECONNREFUSED until `timeout_s`
+/// elapses (the listener side may still be between bind and listen).
+Result<Socket> ConnectLocal(uint16_t port, double timeout_s = 10.0);
+
+}  // namespace net
+}  // namespace surfer
+
+#endif  // SURFER_NET_SOCKET_H_

@@ -1,0 +1,363 @@
+#include "net/transport.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <poll.h>
+#include <string>
+#include <sys/socket.h>
+#include <utility>
+
+namespace surfer {
+namespace net {
+
+namespace {
+
+std::atomic<bool> g_sigterm{false};
+
+void SigtermHandler(int) { g_sigterm.store(true, std::memory_order_relaxed); }
+
+}  // namespace
+
+void InstallWorkerSignalHandlers() {
+  g_sigterm.store(false, std::memory_order_relaxed);
+  struct sigaction sa{};
+  sa.sa_handler = SigtermHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked reads must surface EINTR
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+const std::atomic<bool>* SigtermFlag() { return &g_sigterm; }
+
+WorkerTransport::WorkerTransport(uint32_t proc, Socket control)
+    : proc_(proc), control_(std::move(control)) {}
+
+Status WorkerTransport::Handshake(PlacementMsg* placement_out) {
+  SURFER_ASSIGN_OR_RETURN(listener_, Listener::Bind());
+  HelloMsg hello;
+  hello.proc = proc_;
+  hello.mesh_port = listener_.port();
+  SURFER_RETURN_IF_ERROR(
+      WriteFrame(control_, FrameType::kHello, EncodeHello(hello)));
+
+  SURFER_ASSIGN_OR_RETURN(Frame peers_frame, ReadFrame(control_));
+  if (peers_frame.type != FrameType::kPeers) {
+    return Status::Internal("expected kPeers during handshake");
+  }
+  SURFER_ASSIGN_OR_RETURN(PeersMsg peers, DecodePeers(peers_frame.payload));
+
+  SURFER_ASSIGN_OR_RETURN(Frame placement_frame, ReadFrame(control_));
+  if (placement_frame.type != FrameType::kPlacement) {
+    return Status::Internal("expected kPlacement during handshake");
+  }
+  SURFER_ASSIGN_OR_RETURN(*placement_out,
+                          DecodePlacement(placement_frame.payload));
+  ack_data_ = placement_out->fault_tolerant != 0;
+
+  num_procs_ = static_cast<uint32_t>(peers.ports.size());
+  peers_.clear();
+  for (uint32_t i = 0; i < num_procs_; ++i) {
+    peers_.push_back(std::make_unique<Peer>());
+  }
+
+  // Rendezvous: every worker's listener existed before its kHello, and the
+  // coordinator broadcast kPeers only after collecting every kHello — so
+  // dialing any peer's port now cannot race its bind. Process i dials every
+  // j < i and accepts every j > i: exactly one TCP connection per unordered
+  // pair.
+  for (uint32_t j = 0; j < proc_; ++j) {
+    SURFER_ASSIGN_OR_RETURN(Socket sock, ConnectLocal(peers.ports[j]));
+    SeqMsg id;
+    id.src_proc = proc_;
+    SURFER_RETURN_IF_ERROR(
+        WriteFrame(sock, FrameType::kMeshHello, EncodeSeq(id)));
+    peers_[j]->sock = std::move(sock);
+  }
+  for (uint32_t j = proc_ + 1; j < num_procs_; ++j) {
+    SURFER_ASSIGN_OR_RETURN(Socket sock, listener_.Accept());
+    SURFER_ASSIGN_OR_RETURN(Frame frame, ReadFrame(sock));
+    if (frame.type != FrameType::kMeshHello) {
+      return Status::Internal("expected kMeshHello on mesh accept");
+    }
+    SURFER_ASSIGN_OR_RETURN(SeqMsg id, DecodeSeq(frame.payload));
+    if (id.src_proc >= num_procs_ || id.src_proc <= proc_ ||
+        peers_[id.src_proc]->sock.valid()) {
+      return Status::Internal("mesh hello from unexpected process " +
+                              std::to_string(id.src_proc));
+    }
+    peers_[id.src_proc]->sock = std::move(sock);
+  }
+  listener_.Close();
+
+  // Receiver threads inherit the spawn-time signal mask; block SIGTERM
+  // around the spawn so only the main thread ever takes the interrupt.
+  sigset_t block, old;
+  sigemptyset(&block);
+  sigaddset(&block, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &block, &old);
+  for (uint32_t j = 0; j < num_procs_; ++j) {
+    if (j == proc_) {
+      continue;
+    }
+    peers_[j]->receiver = std::thread([this, j] { ReceiverLoop(j); });
+    peers_[j]->receiver.detach();
+  }
+  pthread_sigmask(SIG_SETMASK, &old, nullptr);
+
+  return WriteFrame(control_, FrameType::kReady);
+}
+
+Result<Frame> WorkerTransport::ReadControl() {
+  // Poll-then-read instead of relying on EINTR alone: a SIGTERM that lands
+  // between the flag check and the read syscall would otherwise leave the
+  // worker blocked forever with the flag already set.
+  for (;;) {
+    if (SigtermFlag()->load(std::memory_order_relaxed)) {
+      return Status::Unavailable("control read interrupted by SIGTERM");
+    }
+    pollfd fd{control_.fd(), POLLIN, 0};
+    const int rc = ::poll(&fd, 1, 100);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IOError("poll on control socket failed");
+    }
+    if (rc == 0) {
+      continue;
+    }
+    return ReadFrame(control_, SigtermFlag());
+  }
+}
+
+Status WorkerTransport::SendControl(FrameType type,
+                                    const std::vector<uint8_t>& payload) {
+  return WriteFrame(control_, type, payload);
+}
+
+Status WorkerTransport::SendControl(FrameType type) {
+  return WriteFrame(control_, type);
+}
+
+Status WorkerTransport::SendPeer(uint32_t peer, FrameType type,
+                                 const std::vector<uint8_t>& payload) {
+  Peer& p = *peers_[peer];
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (p.dead) {
+      return Status::OK();
+    }
+  }
+  Status st;
+  {
+    std::lock_guard<std::mutex> wlock(p.write_mu);
+    st = WriteFrame(p.sock, type, payload);
+  }
+  if (!st.ok()) {
+    // Peer death is reported through liveness (the receiver thread sees the
+    // EOF too); the send itself succeeds-by-dropping.
+    MarkDead(peer);
+    return Status::OK();
+  }
+  p.frames_sent.fetch_add(1, std::memory_order_relaxed);
+  if (ack_data_ &&
+      (type == FrameType::kData || type == FrameType::kStateUpdate)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++p.sent_acked;
+  }
+  return Status::OK();
+}
+
+Status WorkerTransport::BroadcastEos(uint32_t seq) {
+  SeqMsg msg;
+  msg.seq = seq;
+  msg.src_proc = proc_;
+  const std::vector<uint8_t> payload = EncodeSeq(msg);
+  for (uint32_t j = 0; j < num_procs_; ++j) {
+    if (j == proc_) {
+      continue;
+    }
+    SURFER_RETURN_IF_ERROR(SendPeer(j, FrameType::kEos, payload));
+  }
+  return Status::OK();
+}
+
+bool WorkerTransport::TryPopData(runtime::WireBatch* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (data_.empty()) {
+    return false;
+  }
+  *out = std::move(data_.front());
+  data_.pop_front();
+  return true;
+}
+
+bool WorkerTransport::TryPopUpdate(StateUpdateMsg* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (updates_.empty()) {
+    return false;
+  }
+  *out = std::move(updates_.front());
+  updates_.pop_front();
+  return true;
+}
+
+bool WorkerTransport::RoundDrained(uint32_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t j = 0; j < num_procs_; ++j) {
+    if (j == proc_) {
+      continue;
+    }
+    const Peer& p = *peers_[j];
+    if (!p.dead && p.eos_seq < seq) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void WorkerTransport::WaitActivity() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::milliseconds(50));
+}
+
+Status WorkerTransport::WaitDataAcked() {
+  if (!ack_data_) {
+    return Status::OK();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    for (uint32_t j = 0; j < num_procs_; ++j) {
+      if (j == proc_) {
+        continue;
+      }
+      const Peer& p = *peers_[j];
+      if (!p.dead && p.acked < p.sent_acked) {
+        return false;
+      }
+    }
+    return true;
+  });
+  return Status::OK();
+}
+
+uint64_t WorkerTransport::tcp_bytes_sent() const {
+  uint64_t total = 0;
+  for (const auto& p : peers_) {
+    if (p != nullptr && p->sock.valid()) {
+      total += p->sock.bytes_written();
+    }
+  }
+  return total;
+}
+
+uint64_t WorkerTransport::tcp_frames_sent() const {
+  uint64_t total = 0;
+  for (const auto& p : peers_) {
+    if (p != nullptr) {
+      total += p->frames_sent.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+uint64_t WorkerTransport::ApproxMailboxDepth() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_.size() + updates_.size();
+}
+
+void WorkerTransport::CloseAll() {
+  for (auto& p : peers_) {
+    if (p != nullptr && p->sock.valid()) {
+      ::shutdown(p->sock.fd(), SHUT_RDWR);
+    }
+  }
+  if (control_.valid()) {
+    ::shutdown(control_.fd(), SHUT_RDWR);
+  }
+}
+
+void WorkerTransport::ReceiverLoop(uint32_t peer_index) {
+  Peer& p = *peers_[peer_index];
+  for (;;) {
+    Result<Frame> frame = ReadFrame(p.sock);
+    if (!frame.ok()) {
+      MarkDead(peer_index);
+      return;
+    }
+    switch (frame->type) {
+      case FrameType::kData: {
+        Result<runtime::WireBatch> batch = DecodeWireBatch(frame->payload);
+        if (!batch.ok()) {
+          MarkDead(peer_index);
+          return;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          data_.push_back(std::move(*batch));
+        }
+        cv_.notify_all();
+        if (ack_data_) {
+          std::lock_guard<std::mutex> wlock(p.write_mu);
+          (void)WriteFrame(p.sock, FrameType::kDataAck);
+        }
+        break;
+      }
+      case FrameType::kStateUpdate: {
+        Result<StateUpdateMsg> update = DecodeStateUpdate(frame->payload);
+        if (!update.ok()) {
+          MarkDead(peer_index);
+          return;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          updates_.push_back(std::move(*update));
+        }
+        cv_.notify_all();
+        if (ack_data_) {
+          std::lock_guard<std::mutex> wlock(p.write_mu);
+          (void)WriteFrame(p.sock, FrameType::kDataAck);
+        }
+        break;
+      }
+      case FrameType::kEos: {
+        Result<SeqMsg> eos = DecodeSeq(frame->payload);
+        if (!eos.ok()) {
+          MarkDead(peer_index);
+          return;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (eos->seq > p.eos_seq) {
+            p.eos_seq = eos->seq;
+          }
+        }
+        cv_.notify_all();
+        break;
+      }
+      case FrameType::kDataAck: {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++p.acked;
+        }
+        cv_.notify_all();
+        break;
+      }
+      default:
+        break;  // unknown mesh frame: ignore (forward compatibility)
+    }
+  }
+}
+
+void WorkerTransport::MarkDead(uint32_t peer_index) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    peers_[peer_index]->dead = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace net
+}  // namespace surfer

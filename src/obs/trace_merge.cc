@@ -1,0 +1,121 @@
+#include "obs/trace_merge.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace surfer {
+namespace obs {
+
+namespace {
+
+constexpr int kPidStride = 1000;  ///< lane block reserved per input process
+
+// JsonValue::Set appends without deduplicating, so rewriting a field on a
+// copied event must replace the existing entry in place — otherwise the
+// output carries duplicate keys and readers see whichever one their parser
+// happens to keep.
+void Upsert(JsonValue* object, std::string_view key, JsonValue value) {
+  for (auto& [k, v] : object->as_object()) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object->Set(std::string(key), std::move(value));
+}
+
+double OriginOf(const JsonValue& trace, bool* has) {
+  const JsonValue* origin = trace.Find("origin_unix_us");
+  if (origin != nullptr && origin->is_number()) {
+    *has = true;
+    return origin->as_number();
+  }
+  *has = false;
+  return 0.0;
+}
+
+}  // namespace
+
+Result<JsonValue> MergeChromeTraces(
+    const std::vector<TraceMergeInput>& inputs) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("no traces to merge");
+  }
+  // Align onto the earliest anchor — but only when every input has one. A
+  // partial shift would *misalign* the anchorless inputs relative to the
+  // shifted ones, which is worse than leaving all clocks local.
+  bool align = true;
+  double min_origin = 0.0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    bool has = false;
+    const double origin = OriginOf(inputs[i].trace, &has);
+    if (!has) {
+      align = false;
+      break;
+    }
+    if (i == 0 || origin < min_origin) {
+      min_origin = origin;
+    }
+  }
+
+  JsonValue merged_events = JsonValue::MakeArray();
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const TraceMergeInput& input = inputs[i];
+    const JsonValue* events = input.trace.Find("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+      return Status::InvalidArgument("input " + std::to_string(i) + " (" +
+                                     input.label +
+                                     ") has no traceEvents array");
+    }
+    bool has_origin = false;
+    const double offset =
+        align ? OriginOf(input.trace, &has_origin) - min_origin : 0.0;
+    for (const JsonValue& event : events->as_array()) {
+      if (!event.is_object()) {
+        continue;
+      }
+      JsonValue out = event;
+      const JsonValue* pid = event.Find("pid");
+      const int64_t lane =
+          static_cast<int64_t>(i) * kPidStride +
+          (pid != nullptr && pid->is_number()
+               ? static_cast<int64_t>(pid->as_number())
+               : 0);
+      Upsert(&out, "pid", lane);
+      const JsonValue* name = event.Find("name");
+      const JsonValue* ph = event.Find("ph");
+      const bool is_meta = ph != nullptr && ph->is_string() &&
+                           ph->as_string() == "M";
+      if (is_meta && name != nullptr && name->is_string() &&
+          name->as_string() == "process_name") {
+        const JsonValue* args = event.Find("args");
+        const JsonValue* lane_name =
+            args != nullptr ? args->Find("name") : nullptr;
+        JsonValue new_args = JsonValue::MakeObject();
+        new_args.Set("name",
+                     lane_name != nullptr && lane_name->is_string()
+                         ? input.label + ": " + lane_name->as_string()
+                         : input.label);
+        Upsert(&out, "args", std::move(new_args));
+      } else if (!is_meta && offset != 0.0) {
+        const JsonValue* ts = event.Find("ts");
+        if (ts != nullptr && ts->is_number()) {
+          Upsert(&out, "ts", ts->as_number() + offset);
+        }
+      }
+      merged_events.Append(std::move(out));
+    }
+  }
+
+  JsonValue merged = JsonValue::MakeObject();
+  merged.Set("traceEvents", std::move(merged_events));
+  merged.Set("displayTimeUnit", "ms");
+  merged.Set("merged_processes", static_cast<uint64_t>(inputs.size()));
+  merged.Set("aligned", align);
+  return merged;
+}
+
+}  // namespace obs
+}  // namespace surfer

@@ -1,0 +1,35 @@
+#ifndef SURFER_OBS_TRACE_MERGE_H_
+#define SURFER_OBS_TRACE_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/json.h"
+
+namespace surfer {
+namespace obs {
+
+/// One per-process Chrome trace to fold into a merged timeline.
+struct TraceMergeInput {
+  /// Lane label shown by the viewer ("worker 0", "coordinator", ...).
+  std::string label;
+  /// A {"traceEvents": [...]} document as written by Tracer::WriteChromeTrace,
+  /// optionally carrying a top-level "origin_unix_us" anchor (the wall-clock
+  /// time of the tracer's t=0) for cross-process alignment.
+  JsonValue trace;
+};
+
+/// Merges per-process Chrome traces into one timeline with per-process
+/// lanes: input i's events keep their relative order and thread lanes but
+/// move to pid = 1000 * i + original pid, process_name metadata is prefixed
+/// with the input's label, and — when every input carries an
+/// "origin_unix_us" anchor — timestamps shift onto the common clock of the
+/// earliest anchor, so spans from different processes line up the way they
+/// actually overlapped.
+Result<JsonValue> MergeChromeTraces(const std::vector<TraceMergeInput>& inputs);
+
+}  // namespace obs
+}  // namespace surfer
+
+#endif  // SURFER_OBS_TRACE_MERGE_H_

@@ -24,6 +24,9 @@ obs::JsonValue RuntimeStatsToJson(const RuntimeStats& stats) {
   obs::JsonValue block = obs::JsonValue::MakeObject();
   block.Set("num_workers", static_cast<uint64_t>(stats.num_workers));
   block.Set("num_machines", static_cast<uint64_t>(stats.num_machines));
+  if (stats.num_processes > 0) {
+    block.Set("num_processes", static_cast<uint64_t>(stats.num_processes));
+  }
   block.Set("iterations", stats.iterations);
   block.Set("tasks_executed", stats.tasks_executed);
   block.Set("tasks_reexecuted", stats.tasks_reexecuted);
@@ -59,6 +62,10 @@ obs::JsonValue RuntimeStatsToJson(const RuntimeStats& stats) {
   block.Set("barrier_wait_max_s", stats.barrier_wait_max_s);
   block.Set("barrier_generations", stats.barrier_generations);
   block.Set("refetch_bytes", stats.refetch_bytes);
+  block.Set("tcp_bytes_sent", stats.tcp_bytes_sent);
+  block.Set("tcp_frames_sent", stats.tcp_frames_sent);
+  block.Set("resend_bytes", stats.resend_bytes);
+  block.Set("replication_bytes", stats.replication_bytes);
   block.Set("wall_seconds", stats.wall_seconds);
   block.Set("network_bytes", stats.TotalNetworkBytes());
   block.Set("telemetry_samples", stats.telemetry_samples);
@@ -76,6 +83,21 @@ obs::JsonValue RuntimeStatsToJson(const RuntimeStats& stats) {
   for (uint32_t src = 0; src < n; ++src) {
     for (uint32_t dst = 0; dst < n; ++dst) {
       const size_t idx = static_cast<size_t>(src) * n + dst;
+      if (idx >= stats.channels.size()) {
+        // Engines without per-link channels (the distributed engine moves
+        // bytes over TCP sockets instead) report link_bytes only.
+        const uint64_t bytes =
+            idx < stats.link_bytes.size() ? stats.link_bytes[idx] : 0;
+        if (bytes == 0) {
+          continue;
+        }
+        obs::JsonValue entry = obs::JsonValue::MakeObject();
+        entry.Set("src", static_cast<uint64_t>(src));
+        entry.Set("dst", static_cast<uint64_t>(dst));
+        entry.Set("bytes", bytes);
+        channels.Append(std::move(entry));
+        continue;
+      }
       const ChannelStats& ch = stats.channels[idx];
       if (ch.sends == 0 && ch.stall_attempts == 0) {
         continue;

@@ -17,6 +17,8 @@ namespace runtime {
 struct RuntimeStats {
   uint32_t num_workers = 0;
   uint32_t num_machines = 0;
+  /// Worker OS processes in a distributed run (0 for in-process engines).
+  uint32_t num_processes = 0;
   int iterations = 0;
 
   uint64_t tasks_executed = 0;    ///< transfer + combine tasks run, incl. retries
@@ -51,6 +53,12 @@ struct RuntimeStats {
   uint64_t barrier_generations = 0;
   uint64_t refetch_bytes = 0;  ///< replica re-reads triggered by recovery
   double wall_seconds = 0.0;
+
+  // Distributed engine (net/distributed.h) only; all zero elsewhere.
+  uint64_t tcp_bytes_sent = 0;    ///< bytes on mesh sockets, headers included
+  uint64_t tcp_frames_sent = 0;   ///< mesh frames (data, updates, EOS, acks)
+  uint64_t resend_bytes = 0;      ///< recovery replay + re-executed transfer
+  uint64_t replication_bytes = 0; ///< post-combine state updates to replicas
 
   /// Row-major M x M actual bytes moved per (src machine -> dst machine).
   /// Off-diagonal entries are network traffic and, absent faults, must

@@ -1,0 +1,312 @@
+// End-to-end tests of the multi-process distributed engine: bit-identity
+// against the sequential PropagationRunner at several process counts, exact
+// per-link byte reconciliation with the analytic model, recovery from real
+// child-process kills, and graceful SIGTERM decommission with artifact
+// flush. Every test forks real OS processes and moves real bytes over
+// localhost TCP.
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/degree_distribution.h"
+#include "apps/network_ranking.h"
+#include "core/run_app.h"
+#include "obs/json.h"
+#include "obs/trace_merge.h"
+#include "propagation/config.h"
+#include "propagation/runner.h"
+#include "tests/test_fixtures.h"
+
+namespace surfer {
+namespace {
+
+using testing_fixtures::EngineFixture;
+using testing_fixtures::MakeEngineFixture;
+
+const EngineFixture& Fixture() {
+  static const EngineFixture* fixture =
+      new EngineFixture(MakeEngineFixture());
+  return *fixture;
+}
+
+PropagationConfig ConfigFor(OptimizationLevel level, int iterations) {
+  PropagationConfig config = PropagationConfig::ForLevel(level);
+  config.iterations = iterations;
+  return config;
+}
+
+template <typename State>
+void ExpectBitIdentical(const std::vector<State>& expected,
+                        const std::vector<State>& actual,
+                        const std::string& what) {
+  ASSERT_EQ(expected.size(), actual.size()) << what;
+  if (std::memcmp(expected.data(), actual.data(),
+                  expected.size() * sizeof(State)) == 0) {
+    return;
+  }
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_EQ(std::memcmp(&expected[v], &actual[v], sizeof(State)), 0)
+        << what << ": first bit difference at vertex " << v;
+  }
+}
+
+TEST(NetDistributedTest, NetworkRankingBitIdenticalAcrossProcessCounts) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  const PropagationConfig config =
+      ConfigFor(OptimizationLevel::kO4, /*iterations=*/3);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationRunner<NetworkRankingApp> runner(setup.graph, setup.placement,
+                                              setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  // 1 process = all machines in one child (pure local delivery); 3 forces
+  // machine multiplexing across uneven groups; 8 is one process per machine
+  // with every exchange crossing a real TCP link.
+  for (uint32_t procs : {1u, 3u, 8u}) {
+    EngineOptions options;
+    options.engine = EngineKind::kDistributed;
+    options.propagation = config;
+    options.distributed.max_processes = procs;
+    auto result = RunApp(setup, app, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectBitIdentical(runner.states(), result->states,
+                       "distributed @ " + std::to_string(procs) + " procs");
+    ASSERT_TRUE(result->runtime_stats.has_value());
+    EXPECT_EQ(result->runtime_stats->num_processes, procs);
+    EXPECT_EQ(result->runtime_stats->machine_failures, 0u);
+    EXPECT_GT(result->runtime_stats->messages_sent, 0u);
+    if (procs > 1) {
+      EXPECT_GT(result->runtime_stats->tcp_bytes_sent, 0u);
+      EXPECT_GT(result->runtime_stats->tcp_frames_sent, 0u);
+    }
+
+    // Per-link reconciliation: the TCP engine's priced bytes equal the
+    // analytic model's, link by link, exactly.
+    const std::vector<double> model = runner.link_network_bytes();
+    ASSERT_EQ(model.size(), result->link_network_bytes.size());
+    const uint32_t n = f.topology.num_machines();
+    for (uint32_t src = 0; src < n; ++src) {
+      for (uint32_t dst = 0; dst < n; ++dst) {
+        const size_t i = static_cast<size_t>(src) * n + dst;
+        if (src == dst) {
+          EXPECT_EQ(result->link_network_bytes[i], 0.0);
+          continue;
+        }
+        EXPECT_EQ(model[i], result->link_network_bytes[i])
+            << "link " << src << "->" << dst << " @ " << procs << " procs";
+      }
+    }
+  }
+}
+
+TEST(NetDistributedTest, VirtualOutputsMatchSequentialAcrossProcessCounts) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  const PropagationConfig config =
+      ConfigFor(OptimizationLevel::kO4, /*iterations=*/1);
+  DegreeDistributionApp app;
+  PropagationRunner<DegreeDistributionApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+  ASSERT_FALSE(runner.virtual_outputs().empty());
+
+  for (uint32_t procs : {1u, 3u, 8u}) {
+    EngineOptions options;
+    options.engine = EngineKind::kDistributed;
+    options.propagation = config;
+    options.distributed.max_processes = procs;
+    auto result = RunApp(setup, app, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectBitIdentical(runner.states(), result->states,
+                       "VDD @ " + std::to_string(procs) + " procs");
+    EXPECT_EQ(runner.virtual_outputs(), result->virtual_outputs)
+        << procs << " procs";
+  }
+}
+
+TEST(NetDistributedTest, ProcessKillMidSuperstepRecoversBitIdentically) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  const PropagationConfig config =
+      ConfigFor(OptimizationLevel::kO4, /*iterations=*/3);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationRunner<NetworkRankingApp> runner(setup.graph, setup.placement,
+                                              setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  // One process per machine, so the plan kills a whole OS process midway
+  // through iteration 1's transfer stage (after one of its two tasks) — its
+  // unflushed work, retained batches, and inboxes die with it, and recovery
+  // must rebuild everything on the first alive replica.
+  EngineOptions options;
+  options.engine = EngineKind::kDistributed;
+  options.propagation = config;
+  options.distributed.max_processes = 8;
+  runtime::RuntimeFaultPlan plan;
+  plan.machine = 2;
+  plan.iteration = 1;
+  plan.stage = runtime::RuntimeStage::kTransfer;
+  plan.after_tasks = 1;
+  options.distributed.faults.push_back(plan);
+  auto result = RunApp(setup, app, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectBitIdentical(runner.states(), result->states,
+                     "recovery after process kill");
+  ASSERT_TRUE(result->runtime_stats.has_value());
+  EXPECT_GE(result->runtime_stats->machine_failures, 1u);
+  EXPECT_GT(result->runtime_stats->tasks_reexecuted, 0u);
+  // The replacement executor is a non-primary replica, so it re-fetched the
+  // spills the primary had already consumed.
+  EXPECT_GT(result->runtime_stats->refetch_bytes, 0u);
+  EXPECT_GT(result->runtime_stats->resend_bytes, 0u);
+}
+
+TEST(NetDistributedTest, KillDuringCombineStageAlsoRecovers) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  const PropagationConfig config =
+      ConfigFor(OptimizationLevel::kO4, /*iterations=*/3);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationRunner<NetworkRankingApp> runner(setup.graph, setup.placement,
+                                              setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  EngineOptions options;
+  options.engine = EngineKind::kDistributed;
+  options.propagation = config;
+  options.distributed.max_processes = 8;
+  runtime::RuntimeFaultPlan plan;
+  plan.machine = 5;
+  plan.iteration = 1;
+  plan.stage = runtime::RuntimeStage::kCombine;
+  plan.after_tasks = 1;
+  options.distributed.faults.push_back(plan);
+  auto result = RunApp(setup, app, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectBitIdentical(runner.states(), result->states,
+                     "recovery after combine-stage kill");
+  EXPECT_GE(result->runtime_stats->machine_failures, 1u);
+  EXPECT_GT(result->runtime_stats->tasks_reexecuted, 0u);
+}
+
+TEST(NetDistributedTest, SigtermFlushesReportBeforeExit) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  const PropagationConfig config =
+      ConfigFor(OptimizationLevel::kO4, /*iterations=*/3);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationRunner<NetworkRankingApp> runner(setup.graph, setup.placement,
+                                              setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("surfer_dist_sigterm_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  EngineOptions options;
+  options.engine = EngineKind::kDistributed;
+  options.propagation = config;
+  options.distributed.max_processes = 8;
+  options.distributed.artifact_dir = dir.string();
+  // Machine 6's process receives a real SIGTERM before iteration 1; it must
+  // flush staged batches + its run report and exit 0, and the run must
+  // converge bit-identically on the survivors.
+  options.distributed.sigterm_machine = 6;
+  options.distributed.sigterm_iteration = 1;
+  auto result = RunApp(setup, app, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectBitIdentical(runner.states(), result->states,
+                     "graceful SIGTERM decommission");
+  EXPECT_GE(result->runtime_stats->machine_failures, 1u);
+
+  // The victim's report landed on disk despite the mid-run termination.
+  const std::filesystem::path victim = dir / "dist_worker_6.report.json";
+  ASSERT_TRUE(std::filesystem::exists(victim)) << victim;
+  std::ifstream in(victim);
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto parsed = obs::ParseJson(text.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* runtime_block = parsed->Find("runtime");
+  ASSERT_NE(runtime_block, nullptr);
+  const obs::JsonValue* tasks = runtime_block->Find("tasks_executed");
+  ASSERT_NE(tasks, nullptr);
+  EXPECT_GT(tasks->as_number(), 0.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(NetDistributedTest, ArtifactsLandForEveryProcessAndMerge) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  const PropagationConfig config =
+      ConfigFor(OptimizationLevel::kO4, /*iterations=*/2);
+  NetworkRankingApp app(f.graph.num_vertices());
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("surfer_dist_artifacts_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  EngineOptions options;
+  options.engine = EngineKind::kDistributed;
+  options.propagation = config;
+  options.distributed.max_processes = 3;
+  options.distributed.artifact_dir = dir.string();
+  auto result = RunApp(setup, app, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::vector<obs::TraceMergeInput> inputs;
+  for (uint32_t proc = 0; proc < 3; ++proc) {
+    const std::filesystem::path report =
+        dir / ("dist_worker_" + std::to_string(proc) + ".report.json");
+    const std::filesystem::path trace =
+        dir / ("dist_worker_" + std::to_string(proc) + ".trace.json");
+    ASSERT_TRUE(std::filesystem::exists(report)) << report;
+    ASSERT_TRUE(std::filesystem::exists(trace)) << trace;
+    std::ifstream in(trace);
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = obs::ParseJson(text.str());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    inputs.push_back({"worker " + std::to_string(proc),
+                      std::move(parsed).value()});
+  }
+  auto merged = obs::MergeChromeTraces(inputs);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  const obs::JsonValue* events = merged->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->as_array().size(), 3u);
+  const obs::JsonValue* aligned = merged->Find("aligned");
+  ASSERT_NE(aligned, nullptr);
+  EXPECT_TRUE(aligned->is_bool() && aligned->as_bool());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(NetDistributedTest, DeathWithoutFaultToleranceAborts) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  // A fault plan *is* what makes the placement fault-tolerant — so instead
+  // exercise the validation arm: distributed rejects bad inputs up front.
+  EngineOptions options;
+  options.engine = EngineKind::kDistributed;
+  options.propagation = ConfigFor(OptimizationLevel::kO4, 0);  // invalid
+  auto result = RunApp(setup, NetworkRankingApp(f.graph.num_vertices()),
+                       options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace surfer

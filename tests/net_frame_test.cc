@@ -1,0 +1,284 @@
+// Wire-framing contract tests over real socketpairs: magic/version
+// validation, torn frames, mid-frame EOF, partial reads under a trickling
+// writer, and the control-message codecs the distributed engine rides on.
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/control.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace surfer {
+namespace net {
+namespace {
+
+std::pair<Socket, Socket> MustPair() {
+  auto pair = Socket::Pair();
+  EXPECT_TRUE(pair.ok()) << pair.status().ToString();
+  return std::move(pair).value();
+}
+
+std::vector<uint8_t> Bytes(std::initializer_list<int> values) {
+  std::vector<uint8_t> out;
+  for (int v : values) {
+    out.push_back(static_cast<uint8_t>(v));
+  }
+  return out;
+}
+
+TEST(NetFrameTest, RoundTripsTypedPayloads) {
+  auto [a, b] = MustPair();
+  const std::vector<uint8_t> payload = Bytes({1, 2, 3, 4, 5});
+  ASSERT_TRUE(WriteFrame(a, FrameType::kData, payload).ok());
+  ASSERT_TRUE(WriteFrame(a, FrameType::kEos).ok());
+
+  auto first = ReadFrame(b);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->type, FrameType::kData);
+  EXPECT_EQ(first->payload, payload);
+
+  auto second = ReadFrame(b);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->type, FrameType::kEos);
+  EXPECT_TRUE(second->payload.empty());
+}
+
+TEST(NetFrameTest, CleanEofBetweenFramesIsUnavailable) {
+  auto [a, b] = MustPair();
+  ASSERT_TRUE(WriteFrame(a, FrameType::kReady).ok());
+  ASSERT_TRUE(ReadFrame(b).ok());
+  a.Close();  // orderly peer exit
+  auto eof = ReadFrame(b);
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(NetFrameTest, EofInsideHeaderIsTornFrame) {
+  auto [a, b] = MustPair();
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(FrameType::kData);
+  header.payload_bytes = 0;
+  // Half a header, then close: the stream died mid-frame.
+  ASSERT_TRUE(a.WriteFull(&header, sizeof(header) / 2).ok());
+  a.Close();
+  auto torn = ReadFrame(b);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.status().code(), StatusCode::kCorruption);
+}
+
+TEST(NetFrameTest, EofInsidePayloadIsTornFrame) {
+  auto [a, b] = MustPair();
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(FrameType::kData);
+  header.payload_bytes = 100;
+  ASSERT_TRUE(a.WriteFull(&header, sizeof(header)).ok());
+  const std::vector<uint8_t> partial(10, 0xAB);
+  ASSERT_TRUE(a.WriteFull(partial.data(), partial.size()).ok());
+  a.Close();
+  auto torn = ReadFrame(b);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.status().code(), StatusCode::kCorruption);
+}
+
+TEST(NetFrameTest, MagicMismatchIsCorruption) {
+  auto [a, b] = MustPair();
+  FrameHeader header;
+  header.magic = 0xDEADBEEF;
+  header.type = static_cast<uint16_t>(FrameType::kData);
+  ASSERT_TRUE(a.WriteFull(&header, sizeof(header)).ok());
+  auto bad = ReadFrame(b);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+}
+
+TEST(NetFrameTest, VersionMismatchIsNotSupported) {
+  auto [a, b] = MustPair();
+  FrameHeader header;
+  header.version = kFrameVersion + 1;
+  header.type = static_cast<uint16_t>(FrameType::kData);
+  ASSERT_TRUE(a.WriteFull(&header, sizeof(header)).ok());
+  auto bad = ReadFrame(b);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(NetFrameTest, OversizedLengthFieldIsRejectedBeforeAllocation) {
+  auto [a, b] = MustPair();
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(FrameType::kData);
+  header.payload_bytes = kMaxFramePayloadBytes + 1;
+  ASSERT_TRUE(a.WriteFull(&header, sizeof(header)).ok());
+  auto bad = ReadFrame(b);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+}
+
+TEST(NetFrameTest, PartialWritesReassembleIntoOneFrame) {
+  // A writer that trickles the frame one byte at a time forces the reader
+  // through its short-read loop on every byte; the frame must reassemble
+  // exactly.
+  auto [a, b] = MustPair();
+  std::vector<uint8_t> payload(4096);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 31);
+  }
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(FrameType::kData);
+  header.payload_bytes = payload.size();
+  std::vector<uint8_t> stream(sizeof(header) + payload.size());
+  std::memcpy(stream.data(), &header, sizeof(header));
+  std::memcpy(stream.data() + sizeof(header), payload.data(), payload.size());
+
+  std::thread writer([&a, &stream] {
+    for (size_t i = 0; i < stream.size(); ++i) {
+      ASSERT_TRUE(a.WriteFull(&stream[i], 1).ok());
+    }
+  });
+  auto frame = ReadFrame(b);
+  writer.join();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, FrameType::kData);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(NetFrameTest, WireBatchRoundTripsThroughAFrame) {
+  runtime::WireBatch batch;
+  batch.src_machine = 3;
+  batch.dst_machine = 5;
+  batch.num_segments = 2;
+  batch.num_messages = 77;
+  batch.priced_bytes = 1234;
+  batch.payload = Bytes({9, 8, 7, 6, 5, 4});
+
+  auto [a, b] = MustPair();
+  ASSERT_TRUE(WriteFrame(a, FrameType::kData, EncodeWireBatch(batch)).ok());
+  auto frame = ReadFrame(b);
+  ASSERT_TRUE(frame.ok());
+  auto decoded = DecodeWireBatch(frame->payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->src_machine, batch.src_machine);
+  EXPECT_EQ(decoded->dst_machine, batch.dst_machine);
+  EXPECT_EQ(decoded->num_segments, batch.num_segments);
+  EXPECT_EQ(decoded->num_messages, batch.num_messages);
+  EXPECT_EQ(decoded->priced_bytes, batch.priced_bytes);
+  EXPECT_EQ(decoded->payload, batch.payload);
+}
+
+TEST(NetFrameTest, TruncatedWireBatchPayloadIsCorruption) {
+  runtime::WireBatch batch;
+  batch.src_machine = 1;
+  batch.dst_machine = 2;
+  batch.payload = Bytes({1, 2, 3, 4});
+  std::vector<uint8_t> encoded = EncodeWireBatch(batch);
+  encoded.pop_back();  // inner length field now disagrees with reality
+  auto decoded = DecodeWireBatch(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(NetControlTest, RoundMsgRoundTrips) {
+  RoundMsg msg;
+  msg.seq = 42;
+  msg.iteration = 3;
+  msg.kind = RoundKind::kResend;
+  msg.recovery = 1;
+  msg.alive = {1, 0, 1};
+  msg.exec = {0, kInvalidMachine, 2};
+  msg.route = {0, 2, 2};
+  msg.reexec = {kInvalidMachine, kInvalidMachine, 1};
+  auto decoded = DecodeRound(EncodeRound(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->seq, msg.seq);
+  EXPECT_EQ(decoded->iteration, msg.iteration);
+  EXPECT_EQ(decoded->kind, msg.kind);
+  EXPECT_EQ(decoded->recovery, msg.recovery);
+  EXPECT_EQ(decoded->alive, msg.alive);
+  EXPECT_EQ(decoded->exec, msg.exec);
+  EXPECT_EQ(decoded->route, msg.route);
+  EXPECT_EQ(decoded->reexec, msg.reexec);
+}
+
+TEST(NetControlTest, WorkerStatsRoundTripWithLinkMatrix) {
+  WorkerStatsMsg msg;
+  msg.tasks_executed = 10;
+  msg.tasks_reexecuted = 2;
+  msg.messages_sent = 12345;
+  msg.tcp_bytes_sent = 999;
+  msg.resend_bytes = 7;
+  msg.replication_bytes = 13;
+  msg.peak_rss_bytes = 1 << 20;
+  msg.link_bytes = {0, 5, 10, 0};
+  auto decoded = DecodeWorkerStats(EncodeWorkerStats(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->tasks_executed, msg.tasks_executed);
+  EXPECT_EQ(decoded->tasks_reexecuted, msg.tasks_reexecuted);
+  EXPECT_EQ(decoded->messages_sent, msg.messages_sent);
+  EXPECT_EQ(decoded->tcp_bytes_sent, msg.tcp_bytes_sent);
+  EXPECT_EQ(decoded->resend_bytes, msg.resend_bytes);
+  EXPECT_EQ(decoded->replication_bytes, msg.replication_bytes);
+  EXPECT_EQ(decoded->peak_rss_bytes, msg.peak_rss_bytes);
+  EXPECT_EQ(decoded->link_bytes, msg.link_bytes);
+}
+
+TEST(NetControlTest, StateUpdateRoundTrips) {
+  StateUpdateMsg msg;
+  msg.partition = 4;
+  msg.iteration = 2;
+  msg.begin = 100;
+  msg.count = 3;
+  msg.states = Bytes({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+  msg.virtual_count = 1;
+  msg.virtuals = Bytes({42, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4});
+  auto decoded = DecodeStateUpdate(EncodeStateUpdate(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->partition, msg.partition);
+  EXPECT_EQ(decoded->iteration, msg.iteration);
+  EXPECT_EQ(decoded->begin, msg.begin);
+  EXPECT_EQ(decoded->count, msg.count);
+  EXPECT_EQ(decoded->states, msg.states);
+  EXPECT_EQ(decoded->virtual_count, msg.virtual_count);
+  EXPECT_EQ(decoded->virtuals, msg.virtuals);
+}
+
+TEST(NetControlTest, PlacementCarriesFaultPlansAndTolerance) {
+  PlacementMsg msg;
+  msg.num_machines = 8;
+  msg.num_partitions = 2;
+  msg.replication = 3;
+  msg.fault_tolerant = 1;
+  msg.replicas = {0, 1, 2, 3, 4, 5};
+  runtime::RuntimeFaultPlan plan;
+  plan.machine = 5;
+  plan.iteration = 1;
+  plan.stage = runtime::RuntimeStage::kCombine;
+  plan.after_tasks = 2;
+  msg.faults.push_back(plan);
+  auto decoded = DecodePlacement(EncodePlacement(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->num_machines, msg.num_machines);
+  EXPECT_EQ(decoded->fault_tolerant, 1);
+  EXPECT_EQ(decoded->replicas, msg.replicas);
+  ASSERT_EQ(decoded->faults.size(), 1u);
+  EXPECT_EQ(decoded->faults[0].machine, plan.machine);
+  EXPECT_EQ(decoded->faults[0].iteration, plan.iteration);
+  EXPECT_EQ(decoded->faults[0].stage, plan.stage);
+  EXPECT_EQ(decoded->faults[0].after_tasks, plan.after_tasks);
+}
+
+TEST(NetControlTest, TruncatedControlPayloadIsCorruption) {
+  WorkerStatsMsg msg;
+  msg.link_bytes = {1, 2, 3, 4};
+  std::vector<uint8_t> encoded = EncodeWorkerStats(msg);
+  encoded.resize(encoded.size() / 2);
+  auto decoded = DecodeWorkerStats(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace surfer

@@ -16,6 +16,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
+#include "obs/trace_merge.h"
 #include "partition/recursive_partitioner.h"
 
 namespace surfer {
@@ -518,6 +519,89 @@ TEST(PartitionerObservabilityTest, BisectionsEmitSpansAndMetrics) {
       EXPECT_EQ(event.clock, TraceClock::kWall);
     }
   }
+}
+
+// ------------------------------------------------------------ trace merge
+
+namespace {
+
+JsonValue MakeProcessTrace(uint64_t origin_unix_us, double first_ts,
+                           const std::string& process_name) {
+  JsonValue name_args = JsonValue::MakeObject();
+  name_args.Set("name", process_name);
+  JsonValue name_event = JsonValue::MakeObject();
+  name_event.Set("name", "process_name");
+  name_event.Set("ph", "M");
+  name_event.Set("pid", 1);
+  name_event.Set("tid", 0);
+  name_event.Set("args", std::move(name_args));
+
+  JsonValue span = JsonValue::MakeObject();
+  span.Set("name", "transfer");
+  span.Set("ph", "X");
+  span.Set("pid", 1);
+  span.Set("tid", 7);
+  span.Set("ts", first_ts);
+  span.Set("dur", 50.0);
+
+  JsonValue events = JsonValue::MakeArray();
+  events.Append(std::move(name_event));
+  events.Append(std::move(span));
+  JsonValue trace = JsonValue::MakeObject();
+  trace.Set("traceEvents", std::move(events));
+  if (origin_unix_us != 0) trace.Set("origin_unix_us", origin_unix_us);
+  return trace;
+}
+
+}  // namespace
+
+TEST(TraceMergeTest, RemapsLanesAndAlignsOnCommonClock) {
+  std::vector<TraceMergeInput> inputs;
+  // Worker 1's tracer started 2000us after worker 0's: its local ts values
+  // must shift forward by 2000 to land on the shared timeline.
+  inputs.push_back({"worker0", MakeProcessTrace(5'000'000, 100.0, "wall")});
+  inputs.push_back({"worker1", MakeProcessTrace(5'002'000, 100.0, "wall")});
+  auto merged = MergeChromeTraces(inputs);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  EXPECT_EQ(merged->Find("merged_processes")->as_number(), 2.0);
+  EXPECT_TRUE(merged->Find("aligned")->as_bool());
+  const auto& events = merged->Find("traceEvents")->as_array();
+  ASSERT_EQ(events.size(), 4u);
+
+  // Input 0 keeps pid 1; input 1 moves to the 1000-stride lane.
+  EXPECT_EQ(events[0].Find("pid")->as_number(), 1.0);
+  EXPECT_EQ(events[2].Find("pid")->as_number(), 1001.0);
+  // Metadata names gain the per-input label prefix.
+  EXPECT_EQ(events[0].Find("args")->Find("name")->as_string(),
+            "worker0: wall");
+  EXPECT_EQ(events[2].Find("args")->Find("name")->as_string(),
+            "worker1: wall");
+  // Same local ts, but worker 1 started 2000us later in wall time.
+  EXPECT_EQ(events[1].Find("ts")->as_number(), 100.0);
+  EXPECT_EQ(events[3].Find("ts")->as_number(), 2100.0);
+}
+
+TEST(TraceMergeTest, SkipsAlignmentUnlessEveryInputHasAnchor) {
+  std::vector<TraceMergeInput> inputs;
+  inputs.push_back({"a", MakeProcessTrace(5'000'000, 100.0, "wall")});
+  inputs.push_back({"b", MakeProcessTrace(0, 100.0, "wall")});  // no anchor
+  auto merged = MergeChromeTraces(inputs);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_FALSE(merged->Find("aligned")->as_bool());
+  const auto& events = merged->Find("traceEvents")->as_array();
+  ASSERT_EQ(events.size(), 4u);
+  // With a partial anchor set, no timestamps move at all.
+  EXPECT_EQ(events[1].Find("ts")->as_number(), 100.0);
+  EXPECT_EQ(events[3].Find("ts")->as_number(), 100.0);
+}
+
+TEST(TraceMergeTest, RejectsEmptyAndMalformedInputs) {
+  EXPECT_FALSE(MergeChromeTraces({}).ok());
+  std::vector<TraceMergeInput> inputs;
+  inputs.push_back({"bad", JsonValue::MakeObject()});
+  auto merged = MergeChromeTraces(inputs);
+  EXPECT_FALSE(merged.ok());
 }
 
 }  // namespace

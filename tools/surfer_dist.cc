@@ -1,0 +1,190 @@
+// surfer_dist: localhost multi-process smoke run of the distributed engine.
+//
+//   surfer_dist [--procs N] [--machines M] [--partitions P]
+//               [--vertices V] [--iterations I] [--artifacts DIR]
+//
+// Builds a synthetic social graph, partitions it, runs NetworkRanking once
+// through the sequential analytic engine and once through the distributed
+// engine (N real OS processes over localhost TCP), then asserts the two
+// hard invariants the engine promises:
+//
+//   1. bit-identical vertex states, and
+//   2. exact per-link reconciliation of the TCP engine's priced bytes
+//      against the analytic model's link_network_bytes().
+//
+// Exits 0 when both hold, 1 on any mismatch — CI runs this as the
+// distributed smoke gate.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/network_ranking.h"
+#include "cluster/topology.h"
+#include "core/run_app.h"
+#include "core/sim_scale.h"
+#include "core/surfer.h"
+#include "graph/generators.h"
+
+namespace {
+
+struct Args {
+  uint32_t procs = 3;
+  uint32_t machines = 8;
+  uint32_t partitions = 16;
+  uint32_t vertices = 1 << 12;
+  int iterations = 3;
+  std::string artifacts;
+};
+
+bool Parse(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--procs") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->procs = static_cast<uint32_t>(std::stoul(v));
+    } else if (arg == "--machines") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->machines = static_cast<uint32_t>(std::stoul(v));
+    } else if (arg == "--partitions") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->partitions = static_cast<uint32_t>(std::stoul(v));
+    } else if (arg == "--vertices") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->vertices = static_cast<uint32_t>(std::stoul(v));
+    } else if (arg == "--iterations") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->iterations = std::stoi(v);
+    } else if (arg == "--artifacts") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->artifacts = v;
+    } else {
+      std::fprintf(stderr, "surfer_dist: unknown argument %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace surfer;
+  Args args;
+  if (!Parse(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: surfer_dist [--procs N] [--machines M]"
+                 " [--partitions P] [--vertices V] [--iterations I]"
+                 " [--artifacts DIR]\n");
+    return 2;
+  }
+
+  SocialGraphOptions graph_options;
+  graph_options.num_vertices = args.vertices;
+  graph_options.avg_out_degree = 8.0;
+  graph_options.num_communities = 4;
+  graph_options.seed = 33;
+  auto graph = GenerateSocialGraph(graph_options);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph generation failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  Topology topology = MakeScaledT2(args.machines, 2, 1);
+  SurferOptions surfer_options;
+  surfer_options.num_partitions = args.partitions;
+  auto engine = SurferEngine::Build(*graph, topology, surfer_options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  BenchmarkSetup setup = (*engine)->MakeSetup(OptimizationLevel::kO4);
+  setup.sim_options = MakeScaledSimOptions();
+
+  NetworkRankingApp app(graph->num_vertices());
+  EngineOptions sequential;
+  sequential.propagation = PropagationConfig::ForLevel(OptimizationLevel::kO4);
+  sequential.propagation.iterations = args.iterations;
+  auto reference = RunApp(setup, app, sequential);
+  if (!reference.ok()) {
+    std::fprintf(stderr, "sequential run failed: %s\n",
+                 reference.status().ToString().c_str());
+    return 1;
+  }
+
+  EngineOptions distributed = sequential;
+  distributed.engine = EngineKind::kDistributed;
+  distributed.distributed.max_processes = args.procs;
+  distributed.distributed.artifact_dir = args.artifacts;
+  auto actual = RunApp(setup, app, distributed);
+  if (!actual.ok()) {
+    std::fprintf(stderr, "distributed run failed: %s\n",
+                 actual.status().ToString().c_str());
+    return 1;
+  }
+
+  // Invariant 1: bit-identical states.
+  if (reference->states.size() != actual->states.size() ||
+      std::memcmp(reference->states.data(), actual->states.data(),
+                  reference->states.size() *
+                      sizeof(NetworkRankingApp::VertexState)) != 0) {
+    for (size_t v = 0; v < reference->states.size(); ++v) {
+      if (std::memcmp(&reference->states[v], &actual->states[v],
+                      sizeof(NetworkRankingApp::VertexState)) != 0) {
+        std::fprintf(stderr,
+                     "FAIL: states diverge at vertex %zu"
+                     " (sequential %.17g, distributed %.17g)\n",
+                     v, static_cast<double>(reference->states[v]),
+                     static_cast<double>(actual->states[v]));
+        return 1;
+      }
+    }
+    std::fprintf(stderr, "FAIL: state vector size mismatch\n");
+    return 1;
+  }
+
+  // Invariant 2: exact per-link byte reconciliation.
+  const uint32_t n = topology.num_machines();
+  for (uint32_t src = 0; src < n; ++src) {
+    for (uint32_t dst = 0; dst < n; ++dst) {
+      const size_t i = static_cast<size_t>(src) * n + dst;
+      if (reference->link_network_bytes[i] != actual->link_network_bytes[i]) {
+        std::fprintf(stderr,
+                     "FAIL: link %u->%u bytes diverge"
+                     " (model %.0f, measured %.0f)\n",
+                     src, dst, reference->link_network_bytes[i],
+                     actual->link_network_bytes[i]);
+        return 1;
+      }
+    }
+  }
+
+  const auto& stats = *actual->runtime_stats;
+  std::printf(
+      "OK: %u procs x %u machines, %d iterations bit-identical;"
+      " %llu network bytes reconciled exactly across %u links\n",
+      stats.num_processes, stats.num_machines, args.iterations,
+      static_cast<unsigned long long>(stats.TotalNetworkBytes()),
+      n * (n - 1));
+  std::printf(
+      "    tcp: %llu frames, %llu bytes on the wire;"
+      " %llu tasks, %llu barrier rounds, peak worker rss %llu MiB\n",
+      static_cast<unsigned long long>(stats.tcp_frames_sent),
+      static_cast<unsigned long long>(stats.tcp_bytes_sent),
+      static_cast<unsigned long long>(stats.tasks_executed),
+      static_cast<unsigned long long>(stats.barrier_generations),
+      static_cast<unsigned long long>(stats.peak_rss_bytes >> 20));
+  return 0;
+}

@@ -18,6 +18,12 @@
 //       self-checks the committed baseline (a smoke test that the gate and
 //       the baseline agree).
 //
+//   surfer_trace merge -o <merged.json> <trace.json> [<trace.json> ...]
+//       Combines per-process Chrome traces (e.g. the dist_worker_N.trace.json
+//       files a distributed run writes) into one timeline with a lane per
+//       process; when every input carries an origin_unix_us anchor the
+//       timestamps are aligned onto a common clock.
+//
 //   surfer_trace telemetry <run_report.json>
 //       Summarizes the flight recorder's time series (min/mean/max/p99,
 //       peak timestamp, ceiling occupancy) and scans them for sustained
@@ -36,6 +42,7 @@
 
 #include "obs/bench_gate.h"
 #include "obs/json.h"
+#include "obs/trace_merge.h"
 
 namespace {
 
@@ -49,6 +56,8 @@ int Usage() {
                "       surfer_trace diff <before.json> <after.json>\n"
                "       surfer_trace check <current.json> [--baseline <path>]"
                " [--tolerance <frac>] [--strict-drops]\n"
+               "       surfer_trace merge -o <merged.json> <trace.json>"
+               " [<trace.json> ...]\n"
                "       surfer_trace telemetry <run_report.json>\n");
   return 2;
 }
@@ -241,6 +250,45 @@ int RunCheck(const std::vector<std::string>& args) {
     return 0;
   }
   return 1;
+}
+
+int RunMerge(const std::vector<std::string>& args) {
+  std::string out_path;
+  std::vector<std::string> input_paths;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else {
+      input_paths.push_back(args[i]);
+    }
+  }
+  if (out_path.empty() || input_paths.empty()) {
+    return Usage();
+  }
+  std::vector<surfer::obs::TraceMergeInput> inputs;
+  for (const std::string& path : input_paths) {
+    surfer::obs::TraceMergeInput input;
+    if (!LoadJson(path, &input.trace)) {
+      return 1;
+    }
+    input.label = std::filesystem::path(path).stem().string();
+    inputs.push_back(std::move(input));
+  }
+  auto merged = surfer::obs::MergeChromeTraces(inputs);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "surfer_trace: %s\n",
+                 merged.status().message().c_str());
+    return 1;
+  }
+  std::ofstream out(out_path);
+  out << merged->Write(/*indent=*/1) << "\n";
+  out.close();
+  if (!out.good()) {
+    std::fprintf(stderr, "surfer_trace: failed writing %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("merged %zu traces into %s\n", inputs.size(), out_path.c_str());
+  return 0;
 }
 
 // ----------------------------------------------------------- telemetry
@@ -497,6 +545,9 @@ int main(int argc, char** argv) {
   }
   if (command == "check") {
     return RunCheck(args);
+  }
+  if (command == "merge") {
+    return RunMerge(args);
   }
   if (command == "telemetry" && args.size() == 1) {
     return RunTelemetry(args[0]);
