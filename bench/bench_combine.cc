@@ -1,0 +1,179 @@
+// Microbenchmark of the sort-free combine regroup (runtime/combine_plan.h)
+// against the legacy `std::stable_sort` grouping it replaced in the runtime
+// hot path. The workload is the shape the combine stage actually sees:
+// duplicate-heavy (target, Message) streams over a partition-local vertex
+// range, where the target range is far smaller than the message count so
+// most vertices carry long runs.
+//
+// Every point is verified bit-identical: the counting scatter must produce
+// exactly the stable_sort permutation, and the measured speedup is gated via
+// `surfer_trace check` against the committed BENCH_combine.json — the
+// acceptance bar is scatter >= 2x over stable_sort at >= 64k messages
+// (enforced as a hard `scatter_speedup` gate in bench_gate, plus a
+// tolerance check on `scatter_msgs_per_sec`).
+//
+// `--smoke` trims to the single 64k point and fewer repetitions so CI can
+// exercise the binary, its artifact, and the gate in well under a second.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "runtime/combine_plan.h"
+
+namespace {
+
+using surfer::VertexId;
+using surfer::runtime::CombineScratch;
+using Clock = std::chrono::steady_clock;
+
+// Mirrors the footprint of a real combine record: an 8-byte rank payload
+// plus a serial that makes permutation differences visible even between
+// messages with equal targets (the stability requirement under test).
+struct Message {
+  double rank = 0.0;
+  uint64_t serial = 0;
+  bool operator==(const Message& other) const {
+    return rank == other.rank && serial == other.serial;
+  }
+};
+
+std::vector<std::pair<VertexId, Message>> MakeStream(uint64_t seed,
+                                                     VertexId range,
+                                                     size_t count) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<VertexId> target(0, range - 1);
+  std::vector<std::pair<VertexId, Message>> records;
+  records.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    records.emplace_back(
+        target(rng), Message{1.0 / static_cast<double>(i + 1), i});
+  }
+  return records;
+}
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace surfer;
+  using namespace surfer::bench;
+
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  // Duplicate-heavy by construction: 16 messages per target vertex on
+  // average, the regime the combine stage sees on community-local graphs.
+  const uint64_t targets_per_message_shift = 4;
+  int repetitions = 7;
+  std::vector<size_t> message_points = {size_t{1} << 16, size_t{1} << 18,
+                                        size_t{1} << 20};
+  if (smoke) {
+    repetitions = 3;
+    // The acceptance bar is defined at >= 64k messages, so even the smoke
+    // sweep keeps that point rather than shrinking below it.
+    message_points = {size_t{1} << 16};
+  }
+
+  PrintHeader(std::string("Combine regroup: counting scatter vs "
+                          "stable_sort grouping") +
+              (smoke ? " (smoke)" : ""));
+  std::printf("%-12s %9s %12s %12s %9s %16s\n", "Messages", "Targets",
+              "Sort (s)", "Scatter (s)", "Speedup", "Scatter msgs/s");
+
+  obs::JsonValue baseline = MakeBenchBaseline("bench_combine", smoke);
+  baseline.Set("payload_bytes", static_cast<uint64_t>(sizeof(Message)));
+  baseline.Set("messages_per_target",
+               static_cast<uint64_t>(1) << targets_per_message_shift);
+  baseline.Set("repetitions", static_cast<uint64_t>(repetitions));
+  baseline.Set("seed", static_cast<uint64_t>(2010));
+
+  obs::JsonValue points = obs::JsonValue::MakeArray();
+  bool all_pass = true;
+  double checksum = 0.0;  // keeps the grouped payloads observable
+  for (const size_t messages : message_points) {
+    const VertexId range =
+        static_cast<VertexId>(messages >> targets_per_message_shift);
+    const auto records = MakeStream(2010 + messages, range, messages);
+
+    // Legacy grouping: the per-partition stable_sort of (target, Message)
+    // pairs the executor used to run before building combine runs. Each
+    // repetition sorts a fresh unsorted copy; the copy is made outside the
+    // timed region. Best-of-K on both sides keeps scheduler noise out of
+    // the ratio.
+    double sort_s = 1e100;
+    std::vector<std::pair<VertexId, Message>> sorted;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      auto working = records;
+      const auto start = Clock::now();
+      std::stable_sort(
+          working.begin(), working.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      sort_s = std::min(sort_s, SecondsSince(start));
+      sorted = std::move(working);
+    }
+
+    // Counting scatter: BeginRange/Count/FinishCounts/PlaceIndex, the exact
+    // protocol RunCombineTask drives, with scratch and output buffers
+    // reused across repetitions the way the pooled runtime scratch is.
+    double scatter_s = 1e100;
+    CombineScratch scratch;
+    std::vector<Message> grouped;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      const auto start = Clock::now();
+      scratch.BeginRange(0, range);
+      for (const auto& [target, message] : records) {
+        scratch.Count(target);
+      }
+      scratch.FinishCounts();
+      grouped.clear();
+      grouped.resize(scratch.total());
+      for (const auto& [target, message] : records) {
+        grouped[scratch.PlaceIndex(target)] = message;
+      }
+      scatter_s = std::min(scatter_s, SecondsSince(start));
+      checksum += grouped.front().rank;
+      scratch.Reset();
+    }
+
+    // Bit-identity: the scatter must reproduce the stable_sort permutation
+    // exactly — same payloads in the same order.
+    bool bit_identical = grouped.size() == sorted.size();
+    for (size_t i = 0; bit_identical && i < grouped.size(); ++i) {
+      bit_identical = grouped[i] == sorted[i].second;
+    }
+    all_pass = all_pass && bit_identical;
+
+    const double speedup = scatter_s > 0.0 ? sort_s / scatter_s : 0.0;
+    const double msgs_per_sec =
+        scatter_s > 0.0 ? static_cast<double>(messages) / scatter_s : 0.0;
+    std::printf("%-12zu %9llu %12.6f %12.6f %8.2fx %16.3g%s\n", messages,
+                static_cast<unsigned long long>(range), sort_s, scatter_s,
+                speedup, msgs_per_sec,
+                bit_identical ? "" : "  BIT-IDENTITY FAILED");
+
+    obs::JsonValue point = obs::JsonValue::MakeObject();
+    point.Set("messages", static_cast<uint64_t>(messages));
+    point.Set("targets", static_cast<uint64_t>(range));
+    point.Set("sort_s", sort_s);
+    point.Set("scatter_s", scatter_s);
+    point.Set("scatter_speedup", speedup);
+    point.Set("scatter_msgs_per_sec", msgs_per_sec);
+    point.Set("bit_identical", bit_identical);
+    points.Append(std::move(point));
+  }
+  baseline.Set("points", std::move(points));
+  baseline.Set("checksum", checksum);
+
+  std::printf("\n");
+  WriteBenchBaseline("BENCH_combine.json", baseline);
+  return all_pass ? 0 : 1;
+}

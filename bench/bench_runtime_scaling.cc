@@ -47,6 +47,11 @@ int main(int argc, char** argv) {
   const BenchmarkSetup setup = engine->MakeSetup(OptimizationLevel::kO4);
   PropagationConfig config = PropagationConfig::ForLevel(OptimizationLevel::kO4);
   config.iterations = iterations;
+  // Frontier gating pinned on: NR's Combine is not skippable so the results
+  // are unchanged, but the counting scatter + frontier bitmap + incremental
+  // receive-side overlap path runs live on every point — the CI smoke run
+  // then gates that path under --strict-drops.
+  config.frontier_gating = true;
   NetworkRankingApp app(graph.num_vertices());
 
   PrintHeader(std::string("Runtime scaling: concurrent executor vs "
@@ -73,6 +78,7 @@ int main(int argc, char** argv) {
   baseline.Set("num_vertices", static_cast<uint64_t>(graph.num_vertices()));
   baseline.Set("num_machines", static_cast<uint64_t>(topology.num_machines()));
   baseline.Set("sequential_wall_s", sequential_wall_s);
+  baseline.Set("frontier_gating", true);
 
   std::printf("%-9s %12s %9s %13s %15s %13s\n", "Workers", "Wall (s)",
               "Speedup", "Send stalls", "Barrier wait(s)", "Peak RSS(MB)");
@@ -162,6 +168,27 @@ int main(int argc, char** argv) {
     point.Set("wire_payload_bytes", stats.wire_payload_bytes);
     point.Set("wire_messages_combined", stats.wire_messages_combined);
     point.Set("batch_fill_mean", stats.batch_fill.Mean());
+    // The combine-plan counters introduced with the sort-free regroup: how
+    // many messages went through the counting scatter, how long the scatter
+    // itself took (the bench-gated throughput), and how many silent
+    // vertices the frontier gate skipped (0 for NR, whose Combine is not
+    // skippable — pinning that the gate stays inert here).
+    point.Set("combine_messages_scattered", stats.combine_messages_scattered);
+    point.Set("combine_scatter_seconds", stats.combine_scatter_seconds);
+    point.Set("frontier_vertices_skipped", stats.frontier_vertices_skipped);
+    // Per-stage host-time split summed from the superstep timeline (all
+    // steps x machines), so the baseline trends where the wall clock goes:
+    // UDF compute vs wire-batch serialization.
+    double timeline_compute_s = 0.0;
+    double timeline_serialize_s = 0.0;
+    for (const runtime::SuperstepProfile& step : stats.timeline) {
+      for (const runtime::PhaseSeconds& machine : step.machines) {
+        timeline_compute_s += machine.compute_s;
+        timeline_serialize_s += machine.serialize_s;
+      }
+    }
+    point.Set("compute_s", timeline_compute_s);
+    point.Set("serialize_s", timeline_serialize_s);
     point.Set("trace_events_dropped", stats.trace_events_dropped);
     point.Set("telemetry_samples", stats.telemetry_samples);
     point.Set("telemetry_samples_dropped", stats.telemetry_samples_dropped);

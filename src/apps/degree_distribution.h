@@ -23,6 +23,11 @@ class DegreeDistributionApp {
   using Message = uint64_t;      // partial count of vertices with the degree
   using VirtualOutput = uint64_t;
 
+  /// Real-vertex Combine is a no-op (all aggregation happens on virtual
+  /// vertices), so skipping silent vertices is trivially the identity —
+  /// frontier gating elides the entire real combine scan for VDD.
+  static constexpr bool kSkipSilentVertices = true;
+
   VertexState InitState(VertexId /*v*/,
                         std::span<const VertexId> /*neighbors*/) const {
     return 0;

@@ -218,6 +218,9 @@ std::vector<uint8_t> EncodeWorkerStats(const WorkerStatsMsg& msg) {
   AppendPod(out, msg.tcp_frames_sent);
   AppendPod(out, msg.resend_bytes);
   AppendPod(out, msg.replication_bytes);
+  AppendPod(out, msg.combine_messages_scattered);
+  AppendPod(out, msg.frontier_vertices_skipped);
+  AppendPod(out, msg.combine_scatter_micros);
   AppendPod(out, msg.peak_rss_bytes);
   AppendVector(out, msg.link_bytes);
   return out;
@@ -244,6 +247,9 @@ Result<WorkerStatsMsg> DecodeWorkerStats(const std::vector<uint8_t>& payload) {
   SURFER_RETURN_IF_ERROR(reader.Read(&msg.tcp_frames_sent));
   SURFER_RETURN_IF_ERROR(reader.Read(&msg.resend_bytes));
   SURFER_RETURN_IF_ERROR(reader.Read(&msg.replication_bytes));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.combine_messages_scattered));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.frontier_vertices_skipped));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.combine_scatter_micros));
   SURFER_RETURN_IF_ERROR(reader.Read(&msg.peak_rss_bytes));
   SURFER_RETURN_IF_ERROR(ReadVector(reader, &msg.link_bytes));
   return msg;

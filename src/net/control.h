@@ -122,6 +122,9 @@ struct WorkerStatsMsg {
   uint64_t tcp_frames_sent = 0;
   uint64_t resend_bytes = 0;
   uint64_t replication_bytes = 0;
+  uint64_t combine_messages_scattered = 0;
+  uint64_t frontier_vertices_skipped = 0;
+  uint64_t combine_scatter_micros = 0;  ///< scatter seconds * 1e6, truncated
   uint64_t peak_rss_bytes = 0;
   std::vector<uint64_t> link_bytes;  ///< row-major M x M, this worker's sends
 };

@@ -42,6 +42,9 @@ void AddStats(WorkerStatsMsg& into, const WorkerStatsMsg& from) {
   into.tcp_frames_sent += from.tcp_frames_sent;
   into.resend_bytes += from.resend_bytes;
   into.replication_bytes += from.replication_bytes;
+  into.combine_messages_scattered += from.combine_messages_scattered;
+  into.frontier_vertices_skipped += from.frontier_vertices_skipped;
+  into.combine_scatter_micros += from.combine_scatter_micros;
   for (size_t i = 0;
        i < from.link_bytes.size() && i < into.link_bytes.size(); ++i) {
     into.link_bytes[i] += from.link_bytes[i];

@@ -26,6 +26,7 @@
 #include "obs/trace.h"
 #include "propagation/app_traits.h"
 #include "propagation/config.h"
+#include "runtime/combine_plan.h"
 #include "runtime/fault.h"
 #include "runtime/report.h"
 #include "runtime/stats.h"
@@ -427,17 +428,39 @@ class DistributedWorker {
 
   void ApplyBatch(const runtime::WireBatch& batch) {
     runtime::WireBatchReader<Message> reader(batch);
-    while (auto segment = reader.Next()) {
-      if (segment->header.dst_partition >= num_partitions_) {
+    for (;;) {
+      // Decode into a recycled chunk's record vectors (capacity kept):
+      // steady-state unpacking allocates nothing. The worker loop is
+      // single-threaded, so the pool needs no locking.
+      InboxChunk chunk;
+      if (!chunk_pool_.empty()) {
+        chunk = std::move(chunk_pool_.back());
+        chunk_pool_.pop_back();
+      }
+      typename runtime::WireBatchReader<Message>::Segment segment;
+      segment.real = std::move(chunk.real);
+      segment.virtuals = std::move(chunk.virtuals);
+      const bool decoded = reader.NextInto(segment);
+      chunk.real = std::move(segment.real);
+      chunk.virtuals = std::move(segment.virtuals);
+      if (!decoded) {
+        if (chunk_pool_.size() < kChunkPoolCap) {
+          chunk_pool_.push_back(std::move(chunk));
+        }
+        break;
+      }
+      if (segment.header.dst_partition >= num_partitions_) {
+        chunk.real.clear();
+        chunk.virtuals.clear();
+        if (chunk_pool_.size() < kChunkPoolCap) {
+          chunk_pool_.push_back(std::move(chunk));
+        }
         continue;
       }
-      InboxChunk chunk;
-      chunk.src = segment->header.src_partition;
+      chunk.src = segment.header.src_partition;
       chunk.src_machine = batch.src_machine;
-      chunk.priced_bytes = segment->header.priced_bytes;
-      chunk.real = std::move(segment->real);
-      chunk.virtuals = std::move(segment->virtuals);
-      inboxes_[segment->header.dst_partition].push_back(std::move(chunk));
+      chunk.priced_bytes = segment.header.priced_bytes;
+      inboxes_[segment.header.dst_partition].push_back(std::move(chunk));
     }
   }
 
@@ -505,49 +528,76 @@ class DistributedWorker {
         }
       }
     }
-    std::vector<std::pair<VertexId, Message>> messages;
+    // Sort-free regroup (runtime/combine_plan.h): counting scatter over the
+    // src-sorted chunk concatenation reproduces the legacy per-message
+    // stable_sort's permutation byte for byte.
+    const auto scatter_start = std::chrono::steady_clock::now();
+    std::vector<Message> grouped;
+    const uint64_t scattered = runtime::GroupChunkedMessages(
+        combine_scratch_, meta.begin, meta.end, chunks, grouped);
     std::vector<std::pair<uint64_t, Message>> virtual_messages;
     for (InboxChunk& chunk : chunks) {
-      std::move(chunk.real.begin(), chunk.real.end(),
-                std::back_inserter(messages));
       std::move(chunk.virtuals.begin(), chunk.virtuals.end(),
                 std::back_inserter(virtual_messages));
     }
+    combine_scatter_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      scatter_start)
+            .count();
+    combine_messages_scattered_ += scattered;
+    // Park consumed chunks on the freelist (capacity kept) instead of the
+    // legacy clear + shrink_to_fit churn.
+    for (InboxChunk& chunk : chunks) {
+      if (chunk_pool_.size() >= kChunkPoolCap) {
+        break;
+      }
+      chunk.real.clear();
+      chunk.virtuals.clear();
+      chunk_pool_.push_back(std::move(chunk));
+    }
     chunks.clear();
-    chunks.shrink_to_fit();
-    std::stable_sort(
-        messages.begin(), messages.end(),
-        [](const auto& a, const auto& b) { return a.first < b.first; });
 
+    // Frontier gating: silent vertices of a SilentVertexSkippableApp skip
+    // the Combine call (identity by the app's contract) but still commit
+    // states_[v] into next_states_, which ReplicateState snapshots whole.
+    bool gate = false;
+    if constexpr (SilentVertexSkippableApp<App>) {
+      gate = config_.frontier_gating;
+    }
     std::vector<Message> vertex_messages;
-    size_t cursor = 0;
     for (VertexId v = meta.begin; v < meta.end; ++v) {
+      const size_t i = static_cast<size_t>(v - meta.begin);
+      if (gate && !combine_scratch_.Received(i)) {
+        next_states_[v] = states_[v];
+        ++frontier_vertices_skipped_;
+        continue;
+      }
       vertex_messages.clear();
-      while (cursor < messages.size() && messages[cursor].first == v) {
-        vertex_messages.push_back(std::move(messages[cursor].second));
-        ++cursor;
+      for (size_t j = combine_scratch_.RunBegin(i),
+                  end = combine_scratch_.RunEnd(i);
+           j < end; ++j) {
+        vertex_messages.push_back(std::move(grouped[j]));
       }
       VertexState state = states_[v];
       app_.Combine(v, state, g.OutNeighbors(v), vertex_messages);
       next_states_[v] = state;
     }
+    combine_scratch_.Reset();
     dirty_[p] = 1;
     state_version_[p] = round.iteration;
 
     std::vector<std::pair<uint64_t, VirtualOutput>> virtual_results;
     if constexpr (VirtualVertexApp<App>) {
-      std::stable_sort(
-          virtual_messages.begin(), virtual_messages.end(),
-          [](const auto& a, const auto& b) { return a.first < b.first; });
+      runtime::GroupVirtualMessages(vgroup_scratch_, virtual_messages,
+                                    virtual_grouped_);
       std::vector<Message> group;
-      size_t i = 0;
-      while (i < virtual_messages.size()) {
-        const uint64_t id = virtual_messages[i].first;
+      for (size_t i = 0; i < vgroup_scratch_.ids.size(); ++i) {
+        const uint64_t id = vgroup_scratch_.ids[i];
         group.clear();
-        while (i < virtual_messages.size() &&
-               virtual_messages[i].first == id) {
-          group.push_back(std::move(virtual_messages[i].second));
-          ++i;
+        for (size_t j = vgroup_scratch_.offsets[i],
+                    end = vgroup_scratch_.offsets[i + 1];
+             j < end; ++j) {
+          group.push_back(std::move(virtual_grouped_[j]));
         }
         virtual_results.emplace_back(id, app_.CombineVirtual(id, group));
       }
@@ -873,6 +923,10 @@ class DistributedWorker {
     stats.tcp_frames_sent = transport_.tcp_frames_sent();
     stats.resend_bytes = resend_bytes_;
     stats.replication_bytes = replication_bytes_;
+    stats.combine_messages_scattered = combine_messages_scattered_;
+    stats.frontier_vertices_skipped = frontier_vertices_skipped_;
+    stats.combine_scatter_micros =
+        static_cast<uint64_t>(combine_scatter_seconds_ * 1e6);
     stats.peak_rss_bytes = obs::ReadMemoryUsage().peak_rss_bytes;
     stats.link_bytes = link_bytes_;
     return stats;
@@ -907,6 +961,9 @@ class DistributedWorker {
     stats.tcp_frames_sent = transport_.tcp_frames_sent();
     stats.resend_bytes = resend_bytes_;
     stats.replication_bytes = replication_bytes_;
+    stats.combine_messages_scattered = combine_messages_scattered_;
+    stats.frontier_vertices_skipped = frontier_vertices_skipped_;
+    stats.combine_scatter_seconds = combine_scatter_seconds_;
     stats.link_bytes = link_bytes_;
     stats.telemetry_samples = telemetry_->samples_taken();
     stats.telemetry_samples_dropped = telemetry_->total_dropped();
@@ -983,6 +1040,14 @@ class DistributedWorker {
   std::vector<uint8_t> dirty_;            ///< partition combined/updated
   std::vector<int32_t> state_version_;    ///< iteration of last combine, -1 none
   std::vector<std::vector<InboxChunk>> inboxes_;
+  /// Regroup scratch (runtime/combine_plan.h) and the recycled-chunk
+  /// freelist. The worker loop runs one task at a time, so one scratch of
+  /// each kind serves every hosted partition.
+  runtime::CombineScratch combine_scratch_;
+  runtime::VirtualGroupScratch vgroup_scratch_;
+  std::vector<Message> virtual_grouped_;
+  std::vector<InboxChunk> chunk_pool_;
+  static constexpr size_t kChunkPoolCap = 256;
   /// id -> (iteration of last update, output); the coordinator-side merge
   /// keeps the max-iteration entry across processes.
   std::map<uint64_t, std::pair<int32_t, VirtualOutput>> virtual_acc_;
@@ -1002,6 +1067,9 @@ class DistributedWorker {
   uint64_t refetch_bytes_ = 0;
   uint64_t resend_bytes_ = 0;
   uint64_t replication_bytes_ = 0;
+  uint64_t combine_messages_scattered_ = 0;
+  uint64_t frontier_vertices_skipped_ = 0;
+  double combine_scatter_seconds_ = 0.0;
   std::vector<uint64_t> link_bytes_;
 
   std::unique_ptr<obs::Tracer> tracer_;
@@ -1211,6 +1279,10 @@ class DistributedExecutor {
     stats_.tcp_frames_sent = totals.tcp_frames_sent;
     stats_.resend_bytes = totals.resend_bytes;
     stats_.replication_bytes = totals.replication_bytes;
+    stats_.combine_messages_scattered = totals.combine_messages_scattered;
+    stats_.frontier_vertices_skipped = totals.frontier_vertices_skipped;
+    stats_.combine_scatter_seconds =
+        static_cast<double>(totals.combine_scatter_micros) / 1e6;
     stats_.barrier_generations = outcome.rounds;
     stats_.link_bytes = totals.link_bytes;
     stats_.peak_rss_bytes = outcome.peak_worker_rss_bytes;

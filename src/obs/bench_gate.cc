@@ -87,6 +87,28 @@ void CheckTiming(const std::string& what, double current, double baseline,
   CheckRatio(what, "s", current, baseline, tolerance, result);
 }
 
+/// Higher-is-better counterpart of CheckRatio for throughput counters:
+/// a regression is the current value falling BELOW baseline beyond the
+/// host-aware tolerance.
+void CheckThroughput(const std::string& what, const char* unit, double current,
+                     double baseline, double tolerance,
+                     BenchCheckResult* result) {
+  if (baseline <= 0.0) {
+    result->Note(what + ": baseline is zero, skipping");
+    return;
+  }
+  const double ratio = current / baseline;
+  if (ratio < 1.0 / (1.0 + tolerance)) {
+    result->Fail(what + " regressed: " + FormatNumber(current) + unit +
+                 " vs " + FormatNumber(baseline) + unit + " baseline (" +
+                 FormatNumber((1.0 - ratio) * 100.0) + "% below, tolerance " +
+                 FormatNumber(tolerance * 100.0) + "%)");
+  } else if (ratio > 1.0 + tolerance) {
+    result->Note(what + " improved: " + FormatNumber(current) + unit +
+                 " vs " + FormatNumber(baseline) + unit + " baseline");
+  }
+}
+
 /// Nonzero observability drop counters: the recording is partial (rings
 /// overwrote or overflowed), never that the run misbehaved. Advisory unless
 /// strict, where CI treats an undersized ring as a configuration bug.
@@ -185,6 +207,18 @@ BenchCheckResult CheckBenchBaseline(const JsonValue& current,
                   FormatNumber(batches) +
                   " wire batches (< 5x channel-send reduction)");
     }
+    // Regroup efficiency: the counting scatter replaced a per-partition
+    // stable_sort, and on duplicate-heavy streams (the shape bench_combine
+    // records) it must beat it by at least 2x or the sort-free combine plan
+    // has lost its reason to exist.
+    if (const JsonValue* speedup = point.Find("scatter_speedup");
+        speedup != nullptr && speedup->is_number() &&
+        speedup->as_number() < 2.0) {
+      result.Fail("points[" + std::to_string(i) + "].scatter_speedup is " +
+                  FormatNumber(speedup->as_number()) +
+                  ": counting scatter no longer beats stable_sort grouping "
+                  "by >= 2x");
+    }
     CheckDrops("points[" + std::to_string(i) + "]", point,
                options.strict_drops, &result);
   }
@@ -278,6 +312,18 @@ BenchCheckResult CheckBenchBaseline(const JsonValue& current,
         // scheduler noise moves timings.
         CheckRatio(label + ".peak_rss_bytes", " bytes", cur_rss->as_number(),
                    base_rss->as_number(), tolerance, &result);
+      }
+    }
+    if (const JsonValue* cur_rate = point.Find("scatter_msgs_per_sec");
+        cur_rate != nullptr && cur_rate->is_number() &&
+        cur_rate->as_number() > 0.0) {
+      if (const JsonValue* base_rate =
+              base_point->Find("scatter_msgs_per_sec");
+          base_rate != nullptr && base_rate->is_number() &&
+          base_rate->as_number() > 0.0) {
+        CheckThroughput(label + ".scatter_msgs_per_sec", " msgs/s",
+                        cur_rate->as_number(), base_rate->as_number(),
+                        tolerance, &result);
       }
     }
     const JsonValue* cur_bytes = point.Find("network_bytes");

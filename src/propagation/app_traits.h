@@ -131,6 +131,21 @@ concept IterationAwareApp = requires(App app, int iteration) {
   app.OnIterationStart(iteration);
 };
 
+/// Opt-in frontier-gating trait (default off): an app declares
+///   static constexpr bool kSkipSilentVertices = true;
+/// to promise that `Combine` with an *empty* message vector leaves the
+/// vertex state untouched (the call is the identity). Engines may then skip
+/// silent vertices — those whose received-message frontier bit is clear —
+/// instead of walking the full partition range every iteration, and results
+/// stay bit-identical by the app's own contract. Apps whose Combine writes
+/// state unconditionally (NR overwrites the rank with the random-jump term
+/// even when no partial ranks arrive) must NOT declare this; they keep the
+/// exact legacy full-range loop.
+template <typename App>
+concept SilentVertexSkippableApp = requires {
+  requires bool(App::kSkipSilentVertices);
+};
+
 /// Detected when the app aggregates on virtual vertices.
 template <typename App>
 concept VirtualVertexApp = requires(

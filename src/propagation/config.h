@@ -48,6 +48,15 @@ struct PropagationConfig {
   /// level distribution — long phases favor deep interiors, short phases
   /// re-skip shallow vertices more often.
   bool cascade_per_partition_depth = false;
+  /// Frontier gating: combine loops visit only vertices whose
+  /// received-message frontier bit is set, skipping silent (converged)
+  /// vertices. Takes effect only for apps that declare the
+  /// SilentVertexSkippableApp trait (`kSkipSilentVertices`), whose contract
+  /// makes the skip result-invariant; other apps keep the legacy full-range
+  /// loop regardless of this flag. On by default — it is inert unless an
+  /// app opts in — and exposed so tests can pin bit-identity with gating
+  /// both on and off.
+  bool frontier_gating = true;
   /// Number of propagation iterations (NR runs several; most apps run one).
   int iterations = 1;
   /// Simulated per-machine memory available to a partition's working set;
@@ -89,6 +98,9 @@ struct PropagationCounters {
   uint64_t messages_materialized = 0;
   /// Messages that crossed a machine boundary.
   uint64_t messages_network = 0;
+  /// Combine calls skipped by frontier gating (SilentVertexSkippableApps
+  /// under PropagationConfig::frontier_gating only; always 0 otherwise).
+  uint64_t frontier_vertices_skipped = 0;
 
   void MergeFrom(const PropagationCounters& other) {
     messages_emitted += other.messages_emitted;
@@ -96,6 +108,7 @@ struct PropagationCounters {
     messages_locally_combined += other.messages_locally_combined;
     messages_materialized += other.messages_materialized;
     messages_network += other.messages_network;
+    frontier_vertices_skipped += other.frontier_vertices_skipped;
   }
 };
 

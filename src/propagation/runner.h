@@ -22,6 +22,7 @@
 #include "propagation/app_traits.h"
 #include "propagation/cascade.h"
 #include "propagation/config.h"
+#include "runtime/combine_plan.h"
 #include "storage/partitioned_graph.h"
 #include "storage/replication.h"
 
@@ -533,28 +534,45 @@ class PropagationRunner {
     std::optional<obs::ScopedSpan> combine_span(
         std::in_place, config_.tracer,
         "combine_compute[" + std::to_string(iteration) + "]", "propagation");
+    std::vector<uint64_t> skipped_per_partition(num_partitions, 0);
     GlobalThreadPool().ParallelFor(num_partitions, [&](size_t pi) {
       const PartitionId p = static_cast<PartitionId>(pi);
       const PartitionMeta& meta = graph_->partition(p);
       auto& messages = inbox[p];
-      // Sort by target so each vertex's messages are contiguous; stable to
-      // keep per-sender emission order (determinism of message lists).
-      std::stable_sort(messages.begin(), messages.end(),
-                       [](const auto& a, const auto& b) {
-                         return a.first < b.first;
-                       });
+      // Sort-free regroup (runtime/combine_plan.h): the inbox was filled in
+      // ascending source-partition order, so a stable counting scatter by
+      // target reproduces, byte for byte, the grouping the legacy
+      // stable_sort produced — each vertex's messages contiguous, per-sender
+      // emission order preserved.
+      runtime::CombineScratch scratch = combine_pool_.Acquire();
+      std::vector<Message> grouped;
+      runtime::GroupMessagesByVertex(scratch, meta.begin, meta.end, messages,
+                                     grouped);
 
+      // Frontier gating skips only the Combine *call* for silent vertices
+      // (legal by the app's kSkipSilentVertices contract); the simulated
+      // cost model still walks and prices every vertex state, so accounted
+      // costs are independent of the gate.
+      bool gate = false;
+      if constexpr (SilentVertexSkippableApp<App>) {
+        gate = config_.frontier_gating;
+      }
       double new_state_bytes = 0.0;
       double skipped_state_bytes = 0.0;
+      uint64_t skipped_vertices = 0;
       std::vector<Message> vertex_messages;
-      size_t cursor = 0;
       for (VertexId v = meta.begin; v < meta.end; ++v) {
-        vertex_messages.clear();
-        while (cursor < messages.size() && messages[cursor].first == v) {
-          vertex_messages.push_back(std::move(messages[cursor].second));
-          ++cursor;
+        const size_t i = static_cast<size_t>(v - meta.begin);
+        if (gate && !scratch.Received(i)) {
+          ++skipped_vertices;
+        } else {
+          vertex_messages.clear();
+          for (size_t j = scratch.RunBegin(i), end = scratch.RunEnd(i);
+               j < end; ++j) {
+            vertex_messages.push_back(std::move(grouped[j]));
+          }
+          app_.Combine(v, states_[v], g.OutNeighbors(v), vertex_messages);
         }
-        app_.Combine(v, states_[v], g.OutNeighbors(v), vertex_messages);
         const double state_bytes =
             static_cast<double>(app_.StateBytes(states_[v]));
         new_state_bytes += state_bytes;
@@ -562,23 +580,24 @@ class PropagationRunner {
           skipped_state_bytes += state_bytes;
         }
       }
+      skipped_per_partition[p] = skipped_vertices;
+      combine_pool_.Release(std::move(scratch));
 
-      // Virtual vertices owned by this partition.
+      // Virtual vertices owned by this partition: rank-and-scatter regroup
+      // (only the distinct IDs are sorted, not all records).
       double virtual_output_bytes = 0.0;
       if constexpr (VirtualVertexApp<App>) {
         auto& vmsgs = virtual_inbox[p];
-        std::stable_sort(vmsgs.begin(), vmsgs.end(),
-                         [](const auto& a, const auto& b) {
-                           return a.first < b.first;
-                         });
+        runtime::VirtualGroupScratch vgroups;
+        std::vector<Message> vgrouped;
+        runtime::GroupVirtualMessages(vgroups, vmsgs, vgrouped);
         std::vector<Message> group;
-        size_t i = 0;
-        while (i < vmsgs.size()) {
-          const uint64_t id = vmsgs[i].first;
+        for (size_t i = 0; i < vgroups.ids.size(); ++i) {
+          const uint64_t id = vgroups.ids[i];
           group.clear();
-          while (i < vmsgs.size() && vmsgs[i].first == id) {
-            group.push_back(std::move(vmsgs[i].second));
-            ++i;
+          for (size_t j = vgroups.offsets[i]; j < vgroups.offsets[i + 1];
+               ++j) {
+            group.push_back(std::move(vgrouped[j]));
           }
           virtual_results[p].emplace_back(id, app_.CombineVirtual(id, group));
           virtual_output_bytes +=
@@ -614,6 +633,10 @@ class PropagationRunner {
     });
 
     combine_span.reset();
+
+    for (uint64_t skipped : skipped_per_partition) {
+      counters_.frontier_vertices_skipped += skipped;
+    }
 
     // Merge virtual outputs deterministically.
     if constexpr (VirtualVertexApp<App>) {
@@ -652,6 +675,8 @@ class PropagationRunner {
         .Increment(counters_.messages_materialized);
     metrics->CounterRef("propagation_messages_network")
         .Increment(counters_.messages_network);
+    metrics->CounterRef("propagation_frontier_vertices_skipped")
+        .Increment(counters_.frontier_vertices_skipped);
   }
 
   const PartitionedGraph* graph_;
@@ -664,6 +689,9 @@ class PropagationRunner {
   std::map<uint64_t, VirtualOutput> virtual_outputs_;
   CascadeInfo cascade_;
   PropagationCounters counters_;
+  /// Regroup scratch freelist shared by the ParallelFor combine tasks
+  /// (thread-safe; keeps counting-scatter storage warm across iterations).
+  runtime::CombineScratchPool combine_pool_;
   std::vector<double> link_network_bytes_;
 };
 

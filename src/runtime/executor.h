@@ -25,6 +25,7 @@
 #include "runtime/barrier.h"
 #include "runtime/channel.h"
 #include "runtime/channel_plan.h"
+#include "runtime/combine_plan.h"
 #include "runtime/fault.h"
 #include "runtime/stats.h"
 #include "runtime/timeline.h"
@@ -172,6 +173,7 @@ class RuntimeExecutor {
 
     const uint32_t num_partitions = graph_->num_partitions();
     inboxes_.assign(num_partitions, {});
+    combine_scratch_.assign(num_partitions, CombineScratch{});
     virtual_results_.assign(num_partitions, {});
     done_.assign(num_partitions, 0);
     alive_.assign(num_machines, 1);
@@ -180,6 +182,7 @@ class RuntimeExecutor {
     for (WorkerLocal& local : locals_) {
       local.link_bytes.assign(num_channels, 0);
     }
+    worker_scratch_.assign(num_workers, WorkerScratch{});
     drain_phase_.assign(num_workers, DrainPhase{});
     barrier_ = std::make_unique<BspBarrier>(num_workers + 1);
     phase_ = Phase{};
@@ -350,11 +353,35 @@ class RuntimeExecutor {
     uint64_t messages_sent = 0;
     uint64_t buffers_sent = 0;
     uint64_t refetch_bytes = 0;
+    uint64_t combine_messages_scattered = 0;
+    uint64_t frontier_vertices_skipped = 0;
+    double combine_scatter_seconds = 0.0;
     uint32_t machine_failures = 0;
     double barrier_wait_seconds = 0.0;
     Histogram barrier_wait;
     std::vector<uint64_t> link_bytes;
   };
+
+  /// Per-worker reusable buffers (distinct from WorkerLocal, which is pure
+  /// stats): grouped-message output, per-vertex/-group staging vectors, the
+  /// recycled inbox-chunk freelist, and the transfer task's per-destination
+  /// stream buffers. All touched only by their worker, never merged.
+  struct WorkerScratch {
+    std::vector<Message> grouped;          ///< combine placement output
+    std::vector<Message> vertex_messages;  ///< one vertex's message list
+    std::vector<std::pair<uint64_t, Message>> virtual_messages;
+    std::vector<Message> virtual_grouped;
+    std::vector<Message> virtual_group;
+    VirtualGroupScratch vgroups;
+    /// Consumed InboxChunks parked here (record capacity kept) instead of
+    /// the legacy clear + shrink_to_fit, so steady-state deserialization
+    /// allocates nothing. Bounded: overflow chunks just deallocate.
+    std::vector<InboxChunk> chunk_pool;
+    std::vector<std::vector<std::pair<VertexId, Message>>> real_out;
+    std::vector<std::vector<std::pair<uint64_t, Message>>> virtual_out;
+  };
+
+  static constexpr size_t kChunkPoolCap = 256;
 
   Status Validate() const {
     if (graph_ == nullptr || placement_ == nullptr || topology_ == nullptr) {
@@ -736,21 +763,53 @@ class RuntimeExecutor {
   /// Deserialization cost is booked as serialize time of the *receiving*
   /// machine in the current stage's slot (single-writer discipline holds:
   /// d's owner worker is the one draining).
+  ///
+  /// Compute/communicate overlap: each real record is *counted* into the
+  /// destination partition's combine scratch (counts + frontier bits) right
+  /// here, while senders are still computing, so by the time the combine
+  /// task runs only the prefix sum and one O(M) placement pass remain of
+  /// the inbox reconstruction. Counting is order-independent, so arrival
+  /// order does not matter; the placement pass walks chunks in sorted-src
+  /// order and is what fixes the sequential message order.
   void ReceiveBatch(WireBatch batch, MachineId d, uint32_t w) {
     const auto unpack_start = std::chrono::steady_clock::now();
     const double wire_bytes = static_cast<double>(batch.wire_size());
     WireBatchReader<Message> reader(batch);
-    while (std::optional<typename WireBatchReader<Message>::Segment> segment =
-               reader.Next()) {
+    WorkerScratch& ws = worker_scratch_[w];
+    for (;;) {
+      // Decode into a recycled chunk's record vectors (capacity kept), so
+      // steady-state unpacking allocates nothing.
       InboxChunk chunk;
-      chunk.src = segment->header.src_partition;
+      if (!ws.chunk_pool.empty()) {
+        chunk = std::move(ws.chunk_pool.back());
+        ws.chunk_pool.pop_back();
+      }
+      typename WireBatchReader<Message>::Segment segment;
+      segment.real = std::move(chunk.real);
+      segment.virtuals = std::move(chunk.virtuals);
+      const bool decoded = reader.NextInto(segment);
+      chunk.real = std::move(segment.real);
+      chunk.virtuals = std::move(segment.virtuals);
+      if (!decoded) {
+        if (ws.chunk_pool.size() < kChunkPoolCap) {
+          ws.chunk_pool.push_back(std::move(chunk));
+        }
+        break;
+      }
+      const PartitionId dst = segment.header.dst_partition;
+      chunk.src = segment.header.src_partition;
       chunk.src_machine = batch.src_machine;
-      chunk.priced_bytes = segment->header.priced_bytes;
-      chunk.real = std::move(segment->real);
-      chunk.virtuals = std::move(segment->virtuals);
-      inbox_chunk_counts_[segment->header.dst_partition].fetch_add(
-          1, std::memory_order_relaxed);
-      inboxes_[segment->header.dst_partition].push_back(std::move(chunk));
+      chunk.priced_bytes = segment.header.priced_bytes;
+      CombineScratch& plan = combine_scratch_[dst];
+      if (!plan.active()) {
+        const PartitionMeta& meta = graph_->partition(dst);
+        plan.BeginRange(meta.begin, meta.end);
+      }
+      for (const auto& record : chunk.real) {
+        plan.Count(record.first);
+      }
+      inbox_chunk_counts_[dst].fetch_add(1, std::memory_order_relaxed);
+      inboxes_[dst].push_back(std::move(chunk));
     }
     pool_->Release(std::move(batch.payload));
     const DrainPhase phase = drain_phase_[w];
@@ -811,13 +870,21 @@ class RuntimeExecutor {
     const PartitionMeta& meta = graph_->partition(p);
     const uint32_t num_partitions = graph_->num_partitions();
 
-    // Raw (emission-order) streams per destination partition. The whole
-    // task accumulates before anything is staged so wire combination spans
-    // the full stream — the precondition for exact byte reconciliation.
-    std::vector<std::vector<std::pair<VertexId, Message>>> real_out(
-        num_partitions);
-    std::vector<std::vector<std::pair<uint64_t, Message>>> virtual_out(
-        num_partitions);
+    // Raw (emission-order) streams per destination partition, reused across
+    // the worker's tasks (cleared, capacity kept). The whole task
+    // accumulates before anything is staged so wire combination spans the
+    // full stream — the precondition for exact byte reconciliation.
+    WorkerScratch& ws = worker_scratch_[w];
+    auto& real_out = ws.real_out;
+    auto& virtual_out = ws.virtual_out;
+    real_out.resize(num_partitions);
+    virtual_out.resize(num_partitions);
+    for (auto& stream : real_out) {
+      stream.clear();
+    }
+    for (auto& stream : virtual_out) {
+      stream.clear();
+    }
 
     PropagationEmitter<Message> emitter;
     for (VertexId v = meta.begin; v < meta.end; ++v) {
@@ -863,9 +930,11 @@ class RuntimeExecutor {
     }
   }
 
-  /// Runs the Combine task of partition p: reconstructs the sequential
-  /// inbox order from the received chunks and applies Combine to every
-  /// vertex of the partition (messages or not), then folds virtual groups.
+  /// Runs the Combine task of partition p: finishes the sort-free regroup of
+  /// the received chunks (counts were accumulated at arrival) and applies
+  /// Combine per vertex — every vertex for legacy apps, only frontier
+  /// vertices for SilentVertexSkippableApps under gating — then folds
+  /// virtual groups.
   void RunCombineTask(PartitionId p, MachineId exec_machine, int iteration,
                       uint32_t w, WorkerLocal& local) {
     const double task_start_us =
@@ -878,7 +947,8 @@ class RuntimeExecutor {
     // partition's own chunks land at the src == p slot automatically). The
     // sort must be *stable*: a stream split across batches arrives as
     // several chunks with the same src whose relative (emission) order
-    // carries the sequential message order.
+    // carries the sequential message order. Only chunks are sorted (a few
+    // per stage); the per-message sort is gone.
     std::stable_sort(chunks.begin(), chunks.end(),
                      [](const InboxChunk& a, const InboxChunk& b) {
                        return a.src < b.src;
@@ -893,50 +963,87 @@ class RuntimeExecutor {
       }
     }
 
-    std::vector<std::pair<VertexId, Message>> messages;
-    std::vector<std::pair<uint64_t, Message>> virtual_messages;
+    // Placement pass of the counting scatter: counts and frontier bits were
+    // built as chunks arrived (ReceiveBatch), so reconstruction is one
+    // prefix sum plus a single O(M) walk of the sorted chunks that drops
+    // each message straight into its grouped position. A stable counting
+    // sort yields the exact permutation of the legacy stable_sort, so
+    // grouped runs are byte-identical to the sequential inbox order.
+    WorkerScratch& ws = worker_scratch_[w];
+    CombineScratch& plan = combine_scratch_[p];
+    if (!plan.active()) {
+      plan.BeginRange(meta.begin, meta.end);  // partition received nothing
+    }
+    const auto scatter_start = std::chrono::steady_clock::now();
+    plan.FinishCounts();
+    std::vector<Message>& grouped = ws.grouped;
+    grouped.clear();
+    grouped.resize(static_cast<size_t>(plan.total()));
+    auto& virtual_messages = ws.virtual_messages;
+    virtual_messages.clear();
     for (InboxChunk& chunk : chunks) {
-      std::move(chunk.real.begin(), chunk.real.end(),
-                std::back_inserter(messages));
+      for (auto& [target, message] : chunk.real) {
+        grouped[plan.PlaceIndex(target)] = std::move(message);
+      }
       std::move(chunk.virtuals.begin(), chunk.virtuals.end(),
                 std::back_inserter(virtual_messages));
     }
-    chunks.clear();
-    chunks.shrink_to_fit();
+    const uint64_t scattered = plan.total();
+    local.combine_scatter_seconds +=
+        Seconds(std::chrono::steady_clock::now() - scatter_start);
+    local.combine_messages_scattered += scattered;
+    RecycleChunks(chunks, ws);
     inbox_chunk_counts_[p].store(0, std::memory_order_relaxed);
 
-    std::stable_sort(messages.begin(), messages.end(),
-                     [](const auto& a, const auto& b) {
-                       return a.first < b.first;
-                     });
     // Everything up to here reconstructed the sequential inbox from wire
-    // buffers: serialization time. The rest is user compute (the virtual
-    // regroup sort below is noise at real message volumes).
+    // buffers: serialization time. The rest is user compute.
     const auto compute_start = std::chrono::steady_clock::now();
-    std::vector<Message> vertex_messages;
-    size_t cursor = 0;
-    for (VertexId v = meta.begin; v < meta.end; ++v) {
+    std::vector<Message>& vertex_messages = ws.vertex_messages;
+    const size_t range = plan.range_size();
+    auto combine_vertex = [&](size_t i) {
+      const VertexId v = meta.begin + static_cast<VertexId>(i);
       vertex_messages.clear();
-      while (cursor < messages.size() && messages[cursor].first == v) {
-        vertex_messages.push_back(std::move(messages[cursor].second));
-        ++cursor;
+      for (size_t j = plan.RunBegin(i), end = plan.RunEnd(i); j < end; ++j) {
+        vertex_messages.push_back(std::move(grouped[j]));
       }
       app_.Combine(v, states_[v], g.OutNeighbors(v), vertex_messages);
+    };
+    uint64_t skipped = 0;
+    bool gated = false;
+    if constexpr (SilentVertexSkippableApp<App>) {
+      if (config_.frontier_gating) {
+        // Frontier-gated loop: visit only vertices whose received bit is
+        // set; the app's kSkipSilentVertices contract makes skipping the
+        // rest the identity.
+        gated = true;
+        uint64_t visited = 0;
+        for (size_t i = plan.NextReceived(0); i < range;
+             i = plan.NextReceived(i + 1)) {
+          combine_vertex(i);
+          ++visited;
+        }
+        skipped = static_cast<uint64_t>(range) - visited;
+      }
     }
+    if (!gated) {
+      for (size_t i = 0; i < range; ++i) {
+        combine_vertex(i);
+      }
+    }
+    local.frontier_vertices_skipped += skipped;
+    plan.Reset();
 
     if constexpr (VirtualVertexApp<App>) {
-      std::stable_sort(virtual_messages.begin(), virtual_messages.end(),
-                       [](const auto& a, const auto& b) {
-                         return a.first < b.first;
-                       });
-      std::vector<Message> group;
-      size_t i = 0;
-      while (i < virtual_messages.size()) {
-        const uint64_t id = virtual_messages[i].first;
+      // Virtual IDs are arbitrary 64-bit values: rank the distinct IDs and
+      // scatter (combine_plan.h) instead of sorting all M records.
+      GroupVirtualMessages(ws.vgroups, virtual_messages, ws.virtual_grouped);
+      std::vector<Message>& group = ws.virtual_group;
+      for (size_t i = 0; i < ws.vgroups.ids.size(); ++i) {
+        const uint64_t id = ws.vgroups.ids[i];
         group.clear();
-        while (i < virtual_messages.size() && virtual_messages[i].first == id) {
-          group.push_back(std::move(virtual_messages[i].second));
-          ++i;
+        for (size_t j = ws.vgroups.offsets[i]; j < ws.vgroups.offsets[i + 1];
+             ++j) {
+          group.push_back(std::move(ws.virtual_grouped[j]));
         }
         virtual_results_[p].emplace_back(id, app_.CombineVirtual(id, group));
       }
@@ -947,11 +1054,29 @@ class RuntimeExecutor {
                                    exec_machine);
     slot.serialize_s += Seconds(compute_start - inbox_start);
     slot.compute_s += Seconds(task_end - compute_start);
+    slot.scatter_messages += static_cast<double>(scattered);
+    slot.frontier_skipped += static_cast<double>(skipped);
     if (sharded_ != nullptr) {
       sharded_->shard(w).Record(obs::ShardEvent{
           combine_name_id_, exec_machine, task_start_us,
           config_.tracer->WallNowUs() - task_start_us, p});
     }
+  }
+
+  /// Parks consumed chunks on the worker's freelist (record capacity kept)
+  /// instead of the legacy per-task clear + shrink_to_fit churn; overflow
+  /// beyond the cap simply deallocates. The inbox vector itself keeps its
+  /// capacity across iterations.
+  void RecycleChunks(std::vector<InboxChunk>& chunks, WorkerScratch& ws) {
+    for (InboxChunk& chunk : chunks) {
+      if (ws.chunk_pool.size() >= kChunkPoolCap) {
+        break;
+      }
+      chunk.real.clear();
+      chunk.virtuals.clear();
+      ws.chunk_pool.push_back(std::move(chunk));
+    }
+    chunks.clear();
   }
 
   // ------------------------------------------------------------- wrap-up
@@ -970,6 +1095,9 @@ class RuntimeExecutor {
       stats_.messages_sent += local.messages_sent;
       stats_.buffers_sent += local.buffers_sent;
       stats_.refetch_bytes += local.refetch_bytes;
+      stats_.combine_messages_scattered += local.combine_messages_scattered;
+      stats_.combine_scatter_seconds += local.combine_scatter_seconds;
+      stats_.frontier_vertices_skipped += local.frontier_vertices_skipped;
       stats_.barrier_wait_seconds += local.barrier_wait_seconds;
       stats_.barrier_wait.Merge(local.barrier_wait);
       for (size_t i = 0; i < local.link_bytes.size(); ++i) {
@@ -1063,6 +1191,12 @@ class RuntimeExecutor {
         .Increment(stats_.wire_payload_bytes);
     metrics->CounterRef("runtime_wire_messages_combined")
         .Increment(stats_.wire_messages_combined);
+    metrics->CounterRef("runtime_combine_messages_scattered")
+        .Increment(stats_.combine_messages_scattered);
+    metrics->CounterRef("runtime_frontier_vertices_skipped")
+        .Increment(stats_.frontier_vertices_skipped);
+    metrics->GaugeRef("runtime_combine_scatter_seconds")
+        .Set(stats_.combine_scatter_seconds);
     metrics->CounterRef("runtime_barrier_generations")
         .Increment(stats_.barrier_generations);
     metrics->CounterRef("runtime_network_bytes")
@@ -1121,6 +1255,10 @@ class RuntimeExecutor {
   //  - done_[p], inboxes_[p], virtual_results_[p]: written by the one worker
   //    executing/owning that partition this round, read by main (and any
   //    re-assigned worker) only across a barrier;
+  //  - combine_scratch_[p]: counts/frontier bits written by the drain worker
+  //    of p's primary machine during the transfer stage (same single writer
+  //    as inboxes_[p]), consumed and Reset() by p's combine executor across
+  //    the stage barrier;
   //  - alive_[m], stage_tasks_done_[m]: written solely by m's owner worker
   //    (reset by main between stages, across a barrier);
   //  - states_[v]: written by the Combine executor of v's partition, read
@@ -1131,9 +1269,13 @@ class RuntimeExecutor {
   std::vector<uint8_t> alive_;
   std::vector<uint32_t> stage_tasks_done_;
   std::vector<std::vector<InboxChunk>> inboxes_;
+  std::vector<CombineScratch> combine_scratch_;
   std::vector<VertexState> states_;
   std::vector<std::vector<std::pair<uint64_t, VirtualOutput>>> virtual_results_;
   std::vector<WorkerLocal> locals_;
+  /// worker_scratch_[w]: pooled regroup/output buffers touched only by
+  /// worker w (same discipline as drain_phase_[w]).
+  std::vector<WorkerScratch> worker_scratch_;
   std::vector<DrainPhase> drain_phase_;
 
   //  - step_phases_[step][m]: written solely by m's owner worker during that

@@ -57,6 +57,16 @@ obs::JsonValue RuntimeStatsToJson(const RuntimeStats& stats) {
                 ? static_cast<double>(stats.wire_payload_bytes) /
                       stats.wall_seconds
                 : 0.0);
+  block.Set("combine_messages_scattered", stats.combine_messages_scattered);
+  block.Set("combine_scatter_seconds", stats.combine_scatter_seconds);
+  // The bench-gated regroup quantity: counting-scatter throughput in
+  // messages per second (0 when no combine stage ran).
+  block.Set("combine_scatter_msgs_per_sec",
+            stats.combine_scatter_seconds > 0.0
+                ? static_cast<double>(stats.combine_messages_scattered) /
+                      stats.combine_scatter_seconds
+                : 0.0);
+  block.Set("frontier_vertices_skipped", stats.frontier_vertices_skipped);
   block.Set("barrier_wait_seconds", stats.barrier_wait_seconds);
   block.Set("barrier_wait_mean_s", stats.barrier_wait_mean_s);
   block.Set("barrier_wait_max_s", stats.barrier_wait_max_s);

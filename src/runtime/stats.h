@@ -43,6 +43,15 @@ struct RuntimeStats {
   uint64_t pool_buffers_acquired = 0;    ///< WireBufferPool::Acquire calls
   uint64_t pool_buffers_reused = 0;      ///< acquires served from the freelist
 
+  // Sort-free combine regroup (see runtime/combine_plan.h). Scatter
+  // throughput (messages / scatter seconds) is the bench-gated quantity:
+  // it is what the counting scatter buys over the legacy O(M log M) sort.
+  uint64_t combine_messages_scattered = 0;  ///< records placed by the scatter
+  double combine_scatter_seconds = 0.0;     ///< prefix-sum + placement time
+  /// Vertices the frontier-gated combine loop skipped (apps declaring
+  /// kSkipSilentVertices only; 0 when gating is off or not opted into).
+  uint64_t frontier_vertices_skipped = 0;
+
   double barrier_wait_seconds = 0.0;  ///< summed across workers + main
   /// Per-worker distribution of the summed wait (workers only, main thread
   /// excluded). barrier_wait_seconds adds N workers' overlapping idle time

@@ -74,6 +74,8 @@ obs::JsonValue PhasesToJson(const PhaseSeconds& phases) {
   obj.Set("blocked_s", phases.blocked_s);
   obj.Set("barrier_s", phases.barrier_s);
   obj.Set("wire_bytes", phases.wire_bytes);
+  obj.Set("scatter_messages", phases.scatter_messages);
+  obj.Set("frontier_skipped", phases.frontier_skipped);
   obj.Set("busy_s", phases.Busy());
   return obj;
 }

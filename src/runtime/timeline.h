@@ -27,6 +27,14 @@ struct PhaseSeconds {
   /// per-(superstep, machine) slot so reports can correlate bytes with
   /// serialize time).
   double wire_bytes = 0.0;
+  /// Messages this machine regrouped through the sort-free counting scatter
+  /// during the stage's combine tasks (count, not a duration; rides the slot
+  /// like wire_bytes so reports can derive per-stage scatter throughput).
+  double scatter_messages = 0.0;
+  /// Vertices the frontier-gated combine loop skipped (silent vertices of
+  /// SilentVertexSkippableApp partitions; zero for non-conforming apps or
+  /// when gating is off).
+  double frontier_skipped = 0.0;
 
   /// Busy time: everything except waiting at the barrier. This is the
   /// quantity the critical path chains, because barrier wait is by
@@ -39,6 +47,8 @@ struct PhaseSeconds {
     blocked_s += other.blocked_s;
     barrier_s += other.barrier_s;
     wire_bytes += other.wire_bytes;
+    scatter_messages += other.scatter_messages;
+    frontier_skipped += other.frontier_skipped;
   }
 };
 

@@ -147,11 +147,24 @@ class WireBatchReader {
   explicit WireBatchReader(const WireBatch& batch) : batch_(batch) {}
 
   std::optional<Segment> Next() {
-    if (offset_ >= batch_.payload.size()) {
+    Segment segment;
+    if (!NextInto(segment)) {
       return std::nullopt;
     }
+    return segment;
+  }
+
+  /// Decode-into variant that reuses the segment's record-vector capacity:
+  /// the executor feeds recycled inbox-chunk buffers through this, so after
+  /// warm-up deserialization performs no per-segment allocation. Returns
+  /// false (with both vectors cleared) once the payload is exhausted.
+  bool NextInto(Segment& segment) {
+    segment.real.clear();
+    segment.virtuals.clear();
+    if (offset_ >= batch_.payload.size()) {
+      return false;
+    }
     const uint8_t* base = batch_.payload.data();
-    Segment segment;
     segment.header = ReadPod<WireSegmentHeader>(base + offset_);
     offset_ += sizeof(WireSegmentHeader);
     if (segment.header.kind == kWireSegmentReal) {
@@ -173,7 +186,7 @@ class WireBatchReader {
         offset_ += sizeof(Message);
       }
     }
-    return segment;
+    return true;
   }
 
  private:

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <unistd.h>
@@ -130,6 +131,75 @@ TEST(NetDistributedTest, VirtualOutputsMatchSequentialAcrossProcessCounts) {
                        "VDD @ " + std::to_string(procs) + " procs");
     EXPECT_EQ(runner.virtual_outputs(), result->virtual_outputs)
         << procs << " procs";
+  }
+}
+
+/// A SilentVertexSkippableApp with real messages (mirrors the runtime test's
+/// SkippableSumApp): Combine with no messages is a genuine no-op, so the
+/// distributed engine may skip silent vertices under frontier gating.
+struct DistSkippableSumApp {
+  using VertexState = double;
+  using Message = double;
+
+  VertexState InitState(VertexId v, std::span<const VertexId>) const {
+    return 1.0 + static_cast<double>(v % 7);
+  }
+  void Transfer(VertexId v, const VertexState& state,
+                std::span<const VertexId> neighbors,
+                PropagationEmitter<Message>& emitter) const {
+    if (v % 2 != 0 || neighbors.empty()) {
+      return;
+    }
+    const double share = state / static_cast<double>(neighbors.size());
+    for (VertexId n : neighbors) {
+      emitter.Emit(n, share);
+    }
+  }
+  void Combine(VertexId, VertexState& state, std::span<const VertexId>,
+               std::vector<Message>& messages) const {
+    for (const Message& m : messages) {
+      state += m;
+    }
+  }
+  size_t MessageBytes(const Message&) const { return sizeof(Message); }
+  size_t StateBytes(const VertexState&) const { return sizeof(VertexState); }
+
+  static constexpr bool kSkipSilentVertices = true;
+};
+
+TEST(NetDistributedTest, FrontierGatingBitIdenticalAcrossProcessCounts) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  DistSkippableSumApp app;
+
+  // Ungated sequential reference (exact legacy full-range loop).
+  PropagationConfig reference_config =
+      ConfigFor(OptimizationLevel::kO4, /*iterations=*/3);
+  reference_config.frontier_gating = false;
+  PropagationRunner<DistSkippableSumApp> runner(
+      setup.graph, setup.placement, setup.topology, app, reference_config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  for (uint32_t procs : {1u, 3u}) {
+    for (bool gating : {false, true}) {
+      EngineOptions options;
+      options.engine = EngineKind::kDistributed;
+      options.propagation = reference_config;
+      options.propagation.frontier_gating = gating;
+      options.distributed.max_processes = procs;
+      auto result = RunApp(setup, app, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ExpectBitIdentical(runner.states(), result->states,
+                         std::string("gating ") + (gating ? "on" : "off") +
+                             " @ " + std::to_string(procs) + " procs");
+      ASSERT_TRUE(result->runtime_stats.has_value());
+      EXPECT_GT(result->runtime_stats->combine_messages_scattered, 0u);
+      if (gating) {
+        EXPECT_GT(result->runtime_stats->frontier_vertices_skipped, 0u);
+      } else {
+        EXPECT_EQ(result->runtime_stats->frontier_vertices_skipped, 0u);
+      }
+    }
   }
 }
 

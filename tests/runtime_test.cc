@@ -574,6 +574,144 @@ TEST(RuntimeTest, ZeroMessageStagesStillCombineEveryVertex) {
   }
 }
 
+// -------------------------------------------------- frontier gating
+
+/// A SilentVertexSkippableApp with real messages: Combine is pure
+/// accumulation, so calling it with an empty vector is a genuine no-op and
+/// frontier gating may legally skip silent vertices. Only even-numbered
+/// vertices transfer, so a fat slice of every partition stays silent each
+/// iteration and the gate has real work to skip.
+struct SkippableSumApp {
+  using VertexState = double;
+  using Message = double;
+
+  VertexState InitState(VertexId v, std::span<const VertexId>) const {
+    return 1.0 + static_cast<double>(v % 7);
+  }
+  void Transfer(VertexId v, const VertexState& state,
+                std::span<const VertexId> neighbors,
+                PropagationEmitter<Message>& emitter) const {
+    if (v % 2 != 0 || neighbors.empty()) {
+      return;
+    }
+    const double share = state / static_cast<double>(neighbors.size());
+    for (VertexId n : neighbors) {
+      emitter.Emit(n, share);
+    }
+  }
+  void Combine(VertexId, VertexState& state, std::span<const VertexId>,
+               std::vector<Message>& messages) const {
+    for (const Message& m : messages) {
+      state += m;  // empty vector => identity, as the trait promises
+    }
+  }
+  size_t MessageBytes(const Message&) const { return sizeof(Message); }
+  size_t StateBytes(const VertexState&) const { return sizeof(VertexState); }
+
+  static constexpr bool kSkipSilentVertices = true;
+};
+static_assert(PropagationApp<SkippableSumApp>);
+static_assert(SilentVertexSkippableApp<SkippableSumApp>);
+static_assert(!SilentVertexSkippableApp<NetworkRankingApp>);
+static_assert(SilentVertexSkippableApp<DegreeDistributionApp>);
+
+TEST(RuntimeTest, FrontierGatingBitIdenticalOnAndOffAcrossWorkerCounts) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  SkippableSumApp app;
+
+  // Ungated sequential reference: the exact legacy full-range loop.
+  PropagationConfig reference_config =
+      ConfigFor(OptimizationLevel::kO4, /*iterations=*/3);
+  reference_config.frontier_gating = false;
+  PropagationRunner<SkippableSumApp> reference(
+      setup.graph, setup.placement, setup.topology, app, reference_config);
+  ASSERT_TRUE(reference.Run(setup.sim_options).ok());
+  EXPECT_EQ(reference.counters().frontier_vertices_skipped, 0u);
+
+  // Gated sequential run: identical states, nonzero skip counter.
+  PropagationConfig gated_config = reference_config;
+  gated_config.frontier_gating = true;
+  PropagationRunner<SkippableSumApp> gated(
+      setup.graph, setup.placement, setup.topology, app, gated_config);
+  ASSERT_TRUE(gated.Run(setup.sim_options).ok());
+  ExpectBitIdentical(reference.states(), gated.states(), "gated runner");
+  EXPECT_GT(gated.counters().frontier_vertices_skipped, 0u);
+
+  for (uint32_t workers : {1u, 3u, 8u}) {
+    for (bool gating : {false, true}) {
+      PropagationConfig config = reference_config;
+      config.frontier_gating = gating;
+      RuntimeOptions options;
+      options.max_workers = workers;
+      RuntimeExecutor<SkippableSumApp> executor(
+          setup.graph, setup.placement, setup.topology, app, config, options);
+      ASSERT_TRUE(executor.Run().ok());
+      ExpectBitIdentical(reference.states(), executor.states(),
+                         std::string("frontier gating ") +
+                             (gating ? "on" : "off") + ", " +
+                             std::to_string(workers) + " workers");
+      EXPECT_GT(executor.stats().combine_messages_scattered, 0u);
+      if (gating) {
+        EXPECT_GT(executor.stats().frontier_vertices_skipped, 0u);
+      } else {
+        EXPECT_EQ(executor.stats().frontier_vertices_skipped, 0u);
+      }
+    }
+  }
+}
+
+TEST(RuntimeTest, FrontierGatingIsInertForNonConformingApps) {
+  // NR's Combine overwrites the rank with the random-jump term even on empty
+  // messages, so it must not (and does not) declare kSkipSilentVertices; the
+  // gating flag being on must leave it on the exact full-range loop.
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  PropagationConfig config = ConfigFor(OptimizationLevel::kO4, /*iterations=*/3);
+  ASSERT_TRUE(config.frontier_gating);  // default-on, still inert for NR
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationRunner<NetworkRankingApp> runner(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+  EXPECT_EQ(runner.counters().frontier_vertices_skipped, 0u);
+
+  RuntimeExecutor<NetworkRankingApp> executor(
+      setup.graph, setup.placement, setup.topology, app, config);
+  ASSERT_TRUE(executor.Run().ok());
+  ExpectBitIdentical(runner.states(), executor.states(), "NR gating inert");
+  EXPECT_EQ(executor.stats().frontier_vertices_skipped, 0u);
+  EXPECT_GT(executor.stats().combine_messages_scattered, 0u);
+}
+
+TEST(RuntimeTest, FrontierGatingPreservesVirtualOutputs) {
+  // VDD opts in (its real-vertex Combine is empty — all aggregation rides
+  // virtual vertices), so under gating every real vertex is skipped and the
+  // virtual outputs must be untouched.
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  DegreeDistributionApp app;
+  for (uint32_t workers : {1u, 3u, 8u}) {
+    std::map<uint64_t, DegreeDistributionApp::VirtualOutput> outputs[2];
+    uint64_t skipped[2] = {0, 0};
+    for (bool gating : {false, true}) {
+      PropagationConfig config =
+          ConfigFor(OptimizationLevel::kO4, /*iterations=*/1);
+      config.frontier_gating = gating;
+      RuntimeOptions options;
+      options.max_workers = workers;
+      RuntimeExecutor<DegreeDistributionApp> executor(
+          setup.graph, setup.placement, setup.topology, app, config, options);
+      ASSERT_TRUE(executor.Run().ok());
+      outputs[gating ? 1 : 0] = executor.virtual_outputs();
+      skipped[gating ? 1 : 0] = executor.stats().frontier_vertices_skipped;
+    }
+    EXPECT_EQ(outputs[0], outputs[1]) << workers << " workers";
+    EXPECT_FALSE(outputs[1].empty());
+    EXPECT_EQ(skipped[0], 0u);
+    EXPECT_GT(skipped[1], 0u);
+  }
+}
+
 // -------------------------------------------------- RunApp front-end
 
 TEST(RunAppTest, EnginesAgreeBitwiseThroughTheUnifiedFrontEnd) {

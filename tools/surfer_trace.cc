@@ -175,6 +175,19 @@ int RunSummary(const std::string& path) {
         NumberOr(runtime->Find("wall_seconds"), 0),
         NumberOr(runtime->Find("barrier_wait_seconds"), 0),
         NumberOr(runtime->Find("send_stalls"), 0));
+    // The sort-free regroup counters: scatter throughput is the bench-gated
+    // quantity, and a nonzero skipped count means frontier gating was live
+    // (the app opted in via kSkipSilentVertices).
+    if (const double scattered =
+            NumberOr(runtime->Find("combine_messages_scattered"), 0);
+        scattered > 0) {
+      std::printf(
+          "combine: %.0f messages scattered in %.6fs (%.3g msgs/s), "
+          "%.0f silent vertices skipped by frontier gating\n",
+          scattered, NumberOr(runtime->Find("combine_scatter_seconds"), 0),
+          NumberOr(runtime->Find("combine_scatter_msgs_per_sec"), 0),
+          NumberOr(runtime->Find("frontier_vertices_skipped"), 0));
+    }
   }
   PrintSpans(report);
   PrintTimeline(report);
