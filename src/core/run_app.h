@@ -84,6 +84,10 @@ struct RunAppResult {
   /// schema-v3 "telemetry" block (concurrent engine with
   /// options.runtime.telemetry.enabled only).
   std::optional<obs::JsonValue> telemetry;
+  /// The merged report's "cluster" block (distributed engine): round
+  /// timing, offset-corrected per-link latency, the cluster-wide
+  /// per-superstep critical path, and the online straggler count.
+  std::optional<obs::JsonValue> cluster;
 
   /// Row-major M x M per-link network bytes, diagonal zero. Analytic runs
   /// report the priced model bytes; concurrent runs report measured wire
@@ -183,6 +187,9 @@ Result<RunAppResult<App>> RunDistributed(const PartitionedGraph* graph,
     result.states = executor.states();
     result.virtual_outputs = executor.virtual_outputs();
     result.runtime_stats = executor.stats();
+    if (executor.cluster_report().is_object()) {
+      result.cluster = executor.cluster_report();
+    }
     const uint32_t n = topology->num_machines();
     result.link_network_bytes.assign(static_cast<size_t>(n) * n, 0.0);
     const std::vector<uint64_t>& measured = executor.stats().link_bytes;

@@ -81,6 +81,11 @@ std::vector<uint8_t> EncodePlacement(const PlacementMsg& msg) {
     AppendPod(out, static_cast<uint8_t>(plan.stage));
     AppendPod(out, plan.after_tasks);
   }
+  AppendPod(out, msg.heartbeat_period_ms);
+  AppendPod(out, msg.clock_sync_pings);
+  AppendPod(out, msg.stall_proc);
+  AppendPod(out, msg.stall_iteration);
+  AppendPod(out, msg.stall_ms);
   return out;
 }
 
@@ -107,6 +112,11 @@ Result<PlacementMsg> DecodePlacement(const std::vector<uint8_t>& payload) {
     plan.iteration = iteration;
     plan.stage = static_cast<runtime::RuntimeStage>(stage);
   }
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.heartbeat_period_ms));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.clock_sync_pings));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.stall_proc));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.stall_iteration));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.stall_ms));
   return msg;
 }
 
@@ -173,6 +183,82 @@ Result<SeqMsg> DecodeSeq(const std::vector<uint8_t>& payload) {
   return msg;
 }
 
+std::vector<uint8_t> EncodeHeartbeat(const HeartbeatMsg& msg) {
+  std::vector<uint8_t> out;
+  AppendPod(out, msg.proc);
+  AppendPod(out, msg.stage);
+  AppendPod(out, msg.iteration);
+  AppendPod(out, msg.round_seq);
+  AppendPod(out, msg.mailbox_frames);
+  AppendPod(out, msg.inflight_bytes);
+  AppendPod(out, msg.staged_wire_bytes);
+  AppendPod(out, msg.rss_bytes);
+  AppendPod(out, msg.barrier_waiting);
+  AppendPod(out, msg.unix_us);
+  return out;
+}
+
+Result<HeartbeatMsg> DecodeHeartbeat(const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  HeartbeatMsg msg;
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.proc));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.stage));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.iteration));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.round_seq));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.mailbox_frames));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.inflight_bytes));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.staged_wire_bytes));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.rss_bytes));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.barrier_waiting));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.unix_us));
+  return msg;
+}
+
+std::vector<uint8_t> EncodeClockPing(const ClockPingMsg& msg) {
+  std::vector<uint8_t> out;
+  AppendPod(out, msg.seq);
+  return out;
+}
+
+Result<ClockPingMsg> DecodeClockPing(const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  ClockPingMsg msg;
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.seq));
+  return msg;
+}
+
+std::vector<uint8_t> EncodeClockPong(const ClockPongMsg& msg) {
+  std::vector<uint8_t> out;
+  AppendPod(out, msg.seq);
+  AppendPod(out, msg.t1);
+  AppendPod(out, msg.t2);
+  return out;
+}
+
+Result<ClockPongMsg> DecodeClockPong(const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  ClockPongMsg msg;
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.seq));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.t1));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.t2));
+  return msg;
+}
+
+std::vector<uint8_t> EncodeClockOffset(const ClockOffsetMsg& msg) {
+  std::vector<uint8_t> out;
+  AppendPod(out, msg.offset_us);
+  AppendPod(out, msg.uncertainty_us);
+  return out;
+}
+
+Result<ClockOffsetMsg> DecodeClockOffset(const std::vector<uint8_t>& payload) {
+  PayloadReader reader(payload);
+  ClockOffsetMsg msg;
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.offset_us));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.uncertainty_us));
+  return msg;
+}
+
 std::vector<uint8_t> EncodeStateUpdate(const StateUpdateMsg& msg) {
   std::vector<uint8_t> out;
   AppendPod(out, msg.partition);
@@ -222,7 +308,12 @@ std::vector<uint8_t> EncodeWorkerStats(const WorkerStatsMsg& msg) {
   AppendPod(out, msg.frontier_vertices_skipped);
   AppendPod(out, msg.combine_scatter_micros);
   AppendPod(out, msg.peak_rss_bytes);
+  AppendPod(out, msg.heartbeats_sent);
+  AppendPod(out, msg.clock_synced);
   AppendVector(out, msg.link_bytes);
+  AppendVector(out, msg.clock_offset_us);
+  AppendVector(out, msg.clock_uncertainty_us);
+  AppendVector(out, msg.round_link_stats);
   return out;
 }
 
@@ -251,7 +342,12 @@ Result<WorkerStatsMsg> DecodeWorkerStats(const std::vector<uint8_t>& payload) {
   SURFER_RETURN_IF_ERROR(reader.Read(&msg.frontier_vertices_skipped));
   SURFER_RETURN_IF_ERROR(reader.Read(&msg.combine_scatter_micros));
   SURFER_RETURN_IF_ERROR(reader.Read(&msg.peak_rss_bytes));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.heartbeats_sent));
+  SURFER_RETURN_IF_ERROR(reader.Read(&msg.clock_synced));
   SURFER_RETURN_IF_ERROR(ReadVector(reader, &msg.link_bytes));
+  SURFER_RETURN_IF_ERROR(ReadVector(reader, &msg.clock_offset_us));
+  SURFER_RETURN_IF_ERROR(ReadVector(reader, &msg.clock_uncertainty_us));
+  SURFER_RETURN_IF_ERROR(ReadVector(reader, &msg.round_link_stats));
   return msg;
 }
 

@@ -52,6 +52,16 @@ struct PlacementMsg {
   uint8_t fault_tolerant = 0;
   std::vector<MachineId> replicas;  ///< partition-major, num_partitions x replication
   std::vector<runtime::RuntimeFaultPlan> faults;
+  /// Health-plane knobs. heartbeat_period_ms == 0 disables heartbeats;
+  /// clock_sync_pings == 0 disables the handshake clock-offset exchange.
+  uint32_t heartbeat_period_ms = 0;
+  uint32_t clock_sync_pings = 0;
+  /// Straggler-injection knob for tests: process `stall_proc` sleeps
+  /// `stall_ms` milliseconds at the start of iteration `stall_iteration`'s
+  /// combine stage (UINT32_MAX = no stall).
+  uint32_t stall_proc = 0xFFFFFFFFu;
+  int32_t stall_iteration = 0;
+  uint32_t stall_ms = 0;
 };
 
 /// coordinator -> workers: one round of the barrier protocol. `seq` is a
@@ -86,6 +96,66 @@ struct SeqMsg {
   uint32_t seq = 0;
   uint32_t src_proc = 0;
 };
+
+/// worker -> coordinator, periodic (kHeartbeat): a snapshot of the worker's
+/// load, sourced from the same providers that feed the TelemetryRecorder
+/// gauges. The coordinator folds these into its live status table and the
+/// straggler detector; losing one is harmless (the next one supersedes it).
+struct HeartbeatMsg {
+  uint32_t proc = 0;
+  uint32_t stage = 0;          ///< RoundKind of the active round; kIdleStage between rounds
+  int32_t iteration = 0;
+  uint64_t round_seq = 0;      ///< seq of the round being executed (0 = none yet)
+  uint64_t mailbox_frames = 0; ///< undrained inbound frames across all links
+  uint64_t inflight_bytes = 0; ///< inbound payload bytes not yet consumed
+  uint64_t staged_wire_bytes = 0;  ///< bytes staged for sending
+  uint64_t rss_bytes = 0;      ///< 0 when /proc-based sampling is unavailable
+  uint32_t barrier_waiting = 0;    ///< 1 while blocked in the EOS drain wait
+  uint64_t unix_us = 0;        ///< worker clock when the snapshot was taken
+};
+
+/// HeartbeatMsg::stage value meaning "no round is executing".
+inline constexpr uint32_t kIdleStage = 0xFFFFFFFFu;
+
+/// Clock-sync session payloads (mesh rendezvous). The interesting
+/// timestamps ride in the frame headers, not here: t1 is the ping's
+/// send_unix_us, t2 the ping's receive stamp at the server (echoed back in
+/// the pong), t3 the pong's own send_unix_us, t4 the pong's receive stamp
+/// at the client.
+struct ClockPingMsg {
+  uint32_t seq = 0;
+};
+struct ClockPongMsg {
+  uint32_t seq = 0;
+  uint64_t t1 = 0;  ///< echoed ping send stamp (client clock)
+  uint64_t t2 = 0;  ///< ping receive stamp (server clock)
+};
+/// client -> server at session end: the client's offset estimate so both
+/// ends of the link agree (the server stores the negation).
+struct ClockOffsetMsg {
+  int64_t offset_us = 0;       ///< server clock minus client clock
+  uint64_t uncertainty_us = 0; ///< half the minimum observed round trip
+};
+
+/// One per-(round, inbound link) latency/queueing record accumulated by the
+/// transport receiver threads from frame send/recv stamps. Latencies are in
+/// raw clock terms (receiver clock minus sender clock, *not* offset
+/// corrected); the analysis side applies the handshake offsets. Laid out
+/// padding-free so a vector of them ships raw through the control codec.
+struct RoundLinkStat {
+  uint64_t seq = 0;            ///< round the frames belonged to
+  int32_t iteration = 0;
+  uint32_t kind = 0;           ///< RoundKind
+  uint32_t from_proc = 0;      ///< sending peer (receiver is the reporting worker)
+  uint32_t frames = 0;
+  uint64_t bytes = 0;          ///< payload bytes received on the link this round
+  int64_t latency_sum_us = 0;  ///< sum of (recv - send) per frame, raw clocks
+  int64_t latency_max_us = 0;
+  uint64_t first_send_us = 0;  ///< earliest send stamp (sender clock)
+  uint64_t last_recv_us = 0;   ///< latest recv stamp (receiver clock)
+};
+static_assert(std::is_trivially_copyable_v<RoundLinkStat>);
+static_assert(sizeof(RoundLinkStat) == 64);
 
 /// worker -> worker after combining a partition (fault-tolerant runs only):
 /// the partition's fresh vertex states, and the virtual-vertex outputs its
@@ -126,7 +196,15 @@ struct WorkerStatsMsg {
   uint64_t frontier_vertices_skipped = 0;
   uint64_t combine_scatter_micros = 0;  ///< scatter seconds * 1e6, truncated
   uint64_t peak_rss_bytes = 0;
+  uint64_t heartbeats_sent = 0;
+  uint8_t clock_synced = 0;  ///< handshake ping exchange ran on every link
   std::vector<uint64_t> link_bytes;  ///< row-major M x M, this worker's sends
+  /// Estimated peer-clock offsets from the handshake ping exchange, indexed
+  /// by process ([self] == 0): offset_us[j] = clock_j - clock_self.
+  std::vector<int64_t> clock_offset_us;
+  std::vector<uint64_t> clock_uncertainty_us;
+  /// Per-(round, inbound link) latency records from frame stamps.
+  std::vector<RoundLinkStat> round_link_stats;
 };
 
 /// worker -> coordinator at finalize: one partition's final vertex states,
@@ -166,6 +244,18 @@ Result<TaskDoneMsg> DecodeTaskDone(const std::vector<uint8_t>& payload);
 
 std::vector<uint8_t> EncodeSeq(const SeqMsg& msg);
 Result<SeqMsg> DecodeSeq(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeHeartbeat(const HeartbeatMsg& msg);
+Result<HeartbeatMsg> DecodeHeartbeat(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeClockPing(const ClockPingMsg& msg);
+Result<ClockPingMsg> DecodeClockPing(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeClockPong(const ClockPongMsg& msg);
+Result<ClockPongMsg> DecodeClockPong(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeClockOffset(const ClockOffsetMsg& msg);
+Result<ClockOffsetMsg> DecodeClockOffset(const std::vector<uint8_t>& payload);
 
 std::vector<uint8_t> EncodeStateUpdate(const StateUpdateMsg& msg);
 Result<StateUpdateMsg> DecodeStateUpdate(const std::vector<uint8_t>& payload);

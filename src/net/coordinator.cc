@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <csignal>
 #include <poll.h>
 #include <sys/wait.h>
@@ -9,6 +10,7 @@
 #include <unistd.h>
 #include <utility>
 
+#include "common/logging.h"
 #include "net/frame.h"
 
 namespace surfer {
@@ -22,6 +24,11 @@ constexpr int kEventTimeoutMs = 120000;
 
 /// Grace period between closing a child's control socket and SIGKILL.
 constexpr int kReapGraceMs = 10000;
+
+/// Completed-round history the straggler detector's trailing median uses.
+constexpr size_t kRoundHistory = 16;
+/// Completed rounds needed before the detector trusts its median at all.
+constexpr size_t kMinRoundHistory = 3;
 
 void AddStats(WorkerStatsMsg& into, const WorkerStatsMsg& from) {
   into.tasks_executed += from.tasks_executed;
@@ -45,6 +52,7 @@ void AddStats(WorkerStatsMsg& into, const WorkerStatsMsg& from) {
   into.combine_messages_scattered += from.combine_messages_scattered;
   into.frontier_vertices_skipped += from.frontier_vertices_skipped;
   into.combine_scatter_micros += from.combine_scatter_micros;
+  into.heartbeats_sent += from.heartbeats_sent;
   for (size_t i = 0;
        i < from.link_bytes.size() && i < into.link_bytes.size(); ++i) {
     into.link_bytes[i] += from.link_bytes[i];
@@ -66,11 +74,15 @@ Result<CoordinatorOutcome> DistributedCoordinator::Run() {
   alive_machines_.assign(params_.num_machines, 1);
   seq_ = 0;
   sigterm_delivered_ = false;
+  live_.assign(params_.num_processes, LiveProc{});
+  round_durations_s_.clear();
+  stragglers_flagged_ = 0;
 
   CoordinatorOutcome out;
   out.totals.link_bytes.assign(
       static_cast<size_t>(params_.num_machines) * params_.num_machines, 0);
   out.worker_reports.assign(params_.num_processes, "");
+  out.worker_stats.assign(params_.num_processes, WorkerStatsMsg{});
 
   Status st = Spawn();
   if (st.ok()) {
@@ -88,6 +100,7 @@ Result<CoordinatorOutcome> DistributedCoordinator::Run() {
   }
   out.alive = alive_machines_;
   out.machine_failures = machine_failures_;
+  out.stragglers_flagged = stragglers_flagged_;
   return out;
 }
 
@@ -305,6 +318,16 @@ Status DistributedCoordinator::DriveRound(RoundMsg round,
                                           int* deaths) {
   round.seq = ++seq_;
   round.alive = alive_machines_;
+  const uint64_t started_us = NowUnixUs();
+  runtime::ClusterRoundRecord record;
+  record.seq = round.seq;
+  record.iteration = round.iteration;
+  record.kind = static_cast<int>(round.kind);
+  record.broadcast_unix_us = started_us;
+  record.done_unix_us.assign(procs_.size(), 0);
+  for (LiveProc& lp : live_) {
+    lp.straggler = false;
+  }
   const std::vector<uint8_t> payload = EncodeRound(round);
   std::vector<uint8_t> expect(procs_.size(), 0);
   size_t waiting = 0;
@@ -351,17 +374,125 @@ Status DistributedCoordinator::DriveRound(RoundMsg round,
       case FrameType::kRoundDone: {
         SURFER_ASSIGN_OR_RETURN(SeqMsg done, DecodeSeq(event.frame.payload));
         if (done.seq == round.seq && expect[event.proc]) {
+          record.done_unix_us[event.proc] = NowUnixUs();
           expect[event.proc] = 0;
           --waiting;
         }
         break;
       }
+      case FrameType::kHeartbeat: {
+        SURFER_ASSIGN_OR_RETURN(HeartbeatMsg hb,
+                                DecodeHeartbeat(event.frame.payload));
+        NoteHeartbeat(event.proc, hb);
+        break;
+      }
       default:
         break;
     }
+    CheckStragglers(round, expect, started_us, out);
   }
+  round_durations_s_.push_back(
+      static_cast<double>(NowUnixUs() - started_us) / 1e6);
+  if (round_durations_s_.size() > kRoundHistory) {
+    round_durations_s_.pop_front();
+  }
+  out->round_records.push_back(std::move(record));
   ++out->rounds;
   return Status::OK();
+}
+
+void DistributedCoordinator::NoteHeartbeat(uint32_t proc,
+                                           const HeartbeatMsg& hb) {
+  if (proc >= live_.size()) {
+    return;
+  }
+  live_[proc].hb = hb;
+  live_[proc].hb_recv_us = NowUnixUs();
+  EmitStatus();
+}
+
+void DistributedCoordinator::CheckStragglers(
+    const RoundMsg& round, const std::vector<uint8_t>& expect,
+    uint64_t started_us, CoordinatorOutcome* out) {
+  if (round_durations_s_.size() < kMinRoundHistory) {
+    return;
+  }
+  std::vector<double> window(round_durations_s_.begin(),
+                             round_durations_s_.end());
+  std::nth_element(window.begin(), window.begin() + window.size() / 2,
+                   window.end());
+  const double median_s = window[window.size() / 2];
+  const double threshold_s =
+      std::max(median_s * params_.straggler_multiple,
+               static_cast<double>(params_.straggler_min_ms) / 1e3);
+  const double elapsed_s =
+      static_cast<double>(NowUnixUs() - started_us) / 1e6;
+  if (elapsed_s <= threshold_s) {
+    return;
+  }
+  bool flagged = false;
+  for (uint32_t i = 0; i < expect.size(); ++i) {
+    if (!expect[i] || live_[i].straggler) {
+      continue;
+    }
+    live_[i].straggler = true;
+    ++stragglers_flagged_;
+    flagged = true;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "straggler: process %u still running round %u "
+                  "(%s, iteration %d) after %.3fs (median %.3fs x %.1f)",
+                  i, round.seq, runtime::RoundKindName(
+                                    static_cast<int>(round.kind)),
+                  round.iteration, elapsed_s, median_s,
+                  params_.straggler_multiple);
+    SURFER_LOG(kWarning) << buf;
+  }
+  if (flagged) {
+    out->stragglers_flagged = stragglers_flagged_;
+    EmitStatus();
+  }
+}
+
+std::string DistributedCoordinator::RenderStatusTable() const {
+  const uint64_t now_us = NowUnixUs();
+  std::string table =
+      "proc  state     stage     iter  round  mailbox  inflight_kb  "
+      "staged_kb  rss_mb  barrier  hb_age_ms\n";
+  for (uint32_t i = 0; i < procs_.size(); ++i) {
+    const LiveProc& lp = live_[i];
+    const char* state = !procs_[i].alive ? "dead"
+                        : lp.straggler   ? "STRAGGLE"
+                                         : "alive";
+    const char* stage =
+        lp.hb_recv_us == 0     ? "-"
+        : lp.hb.stage == kIdleStage
+            ? "idle"
+            : runtime::RoundKindName(static_cast<int>(lp.hb.stage));
+    const double hb_age_ms =
+        lp.hb_recv_us == 0
+            ? -1.0
+            : static_cast<double>(now_us - lp.hb_recv_us) / 1e3;
+    char row[192];
+    std::snprintf(row, sizeof(row),
+                  "%-5u %-9s %-9s %-5d %-6llu %-8llu %-12.1f %-10.1f "
+                  "%-7.1f %-8u %.0f\n",
+                  i, state, stage, lp.hb.iteration,
+                  static_cast<unsigned long long>(lp.hb.round_seq),
+                  static_cast<unsigned long long>(lp.hb.mailbox_frames),
+                  static_cast<double>(lp.hb.inflight_bytes) / 1024.0,
+                  static_cast<double>(lp.hb.staged_wire_bytes) / 1024.0,
+                  static_cast<double>(lp.hb.rss_bytes) / (1024.0 * 1024.0),
+                  lp.hb.barrier_waiting, hb_age_ms);
+    table += row;
+  }
+  return table;
+}
+
+void DistributedCoordinator::EmitStatus() {
+  if (params_.status_sink) {
+    params_.status_sink(RenderStatusTable());
+  }
 }
 
 Result<DistributedCoordinator::Event>
@@ -503,6 +634,7 @@ Status DistributedCoordinator::Finalize(CoordinatorOutcome* out) {
           AddStats(out->totals, stats);
           out->peak_worker_rss_bytes =
               std::max(out->peak_worker_rss_bytes, stats.peak_rss_bytes);
+          out->worker_stats[i] = std::move(stats);
           break;
         }
         case FrameType::kFinalState: {

@@ -2,6 +2,7 @@
 #define SURFER_NET_COORDINATOR_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <sys/types.h>
@@ -11,6 +12,7 @@
 #include "graph/types.h"
 #include "net/control.h"
 #include "net/socket.h"
+#include "runtime/timeline.h"
 #include "storage/replication.h"
 
 namespace surfer {
@@ -32,6 +34,16 @@ struct CoordinatorParams {
   /// the given iteration (graceful-decommission drill); kInvalidMachine = off.
   MachineId sigterm_machine = kInvalidMachine;
   int sigterm_iteration = 0;
+  /// Online straggler detection: a process still holding up a round after
+  /// straggler_multiple x the trailing-median round duration (with an
+  /// absolute floor so microsecond rounds don't false-flag) is logged and
+  /// counted. Detection needs a few completed rounds of history first.
+  double straggler_multiple = 4.0;
+  uint32_t straggler_min_ms = 250;
+  /// Live-status sink: called with the freshly rendered status table
+  /// whenever a heartbeat lands or a straggler is flagged (surfer_dist
+  /// --watch wires this to stderr; CI tees it to a file). Null = off.
+  std::function<void(const std::string&)> status_sink;
 };
 
 /// What a completed coordinator run hands back to the executor.
@@ -51,6 +63,14 @@ struct CoordinatorOutcome {
   std::vector<std::string> worker_reports;
   /// Peak worker-process RSS reported at finalize (max across processes).
   uint64_t peak_worker_rss_bytes = 0;
+  /// Per-process finalize stats, unsummed (default-constructed for dead
+  /// processes): the executor needs each worker's clock-offset table and
+  /// round link stats individually for the cluster critical path.
+  std::vector<WorkerStatsMsg> worker_stats;
+  /// Coordinator-clock timing of every round driven, in order.
+  std::vector<runtime::ClusterRoundRecord> round_records;
+  /// (round, process) pairs the online detector flagged as stragglers.
+  uint64_t stragglers_flagged = 0;
 };
 
 /// Parent-process side of the distributed engine: forks one worker process
@@ -111,6 +131,17 @@ class DistributedCoordinator {
   void ReapChild(Proc& proc, bool force_kill_after_grace);
   Status DeliverSigterm(CoordinatorOutcome* out);
 
+  /// Live health plane: folds one heartbeat into the status table and
+  /// pushes the re-rendered table to the sink.
+  void NoteHeartbeat(uint32_t proc, const HeartbeatMsg& hb);
+  /// Flags processes still holding up the current round once its elapsed
+  /// time exceeds the trailing-median threshold; called on every control
+  /// event while a round is in flight.
+  void CheckStragglers(const RoundMsg& round, const std::vector<uint8_t>& expect,
+                       uint64_t started_us, CoordinatorOutcome* out);
+  std::string RenderStatusTable() const;
+  void EmitStatus();
+
   bool HostsMachine(uint32_t proc, MachineId m) const {
     return m % params_.num_processes == proc;
   }
@@ -124,6 +155,16 @@ class DistributedCoordinator {
   uint32_t seq_ = 0;
   uint32_t machine_failures_ = 0;
   bool sigterm_delivered_ = false;
+
+  /// Live health plane state.
+  struct LiveProc {
+    HeartbeatMsg hb;
+    uint64_t hb_recv_us = 0;  ///< 0 = no heartbeat yet
+    bool straggler = false;   ///< flagged in the round currently in flight
+  };
+  std::vector<LiveProc> live_;
+  std::deque<double> round_durations_s_;  ///< trailing completed rounds
+  uint64_t stragglers_flagged_ = 0;
 
   // Per-stage scheduling state.
   std::vector<uint8_t> done_;

@@ -6,10 +6,12 @@
 #include <csignal>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <unistd.h>
 #include <utility>
@@ -30,6 +32,7 @@
 #include "runtime/fault.h"
 #include "runtime/report.h"
 #include "runtime/stats.h"
+#include "runtime/timeline.h"
 #include "runtime/wire_batch.h"
 #include "storage/partitioned_graph.h"
 #include "storage/replication.h"
@@ -72,6 +75,28 @@ struct DistributedOptions {
   std::string artifact_dir;
   /// Per-worker-process flight recorder (mailbox depth, RSS).
   obs::TelemetryOptions telemetry;
+  /// Health plane: workers push a load snapshot to the coordinator every
+  /// this-many milliseconds (0 = heartbeats off).
+  uint32_t heartbeat_period_ms = 0;
+  /// Clock-offset estimation: each mesh link runs an NTP-style ping exchange
+  /// of this many pings during the rendezvous (0 = off). The per-peer
+  /// offsets land in each worker's stats and trace artifacts, and correct
+  /// the per-link latency series in the cluster report.
+  uint32_t clock_sync_pings = 0;
+  /// Online straggler detection: a process still holding up a round after
+  /// straggler_multiple x the trailing-median round duration — but at least
+  /// straggler_min_ms — is logged and counted, never aborted.
+  double straggler_multiple = 4.0;
+  uint32_t straggler_min_ms = 250;
+  /// Live-status sink: receives the re-rendered cluster status table on
+  /// every heartbeat or straggler flag (surfer_dist --watch). Null = off.
+  std::function<void(const std::string&)> status_sink;
+  /// Straggler injection for tests: process `stall_proc` sleeps `stall_ms`
+  /// milliseconds at its first combine round of iteration `stall_iteration`
+  /// (0xFFFFFFFF = no stall).
+  uint32_t stall_proc = 0xFFFFFFFFu;
+  int32_t stall_iteration = 0;
+  uint32_t stall_ms = 0;
 };
 
 namespace detail {
@@ -185,6 +210,15 @@ class DistributedWorker {
     }
     fault_tolerant_ = placement.fault_tolerant != 0;
     fault_ = runtime::FaultController(placement.faults);
+    heartbeat_period_ms_ = placement.heartbeat_period_ms;
+    stall_proc_ = placement.stall_proc;
+    stall_iteration_ = placement.stall_iteration;
+    stall_ms_ = placement.stall_ms;
+    if (heartbeat_period_ms_ > 0) {
+      // Tick from ReadControl's idle poll: heartbeats flow between rounds
+      // from the main thread, the sole writer on the control socket.
+      transport_.SetIdleTick([this] { MaybeHeartbeat(); });
+    }
     replicas_.assign(num_partitions_, {});
     if (placement.replicas.size() !=
         static_cast<size_t>(num_partitions_) * placement.replication) {
@@ -235,12 +269,22 @@ class DistributedWorker {
       telemetry_->RegisterGauge("dist_mailbox_depth", "frames", [this] {
         return static_cast<double>(transport_.ApproxMailboxDepth());
       });
-      telemetry_->RegisterGauge(
-          "proc_rss_bytes", "bytes",
-          [] {
-            return static_cast<double>(obs::ReadMemoryUsage().rss_bytes);
-          },
-          /*ceiling=*/0.0, /*period_multiple=*/16);
+      telemetry_->RegisterGauge("dist_inflight_bytes", "bytes", [this] {
+        return static_cast<double>(transport_.InflightBytes());
+      });
+      telemetry_->RegisterGauge("dist_recv_latency_us", "us", [this] {
+        return static_cast<double>(transport_.LastRecvLatencyUs());
+      });
+      // Registered only when the probe works: an always-zero gauge would
+      // read as a measurement, not a failure to measure.
+      if (obs::ReadMemoryUsage().available) {
+        telemetry_->RegisterGauge(
+            "proc_rss_bytes", "bytes",
+            [] {
+              return static_cast<double>(obs::ReadMemoryUsage().rss_bytes);
+            },
+            /*ceiling=*/0.0, /*period_multiple=*/16);
+      }
       // The sampler thread must never take the process-directed SIGTERM:
       // only the main thread owns the graceful-exit interrupt.
       sigset_t block, old;
@@ -260,6 +304,20 @@ class DistributedWorker {
         tracer_.get(), "dist_round[" + std::to_string(round.seq) + "]", "net",
         {{"kind", std::to_string(static_cast<int>(round.kind))},
          {"iteration", std::to_string(round.iteration)}});
+    current_stage_ = static_cast<uint32_t>(round.kind);
+    current_iteration_ = round.iteration;
+    current_round_seq_ = round.seq;
+    // Receiver threads record link stats by round seq only; this map lets
+    // BuildStatsMsg patch in the (iteration, kind) the seq belonged to.
+    round_info_[round.seq] = {round.iteration,
+                              static_cast<uint32_t>(round.kind)};
+    if (proc_ == stall_proc_ && round.iteration == stall_iteration_ &&
+        round.kind == RoundKind::kCombine && !stalled_) {
+      // Injected straggler (tests): one long pause at this iteration's first
+      // combine round, long enough for the online detector to flag us.
+      stalled_ = true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms_));
+    }
     if (round.kind == RoundKind::kTransfer &&
         round.iteration != started_iteration_) {
       // First transfer round of a new iteration: commit last iteration's
@@ -363,6 +421,7 @@ class DistributedWorker {
     if (!transport_.BroadcastEos(round.seq).ok()) {
       Die();
     }
+    barrier_waiting_ = true;
     for (;;) {
       PumpMailbox();
       if (transport_.RoundDrained(round.seq)) {
@@ -371,8 +430,10 @@ class DistributedWorker {
       if (SigtermFlag()->load(std::memory_order_relaxed)) {
         GracefulExit();
       }
+      MaybeHeartbeat();  // keep the health plane fed while the drain blocks
       transport_.WaitActivity();
     }
+    barrier_waiting_ = false;
     // Every peer is dead or past-EOS, and each receiver pushes a link's data
     // frames before recording its EOS — one final pump empties the round.
     PumpMailbox();
@@ -381,6 +442,39 @@ class DistributedWorker {
     done.src_proc = proc_;
     if (!transport_.SendControl(FrameType::kRoundDone, EncodeSeq(done)).ok()) {
       Die();
+    }
+    current_stage_ = kIdleStage;
+  }
+
+  /// Sends one heartbeat if the period elapsed. Main-thread only (idle tick
+  /// + barrier drain loop), so it never races other control-plane writes.
+  void MaybeHeartbeat() {
+    if (heartbeat_period_ms_ == 0) {
+      return;
+    }
+    const double now = NowUnixUs();
+    if (now - last_heartbeat_us_ <
+        static_cast<double>(heartbeat_period_ms_) * 1000.0) {
+      return;
+    }
+    last_heartbeat_us_ = now;
+    HeartbeatMsg hb;
+    hb.proc = proc_;
+    hb.stage = current_stage_;
+    hb.iteration = current_iteration_;
+    hb.round_seq = current_round_seq_;
+    hb.mailbox_frames = transport_.ApproxMailboxDepth();
+    hb.inflight_bytes = transport_.InflightBytes();
+    for (const auto& [m, stager] : stagers_) {
+      hb.staged_wire_bytes += stager.OpenBytes();
+    }
+    const obs::MemoryUsage memory = obs::ReadMemoryUsage();
+    hb.rss_bytes = memory.available ? memory.rss_bytes : 0;
+    hb.barrier_waiting = barrier_waiting_ ? 1 : 0;
+    hb.unix_us = static_cast<uint64_t>(now);
+    if (transport_.SendControl(FrameType::kHeartbeat, EncodeHeartbeat(hb))
+            .ok()) {
+      ++heartbeats_sent_;
     }
   }
 
@@ -845,6 +939,9 @@ class DistributedWorker {
 
   void Finalize() {
     CommitPendingStates();
+    // The coordinator's finalize drain expects no control traffic after
+    // kFinalDone; stop heartbeating for good before the stats go out.
+    heartbeat_period_ms_ = 0;
     telemetry_->Stop();
     const WorkerStatsMsg stats = BuildStatsMsg();
     if (!transport_
@@ -929,6 +1026,20 @@ class DistributedWorker {
         static_cast<uint64_t>(combine_scatter_seconds_ * 1e6);
     stats.peak_rss_bytes = obs::ReadMemoryUsage().peak_rss_bytes;
     stats.link_bytes = link_bytes_;
+    stats.heartbeats_sent = heartbeats_sent_;
+    stats.clock_synced = transport_.clock_synced() ? 1 : 0;
+    stats.clock_offset_us = transport_.ClockOffsets();
+    stats.clock_uncertainty_us = transport_.ClockUncertainties();
+    stats.round_link_stats = transport_.DrainLinkStats();
+    for (RoundLinkStat& link : stats.round_link_stats) {
+      // The receiver thread only knows the round seq; resolve the round's
+      // (iteration, kind) from the rounds this worker actually executed.
+      const auto it = round_info_.find(link.seq);
+      if (it != round_info_.end()) {
+        link.iteration = it->second.first;
+        link.kind = it->second.second;
+      }
+    }
     return stats;
   }
 
@@ -1009,6 +1120,23 @@ class DistributedWorker {
       // Wall-clock anchor of this tracer's t=0, so surfer_trace merge can
       // align per-process timelines.
       trace.Set("origin_unix_us", obs::JsonValue(trace_origin_unix_us_));
+      if (transport_.clock_synced()) {
+        // Handshake-estimated peer-clock offsets: `surfer_trace merge`
+        // prefers these over the wall-clock origins for shard alignment.
+        obs::JsonValue sync = obs::JsonValue::MakeObject();
+        sync.Set("proc", static_cast<uint64_t>(proc_));
+        obs::JsonValue offsets = obs::JsonValue::MakeArray();
+        for (const int64_t offset : transport_.ClockOffsets()) {
+          offsets.Append(obs::JsonValue(offset));
+        }
+        obs::JsonValue uncertainty = obs::JsonValue::MakeArray();
+        for (const uint64_t u : transport_.ClockUncertainties()) {
+          uncertainty.Append(obs::JsonValue(u));
+        }
+        sync.Set("offsets_us", std::move(offsets));
+        sync.Set("uncertainty_us", std::move(uncertainty));
+        trace.Set("clock_sync", std::move(sync));
+      }
     }
     (void)obs::WriteRunReport(stem + ".trace.json", trace);
   }
@@ -1059,6 +1187,23 @@ class DistributedWorker {
   int stage_iteration_ = -1;
   RoundKind stage_kind_ = RoundKind::kResend;
   std::vector<uint32_t> stage_tasks_done_;
+
+  /// Health-plane state (main thread only). current_* mirror the round in
+  /// flight for heartbeat snapshots; round_info_ maps round seq to
+  /// (iteration, kind) so link stats recorded by seq can be attributed.
+  uint32_t heartbeat_period_ms_ = 0;
+  double last_heartbeat_us_ = 0.0;
+  uint64_t heartbeats_sent_ = 0;
+  uint32_t current_stage_ = kIdleStage;
+  int32_t current_iteration_ = 0;
+  uint64_t current_round_seq_ = 0;
+  bool barrier_waiting_ = false;
+  std::map<uint64_t, std::pair<int32_t, uint32_t>> round_info_;
+  /// Injected-straggler knobs (tests); stalled_ makes the pause one-shot.
+  uint32_t stall_proc_ = 0xFFFFFFFFu;
+  int32_t stall_iteration_ = 0;
+  uint32_t stall_ms_ = 0;
+  bool stalled_ = false;
 
   uint64_t tasks_executed_ = 0;
   uint64_t tasks_reexecuted_ = 0;
@@ -1120,6 +1265,9 @@ class DistributedExecutor {
     params.replicas = placement_;
     params.sigterm_machine = options_.sigterm_machine;
     params.sigterm_iteration = options_.sigterm_iteration;
+    params.straggler_multiple = options_.straggler_multiple;
+    params.straggler_min_ms = options_.straggler_min_ms;
+    params.status_sink = options_.status_sink;
 
     DistributedCoordinator coordinator(
         params, [this](uint32_t proc, Socket control) {
@@ -1156,6 +1304,11 @@ class DistributedExecutor {
   const std::vector<std::string>& worker_reports() const {
     return worker_reports_;
   }
+
+  /// The merged report's "cluster" block: coordinator-clock round timing,
+  /// offset-corrected per-link latency samples, the per-superstep critical
+  /// path, and the online straggler count. Null before Run.
+  const obs::JsonValue& cluster_report() const { return cluster_report_; }
 
  private:
   Status Validate() const {
@@ -1194,6 +1347,11 @@ class DistributedExecutor {
       }
     }
     msg.faults = options_.faults;
+    msg.heartbeat_period_ms = options_.heartbeat_period_ms;
+    msg.clock_sync_pings = options_.clock_sync_pings;
+    msg.stall_proc = options_.stall_proc;
+    msg.stall_iteration = options_.stall_iteration;
+    msg.stall_ms = options_.stall_ms;
     return msg;
   }
 
@@ -1290,7 +1448,55 @@ class DistributedExecutor {
 
     alive_ = outcome.alive;
     worker_reports_ = outcome.worker_reports;
+    BuildClusterView(outcome, num_processes);
     return Status::OK();
+  }
+
+  /// Folds the per-worker link records into offset-corrected cluster link
+  /// samples, chains the per-superstep critical path, and serializes the
+  /// "cluster" block (also written to dist_cluster.report.json when an
+  /// artifact dir is configured).
+  void BuildClusterView(const CoordinatorOutcome& outcome,
+                        uint32_t num_processes) {
+    std::vector<runtime::ClusterLinkSample> links;
+    const size_t procs =
+        std::min<size_t>(outcome.worker_stats.size(), num_processes);
+    for (uint32_t to = 0; to < procs; ++to) {
+      const WorkerStatsMsg& stats = outcome.worker_stats[to];
+      for (const RoundLinkStat& raw : stats.round_link_stats) {
+        runtime::ClusterLinkSample sample;
+        sample.seq = raw.seq;
+        sample.from_proc = raw.from_proc;
+        sample.to_proc = to;
+        sample.frames = raw.frames;
+        sample.bytes = raw.bytes;
+        // The receiver recorded (receiver clock - sender clock); adding its
+        // handshake-estimated offset to the sender — (sender clock -
+        // receiver clock) — recovers the true transit time.
+        double offset = 0.0;
+        if (stats.clock_synced != 0 &&
+            raw.from_proc < stats.clock_offset_us.size()) {
+          offset = static_cast<double>(stats.clock_offset_us[raw.from_proc]);
+        }
+        if (raw.frames > 0) {
+          sample.mean_latency_us =
+              static_cast<double>(raw.latency_sum_us) / raw.frames + offset;
+        }
+        sample.max_latency_us =
+            static_cast<double>(raw.latency_max_us) + offset;
+        links.push_back(sample);
+      }
+    }
+    cluster_report_ = runtime::ClusterTimelineToJson(
+        outcome.round_records, links, outcome.stragglers_flagged);
+    if (!options_.artifact_dir.empty()) {
+      obs::JsonValue doc = obs::JsonValue::MakeObject();
+      doc.Set("name", obs::JsonValue("surfer_dist_cluster"));
+      doc.Set("schema_version", obs::kRunReportSchemaVersion);
+      doc.Set("cluster", cluster_report_);
+      (void)obs::WriteRunReport(
+          options_.artifact_dir + "/dist_cluster.report.json", doc);
+    }
   }
 
   const PartitionedGraph* graph_;
@@ -1305,6 +1511,7 @@ class DistributedExecutor {
   runtime::RuntimeStats stats_;
   std::vector<uint8_t> alive_;
   std::vector<std::string> worker_reports_;
+  obs::JsonValue cluster_report_;
 };
 
 }  // namespace net

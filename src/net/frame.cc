@@ -1,5 +1,6 @@
 #include "net/frame.h"
 
+#include <chrono>
 #include <cstdio>
 
 namespace surfer {
@@ -8,11 +9,20 @@ namespace net {
 using runtime::AppendPod;
 using runtime::WireBatch;
 
+uint64_t NowUnixUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 Status WriteFrame(Socket& sock, FrameType type, const void* payload,
                   size_t payload_bytes) {
   FrameHeader header;
   header.type = static_cast<uint16_t>(type);
   header.payload_bytes = payload_bytes;
+  header.link_seq = sock.NextFrameSeq();
+  header.send_unix_us = NowUnixUs();
   SURFER_RETURN_IF_ERROR(sock.WriteFull(&header, sizeof(header)));
   if (payload_bytes > 0) {
     SURFER_RETURN_IF_ERROR(sock.WriteFull(payload, payload_bytes));
@@ -43,6 +53,8 @@ Result<Frame> ReadFrame(Socket& sock, const std::atomic<bool>* interrupt) {
   }
   Frame frame;
   frame.type = static_cast<FrameType>(header.type);
+  frame.link_seq = header.link_seq;
+  frame.send_unix_us = header.send_unix_us;
   frame.payload.resize(header.payload_bytes);
   if (header.payload_bytes > 0) {
     // A torn payload (peer died mid-frame) surfaces as kCorruption from
@@ -50,6 +62,7 @@ Result<Frame> ReadFrame(Socket& sock, const std::atomic<bool>* interrupt) {
     SURFER_RETURN_IF_ERROR(
         sock.ReadFull(frame.payload.data(), frame.payload.size(), interrupt));
   }
+  frame.recv_unix_us = NowUnixUs();
   return frame;
 }
 

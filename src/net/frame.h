@@ -22,7 +22,9 @@ inline constexpr uint32_t kFrameMagic = 0x52465253u;
 /// Version of the frame layout *and* of the WireBatch encoding it carries.
 /// Bumped whenever WireSegmentHeader, the record encodings, or the frame
 /// header itself change shape; both ends must agree exactly.
-inline constexpr uint16_t kFrameVersion = 1;
+/// v2: header grew link_seq + send_unix_us stamps (causal tracing), and the
+/// heartbeat/clock-sync frame types appeared.
+inline constexpr uint16_t kFrameVersion = 2;
 
 /// Upper bound on a single frame payload. Far above anything the stager
 /// seals (64 KiB default cap) but low enough that a corrupt length field
@@ -47,6 +49,7 @@ enum class FrameType : uint16_t {
   kWorkerReport = 12,  ///< worker -> coordinator: run-report JSON text
   kFinalDone = 13,   ///< worker -> coordinator: result stream complete
   kShutdown = 14,    ///< coordinator -> workers: exit now
+  kHeartbeat = 15,   ///< worker -> coordinator: periodic liveness + load
   // Data mesh.
   kMeshHello = 20,   ///< connecting worker identifies its process index
   kData = 21,        ///< one serialized WireBatch
@@ -59,21 +62,40 @@ enum class FrameType : uint16_t {
   /// can discard in-flight bytes — exactly the completed-task output that
   /// Appendix B requires to survive the crash.
   kDataAck = 24,
+  // Clock-sync session during the mesh rendezvous (NTP-style): the client
+  // sends kPing, the server echoes the ping's send/recv stamps in kPong,
+  // and the client closes the session with its kClockOffset estimate.
+  kPing = 25,
+  kPong = 26,
+  kClockOffset = 27,
 };
 
-/// The 16-byte length-prefixed frame header. `payload_bytes` bytes follow.
+/// Microseconds since the Unix epoch; the clock every frame stamp, clock
+/// offset, and trace anchor is expressed in.
+uint64_t NowUnixUs();
+
+/// The 32-byte length-prefixed frame header. `payload_bytes` bytes follow.
+/// `link_seq` is the per-link monotone frame counter and `send_unix_us` the
+/// sender's wall clock at write time; together with the receive timestamp
+/// recorded by ReadFrame they give every frame a causal identity without
+/// touching the payload encodings.
 struct FrameHeader {
   uint32_t magic = kFrameMagic;
   uint16_t version = kFrameVersion;
   uint16_t type = 0;
   uint64_t payload_bytes = 0;
+  uint64_t link_seq = 0;
+  uint64_t send_unix_us = 0;
 };
 static_assert(std::is_trivially_copyable_v<FrameHeader>);
-static_assert(sizeof(FrameHeader) == 16);
+static_assert(sizeof(FrameHeader) == 32);
 
 struct Frame {
   FrameType type = FrameType::kShutdown;
   std::vector<uint8_t> payload;
+  uint64_t link_seq = 0;      ///< sender's per-link frame counter
+  uint64_t send_unix_us = 0;  ///< sender's clock at WriteFrame
+  uint64_t recv_unix_us = 0;  ///< receiver's clock when ReadFrame decoded it
 };
 
 /// Writes one frame (header + payload) to the socket.

@@ -32,9 +32,11 @@ class Socket {
       fd_ = other.fd_;
       bytes_read_ = other.bytes_read_;
       bytes_written_ = other.bytes_written_;
+      frame_seq_ = other.frame_seq_;
       other.fd_ = -1;
       other.bytes_read_ = 0;
       other.bytes_written_ = 0;
+      other.frame_seq_ = 0;
     }
     return *this;
   }
@@ -70,6 +72,13 @@ class Socket {
   uint64_t bytes_read() const { return bytes_read_; }
   uint64_t bytes_written() const { return bytes_written_; }
 
+  /// Monotone per-link frame sequence number, stamped into every frame
+  /// header written on this socket. Callers already serialize writes per
+  /// link (write_mu in the transport, single writer on control sockets), so
+  /// a plain counter is sufficient.
+  uint64_t NextFrameSeq() { return ++frame_seq_; }
+  uint64_t frames_written() const { return frame_seq_; }
+
   /// An AF_UNIX stream socketpair (control plane, unit tests).
   static Result<std::pair<Socket, Socket>> Pair();
 
@@ -77,6 +86,7 @@ class Socket {
   int fd_ = -1;
   uint64_t bytes_read_ = 0;
   uint64_t bytes_written_ = 0;
+  uint64_t frame_seq_ = 0;
 };
 
 /// A TCP listener bound to 127.0.0.1 (port 0 = kernel-assigned ephemeral

@@ -31,6 +31,63 @@ void InstallWorkerSignalHandlers() {
 
 const std::atomic<bool>* SigtermFlag() { return &g_sigterm; }
 
+Result<ClockOffsetMsg> RunClockSyncClient(Socket& sock, uint32_t pings) {
+  ClockOffsetMsg best;
+  int64_t best_delta = -1;
+  for (uint32_t k = 0; k < pings; ++k) {
+    ClockPingMsg ping;
+    ping.seq = k;
+    SURFER_RETURN_IF_ERROR(
+        WriteFrame(sock, FrameType::kPing, EncodeClockPing(ping)));
+    SURFER_ASSIGN_OR_RETURN(Frame frame, ReadFrame(sock));
+    if (frame.type != FrameType::kPong) {
+      return Status::Internal("expected kPong during clock sync");
+    }
+    SURFER_ASSIGN_OR_RETURN(ClockPongMsg pong, DecodeClockPong(frame.payload));
+    if (pong.seq != k) {
+      return Status::Internal("clock-sync pong out of sequence");
+    }
+    const int64_t t1 = static_cast<int64_t>(pong.t1);
+    const int64_t t2 = static_cast<int64_t>(pong.t2);
+    const int64_t t3 = static_cast<int64_t>(frame.send_unix_us);
+    const int64_t t4 = static_cast<int64_t>(frame.recv_unix_us);
+    const int64_t delta = (t4 - t1) - (t3 - t2);  // round trip minus server hold
+    if (best_delta < 0 || delta < best_delta) {
+      best_delta = delta;
+      best.offset_us = ((t2 - t1) + (t3 - t4)) / 2;
+      best.uncertainty_us = static_cast<uint64_t>(delta < 0 ? 0 : delta) / 2;
+    }
+  }
+  SURFER_RETURN_IF_ERROR(
+      WriteFrame(sock, FrameType::kClockOffset, EncodeClockOffset(best)));
+  return best;
+}
+
+Result<ClockOffsetMsg> RunClockSyncServer(Socket& sock) {
+  for (;;) {
+    SURFER_ASSIGN_OR_RETURN(Frame frame, ReadFrame(sock));
+    if (frame.type == FrameType::kPing) {
+      SURFER_ASSIGN_OR_RETURN(ClockPingMsg ping,
+                              DecodeClockPing(frame.payload));
+      ClockPongMsg pong;
+      pong.seq = ping.seq;
+      pong.t1 = frame.send_unix_us;
+      pong.t2 = frame.recv_unix_us;
+      SURFER_RETURN_IF_ERROR(
+          WriteFrame(sock, FrameType::kPong, EncodeClockPong(pong)));
+      continue;
+    }
+    if (frame.type == FrameType::kClockOffset) {
+      SURFER_ASSIGN_OR_RETURN(ClockOffsetMsg msg,
+                              DecodeClockOffset(frame.payload));
+      // The client estimated (server - client); this end wants (peer - local).
+      msg.offset_us = -msg.offset_us;
+      return msg;
+    }
+    return Status::Internal("unexpected frame during clock sync");
+  }
+}
+
 WorkerTransport::WorkerTransport(uint32_t proc, Socket control)
     : proc_(proc), control_(std::move(control)) {}
 
@@ -91,6 +148,28 @@ Status WorkerTransport::Handshake(PlacementMsg* placement_out) {
   }
   listener_.Close();
 
+  // Clock-offset estimation while the mesh is still quiet and the main
+  // thread owns every socket. Sessions run in a fixed pairwise order — for
+  // each link the lower-index process is the client, and every process
+  // walks its links in index order (serve j < proc, then dial j > proc) —
+  // so no two sessions can wait on each other.
+  if (placement_out->clock_sync_pings > 0) {
+    for (uint32_t j = 0; j < num_procs_; ++j) {
+      if (j == proc_) {
+        continue;
+      }
+      Peer& p = *peers_[j];
+      Result<ClockOffsetMsg> offset =
+          j < proc_ ? RunClockSyncServer(p.sock)
+                    : RunClockSyncClient(p.sock,
+                                         placement_out->clock_sync_pings);
+      SURFER_RETURN_IF_ERROR(offset.status());
+      p.clock_offset_us = offset->offset_us;
+      p.clock_uncertainty_us = offset->uncertainty_us;
+    }
+    clock_synced_ = true;
+  }
+
   // Receiver threads inherit the spawn-time signal mask; block SIGTERM
   // around the spawn so only the main thread ever takes the interrupt.
   sigset_t block, old;
@@ -126,6 +205,9 @@ Result<Frame> WorkerTransport::ReadControl() {
       return Status::IOError("poll on control socket failed");
     }
     if (rc == 0) {
+      if (idle_tick_) {
+        idle_tick_();
+      }
       continue;
     }
     return ReadFrame(control_, SigtermFlag());
@@ -191,6 +273,8 @@ bool WorkerTransport::TryPopData(runtime::WireBatch* out) {
   }
   *out = std::move(data_.front());
   data_.pop_front();
+  const uint64_t popped = out->payload.size();
+  inflight_bytes_ -= popped < inflight_bytes_ ? popped : inflight_bytes_;
   return true;
 }
 
@@ -201,6 +285,8 @@ bool WorkerTransport::TryPopUpdate(StateUpdateMsg* out) {
   }
   *out = std::move(updates_.front());
   updates_.pop_front();
+  const uint64_t popped = out->states.size() + out->virtuals.size();
+  inflight_bytes_ -= popped < inflight_bytes_ ? popped : inflight_bytes_;
   return true;
 }
 
@@ -268,6 +354,38 @@ uint64_t WorkerTransport::ApproxMailboxDepth() {
   return data_.size() + updates_.size();
 }
 
+uint64_t WorkerTransport::InflightBytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_bytes_;
+}
+
+std::vector<RoundLinkStat> WorkerTransport::DrainLinkStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RoundLinkStat> out = std::move(link_stats_);
+  link_stats_.clear();
+  return out;
+}
+
+std::vector<int64_t> WorkerTransport::ClockOffsets() const {
+  std::vector<int64_t> out(num_procs_, 0);
+  for (uint32_t j = 0; j < num_procs_; ++j) {
+    if (j != proc_ && peers_[j] != nullptr) {
+      out[j] = peers_[j]->clock_offset_us;
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> WorkerTransport::ClockUncertainties() const {
+  std::vector<uint64_t> out(num_procs_, 0);
+  for (uint32_t j = 0; j < num_procs_; ++j) {
+    if (j != proc_ && peers_[j] != nullptr) {
+      out[j] = peers_[j]->clock_uncertainty_us;
+    }
+  }
+  return out;
+}
+
 void WorkerTransport::CloseAll() {
   for (auto& p : peers_) {
     if (p != nullptr && p->sock.valid()) {
@@ -281,6 +399,33 @@ void WorkerTransport::CloseAll() {
 
 void WorkerTransport::ReceiverLoop(uint32_t peer_index) {
   Peer& p = *peers_[peer_index];
+  // Accumulates the current round's frame stamps into the link window. A
+  // link is FIFO and kEos trails the round's last data frame, so flushing
+  // the window at kEos attributes every frame to exactly one round.
+  const auto observe = [&](const Frame& frame) {
+    const int64_t latency = static_cast<int64_t>(frame.recv_unix_us) -
+                            static_cast<int64_t>(frame.send_unix_us);
+    p.window.frames += 1;
+    p.window.bytes += frame.payload.size();
+    p.window.latency_sum_us += latency;
+    if (latency > p.window.latency_max_us) {
+      p.window.latency_max_us = latency;
+    }
+    if (p.window.first_send_us == 0 ||
+        frame.send_unix_us < p.window.first_send_us) {
+      p.window.first_send_us = frame.send_unix_us;
+    }
+    if (frame.recv_unix_us > p.window.last_recv_us) {
+      p.window.last_recv_us = frame.recv_unix_us;
+    }
+    const uint64_t clamped =
+        latency > 0 ? static_cast<uint64_t>(latency) : 0;
+    last_recv_latency_us_.store(clamped, std::memory_order_relaxed);
+    uint64_t prev = max_recv_latency_us_.load(std::memory_order_relaxed);
+    while (clamped > prev && !max_recv_latency_us_.compare_exchange_weak(
+                                 prev, clamped, std::memory_order_relaxed)) {
+    }
+  };
   for (;;) {
     Result<Frame> frame = ReadFrame(p.sock);
     if (!frame.ok()) {
@@ -296,6 +441,8 @@ void WorkerTransport::ReceiverLoop(uint32_t peer_index) {
         }
         {
           std::lock_guard<std::mutex> lock(mu_);
+          observe(*frame);
+          inflight_bytes_ += batch->payload.size();
           data_.push_back(std::move(*batch));
         }
         cv_.notify_all();
@@ -313,6 +460,8 @@ void WorkerTransport::ReceiverLoop(uint32_t peer_index) {
         }
         {
           std::lock_guard<std::mutex> lock(mu_);
+          observe(*frame);
+          inflight_bytes_ += update->states.size() + update->virtuals.size();
           updates_.push_back(std::move(*update));
         }
         cv_.notify_all();
@@ -332,6 +481,19 @@ void WorkerTransport::ReceiverLoop(uint32_t peer_index) {
           std::lock_guard<std::mutex> lock(mu_);
           if (eos->seq > p.eos_seq) {
             p.eos_seq = eos->seq;
+          }
+          if (p.window.frames > 0) {
+            RoundLinkStat stat;
+            stat.seq = eos->seq;
+            stat.from_proc = peer_index;
+            stat.frames = p.window.frames;
+            stat.bytes = p.window.bytes;
+            stat.latency_sum_us = p.window.latency_sum_us;
+            stat.latency_max_us = p.window.latency_max_us;
+            stat.first_send_us = p.window.first_send_us;
+            stat.last_recv_us = p.window.last_recv_us;
+            link_stats_.push_back(stat);
+            p.window = LinkWindow{};
           }
         }
         cv_.notify_all();

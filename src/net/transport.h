@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -18,6 +19,20 @@
 
 namespace surfer {
 namespace net {
+
+/// The two halves of the NTP-style clock-offset session run on every mesh
+/// link during the rendezvous. The client sends `pings` kPing frames; the
+/// server answers each with a kPong echoing the ping's send/recv stamps
+/// (t1, t2); the pong's own header stamp and receive time supply t3 and t4.
+/// The client keeps the minimum-round-trip sample — per NTP, the one least
+/// contaminated by queueing — computes
+///   offset = ((t2 - t1) + (t3 - t4)) / 2,  uncertainty = round_trip / 2,
+/// and closes the session with kClockOffset so both ends agree. Both return
+/// the offset as (peer clock - local clock); the server negates the client's
+/// estimate. Exposed as free functions so a fork-free test can drive both
+/// halves over a socketpair.
+Result<ClockOffsetMsg> RunClockSyncClient(Socket& sock, uint32_t pings);
+Result<ClockOffsetMsg> RunClockSyncServer(Socket& sock);
 
 /// Installs the worker-process signal disposition: a SIGTERM handler that
 /// only sets a flag (no SA_RESTART, so a blocking control read returns
@@ -62,6 +77,12 @@ class WorkerTransport {
   /// Blocking read of the next coordinator frame; returns kUnavailable when
   /// a SIGTERM interrupted the read or the coordinator closed the socket.
   Result<Frame> ReadControl();
+
+  /// Installs a callback invoked from ReadControl's poll loop every time the
+  /// 100 ms poll times out with no control traffic. The worker uses it to
+  /// tick its heartbeat clock while idle between rounds; it runs on the main
+  /// thread, which is the sole writer on the control socket.
+  void SetIdleTick(std::function<void()> tick) { idle_tick_ = std::move(tick); }
 
   Status SendControl(FrameType type, const std::vector<uint8_t>& payload);
   Status SendControl(FrameType type);
@@ -115,12 +136,45 @@ class WorkerTransport {
   uint64_t tcp_frames_sent() const;
   /// Approximate mailbox depth (telemetry gauge).
   uint64_t ApproxMailboxDepth();
+  /// Payload bytes pushed into the mailbox but not yet popped by the main
+  /// thread (telemetry gauge: inbound queueing pressure).
+  uint64_t InflightBytes();
+  /// Raw (uncorrected) one-way latency of the most recent / worst inbound
+  /// data frame, from its header stamps (telemetry gauges).
+  uint64_t LastRecvLatencyUs() const {
+    return last_recv_latency_us_.load(std::memory_order_relaxed);
+  }
+  uint64_t MaxRecvLatencyUs() const {
+    return max_recv_latency_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Moves out the per-(round, link) latency records the receiver threads
+  /// flushed at each kEos. `iteration`/`kind` are zero; the worker patches
+  /// them from its own seq -> round map.
+  std::vector<RoundLinkStat> DrainLinkStats();
+
+  /// Clock-offset table from the handshake ping exchange, indexed by
+  /// process ([self] == 0 and == proc()). Empty vectors before Handshake.
+  bool clock_synced() const { return clock_synced_; }
+  std::vector<int64_t> ClockOffsets() const;
+  std::vector<uint64_t> ClockUncertainties() const;
 
   /// Shuts down every socket (forces FIN). Called immediately before _exit;
   /// receiver threads are reaped by process exit, never joined.
   void CloseAll();
 
  private:
+  /// The receiver thread's accumulator for the current round's inbound
+  /// frames on one link; flushed into a RoundLinkStat by the trailing kEos.
+  struct LinkWindow {
+    uint32_t frames = 0;
+    uint64_t bytes = 0;
+    int64_t latency_sum_us = 0;
+    int64_t latency_max_us = 0;
+    uint64_t first_send_us = 0;
+    uint64_t last_recv_us = 0;
+  };
+
   struct Peer {
     Socket sock;
     std::thread receiver;
@@ -130,6 +184,11 @@ class WorkerTransport {
     uint64_t acked = 0;     ///< acks received; guarded by mu_
     uint64_t sent_acked = 0;  ///< ack-eligible frames sent; guarded by mu_
     std::atomic<uint64_t> frames_sent{0};
+    LinkWindow window;      ///< guarded by mu_
+    /// Handshake clock-sync result: peer clock minus local clock. Written
+    /// single-threaded during Handshake, read-only afterwards.
+    int64_t clock_offset_us = 0;
+    uint64_t clock_uncertainty_us = 0;
   };
 
   void ReceiverLoop(uint32_t peer_index);
@@ -138,14 +197,20 @@ class WorkerTransport {
   const uint32_t proc_;
   uint32_t num_procs_ = 1;
   bool ack_data_ = false;
+  bool clock_synced_ = false;
   Socket control_;
   Listener listener_;
   std::vector<std::unique_ptr<Peer>> peers_;  ///< index = process; self unused
+  std::function<void()> idle_tick_;
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<runtime::WireBatch> data_;
   std::deque<StateUpdateMsg> updates_;
+  uint64_t inflight_bytes_ = 0;               ///< guarded by mu_
+  std::vector<RoundLinkStat> link_stats_;     ///< guarded by mu_
+  std::atomic<uint64_t> last_recv_latency_us_{0};
+  std::atomic<uint64_t> max_recv_latency_us_{0};
 };
 
 }  // namespace net

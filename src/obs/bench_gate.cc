@@ -183,6 +183,17 @@ BenchCheckResult CheckBenchBaseline(const JsonValue& current,
   // Correctness gates first: these hold regardless of workload shape.
   const JsonValue* current_points = current.Find("points");
   if (current_points == nullptr || !current_points->is_array()) {
+    // A pointless file on both sides is a run-report-style artifact (e.g.
+    // the merged distributed cluster report), not a bench baseline: gate
+    // its top-level drop counters and stop. A missing points array against
+    // a baseline that *has* one stays a hard failure.
+    if (baseline.Find("points") == nullptr ||
+        !baseline.Find("points")->is_array()) {
+      CheckDrops("report", current, options.strict_drops, &result);
+      result.Note("no 'points' array on either side; gated as a report "
+                  "artifact (drop counters only)");
+      return result;
+    }
     result.Fail("current file has no 'points' array");
     return result;
   }

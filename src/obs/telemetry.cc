@@ -1,11 +1,14 @@
 #include "obs/telemetry.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <utility>
+
+#include "common/logging.h"
 
 namespace surfer {
 namespace obs {
@@ -31,9 +34,9 @@ uint64_t ParseKbLine(const std::string& line) {
 
 }  // namespace
 
-MemoryUsage ReadMemoryUsage() {
+MemoryUsage ReadMemoryUsageFrom(const std::string& path) {
   MemoryUsage usage;
-  std::ifstream status("/proc/self/status");
+  std::ifstream status(path);
   if (!status.is_open()) {
     return usage;
   }
@@ -41,11 +44,28 @@ MemoryUsage ReadMemoryUsage() {
   while (std::getline(status, line)) {
     if (line.rfind("VmRSS:", 0) == 0) {
       usage.rss_bytes = ParseKbLine(line);
+      usage.available = true;
     } else if (line.rfind("VmHWM:", 0) == 0) {
       usage.peak_rss_bytes = ParseKbLine(line);
+      usage.available = true;
     }
     if (usage.rss_bytes != 0 && usage.peak_rss_bytes != 0) {
       break;
+    }
+  }
+  return usage;
+}
+
+MemoryUsage ReadMemoryUsage() {
+  const MemoryUsage usage = ReadMemoryUsageFrom("/proc/self/status");
+  if (!usage.available) {
+    // Once per process: every sampler tick calls this, and a sandbox that
+    // hides /proc hides it for the whole run.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      SURFER_LOG(kWarning)
+          << "memory probe unavailable: /proc/self/status is missing or "
+             "carries no Vm lines; RSS gauges and report fields suppressed";
     }
   }
   return usage;

@@ -18,18 +18,26 @@
 namespace surfer {
 namespace obs {
 
-/// Process memory occupancy read from /proc/self/status (Linux). All fields
-/// are zero on platforms or sandboxes where the file is unavailable, so
-/// callers can export unconditionally.
+/// Process memory occupancy read from /proc/self/status (Linux). When the
+/// file is missing or carries no Vm lines (non-Linux platforms, restrictive
+/// sandboxes), `available` is false and the counters are zero — consumers
+/// must suppress RSS gauges and report fields rather than export zeros that
+/// read as measurements.
 struct MemoryUsage {
+  bool available = false;       ///< the probe actually measured something
   uint64_t rss_bytes = 0;       ///< VmRSS: current resident set
   uint64_t peak_rss_bytes = 0;  ///< VmHWM: resident high-water mark
 };
 
 /// One read of /proc/self/status. Costs one small file read (~10us); cheap
 /// enough for end-of-run metrics, too slow for a 1ms sampling tick — the
-/// flight recorder registers it with a period multiple instead.
+/// flight recorder registers it with a period multiple instead. Logs one
+/// warning per process the first time the probe comes back unavailable.
 MemoryUsage ReadMemoryUsage();
+
+/// Path-parameterized probe for tests: reads a /proc/self/status-shaped
+/// file from `path`. Does not log.
+MemoryUsage ReadMemoryUsageFrom(const std::string& path);
 
 /// One point-in-time sample of a gauge series.
 struct TelemetrySample {

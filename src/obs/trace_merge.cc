@@ -36,6 +36,37 @@ double OriginOf(const JsonValue& trace, bool* has) {
   return 0.0;
 }
 
+/// One input's alignment anchor: its wall-clock origin plus (when present)
+/// the handshake-estimated clock-offset table from its "clock_sync" block.
+struct Anchor {
+  bool has_origin = false;
+  double origin_us = 0.0;
+  bool has_sync = false;
+  uint32_t proc = 0;
+  std::vector<double> offsets_us;  ///< [j] = clock_j - this shard's clock
+};
+
+Anchor AnchorOf(const JsonValue& trace) {
+  Anchor anchor;
+  anchor.origin_us = OriginOf(trace, &anchor.has_origin);
+  const JsonValue* sync = trace.Find("clock_sync");
+  if (sync == nullptr || !sync->is_object()) {
+    return anchor;
+  }
+  const JsonValue* proc = sync->Find("proc");
+  const JsonValue* offsets = sync->Find("offsets_us");
+  if (proc == nullptr || !proc->is_number() || offsets == nullptr ||
+      !offsets->is_array()) {
+    return anchor;
+  }
+  anchor.has_sync = true;
+  anchor.proc = static_cast<uint32_t>(proc->as_number());
+  for (const JsonValue& entry : offsets->as_array()) {
+    anchor.offsets_us.push_back(entry.is_number() ? entry.as_number() : 0.0);
+  }
+  return anchor;
+}
+
 }  // namespace
 
 Result<JsonValue> MergeChromeTraces(
@@ -43,20 +74,45 @@ Result<JsonValue> MergeChromeTraces(
   if (inputs.empty()) {
     return Status::InvalidArgument("no traces to merge");
   }
-  // Align onto the earliest anchor — but only when every input has one. A
+  // Pick the best common clock (see header): offset-corrected anchors when
+  // every shard has an offset table covering the reference process, raw
+  // wall-clock anchors when it only has origins, no shift otherwise — a
   // partial shift would *misalign* the anchorless inputs relative to the
   // shifted ones, which is worse than leaving all clocks local.
-  bool align = true;
-  double min_origin = 0.0;
+  std::vector<Anchor> anchors;
+  anchors.reserve(inputs.size());
+  bool align_origin = true;
+  bool align_offset = true;
+  JsonValue unanchored = JsonValue::MakeArray();
   for (size_t i = 0; i < inputs.size(); ++i) {
-    bool has = false;
-    const double origin = OriginOf(inputs[i].trace, &has);
-    if (!has) {
-      align = false;
-      break;
+    anchors.push_back(AnchorOf(inputs[i].trace));
+    if (!anchors.back().has_origin) {
+      align_origin = false;
+      unanchored.Append(inputs[i].label);
     }
-    if (i == 0 || origin < min_origin) {
-      min_origin = origin;
+    if (!anchors.back().has_sync) {
+      align_offset = false;
+    }
+  }
+  align_offset = align_offset && align_origin;
+  const uint32_t ref_proc = anchors.empty() ? 0 : anchors[0].proc;
+  if (align_offset) {
+    for (const Anchor& anchor : anchors) {
+      if (ref_proc >= anchor.offsets_us.size()) {
+        align_offset = false;  // table does not cover the reference clock
+        break;
+      }
+    }
+  }
+  // A shard's anchor on the common clock: its origin, moved onto the
+  // reference process's clock by the estimated offset when available.
+  std::vector<double> bases(inputs.size(), 0.0);
+  double min_base = 0.0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    bases[i] = anchors[i].origin_us +
+               (align_offset ? anchors[i].offsets_us[ref_proc] : 0.0);
+    if (i == 0 || bases[i] < min_base) {
+      min_base = bases[i];
     }
   }
 
@@ -69,9 +125,7 @@ Result<JsonValue> MergeChromeTraces(
                                      input.label +
                                      ") has no traceEvents array");
     }
-    bool has_origin = false;
-    const double offset =
-        align ? OriginOf(input.trace, &has_origin) - min_origin : 0.0;
+    const double offset = align_origin ? bases[i] - min_base : 0.0;
     for (const JsonValue& event : events->as_array()) {
       if (!event.is_object()) {
         continue;
@@ -113,7 +167,11 @@ Result<JsonValue> MergeChromeTraces(
   merged.Set("traceEvents", std::move(merged_events));
   merged.Set("displayTimeUnit", "ms");
   merged.Set("merged_processes", static_cast<uint64_t>(inputs.size()));
-  merged.Set("aligned", align);
+  merged.Set("aligned", align_origin);
+  merged.Set("alignment", align_offset   ? "offset"
+                          : align_origin ? "origin"
+                                         : "none");
+  merged.Set("unanchored", std::move(unanchored));
   return merged;
 }
 

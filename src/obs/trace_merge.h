@@ -16,17 +16,29 @@ struct TraceMergeInput {
   std::string label;
   /// A {"traceEvents": [...]} document as written by Tracer::WriteChromeTrace,
   /// optionally carrying a top-level "origin_unix_us" anchor (the wall-clock
-  /// time of the tracer's t=0) for cross-process alignment.
+  /// time of the tracer's t=0) and a "clock_sync" block ({"proc",
+  /// "offsets_us", "uncertainty_us"} from the handshake ping exchange) for
+  /// cross-process alignment.
   JsonValue trace;
 };
 
 /// Merges per-process Chrome traces into one timeline with per-process
 /// lanes: input i's events keep their relative order and thread lanes but
-/// move to pid = 1000 * i + original pid, process_name metadata is prefixed
-/// with the input's label, and — when every input carries an
-/// "origin_unix_us" anchor — timestamps shift onto the common clock of the
-/// earliest anchor, so spans from different processes line up the way they
-/// actually overlapped.
+/// move to pid = 1000 * i + original pid, and process_name metadata is
+/// prefixed with the input's label.
+///
+/// Timestamp alignment, best clock first:
+///  - "offset": every input carries both "origin_unix_us" and a "clock_sync"
+///    offset table covering the reference process (input 0's proc). Each
+///    shard's anchor is corrected by its estimated offset to the reference
+///    clock before the common shift, so skewed wall clocks still line up.
+///  - "origin": every input carries "origin_unix_us" but the offset tables
+///    are missing or incomplete; raw wall-clock anchors align the shards.
+///  - "none": at least one input has no anchor. A partial shift would
+///    *misalign* the anchorless inputs, so all clocks stay local.
+/// The merged document reports the mode in "alignment", keeps the legacy
+/// "aligned" bool (alignment != "none"), and lists the labels of inputs
+/// lacking "origin_unix_us" in "unanchored" so callers can warn.
 Result<JsonValue> MergeChromeTraces(const std::vector<TraceMergeInput>& inputs);
 
 }  // namespace obs

@@ -568,11 +568,15 @@ class RuntimeExecutor {
         [barrier] { return static_cast<double>(barrier->ApproxWaiting()); },
         static_cast<double>(num_workers_ + 1));
     // The /proc probe costs a file read; subsampled so the base tick stays
-    // cheap (see telemetry_sample microbenchmark).
-    telemetry_->RegisterGauge(
-        "proc_rss_bytes", "bytes",
-        [] { return static_cast<double>(obs::ReadMemoryUsage().rss_bytes); },
-        /*ceiling=*/0.0, /*period_multiple=*/16);
+    // cheap (see telemetry_sample microbenchmark). Not registered at all
+    // when the probe is unavailable — an all-zero series would read as a
+    // measurement.
+    if (obs::ReadMemoryUsage().available) {
+      telemetry_->RegisterGauge(
+          "proc_rss_bytes", "bytes",
+          [] { return static_cast<double>(obs::ReadMemoryUsage().rss_bytes); },
+          /*ceiling=*/0.0, /*period_multiple=*/16);
+    }
   }
 
   static RuntimeStage StageOf(PhaseKind kind) {

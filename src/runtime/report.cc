@@ -80,8 +80,12 @@ obs::JsonValue RuntimeStatsToJson(const RuntimeStats& stats) {
   block.Set("network_bytes", stats.TotalNetworkBytes());
   block.Set("telemetry_samples", stats.telemetry_samples);
   block.Set("telemetry_samples_dropped", stats.telemetry_samples_dropped);
-  block.Set("rss_bytes", stats.rss_bytes);
-  block.Set("peak_rss_bytes", stats.peak_rss_bytes);
+  // Suppressed when the memory probe was unavailable (both counters zero):
+  // a zero here would read as a measurement, not a failure to measure.
+  if (stats.rss_bytes > 0 || stats.peak_rss_bytes > 0) {
+    block.Set("rss_bytes", stats.rss_bytes);
+    block.Set("peak_rss_bytes", stats.peak_rss_bytes);
+  }
   block.Set("channel_depth", HistogramToJson(stats.channel_depth));
   block.Set("barrier_wait", HistogramToJson(stats.barrier_wait));
   block.Set("batch_fill", HistogramToJson(stats.batch_fill));

@@ -145,5 +145,138 @@ obs::JsonValue TimelineToJson(const std::vector<SuperstepProfile>& timeline) {
   return block;
 }
 
+const char* RoundKindName(int kind) {
+  switch (kind) {
+    case 0:
+      return "transfer";
+    case 1:
+      return "combine";
+    case 2:
+      return "resend";
+    default:
+      return "unknown";
+  }
+}
+
+std::vector<ClusterCriticalPathEntry> ComputeClusterCriticalPath(
+    const std::vector<ClusterRoundRecord>& rounds,
+    const std::vector<ClusterLinkSample>& links) {
+  std::vector<ClusterCriticalPathEntry> path;
+  path.reserve(rounds.size());
+  for (const ClusterRoundRecord& round : rounds) {
+    ClusterCriticalPathEntry entry;
+    entry.seq = round.seq;
+    entry.iteration = round.iteration;
+    entry.kind = round.kind;
+    for (uint32_t p = 0; p < round.done_unix_us.size(); ++p) {
+      if (round.done_unix_us[p] == 0 ||
+          round.done_unix_us[p] < round.broadcast_unix_us) {
+        continue;  // dead before the round, or clock went backwards
+      }
+      const double duration =
+          static_cast<double>(round.done_unix_us[p] -
+                              round.broadcast_unix_us) /
+          1e6;
+      if (entry.proc == 0xFFFFFFFFu || duration > entry.duration_s) {
+        entry.proc = p;
+        entry.duration_s = duration;
+      }
+    }
+    if (entry.proc != 0xFFFFFFFFu) {
+      // The worst inbound link into the critical process this round: the
+      // one whose frames sat longest between send and receive.
+      for (const ClusterLinkSample& link : links) {
+        if (link.seq != round.seq || link.to_proc != entry.proc) {
+          continue;
+        }
+        if (!entry.has_link ||
+            link.max_latency_us > entry.link_max_latency_us) {
+          entry.has_link = true;
+          entry.link_from = link.from_proc;
+          entry.link_mean_latency_us = link.mean_latency_us;
+          entry.link_max_latency_us = link.max_latency_us;
+          entry.link_bytes = link.bytes;
+        }
+      }
+    }
+    path.push_back(entry);
+  }
+  return path;
+}
+
+obs::JsonValue ClusterTimelineToJson(
+    const std::vector<ClusterRoundRecord>& rounds,
+    const std::vector<ClusterLinkSample>& links,
+    uint64_t stragglers_flagged) {
+  obs::JsonValue block = obs::JsonValue::MakeObject();
+  block.Set("stragglers_flagged", stragglers_flagged);
+
+  obs::JsonValue round_rows = obs::JsonValue::MakeArray();
+  for (const ClusterRoundRecord& round : rounds) {
+    obs::JsonValue row = obs::JsonValue::MakeObject();
+    row.Set("seq", round.seq);
+    row.Set("iteration", round.iteration);
+    row.Set("stage", RoundKindName(round.kind));
+    obs::JsonValue durations = obs::JsonValue::MakeArray();
+    for (const uint64_t done : round.done_unix_us) {
+      if (done == 0 || done < round.broadcast_unix_us) {
+        durations.Append(obs::JsonValue(nullptr));
+      } else {
+        durations.Append(
+            static_cast<double>(done - round.broadcast_unix_us) / 1e6);
+      }
+    }
+    row.Set("proc_duration_s", std::move(durations));
+    round_rows.Append(std::move(row));
+  }
+  block.Set("rounds", std::move(round_rows));
+
+  obs::JsonValue link_rows = obs::JsonValue::MakeArray();
+  for (const ClusterLinkSample& link : links) {
+    obs::JsonValue row = obs::JsonValue::MakeObject();
+    row.Set("seq", link.seq);
+    row.Set("from", static_cast<uint64_t>(link.from_proc));
+    row.Set("to", static_cast<uint64_t>(link.to_proc));
+    row.Set("frames", static_cast<uint64_t>(link.frames));
+    row.Set("bytes", link.bytes);
+    row.Set("mean_latency_us", link.mean_latency_us);
+    row.Set("max_latency_us", link.max_latency_us);
+    link_rows.Append(std::move(row));
+  }
+  block.Set("links", std::move(link_rows));
+
+  const std::vector<ClusterCriticalPathEntry> path =
+      ComputeClusterCriticalPath(rounds, links);
+  obs::JsonValue critical = obs::JsonValue::MakeObject();
+  double total_s = 0.0;
+  obs::JsonValue steps = obs::JsonValue::MakeArray();
+  for (const ClusterCriticalPathEntry& entry : path) {
+    total_s += entry.duration_s;
+    obs::JsonValue e = obs::JsonValue::MakeObject();
+    e.Set("seq", entry.seq);
+    e.Set("iteration", entry.iteration);
+    e.Set("stage", RoundKindName(entry.kind));
+    e.Set("proc", entry.proc == 0xFFFFFFFFu
+                      ? obs::JsonValue(nullptr)
+                      : obs::JsonValue(static_cast<uint64_t>(entry.proc)));
+    e.Set("duration_s", entry.duration_s);
+    if (entry.has_link) {
+      obs::JsonValue link = obs::JsonValue::MakeObject();
+      link.Set("from", static_cast<uint64_t>(entry.link_from));
+      link.Set("mean_latency_us", entry.link_mean_latency_us);
+      link.Set("max_latency_us", entry.link_max_latency_us);
+      link.Set("bytes", entry.link_bytes);
+      e.Set("link", std::move(link));
+    } else {
+      e.Set("link", obs::JsonValue(nullptr));
+    }
+    steps.Append(std::move(e));
+  }
+  critical.Set("total_s", total_s);
+  critical.Set("steps", std::move(steps));
+  block.Set("critical_path", std::move(critical));
+  return block;
+}
+
 }  // namespace runtime
 }  // namespace surfer

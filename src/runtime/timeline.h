@@ -107,6 +107,72 @@ std::vector<CriticalPathEntry> ComputeCriticalPath(
 /// path block chains the per-step slowest machines and sums their busy time.
 obs::JsonValue TimelineToJson(const std::vector<SuperstepProfile>& timeline);
 
+// ------------------------------------------------------------------ cluster
+//
+// The distributed engine's cluster-wide view: the coordinator records when
+// it broadcast each round and when each worker *process* reported its
+// barrier, and the workers' transports record per-(round, inbound link)
+// frame-stamp aggregates. Folded together they attribute every round of the
+// run to the process that bounded it and the link that fed that process.
+
+/// One BSP round as the coordinator saw it: broadcast time and each
+/// process's kRoundDone arrival (coordinator clock throughout).
+struct ClusterRoundRecord {
+  uint64_t seq = 0;
+  int iteration = 0;
+  int kind = 0;  ///< net::RoundKind value: 0 transfer, 1 combine, 2 resend
+  uint64_t broadcast_unix_us = 0;
+  std::vector<uint64_t> done_unix_us;  ///< per process; 0 = never reported
+};
+
+/// One per-(round, directed link) latency aggregate derived from frame
+/// send/recv stamps. Latencies are clock-offset corrected by the caller
+/// before they reach the analysis (the raw transport records are in mixed
+/// clocks).
+struct ClusterLinkSample {
+  uint64_t seq = 0;
+  uint32_t from_proc = 0;
+  uint32_t to_proc = 0;
+  uint32_t frames = 0;
+  uint64_t bytes = 0;
+  double mean_latency_us = 0.0;
+  double max_latency_us = 0.0;
+};
+
+/// One round of the cluster critical path: the process whose barrier report
+/// bounded the round, and the worst inbound link feeding it that round.
+struct ClusterCriticalPathEntry {
+  uint64_t seq = 0;
+  int iteration = 0;
+  int kind = 0;
+  uint32_t proc = 0xFFFFFFFFu;  ///< 0xFFFFFFFF = no process reported
+  double duration_s = 0.0;
+  bool has_link = false;  ///< false when no data frames reached `proc`
+  uint32_t link_from = 0;
+  double link_mean_latency_us = 0.0;
+  double link_max_latency_us = 0.0;
+  uint64_t link_bytes = 0;
+};
+
+/// Stage name of a net::RoundKind value ("transfer"/"combine"/"resend").
+const char* RoundKindName(int kind);
+
+/// Chains the per-round slowest process (latest kRoundDone relative to the
+/// round broadcast); every barrier is a full synchronization point, so this
+/// is the cluster-level analogue of ComputeCriticalPath. Each entry is
+/// annotated with the highest-latency inbound link of its process.
+std::vector<ClusterCriticalPathEntry> ComputeClusterCriticalPath(
+    const std::vector<ClusterRoundRecord>& rounds,
+    const std::vector<ClusterLinkSample>& links);
+
+/// Serializes the cluster view into the merged report's "cluster" block:
+/// {"rounds": [...], "links": [...], "critical_path": {...},
+///  "stragglers_flagged": n}.
+obs::JsonValue ClusterTimelineToJson(
+    const std::vector<ClusterRoundRecord>& rounds,
+    const std::vector<ClusterLinkSample>& links,
+    uint64_t stragglers_flagged);
+
 }  // namespace runtime
 }  // namespace surfer
 

@@ -303,6 +303,18 @@ class WireStager {
 
   const WireStagerStats& stats() const { return stats_; }
 
+  /// Payload bytes sitting in open (unsealed) batches right now — the
+  /// staging backlog a worker heartbeat reports as staged_wire_bytes.
+  size_t OpenBytes() const {
+    size_t total = 0;
+    for (const OpenBatch& open : open_) {
+      if (open.active) {
+        total += open.batch.payload.size();
+      }
+    }
+    return total;
+  }
+
  private:
   struct OpenBatch {
     WireBatch batch;

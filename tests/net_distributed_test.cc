@@ -361,6 +361,158 @@ TEST(NetDistributedTest, ArtifactsLandForEveryProcessAndMerge) {
   const obs::JsonValue* aligned = merged->Find("aligned");
   ASSERT_NE(aligned, nullptr);
   EXPECT_TRUE(aligned->is_bool() && aligned->as_bool());
+  // Without clock sync the shards anchor on raw wall-clock origins only.
+  const obs::JsonValue* alignment = merged->Find("alignment");
+  ASSERT_NE(alignment, nullptr);
+  EXPECT_EQ(alignment->as_string(), "origin");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(NetDistributedTest, InjectedStallIsFlaggedOnlineWithoutAborting) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  const PropagationConfig config =
+      ConfigFor(OptimizationLevel::kO4, /*iterations=*/3);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationRunner<NetworkRankingApp> runner(setup.graph, setup.placement,
+                                              setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  // Process 2 sleeps 600ms inside iteration 2's combine round. With the
+  // detector's floor pulled down to 60ms, the other workers' heartbeats
+  // keep the coordinator's event loop ticking while it waits, so the stall
+  // must be flagged online — and the round must still complete normally
+  // once the sleeper wakes: a straggler is an alert, not a fault.
+  EngineOptions options;
+  options.engine = EngineKind::kDistributed;
+  options.propagation = config;
+  options.distributed.max_processes = 4;
+  options.distributed.heartbeat_period_ms = 15;
+  options.distributed.clock_sync_pings = 4;
+  options.distributed.straggler_multiple = 3.0;
+  options.distributed.straggler_min_ms = 60;
+  options.distributed.stall_proc = 2;
+  options.distributed.stall_iteration = 2;
+  options.distributed.stall_ms = 600;
+  std::string status_tables;
+  options.distributed.status_sink = [&status_tables](
+                                        const std::string& table) {
+    status_tables += table;
+  };
+  auto result = RunApp(setup, app, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectBitIdentical(runner.states(), result->states,
+                     "bit-identity with an injected straggler");
+  ASSERT_TRUE(result->runtime_stats.has_value());
+  EXPECT_EQ(result->runtime_stats->machine_failures, 0u);
+
+  ASSERT_TRUE(result->cluster.has_value());
+  const obs::JsonValue* flagged = result->cluster->Find("stragglers_flagged");
+  ASSERT_NE(flagged, nullptr);
+  EXPECT_GE(flagged->as_number(), 1.0);
+  // The live status table the sink streamed marked the sleeper.
+  EXPECT_NE(status_tables.find("STRAGGLE"), std::string::npos);
+
+  // The cluster critical path covers every round the coordinator drove,
+  // and clock sync produced offset-corrected link samples.
+  const obs::JsonValue* critical = result->cluster->Find("critical_path");
+  ASSERT_NE(critical, nullptr);
+  const obs::JsonValue* steps = critical->Find("steps");
+  ASSERT_NE(steps, nullptr);
+  EXPECT_EQ(steps->as_array().size(),
+            result->runtime_stats->barrier_generations);
+  const obs::JsonValue* links = result->cluster->Find("links");
+  ASSERT_NE(links, nullptr);
+  EXPECT_FALSE(links->as_array().empty());
+}
+
+TEST(NetDistributedTest, RecoveryStaysBitIdenticalWithHealthPlaneEnabled) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  const PropagationConfig config =
+      ConfigFor(OptimizationLevel::kO4, /*iterations=*/3);
+  NetworkRankingApp app(f.graph.num_vertices());
+  PropagationRunner<NetworkRankingApp> runner(setup.graph, setup.placement,
+                                              setup.topology, app, config);
+  ASSERT_TRUE(runner.Run(setup.sim_options).ok());
+
+  // Heartbeats, clock sync, and frame stamping are all observation planes:
+  // with every one of them enabled, first-alive-replica recovery from a
+  // real process kill must still reproduce the sequential states bit for
+  // bit.
+  EngineOptions options;
+  options.engine = EngineKind::kDistributed;
+  options.propagation = config;
+  options.distributed.max_processes = 8;
+  options.distributed.heartbeat_period_ms = 10;
+  options.distributed.clock_sync_pings = 4;
+  runtime::RuntimeFaultPlan plan;
+  plan.machine = 2;
+  plan.iteration = 1;
+  plan.stage = runtime::RuntimeStage::kTransfer;
+  plan.after_tasks = 1;
+  options.distributed.faults.push_back(plan);
+  auto result = RunApp(setup, app, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectBitIdentical(runner.states(), result->states,
+                     "recovery with the health plane enabled");
+  EXPECT_GE(result->runtime_stats->machine_failures, 1u);
+  EXPECT_GT(result->runtime_stats->tasks_reexecuted, 0u);
+}
+
+TEST(NetDistributedTest, ClockSyncedTracesMergeWithOffsetAlignment) {
+  const EngineFixture& f = Fixture();
+  const BenchmarkSetup setup = f.Setup(OptimizationLevel::kO4);
+  const PropagationConfig config =
+      ConfigFor(OptimizationLevel::kO4, /*iterations=*/2);
+  NetworkRankingApp app(f.graph.num_vertices());
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("surfer_dist_clocksync_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  EngineOptions options;
+  options.engine = EngineKind::kDistributed;
+  options.propagation = config;
+  options.distributed.max_processes = 3;
+  options.distributed.artifact_dir = dir.string();
+  options.distributed.clock_sync_pings = 4;
+  auto result = RunApp(setup, app, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::vector<obs::TraceMergeInput> inputs;
+  for (uint32_t proc = 0; proc < 3; ++proc) {
+    const std::filesystem::path trace =
+        dir / ("dist_worker_" + std::to_string(proc) + ".trace.json");
+    ASSERT_TRUE(std::filesystem::exists(trace)) << trace;
+    std::ifstream in(trace);
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = obs::ParseJson(text.str());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    // Every shard carries the handshake-estimated offset table.
+    const obs::JsonValue* sync = parsed->Find("clock_sync");
+    ASSERT_NE(sync, nullptr) << "worker " << proc;
+    const obs::JsonValue* offsets = sync->Find("offsets_us");
+    ASSERT_NE(offsets, nullptr);
+    EXPECT_EQ(offsets->as_array().size(), 3u);
+    inputs.push_back({"worker " + std::to_string(proc),
+                      std::move(parsed).value()});
+  }
+  auto merged = obs::MergeChromeTraces(inputs);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  const obs::JsonValue* alignment = merged->Find("alignment");
+  ASSERT_NE(alignment, nullptr);
+  EXPECT_EQ(alignment->as_string(), "offset");
+  const obs::JsonValue* unanchored = merged->Find("unanchored");
+  ASSERT_NE(unanchored, nullptr);
+  EXPECT_TRUE(unanchored->as_array().empty());
+
+  // The merged cluster report landed alongside the worker artifacts.
+  const std::filesystem::path cluster = dir / "dist_cluster.report.json";
+  ASSERT_TRUE(std::filesystem::exists(cluster)) << cluster;
   std::filesystem::remove_all(dir);
 }
 

@@ -2,6 +2,7 @@
 // validation, torn frames, mid-frame EOF, partial reads under a trickling
 // writer, and the control-message codecs the distributed engine rides on.
 
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "net/control.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "net/transport.h"
 
 namespace surfer {
 namespace net {
@@ -267,6 +269,201 @@ TEST(NetControlTest, PlacementCarriesFaultPlansAndTolerance) {
   EXPECT_EQ(decoded->faults[0].iteration, plan.iteration);
   EXPECT_EQ(decoded->faults[0].stage, plan.stage);
   EXPECT_EQ(decoded->faults[0].after_tasks, plan.after_tasks);
+}
+
+TEST(NetFrameTest, FramesCarryPerLinkSequenceAndSendStamp) {
+  auto [a, b] = MustPair();
+  ASSERT_TRUE(WriteFrame(a, FrameType::kData, Bytes({1})).ok());
+  ASSERT_TRUE(WriteFrame(a, FrameType::kEos).ok());
+  ASSERT_TRUE(WriteFrame(a, FrameType::kData, Bytes({2})).ok());
+
+  uint64_t prev_seq = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto frame = ReadFrame(b);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    // Sequence numbers are per link and dense: 1, 2, 3 across frame types.
+    EXPECT_EQ(frame->link_seq, prev_seq + 1);
+    prev_seq = frame->link_seq;
+    EXPECT_GT(frame->send_unix_us, 0u);
+    // Same host, same clock: receive cannot precede send.
+    EXPECT_GE(frame->recv_unix_us, frame->send_unix_us);
+  }
+  EXPECT_EQ(a.frames_written(), 3u);
+}
+
+// v2 header evolution: a frame from a hypothetical v1 peer (pre-stamp
+// 16-byte header era, still sending version=1) must be refused as
+// NotSupported — protocol mismatch, not corruption.
+TEST(NetFrameTest, OldVersionPeerFrameIsNotSupported) {
+  auto [a, b] = MustPair();
+  FrameHeader header;
+  header.version = 1;
+  header.type = static_cast<uint16_t>(FrameType::kHeartbeat);
+  ASSERT_TRUE(a.WriteFull(&header, sizeof(header)).ok());
+  auto bad = ReadFrame(b);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(NetFrameTest, HeartbeatFrameRoundTrips) {
+  HeartbeatMsg msg;
+  msg.proc = 2;
+  msg.stage = 1;
+  msg.iteration = 4;
+  msg.round_seq = 17;
+  msg.mailbox_frames = 5;
+  msg.inflight_bytes = 4096;
+  msg.staged_wire_bytes = 512;
+  msg.rss_bytes = 10 << 20;
+  msg.barrier_waiting = 1;
+  msg.unix_us = 1234567890;
+
+  auto [a, b] = MustPair();
+  ASSERT_TRUE(WriteFrame(a, FrameType::kHeartbeat, EncodeHeartbeat(msg)).ok());
+  auto frame = ReadFrame(b);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, FrameType::kHeartbeat);
+  auto decoded = DecodeHeartbeat(frame->payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->proc, msg.proc);
+  EXPECT_EQ(decoded->stage, msg.stage);
+  EXPECT_EQ(decoded->iteration, msg.iteration);
+  EXPECT_EQ(decoded->round_seq, msg.round_seq);
+  EXPECT_EQ(decoded->mailbox_frames, msg.mailbox_frames);
+  EXPECT_EQ(decoded->inflight_bytes, msg.inflight_bytes);
+  EXPECT_EQ(decoded->staged_wire_bytes, msg.staged_wire_bytes);
+  EXPECT_EQ(decoded->rss_bytes, msg.rss_bytes);
+  EXPECT_EQ(decoded->barrier_waiting, msg.barrier_waiting);
+  EXPECT_EQ(decoded->unix_us, msg.unix_us);
+}
+
+TEST(NetFrameTest, TornHeartbeatFrameIsCorruption) {
+  // The stream dies mid-heartbeat: header promises a full payload, the
+  // socket closes after half of it — corruption taxonomy, not clean EOF.
+  HeartbeatMsg msg;
+  msg.proc = 1;
+  const std::vector<uint8_t> payload = EncodeHeartbeat(msg);
+  auto [a, b] = MustPair();
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(FrameType::kHeartbeat);
+  header.payload_bytes = payload.size();
+  ASSERT_TRUE(a.WriteFull(&header, sizeof(header)).ok());
+  ASSERT_TRUE(a.WriteFull(payload.data(), payload.size() / 2).ok());
+  a.Close();
+  auto torn = ReadFrame(b);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.status().code(), StatusCode::kCorruption);
+}
+
+TEST(NetControlTest, ShortHeartbeatPayloadIsCorruption) {
+  HeartbeatMsg msg;
+  std::vector<uint8_t> encoded = EncodeHeartbeat(msg);
+  encoded.resize(encoded.size() - 3);
+  auto decoded = DecodeHeartbeat(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(NetControlTest, ClockSyncPayloadsRoundTrip) {
+  ClockPingMsg ping;
+  ping.seq = 3;
+  auto ping_decoded = DecodeClockPing(EncodeClockPing(ping));
+  ASSERT_TRUE(ping_decoded.ok()) << ping_decoded.status().ToString();
+  EXPECT_EQ(ping_decoded->seq, ping.seq);
+
+  ClockPongMsg pong;
+  pong.seq = 3;
+  pong.t1 = 1000;
+  pong.t2 = 1800;
+  auto pong_decoded = DecodeClockPong(EncodeClockPong(pong));
+  ASSERT_TRUE(pong_decoded.ok()) << pong_decoded.status().ToString();
+  EXPECT_EQ(pong_decoded->seq, pong.seq);
+  EXPECT_EQ(pong_decoded->t1, pong.t1);
+  EXPECT_EQ(pong_decoded->t2, pong.t2);
+
+  ClockOffsetMsg offset;
+  offset.offset_us = -4200;
+  offset.uncertainty_us = 37;
+  auto offset_decoded = DecodeClockOffset(EncodeClockOffset(offset));
+  ASSERT_TRUE(offset_decoded.ok()) << offset_decoded.status().ToString();
+  EXPECT_EQ(offset_decoded->offset_us, offset.offset_us);
+  EXPECT_EQ(offset_decoded->uncertainty_us, offset.uncertainty_us);
+}
+
+TEST(NetControlTest, WorkerStatsRoundTripsHealthPlaneFields) {
+  WorkerStatsMsg msg;
+  msg.heartbeats_sent = 9;
+  msg.clock_synced = 1;
+  msg.clock_offset_us = {0, -150, 2300};
+  msg.clock_uncertainty_us = {0, 12, 40};
+  RoundLinkStat link;
+  link.seq = 6;
+  link.iteration = 2;
+  link.kind = 1;
+  link.from_proc = 1;
+  link.frames = 4;
+  link.bytes = 8192;
+  link.latency_sum_us = 1200;
+  link.latency_max_us = 500;
+  link.first_send_us = 111;
+  link.last_recv_us = 999;
+  msg.round_link_stats.push_back(link);
+  auto decoded = DecodeWorkerStats(EncodeWorkerStats(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->heartbeats_sent, msg.heartbeats_sent);
+  EXPECT_EQ(decoded->clock_synced, msg.clock_synced);
+  EXPECT_EQ(decoded->clock_offset_us, msg.clock_offset_us);
+  EXPECT_EQ(decoded->clock_uncertainty_us, msg.clock_uncertainty_us);
+  ASSERT_EQ(decoded->round_link_stats.size(), 1u);
+  EXPECT_EQ(decoded->round_link_stats[0].seq, link.seq);
+  EXPECT_EQ(decoded->round_link_stats[0].iteration, link.iteration);
+  EXPECT_EQ(decoded->round_link_stats[0].kind, link.kind);
+  EXPECT_EQ(decoded->round_link_stats[0].from_proc, link.from_proc);
+  EXPECT_EQ(decoded->round_link_stats[0].frames, link.frames);
+  EXPECT_EQ(decoded->round_link_stats[0].bytes, link.bytes);
+  EXPECT_EQ(decoded->round_link_stats[0].latency_sum_us, link.latency_sum_us);
+  EXPECT_EQ(decoded->round_link_stats[0].latency_max_us, link.latency_max_us);
+}
+
+TEST(NetControlTest, PlacementCarriesHealthPlaneKnobs) {
+  PlacementMsg msg;
+  msg.num_machines = 4;
+  msg.num_partitions = 4;
+  msg.replication = 2;
+  msg.replicas = {0, 1, 1, 2, 2, 3, 3, 0};
+  msg.heartbeat_period_ms = 50;
+  msg.clock_sync_pings = 8;
+  msg.stall_proc = 1;
+  msg.stall_iteration = 2;
+  msg.stall_ms = 300;
+  auto decoded = DecodePlacement(EncodePlacement(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->heartbeat_period_ms, msg.heartbeat_period_ms);
+  EXPECT_EQ(decoded->clock_sync_pings, msg.clock_sync_pings);
+  EXPECT_EQ(decoded->stall_proc, msg.stall_proc);
+  EXPECT_EQ(decoded->stall_iteration, msg.stall_iteration);
+  EXPECT_EQ(decoded->stall_ms, msg.stall_ms);
+}
+
+// Fork-free NTP exchange over a socketpair (TSan-safe): both halves agree
+// on the estimated offset with opposite signs, and on one host with one
+// clock the estimate must land near zero.
+TEST(NetTransportTest, ClockSyncAgreesAcrossASocketpair) {
+  auto [client_sock, server_sock] = MustPair();
+  Result<ClockOffsetMsg> server_result =
+      Status::Unavailable("server never ran");
+  std::thread server([&server_sock, &server_result] {
+    server_result = RunClockSyncServer(server_sock);
+  });
+  auto client_result = RunClockSyncClient(client_sock, /*pings=*/8);
+  server.join();
+  ASSERT_TRUE(client_result.ok()) << client_result.status().ToString();
+  ASSERT_TRUE(server_result.ok()) << server_result.status().ToString();
+  EXPECT_EQ(client_result->offset_us, -server_result->offset_us);
+  EXPECT_EQ(client_result->uncertainty_us, server_result->uncertainty_us);
+  // Loopback round trips are microseconds; a same-clock estimate beyond
+  // 100ms would mean the math, not the link, is broken.
+  EXPECT_LT(std::abs(client_result->offset_us), 100 * 1000);
 }
 
 TEST(NetControlTest, TruncatedControlPayloadIsCorruption) {

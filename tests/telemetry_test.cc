@@ -6,8 +6,11 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -218,10 +221,48 @@ TEST(TelemetryRecorderTest, ExportCounterEventsMapsOntoTracerClock) {
 TEST(TelemetryRecorderTest, ReadMemoryUsageReportsResidentSet) {
   const obs::MemoryUsage usage = obs::ReadMemoryUsage();
   // On Linux both fields are populated and the high-water mark bounds the
-  // current resident set. (Both zero would mean /proc is unavailable, which
-  // the API allows — but the CI hosts this test gates on are Linux.)
+  // current resident set. (available=false would mean /proc is unreadable,
+  // which the API allows — but the CI hosts this test gates on are Linux.)
+  EXPECT_TRUE(usage.available);
   EXPECT_GT(usage.rss_bytes, 0u);
   EXPECT_GE(usage.peak_rss_bytes, usage.rss_bytes);
+}
+
+TEST(TelemetryRecorderTest, MemoryProbeFailsExplicitlyNotWithZeros) {
+  // A missing status file is an unavailable probe, not a zero measurement.
+  const obs::MemoryUsage missing = obs::ReadMemoryUsageFrom(
+      "/nonexistent/surfer_no_such_proc_status");
+  EXPECT_FALSE(missing.available);
+  EXPECT_EQ(missing.rss_bytes, 0u);
+  EXPECT_EQ(missing.peak_rss_bytes, 0u);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("surfer_memprobe_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  // A file with no Vm lines (a non-Linux /proc shape) is also unavailable.
+  const std::filesystem::path empty_shape = dir / "no_vm_lines";
+  {
+    std::ofstream out(empty_shape);
+    out << "Name:\tsurfer\nState:\tR (running)\n";
+  }
+  const obs::MemoryUsage unparsed =
+      obs::ReadMemoryUsageFrom(empty_shape.string());
+  EXPECT_FALSE(unparsed.available);
+  EXPECT_EQ(unparsed.rss_bytes, 0u);
+
+  // A well-formed status file parses both counters (kB -> bytes).
+  const std::filesystem::path shaped = dir / "vm_lines";
+  {
+    std::ofstream out(shaped);
+    out << "Name:\tsurfer\nVmHWM:\t    2048 kB\nVmRSS:\t    1024 kB\n";
+  }
+  const obs::MemoryUsage parsed = obs::ReadMemoryUsageFrom(shaped.string());
+  EXPECT_TRUE(parsed.available);
+  EXPECT_EQ(parsed.rss_bytes, 1024u * 1024u);
+  EXPECT_EQ(parsed.peak_rss_bytes, 2048u * 1024u);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(TelemetryRecorderTest, ConcurrentSnapshotsWhileSamplerRuns) {

@@ -2,6 +2,7 @@
 //
 //   surfer_dist [--procs N] [--machines M] [--partitions P]
 //               [--vertices V] [--iterations I] [--artifacts DIR]
+//               [--heartbeat-ms MS] [--clock-sync-pings N] [--watch]
 //
 // Builds a synthetic social graph, partitions it, runs NetworkRanking once
 // through the sequential analytic engine and once through the distributed
@@ -12,8 +13,14 @@
 //   2. exact per-link reconciliation of the TCP engine's priced bytes
 //      against the analytic model's link_network_bytes().
 //
-// Exits 0 when both hold, 1 on any mismatch — CI runs this as the
-// distributed smoke gate.
+// --heartbeat-ms enables the worker health plane (and, with --watch, streams
+// the coordinator's live status table to stderr); --clock-sync-pings runs
+// the handshake clock-offset exchange. With either enabled the run also
+// asserts the cluster report: a per-superstep critical path covering every
+// driven round, and (with clock sync) per-link latency samples.
+//
+// Exits 0 when all asserted invariants hold, 1 on any mismatch — CI runs
+// this as the distributed smoke gate.
 
 #include <cstdint>
 #include <cstdio>
@@ -37,6 +44,9 @@ struct Args {
   uint32_t vertices = 1 << 12;
   int iterations = 3;
   std::string artifacts;
+  uint32_t heartbeat_ms = 0;
+  uint32_t clock_sync_pings = 0;
+  bool watch = false;
 };
 
 bool Parse(int argc, char** argv, Args* out) {
@@ -69,6 +79,16 @@ bool Parse(int argc, char** argv, Args* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->artifacts = v;
+    } else if (arg == "--heartbeat-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->heartbeat_ms = static_cast<uint32_t>(std::stoul(v));
+    } else if (arg == "--clock-sync-pings") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->clock_sync_pings = static_cast<uint32_t>(std::stoul(v));
+    } else if (arg == "--watch") {
+      out->watch = true;
     } else {
       std::fprintf(stderr, "surfer_dist: unknown argument %s\n", arg.c_str());
       return false;
@@ -86,7 +106,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: surfer_dist [--procs N] [--machines M]"
                  " [--partitions P] [--vertices V] [--iterations I]"
-                 " [--artifacts DIR]\n");
+                 " [--artifacts DIR] [--heartbeat-ms MS]"
+                 " [--clock-sync-pings N] [--watch]\n");
     return 2;
   }
 
@@ -128,6 +149,13 @@ int main(int argc, char** argv) {
   distributed.engine = EngineKind::kDistributed;
   distributed.distributed.max_processes = args.procs;
   distributed.distributed.artifact_dir = args.artifacts;
+  distributed.distributed.heartbeat_period_ms = args.heartbeat_ms;
+  distributed.distributed.clock_sync_pings = args.clock_sync_pings;
+  if (args.watch) {
+    distributed.distributed.status_sink = [](const std::string& table) {
+      std::fprintf(stderr, "%s", table.c_str());
+    };
+  }
   auto actual = RunApp(setup, app, distributed);
   if (!actual.ok()) {
     std::fprintf(stderr, "distributed run failed: %s\n",
@@ -172,6 +200,40 @@ int main(int argc, char** argv) {
   }
 
   const auto& stats = *actual->runtime_stats;
+
+  // Health-plane gate: with heartbeats or clock sync on, the run must hand
+  // back a cluster report whose critical path covers every driven round,
+  // and (with clock sync) offset-corrected per-link latency samples.
+  if (args.heartbeat_ms > 0 || args.clock_sync_pings > 0) {
+    if (!actual->cluster.has_value() || !actual->cluster->is_object()) {
+      std::fprintf(stderr, "FAIL: no cluster report from distributed run\n");
+      return 1;
+    }
+    const obs::JsonValue* critical = actual->cluster->Find("critical_path");
+    const obs::JsonValue* steps =
+        critical != nullptr ? critical->Find("steps") : nullptr;
+    const size_t step_count =
+        steps != nullptr && steps->is_array() ? steps->as_array().size() : 0;
+    if (step_count != stats.barrier_generations) {
+      std::fprintf(stderr,
+                   "FAIL: cluster critical path covers %zu rounds,"
+                   " expected %llu\n",
+                   step_count,
+                   static_cast<unsigned long long>(stats.barrier_generations));
+      return 1;
+    }
+    const obs::JsonValue* links = actual->cluster->Find("links");
+    const size_t link_count =
+        links != nullptr && links->is_array() ? links->as_array().size() : 0;
+    if (args.clock_sync_pings > 0 && link_count == 0) {
+      std::fprintf(stderr, "FAIL: cluster report has no link samples\n");
+      return 1;
+    }
+    std::printf(
+        "    cluster: critical path across %zu rounds, %zu link samples\n",
+        step_count, link_count);
+  }
+
   std::printf(
       "OK: %u procs x %u machines, %d iterations bit-identical;"
       " %llu network bytes reconciled exactly across %u links\n",

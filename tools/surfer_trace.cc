@@ -153,6 +153,55 @@ void PrintTimeline(const JsonValue& report) {
   }
 }
 
+/// The distributed engine's "cluster" block: coordinator-clock round
+/// timing folded with offset-corrected per-link latency into a cluster-wide
+/// per-superstep critical path.
+void PrintCluster(const JsonValue& report) {
+  const JsonValue* cluster = report.Find("cluster");
+  if (cluster == nullptr || !cluster->is_object()) {
+    return;
+  }
+  const double stragglers = NumberOr(cluster->Find("stragglers_flagged"), 0);
+  const JsonValue* links = cluster->Find("links");
+  std::printf("\ncluster: %zu link samples, %.0f stragglers flagged online\n",
+              links != nullptr && links->is_array() ? links->as_array().size()
+                                                    : 0,
+              stragglers);
+  const JsonValue* critical = cluster->Find("critical_path");
+  const JsonValue* steps =
+      critical != nullptr ? critical->Find("steps") : nullptr;
+  if (steps == nullptr || !steps->is_array() || steps->as_array().empty()) {
+    return;
+  }
+  std::printf("cluster critical path: %.6fs across %zu rounds\n",
+              NumberOr(critical->Find("total_s"), 0),
+              steps->as_array().size());
+  std::printf("  %6s %4s %-9s %5s %12s %-28s\n", "round", "iter", "stage",
+              "proc", "duration_s", "worst inbound link");
+  for (const JsonValue& step : steps->as_array()) {
+    const JsonValue* proc = step.Find("proc");
+    const std::string who =
+        proc != nullptr && proc->is_number()
+            ? "p" + std::to_string(static_cast<long long>(proc->as_number()))
+            : "-";
+    std::string link_str = "-";
+    if (const JsonValue* link = step.Find("link");
+        link != nullptr && link->is_object()) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "p%lld (mean %.0fus, max %.0fus)",
+                    static_cast<long long>(NumberOr(link->Find("from"), 0)),
+                    NumberOr(link->Find("mean_latency_us"), 0),
+                    NumberOr(link->Find("max_latency_us"), 0));
+      link_str = buf;
+    }
+    std::printf("  %6.0f %4.0f %-9s %5s %12.6f %-28s\n",
+                NumberOr(step.Find("seq"), 0),
+                NumberOr(step.Find("iteration"), 0),
+                StringOr(step.Find("stage"), "?").c_str(), who.c_str(),
+                NumberOr(step.Find("duration_s"), 0), link_str.c_str());
+  }
+}
+
 int RunSummary(const std::string& path) {
   JsonValue report;
   if (!LoadJson(path, &report)) {
@@ -191,6 +240,7 @@ int RunSummary(const std::string& path) {
   }
   PrintSpans(report);
   PrintTimeline(report);
+  PrintCluster(report);
   return 0;
 }
 
@@ -293,6 +343,18 @@ int RunMerge(const std::vector<std::string>& args) {
                  merged.status().message().c_str());
     return 1;
   }
+  // Shards without a wall-clock anchor degrade the whole merge to local
+  // clocks; name them so the producer can be fixed.
+  if (const JsonValue* unanchored = merged->Find("unanchored");
+      unanchored != nullptr && unanchored->is_array()) {
+    for (const JsonValue& label : unanchored->as_array()) {
+      std::fprintf(stderr,
+                   "surfer_trace: warning: shard %s carries no "
+                   "origin_unix_us anchor; merged timestamps stay on local "
+                   "clocks\n",
+                   label.is_string() ? label.as_string().c_str() : "?");
+    }
+  }
   std::ofstream out(out_path);
   out << merged->Write(/*indent=*/1) << "\n";
   out.close();
@@ -300,7 +362,12 @@ int RunMerge(const std::vector<std::string>& args) {
     std::fprintf(stderr, "surfer_trace: failed writing %s\n", out_path.c_str());
     return 1;
   }
-  std::printf("merged %zu traces into %s\n", inputs.size(), out_path.c_str());
+  const JsonValue* alignment = merged->Find("alignment");
+  std::printf("merged %zu traces into %s (alignment: %s)\n", inputs.size(),
+              out_path.c_str(),
+              alignment != nullptr && alignment->is_string()
+                  ? alignment->as_string().c_str()
+                  : "?");
   return 0;
 }
 
