@@ -19,7 +19,7 @@
 
 #include "apps/network_ranking.h"
 #include "bench/bench_common.h"
-#include "core/run_app.h"
+#include "core/engine.h"
 
 int main(int argc, char** argv) {
   using namespace surfer;
@@ -52,8 +52,11 @@ int main(int argc, char** argv) {
 
   EngineOptions sequential_options;
   sequential_options.propagation = config;
+  auto sequential_session = Engine::Open(setup, sequential_options);
+  SURFER_CHECK(sequential_session.ok())
+      << sequential_session.status().ToString();
   const auto seq_start = Clock::now();
-  auto sequential = RunApp(setup, app, sequential_options);
+  auto sequential = sequential_session->Run(app);
   SURFER_CHECK(sequential.ok()) << sequential.status().ToString();
   const double sequential_wall_s =
       std::chrono::duration<double>(Clock::now() - seq_start).count();
@@ -62,7 +65,9 @@ int main(int argc, char** argv) {
   EngineOptions threaded_options = sequential_options;
   threaded_options.engine = EngineKind::kConcurrent;
   threaded_options.runtime.max_workers = 4;
-  auto threaded = RunApp(setup, app, threaded_options);
+  auto threaded_session = Engine::Open(setup, threaded_options);
+  SURFER_CHECK(threaded_session.ok()) << threaded_session.status().ToString();
+  auto threaded = threaded_session->Run(app);
   SURFER_CHECK(threaded.ok()) << threaded.status().ToString();
   const double threaded_wall_s = threaded->runtime_stats->wall_seconds;
   std::printf("threaded executor (4 workers): %.3f s\n\n", threaded_wall_s);
@@ -85,7 +90,10 @@ int main(int argc, char** argv) {
     EngineOptions distributed_options = sequential_options;
     distributed_options.engine = EngineKind::kDistributed;
     distributed_options.distributed.max_processes = procs;
-    auto distributed = RunApp(setup, app, distributed_options);
+    auto distributed_session = Engine::Open(setup, distributed_options);
+    SURFER_CHECK(distributed_session.ok())
+        << distributed_session.status().ToString();
+    auto distributed = distributed_session->Run(app);
     SURFER_CHECK(distributed.ok()) << distributed.status().ToString();
     SURFER_CHECK(sequential->states.size() == distributed->states.size());
     SURFER_CHECK(std::memcmp(sequential->states.data(),

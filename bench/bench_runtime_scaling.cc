@@ -21,7 +21,7 @@
 
 #include "apps/network_ranking.h"
 #include "bench/bench_common.h"
-#include "core/run_app.h"
+#include "core/engine.h"
 #include "runtime/report.h"
 #include "runtime/timeline.h"
 
@@ -61,9 +61,12 @@ int main(int argc, char** argv) {
   EngineOptions sequential_options;
   sequential_options.propagation = config;
   sequential_options.sim = MakeScaledSimOptions();
+  auto sequential_session = Engine::Open(setup.graph, setup.placement,
+                                         setup.topology, sequential_options);
+  SURFER_CHECK(sequential_session.ok())
+      << sequential_session.status().ToString();
   const auto seq_start = Clock::now();
-  auto sequential = RunApp(setup.graph, setup.placement, setup.topology, app,
-                           sequential_options);
+  auto sequential = sequential_session->Run(app);
   SURFER_CHECK(sequential.ok()) << sequential.status().ToString();
   const double sequential_wall_s =
       std::chrono::duration<double>(Clock::now() - seq_start).count();
@@ -112,15 +115,19 @@ int main(int argc, char** argv) {
       // the per-tick telemetry_sample microbenchmark.
       EngineOptions plain_options = engine_options;
       plain_options.runtime.telemetry.enabled = false;
+      auto plain_session = Engine::Open(setup.graph, setup.placement,
+                                        setup.topology, plain_options);
+      SURFER_CHECK(plain_session.ok()) << plain_session.status().ToString();
       const auto plain_start = Clock::now();
-      auto plain = RunApp(setup.graph, setup.placement, setup.topology, app,
-                          plain_options);
+      auto plain = plain_session->Run(app);
       const double plain_wall_s =
           std::chrono::duration<double>(Clock::now() - plain_start).count();
       SURFER_CHECK(plain.ok()) << plain.status().ToString();
+      auto warm_session = Engine::Open(setup.graph, setup.placement,
+                                       setup.topology, engine_options);
+      SURFER_CHECK(warm_session.ok()) << warm_session.status().ToString();
       const auto instrumented_start = Clock::now();
-      auto warm = RunApp(setup.graph, setup.placement, setup.topology, app,
-                         engine_options);
+      auto warm = warm_session->Run(app);
       const double instrumented_wall_s =
           std::chrono::duration<double>(Clock::now() - instrumented_start)
               .count();
@@ -134,8 +141,11 @@ int main(int argc, char** argv) {
                   workers, telemetry_overhead_frac * 100.0, plain_wall_s,
                   instrumented_wall_s);
     }
-    auto concurrent = RunApp(setup.graph, setup.placement, setup.topology,
-                             app, engine_options);
+    auto concurrent_session = Engine::Open(setup.graph, setup.placement,
+                                           setup.topology, engine_options);
+    SURFER_CHECK(concurrent_session.ok())
+        << concurrent_session.status().ToString();
+    auto concurrent = concurrent_session->Run(app);
     SURFER_CHECK(concurrent.ok()) << concurrent.status().ToString();
     SURFER_CHECK(sequential->states.size() == concurrent->states.size());
     SURFER_CHECK(std::memcmp(sequential->states.data(),

@@ -1,0 +1,206 @@
+// Serving-plane benchmark: a long-lived GraphService (Engine::Serve) under
+// closed-loop client load. Sweeps the client thread count and records QPS,
+// p50/p99 latency, cache hit rate, and shed counts per point into the
+// machine-readable perf baseline BENCH_serving.json, which CI trends through
+// `surfer_trace check`. Every point is cross-checked for bit-identity: a
+// sample of k-hop answers must equal a plain BFS truncated at k, and served
+// ranks must equal a fresh batch NetworkRanking run — a fast cache that
+// changes the answer is a bug, not a win.
+//
+// `--smoke` runs a reduced sweep (small graph, one thread point, fewer
+// queries) so CI can exercise the binary and its artifacts in seconds
+// without polluting baselines.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "apps/network_ranking.h"
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "graph/algorithms.h"
+#include "serve/graph_service.h"
+
+int main(int argc, char** argv) {
+  using namespace surfer;
+  using namespace surfer::bench;
+  using Clock = std::chrono::steady_clock;
+
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  BenchGraphOptions graph_options;
+  std::vector<uint32_t> thread_points = {1, 2, 4, 8};
+  int queries_per_thread = 2000;
+  // Clients draw from a hot set much smaller than the graph so repeated
+  // queries exercise the result cache the way a real query mix would.
+  VertexId hot_set = 512;
+  if (smoke) {
+    graph_options.num_vertices = 1 << 13;
+    graph_options.num_communities = 8;
+    thread_points = {2};
+    queries_per_thread = 200;
+    hot_set = 128;
+  }
+  const Graph graph = MakeBenchGraph(graph_options);
+  const Topology topology = MakeScaledT2(8, 2, 1);
+  auto engine = BuildEngine(graph, topology);
+  const BenchmarkSetup setup = engine->MakeSetup(OptimizationLevel::kO4);
+
+  PrintHeader(std::string("Serving plane: GraphService QPS / latency") +
+              (smoke ? " (smoke)" : ""));
+
+  EngineOptions engine_options;
+  engine_options.propagation.iterations = 3;
+  engine_options.sim = MakeScaledSimOptions();
+  auto session = Engine::Open(setup.graph, setup.placement, setup.topology,
+                              engine_options);
+  SURFER_CHECK(session.ok()) << session.status().ToString();
+
+  // Correctness oracles, computed once: plain BFS neighborhoods from a few
+  // hot vertices and the batch rank vector the serving plane must reproduce
+  // bit for bit.
+  const std::vector<VertexId> probe_origins = {0, VertexId(hot_set / 2),
+                                               VertexId(hot_set - 1)};
+  auto reference_khop = [&](VertexId origin, uint32_t k) {
+    const std::vector<uint32_t> distances = BfsDistances(graph, origin);
+    std::vector<VertexId> expected;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      if (distances[v] <= k) {
+        expected.push_back(v);
+      }
+    }
+    return expected;
+  };
+  EngineOptions batch_options = engine_options;
+  batch_options.propagation.iterations = 3;
+  auto batch_session = Engine::Open(setup.graph, setup.placement,
+                                    setup.topology, batch_options);
+  SURFER_CHECK(batch_session.ok()) << batch_session.status().ToString();
+  auto batch_ranks = batch_session->Run(NetworkRankingApp(graph.num_vertices()));
+  SURFER_CHECK(batch_ranks.ok()) << batch_ranks.status().ToString();
+
+  obs::JsonValue baseline = MakeBenchBaseline("bench_serving", smoke);
+  baseline.Set("num_vertices", static_cast<uint64_t>(graph.num_vertices()));
+  baseline.Set("num_machines", static_cast<uint64_t>(topology.num_machines()));
+  baseline.Set("queries_per_thread",
+               static_cast<uint64_t>(queries_per_thread));
+  baseline.Set("hot_set", static_cast<uint64_t>(hot_set));
+
+  std::printf("%-9s %12s %10s %10s %10s %9s %7s\n", "Clients", "QPS",
+              "p50 (us)", "p99 (us)", "hit rate", "shed", "ident");
+  obs::JsonValue points = obs::JsonValue::MakeArray();
+  BenchObservability observability;
+  for (const uint32_t threads : thread_points) {
+    // A fresh service per point so latency/cache statistics describe this
+    // point alone; the startup NetworkRanking pass re-runs each time, which
+    // is the real open cost a deployment pays.
+    serve::ServeOptions serve_options;
+    serve_options.num_workers = std::max(2u, threads / 2);
+    serve_options.metrics = &observability.metrics;
+    serve_options.tracer = &observability.tracer;
+    auto service = session->Serve(serve_options);
+    SURFER_CHECK(service.ok()) << service.status().ToString();
+
+    std::atomic<uint64_t> errors{0};
+    const auto sweep_start = Clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(threads);
+    for (uint32_t c = 0; c < threads; ++c) {
+      clients.emplace_back([&, c] {
+        for (int q = 0; q < queries_per_thread; ++q) {
+          const VertexId v =
+              static_cast<VertexId>((c * 9973u + q * 131u) % hot_set);
+          if (q % 4 == 0) {
+            auto response = (*service)->Rank(v).get();
+            if (!response.ok()) {
+              errors.fetch_add(1);
+            }
+          } else {
+            auto response =
+                (*service)->KHop(v, 1 + static_cast<uint32_t>(q % 2)).get();
+            if (!response.ok() &&
+                response.status().code() != StatusCode::kResourceExhausted) {
+              errors.fetch_add(1);
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) {
+      client.join();
+    }
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - sweep_start).count();
+    SURFER_CHECK(errors.load() == 0)
+        << errors.load() << " queries failed with non-shed errors";
+
+    // Bit-identity: sampled k-hop answers against a plain BFS, and served
+    // ranks against the fresh batch run. Cached and bypassed answers must
+    // also agree, byte for byte.
+    bool bit_identical = true;
+    for (const VertexId origin : probe_origins) {
+      for (const uint32_t k : {1u, 2u}) {
+        auto served = (*service)->KHop(origin, k).get();
+        serve::QueryOptions bypass;
+        bypass.bypass_cache = true;
+        auto fresh = (*service)->KHop(origin, k, bypass).get();
+        if (!served.ok() || !fresh.ok() ||
+            served->vertices != reference_khop(origin, k) ||
+            served->vertices != fresh->vertices) {
+          bit_identical = false;
+        }
+      }
+      auto rank = (*service)->Rank(origin).get();
+      const double expected = batch_ranks->StateOfOriginal(origin);
+      if (!rank.ok() ||
+          std::memcmp(&rank->rank, &expected, sizeof(double)) != 0) {
+        bit_identical = false;
+      }
+    }
+
+    const serve::ServiceStats stats = (*service)->stats();
+    (*service)->Stop();
+    const uint64_t total_queries =
+        static_cast<uint64_t>(threads) * queries_per_thread;
+    const double qps = wall_s > 0.0 ? total_queries / wall_s : 0.0;
+    const double p50_us = stats.latency_us.Percentile(50.0);
+    const double p99_us = stats.latency_us.Percentile(99.0);
+    const uint64_t cache_lookups = stats.cache_hits + stats.cache_misses;
+    const double hit_rate =
+        cache_lookups > 0
+            ? static_cast<double>(stats.cache_hits) / cache_lookups
+            : 0.0;
+    const uint64_t shed = stats.shed_admission + stats.shed_deadline;
+    std::printf("%-9u %12.0f %10.0f %10.0f %9.1f%% %9llu %7s\n", threads, qps,
+                p50_us, p99_us, hit_rate * 100.0,
+                static_cast<unsigned long long>(shed),
+                bit_identical ? "yes" : "NO");
+
+    obs::JsonValue point = obs::JsonValue::MakeObject();
+    point.Set("threads", static_cast<uint64_t>(threads));
+    point.Set("wall_s", wall_s);
+    point.Set("qps", qps);
+    point.Set("p50_us", p50_us);
+    point.Set("p99_us", p99_us);
+    point.Set("cache_hit_rate", hit_rate);
+    point.Set("cache_hits", stats.cache_hits);
+    point.Set("cache_misses", stats.cache_misses);
+    point.Set("completed", stats.completed);
+    point.Set("shed_admission", stats.shed_admission);
+    point.Set("shed_deadline", stats.shed_deadline);
+    point.Set("bit_identical", bit_identical);
+    points.Append(std::move(point));
+  }
+  baseline.Set("points", std::move(points));
+
+  std::printf("\n");
+  WriteBenchBaseline("BENCH_serving.json", baseline);
+  WriteBenchArtifacts("bench_serving", nullptr, &observability,
+                      "GraphService closed-loop client sweep; spans are "
+                      "serve_khop/serve_path/serve_rank");
+  return 0;
+}

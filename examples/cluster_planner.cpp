@@ -89,8 +89,12 @@ int main() {
     setup.sim_options = MakeScaledSimOptions();
     EngineOptions engine_options;
     engine_options.propagation.iterations = 3;
-    auto run = RunApp(setup, NetworkRankingApp(graph.num_vertices()),
-                      engine_options);
+    auto session = Engine::Open(setup, engine_options);
+    if (!session.ok()) {
+      std::fprintf(stderr, "open: %s\n", session.status().ToString().c_str());
+      return 1;
+    }
+    auto run = session->Run(NetworkRankingApp(graph.num_vertices()));
     if (!run.ok()) {
       std::fprintf(stderr, "run: %s\n", run.status().ToString().c_str());
       return 1;

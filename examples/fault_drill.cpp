@@ -76,8 +76,12 @@ int main() {
     EngineOptions engine_options;
     engine_options.propagation.iterations = 3;
     engine_options.sim_faults = std::move(faults);
-    auto result =
-        RunApp(setup, NetworkRankingApp(graph.num_vertices()), engine_options);
+    auto session = Engine::Open(setup, engine_options);
+    if (!session.ok()) {
+      std::printf("%-28s -> %s\n", label, session.status().ToString().c_str());
+      return session.status();
+    }
+    auto result = session->Run(NetworkRankingApp(graph.num_vertices()));
     if (!result.ok()) {
       std::printf("%-28s -> %s\n", label, result.status().ToString().c_str());
       return result.status();

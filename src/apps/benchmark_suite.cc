@@ -8,7 +8,7 @@
 #include "apps/reverse_link_graph.h"
 #include "apps/triangle_counting.h"
 #include "apps/two_hop_friends.h"
-#include "core/run_app.h"
+#include "core/engine.h"
 #include "mapreduce/runner.h"
 
 namespace surfer {
@@ -31,8 +31,9 @@ Result<AppRunResult> RunNrPropagation(const BenchmarkSetup& setup,
   EngineOptions options;
   options.propagation = config;
   options.propagation.iterations = iterations;
+  SURFER_ASSIGN_OR_RETURN(Engine engine, Engine::Open(setup, options));
   SURFER_ASSIGN_OR_RETURN(RunAppResult<NetworkRankingApp> run,
-                          RunApp(setup, std::move(app), options));
+                          engine.Run(std::move(app)));
   AppRunResult result{*run.metrics, 0.0};
   for (VertexId v = 0; v < run.states.size(); ++v) {
     result.checksum += run.states[v] * WeightOf(setup.graph->encoding(), v);
@@ -64,8 +65,9 @@ Result<AppRunResult> RunRsPropagation(const BenchmarkSetup& setup,
   options.propagation = config;
   options.propagation.iterations = iterations;
   options.propagation.cascaded = false;  // round-dependent combine
+  SURFER_ASSIGN_OR_RETURN(Engine engine, Engine::Open(setup, options));
   SURFER_ASSIGN_OR_RETURN(RunAppResult<RecommenderApp> run,
-                          RunApp(setup, std::move(app), options));
+                          engine.Run(std::move(app)));
   AppRunResult result{*run.metrics, 0.0};
   for (VertexId v = 0; v < run.states.size(); ++v) {
     if (run.states[v] != 0) {
@@ -101,8 +103,9 @@ Result<AppRunResult> RunVddPropagation(const BenchmarkSetup& setup,
   EngineOptions options;
   options.propagation = config;
   options.propagation.iterations = 1;
+  SURFER_ASSIGN_OR_RETURN(Engine engine, Engine::Open(setup, options));
   SURFER_ASSIGN_OR_RETURN(RunAppResult<DegreeDistributionApp> run,
-                          RunApp(setup, std::move(app), options));
+                          engine.Run(std::move(app)));
   AppRunResult result{*run.metrics, 0.0};
   for (const auto& [degree, count] : run.virtual_outputs) {
     result.checksum += static_cast<double>((degree + 1) * count);
@@ -130,8 +133,9 @@ Result<AppRunResult> RunRlgPropagation(const BenchmarkSetup& setup,
   EngineOptions options;
   options.propagation = config;
   options.propagation.iterations = 1;
+  SURFER_ASSIGN_OR_RETURN(Engine engine, Engine::Open(setup, options));
   SURFER_ASSIGN_OR_RETURN(RunAppResult<ReverseLinkGraphApp> run,
-                          RunApp(setup, std::move(app), options));
+                          engine.Run(std::move(app)));
   AppRunResult result{*run.metrics, 0.0};
   for (VertexId v = 0; v < run.states.size(); ++v) {
     result.checksum += static_cast<double>(run.states[v].size()) *
@@ -161,8 +165,9 @@ Result<AppRunResult> RunTcPropagation(const BenchmarkSetup& setup,
   EngineOptions options;
   options.propagation = config;
   options.propagation.iterations = 1;
+  SURFER_ASSIGN_OR_RETURN(Engine engine, Engine::Open(setup, options));
   SURFER_ASSIGN_OR_RETURN(RunAppResult<TriangleCountingApp> run,
-                          RunApp(setup, std::move(app), options));
+                          engine.Run(std::move(app)));
   AppRunResult result{*run.metrics, 0.0};
   for (uint64_t count : run.states) {
     result.checksum += static_cast<double>(count);
@@ -191,8 +196,9 @@ Result<AppRunResult> RunTflPropagation(const BenchmarkSetup& setup,
   EngineOptions options;
   options.propagation = config;
   options.propagation.iterations = 1;
+  SURFER_ASSIGN_OR_RETURN(Engine engine, Engine::Open(setup, options));
   SURFER_ASSIGN_OR_RETURN(RunAppResult<TwoHopFriendsApp> run,
-                          RunApp(setup, std::move(app), options));
+                          engine.Run(std::move(app)));
   AppRunResult result{*run.metrics, 0.0};
   for (VertexId v = 0; v < run.states.size(); ++v) {
     result.checksum += static_cast<double>(run.states[v].size()) *

@@ -9,7 +9,7 @@
 
 #include "apps/benchmark_suite.h"
 #include "common/result.h"
-#include "core/run_app.h"
+#include "core/engine.h"
 #include "core/surfer.h"
 #include "engine/job_simulation.h"
 #include "mapreduce/runner.h"
@@ -82,9 +82,11 @@ class JobPipeline {
           EngineOptions options;
           options.propagation = config;
           SURFER_ASSIGN_OR_RETURN(
-              RunAppResult<App> result,
-              RunApp(ctx.setup.graph, ctx.setup.placement, ctx.setup.topology,
-                     app, options, ctx.sim));
+              Engine engine,
+              Engine::Open(ctx.setup.graph, ctx.setup.placement,
+                           ctx.setup.topology, options));
+          SURFER_ASSIGN_OR_RETURN(RunAppResult<App> result,
+                                  engine.Run(app, ctx.sim));
           if (on_done) {
             on_done(result);
           }

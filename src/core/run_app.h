@@ -1,282 +1,60 @@
 #ifndef SURFER_CORE_RUN_APP_H_
 #define SURFER_CORE_RUN_APP_H_
 
-#include <map>
-#include <optional>
 #include <utility>
-#include <vector>
 
-#include "apps/benchmark_suite.h"
-#include "cluster/metrics.h"
-#include "cluster/topology.h"
-#include "common/result.h"
-#include "engine/job_simulation.h"
-#include "graph/types.h"
-#include "net/distributed.h"
-#include "obs/json.h"
-#include "obs/telemetry.h"
-#include "propagation/app_traits.h"
-#include "propagation/config.h"
-#include "propagation/runner.h"
-#include "runtime/executor.h"
-#include "runtime/stats.h"
-#include "storage/partitioned_graph.h"
-#include "storage/replication.h"
+#include "core/engine.h"
 
 namespace surfer {
 
-/// Which execution engine RunApp dispatches to. Both engines compute
-/// bit-identical vertex states; they differ in what they *measure*.
-enum class EngineKind {
-  /// The sequential PropagationRunner: exact analytic cost model over a
-  /// simulated cluster (response time, disk/network bytes, RunMetrics).
-  kAnalytic,
-  /// The multithreaded RuntimeExecutor: real concurrent execution through
-  /// the wire-batch message plane (wall-clock RuntimeStats, channel
-  /// backpressure, fault recovery at task granularity).
-  kConcurrent,
-  /// The multi-process DistributedExecutor: one OS process per machine
-  /// group, full-mesh TCP transport carrying the serialized wire batches,
-  /// BSP barrier over control frames, fault plans realized as real process
-  /// kills with first-alive-replica recovery.
-  kDistributed,
-};
-
-/// One options struct for both engines. Engine-specific fields are ignored
-/// by the other engine; `propagation` applies to both.
-struct EngineOptions {
-  EngineKind engine = EngineKind::kAnalytic;
-  /// Iterations, optimization flags, tracer/metrics hooks (both engines).
-  PropagationConfig propagation;
-  /// Simulated-hardware parameters (analytic engine only).
-  JobSimulationOptions sim;
-  /// Machine failures scheduled into the simulation (analytic engine only).
-  std::vector<FaultPlan> sim_faults;
-  /// Worker count, channel window, wire-batch knobs, runtime fault plans
-  /// (concurrent engine only).
-  runtime::RuntimeOptions runtime;
-  /// Process count, wire knobs, fault/SIGTERM schedule, artifact directory
-  /// (distributed engine only).
-  net::DistributedOptions distributed;
-};
-
-/// What a RunApp call produces, unified across engines. Engine-specific
-/// measurements arrive in the two optionals: `metrics` for the analytic
-/// cost model, `runtime_stats` for the concurrent runtime. Everything else
-/// is engine-independent (and bit-identical between the two).
-template <typename App>
-  requires PropagationApp<App>
-struct RunAppResult {
-  using VertexState = typename App::VertexState;
-  using VirtualOutput = typename internal::VirtualOutputOf<App>::type;
-
-  std::vector<VertexState> states;
-  std::map<uint64_t, VirtualOutput> virtual_outputs;
-
-  /// Message-routing counters (analytic engine only; the runtime reports
-  /// its own accounting through `runtime_stats`).
-  std::optional<PropagationCounters> counters;
-  /// Simulated cost-model metrics (analytic engine).
-  std::optional<RunMetrics> metrics;
-  /// Measured execution statistics (concurrent engine).
-  std::optional<runtime::RuntimeStats> runtime_stats;
-  /// Flight-recorder time series, pre-serialized as the run report's
-  /// schema-v3 "telemetry" block (concurrent engine with
-  /// options.runtime.telemetry.enabled only).
-  std::optional<obs::JsonValue> telemetry;
-  /// The merged report's "cluster" block (distributed engine): round
-  /// timing, offset-corrected per-link latency, the cluster-wide
-  /// per-superstep critical path, and the online straggler count.
-  std::optional<obs::JsonValue> cluster;
-
-  /// Row-major M x M per-link network bytes, diagonal zero. Analytic runs
-  /// report the priced model bytes; concurrent runs report measured wire
-  /// bytes. The two reconcile exactly (tests pin this).
-  std::vector<double> link_network_bytes;
-
-  /// State of a vertex addressed by its *original* (pre-encoding) ID.
-  const VertexState& StateOfOriginal(VertexId original) const {
-    return states[graph->encoding().ToEncoded(original)];
-  }
-
-  const PartitionedGraph* graph = nullptr;
-};
-
-namespace internal {
-
-template <typename App>
-Result<RunAppResult<App>> RunAnalytic(const PartitionedGraph* graph,
-                                      const ReplicatedPlacement* placement,
-                                      const Topology* topology, App app,
-                                      const EngineOptions& options,
-                                      JobSimulation* sim) {
-  PropagationRunner<App> runner(graph, placement, topology, std::move(app),
-                                options.propagation);
-  std::optional<JobSimulation> local_sim;
-  if (sim == nullptr) {
-    local_sim.emplace(topology, options.sim);
-    for (const FaultPlan& fault : options.sim_faults) {
-      local_sim->InjectFault(fault);
-    }
-    sim = &*local_sim;
-  }
-  SURFER_RETURN_IF_ERROR(runner.RunWith(sim));
-  RunAppResult<App> result;
-  result.states = runner.states();
-  result.virtual_outputs = runner.virtual_outputs();
-  result.counters = runner.counters();
-  result.metrics = sim->metrics();
-  result.link_network_bytes = runner.link_network_bytes();
-  result.graph = graph;
-  return result;
-}
-
-template <typename App>
-Result<RunAppResult<App>> RunConcurrent(const PartitionedGraph* graph,
-                                        const ReplicatedPlacement* placement,
-                                        const Topology* topology, App app,
-                                        const EngineOptions& options) {
-  if constexpr (runtime::WireSerializableApp<App>) {
-    runtime::RuntimeExecutor<App> executor(graph, placement, topology,
-                                           std::move(app), options.propagation,
-                                           options.runtime);
-    SURFER_RETURN_IF_ERROR(executor.Run());
-    RunAppResult<App> result;
-    result.states = executor.states();
-    result.virtual_outputs = executor.virtual_outputs();
-    result.runtime_stats = executor.stats();
-    if (executor.telemetry() != nullptr && executor.telemetry()->enabled()) {
-      result.telemetry = executor.telemetry()->ToJson();
-    }
-    const uint32_t n = topology->num_machines();
-    result.link_network_bytes.assign(static_cast<size_t>(n) * n, 0.0);
-    const std::vector<uint64_t>& measured = executor.stats().link_bytes;
-    for (uint32_t src = 0; src < n; ++src) {
-      for (uint32_t dst = 0; dst < n; ++dst) {
-        const size_t i = static_cast<size_t>(src) * n + dst;
-        // The runtime's diagonal carries local (non-network) traffic;
-        // the unified matrix only reports network bytes.
-        if (src != dst && i < measured.size()) {
-          result.link_network_bytes[i] = static_cast<double>(measured[i]);
-        }
-      }
-    }
-    result.graph = graph;
-    return result;
-  } else {
-    (void)graph;
-    (void)placement;
-    (void)topology;
-    return Status::InvalidArgument(
-        "the concurrent engine requires a trivially-copyable Message "
-        "(wire serialization); use EngineKind::kAnalytic for this app");
-  }
-}
-
-template <typename App>
-Result<RunAppResult<App>> RunDistributed(const PartitionedGraph* graph,
-                                         const ReplicatedPlacement* placement,
-                                         const Topology* topology, App app,
-                                         const EngineOptions& options) {
-  if constexpr (net::DistributableApp<App>) {
-    net::DistributedExecutor<App> executor(graph, placement, topology,
-                                           std::move(app), options.propagation,
-                                           options.distributed);
-    SURFER_RETURN_IF_ERROR(executor.Run());
-    RunAppResult<App> result;
-    result.states = executor.states();
-    result.virtual_outputs = executor.virtual_outputs();
-    result.runtime_stats = executor.stats();
-    if (executor.cluster_report().is_object()) {
-      result.cluster = executor.cluster_report();
-    }
-    const uint32_t n = topology->num_machines();
-    result.link_network_bytes.assign(static_cast<size_t>(n) * n, 0.0);
-    const std::vector<uint64_t>& measured = executor.stats().link_bytes;
-    for (uint32_t src = 0; src < n; ++src) {
-      for (uint32_t dst = 0; dst < n; ++dst) {
-        const size_t i = static_cast<size_t>(src) * n + dst;
-        // Same convention as the concurrent engine: the diagonal is local
-        // traffic, the unified matrix reports network bytes only.
-        if (src != dst && i < measured.size()) {
-          result.link_network_bytes[i] = static_cast<double>(measured[i]);
-        }
-      }
-    }
-    result.graph = graph;
-    return result;
-  } else {
-    (void)graph;
-    (void)placement;
-    (void)topology;
-    return Status::InvalidArgument(
-        "the distributed engine requires wire-serializable messages and "
-        "trivially-copyable states; use EngineKind::kAnalytic for this app");
-  }
-}
-
-}  // namespace internal
-
-/// The single front-end for running a propagation application: pick an
-/// engine in `options.engine` and get a unified RunAppResult back. This
-/// replaces hand-rolled per-engine construction of PropagationRunner /
-/// RuntimeExecutor at call sites; the underlying classes remain public for
-/// code that needs engine-specific accessors.
+/// DEPRECATED free-function front-end, kept as thin shims over the session
+/// API in core/engine.h. New code opens a surfer::Engine once and calls
+/// Run(app) on it:
 ///
-///   EngineOptions options;
-///   options.engine = EngineKind::kConcurrent;
-///   options.propagation = PropagationConfig::ForLevel(OptimizationLevel::kO4);
-///   auto result = RunApp(setup.graph, setup.placement, setup.topology,
-///                        NetworkRankingApp(n), options);
+///   SURFER_ASSIGN_OR_RETURN(Engine engine, Engine::Open(setup, options));
+///   SURFER_ASSIGN_OR_RETURN(auto run, engine.Run(NetworkRankingApp(n)));
+///
+/// The shims validate options on every call (through Engine::Open), so they
+/// are both slower and noisier than holding a session.
+
 template <typename App>
   requires PropagationApp<App>
+[[deprecated(
+    "use surfer::Engine::Open(graph, placement, topology, options) + "
+    "Engine::Run(app) (core/engine.h)")]]
 Result<RunAppResult<App>> RunApp(const PartitionedGraph* graph,
                                  const ReplicatedPlacement* placement,
                                  const Topology* topology, App app,
                                  const EngineOptions& options) {
-  switch (options.engine) {
-    case EngineKind::kAnalytic:
-      return internal::RunAnalytic(graph, placement, topology, std::move(app),
-                                   options, /*sim=*/nullptr);
-    case EngineKind::kConcurrent:
-      return internal::RunConcurrent(graph, placement, topology,
-                                     std::move(app), options);
-    case EngineKind::kDistributed:
-      return internal::RunDistributed(graph, placement, topology,
-                                      std::move(app), options);
-  }
-  return Status::InvalidArgument("unknown engine kind");
+  SURFER_ASSIGN_OR_RETURN(Engine engine,
+                          Engine::Open(graph, placement, topology, options));
+  return engine.Run(std::move(app));
 }
 
-/// RunApp on an externally owned simulation (fault-injection experiments,
-/// job composition): metrics accumulate into `sim`, and `options.sim` /
-/// `options.sim_faults` are ignored in favor of the caller's simulation.
-/// Analytic engine only.
 template <typename App>
   requires PropagationApp<App>
+[[deprecated(
+    "use surfer::Engine::Open(graph, placement, topology, options) + "
+    "Engine::Run(app, sim) (core/engine.h)")]]
 Result<RunAppResult<App>> RunApp(const PartitionedGraph* graph,
                                  const ReplicatedPlacement* placement,
                                  const Topology* topology, App app,
                                  const EngineOptions& options,
                                  JobSimulation* sim) {
-  if (options.engine != EngineKind::kAnalytic) {
-    return Status::InvalidArgument(
-        "an external JobSimulation only applies to the analytic engine");
-  }
-  return internal::RunAnalytic(graph, placement, topology, std::move(app),
-                               options, sim);
+  SURFER_ASSIGN_OR_RETURN(Engine engine,
+                          Engine::Open(graph, placement, topology, options));
+  return engine.Run(std::move(app), sim);
 }
 
-/// Convenience overload over a BenchmarkSetup: the setup's sim_options
-/// replace `options.sim` (a setup is a ready-to-run bundle; its simulated
-/// hardware is part of the bundle).
 template <typename App>
   requires PropagationApp<App>
+[[deprecated(
+    "use surfer::Engine::Open(setup, options) + Engine::Run(app) "
+    "(core/engine.h)")]]
 Result<RunAppResult<App>> RunApp(const BenchmarkSetup& setup, App app,
                                  EngineOptions options) {
-  options.sim = setup.sim_options;
-  return RunApp(setup.graph, setup.placement, setup.topology, std::move(app),
-                options);
+  SURFER_ASSIGN_OR_RETURN(Engine engine, Engine::Open(setup, options));
+  return engine.Run(std::move(app));
 }
 
 }  // namespace surfer

@@ -8,7 +8,7 @@
 #include "apps/benchmark_suite.h"
 #include "cluster/topology.h"
 #include "common/result.h"
-#include "core/run_app.h"
+#include "core/engine.h"
 #include "graph/graph.h"
 #include "partition/machine_graph.h"
 #include "partition/partitioning.h"

@@ -39,6 +39,10 @@ namespace runtime {
 /// Knobs of the concurrent runtime. Observability hooks come from the
 /// PropagationConfig so runner and runtime share one configuration surface.
 struct RuntimeOptions {
+  /// Default admission window; named so EngineOptions::Validate can tell
+  /// "left at default" apart from "deliberately configured".
+  static constexpr size_t kDefaultChannelWindowBytes = 256 << 10;
+
   /// Worker threads; 0 means one per simulated machine. With fewer workers
   /// than machines, machine m is owned by worker (m % num_workers).
   uint32_t max_workers = 0;
@@ -48,7 +52,7 @@ struct RuntimeOptions {
   /// each WireBatch by its wire size; a batch larger than the whole window
   /// is still admitted once the queue is empty (progress guarantee), so a
   /// tiny window maximizes backpressure without deadlocking.
-  size_t channel_window_bytes = 256 << 10;
+  size_t channel_window_bytes = kDefaultChannelWindowBytes;
   /// Wire-plane staging knobs: batch size cap, flush deadline, and the
   /// wire-level local combination toggle (see WireBatchOptions).
   WireBatchOptions wire;

@@ -1,0 +1,105 @@
+#include "serve/frontier.h"
+
+#include <deque>
+#include <utility>
+
+namespace surfer {
+namespace serve {
+namespace {
+
+/// Beamer's alpha: switch to the dense pull direction once the frontier's
+/// out-edges exceed 1/alpha of all edges. The classic value tuned for
+/// scale-free graphs.
+constexpr size_t kPullAlpha = 14;
+
+}  // namespace
+
+std::vector<VertexId> KHopFrontier(const Graph& graph, const Graph& reversed,
+                                   VertexId source, uint32_t k,
+                                   KHopStats* stats) {
+  const VertexId n = graph.num_vertices();
+  const size_t total_edges = graph.num_edges();
+  FrontierBitmap visited(n);
+  visited.Set(source);
+  std::vector<VertexId> frontier = {source};
+  std::vector<VertexId> result = {source};
+
+  for (uint32_t hop = 0; hop < k && !frontier.empty(); ++hop) {
+    size_t frontier_edges = 0;
+    for (VertexId v : frontier) {
+      frontier_edges += graph.OutDegree(v);
+    }
+    std::vector<VertexId> next;
+    if (frontier_edges * kPullAlpha > total_edges) {
+      // Dense step: every unvisited vertex asks "is any of my in-neighbors
+      // in the frontier?" and stops at the first yes — cheaper than pushing
+      // a huge frontier's out-edges one by one.
+      FrontierBitmap in_frontier(n);
+      for (VertexId v : frontier) {
+        in_frontier.Set(v);
+      }
+      for (VertexId u = 0; u < n; ++u) {
+        if (visited.Test(u)) {
+          continue;
+        }
+        for (VertexId w : reversed.OutNeighbors(u)) {
+          if (in_frontier.Test(w)) {
+            visited.Set(u);
+            next.push_back(u);
+            break;
+          }
+        }
+      }
+      if (stats != nullptr) {
+        ++stats->pull_steps;
+      }
+    } else {
+      for (VertexId v : frontier) {
+        for (VertexId u : graph.OutNeighbors(v)) {
+          if (!visited.Test(u)) {
+            visited.Set(u);
+            next.push_back(u);
+          }
+        }
+      }
+      if (stats != nullptr) {
+        ++stats->push_steps;
+      }
+    }
+    result.insert(result.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+std::optional<uint32_t> PartitionLocalDistance(const Graph& graph,
+                                               VertexId begin, VertexId end,
+                                               VertexId src, VertexId dst) {
+  if (src == dst) {
+    return 0;
+  }
+  // Local index = encoded ID - begin; the partition's vertex range is
+  // contiguous by construction of the encoding.
+  std::vector<uint32_t> distance(end - begin, UINT32_MAX);
+  distance[src - begin] = 0;
+  std::deque<VertexId> queue = {src};
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    const uint32_t d = distance[v - begin];
+    for (VertexId u : graph.OutNeighbors(v)) {
+      if (u < begin || u >= end || distance[u - begin] != UINT32_MAX) {
+        continue;
+      }
+      if (u == dst) {
+        return d + 1;
+      }
+      distance[u - begin] = d + 1;
+      queue.push_back(u);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace serve
+}  // namespace surfer

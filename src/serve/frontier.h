@@ -1,0 +1,61 @@
+#ifndef SURFER_SERVE_FRONTIER_H_
+#define SURFER_SERVE_FRONTIER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace surfer {
+namespace serve {
+
+/// Dense bitmap over encoded vertex IDs — the visited/frontier sets of the
+/// direction-optimizing traversal (Buluç & Madduri; Beamer's push/pull
+/// switch).
+class FrontierBitmap {
+ public:
+  explicit FrontierBitmap(size_t num_vertices)
+      : bits_((num_vertices + 63) / 64, 0), num_vertices_(num_vertices) {}
+
+  bool Test(VertexId v) const {
+    return (bits_[v >> 6] >> (v & 63)) & 1u;
+  }
+  void Set(VertexId v) { bits_[v >> 6] |= uint64_t{1} << (v & 63); }
+  size_t num_vertices() const { return num_vertices_; }
+
+ private:
+  std::vector<uint64_t> bits_;
+  size_t num_vertices_;
+};
+
+/// Traversal-direction counters of one k-hop expansion, for the serving
+/// plane's metrics (how often the dense pull path engaged).
+struct KHopStats {
+  uint32_t push_steps = 0;  ///< sparse steps: scan frontier out-edges
+  uint32_t pull_steps = 0;  ///< dense steps: scan unvisited in-edges
+};
+
+/// All encoded vertices within k hops of `source` over out-edges, source
+/// included, unsorted. Each BFS step picks its direction: push (iterate the
+/// frontier's out-edges) while the frontier is sparse, pull (scan every
+/// unvisited vertex's in-edges via the pre-transposed graph) once the
+/// frontier's edge count crosses the alpha fraction of all edges. Both
+/// directions visit exactly the same vertex set, so results are
+/// bit-identical to a plain BFS truncated at depth k.
+std::vector<VertexId> KHopFrontier(const Graph& graph, const Graph& reversed,
+                                   VertexId source, uint32_t k,
+                                   KHopStats* stats = nullptr);
+
+/// Hop distance from src to dst walking only vertices inside the encoded
+/// range [begin, end) — a partition-local shortest path (unit edge weights).
+/// nullopt when dst is unreachable without leaving the partition.
+std::optional<uint32_t> PartitionLocalDistance(const Graph& graph,
+                                               VertexId begin, VertexId end,
+                                               VertexId src, VertexId dst);
+
+}  // namespace serve
+}  // namespace surfer
+
+#endif  // SURFER_SERVE_FRONTIER_H_

@@ -1,0 +1,69 @@
+#ifndef SURFER_SERVE_LRU_CACHE_H_
+#define SURFER_SERVE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+#include <utility>
+
+namespace surfer {
+namespace serve {
+
+/// A fixed-capacity least-recently-used map. Values are held as
+/// shared_ptr<const V> so a hit can be returned without copying while an
+/// eviction races the reader harmlessly. NOT thread-safe: GraphService
+/// shards one cache per partition and guards each shard with its own mutex,
+/// so contention stays partition-local.
+template <typename K, typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity > 0 ? capacity : 1) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Returns the cached value and promotes it to most-recently-used, or
+  /// nullptr on miss.
+  std::shared_ptr<const V> Get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return nullptr;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts (or refreshes) a value, evicting the least-recently-used entry
+  /// once over capacity.
+  void Put(const K& key, std::shared_ptr<const V> value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (index_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  size_t size() const { return index_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  /// Front = most recently used.
+  std::list<std::pair<K, std::shared_ptr<const V>>> order_;
+  std::map<K, typename std::list<std::pair<K, std::shared_ptr<const V>>>::
+                   iterator>
+      index_;
+};
+
+}  // namespace serve
+}  // namespace surfer
+
+#endif  // SURFER_SERVE_LRU_CACHE_H_

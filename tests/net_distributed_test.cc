@@ -19,7 +19,7 @@
 
 #include "apps/degree_distribution.h"
 #include "apps/network_ranking.h"
-#include "core/run_app.h"
+#include "core/engine.h"
 #include "obs/json.h"
 #include "obs/trace_merge.h"
 #include "propagation/config.h"
@@ -42,6 +42,15 @@ PropagationConfig ConfigFor(OptimizationLevel level, int iterations) {
   PropagationConfig config = PropagationConfig::ForLevel(level);
   config.iterations = iterations;
   return config;
+}
+
+/// Each test configures its own fault/process/artifact options, so every run
+/// opens a fresh session over the shared fixture.
+template <typename App>
+Result<RunAppResult<App>> RunViaEngine(const BenchmarkSetup& setup, App app,
+                                       const EngineOptions& options) {
+  SURFER_ASSIGN_OR_RETURN(Engine engine, Engine::Open(setup, options));
+  return engine.Run(std::move(app));
 }
 
 template <typename State>
@@ -77,7 +86,7 @@ TEST(NetDistributedTest, NetworkRankingBitIdenticalAcrossProcessCounts) {
     options.engine = EngineKind::kDistributed;
     options.propagation = config;
     options.distributed.max_processes = procs;
-    auto result = RunApp(setup, app, options);
+    auto result = RunViaEngine(setup, app, options);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     ExpectBitIdentical(runner.states(), result->states,
                        "distributed @ " + std::to_string(procs) + " procs");
@@ -125,7 +134,7 @@ TEST(NetDistributedTest, VirtualOutputsMatchSequentialAcrossProcessCounts) {
     options.engine = EngineKind::kDistributed;
     options.propagation = config;
     options.distributed.max_processes = procs;
-    auto result = RunApp(setup, app, options);
+    auto result = RunViaEngine(setup, app, options);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     ExpectBitIdentical(runner.states(), result->states,
                        "VDD @ " + std::to_string(procs) + " procs");
@@ -187,7 +196,7 @@ TEST(NetDistributedTest, FrontierGatingBitIdenticalAcrossProcessCounts) {
       options.propagation = reference_config;
       options.propagation.frontier_gating = gating;
       options.distributed.max_processes = procs;
-      auto result = RunApp(setup, app, options);
+      auto result = RunViaEngine(setup, app, options);
       ASSERT_TRUE(result.ok()) << result.status().ToString();
       ExpectBitIdentical(runner.states(), result->states,
                          std::string("gating ") + (gating ? "on" : "off") +
@@ -227,7 +236,7 @@ TEST(NetDistributedTest, ProcessKillMidSuperstepRecoversBitIdentically) {
   plan.stage = runtime::RuntimeStage::kTransfer;
   plan.after_tasks = 1;
   options.distributed.faults.push_back(plan);
-  auto result = RunApp(setup, app, options);
+  auto result = RunViaEngine(setup, app, options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ExpectBitIdentical(runner.states(), result->states,
                      "recovery after process kill");
@@ -260,7 +269,7 @@ TEST(NetDistributedTest, KillDuringCombineStageAlsoRecovers) {
   plan.stage = runtime::RuntimeStage::kCombine;
   plan.after_tasks = 1;
   options.distributed.faults.push_back(plan);
-  auto result = RunApp(setup, app, options);
+  auto result = RunViaEngine(setup, app, options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ExpectBitIdentical(runner.states(), result->states,
                      "recovery after combine-stage kill");
@@ -294,7 +303,7 @@ TEST(NetDistributedTest, SigtermFlushesReportBeforeExit) {
   // converge bit-identically on the survivors.
   options.distributed.sigterm_machine = 6;
   options.distributed.sigterm_iteration = 1;
-  auto result = RunApp(setup, app, options);
+  auto result = RunViaEngine(setup, app, options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ExpectBitIdentical(runner.states(), result->states,
                      "graceful SIGTERM decommission");
@@ -334,7 +343,7 @@ TEST(NetDistributedTest, ArtifactsLandForEveryProcessAndMerge) {
   options.propagation = config;
   options.distributed.max_processes = 3;
   options.distributed.artifact_dir = dir.string();
-  auto result = RunApp(setup, app, options);
+  auto result = RunViaEngine(setup, app, options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
 
   std::vector<obs::TraceMergeInput> inputs;
@@ -399,7 +408,7 @@ TEST(NetDistributedTest, InjectedStallIsFlaggedOnlineWithoutAborting) {
                                         const std::string& table) {
     status_tables += table;
   };
-  auto result = RunApp(setup, app, options);
+  auto result = RunViaEngine(setup, app, options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ExpectBitIdentical(runner.states(), result->states,
                      "bit-identity with an injected straggler");
@@ -452,7 +461,7 @@ TEST(NetDistributedTest, RecoveryStaysBitIdenticalWithHealthPlaneEnabled) {
   plan.stage = runtime::RuntimeStage::kTransfer;
   plan.after_tasks = 1;
   options.distributed.faults.push_back(plan);
-  auto result = RunApp(setup, app, options);
+  auto result = RunViaEngine(setup, app, options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ExpectBitIdentical(runner.states(), result->states,
                      "recovery with the health plane enabled");
@@ -479,7 +488,7 @@ TEST(NetDistributedTest, ClockSyncedTracesMergeWithOffsetAlignment) {
   options.distributed.max_processes = 3;
   options.distributed.artifact_dir = dir.string();
   options.distributed.clock_sync_pings = 4;
-  auto result = RunApp(setup, app, options);
+  auto result = RunViaEngine(setup, app, options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
 
   std::vector<obs::TraceMergeInput> inputs;
@@ -524,8 +533,8 @@ TEST(NetDistributedTest, DeathWithoutFaultToleranceAborts) {
   EngineOptions options;
   options.engine = EngineKind::kDistributed;
   options.propagation = ConfigFor(OptimizationLevel::kO4, 0);  // invalid
-  auto result = RunApp(setup, NetworkRankingApp(f.graph.num_vertices()),
-                       options);
+  auto result = RunViaEngine(
+      setup, NetworkRankingApp(f.graph.num_vertices()), options);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }

@@ -9,7 +9,7 @@
 #include "apps/degree_distribution.h"
 #include "apps/network_ranking.h"
 #include "apps/reverse_link_graph.h"
-#include "core/run_app.h"
+#include "core/engine.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "propagation/app_traits.h"
@@ -712,7 +712,7 @@ TEST(RuntimeTest, FrontierGatingPreservesVirtualOutputs) {
   }
 }
 
-// -------------------------------------------------- RunApp front-end
+// -------------------------------------------------- Engine session front-end
 
 TEST(RunAppTest, EnginesAgreeBitwiseThroughTheUnifiedFrontEnd) {
   const EngineFixture& f = Fixture();
@@ -720,8 +720,10 @@ TEST(RunAppTest, EnginesAgreeBitwiseThroughTheUnifiedFrontEnd) {
 
   EngineOptions analytic_options;
   analytic_options.propagation = ConfigFor(OptimizationLevel::kO4, 3);
-  auto analytic = RunApp(setup, NetworkRankingApp(f.graph.num_vertices()),
-                         analytic_options);
+  auto analytic_session = Engine::Open(setup, analytic_options);
+  ASSERT_TRUE(analytic_session.ok()) << analytic_session.status().ToString();
+  auto analytic =
+      analytic_session->Run(NetworkRankingApp(f.graph.num_vertices()));
   ASSERT_TRUE(analytic.ok()) << analytic.status().ToString();
   ASSERT_TRUE(analytic->metrics.has_value());
   ASSERT_TRUE(analytic->counters.has_value());
@@ -732,8 +734,11 @@ TEST(RunAppTest, EnginesAgreeBitwiseThroughTheUnifiedFrontEnd) {
   concurrent_options.engine = EngineKind::kConcurrent;
   concurrent_options.propagation = analytic_options.propagation;
   concurrent_options.runtime.max_workers = 3;
-  auto concurrent = RunApp(setup, NetworkRankingApp(f.graph.num_vertices()),
-                           concurrent_options);
+  auto concurrent_session = Engine::Open(setup, concurrent_options);
+  ASSERT_TRUE(concurrent_session.ok())
+      << concurrent_session.status().ToString();
+  auto concurrent =
+      concurrent_session->Run(NetworkRankingApp(f.graph.num_vertices()));
   ASSERT_TRUE(concurrent.ok()) << concurrent.status().ToString();
   ASSERT_TRUE(concurrent->runtime_stats.has_value());
   EXPECT_FALSE(concurrent->metrics.has_value());
@@ -771,13 +776,17 @@ TEST(RunAppTest, ConcurrentEngineRejectsNonWireSerializableApps) {
   EngineOptions options;
   options.engine = EngineKind::kConcurrent;
   options.propagation = ConfigFor(OptimizationLevel::kO4, 1);
-  auto result = RunApp(setup, ReverseLinkGraphApp(), options);
+  auto session = Engine::Open(setup, options);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto result = session->Run(ReverseLinkGraphApp());
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 
   // The analytic engine still runs the same app fine.
   options.engine = EngineKind::kAnalytic;
-  auto analytic = RunApp(setup, ReverseLinkGraphApp(), options);
+  auto analytic_session = Engine::Open(setup, options);
+  ASSERT_TRUE(analytic_session.ok()) << analytic_session.status().ToString();
+  auto analytic = analytic_session->Run(ReverseLinkGraphApp());
   EXPECT_TRUE(analytic.ok()) << analytic.status().ToString();
 }
 
@@ -787,9 +796,11 @@ TEST(RunAppTest, ExternalSimulationOnlyAppliesToTheAnalyticEngine) {
   EngineOptions options;
   options.propagation = ConfigFor(OptimizationLevel::kO2, 2);
   JobSimulation sim(setup.topology, setup.sim_options);
+  auto session = Engine::Open(setup.graph, setup.placement, setup.topology,
+                              options);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
   auto analytic =
-      RunApp(setup.graph, setup.placement, setup.topology,
-             NetworkRankingApp(f.graph.num_vertices()), options, &sim);
+      session->Run(NetworkRankingApp(f.graph.num_vertices()), &sim);
   ASSERT_TRUE(analytic.ok()) << analytic.status().ToString();
   // Metrics accumulated into the caller's simulation, and the result
   // mirrors them.
@@ -797,9 +808,12 @@ TEST(RunAppTest, ExternalSimulationOnlyAppliesToTheAnalyticEngine) {
   EXPECT_EQ(analytic->metrics->response_time_s, sim.metrics().response_time_s);
 
   options.engine = EngineKind::kConcurrent;
-  auto rejected =
-      RunApp(setup.graph, setup.placement, setup.topology,
-             NetworkRankingApp(f.graph.num_vertices()), options, &sim);
+  auto concurrent_session = Engine::Open(setup.graph, setup.placement,
+                                         setup.topology, options);
+  ASSERT_TRUE(concurrent_session.ok())
+      << concurrent_session.status().ToString();
+  auto rejected = concurrent_session->Run(
+      NetworkRankingApp(f.graph.num_vertices()), &sim);
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
 }

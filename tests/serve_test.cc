@@ -1,0 +1,416 @@
+// The GraphService query-serving plane: k-hop answers bit-identical to a
+// fresh BFS over the original graph, cached ranks bit-identical to a fresh
+// batch run, cache hits returning exactly the computed bytes, deterministic
+// admission-window shedding with kResourceExhausted (never blocking),
+// deadline shedding, partition-local paths, and a concurrent-client stress
+// mix run under the TSan/ASan CI matrix.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/network_ranking.h"
+#include "core/engine.h"
+#include "graph/algorithms.h"
+#include "obs/metrics_registry.h"
+#include "serve/frontier.h"
+#include "serve/graph_service.h"
+#include "serve/lru_cache.h"
+#include "tests/test_fixtures.h"
+
+namespace surfer {
+namespace {
+
+using serve::GraphService;
+using serve::ServeOptions;
+using testing_fixtures::EngineFixture;
+using testing_fixtures::MakeEngineFixture;
+
+const EngineFixture& Fixture() {
+  static const EngineFixture* fixture = new EngineFixture(MakeEngineFixture());
+  return *fixture;
+}
+
+Engine Session() {
+  const EngineFixture& f = Fixture();
+  static const BenchmarkSetup* setup =
+      new BenchmarkSetup(f.Setup(OptimizationLevel::kO4));
+  EngineOptions options;
+  options.propagation.iterations = 3;
+  auto session = Engine::Open(*setup, options);
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  return std::move(session).value();
+}
+
+/// Reference k-hop set over *original* IDs: plain BFS truncated at depth k.
+std::vector<VertexId> ReferenceKHop(const Graph& graph, VertexId origin,
+                                    uint32_t k) {
+  const std::vector<uint32_t> distances = BfsDistances(graph, origin);
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (distances[v] <= k) {
+      result.push_back(v);
+    }
+  }
+  return result;  // already sorted: v ascends
+}
+
+// ------------------------------------------------------------ LRU cache
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  serve::LruCache<int, int> cache(2);
+  cache.Put(1, std::make_shared<const int>(10));
+  cache.Put(2, std::make_shared<const int>(20));
+  ASSERT_NE(cache.Get(1), nullptr);  // promotes 1; 2 is now LRU
+  cache.Put(3, std::make_shared<const int>(30));
+  EXPECT_EQ(cache.Get(2), nullptr);
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(1), 10);
+  ASSERT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, PutRefreshesExistingKey) {
+  serve::LruCache<int, int> cache(2);
+  cache.Put(1, std::make_shared<const int>(10));
+  cache.Put(2, std::make_shared<const int>(20));
+  cache.Put(1, std::make_shared<const int>(11));  // refresh, 2 becomes LRU
+  cache.Put(3, std::make_shared<const int>(30));
+  EXPECT_EQ(cache.Get(2), nullptr);
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(1), 11);
+}
+
+// ---------------------------------------------------- frontier expansion
+
+TEST(FrontierTest, PushAndPullDirectionsAgreeOnEveryK) {
+  const EngineFixture& f = Fixture();
+  const Graph& graph = f.graph;
+  const Graph reversed = graph.Reversed();
+  // A hub: the highest out-degree vertex, so the frontier actually grows for
+  // several hops (low-degree sources can die out after one step).
+  VertexId hub = 0;
+  for (VertexId v = 1; v < graph.num_vertices(); ++v) {
+    if (graph.OutDegree(v) > graph.OutDegree(hub)) {
+      hub = v;
+    }
+  }
+  for (uint32_t k : {1u, 2u, 3u}) {
+    serve::KHopStats stats;
+    std::vector<VertexId> frontier =
+        serve::KHopFrontier(graph, reversed, hub, k, &stats);
+    std::sort(frontier.begin(), frontier.end());
+    EXPECT_EQ(frontier, ReferenceKHop(graph, hub, k)) << "k=" << k;
+    EXPECT_EQ(stats.push_steps + stats.pull_steps, k) << "k=" << k;
+  }
+  // A social graph's 3-hop frontier from a hub is dense enough that the pull
+  // direction must have engaged at least once — otherwise the direction
+  // optimization is dead code.
+  serve::KHopStats stats;
+  serve::KHopFrontier(graph, reversed, hub, 3, &stats);
+  EXPECT_GT(stats.pull_steps, 0u);
+}
+
+// ------------------------------------------------- correctness vs batch
+
+TEST(GraphServiceTest, KHopBitIdenticalToFreshBfs) {
+  Engine session = Session();
+  auto service = session.Serve(ServeOptions{});
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  const Graph& graph = Fixture().graph;
+  for (VertexId origin : {VertexId{0}, VertexId{17}, VertexId{4095}}) {
+    for (uint32_t k : {1u, 2u}) {
+      auto response = (*service)->KHop(origin, k).get();
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      EXPECT_EQ(response->vertices, ReferenceKHop(graph, origin, k))
+          << "origin=" << origin << " k=" << k;
+      EXPECT_EQ(response->k, k);
+    }
+  }
+}
+
+TEST(GraphServiceTest, RankBitIdenticalToFreshBatchRun) {
+  Engine session = Session();
+  ServeOptions options;
+  options.rank_iterations = 3;
+  auto service = session.Serve(options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  // Fresh batch run through the same session at the same iteration count.
+  EngineOptions batch_options = session.options();
+  batch_options.propagation.iterations = 3;
+  auto batch_session =
+      Engine::Open(session.graph(), session.placement(), session.topology(),
+                   batch_options);
+  ASSERT_TRUE(batch_session.ok());
+  auto batch = batch_session->Run(
+      NetworkRankingApp(Fixture().graph.num_vertices()));
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+
+  for (VertexId v : {VertexId{0}, VertexId{123}, VertexId{4000}}) {
+    auto response = (*service)->Rank(v).get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    const double fresh = batch->StateOfOriginal(v);
+    EXPECT_EQ(std::memcmp(&response->rank, &fresh, sizeof(double)), 0)
+        << "rank of vertex " << v << " not bit-identical";
+  }
+}
+
+TEST(GraphServiceTest, CachedResultsBitIdenticalToFreshComputation) {
+  Engine session = Session();
+  auto service = session.Serve(ServeOptions{});
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  auto first = (*service)->KHop(42, 2).get();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->from_cache);
+
+  auto cached = (*service)->KHop(42, 2).get();
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  EXPECT_TRUE(cached->from_cache);
+
+  serve::QueryOptions bypass;
+  bypass.bypass_cache = true;
+  auto fresh = (*service)->KHop(42, 2, bypass).get();
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_FALSE(fresh->from_cache);
+
+  ASSERT_EQ(cached->vertices.size(), fresh->vertices.size());
+  EXPECT_EQ(std::memcmp(cached->vertices.data(), fresh->vertices.data(),
+                        fresh->vertices.size() * sizeof(VertexId)),
+            0)
+      << "cached k-hop differs from fresh computation";
+
+  const serve::ServiceStats stats = (*service)->stats();
+  EXPECT_GE(stats.cache_hits, 1u);
+  EXPECT_GE(stats.cache_misses, 1u);
+}
+
+TEST(GraphServiceTest, PartitionPathMatchesLocalBfs) {
+  Engine session = Session();
+  auto service = session.Serve(ServeOptions{});
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  const PartitionedGraph& pg = *session.graph();
+
+  // Pick two encoded vertices of partition 0 connected by a local edge so a
+  // path certainly exists.
+  const PartitionMeta& meta = pg.partition(0);
+  VertexId src_enc = meta.begin;
+  VertexId dst_enc = kInvalidVertex;
+  for (VertexId v = meta.begin; v < meta.end && dst_enc == kInvalidVertex;
+       ++v) {
+    for (VertexId u : pg.encoded_graph().OutNeighbors(v)) {
+      if (u >= meta.begin && u < meta.end && u != v) {
+        src_enc = v;
+        dst_enc = u;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(dst_enc, kInvalidVertex) << "partition 0 has no inner edge";
+  const VertexId src = pg.encoding().ToOriginal(src_enc);
+  const VertexId dst = pg.encoding().ToOriginal(dst_enc);
+
+  auto response = (*service)->PartitionPath(src, dst).get();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->distance, 1u);
+  EXPECT_EQ(response->partition, 0u);
+
+  // Self-path is 0 hops.
+  auto self = (*service)->PartitionPath(src, src).get();
+  ASSERT_TRUE(self.ok()) << self.status().ToString();
+  EXPECT_EQ(self->distance, 0u);
+}
+
+TEST(GraphServiceTest, PartitionPathRejectsCrossPartitionEndpoints) {
+  Engine session = Session();
+  auto service = session.Serve(ServeOptions{});
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  const PartitionedGraph& pg = *session.graph();
+  const VertexId a = pg.encoding().ToOriginal(pg.partition(0).begin);
+  const VertexId b = pg.encoding().ToOriginal(pg.partition(1).begin);
+  auto response = (*service)->PartitionPath(a, b).get();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------ validation paths
+
+TEST(GraphServiceTest, RejectsOutOfRangeAndOversizedQueriesImmediately) {
+  Engine session = Session();
+  auto service = session.Serve(ServeOptions{});
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  const VertexId n = Fixture().graph.num_vertices();
+
+  auto out_of_range = (*service)->Rank(n).get();
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kInvalidArgument);
+
+  auto oversized_k = (*service)->KHop(0, /*k=*/999).get();
+  ASSERT_FALSE(oversized_k.ok());
+  EXPECT_EQ(oversized_k.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_GE((*service)->stats().rejected, 2u);
+}
+
+TEST(GraphServiceTest, ServeOptionsValidateRejectsNonsense) {
+  Engine session = Session();
+  ServeOptions zero_workers;
+  zero_workers.num_workers = 0;
+  EXPECT_FALSE(session.Serve(zero_workers).ok());
+
+  ServeOptions zero_window;
+  zero_window.admission_window_bytes = 0;
+  EXPECT_FALSE(session.Serve(zero_window).ok());
+
+  ServeOptions bad_damping;
+  bad_damping.rank_damping = 1.5;
+  EXPECT_FALSE(session.Serve(bad_damping).ok());
+}
+
+// ------------------------------------------------------- load shedding
+
+TEST(GraphServiceTest, ShedsWithResourceExhaustedWhenAdmissionWindowFull) {
+  Engine session = Session();
+  ServeOptions options;
+  options.start_workers = false;  // nothing drains: fill deterministically
+  // One max-k k-hop weighs 16 KiB (EstimateCostBytes cap); a 20 KiB window
+  // admits the first (it fits) and the second only via... it does not fit:
+  // 16 KiB + 16 KiB > 20 KiB, so the second must shed.
+  options.admission_window_bytes = 20 << 10;
+  auto service = session.Serve(options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  auto first = (*service)->KHop(0, 8);
+  auto second = (*service)->KHop(1, 8);
+
+  // The shed future resolves IMMEDIATELY (workers are not even running), so
+  // a bounded get() proves submission never blocks.
+  ASSERT_EQ(second.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready)
+      << "full admission window blocked the caller";
+  auto shed = second.get();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ((*service)->stats().shed_admission, 1u);
+
+  // The admitted query completes once workers start.
+  (*service)->Start();
+  auto admitted = first.get();
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  (*service)->Stop();
+}
+
+TEST(GraphServiceTest, ShedsExpiredQueriesAtDequeueWithResourceExhausted) {
+  Engine session = Session();
+  ServeOptions options;
+  options.start_workers = false;
+  auto service = session.Serve(options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  serve::QueryOptions tight;
+  tight.deadline = std::chrono::milliseconds(1);
+  auto future = (*service)->KHop(0, 2, tight);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  (*service)->Start();  // worker dequeues a long-expired query
+  auto response = future.get();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ((*service)->stats().shed_deadline, 1u);
+}
+
+TEST(GraphServiceTest, StopResolvesQueuedQueriesWithUnavailable) {
+  Engine session = Session();
+  ServeOptions options;
+  options.start_workers = false;
+  auto service = session.Serve(options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  auto future = (*service)->Rank(0);
+  (*service)->Stop();  // never started: the queued query must not hang
+  auto response = future.get();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+}
+
+// ------------------------------------------------ concurrency + metrics
+
+TEST(GraphServiceTest, ConcurrentClientsUnderSmallAdmissionWindow) {
+  Engine session = Session();
+  ServeOptions options;
+  options.num_workers = 3;
+  // Small window so admission shedding genuinely happens under load.
+  options.admission_window_bytes = 8 << 10;
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  auto service = session.Serve(options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 40;
+  const VertexId n = Fixture().graph.num_vertices();
+  std::atomic<uint64_t> answered{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> wrong{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const VertexId v = static_cast<VertexId>((c * 9973 + q * 131) % n);
+        if (q % 3 == 0) {
+          auto response = (*service)->Rank(v).get();
+          if (response.ok()) {
+            answered.fetch_add(1);
+          } else if (response.status().code() ==
+                     StatusCode::kResourceExhausted) {
+            shed.fetch_add(1);
+          } else {
+            wrong.fetch_add(1);
+          }
+        } else {
+          auto response = (*service)->KHop(v, 1 + (q % 2)).get();
+          if (response.ok()) {
+            answered.fetch_add(1);
+          } else if (response.status().code() ==
+                     StatusCode::kResourceExhausted) {
+            shed.fetch_add(1);
+          } else {
+            wrong.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  (*service)->Stop();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_GT(answered.load(), 0u);
+  const serve::ServiceStats stats = (*service)->stats();
+  EXPECT_EQ(stats.completed, answered.load());
+  EXPECT_EQ(answered.load() + shed.load(),
+            static_cast<uint64_t>(kClients * kQueriesPerClient));
+  // Every completed query priced the latency histogram (shed queries never
+  // reach execution, so they record no latency).
+  EXPECT_EQ(stats.latency_us.count(), stats.completed);
+
+  // serve_* metrics exported through the registry.
+  uint64_t exported_queries = 0;
+  for (const obs::MetricSample& sample : metrics.Snapshot()) {
+    if (sample.name == "serve_queries_total") {
+      exported_queries += static_cast<uint64_t>(sample.value);
+    }
+  }
+  EXPECT_EQ(exported_queries,
+            static_cast<uint64_t>(kClients * kQueriesPerClient));
+}
+
+}  // namespace
+}  // namespace surfer

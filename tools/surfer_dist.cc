@@ -30,7 +30,7 @@
 
 #include "apps/network_ranking.h"
 #include "cluster/topology.h"
-#include "core/run_app.h"
+#include "core/engine.h"
 #include "core/sim_scale.h"
 #include "core/surfer.h"
 #include "graph/generators.h"
@@ -138,7 +138,13 @@ int main(int argc, char** argv) {
   EngineOptions sequential;
   sequential.propagation = PropagationConfig::ForLevel(OptimizationLevel::kO4);
   sequential.propagation.iterations = args.iterations;
-  auto reference = RunApp(setup, app, sequential);
+  auto sequential_session = Engine::Open(setup, sequential);
+  if (!sequential_session.ok()) {
+    std::fprintf(stderr, "sequential open failed: %s\n",
+                 sequential_session.status().ToString().c_str());
+    return 1;
+  }
+  auto reference = sequential_session->Run(app);
   if (!reference.ok()) {
     std::fprintf(stderr, "sequential run failed: %s\n",
                  reference.status().ToString().c_str());
@@ -156,7 +162,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s", table.c_str());
     };
   }
-  auto actual = RunApp(setup, app, distributed);
+  auto distributed_session = Engine::Open(setup, distributed);
+  if (!distributed_session.ok()) {
+    std::fprintf(stderr, "distributed open failed: %s\n",
+                 distributed_session.status().ToString().c_str());
+    return 1;
+  }
+  auto actual = distributed_session->Run(app);
   if (!actual.ok()) {
     std::fprintf(stderr, "distributed run failed: %s\n",
                  actual.status().ToString().c_str());
